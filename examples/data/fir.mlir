@@ -1,0 +1,19 @@
+module {
+func.func @fir(%0: memref<64xf32>, %1: memref<8xf32>, %2: memref<57xf32>) -> () {
+  "affine.for"() {lower_map = affine_map<() -> (0)>, upper_map = affine_map<() -> (57)>, step = 1, lower_operands = 0} ({
+    ^bb(%3: index):
+      %4 = "arith.constant"() {value = 0.0} : () -> (f32)
+      %11 = "affine.for"(%4) {hls.pipeline = 1, lower_map = affine_map<() -> (0)>, upper_map = affine_map<() -> (8)>, step = 1, lower_operands = 0} ({
+        ^bb(%5: index, %6: f32):
+          %7 = "affine.load"(%1, %5) {map = affine_map<(d0) -> (d0)>} : (memref<8xf32>, index) -> (f32)
+          %8 = "affine.load"(%0, %3, %5) {map = affine_map<(d0, d1) -> ((d0 + d1))>} : (memref<64xf32>, index, index) -> (f32)
+          %9 = "arith.mulf"(%7, %8) : (f32, f32) -> (f32)
+          %10 = "arith.addf"(%6, %9) : (f32, f32) -> (f32)
+          "affine.yield"(%10) : (f32) -> ()
+      }) : (f32) -> (f32)
+      "affine.store"(%11, %2, %3) {map = affine_map<(d0) -> (d0)>} : (f32, memref<57xf32>, index) -> ()
+      "affine.yield"() : () -> ()
+  }) : () -> ()
+  "func.return"() : () -> ()
+}
+}
