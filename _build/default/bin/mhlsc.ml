@@ -1,0 +1,335 @@
+(** [mhlsc] — command-line driver for the MLIR HLS adaptor flows.
+
+    Subcommands:
+    - [list]     enumerate the built-in kernels;
+    - [emit]     print a kernel's IR at any stage of either flow;
+    - [synth]    run a flow end-to-end and print the synthesis report;
+    - [compare]  run both flows and compare QoR;
+    - [cosim]    three-way functional co-simulation;
+    - [adapt]    run the adaptor on an .ll file (our textual dialect). *)
+
+open Cmdliner
+module K = Workloads.Kernels
+module E = Hls_backend.Estimate
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let kernel_arg =
+  let doc = "Kernel name (see `mhlsc list`)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc)
+
+let pipeline_arg =
+  let doc = "Pipeline target II (0 disables pipelining)." in
+  Arg.(value & opt int 1 & info [ "pipeline"; "ii" ] ~docv:"II" ~doc)
+
+let strategy_arg =
+  let doc = "Directive strategy: $(b,inner) pipelines the reduction loop; \
+             $(b,middle) pipelines the second-innermost loop and fully \
+             unrolls the reduction." in
+  Arg.(value & opt (enum [ ("inner", K.Inner); ("middle", K.Middle) ]) K.Inner
+       & info [ "strategy" ] ~docv:"S" ~doc)
+
+let unroll_arg =
+  let doc = "Unroll factor for the innermost loop (inner strategy only)." in
+  Arg.(value & opt (some int) None & info [ "unroll" ] ~docv:"N" ~doc)
+
+let partition_arg =
+  let doc = "Array partition directive, repeatable: ARG:KIND:FACTOR:DIM \
+             (e.g. A:cyclic:4:2)." in
+  Arg.(value & opt_all string [] & info [ "partition" ] ~docv:"SPEC" ~doc)
+
+let clock_arg =
+  let doc = "Target clock period in nanoseconds." in
+  Arg.(value & opt float 10.0 & info [ "clock" ] ~docv:"NS" ~doc)
+
+let flow_arg =
+  let doc = "Flow: $(b,direct) (MLIR->LLVM IR->adaptor, the paper's \
+             proposal) or $(b,cpp) (MLIR->HLS C++->Clang, the baseline)." in
+  Arg.(value & opt (enum [ ("direct", Flow.Direct_ir); ("cpp", Flow.Hls_cpp) ])
+         Flow.Direct_ir
+       & info [ "flow" ] ~docv:"FLOW" ~doc)
+
+let parse_partitions specs =
+  List.map
+    (fun spec ->
+      match String.split_on_char ':' spec with
+      | [ a; kind; f; d ] -> (
+          match (int_of_string_opt f, int_of_string_opt d) with
+          | Some f, Some d -> (a, kind, f, d)
+          | _ -> failwith ("bad partition spec: " ^ spec))
+      | _ -> failwith ("bad partition spec: " ^ spec))
+    specs
+
+let directives_of ~pipeline ~strategy ~unroll ~partitions =
+  {
+    K.pipeline_ii = (if pipeline <= 0 then None else Some pipeline);
+    K.unroll;
+    K.strategy;
+    K.partitions = parse_partitions partitions;
+  }
+
+let find_kernel name =
+  match K.by_name name with
+  | Some k -> k
+  | None ->
+      Printf.eprintf "unknown kernel %s; try `mhlsc list`\n" name;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+(* list                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun k ->
+        Printf.printf "%-10s %s\n" k.K.kname k.K.description)
+      (K.all ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the built-in benchmark kernels.")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* emit                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let stage_arg =
+  let doc = "IR stage to print: mhir, mhir-generic, llvm (modern), \
+             adapted (HLS-ready), or cpp (baseline C++)." in
+  Arg.(value & opt (enum
+         [ ("mhir", `Mhir); ("mhir-generic", `Mhir_generic);
+           ("llvm", `Llvm); ("adapted", `Adapted); ("cpp", `Cpp) ]) `Adapted
+       & info [ "stage" ] ~docv:"STAGE" ~doc)
+
+let emit_cmd =
+  let run kernel stage pipeline strategy unroll partitions =
+    let k = find_kernel kernel in
+    let d = directives_of ~pipeline ~strategy ~unroll ~partitions in
+    let m = k.K.build d in
+    match stage with
+    | `Mhir -> print_string (Mhir.Printer.module_to_string m)
+    | `Mhir_generic ->
+        print_string (Mhir.Printer.module_to_string ~generic:true m)
+    | `Llvm ->
+        let lm = Lowering.Lower.lower_module (Mhir.Canonicalize.run m) in
+        let lm = fst (Llvmir.Pass.run_pipeline Llvmir.Pass.default_pipeline lm) in
+        print_string (Llvmir.Lprinter.module_to_string lm)
+    | `Adapted ->
+        let lm, _, _ = Flow.direct_ir_frontend m in
+        print_string (Llvmir.Lprinter.module_to_string lm)
+    | `Cpp ->
+        let _, cpp, _ = Flow.hls_cpp_frontend m in
+        print_string cpp
+  in
+  Cmd.v
+    (Cmd.info "emit" ~doc:"Print a kernel's IR at a chosen stage.")
+    Term.(const run $ kernel_arg $ stage_arg $ pipeline_arg $ strategy_arg
+          $ unroll_arg $ partition_arg)
+
+(* ------------------------------------------------------------------ *)
+(* synth                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let synth_cmd =
+  let run kernel flow pipeline strategy unroll partitions clock verbose =
+    let k = find_kernel kernel in
+    let d = directives_of ~pipeline ~strategy ~unroll ~partitions in
+    let r = Flow.run ~directives:d ~clock_ns:clock k flow in
+    Printf.printf "kernel: %s   flow: %s   front-end: %.1f ms\n" k.K.kname
+      (Flow.flow_name r.Flow.kind)
+      (r.Flow.seconds *. 1000.0);
+    (match (verbose, r.Flow.adaptor_report) with
+    | true, Some rep -> print_string (Adaptor.report_to_string rep)
+    | _ -> ());
+    print_string (Hls_backend.Report.render r.Flow.hls)
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the adaptor report.")
+  in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Run one flow end-to-end and print the synthesis report.")
+    Term.(const run $ kernel_arg $ flow_arg $ pipeline_arg $ strategy_arg
+          $ unroll_arg $ partition_arg $ clock_arg $ verbose)
+
+(* ------------------------------------------------------------------ *)
+(* compare                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let compare_cmd =
+  let run kernel pipeline strategy unroll partitions clock =
+    let k = find_kernel kernel in
+    let d = directives_of ~pipeline ~strategy ~unroll ~partitions in
+    let c = Flow.compare_flows ~directives:d ~clock_ns:clock k in
+    Printf.printf "%-12s %12s %12s\n" "" "direct-IR" "HLS C++";
+    Printf.printf "%-12s %12d %12d\n" "latency" c.Flow.direct.Flow.hls.E.latency
+      c.Flow.cpp.Flow.hls.E.latency;
+    Printf.printf "%-12s %12d %12d\n" "BRAM"
+      c.Flow.direct.Flow.hls.E.resources.E.bram
+      c.Flow.cpp.Flow.hls.E.resources.E.bram;
+    Printf.printf "%-12s %12d %12d\n" "DSP"
+      c.Flow.direct.Flow.hls.E.resources.E.dsp
+      c.Flow.cpp.Flow.hls.E.resources.E.dsp;
+    Printf.printf "%-12s %12.1f %12.1f\n" "time (ms)"
+      (c.Flow.direct.Flow.seconds *. 1000.0)
+      (c.Flow.cpp.Flow.seconds *. 1000.0);
+    Printf.printf "latency ratio (cpp/direct): %.3f\n" (Flow.latency_ratio c)
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run both flows and compare QoR.")
+    Term.(const run $ kernel_arg $ pipeline_arg $ strategy_arg $ unroll_arg
+          $ partition_arg $ clock_arg)
+
+(* ------------------------------------------------------------------ *)
+(* cosim                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let cosim_cmd =
+  let run kernel pipeline strategy unroll partitions =
+    let k = find_kernel kernel in
+    let d = directives_of ~pipeline ~strategy ~unroll ~partitions in
+    let cs = Flow.cosim ~directives:d k in
+    if cs.Flow.ok then
+      Printf.printf "cosim PASS (max relative error %.2e)\n" cs.Flow.max_abs_error
+    else begin
+      Printf.printf "cosim FAIL\n";
+      List.iter print_endline cs.Flow.details;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "cosim"
+       ~doc:"Co-simulate: mhir interpreter, both flows' LLVM IR, and the \
+             OCaml reference must agree.")
+    Term.(const run $ kernel_arg $ pipeline_arg $ strategy_arg $ unroll_arg
+          $ partition_arg)
+
+(* ------------------------------------------------------------------ *)
+(* adapt                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let adapt_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE.ll" ~doc:"LLVM IR file (this tool's dialect).")
+  in
+  let run file strict =
+    let src = In_channel.with_open_text file In_channel.input_all in
+    let m = Llvmir.Lparser.parse_module src in
+    Llvmir.Lverifier.verify_module m;
+    let config = { Adaptor.default_config with Adaptor.strict } in
+    let m', report = Adaptor.run ~config m in
+    prerr_string (Adaptor.report_to_string report);
+    print_string (Llvmir.Lprinter.module_to_string m')
+  in
+  let strict =
+    Arg.(value & flag & info [ "strict" ]
+         ~doc:"Fail unless the output is fully HLS-ready.")
+  in
+  Cmd.v
+    (Cmd.info "adapt"
+       ~doc:"Run the adaptor on an .ll file and print the legalized IR \
+             (report goes to stderr).")
+    Term.(const run $ file $ strict)
+
+(* ------------------------------------------------------------------ *)
+(* synth-mlir: compile a textual multi-level IR file                  *)
+(* ------------------------------------------------------------------ *)
+
+let synth_mlir_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE.mlir"
+             ~doc:"Multi-level IR in generic textual form (as printed by \
+                   `mhlsc emit --stage mhir-generic`).")
+  in
+  let top =
+    Arg.(value & opt (some string) None
+         & info [ "top" ] ~docv:"NAME"
+             ~doc:"Top function (default: the first function).")
+  in
+  let run file top flow clock verbose =
+    let src = In_channel.with_open_text file In_channel.input_all in
+    let m = Mhir.Parser.parse_module src in
+    Mhir.Verifier.verify_module m;
+    let top =
+      match (top, m.Mhir.Ir.funcs) with
+      | Some t, _ -> t
+      | None, f :: _ -> f.Mhir.Ir.fname
+      | None, [] ->
+          prerr_endline "module has no functions";
+          exit 1
+    in
+    let lm =
+      match flow with
+      | Flow.Direct_ir ->
+          let lm, report, _ = Flow.direct_ir_frontend m in
+          if verbose then prerr_string (Adaptor.report_to_string report);
+          lm
+      | Flow.Hls_cpp ->
+          let lm, cpp, _ = Flow.hls_cpp_frontend m in
+          if verbose then prerr_string cpp;
+          lm
+    in
+    let r = Hls_backend.Estimate.synthesize ~clock_ns:clock ~top lm in
+    print_string (Hls_backend.Report.render r)
+  in
+  let verbose =
+    Arg.(value & flag
+         & info [ "v"; "verbose" ]
+             ~doc:"Print the adaptor report / generated C++ to stderr.")
+  in
+  Cmd.v
+    (Cmd.info "synth-mlir"
+       ~doc:"Parse a textual multi-level IR file, run a flow end-to-end and \
+             print the synthesis report.")
+    Term.(const run $ file $ top $ flow_arg $ clock_arg $ verbose)
+
+(* ------------------------------------------------------------------ *)
+(* dse                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let dse_cmd =
+  let run kernel partitions max_dsp max_bram =
+    let k = find_kernel kernel in
+    let parts =
+      match parse_partitions partitions with
+      | [] -> [ ("A", 2) ]  (* a sensible default for the matmul family *)
+      | specs -> List.map (fun (a, _, _, d) -> (a, d)) specs
+    in
+    let budget =
+      { Flow.Dse.no_budget with Flow.Dse.max_dsp; Flow.Dse.max_bram }
+    in
+    let r = Flow.Dse.explore ~budget ~parts k in
+    print_string (Flow.Dse.render r);
+    match Flow.Dse.best r with
+    | Some best ->
+        Printf.printf "\nbest: %s (%d cycles)\n" best.Flow.Dse.label
+          best.Flow.Dse.latency
+    | None -> print_endline "\nno feasible design point under this budget"
+  in
+  let max_dsp =
+    Arg.(value & opt (some int) None
+         & info [ "max-dsp" ] ~docv:"N" ~doc:"DSP48 budget.")
+  in
+  let max_bram =
+    Arg.(value & opt (some int) None
+         & info [ "max-bram" ] ~docv:"N" ~doc:"BRAM18K budget.")
+  in
+  Cmd.v
+    (Cmd.info "dse"
+       ~doc:"Explore the directive design space through the adaptor flow \
+             and print the Pareto frontier.")
+    Term.(const run $ kernel_arg $ partition_arg $ max_dsp $ max_bram)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "MLIR HLS adaptor for LLVM IR — reference implementation" in
+  let info = Cmd.info "mhlsc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; emit_cmd; synth_cmd; compare_cmd; cosim_cmd; adapt_cmd;
+            synth_mlir_cmd; dse_cmd ]))

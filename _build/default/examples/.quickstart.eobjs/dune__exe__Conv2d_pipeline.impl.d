@@ -1,0 +1,1 @@
+examples/conv2d_pipeline.ml: Adaptor Array Float Flow Hls_backend List Llvmir Printf Workloads

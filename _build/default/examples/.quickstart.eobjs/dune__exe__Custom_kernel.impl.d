@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Adaptor Affine_expr Affine_map Array Attr Builder Float Flow Hls_backend Ir List Llvmir Mhir Printer Printf Types Verifier

@@ -1,0 +1,1 @@
+examples/gemm_design_space.ml: Flow Hls_backend List Printf Support Workloads

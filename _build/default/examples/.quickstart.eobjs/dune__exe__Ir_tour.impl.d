@@ -1,0 +1,1 @@
+examples/ir_tour.ml: Adaptor Array Attr Builder Hls_backend Ir List Llvmir Lowering Mhir Printer Printf String Types Verifier

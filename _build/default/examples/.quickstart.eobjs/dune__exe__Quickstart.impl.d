@@ -1,0 +1,1 @@
+examples/quickstart.ml: Adaptor Flow Hls_backend List Printf String Workloads

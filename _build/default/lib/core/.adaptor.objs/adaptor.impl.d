@@ -1,0 +1,1 @@
+lib/core/adaptor.ml: Buffer Canonicalize_geps Compat Eliminate_descriptors Hls_names Interfaces Legalize_intrinsics List Llvmir Printf Support Sys Translate_metadata Typed_pointers

@@ -1,0 +1,1 @@
+lib/core/canonicalize_geps.ml: Hashtbl Linstr List Llvmir Lmodule Ltype Lvalue Opt_dce Support

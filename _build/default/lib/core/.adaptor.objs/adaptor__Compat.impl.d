@@ -1,0 +1,1 @@
+lib/core/compat.ml: Hashtbl Hls_names Linstr List Llvmir Lmodule Ltype Lvalue Option Printf

@@ -1,0 +1,1 @@
+lib/core/eliminate_descriptors.ml: Fun Hashtbl Linstr List Llvmir Lmodule Ltype Lvalue Opt_dce Option Support

@@ -1,0 +1,1 @@
+lib/core/hls_names.ml: String

@@ -1,0 +1,1 @@
+lib/core/interfaces.ml: Hls_names List Llvmir Lmodule Ltype String

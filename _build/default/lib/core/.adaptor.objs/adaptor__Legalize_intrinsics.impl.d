@@ -1,0 +1,1 @@
+lib/core/legalize_intrinsics.ml: Hashtbl Hls_names Linstr List Llvmir Lmodule Ltype Lvalue Opt_dce Support

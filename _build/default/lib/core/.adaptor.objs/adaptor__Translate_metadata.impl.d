@@ -1,0 +1,1 @@
+lib/core/translate_metadata.ml: Hashtbl Hls_names Linstr List Llvmir Lmodule Ltype Lvalue Option

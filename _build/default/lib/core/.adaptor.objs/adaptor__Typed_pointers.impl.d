@@ -1,0 +1,1 @@
+lib/core/typed_pointers.ml: Hashtbl Linstr List Llvmir Lmodule Ltype Lvalue Support

@@ -1,0 +1,168 @@
+(** The MLIR HLS adaptor for LLVM IR — pipeline driver.
+
+    Takes LLVM IR as produced by the modern MLIR lowering and emits
+    HLS-readable IR: no opaque pointers, no memref descriptors, no
+    modern intrinsics, directives carried by [_ssdm_op_Spec*] markers,
+    interfaces annotated on the top function.  {!Compat.check} must
+    return no issues on the output (asserted when [config.strict]). *)
+
+(* Re-export the pass modules: this file is the library's root module,
+   so siblings are only reachable through these aliases. *)
+module Hls_names = Hls_names
+module Legalize_intrinsics = Legalize_intrinsics
+module Eliminate_descriptors = Eliminate_descriptors
+module Typed_pointers = Typed_pointers
+module Canonicalize_geps = Canonicalize_geps
+module Translate_metadata = Translate_metadata
+module Interfaces = Interfaces
+module Compat = Compat
+
+type config = {
+  legalize_intrinsics : bool;
+  eliminate_descriptors : bool;
+  delinearize : bool;  (** rebuild multi-dimensional GEPs (paper's key step) *)
+  typed_pointers : bool;
+  canonicalize_geps : bool;
+  translate_metadata : bool;
+  lower_interfaces : bool;
+  top : string option;  (** top function for interface lowering *)
+  strict : bool;  (** fail if the output is not HLS-ready *)
+}
+
+let default_config =
+  {
+    legalize_intrinsics = true;
+    eliminate_descriptors = true;
+    delinearize = true;
+    typed_pointers = true;
+    canonicalize_geps = true;
+    translate_metadata = true;
+    lower_interfaces = true;
+    top = None;
+    strict = true;
+  }
+
+(** Ablation 1: skip descriptor elimination entirely.  The output still
+    contains descriptor aggregates and opaque pointers, so the HLS
+    middle-end {e rejects} it — the raw "syntax gap". *)
+let no_descriptor_elimination =
+  { default_config with eliminate_descriptors = false; strict = false }
+
+(** Ablation 2: eliminate descriptors but keep accesses on flat 1-D
+    views (no delinearization).  The output is accepted but the array
+    shape is gone, so array-partition directives cannot take effect —
+    the cost of losing "expression details". *)
+let flat_views = { default_config with delinearize = false }
+
+type report = {
+  intrinsics : Legalize_intrinsics.stats;
+  descriptors : Eliminate_descriptors.stats;
+  pointers : Typed_pointers.stats;
+  geps : Canonicalize_geps.stats;
+  metadata : Translate_metadata.stats;
+  interfaces : Interfaces.stats;
+  issues_before : Compat.issue list;
+  issues_after : Compat.issue list;
+  pass_seconds : (string * float) list;
+}
+
+let fresh_report () =
+  {
+    intrinsics = Legalize_intrinsics.fresh_stats ();
+    descriptors = Eliminate_descriptors.fresh_stats ();
+    pointers = Typed_pointers.fresh_stats ();
+    geps = Canonicalize_geps.fresh_stats ();
+    metadata = Translate_metadata.fresh_stats ();
+    interfaces = Interfaces.fresh_stats ();
+    issues_before = [];
+    issues_after = [];
+    pass_seconds = [];
+  }
+
+(** Run the adaptor.  Returns the legalized module and a report. *)
+let run ?(config = default_config) (m : Llvmir.Lmodule.t) :
+    Llvmir.Lmodule.t * report =
+  let r = fresh_report () in
+  let issues_before = Compat.check m in
+  let timings = ref [] in
+  let step name enabled f m =
+    if not enabled then m
+    else begin
+      let t0 = Sys.time () in
+      let m' = f m in
+      timings := (name, Sys.time () -. t0) :: !timings;
+      Llvmir.Lverifier.verify_module m';
+      m'
+    end
+  in
+  let m =
+    m
+    |> step "legalize-intrinsics" config.legalize_intrinsics
+         (Legalize_intrinsics.run ~stats:r.intrinsics)
+    |> step "eliminate-descriptors" config.eliminate_descriptors
+         (Eliminate_descriptors.run ~stats:r.descriptors
+            ~delinearize:config.delinearize)
+    |> step "typed-pointers" config.typed_pointers
+         (Typed_pointers.run ~stats:r.pointers)
+    |> step "canonicalize-geps" config.canonicalize_geps
+         (Canonicalize_geps.run ~stats:r.geps)
+    |> step "translate-metadata" config.translate_metadata
+         (Translate_metadata.run ~stats:r.metadata)
+    |> step "lower-interfaces" config.lower_interfaces
+         (Interfaces.run ~stats:r.interfaces ?top:config.top)
+  in
+  let issues_after = Compat.check m in
+  if config.strict && issues_after <> [] then
+    Support.Err.fail ~pass:"adaptor"
+      "output is not HLS-ready: %d issues remain (first: %s)"
+      (List.length issues_after)
+      (Compat.issue_to_string (List.hd issues_after));
+  ( m,
+    {
+      r with
+      issues_before;
+      issues_after;
+      pass_seconds = List.rev !timings;
+    } )
+
+let report_to_string (r : report) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "=== MLIR HLS Adaptor report ===\n";
+  Buffer.add_string b
+    (Printf.sprintf "compat issues: %d before -> %d after\n"
+       (List.length r.issues_before)
+       (List.length r.issues_after));
+  List.iter
+    (fun (k, n) -> Buffer.add_string b (Printf.sprintf "  before %-18s %d\n" k n))
+    (Compat.summarize r.issues_before);
+  Buffer.add_string b
+    (Printf.sprintf
+       "intrinsics: %d min/max, %d fmuladd split, %d dropped, %d freezes\n"
+       r.intrinsics.Legalize_intrinsics.minmax
+       r.intrinsics.Legalize_intrinsics.fmuladd
+       r.intrinsics.Legalize_intrinsics.dropped
+       r.intrinsics.Legalize_intrinsics.freezes);
+  Buffer.add_string b
+    (Printf.sprintf
+       "descriptors: %d eliminated, %d GEPs delinearized, %d flat fallbacks\n"
+       r.descriptors.Eliminate_descriptors.descriptors
+       r.descriptors.Eliminate_descriptors.delinearized
+       r.descriptors.Eliminate_descriptors.flat_fallback);
+  Buffer.add_string b
+    (Printf.sprintf "pointers: %d typed, %d bitcasts, %d defaulted\n"
+       r.pointers.Typed_pointers.typed r.pointers.Typed_pointers.bitcasts
+       r.pointers.Typed_pointers.defaulted);
+  Buffer.add_string b
+    (Printf.sprintf "geps: %d merged, %d indices widened\n"
+       r.geps.Canonicalize_geps.merged r.geps.Canonicalize_geps.widened);
+  Buffer.add_string b
+    (Printf.sprintf "metadata: %d loops, %d markers emitted\n"
+       r.metadata.Translate_metadata.loops r.metadata.Translate_metadata.markers);
+  Buffer.add_string b
+    (Printf.sprintf "interfaces: %d annotated, %d partitions\n"
+       r.interfaces.Interfaces.interfaces r.interfaces.Interfaces.partitions);
+  List.iter
+    (fun (n, s) ->
+      Buffer.add_string b (Printf.sprintf "  pass %-24s %.4fs\n" n s))
+    r.pass_seconds;
+  Buffer.contents b

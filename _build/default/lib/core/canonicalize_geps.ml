@@ -1,0 +1,85 @@
+(** Adaptor pass 4: GEP canonicalization.
+
+    Merges chained GEPs ([gep (gep p, …, k), 0, …] → one GEP) and
+    normalizes index types to [i64].  Vitis' middle-end recognizes
+    BRAM access patterns from single multi-dimensional GEPs; chains —
+    typical of Clang's array-decay output and of our C round-trip
+    front-end — defeat that matching. *)
+
+open Llvmir
+open Linstr
+
+type stats = { mutable merged : int; mutable widened : int }
+
+let fresh_stats () = { merged = 0; widened = 0 }
+
+let run_func ?(stats = fresh_stats ()) (f : Lmodule.func) : Lmodule.func =
+  let names = Lmodule.namegen f in
+  let one_round f =
+    let defs = Lmodule.def_map f in
+    let rw (i : Linstr.t) : Linstr.t list =
+      match i.op with
+      | Gep { base = Lvalue.Reg (bn, _); idxs; src_ty = _; inbounds } -> (
+          match (Hashtbl.find_opt defs bn, idxs) with
+          | ( Some { op = Gep { base = b0; idxs = idxs0; src_ty = st0; inbounds = ib0 }; _ },
+              Lvalue.Const (Lvalue.CInt (0, _)) :: rest ) ->
+              (* gep (gep b0, idxs0), 0, rest  ==  gep b0, idxs0 @ rest *)
+              stats.merged <- stats.merged + 1;
+              [
+                {
+                  i with
+                  op =
+                    Gep
+                      {
+                        base = b0;
+                        src_ty = st0;
+                        idxs = idxs0 @ rest;
+                        inbounds = inbounds && ib0;
+                      };
+                };
+              ]
+          | _ -> [ i ])
+      | _ -> [ i ]
+    in
+    Lmodule.rewrite_insts rw f
+  in
+  (* iterate: merging can expose further merges *)
+  let rec fixpoint f n =
+    if n = 0 then f
+    else
+      let f' = one_round f in
+      if f' = f then f' else fixpoint f' (n - 1)
+  in
+  let f = fixpoint f 8 in
+  (* widen i32 GEP indices to i64 via sext *)
+  let rw2 (i : Linstr.t) : Linstr.t list =
+    match i.op with
+    | Gep ({ idxs; _ } as g)
+      when List.exists
+             (fun v -> Ltype.equal (Lvalue.type_of v) Ltype.I32)
+             idxs ->
+        let pre = ref [] in
+        let widen v =
+          if Ltype.equal (Lvalue.type_of v) Ltype.I32 then begin
+            match v with
+            | Lvalue.Const (Lvalue.CInt (c, _)) -> Lvalue.ci64 c
+            | _ ->
+                stats.widened <- stats.widened + 1;
+                let r = Support.Namegen.fresh names "sext" in
+                pre :=
+                  Linstr.make ~result:r ~ty:Ltype.I64
+                    (Cast (Sext, v, Ltype.I64))
+                  :: !pre;
+                Lvalue.Reg (r, Ltype.I64)
+          end
+          else v
+        in
+        let idxs' = List.map widen idxs in
+        List.rev !pre @ [ { i with op = Gep { g with idxs = idxs' } } ]
+    | _ -> [ i ]
+  in
+  let f = Lmodule.rewrite_insts rw2 f in
+  fst (Opt_dce.run_func f)
+
+let run ?stats (m : Lmodule.t) : Lmodule.t =
+  Lmodule.map_funcs (run_func ?stats) m

@@ -1,0 +1,95 @@
+(** Adaptor pass 7 (analysis): the HLS compatibility checker.
+
+    Enumerates every construct outside the HLS-readable LLVM subset —
+    exactly the "gap of unsupported syntax between different versions"
+    the paper's adaptor closes.  Runs standalone on raw MLIR-lowered IR
+    (Table 1's "before" column) and as the adaptor's final gate
+    ("after" must be zero). *)
+
+open Llvmir
+open Linstr
+
+type issue_kind =
+  | Opaque_pointer  (** any [ptr]-typed value *)
+  | Memref_descriptor  (** descriptor-shaped aggregate *)
+  | Modern_intrinsic of string
+  | Freeze_inst
+  | Modern_loop_metadata of string
+  | Unsupported_aggregate_op  (** insert/extractvalue beyond descriptors *)
+
+type issue = { kind : issue_kind; where : string; detail : string }
+
+let kind_name = function
+  | Opaque_pointer -> "opaque-pointer"
+  | Memref_descriptor -> "memref-descriptor"
+  | Modern_intrinsic _ -> "modern-intrinsic"
+  | Freeze_inst -> "freeze"
+  | Modern_loop_metadata _ -> "loop-metadata"
+  | Unsupported_aggregate_op -> "aggregate-op"
+
+let issue_to_string i =
+  Printf.sprintf "%-18s %-24s %s" (kind_name i.kind) i.where i.detail
+
+let rec has_opaque (t : Ltype.t) =
+  match t with
+  | Ltype.Ptr None -> true
+  | Ltype.Ptr (Some t) -> has_opaque t
+  | Ltype.Array (_, t) -> has_opaque t
+  | Ltype.Struct fs -> List.exists has_opaque fs
+  | _ -> false
+
+let is_descriptor_ty (t : Ltype.t) =
+  match t with
+  | Ltype.Struct
+      [ Ltype.Ptr _; Ltype.Ptr _; Ltype.I64;
+        Ltype.Array (r1, Ltype.I64); Ltype.Array (r2, Ltype.I64) ] ->
+      r1 = r2
+  | _ -> false
+
+let check_func (f : Lmodule.func) : issue list =
+  let issues = ref [] in
+  let add kind detail =
+    issues := { kind; where = "@" ^ f.fname; detail } :: !issues
+  in
+  List.iter
+    (fun (p : Lmodule.param) ->
+      if has_opaque p.pty then
+        add Opaque_pointer (Printf.sprintf "parameter %%%s : ptr" p.pname))
+    f.params;
+  Lmodule.iter_insts
+    (fun (i : Linstr.t) ->
+      if i.result <> "" && has_opaque i.ty then
+        add Opaque_pointer (Printf.sprintf "%%%s : ptr" i.result);
+      if i.result <> "" && is_descriptor_ty i.ty then
+        add Memref_descriptor (Printf.sprintf "%%%s" i.result);
+      (match i.op with
+      | Freeze _ -> add Freeze_inst (Printf.sprintf "%%%s" i.result)
+      | Call { callee; _ } when Hls_names.is_modern_intrinsic callee ->
+          add (Modern_intrinsic callee) callee
+      | ExtractValue (agg, _) | InsertValue (agg, _, _) ->
+          if not (is_descriptor_ty (Lvalue.type_of agg)) then
+            add Unsupported_aggregate_op
+              (Printf.sprintf "%%%s" i.result)
+      | _ -> ());
+      List.iter
+        (fun (k, _) ->
+          if Hls_names.is_loop_md k then add (Modern_loop_metadata k) k)
+        i.imeta)
+    f;
+  List.rev !issues
+
+let check (m : Lmodule.t) : issue list =
+  List.concat_map check_func m.funcs
+
+let is_hls_ready m = check m = []
+
+(** Histogram of issue kinds (for Table 1). *)
+let summarize (issues : issue list) : (string * int) list =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun i ->
+      let k = kind_name i.kind in
+      Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    issues;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort compare

@@ -1,0 +1,46 @@
+(** Names and shapes shared across the adaptor passes: the Vitis-style
+    spec-op markers the legalized IR uses to carry directives, and the
+    metadata keys the modern lowering emits. *)
+
+(** Vitis-style directive markers (modelled after the [_ssdm_op_*]
+    intrinsics Vitis HLS front-ends emit for pragmas). *)
+let spec_pipeline = "_ssdm_op_SpecPipeline"
+
+let spec_unroll = "_ssdm_op_SpecUnroll"
+let spec_trip_count = "_ssdm_op_SpecLoopTripCount"
+
+let is_spec_op name =
+  String.length name >= 9 && String.sub name 0 9 = "_ssdm_op_"
+
+(** Modern loop-metadata keys translated by the adaptor. *)
+let md_pipeline_enable = "llvm.loop.pipeline.enable"
+
+let md_pipeline_ii = "llvm.loop.pipeline.ii"
+let md_unroll_count = "llvm.loop.unroll.count"
+let md_unroll_full = "llvm.loop.unroll.full"
+let md_tripcount = "llvm.loop.tripcount"
+
+let is_loop_md key =
+  String.length key >= 10 && String.sub key 0 10 = "llvm.loop."
+
+(** Interface / partition parameter-attribute keys. *)
+let attr_interface = "fpga.interface"
+
+let attr_partition_kind = "fpga.partition.kind"
+let attr_partition_factor = "fpga.partition.factor"
+let attr_partition_dim = "fpga.partition.dim"
+
+let starts_with p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+(** Intrinsics a Vitis-era (LLVM 7) middle-end does not know. *)
+let is_modern_intrinsic name =
+  starts_with "llvm.smax." name
+  || starts_with "llvm.smin." name
+  || starts_with "llvm.umax." name
+  || starts_with "llvm.umin." name
+  || starts_with "llvm.abs." name
+  || starts_with "llvm.fmuladd." name
+  || starts_with "llvm.lifetime." name
+  || starts_with "llvm.assume" name
+  || starts_with "llvm.experimental." name

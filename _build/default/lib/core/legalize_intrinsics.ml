@@ -1,0 +1,116 @@
+(** Adaptor pass 1: legalize modern intrinsics into constructs the
+    HLS-readable (LLVM-7-era) dialect understands.
+
+    - [llvm.smax/smin/umax/umin] → [icmp] + [select]
+    - [llvm.abs]                 → [icmp] + [sub] + [select]
+    - [llvm.fmuladd]/[llvm.fma]  → [fmul] + [fadd]
+    - [llvm.lifetime.*], [llvm.assume], [llvm.experimental.*] → dropped
+    - [freeze]                   → forwarded to its operand *)
+
+open Llvmir
+open Linstr
+
+type stats = {
+  mutable minmax : int;
+  mutable fmuladd : int;
+  mutable dropped : int;
+  mutable freezes : int;
+}
+
+let fresh_stats () = { minmax = 0; fmuladd = 0; dropped = 0; freezes = 0 }
+
+let starts_with = Hls_names.starts_with
+
+let run_func ?(stats = fresh_stats ()) (f : Lmodule.func) : Lmodule.func =
+  let names = Lmodule.namegen f in
+  let subst : (string, Lvalue.t) Hashtbl.t = Hashtbl.create 16 in
+  let rw (i : Linstr.t) : Linstr.t list =
+    match i.op with
+    | Freeze v ->
+        stats.freezes <- stats.freezes + 1;
+        Hashtbl.replace subst i.result v;
+        []
+    | Call { callee; args; ret } when Hls_names.is_modern_intrinsic callee -> (
+        let mk ~result ~ty op = Linstr.make ~result ~ty op in
+        match args with
+        | [ a; b ]
+          when starts_with "llvm.smax." callee
+               || starts_with "llvm.umax." callee ->
+            stats.minmax <- stats.minmax + 1;
+            let c = Support.Namegen.fresh names (i.result ^ ".cmp") in
+            [
+              mk ~result:c ~ty:Ltype.I1 (Icmp (ISgt, a, b));
+              mk ~result:i.result ~ty:ret
+                (Select (Lvalue.Reg (c, Ltype.I1), a, b));
+            ]
+        | [ a; b ]
+          when starts_with "llvm.smin." callee
+               || starts_with "llvm.umin." callee ->
+            stats.minmax <- stats.minmax + 1;
+            let c = Support.Namegen.fresh names (i.result ^ ".cmp") in
+            [
+              mk ~result:c ~ty:Ltype.I1 (Icmp (ISlt, a, b));
+              mk ~result:i.result ~ty:ret
+                (Select (Lvalue.Reg (c, Ltype.I1), a, b));
+            ]
+        | [ a; _poison ] when starts_with "llvm.abs." callee ->
+            stats.minmax <- stats.minmax + 1;
+            let ty = Lvalue.type_of a in
+            let neg = Support.Namegen.fresh names (i.result ^ ".neg") in
+            let c = Support.Namegen.fresh names (i.result ^ ".cmp") in
+            [
+              mk ~result:neg ~ty (IBin (Sub, Lvalue.ci ~ty 0, a));
+              mk ~result:c ~ty:Ltype.I1 (Icmp (ISlt, a, Lvalue.ci ~ty 0));
+              mk ~result:i.result ~ty:ret
+                (Select
+                   (Lvalue.Reg (c, Ltype.I1), Lvalue.Reg (neg, ty), a));
+            ]
+        | [ a; b; c ]
+          when starts_with "llvm.fmuladd." callee
+               || starts_with "llvm.fma." callee ->
+            stats.fmuladd <- stats.fmuladd + 1;
+            let ty = Lvalue.type_of a in
+            let m = Support.Namegen.fresh names (i.result ^ ".mul") in
+            [
+              mk ~result:m ~ty (FBin (FMul, a, b));
+              mk ~result:i.result ~ty:ret
+                (FBin (FAdd, Lvalue.Reg (m, ty), c));
+            ]
+        | _
+          when starts_with "llvm.lifetime." callee
+               || starts_with "llvm.assume" callee
+               || starts_with "llvm.experimental." callee ->
+            stats.dropped <- stats.dropped + 1;
+            []
+        | _ ->
+            (* unknown modern intrinsic: keep; the compat checker will
+               report it *)
+            [ i ])
+    | _ -> [ i ]
+  in
+  let f' = Lmodule.rewrite_insts rw f in
+  let f' = Lmodule.substitute subst f' in
+  (* dropping llvm.assume may orphan its condition chain *)
+  fst (Opt_dce.run_func f')
+
+let run ?stats (m : Lmodule.t) : Lmodule.t =
+  let m = Lmodule.map_funcs (run_func ?stats) m in
+  (* prune declarations of now-unused modern intrinsics *)
+  let used = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      Lmodule.iter_insts
+        (fun i ->
+          match i.op with
+          | Call { callee; _ } -> Hashtbl.replace used callee ()
+          | _ -> ())
+        f)
+    m.funcs;
+  {
+    m with
+    decls =
+      List.filter
+        (fun (d : Lmodule.decl) ->
+          Hashtbl.mem used d.dname || not (Hls_names.is_modern_intrinsic d.dname))
+        m.decls;
+  }

@@ -1,0 +1,1 @@
+lib/flow/flow.ml: Dse Flow_impl

@@ -1,0 +1,1 @@
+lib/flow/dse.ml: Buffer Flow_impl Hls_backend List Printf Support Workloads

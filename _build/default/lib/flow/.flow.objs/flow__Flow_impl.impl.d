@@ -1,0 +1,1 @@
+lib/flow/flow_impl.ml: Adaptor Array Float Hls_backend Hlscpp List Llvmir Lowering Mhir Printf Sys Workloads

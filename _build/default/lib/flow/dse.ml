@@ -1,0 +1,154 @@
+(** Automatic design-space exploration on top of the direct-IR flow —
+    the "developers could focus on their specialization" angle of the
+    paper, implemented as the specialization layer a downstream user
+    would build: enumerate directive configurations, synthesize each
+    through the adaptor flow (fast, since no C++ round-trip), and keep
+    the Pareto frontier of (latency, resource) points under an optional
+    budget.
+
+    The explored space is the standard HLS recipe grid:
+    - pipeline placement: inner loop vs middle loop (+ full unroll);
+    - unroll factors for the inner strategy;
+    - cyclic partition factors applied to caller-selected arrays. *)
+
+module K = Workloads.Kernels
+module E = Hls_backend.Estimate
+
+type budget = {
+  max_bram : int option;
+  max_dsp : int option;
+  max_lut : int option;
+}
+
+let no_budget = { max_bram = None; max_dsp = None; max_lut = None }
+
+type point = {
+  label : string;
+  directives : K.directives;
+  latency : int;
+  resources : E.resources;
+  report : E.report;
+}
+
+let within (b : budget) (r : E.resources) =
+  let ok limit v = match limit with None -> true | Some l -> v <= l in
+  ok b.max_bram r.E.bram && ok b.max_dsp r.E.dsp && ok b.max_lut r.E.lut
+
+(** Candidate directive configurations for a kernel whose partitionable
+    arrays (with their hot dimension) are [parts]. *)
+let candidates ~(parts : (string * int) list) ~(factors : int list) :
+    (string * K.directives) list =
+  let inner =
+    [ ("no directives", K.no_directives); ("pipeline inner", K.pipelined) ]
+    @ List.map
+        (fun u ->
+          ( Printf.sprintf "pipeline inner, unroll %d" u,
+            { K.pipelined with K.unroll = Some u } ))
+        [ 2; 4 ]
+  in
+  let middle =
+    List.map
+      (fun f ->
+        let label =
+          if f = 1 then "pipeline middle, full unroll"
+          else Printf.sprintf "middle + partition x%d" f
+        in
+        (label, K.optimized ~factor:f ~parts:(if f = 1 then [] else parts) ()))
+      factors
+  in
+  inner @ middle
+
+(** A point [p] dominates [q] when it is no worse on every axis and
+    strictly better on at least one. *)
+let dominates p q =
+  let r1 = p.resources and r2 = q.resources in
+  p.latency <= q.latency
+  && r1.E.bram <= r2.E.bram
+  && r1.E.dsp <= r2.E.dsp
+  && r1.E.lut <= r2.E.lut
+  && (p.latency < q.latency || r1.E.bram < r2.E.bram || r1.E.dsp < r2.E.dsp
+     || r1.E.lut < r2.E.lut)
+
+let pareto (points : point list) : point list =
+  List.filter
+    (fun p -> not (List.exists (fun q -> dominates q p) points))
+    points
+
+type result = {
+  kernel : string;
+  explored : point list;  (** all feasible points, evaluation order *)
+  frontier : point list;  (** Pareto-optimal subset, fastest first *)
+  infeasible : (string * string) list;  (** label, reason *)
+}
+
+(** Explore the space for [kernel].  [parts] names the arrays worth
+    partitioning and the dimension their hot accesses vary in (e.g.
+    [[("A", 2); ("B", 1)]] for gemm). *)
+let explore ?(budget = no_budget) ?(factors = [ 1; 2; 4; 8 ])
+    ~(parts : (string * int) list) (kernel : K.kernel) : result =
+  let explored = ref [] in
+  let infeasible = ref [] in
+  List.iter
+    (fun (label, directives) ->
+      match Flow_impl.run ~directives kernel Flow_impl.Direct_ir with
+      | r ->
+          let hls = r.Flow_impl.hls in
+          if within budget hls.E.resources then
+            explored :=
+              {
+                label;
+                directives;
+                latency = hls.E.latency;
+                resources = hls.E.resources;
+                report = hls;
+              }
+              :: !explored
+          else infeasible := (label, "over budget") :: !infeasible
+      | exception Support.Err.Compile_error e ->
+          infeasible := (label, Support.Err.to_string e) :: !infeasible
+      | exception E.Rejected errs ->
+          infeasible :=
+            (label, Printf.sprintf "rejected (%d issues)" (List.length errs))
+            :: !infeasible)
+    (candidates ~parts ~factors);
+  let explored = List.rev !explored in
+  let frontier =
+    List.sort (fun a b -> compare a.latency b.latency) (pareto explored)
+  in
+  { kernel = kernel.K.kname; explored; frontier; infeasible = List.rev !infeasible }
+
+(** Best (lowest-latency) feasible point, if any. *)
+let best (r : result) : point option =
+  match r.frontier with p :: _ -> Some p | [] -> None
+
+let render (r : result) : string =
+  let t =
+    Support.Table.create
+      ~aligns:
+        [ Support.Table.Left; Support.Table.Right; Support.Table.Right;
+          Support.Table.Right; Support.Table.Right; Support.Table.Left ]
+      [ "design point"; "latency"; "BRAM"; "DSP"; "LUT"; "pareto" ]
+  in
+  List.iter
+    (fun p ->
+      Support.Table.add_row t
+        [
+          p.label;
+          string_of_int p.latency;
+          string_of_int p.resources.E.bram;
+          string_of_int p.resources.E.dsp;
+          string_of_int p.resources.E.lut;
+          (if List.memq p r.frontier || List.exists (fun q -> q.label = p.label) r.frontier
+           then "*"
+           else "");
+        ])
+    r.explored;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "DSE for %s:\n" r.kernel);
+  Buffer.add_string buf (Support.Table.render t);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (l, why) ->
+      Buffer.add_string buf (Printf.sprintf "  infeasible: %-30s %s\n" l why))
+    r.infeasible;
+  Buffer.contents buf

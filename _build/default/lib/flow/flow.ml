@@ -1,0 +1,7 @@
+(** Library root: the end-to-end flows plus the design-space
+    exploration extension. *)
+
+include Flow_impl
+
+(** Automatic design-space exploration (extension; see {!Dse}). *)
+module Dse = Dse

@@ -1,0 +1,224 @@
+(** End-to-end compilation flows — the two paths the paper compares —
+    plus co-simulation and comparison reporting.
+
+    {b Flow A (direct IR, the paper's proposal)}:
+    mhir → canonicalize → modern LLVM lowering → LLVM cleanup pipeline →
+    {e adaptor} → HLS backend.
+
+    {b Flow B (HLS C++ baseline, ScaleHLS-style)}:
+    mhir → canonicalize → HLS C++ emission → mini-C front-end (Vitis
+    Clang analogue) → same LLVM cleanup pipeline → HLS backend.
+
+    Co-simulation runs three oracles on identical inputs — the mhir
+    interpreter, Flow A's LLVM IR and Flow B's LLVM IR — and checks all
+    outputs against the kernel's plain-OCaml reference. *)
+
+module K = Workloads.Kernels
+
+type flow_kind = Direct_ir | Hls_cpp
+
+let flow_name = function Direct_ir -> "direct-ir" | Hls_cpp -> "hls-cpp"
+
+type result = {
+  kernel : string;
+  kind : flow_kind;
+  llvm : Llvmir.Lmodule.t;  (** the IR handed to the HLS backend *)
+  hls : Hls_backend.Estimate.report;
+  seconds : float;  (** front-of-HLS compile time *)
+  cpp_source : string option;
+  adaptor_report : Adaptor.report option;
+}
+
+(** Shared LLVM cleanup pipeline (stands in for Vitis' middle-end
+    [opt] run). *)
+let llvm_cleanup m = fst (Llvmir.Pass.run_pipeline ~verify:true Llvmir.Pass.default_pipeline m)
+
+(** Flow A front-end: mhir to HLS-ready LLVM IR through the adaptor. *)
+let direct_ir_frontend ?(adaptor_config = Adaptor.default_config)
+    (m : Mhir.Ir.modul) : Llvmir.Lmodule.t * Adaptor.report * float =
+  let t0 = Sys.time () in
+  Mhir.Verifier.verify_module m;
+  let m = Mhir.Canonicalize.run m in
+  let lm = Lowering.Lower.lower_module ~style:Lowering.Lower.modern m in
+  Llvmir.Lverifier.verify_module lm;
+  let lm = llvm_cleanup lm in
+  let lm, report = Adaptor.run ~config:adaptor_config lm in
+  (lm, report, Sys.time () -. t0)
+
+(** Flow B front-end: mhir to HLS-ready LLVM IR through C++ text. *)
+let hls_cpp_frontend (m : Mhir.Ir.modul) : Llvmir.Lmodule.t * string * float =
+  let t0 = Sys.time () in
+  Mhir.Verifier.verify_module m;
+  let m = Mhir.Canonicalize.run m in
+  let cpp = Hlscpp.Emit.emit_module m in
+  let lm = Hlscpp.Ccodegen.compile cpp in
+  Llvmir.Lverifier.verify_module lm;
+  let lm = llvm_cleanup lm in
+  (lm, cpp, Sys.time () -. t0)
+
+(** Run one flow on a kernel and synthesize. *)
+let run ?(directives = K.pipelined) ?adaptor_config ?clock_ns
+    (kernel : K.kernel) (kind : flow_kind) : result =
+  let m = kernel.K.build directives in
+  match kind with
+  | Direct_ir ->
+      let lm, report, seconds = direct_ir_frontend ?adaptor_config m in
+      let hls =
+        Hls_backend.Estimate.synthesize ?clock_ns ~top:kernel.K.kname lm
+      in
+      {
+        kernel = kernel.K.kname;
+        kind;
+        llvm = lm;
+        hls;
+        seconds;
+        cpp_source = None;
+        adaptor_report = Some report;
+      }
+  | Hls_cpp ->
+      let lm, cpp, seconds = hls_cpp_frontend m in
+      let hls =
+        Hls_backend.Estimate.synthesize ?clock_ns ~top:kernel.K.kname lm
+      in
+      {
+        kernel = kernel.K.kname;
+        kind;
+        llvm = lm;
+        hls;
+        seconds;
+        cpp_source = Some cpp;
+        adaptor_report = None;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Co-simulation                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type cosim_outcome = {
+  ok : bool;
+  max_abs_error : float;
+  details : string list;
+}
+
+let flat_size shape = List.fold_left ( * ) 1 shape
+
+(** Deterministic input data for argument [idx] of a kernel. *)
+let input_data (kernel : K.kernel) idx =
+  let _, shape = List.nth kernel.K.args idx in
+  match Mhir.Interp.random_fbuf ~seed:(idx + 7) shape with
+  | Mhir.Interp.Buf b -> Array.copy b.Mhir.Interp.fdata
+  | _ -> assert false
+
+(** Run the plain-OCaml reference on fresh inputs; returns all arrays
+    (outputs updated in place). *)
+let run_reference (kernel : K.kernel) : float array list =
+  let arrays = List.mapi (fun i _ -> input_data kernel i) kernel.K.args in
+  kernel.K.reference arrays;
+  arrays
+
+(** Run the mhir interpreter on fresh inputs. *)
+let run_mhir (kernel : K.kernel) ~(directives : K.directives) :
+    float array list =
+  let m = kernel.K.build directives in
+  let bufs =
+    List.mapi
+      (fun i (_, shape) ->
+        let data = input_data kernel i in
+        let b =
+          Mhir.Interp.alloc_buffer (Array.of_list shape) Mhir.Types.F32
+        in
+        Array.blit data 0 b.Mhir.Interp.fdata 0 (Array.length data);
+        Mhir.Interp.Buf b)
+      kernel.K.args
+  in
+  ignore (Mhir.Interp.run_func m kernel.K.kname bufs);
+  List.map
+    (function
+      | Mhir.Interp.Buf b -> Array.copy b.Mhir.Interp.fdata
+      | _ -> assert false)
+    bufs
+
+(** Run an LLVM module (either flow's output) on fresh inputs. *)
+let run_llvm (kernel : K.kernel) (lm : Llvmir.Lmodule.t) : float array list =
+  let st = Llvmir.Linterp.create lm in
+  let addrs =
+    List.mapi
+      (fun i (_, shape) ->
+        let addr = Llvmir.Linterp.alloc_floats st (flat_size shape) in
+        Llvmir.Linterp.write_floats st addr (input_data kernel i);
+        addr)
+      kernel.K.args
+  in
+  ignore
+    (Llvmir.Linterp.run st kernel.K.kname
+       (List.map (fun a -> Llvmir.Linterp.RPtr a) addrs));
+  List.map2
+    (fun addr (_, shape) -> Llvmir.Linterp.read_floats st addr (flat_size shape))
+    addrs kernel.K.args
+
+(** Compare every output argument of [got] against [want]. *)
+let compare_outputs (kernel : K.kernel) ~(what : string)
+    (want : float array list) (got : float array list) :
+    float * string list =
+  let max_err = ref 0.0 in
+  let issues = ref [] in
+  List.iteri
+    (fun i (name, _) ->
+      if List.mem name kernel.K.outputs then begin
+        let w = List.nth want i and g = List.nth got i in
+        Array.iteri
+          (fun k wv ->
+            let e = Float.abs (wv -. g.(k)) in
+            let rel = e /. Float.max 1.0 (Float.abs wv) in
+            if rel > !max_err then max_err := rel;
+            if rel > 1e-4 && List.length !issues < 5 then
+              issues :=
+                Printf.sprintf "%s: %s[%d] = %g, expected %g" what name k
+                  g.(k) wv
+                :: !issues)
+          w
+      end)
+    kernel.K.args;
+  (!max_err, List.rev !issues)
+
+(** Full three-way co-simulation of a kernel under given directives. *)
+let cosim ?(directives = K.pipelined) (kernel : K.kernel) : cosim_outcome =
+  let reference = run_reference kernel in
+  let mhir_out = run_mhir kernel ~directives in
+  let m = kernel.K.build directives in
+  let direct, _, _ = direct_ir_frontend m in
+  let cpp, _, _ = hls_cpp_frontend m in
+  let direct_out = run_llvm kernel direct in
+  let cpp_out = run_llvm kernel cpp in
+  let e1, i1 = compare_outputs kernel ~what:"mhir" reference mhir_out in
+  let e2, i2 = compare_outputs kernel ~what:"direct-ir" reference direct_out in
+  let e3, i3 = compare_outputs kernel ~what:"hls-cpp" reference cpp_out in
+  let details = i1 @ i2 @ i3 in
+  {
+    ok = details = [];
+    max_abs_error = List.fold_left Float.max 0.0 [ e1; e2; e3 ];
+    details;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Comparison                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type comparison = {
+  c_kernel : string;
+  direct : result;
+  cpp : result;
+}
+
+(** Run both flows on a kernel. *)
+let compare_flows ?(directives = K.pipelined) ?clock_ns (kernel : K.kernel) :
+    comparison =
+  {
+    c_kernel = kernel.K.kname;
+    direct = run ~directives ?clock_ns kernel Direct_ir;
+    cpp = run ~directives ?clock_ns kernel Hls_cpp;
+  }
+
+let latency_ratio (c : comparison) =
+  float_of_int c.cpp.hls.Hls_backend.Estimate.latency
+  /. float_of_int (max 1 c.direct.hls.Hls_backend.Estimate.latency)

@@ -1,0 +1,1 @@
+lib/hls/adaptor_markers.ml: Linstr List Llvmir Lmodule Ltype Printf String

@@ -1,0 +1,1 @@
+lib/hls/directives.ml: Adaptor_markers Array Cfg Hashtbl Linstr List Llvmir Lmodule Loop_info Ltype Lvalue Option

@@ -1,0 +1,1 @@
+lib/hls/estimate.ml: Adaptor_markers Array Cfg Directives Hashtbl Linstr List Llvmir Lmodule Loop_info Lvalue Map Op_model Option Printf Schedule String Support

@@ -1,0 +1,1 @@
+lib/hls/op_model.ml: Adaptor_markers Linstr Llvmir Ltype Lvalue Printf

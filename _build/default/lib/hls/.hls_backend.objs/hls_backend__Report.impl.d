@@ -1,0 +1,1 @@
+lib/hls/report.ml: Buffer Directives Estimate List Printf String Support

@@ -1,0 +1,1 @@
+lib/hls/schedule.ml: Adaptor_markers Array Directives Fun Hashtbl Linstr List Llvmir Lvalue Op_model Option

@@ -1,0 +1,128 @@
+(** Operator characterization for the HLS scheduler: per-operation
+    latency (cycles), combinational delay (ns, for chaining) and
+    resource cost.  Numbers are modelled on Xilinx 7-series /
+    Zynq-class device characterizations at the default 10 ns clock
+    (Vitis HLS's single-precision IP cores and integer data paths).
+    Absolute values need not match a licensed Vitis installation — the
+    evaluation compares two flows through the {e same} backend. *)
+
+open Llvmir
+open Linstr
+
+type cost = {
+  latency : int;  (** pipeline depth in cycles; 0 = combinational *)
+  delay : float;  (** combinational delay contribution, ns *)
+  dsp : int;
+  lut : int;
+  ff : int;
+}
+
+let zero = { latency = 0; delay = 0.0; dsp = 0; lut = 0; ff = 0 }
+
+(** Functional-unit class an instruction binds to (units of one class
+    are shared). *)
+type fu_class =
+  | FU_fadd
+  | FU_fmul
+  | FU_fdiv
+  | FU_imul of int  (** bit width *)
+  | FU_idiv
+  | FU_alu  (** add/sub/logic/cmp/select — LUT fabric *)
+  | FU_mem_read
+  | FU_mem_write
+  | FU_none  (** free: phis, geps folded into addressing, branches *)
+
+let fu_name = function
+  | FU_fadd -> "fadd"
+  | FU_fmul -> "fmul"
+  | FU_fdiv -> "fdiv"
+  | FU_imul w -> Printf.sprintf "imul%d" w
+  | FU_idiv -> "idiv"
+  | FU_alu -> "alu"
+  | FU_mem_read -> "mem-read"
+  | FU_mem_write -> "mem-write"
+  | FU_none -> "none"
+
+let is_double ty = Ltype.equal ty Ltype.Double
+
+(** Classification + cost of an instruction. *)
+let classify (i : Linstr.t) : fu_class * cost =
+  match i.op with
+  | FBin (FAdd, a, _) | FBin (FSub, a, _) ->
+      let d = is_double (Lvalue.type_of a) in
+      ( FU_fadd,
+        {
+          latency = (if d then 7 else 4);
+          delay = 3.2;
+          dsp = 2;
+          lut = (if d then 800 else 390);
+          ff = (if d then 700 else 340);
+        } )
+  | FBin (FMul, a, _) ->
+      let d = is_double (Lvalue.type_of a) in
+      ( FU_fmul,
+        {
+          latency = (if d then 6 else 3);
+          delay = 3.0;
+          dsp = (if d then 11 else 3);
+          lut = (if d then 300 else 150);
+          ff = (if d then 400 else 210);
+        } )
+  | FBin (FDiv, a, _) | FBin (FRem, a, _) ->
+      let d = is_double (Lvalue.type_of a) in
+      ( FU_fdiv,
+        {
+          latency = (if d then 29 else 14);
+          delay = 3.5;
+          dsp = 0;
+          lut = (if d then 3200 else 800);
+          ff = (if d then 3000 else 750);
+        } )
+  | IBin (Mul, a, _) ->
+      let w = Ltype.int_width (Lvalue.type_of a) in
+      ( FU_imul w,
+        {
+          latency = (if w > 32 then 5 else 3);
+          delay = 3.0;
+          dsp = (if w > 32 then 16 else 4);
+          lut = 60;
+          ff = 90;
+        } )
+  | IBin ((SDiv | UDiv | SRem | URem), a, _) ->
+      let w = Ltype.int_width (Lvalue.type_of a) in
+      ( FU_idiv,
+        { latency = w + 4; delay = 3.5; dsp = 0; lut = 12 * w; ff = 12 * w } )
+  | IBin (_, a, _) ->
+      let w = Ltype.int_width (Lvalue.type_of a) in
+      (FU_alu, { latency = 0; delay = 1.5; dsp = 0; lut = w; ff = 0 })
+  | Icmp (_, a, _) ->
+      let w = try Ltype.int_width (Lvalue.type_of a) with _ -> 64 in
+      (FU_alu, { latency = 0; delay = 1.2; dsp = 0; lut = w / 2; ff = 0 })
+  | Fcmp _ ->
+      (FU_alu, { latency = 1; delay = 2.0; dsp = 0; lut = 120; ff = 60 })
+  | Select _ ->
+      (FU_alu, { latency = 0; delay = 0.8; dsp = 0; lut = 32; ff = 0 })
+  | Load _ ->
+      (* BRAM synchronous read: 1 cycle address + 1 cycle data *)
+      (FU_mem_read, { latency = 2; delay = 2.3; dsp = 0; lut = 10; ff = 5 })
+  | Store _ ->
+      (FU_mem_write, { latency = 1; delay = 2.3; dsp = 0; lut = 10; ff = 5 })
+  | Gep _ ->
+      (* address arithmetic folds into the port address path *)
+      (FU_none, { latency = 0; delay = 1.0; dsp = 0; lut = 16; ff = 0 })
+  | Cast ((Sitofp | Fptosi), _, _) ->
+      (FU_alu, { latency = 3; delay = 2.5; dsp = 0; lut = 200; ff = 180 })
+  | Cast _ -> (FU_none, { zero with delay = 0.2 })
+  | Phi _ | Br _ | CondBr _ | Switch _ | Ret _ | Unreachable ->
+      (FU_none, zero)
+  | Freeze _ -> (FU_none, zero)
+  | ExtractValue _ | InsertValue _ -> (FU_none, { zero with delay = 0.3 })
+  | Alloca _ -> (FU_none, zero)
+  | Call { callee; _ } ->
+      if Adaptor_markers.is_marker callee then (FU_none, zero)
+      else
+        (* unknown calls: modelled as a 1-cycle black box *)
+        (FU_alu, { latency = 1; delay = 2.0; dsp = 0; lut = 100; ff = 100 })
+
+(** Clock period used when the caller does not override it. *)
+let default_clock_ns = 10.0

@@ -1,0 +1,59 @@
+(** Vitis-HLS-style text rendering of synthesis reports. *)
+
+open Estimate
+
+let render (r : report) : string =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "== Synthesis report for '%s' (clock %.1f ns, %.0f MHz) ==\n" r.top
+       r.clock_ns
+       (1000.0 /. r.clock_ns));
+  Buffer.add_string b
+    (Printf.sprintf "  Latency: %d cycles (%.3f us)   Interval: %d cycles\n"
+       r.latency
+       (float_of_int r.latency *. r.clock_ns /. 1000.0)
+       r.interval);
+  let t =
+    Support.Table.create
+      ~aligns:
+        [ Support.Table.Left; Support.Table.Right; Support.Table.Right;
+          Support.Table.Right; Support.Table.Left; Support.Table.Right;
+          Support.Table.Right; Support.Table.Right ]
+      [ "loop"; "trip"; "unroll"; "iter lat"; "pipelined"; "II"; "RecMII"; "total" ]
+  in
+  List.iter
+    (fun (l : loop_report) ->
+      Support.Table.add_row t
+        [
+          String.make (2 * (l.depth - 1)) ' ' ^ "%" ^ l.label;
+          string_of_int l.tripcount;
+          string_of_int l.unroll;
+          string_of_int l.iteration_latency;
+          (if l.pipelined then "yes" else "no");
+          (match l.achieved_ii with Some ii -> string_of_int ii | None -> "-");
+          string_of_int l.rec_mii;
+          string_of_int l.total_latency;
+        ])
+    r.loops;
+  Buffer.add_string b (Support.Table.render t);
+  Buffer.add_char b '\n';
+  Buffer.add_string b
+    (Printf.sprintf "  Resources: BRAM_18K=%d DSP48=%d FF=%d LUT=%d\n"
+       r.resources.bram r.resources.dsp r.resources.ff r.resources.lut);
+  List.iter
+    (fun (a : Directives.array_info) ->
+      Buffer.add_string b
+        (Printf.sprintf "  array %%%-10s dims=%s %s%s\n" a.Directives.aname
+           (String.concat "x" (List.map string_of_int a.Directives.dims))
+           (if a.Directives.local then "(local bram)" else "(interface bram)")
+           (if a.Directives.partition_factor > 1 then
+              Printf.sprintf " partition %s factor=%d dim=%d"
+                a.Directives.partition_kind a.Directives.partition_factor
+                a.Directives.partition_dim
+            else "")))
+    r.arrays;
+  List.iter
+    (fun w -> Buffer.add_string b (Printf.sprintf "  WARNING: %s\n" w))
+    r.warnings;
+  Buffer.contents b

@@ -1,0 +1,300 @@
+(** List scheduler for one loop-body (or function-body) data-flow graph.
+
+    Models the essentials of the Vitis HLS scheduler:
+    - operator latencies and combinational {e chaining} under a clock
+      budget (0-latency ops pack into one cycle until the period runs
+      out);
+    - memory-port constraints (dual-port BRAM per array partition);
+    - loop-carried recurrences (RecMII from carry-phi cycles);
+    - unroll replication (the body DFG is instantiated [replicas]
+      times; reduction chains serialize across replicas exactly like a
+      naively unrolled accumulation).
+
+    Nested loops appear as barrier nodes of known latency. *)
+
+open Llvmir
+open Linstr
+
+type item =
+  | Instr of Linstr.t
+  | Inner of { loop_idx : int; latency : int }
+      (** a nested loop, already estimated *)
+
+type node = {
+  nid : int;
+  fu : Op_model.fu_class;
+  latency : int;
+  delay : float;
+  cost : Op_model.cost;
+  array : string option;
+  is_store : bool;
+  is_inner : bool;
+  inner_idx : int;  (** -1 unless [is_inner] *)
+  result : string;  (** defining register, "" if none *)
+  replica : int;
+  preds : int list;
+  carry_base : string option;
+      (** when this node reads carry phi [p] of replica 0, set to [p] *)
+}
+
+type t = {
+  nodes : node array;
+  length : int;  (** iteration latency (cycles) *)
+  starts : int array;
+  finishes : int array;
+  rec_mii : int;
+  res_mii : int;
+  mem_accesses : (string * int) list;  (** per-array accesses / iteration *)
+}
+
+(** Build and schedule the DFG.
+
+    [items]: body contents in program order.
+    [carries]: [(phi_name, latch_reg)] for each loop-carried value.
+    [replicas]: unroll instantiation count (>= 1).
+    [arrays]: port model per array.
+    [defs_outside]: register names defined outside the body (available
+    at cycle 0) — includes the induction variable and carry phis. *)
+let run ~(clock_ns : float) ~(arrays : Directives.array_info list)
+    ~(carries : (string * string) list) ~(replicas : int)
+    ~(defs : (string, Linstr.t) Hashtbl.t) (items : item list) : t =
+  let ports_of =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (a : Directives.array_info) ->
+        Hashtbl.replace tbl a.Directives.aname (Directives.ports a))
+      arrays;
+    fun name -> Option.value ~default:2 (Hashtbl.find_opt tbl name)
+  in
+  (* ---------- build nodes ---------- *)
+  let nodes = ref [] in
+  let n_count = ref 0 in
+  (* (replica, reg) -> nid *)
+  let def_node : (int * string, int) Hashtbl.t = Hashtbl.create 64 in
+  let carry_latch = carries in
+  let is_carry n = List.mem_assoc n carry_latch in
+  (* memory ordering state *)
+  let last_store : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let accesses_since : (string, int list) Hashtbl.t = Hashtbl.create 8 in
+  let mem_counts : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let last_barrier = ref (-1) in
+  let add_node ~fu ~latency ~delay ~cost ~array ~is_store ~is_inner ~inner_idx
+      ~result ~replica ~preds ~carry_base =
+    let nid = !n_count in
+    incr n_count;
+    let preds = if !last_barrier >= 0 then !last_barrier :: preds else preds in
+    nodes :=
+      {
+        nid;
+        fu;
+        latency;
+        delay;
+        cost;
+        array;
+        is_store;
+        is_inner;
+        inner_idx;
+        result;
+        replica;
+        preds = List.sort_uniq compare preds;
+        carry_base;
+      }
+      :: !nodes;
+    if result <> "" then Hashtbl.replace def_node (replica, result) nid;
+    nid
+  in
+  for r = 0 to replicas - 1 do
+    List.iter
+      (fun item ->
+        match item with
+        | Inner { loop_idx; latency } ->
+            (* barrier node: depends on everything so far *)
+            let preds = List.init !n_count Fun.id in
+            let nid =
+              add_node ~fu:Op_model.FU_none ~latency ~delay:0.0
+                ~cost:Op_model.zero ~array:None ~is_store:false ~is_inner:true
+                ~inner_idx:loop_idx ~result:"" ~replica:r ~preds
+                ~carry_base:None
+            in
+            last_barrier := nid
+        | Instr i -> (
+            match i.op with
+            | Phi _ | Br _ | CondBr _ | Ret _ | Switch _ | Unreachable ->
+                ()  (* control handled by loop accounting *)
+            | Call { callee; _ } when Adaptor_markers.is_marker callee -> ()
+            | _ ->
+                let fu, cost = Op_model.classify i in
+                let array, is_store =
+                  match i.op with
+                  | Load (_, p) -> (Directives.base_array defs p, false)
+                  | Store (_, p) -> (Directives.base_array defs p, true)
+                  | _ -> (None, false)
+                in
+                (* data predecessors *)
+                let carry_base = ref None in
+                let preds =
+                  List.filter_map
+                    (fun v ->
+                      match v with
+                      | Lvalue.Reg (n, _) -> (
+                          match Hashtbl.find_opt def_node (r, n) with
+                          | Some nid -> Some nid
+                          | None ->
+                              if is_carry n then
+                                if r = 0 then begin
+                                  carry_base := Some n;
+                                  None
+                                end
+                                else
+                                  (* replica r reads replica r-1's latch *)
+                                  let latch = List.assoc n carry_latch in
+                                  Hashtbl.find_opt def_node (r - 1, latch)
+                              else None)
+                      | _ -> None)
+                    (operands i)
+                in
+                (* memory ordering *)
+                let mem_preds =
+                  match array with
+                  | None -> []
+                  | Some a ->
+                      Hashtbl.replace mem_counts a
+                        (1 + Option.value ~default:0 (Hashtbl.find_opt mem_counts a));
+                      if is_store then begin
+                        let ps =
+                          Option.value ~default:[]
+                            (Hashtbl.find_opt accesses_since a)
+                          @
+                          match Hashtbl.find_opt last_store a with
+                          | Some s -> [ s ]
+                          | None -> []
+                        in
+                        ps
+                      end
+                      else
+                        (match Hashtbl.find_opt last_store a with
+                        | Some s -> [ s ]
+                        | None -> [])
+                in
+                let nid =
+                  add_node ~fu ~latency:cost.Op_model.latency
+                    ~delay:cost.Op_model.delay ~cost ~array ~is_store
+                    ~is_inner:false ~inner_idx:(-1) ~result:i.result ~replica:r
+                    ~preds:(preds @ mem_preds) ~carry_base:!carry_base
+                in
+                (match array with
+                | Some a ->
+                    if is_store then begin
+                      Hashtbl.replace last_store a nid;
+                      Hashtbl.replace accesses_since a []
+                    end
+                    else
+                      Hashtbl.replace accesses_since a
+                        (nid
+                        :: Option.value ~default:[]
+                             (Hashtbl.find_opt accesses_since a))
+                | None -> ())))
+      items
+  done;
+  let nodes = Array.of_list (List.rev !nodes) in
+  let n = Array.length nodes in
+  (* ---------- schedule ---------- *)
+  let starts = Array.make n 0 in
+  let finishes = Array.make n 0 in
+  let chain_end = Array.make n 0.0 in
+  (* per-(array, cycle) port usage *)
+  let port_usage : (string * int, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun nd ->
+      let ready_cycle = ref 0 and ready_delay = ref 0.0 in
+      List.iter
+        (fun p ->
+          let pnode = nodes.(p) in
+          let c, d =
+            if pnode.latency > 0 then (finishes.(p), 0.0)
+            else (starts.(p), chain_end.(p))
+          in
+          if c > !ready_cycle then begin
+            ready_cycle := c;
+            ready_delay := d
+          end
+          else if c = !ready_cycle && d > !ready_delay then ready_delay := d)
+        nd.preds;
+      (* chaining: does this op fit in the remaining period? *)
+      let cycle, base_delay =
+        if !ready_delay +. nd.delay > clock_ns then (!ready_cycle + 1, 0.0)
+        else (!ready_cycle, !ready_delay)
+      in
+      (* memory port availability *)
+      let cycle, base_delay =
+        match nd.array with
+        | None -> (cycle, base_delay)
+        | Some a ->
+            let ports = ports_of a in
+            let c = ref cycle and d = ref base_delay in
+            while
+              Option.value ~default:0 (Hashtbl.find_opt port_usage (a, !c))
+              >= ports
+            do
+              incr c;
+              d := 0.0
+            done;
+            Hashtbl.replace port_usage (a, !c)
+              (1 + Option.value ~default:0 (Hashtbl.find_opt port_usage (a, !c)));
+            (!c, !d)
+      in
+      starts.(nd.nid) <- cycle;
+      finishes.(nd.nid) <- cycle + nd.latency;
+      chain_end.(nd.nid) <-
+        (if nd.latency = 0 then base_delay +. nd.delay else 0.0))
+    nodes;
+  let length = Array.fold_left max 0 finishes in
+  (* ---------- RecMII ---------- *)
+  (* longest latency path from a carry phi (replica 0) to the latch
+     producer of the final replica *)
+  let rec_mii = ref 1 in
+  List.iter
+    (fun (phi, latch) ->
+      (* recdist: longest latency path from the phi, -1 = unreachable *)
+      let dist = Array.make n (-1) in
+      Array.iter
+        (fun nd ->
+          let base =
+            if nd.carry_base = Some phi then Some 0
+            else
+              List.fold_left
+                (fun acc p ->
+                  if dist.(p) >= 0 then
+                    match acc with
+                    | None -> Some dist.(p)
+                    | Some d -> Some (max d dist.(p))
+                  else acc)
+                None nd.preds
+          in
+          match base with
+          | Some d -> dist.(nd.nid) <- d + max nd.latency 0
+          | None -> ())
+        nodes;
+      match Hashtbl.find_opt def_node (replicas - 1, latch) with
+      | Some nid when dist.(nid) >= 0 -> rec_mii := max !rec_mii dist.(nid)
+      | _ -> ())
+    carry_latch;
+  (* ---------- ResMII ---------- *)
+  let res_mii =
+    Hashtbl.fold
+      (fun a count acc -> max acc ((count + ports_of a - 1) / ports_of a))
+      mem_counts 1
+  in
+  let mem_accesses =
+    Hashtbl.fold (fun a c acc -> (a, c) :: acc) mem_counts []
+    |> List.sort compare
+  in
+  {
+    nodes;
+    length;
+    starts;
+    finishes;
+    rec_mii = !rec_mii;
+    res_mii;
+    mem_accesses;
+  }

@@ -1,0 +1,1 @@
+lib/hlscpp/cast.ml:

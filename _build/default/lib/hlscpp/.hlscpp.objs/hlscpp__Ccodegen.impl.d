@@ -1,0 +1,1 @@
+lib/hlscpp/ccodegen.ml: Cast Cparse Hashtbl List Llvmir Support

@@ -1,0 +1,1 @@
+lib/hlscpp/clex.ml: Array List String Support

@@ -1,0 +1,1 @@
+lib/hlscpp/cparse.ml: Array Cast Clex List String Support

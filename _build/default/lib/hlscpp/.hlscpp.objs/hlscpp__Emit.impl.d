@@ -1,0 +1,1 @@
+lib/hlscpp/emit.ml: Affine_expr Affine_map Attr Buffer Float Hashtbl Ir List Mhir Printf String Support Types

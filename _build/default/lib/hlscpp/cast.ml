@@ -1,0 +1,50 @@
+(** AST of the C subset accepted by the mini front-end (the Vitis
+    Clang analogue).  Covers what the HLS C++ emitter produces plus the
+    constructs hand-written HLS kernels in the test-suite use. *)
+
+type cty = Cvoid | Cint | Clong | Cfloat | Cdouble
+
+type expr =
+  | Eint of int
+  | Efloat of float * bool  (** value, is_single_precision (f suffix) *)
+  | Eident of string
+  | Eindex of expr * expr  (** a[i] *)
+  | Ebin of string * expr * expr  (** "+", "-", "*", "/", "%", "<", ... *)
+  | Eunary of string * expr  (** "-", "!" *)
+  | Ecast of cty * expr
+  | Eternary of expr * expr * expr
+  | Ecall of string * expr list
+
+type pragma =
+  | Ppipeline of int  (** II *)
+  | Punroll of int  (** factor; 0 = full *)
+  | Ppartition of { variable : string; kind : string; factor : int; dim : int }
+  | Pother of string
+
+type stmt =
+  | Sdecl of cty * string * int list * expr option
+      (** type, name, array dims (empty = scalar), initializer *)
+  | Sassign of expr * expr  (** lvalue = expr *)
+  | Scompound_assign of string * expr * expr  (** op, lvalue, expr: a += b *)
+  | Sfor of {
+      ivar : string;
+      init : expr;
+      bound : expr;  (** loop runs while ivar < bound *)
+      step : expr;  (** increment per iteration *)
+      body : stmt list;
+    }
+  | Sif of expr * stmt list * stmt list
+  | Sreturn of expr option
+  | Sexpr of expr
+  | Spragma of pragma
+
+type param = { pname : string; pty : cty; dims : int list }
+
+type func = {
+  fname : string;
+  ret : cty;
+  params : param list;
+  body : stmt list;
+}
+
+type file = func list

@@ -1,0 +1,491 @@
+(** LLVM IR generation from the C subset — the Vitis Clang analogue.
+
+    Output is deliberately Clang-at--O0-shaped: every local (including
+    loop counters) lives in an alloca, array subscripts become one GEP
+    per dimension (array-decay chains), [int] stays 32-bit with [sext]
+    at address computations, and HLS pragmas become [_ssdm_op_Spec*]
+    marker calls.  The flow then runs the shared LLVM cleanup pipeline
+    (mem2reg & friends), exactly as Vitis runs its own middle-end. *)
+
+open Cast
+module B = Llvmir.Lbuilder
+module Ltype = Llvmir.Ltype
+module Lvalue = Llvmir.Lvalue
+module Linstr = Llvmir.Linstr
+module Lmodule = Llvmir.Lmodule
+
+let fail fmt = Support.Err.fail ~pass:"hlscpp.codegen" fmt
+
+let scalar_lty = function
+  | Cvoid -> Ltype.Void
+  | Cint -> Ltype.I32
+  | Clong -> Ltype.I64
+  | Cfloat -> Ltype.Float
+  | Cdouble -> Ltype.Double
+
+let array_lty (base : cty) (dims : int list) =
+  List.fold_right (fun d acc -> Ltype.Array (d, acc)) dims (scalar_lty base)
+
+type sym =
+  | Scalar of Lvalue.t  (** alloca slot, typed pointer *)
+  | ArrayRef of Lvalue.t  (** pointer to the (possibly nested) array *)
+
+type env = {
+  b : B.t;
+  syms : (string, sym) Hashtbl.t;
+  mutable partitions : pragma list;  (** collected array_partition pragmas *)
+  mutable decls : Lmodule.decl list;
+  sigs : (string, Cast.param list * cty) Hashtbl.t;
+      (** user-function signatures, collected before codegen *)
+}
+
+let need_decl env (d : Lmodule.decl) =
+  if not (List.exists (fun (x : Lmodule.decl) -> x.Lmodule.dname = d.Lmodule.dname) env.decls)
+  then env.decls <- d :: env.decls
+
+(* ------------------------------------------------------------------ *)
+(* Conversions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rank = function
+  | Ltype.I32 -> 1
+  | Ltype.I64 -> 2
+  | Ltype.Float -> 3
+  | Ltype.Double -> 4
+  | _ -> 0
+
+let coerce env (v : Lvalue.t) (target : Ltype.t) : Lvalue.t =
+  let src = Lvalue.type_of v in
+  if Ltype.equal src target then v
+  else
+    match (src, target) with
+    | Ltype.I1, (Ltype.I32 | Ltype.I64) -> B.cast env.b Linstr.Zext v target
+    | Ltype.I32, Ltype.I64 -> B.cast env.b Linstr.Sext v target
+    | Ltype.I64, Ltype.I32 -> B.cast env.b Linstr.Trunc v target
+    | (Ltype.I32 | Ltype.I64), (Ltype.Float | Ltype.Double) ->
+        B.cast env.b Linstr.Sitofp v target
+    | (Ltype.Float | Ltype.Double), (Ltype.I32 | Ltype.I64) ->
+        B.cast env.b Linstr.Fptosi v target
+    | Ltype.Float, Ltype.Double -> B.cast env.b Linstr.Fpext v target
+    | Ltype.Double, Ltype.Float -> B.cast env.b Linstr.Fptrunc v target
+    | _ ->
+        fail "cannot convert %s to %s" (Ltype.to_string src)
+          (Ltype.to_string target)
+
+let common_ty a b =
+  if rank a >= rank b then a else b
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Address of an lvalue expression; returns the element pointer. *)
+let rec gen_addr env (e : expr) : Lvalue.t =
+  match e with
+  | Eident name -> (
+      match Hashtbl.find_opt env.syms name with
+      | Some (Scalar slot) -> slot
+      | Some (ArrayRef p) -> p
+      | None -> fail "undeclared identifier %s" name)
+  | Eindex (base, idx) -> (
+      let base_ptr = gen_addr env base in
+      let idx_v = coerce env (gen_expr env idx) Ltype.I64 in
+      match Lvalue.type_of base_ptr with
+      | Ltype.Ptr (Some (Ltype.Array _ as arr_ty)) ->
+          (* one GEP per subscript — Clang's array-decay chain *)
+          B.gep env.b ~src_ty:arr_ty base_ptr [ Lvalue.ci64 0; idx_v ]
+      | Ltype.Ptr (Some elem_ty) ->
+          B.gep env.b ~src_ty:elem_ty base_ptr [ idx_v ]
+      | t -> fail "cannot index a value of type %s" (Ltype.to_string t))
+  | _ -> fail "expression is not an lvalue"
+
+and gen_expr env (e : expr) : Lvalue.t =
+  match e with
+  | Eint v -> Lvalue.ci32 v
+  | Efloat (v, true) -> Lvalue.cf ~ty:Ltype.Float v
+  | Efloat (v, false) -> Lvalue.cf ~ty:Ltype.Double v
+  | Eident name -> (
+      match Hashtbl.find_opt env.syms name with
+      | Some (Scalar slot) -> (
+          match Lvalue.type_of slot with
+          | Ltype.Ptr (Some t) -> B.load env.b t slot
+          | _ -> fail "malformed scalar slot")
+      | Some (ArrayRef p) -> p
+      | None -> fail "undeclared identifier %s" name)
+  | Eindex _ -> (
+      let addr = gen_addr env e in
+      match Lvalue.type_of addr with
+      | Ltype.Ptr (Some (Ltype.Array _)) ->
+          addr  (* partial indexing yields a sub-array pointer *)
+      | Ltype.Ptr (Some t) -> B.load env.b t addr
+      | _ -> fail "bad element pointer")
+  | Eunary ("-", a) -> (
+      let v = gen_expr env a in
+      match Lvalue.type_of v with
+      | t when Ltype.is_float t ->
+          B.fbin env.b Linstr.FSub (Lvalue.cf ~ty:t 0.0) v
+      | t -> B.ibin env.b Linstr.Sub (Lvalue.ci ~ty:t 0) v)
+  | Eunary ("!", a) ->
+      let v = gen_expr env a in
+      let z = B.icmp env.b Linstr.IEq v (Lvalue.ci ~ty:(Lvalue.type_of v) 0) in
+      B.cast env.b Linstr.Zext z Ltype.I32
+  | Eunary (op, _) -> fail "unsupported unary operator %s" op
+  | Ecast (ty, a) -> coerce env (gen_expr env a) (scalar_lty ty)
+  | Eternary (c, a, b) ->
+      let cv = gen_bool env c in
+      let av = gen_expr env a in
+      let bv = gen_expr env b in
+      let ty = common_ty (Lvalue.type_of av) (Lvalue.type_of bv) in
+      B.select env.b cv (coerce env av ty) (coerce env bv ty)
+  | Ebin (("<" | ">" | "<=" | ">=" | "==" | "!=") as op, a, b) ->
+      let v = gen_cmp env op a b in
+      B.cast env.b Linstr.Zext v Ltype.I32
+  | Ebin (("&&" | "||") as op, a, b) ->
+      (* no short-circuit side effects in this subset: evaluate both *)
+      let av = gen_bool env a in
+      let bv = gen_bool env b in
+      let r =
+        B.ibin env.b (if op = "&&" then Linstr.And else Linstr.Or) av bv
+      in
+      B.cast env.b Linstr.Zext r Ltype.I32
+  | Ebin (op, a, b) -> (
+      let av = gen_expr env a in
+      let bv = gen_expr env b in
+      let ty = common_ty (Lvalue.type_of av) (Lvalue.type_of bv) in
+      let av = coerce env av ty and bv = coerce env bv ty in
+      if Ltype.is_float ty then
+        let fop =
+          match op with
+          | "+" -> Linstr.FAdd
+          | "-" -> Linstr.FSub
+          | "*" -> Linstr.FMul
+          | "/" -> Linstr.FDiv
+          | _ -> fail "unsupported float operator %s" op
+        in
+        B.fbin env.b fop av bv
+      else
+        let iop =
+          match op with
+          | "+" -> Linstr.Add
+          | "-" -> Linstr.Sub
+          | "*" -> Linstr.Mul
+          | "/" -> Linstr.SDiv
+          | "%" -> Linstr.SRem
+          | "<<" -> Linstr.Shl
+          | ">>" -> Linstr.AShr
+          | "&" -> Linstr.And
+          | "|" -> Linstr.Or
+          | "^" -> Linstr.Xor
+          | _ -> fail "unsupported integer operator %s" op
+        in
+        B.ibin env.b iop av bv)
+  | Ecall ("sqrtf", [ a ]) ->
+      need_decl env
+        { Lmodule.dname = "llvm.sqrt.f32"; dret = Ltype.Float; dargs = [ Ltype.Float ] };
+      B.call env.b ~ret:Ltype.Float "llvm.sqrt.f32"
+        [ coerce env (gen_expr env a) Ltype.Float ]
+  | Ecall ("fabsf", [ a ]) ->
+      need_decl env
+        { Lmodule.dname = "llvm.fabs.f32"; dret = Ltype.Float; dargs = [ Ltype.Float ] };
+      B.call env.b ~ret:Ltype.Float "llvm.fabs.f32"
+        [ coerce env (gen_expr env a) Ltype.Float ]
+  | Ecall (name, args) -> (
+      (* user-defined function in the same translation unit *)
+      match Hashtbl.find_opt env.sigs name with
+      | Some (params, ret) ->
+          if List.length args <> List.length params then
+            fail "call to %s: arity mismatch" name;
+          let argv =
+            List.map2
+              (fun (p : Cast.param) (a : expr) ->
+                match p.dims with
+                | [] -> coerce env (gen_expr env a) (scalar_lty p.pty)
+                | dims -> (
+                    (* array argument: pass the pointer *)
+                    let ptr = gen_addr env a in
+                    let want = Ltype.ptr (array_lty p.pty dims) in
+                    if Ltype.equal (Lvalue.type_of ptr) want then ptr
+                    else fail "call to %s: array argument shape mismatch" name))
+              params args
+          in
+          B.call env.b ~ret:(scalar_lty ret) name argv
+      | None -> fail "call to unsupported function %s" name)
+
+and gen_cmp env op a b : Lvalue.t =
+  let av = gen_expr env a in
+  let bv = gen_expr env b in
+  let ty = common_ty (Lvalue.type_of av) (Lvalue.type_of bv) in
+  let av = coerce env av ty and bv = coerce env bv ty in
+  if Ltype.is_float ty then
+    let p =
+      match op with
+      | "<" -> Linstr.FOlt
+      | ">" -> Linstr.FOgt
+      | "<=" -> Linstr.FOle
+      | ">=" -> Linstr.FOge
+      | "==" -> Linstr.FOeq
+      | "!=" -> Linstr.FOne
+      | _ -> assert false
+    in
+    B.fcmp env.b p av bv
+  else
+    let p =
+      match op with
+      | "<" -> Linstr.ISlt
+      | ">" -> Linstr.ISgt
+      | "<=" -> Linstr.ISle
+      | ">=" -> Linstr.ISge
+      | "==" -> Linstr.IEq
+      | "!=" -> Linstr.INe
+      | _ -> assert false
+    in
+    B.icmp env.b p av bv
+
+(** Condition value as i1. *)
+and gen_bool env (e : expr) : Lvalue.t =
+  match e with
+  | Ebin (("<" | ">" | "<=" | ">=" | "==" | "!=") as op, a, b) ->
+      gen_cmp env op a b
+  | _ ->
+      let v = gen_expr env e in
+      if Ltype.equal (Lvalue.type_of v) Ltype.I1 then v
+      else B.icmp env.b Linstr.INe v (Lvalue.ci ~ty:(Lvalue.type_of v) 0)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec gen_stmts env (stmts : stmt list) : unit =
+  List.iter (gen_stmt env) stmts
+
+and gen_stmt env (st : stmt) : unit =
+  match st with
+  | Spragma (Ppartition _ as p) -> env.partitions <- p :: env.partitions
+  | Spragma _ -> ()  (* loop pragmas are consumed by Sfor pre-scan *)
+  | Sdecl (ty, name, [], init) ->
+      let lty = scalar_lty ty in
+      let slot = B.alloca env.b ~name lty in
+      Hashtbl.replace env.syms name (Scalar slot);
+      (match init with
+      | Some e -> B.store env.b (coerce env (gen_expr env e) lty) slot
+      | None -> ())
+  | Sdecl (ty, name, dims, init) ->
+      if init <> None then fail "array initializers unsupported";
+      let arr_ty = array_lty ty dims in
+      let slot = B.alloca env.b ~name arr_ty in
+      Hashtbl.replace env.syms name (ArrayRef slot)
+  | Sassign (lhs, rhs) -> (
+      let addr = gen_addr env lhs in
+      match Lvalue.type_of addr with
+      | Ltype.Ptr (Some t) -> B.store env.b (coerce env (gen_expr env rhs) t) addr
+      | _ -> fail "bad assignment target")
+  | Scompound_assign (op, lhs, rhs) -> (
+      let addr = gen_addr env lhs in
+      match Lvalue.type_of addr with
+      | Ltype.Ptr (Some t) ->
+          let old = B.load env.b t addr in
+          let rhs_v = coerce env (gen_expr env rhs) t in
+          let v =
+            if Ltype.is_float t then
+              let fop =
+                match op with
+                | "+" -> Linstr.FAdd
+                | "-" -> Linstr.FSub
+                | "*" -> Linstr.FMul
+                | "/" -> Linstr.FDiv
+                | _ -> fail "unsupported compound operator %s=" op
+              in
+              B.fbin env.b fop old rhs_v
+            else
+              let iop =
+                match op with
+                | "+" -> Linstr.Add
+                | "-" -> Linstr.Sub
+                | "*" -> Linstr.Mul
+                | "/" -> Linstr.SDiv
+                | _ -> fail "unsupported compound operator %s=" op
+              in
+              B.ibin env.b iop old rhs_v
+          in
+          B.store env.b v addr
+      | _ -> fail "bad compound-assignment target")
+  | Sfor { ivar; init; bound; step; body } ->
+      gen_for env ~ivar ~init ~bound ~step ~body
+  | Sif (c, then_b, else_b) ->
+      let cv = gen_bool env c in
+      let then_l = B.fresh_label env.b "if.then" in
+      let else_l = B.fresh_label env.b "if.else" in
+      let end_l = B.fresh_label env.b "if.end" in
+      B.condbr env.b cv then_l (if else_b = [] then end_l else else_l);
+      B.start_block env.b then_l;
+      gen_stmts env then_b;
+      if B.in_block env.b then B.br env.b end_l;
+      if else_b <> [] then begin
+        B.start_block env.b else_l;
+        gen_stmts env else_b;
+        if B.in_block env.b then B.br env.b end_l
+      end;
+      B.start_block env.b end_l
+  | Sreturn None -> B.ret_void env.b
+  | Sreturn (Some e) ->
+      let v = gen_expr env e in
+      B.ret env.b (Some v)
+  | Sexpr e -> ignore (gen_expr env e)
+
+and gen_for env ~ivar ~init ~bound ~step ~body =
+  (* pre-scan pragmas at the head of the body *)
+  let pragmas =
+    List.filter_map (function Spragma p -> Some p | _ -> None) body
+  in
+  let slot = B.alloca env.b ~name:ivar Ltype.I32 in
+  let saved = Hashtbl.find_opt env.syms ivar in
+  Hashtbl.replace env.syms ivar (Scalar slot);
+  B.store env.b (coerce env (gen_expr env init) Ltype.I32) slot;
+  let header = B.fresh_label env.b "for.header" in
+  let body_l = B.fresh_label env.b "for.body" in
+  let latch = B.fresh_label env.b "for.latch" in
+  let exit = B.fresh_label env.b "for.exit" in
+  B.br env.b header;
+  B.start_block env.b header;
+  (* directive markers live in the header, Vitis-style *)
+  List.iter
+    (fun p ->
+      match p with
+      | Ppipeline ii ->
+          need_decl env
+            { Lmodule.dname = "_ssdm_op_SpecPipeline"; dret = Ltype.Void; dargs = [ Ltype.I32 ] };
+          ignore
+            (B.call env.b ~ret:Ltype.Void "_ssdm_op_SpecPipeline"
+               [ Lvalue.ci32 ii ])
+      | Punroll f ->
+          need_decl env
+            { Lmodule.dname = "_ssdm_op_SpecUnroll"; dret = Ltype.Void; dargs = [ Ltype.I32 ] };
+          ignore
+            (B.call env.b ~ret:Ltype.Void "_ssdm_op_SpecUnroll"
+               [ Lvalue.ci32 f ])
+      | _ -> ())
+    pragmas;
+  (match (init, bound, step) with
+  | Eint lo, Eint hi, Eint st when st > 0 ->
+      need_decl env
+        { Lmodule.dname = "_ssdm_op_SpecLoopTripCount"; dret = Ltype.Void; dargs = [ Ltype.I64 ] };
+      ignore
+        (B.call env.b ~ret:Ltype.Void "_ssdm_op_SpecLoopTripCount"
+           [ Lvalue.ci64 (max 0 ((hi - lo + st - 1) / st)) ])
+  | _ -> ());
+  let iv = B.load env.b Ltype.I32 slot in
+  let bv = coerce env (gen_expr env bound) Ltype.I32 in
+  let c = B.icmp env.b Linstr.ISlt iv bv in
+  B.condbr env.b c body_l exit;
+  B.start_block env.b body_l;
+  gen_stmts env body;
+  if B.in_block env.b then B.br env.b latch;
+  B.start_block env.b latch;
+  let iv2 = B.load env.b Ltype.I32 slot in
+  let sv = coerce env (gen_expr env step) Ltype.I32 in
+  let next = B.ibin env.b Linstr.Add iv2 sv in
+  B.store env.b next slot;
+  B.br env.b header;
+  B.start_block env.b exit;
+  (match saved with
+  | Some s -> Hashtbl.replace env.syms ivar s
+  | None -> Hashtbl.remove env.syms ivar)
+
+(* ------------------------------------------------------------------ *)
+(* Functions / file                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let gen_func ~sigs (f : Cast.func) : Lmodule.func * Lmodule.decl list =
+  let b = B.create () in
+  let env =
+    { b; syms = Hashtbl.create 32; partitions = []; decls = []; sigs }
+  in
+  let params =
+    List.map
+      (fun (p : Cast.param) ->
+        let pname = B.fresh_name b p.pname in
+        match p.dims with
+        | [] -> { Lmodule.pname; pty = scalar_lty p.pty; pattrs = [] }
+        | dims ->
+            { Lmodule.pname; pty = Ltype.ptr (array_lty p.pty dims); pattrs = [] })
+      f.params
+  in
+  B.start_block b "entry";
+  List.iter2
+    (fun (p : Cast.param) (lp : Lmodule.param) ->
+      match p.dims with
+      | [] ->
+          (* Clang -O0: spill scalars into allocas *)
+          let slot = B.alloca b ~name:(p.pname ^ ".addr") lp.Lmodule.pty in
+          B.store b (Lvalue.Reg (lp.Lmodule.pname, lp.Lmodule.pty)) slot;
+          Hashtbl.replace env.syms p.pname (Scalar slot)
+      | _ ->
+          Hashtbl.replace env.syms p.pname
+            (ArrayRef (Lvalue.Reg (lp.Lmodule.pname, lp.Lmodule.pty))))
+    f.params params;
+  gen_stmts env f.body;
+  if B.in_block b then begin
+    if f.ret = Cvoid then B.ret_void b
+    else fail "non-void function @%s falls off the end" f.fname
+  end;
+  let blocks = B.finish b in
+  (* apply collected array_partition pragmas to parameters *)
+  let params =
+    List.map
+      (fun (lp : Lmodule.param) ->
+        let extra =
+          List.concat_map
+            (fun p ->
+              match p with
+              | Ppartition { variable; kind; factor; dim }
+                when variable = lp.Lmodule.pname ->
+                  [
+                    ("fpga.partition.kind", kind);
+                    ("fpga.partition.factor", string_of_int factor);
+                    ("fpga.partition.dim", string_of_int dim);
+                  ]
+              | _ -> [])
+            env.partitions
+        in
+        let iface =
+          if Ltype.is_pointer lp.Lmodule.pty then
+            [ ("fpga.interface", "bram") ]
+          else []
+        in
+        { lp with Lmodule.pattrs = extra @ iface @ lp.Lmodule.pattrs })
+      params
+  in
+  ( {
+      Lmodule.fname = f.fname;
+      ret_ty = scalar_lty f.ret;
+      params;
+      blocks;
+      fattrs = [];
+    },
+    env.decls )
+
+(** Compile C source to an LLVM module (Clang-style, pre-optimization). *)
+let compile (src : string) : Lmodule.t =
+  let file = Cparse.parse_file src in
+  (* collect every signature first so calls may reference functions
+     defined later in the file *)
+  let sigs = Hashtbl.create 8 in
+  List.iter
+    (fun (f : Cast.func) -> Hashtbl.replace sigs f.fname (f.params, f.ret))
+    file;
+  let funcs, decls =
+    List.fold_left
+      (fun (fs, ds) f ->
+        let lf, d = gen_func ~sigs f in
+        (lf :: fs, d @ ds))
+      ([], []) file
+  in
+  let dedup =
+    List.fold_left
+      (fun acc (d : Lmodule.decl) ->
+        if List.exists (fun (x : Lmodule.decl) -> x.Lmodule.dname = d.Lmodule.dname) acc
+        then acc
+        else d :: acc)
+      [] decls
+  in
+  { Lmodule.mname = "hlscpp"; funcs = List.rev funcs; globals = []; decls = dedup }

@@ -1,0 +1,91 @@
+(** Lexer for the C subset.  [#pragma ...] lines become single tokens;
+    [//] and [/* */] comments are skipped. *)
+
+type token =
+  | Tident of string
+  | Tint of int
+  | Tfloat of float * bool  (** value, had 'f' suffix *)
+  | Tpragma of string  (** full pragma line without the leading # *)
+  | Tpunct of string  (** operators and punctuation, longest match *)
+  | Teof
+
+let fail fmt = Support.Err.fail ~pass:"hlscpp.lexer" fmt
+
+let two_char_ops =
+  [ "<="; ">="; "=="; "!="; "&&"; "||"; "++"; "--"; "+="; "-="; "*="; "/="; "<<"; ">>" ]
+
+let tokenize (src : string) : token array =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  let is_ident_start c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+  in
+  let is_ident c = is_ident_start c || (c >= '0' && c <= '9') in
+  let is_digit c = c >= '0' && c <= '9' in
+  let read_while pred =
+    let start = !i in
+    while !i < n && pred src.[!i] do incr i done;
+    String.sub src start (!i - start)
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then incr i
+    else if c = '/' && peek 1 = Some '/' then
+      while !i < n && src.[!i] <> '\n' do incr i done
+    else if c = '/' && peek 1 = Some '*' then begin
+      i := !i + 2;
+      while !i + 1 < n && not (src.[!i] = '*' && src.[!i + 1] = '/') do incr i done;
+      i := min n (!i + 2)
+    end
+    else if c = '#' then begin
+      incr i;
+      let line = read_while (fun c -> c <> '\n') in
+      toks := Tpragma (String.trim line) :: !toks
+    end
+    else if is_ident_start c then toks := Tident (read_while is_ident) :: !toks
+    else if is_digit c then begin
+      let start = !i in
+      let _ = read_while is_digit in
+      let is_float = ref false in
+      if !i < n && src.[!i] = '.' then begin
+        is_float := true;
+        incr i;
+        let _ = read_while is_digit in
+        ()
+      end;
+      if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+        is_float := true;
+        incr i;
+        if !i < n && (src.[!i] = '+' || src.[!i] = '-') then incr i;
+        let _ = read_while is_digit in
+        ()
+      end;
+      let lit = String.sub src start (!i - start) in
+      let suffix_f =
+        if !i < n && (src.[!i] = 'f' || src.[!i] = 'F') then begin
+          incr i;
+          true
+        end
+        else false
+      in
+      if !is_float || suffix_f then
+        toks := Tfloat (float_of_string lit, suffix_f) :: !toks
+      else toks := Tint (int_of_string lit) :: !toks
+    end
+    else begin
+      let two =
+        if !i + 1 < n then String.sub src !i 2 else ""
+      in
+      if List.mem two two_char_ops then begin
+        i := !i + 2;
+        toks := Tpunct two :: !toks
+      end
+      else begin
+        incr i;
+        toks := Tpunct (String.make 1 c) :: !toks
+      end
+    end
+  done;
+  Array.of_list (List.rev (Teof :: !toks))

@@ -1,0 +1,1 @@
+lib/llvmir/cfg.ml: Array Hashtbl Linstr List Lmodule Support

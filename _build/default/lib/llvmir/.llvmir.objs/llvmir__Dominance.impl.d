@@ -1,0 +1,1 @@
+lib/llvmir/dominance.ml: Array Cfg List

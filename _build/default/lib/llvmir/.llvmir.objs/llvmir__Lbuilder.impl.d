@@ -1,0 +1,1 @@
+lib/llvmir/lbuilder.ml: Linstr List Lmodule Ltype Lvalue Option Support

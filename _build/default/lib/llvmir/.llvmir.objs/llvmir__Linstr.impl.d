@@ -1,0 +1,1 @@
+lib/llvmir/linstr.ml: List Ltype Lvalue

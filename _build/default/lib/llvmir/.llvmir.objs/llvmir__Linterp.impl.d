@@ -1,0 +1,1 @@
+lib/llvmir/linterp.ml: Array Float Hashtbl Linstr List Lmodule Ltype Lvalue String Support

@@ -1,0 +1,1 @@
+lib/llvmir/lmodule.ml: Hashtbl Linstr List Ltype Lvalue Option Printf Support

@@ -1,0 +1,1 @@
+lib/llvmir/loop_info.ml: Array Cfg Dominance Hashtbl Linstr List Lmodule Lvalue

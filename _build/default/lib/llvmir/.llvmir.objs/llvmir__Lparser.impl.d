@@ -1,0 +1,1 @@
+lib/llvmir/lparser.ml: Array Buffer Linstr List Lmodule Ltype Lvalue Printf String Support

@@ -1,0 +1,1 @@
+lib/llvmir/lprinter.ml: Linstr List Lmodule Ltype Lvalue Printf String

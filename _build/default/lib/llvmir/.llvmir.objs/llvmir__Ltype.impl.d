@@ -1,0 +1,1 @@
+lib/llvmir/ltype.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/llvmir/lvalue.ml: Ltype Printf String

@@ -1,0 +1,1 @@
+lib/llvmir/lverifier.ml: Array Cfg Dominance Hashtbl Linstr List Lmodule Ltype Lvalue Support

@@ -1,0 +1,1 @@
+lib/llvmir/opt_constfold.ml: Float Hashtbl Linstr Linterp List Lmodule Ltype Lvalue

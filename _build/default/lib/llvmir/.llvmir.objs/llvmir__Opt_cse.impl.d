@@ -1,0 +1,1 @@
+lib/llvmir/opt_cse.ml: Array Cfg Dominance Hashtbl Linstr List Lmodule Ltype Lvalue Option Printf String

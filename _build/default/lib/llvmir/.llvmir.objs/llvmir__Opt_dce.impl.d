@@ -1,0 +1,1 @@
+lib/llvmir/opt_dce.ml: Hashtbl Linstr Lmodule String

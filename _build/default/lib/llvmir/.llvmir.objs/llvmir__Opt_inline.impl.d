@@ -1,0 +1,1 @@
+lib/llvmir/opt_inline.ml: Hashtbl Linstr List Lmodule Ltype Lvalue Printf String Support

@@ -1,0 +1,1 @@
+lib/llvmir/opt_licm.ml: Array Cfg Hashtbl Linstr List Lmodule Loop_info Lvalue

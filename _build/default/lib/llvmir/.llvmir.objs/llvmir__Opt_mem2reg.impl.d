@@ -1,0 +1,1 @@
+lib/llvmir/opt_mem2reg.ml: Array Cfg Dominance Hashtbl Linstr List Lmodule Ltype Lvalue Option Queue Support

@@ -1,0 +1,1 @@
+lib/llvmir/opt_simplifycfg.ml: Array Cfg Linstr List Lmodule Lvalue

@@ -1,0 +1,1 @@
+lib/llvmir/pass.ml: List Lmodule Lverifier Opt_constfold Opt_cse Opt_dce Opt_inline Opt_licm Opt_mem2reg Opt_simplifycfg Sys

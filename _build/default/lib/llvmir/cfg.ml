@@ -1,0 +1,74 @@
+(** Control-flow graph over a function's blocks: successor/predecessor
+    maps and orderings used by the dominance and loop analyses. *)
+
+type t = {
+  func : Lmodule.func;
+  order : string array;  (** block labels in layout order; [0] = entry *)
+  index : (string, int) Hashtbl.t;
+  succs : int list array;
+  preds : int list array;
+}
+
+let fail = Support.Err.fail ~pass:"llvmir.cfg"
+
+let build (f : Lmodule.func) : t =
+  let order = Array.of_list (List.map (fun b -> b.Lmodule.label) f.blocks) in
+  let index = Hashtbl.create 16 in
+  Array.iteri (fun i l -> Hashtbl.replace index l i) order;
+  let n = Array.length order in
+  let succs = Array.make n [] in
+  let preds = Array.make n [] in
+  List.iteri
+    (fun i (b : Lmodule.block) ->
+      match List.rev b.insts with
+      | term :: _ ->
+          let ss =
+            List.map
+              (fun l ->
+                match Hashtbl.find_opt index l with
+                | Some j -> j
+                | None -> fail "branch to unknown block %%%s" l)
+              (Linstr.successors term)
+          in
+          succs.(i) <- ss;
+          List.iter (fun j -> preds.(j) <- i :: preds.(j)) ss
+      | [] -> fail "empty block %%%s" b.Lmodule.label)
+    f.blocks;
+  Array.iteri (fun j ps -> preds.(j) <- List.rev ps) preds;
+  { func = f; order; index; succs; preds }
+
+let n_blocks t = Array.length t.order
+let label t i = t.order.(i)
+let index_of t l = Hashtbl.find_opt t.index l
+
+let index_of_exn t l =
+  match index_of t l with
+  | Some i -> i
+  | None -> fail "unknown block %%%s" l
+
+let block t i = Lmodule.find_block_exn t.func t.order.(i)
+
+(** Reverse postorder of the blocks reachable from entry. *)
+let reverse_postorder t : int list =
+  let n = n_blocks t in
+  let visited = Array.make n false in
+  let post = ref [] in
+  let rec dfs i =
+    if not visited.(i) then begin
+      visited.(i) <- true;
+      List.iter dfs t.succs.(i);
+      post := i :: !post
+    end
+  in
+  if n > 0 then dfs 0;
+  !post
+
+(** Blocks unreachable from the entry. *)
+let unreachable_blocks t : int list =
+  let reach = Hashtbl.create 16 in
+  List.iter (fun i -> Hashtbl.replace reach i ()) (reverse_postorder t);
+  let out = ref [] in
+  for i = n_blocks t - 1 downto 0 do
+    if not (Hashtbl.mem reach i) then out := i :: !out
+  done;
+  !out

@@ -1,0 +1,203 @@
+(** LLVM IR instructions.
+
+    Loop and HLS-related metadata attaches to instructions as a simple
+    key/value list ([imeta]); the printer renders it in an
+    [!md{key = value}] suffix.  Modern loop hints use the upstream keys
+    ([llvm.loop.unroll.count], ...); the adaptor's metadata-translation
+    pass replaces them with Vitis-style [_ssdm_op_Spec*] marker calls. *)
+
+type ibinop =
+  | Add | Sub | Mul | SDiv | UDiv | SRem | URem
+  | Shl | LShr | AShr | And | Or | Xor
+
+type fbinop = FAdd | FSub | FMul | FDiv | FRem
+
+type icmp =
+  | IEq | INe | ISlt | ISle | ISgt | ISge | IUlt | IUle | IUgt | IUge
+
+type fcmp = FOeq | FOne | FOlt | FOle | FOgt | FOge | FOrd | FUno
+
+type cast =
+  | Trunc | Zext | Sext | Fptrunc | Fpext | Fptosi | Sitofp
+  | Ptrtoint | Inttoptr | Bitcast
+
+type meta = MInt of int | MStr of string
+
+type opcode =
+  | IBin of ibinop * Lvalue.t * Lvalue.t
+  | FBin of fbinop * Lvalue.t * Lvalue.t
+  | Icmp of icmp * Lvalue.t * Lvalue.t
+  | Fcmp of fcmp * Lvalue.t * Lvalue.t
+  | Alloca of Ltype.t * int  (** element type, count *)
+  | Load of Ltype.t * Lvalue.t  (** loaded type, pointer *)
+  | Store of Lvalue.t * Lvalue.t  (** value, pointer *)
+  | Gep of {
+      inbounds : bool;
+      src_ty : Ltype.t;  (** pointee type the indices walk *)
+      base : Lvalue.t;
+      idxs : Lvalue.t list;
+    }
+  | Cast of cast * Lvalue.t * Ltype.t
+  | Select of Lvalue.t * Lvalue.t * Lvalue.t
+  | Phi of (Lvalue.t * string) list  (** (incoming value, pred label) *)
+  | Call of { callee : string; ret : Ltype.t; args : Lvalue.t list }
+  | ExtractValue of Lvalue.t * int list
+  | InsertValue of Lvalue.t * Lvalue.t * int list  (** agg, elt, path *)
+  | Freeze of Lvalue.t
+  | Ret of Lvalue.t option
+  | Br of string
+  | CondBr of Lvalue.t * string * string
+  | Switch of Lvalue.t * string * (int * string) list
+  | Unreachable
+
+type t = {
+  result : string;  (** SSA name; [""] when the instruction is void *)
+  ty : Ltype.t;  (** result type; [Void] when none *)
+  op : opcode;
+  imeta : (string * meta) list;
+}
+
+let make ?(imeta = []) ?(result = "") ?(ty = Ltype.Void) op =
+  { result; ty; op; imeta }
+
+let is_terminator i =
+  match i.op with
+  | Ret _ | Br _ | CondBr _ | Switch _ | Unreachable -> true
+  | _ -> false
+
+(** Instruction has no side effects and can be removed if unused.
+    Calls are conservatively impure (intrinsic purity is refined by the
+    passes that know the intrinsic table). *)
+let is_pure i =
+  match i.op with
+  | IBin _ | FBin _ | Icmp _ | Fcmp _ | Gep _ | Cast _ | Select _ | Phi _
+  | ExtractValue _ | InsertValue _ | Freeze _ ->
+      true
+  | Alloca _ | Load _ | Store _ | Call _ | Ret _ | Br _ | CondBr _
+  | Switch _ | Unreachable ->
+      false
+
+(** Operand values of an instruction, in printing order. *)
+let operands i =
+  match i.op with
+  | IBin (_, a, b) | FBin (_, a, b) | Icmp (_, a, b) | Fcmp (_, a, b) ->
+      [ a; b ]
+  | Alloca _ -> []
+  | Load (_, p) -> [ p ]
+  | Store (v, p) -> [ v; p ]
+  | Gep { base; idxs; _ } -> base :: idxs
+  | Cast (_, v, _) | Freeze v -> [ v ]
+  | Select (c, a, b) -> [ c; a; b ]
+  | Phi incoming -> List.map fst incoming
+  | Call { args; _ } -> args
+  | ExtractValue (a, _) -> [ a ]
+  | InsertValue (a, v, _) -> [ a; v ]
+  | Ret (Some v) -> [ v ]
+  | Ret None -> []
+  | Br _ -> []
+  | CondBr (c, _, _) -> [ c ]
+  | Switch (v, _, _) -> [ v ]
+  | Unreachable -> []
+
+(** Rebuild the instruction with operands mapped through [f]. *)
+let map_operands f i =
+  let op =
+    match i.op with
+    | IBin (o, a, b) -> IBin (o, f a, f b)
+    | FBin (o, a, b) -> FBin (o, f a, f b)
+    | Icmp (o, a, b) -> Icmp (o, f a, f b)
+    | Fcmp (o, a, b) -> Fcmp (o, f a, f b)
+    | Alloca _ as op -> op
+    | Load (t, p) -> Load (t, f p)
+    | Store (v, p) -> Store (f v, f p)
+    | Gep g -> Gep { g with base = f g.base; idxs = List.map f g.idxs }
+    | Cast (c, v, t) -> Cast (c, f v, t)
+    | Select (c, a, b) -> Select (f c, f a, f b)
+    | Phi incoming -> Phi (List.map (fun (v, l) -> (f v, l)) incoming)
+    | Call c -> Call { c with args = List.map f c.args }
+    | ExtractValue (a, path) -> ExtractValue (f a, path)
+    | InsertValue (a, v, path) -> InsertValue (f a, f v, path)
+    | Freeze v -> Freeze (f v)
+    | Ret (Some v) -> Ret (Some (f v))
+    | Ret None -> Ret None
+    | Br _ as op -> op
+    | CondBr (c, t, e) -> CondBr (f c, t, e)
+    | Switch (v, d, cases) -> Switch (f v, d, cases)
+    | Unreachable -> Unreachable
+  in
+  { i with op }
+
+(** Successor labels of a terminator (empty for non-terminators). *)
+let successors i =
+  match i.op with
+  | Br l -> [ l ]
+  | CondBr (_, t, e) -> [ t; e ]
+  | Switch (_, d, cases) -> d :: List.map snd cases
+  | _ -> []
+
+(** Rebuild a terminator with successor labels mapped through [f]. *)
+let map_successors f i =
+  let op =
+    match i.op with
+    | Br l -> Br (f l)
+    | CondBr (c, t, e) -> CondBr (c, f t, f e)
+    | Switch (v, d, cases) ->
+        Switch (v, f d, List.map (fun (c, l) -> (c, f l)) cases)
+    | op -> op
+  in
+  { i with op }
+
+let string_of_ibinop = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | SDiv -> "sdiv"
+  | UDiv -> "udiv" | SRem -> "srem" | URem -> "urem" | Shl -> "shl"
+  | LShr -> "lshr" | AShr -> "ashr" | And -> "and" | Or -> "or"
+  | Xor -> "xor"
+
+let string_of_fbinop = function
+  | FAdd -> "fadd" | FSub -> "fsub" | FMul -> "fmul" | FDiv -> "fdiv"
+  | FRem -> "frem"
+
+let string_of_icmp = function
+  | IEq -> "eq" | INe -> "ne" | ISlt -> "slt" | ISle -> "sle"
+  | ISgt -> "sgt" | ISge -> "sge" | IUlt -> "ult" | IUle -> "ule"
+  | IUgt -> "ugt" | IUge -> "uge"
+
+let string_of_fcmp = function
+  | FOeq -> "oeq" | FOne -> "one" | FOlt -> "olt" | FOle -> "ole"
+  | FOgt -> "ogt" | FOge -> "oge" | FOrd -> "ord" | FUno -> "uno"
+
+let string_of_cast = function
+  | Trunc -> "trunc" | Zext -> "zext" | Sext -> "sext"
+  | Fptrunc -> "fptrunc" | Fpext -> "fpext" | Fptosi -> "fptosi"
+  | Sitofp -> "sitofp" | Ptrtoint -> "ptrtoint" | Inttoptr -> "inttoptr"
+  | Bitcast -> "bitcast"
+
+let ibinop_of_string = function
+  | "add" -> Add | "sub" -> Sub | "mul" -> Mul | "sdiv" -> SDiv
+  | "udiv" -> UDiv | "srem" -> SRem | "urem" -> URem | "shl" -> Shl
+  | "lshr" -> LShr | "ashr" -> AShr | "and" -> And | "or" -> Or
+  | "xor" -> Xor
+  | s -> invalid_arg ("Linstr.ibinop_of_string: " ^ s)
+
+let fbinop_of_string = function
+  | "fadd" -> FAdd | "fsub" -> FSub | "fmul" -> FMul | "fdiv" -> FDiv
+  | "frem" -> FRem
+  | s -> invalid_arg ("Linstr.fbinop_of_string: " ^ s)
+
+let icmp_of_string = function
+  | "eq" -> IEq | "ne" -> INe | "slt" -> ISlt | "sle" -> ISle
+  | "sgt" -> ISgt | "sge" -> ISge | "ult" -> IUlt | "ule" -> IUle
+  | "ugt" -> IUgt | "uge" -> IUge
+  | s -> invalid_arg ("Linstr.icmp_of_string: " ^ s)
+
+let fcmp_of_string = function
+  | "oeq" -> FOeq | "one" -> FOne | "olt" -> FOlt | "ole" -> FOle
+  | "ogt" -> FOgt | "oge" -> FOge | "ord" -> FOrd | "uno" -> FUno
+  | s -> invalid_arg ("Linstr.fcmp_of_string: " ^ s)
+
+let cast_of_string = function
+  | "trunc" -> Trunc | "zext" -> Zext | "sext" -> Sext
+  | "fptrunc" -> Fptrunc | "fpext" -> Fpext | "fptosi" -> Fptosi
+  | "sitofp" -> Sitofp | "ptrtoint" -> Ptrtoint | "inttoptr" -> Inttoptr
+  | "bitcast" -> Bitcast
+  | s -> invalid_arg ("Linstr.cast_of_string: " ^ s)

@@ -1,0 +1,171 @@
+(** LLVM IR containers: blocks, functions, globals, modules — plus the
+    rewrite utilities every pass builds on. *)
+
+type param = {
+  pname : string;
+  pty : Ltype.t;
+  pattrs : (string * string) list;
+      (** e.g. [("fpga.interface", "bram")], [("partition.factor", "4")] *)
+}
+
+type block = { label : string; insts : Linstr.t list }
+
+type func = {
+  fname : string;
+  ret_ty : Ltype.t;
+  params : param list;
+  blocks : block list;  (** head = entry *)
+  fattrs : (string * string) list;
+}
+
+type global = {
+  gname : string;
+  gty : Ltype.t;  (** content type *)
+  ginit : Lvalue.const option;
+  gconst : bool;
+}
+
+(** External declaration (intrinsics, HLS spec ops). *)
+type decl = { dname : string; dret : Ltype.t; dargs : Ltype.t list }
+
+type t = {
+  mname : string;
+  funcs : func list;
+  globals : global list;
+  decls : decl list;
+}
+
+let empty name = { mname = name; funcs = []; globals = []; decls = [] }
+
+let find_func m name = List.find_opt (fun f -> f.fname = name) m.funcs
+
+let find_func_exn m name =
+  match find_func m name with
+  | Some f -> f
+  | None -> invalid_arg ("Lmodule.find_func_exn: no function @" ^ name)
+
+let find_block f label = List.find_opt (fun b -> b.label = label) f.blocks
+
+let find_block_exn f label =
+  match find_block f label with
+  | Some b -> b
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Lmodule.find_block_exn: no block %%%s in @%s" label
+           f.fname)
+
+let entry f =
+  match f.blocks with
+  | b :: _ -> b
+  | [] -> invalid_arg ("Lmodule.entry: function @" ^ f.fname ^ " has no blocks")
+
+let find_decl m name = List.find_opt (fun d -> d.dname = name) m.decls
+
+(** Add a declaration if not already present. *)
+let ensure_decl m (d : decl) =
+  if find_decl m d.dname <> None then m else { m with decls = d :: m.decls }
+
+let replace_func m f =
+  {
+    m with
+    funcs = List.map (fun g -> if g.fname = f.fname then f else g) m.funcs;
+  }
+
+let map_funcs fn m = { m with funcs = List.map fn m.funcs }
+
+(* ------------------------------------------------------------------ *)
+(* Traversal / rewriting                                              *)
+(* ------------------------------------------------------------------ *)
+
+let iter_insts f (fn : func) =
+  List.iter (fun b -> List.iter f b.insts) fn.blocks
+
+let fold_insts f acc (fn : func) =
+  List.fold_left
+    (fun acc b -> List.fold_left f acc b.insts)
+    acc fn.blocks
+
+let inst_count fn = fold_insts (fun n _ -> n + 1) 0 fn
+
+(** Rewrite every instruction; [f] returns the replacement list. *)
+let rewrite_insts f (fn : func) =
+  {
+    fn with
+    blocks =
+      List.map
+        (fun b -> { b with insts = List.concat_map f b.insts })
+        fn.blocks;
+  }
+
+(** Map all operand values through [f] everywhere in the function. *)
+let map_values f (fn : func) =
+  rewrite_insts (fun i -> [ Linstr.map_operands f i ]) fn
+
+(** Substitute registers by name: occurrences of [Reg (n, _)] where
+    [n] is bound in [subst] are replaced by the bound value. *)
+let substitute (subst : (string, Lvalue.t) Hashtbl.t) (fn : func) =
+  let rec resolve v =
+    match v with
+    | Lvalue.Reg (n, _) -> (
+        match Hashtbl.find_opt subst n with
+        | Some v' when not (Lvalue.equal v' v) -> resolve v'
+        | _ -> v)
+    | _ -> v
+  in
+  map_values resolve fn
+
+(** All register names defined in the function (params + results). *)
+let defined_names (fn : func) =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun p -> Hashtbl.replace tbl p.pname ()) fn.params;
+  iter_insts
+    (fun i -> if i.Linstr.result <> "" then Hashtbl.replace tbl i.Linstr.result ())
+    fn;
+  tbl
+
+(** Names used as operands anywhere. *)
+let used_names (fn : func) =
+  let tbl = Hashtbl.create 64 in
+  iter_insts
+    (fun i ->
+      List.iter
+        (fun v ->
+          match v with
+          | Lvalue.Reg (n, _) -> Hashtbl.replace tbl n ()
+          | _ -> ())
+        (Linstr.operands i))
+    fn;
+  tbl
+
+(** Fresh-name generator seeded with every name already in [fn]. *)
+let namegen (fn : func) =
+  let g = Support.Namegen.create () in
+  List.iter (fun p -> Support.Namegen.reserve g p.pname) fn.params;
+  List.iter (fun b -> Support.Namegen.reserve g b.label) fn.blocks;
+  iter_insts
+    (fun i -> if i.Linstr.result <> "" then Support.Namegen.reserve g i.Linstr.result)
+    fn;
+  g
+
+(** Definition map: register name -> defining instruction. *)
+let def_map (fn : func) =
+  let tbl = Hashtbl.create 64 in
+  iter_insts
+    (fun i -> if i.Linstr.result <> "" then Hashtbl.replace tbl i.Linstr.result i)
+    fn;
+  tbl
+
+(** Use counts: register name -> number of operand occurrences. *)
+let use_counts (fn : func) =
+  let tbl = Hashtbl.create 64 in
+  iter_insts
+    (fun i ->
+      List.iter
+        (function
+          | Lvalue.Reg (n, _) ->
+              Hashtbl.replace tbl n
+                (1 + Option.value ~default:0 (Hashtbl.find_opt tbl n))
+          | _ -> ())
+        (Linstr.operands i))
+    fn;
+  tbl

@@ -1,0 +1,629 @@
+(** Parser for the textual form produced by {!Lprinter} (the .ll-like
+    syntax, including the [!md{...}] metadata and [attrs(...)]
+    extensions).  Supports exact round-tripping: for every module [m],
+    [parse (print m)] is structurally equal to [m]. *)
+
+type token =
+  | Word of string
+  | Int of int
+  | Float of float
+  | Str of string
+  | Pct of string  (** [%name] *)
+  | At of string  (** [@name] *)
+  | Bang  (** [!] *)
+  | Punct of char
+  | Eof
+
+let fail fmt = Support.Err.fail ~pass:"llvmir.parser" fmt
+
+let tokenize (src : string) : token array =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  let is_word_start c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+  in
+  let is_word c =
+    is_word_start c || (c >= '0' && c <= '9') || c = '.' || c = '_'
+  in
+  let is_digit c = c >= '0' && c <= '9' in
+  let read_while pred =
+    let start = !i in
+    while !i < n && pred src.[!i] do incr i done;
+    String.sub src start (!i - start)
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = ';' then while !i < n && src.[!i] <> '\n' do incr i done
+    else if is_word_start c then toks := Word (read_while is_word) :: !toks
+    else if is_digit c || (c = '-' && (match peek 1 with Some d -> is_digit d | None -> false))
+    then begin
+      let start = !i in
+      if src.[!i] = '-' then incr i;
+      let _ = read_while is_digit in
+      let is_float = ref false in
+      if !i < n && src.[!i] = '.'
+         && (match peek 1 with Some d -> is_digit d | None -> false)
+      then begin
+        is_float := true;
+        incr i;
+        let _ = read_while is_digit in
+        ()
+      end;
+      if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+        let save = !i in
+        incr i;
+        if !i < n && (src.[!i] = '+' || src.[!i] = '-') then incr i;
+        if !i < n && is_digit src.[!i] then begin
+          is_float := true;
+          let _ = read_while is_digit in
+          ()
+        end
+        else i := save
+      end;
+      let lit = String.sub src start (!i - start) in
+      if !is_float then toks := Float (float_of_string lit) :: !toks
+      else toks := Int (int_of_string lit) :: !toks
+    end
+    else if c = '"' then begin
+      incr i;
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !i >= n then fail "unterminated string"
+        else
+          match src.[!i] with
+          | '"' -> incr i
+          | '\\' ->
+              (match peek 1 with
+              | Some 'n' -> Buffer.add_char buf '\n'
+              | Some 't' -> Buffer.add_char buf '\t'
+              | Some ch -> Buffer.add_char buf ch
+              | None -> fail "unterminated escape");
+              i := !i + 2;
+              go ()
+          | ch ->
+              Buffer.add_char buf ch;
+              incr i;
+              go ()
+      in
+      go ();
+      toks := Str (Buffer.contents buf) :: !toks
+    end
+    else if c = '%' then begin
+      incr i;
+      toks := Pct (read_while is_word) :: !toks
+    end
+    else if c = '@' then begin
+      incr i;
+      toks := At (read_while is_word) :: !toks
+    end
+    else if c = '!' then begin
+      incr i;
+      toks := Bang :: !toks
+    end
+    else begin
+      incr i;
+      toks := Punct c :: !toks
+    end
+  done;
+  Array.of_list (List.rev (Eof :: !toks))
+
+type stream = { toks : token array; mutable pos : int }
+
+let cur s = s.toks.(s.pos)
+let peek_at s k =
+  if s.pos + k < Array.length s.toks then s.toks.(s.pos + k) else Eof
+let advance s = s.pos <- s.pos + 1
+
+let token_str = function
+  | Word w -> w
+  | Int i -> string_of_int i
+  | Float f -> string_of_float f
+  | Str st -> Printf.sprintf "%S" st
+  | Pct r -> "%" ^ r
+  | At a -> "@" ^ a
+  | Bang -> "!"
+  | Punct c -> String.make 1 c
+  | Eof -> "<eof>"
+
+let expect s tok =
+  if cur s = tok then advance s
+  else fail "expected %s, found %s" (token_str tok) (token_str (cur s))
+
+let expect_punct s c = expect s (Punct c)
+let eat s tok = if cur s = tok then (advance s; true) else false
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_ty s : Ltype.t =
+  let base =
+    match cur s with
+    | Word "void" -> advance s; Ltype.Void
+    | Word "i1" -> advance s; Ltype.I1
+    | Word "i8" -> advance s; Ltype.I8
+    | Word "i16" -> advance s; Ltype.I16
+    | Word "i32" -> advance s; Ltype.I32
+    | Word "i64" -> advance s; Ltype.I64
+    | Word "float" -> advance s; Ltype.Float
+    | Word "double" -> advance s; Ltype.Double
+    | Word "ptr" -> advance s; Ltype.Ptr None
+    | Punct '[' ->
+        advance s;
+        let n = match cur s with
+          | Int n -> advance s; n
+          | t -> fail "expected array length, found %s" (token_str t)
+        in
+        expect s (Word "x");
+        let elem = parse_ty s in
+        expect_punct s ']';
+        Ltype.Array (n, elem)
+    | Punct '{' ->
+        advance s;
+        let rec go acc =
+          let t = parse_ty s in
+          if eat s (Punct ',') then go (t :: acc)
+          else begin
+            expect_punct s '}';
+            List.rev (t :: acc)
+          end
+        in
+        Ltype.Struct (go [])
+    | t -> fail "expected a type, found %s" (token_str t)
+  in
+  let rec stars t = if eat s (Punct '*') then stars (Ltype.Ptr (Some t)) else t in
+  stars base
+
+(* ------------------------------------------------------------------ *)
+(* Values                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let parse_value s (ty : Ltype.t) : Lvalue.t =
+  match cur s with
+  | Pct r -> advance s; Lvalue.Reg (r, ty)
+  | At g -> advance s; Lvalue.Global (g, ty)
+  | Int v -> advance s; Lvalue.Const (Lvalue.CInt (v, ty))
+  | Float v -> advance s; Lvalue.Const (Lvalue.CFloat (v, ty))
+  | Word "true" -> advance s; Lvalue.Const (Lvalue.CInt (1, Ltype.I1))
+  | Word "false" -> advance s; Lvalue.Const (Lvalue.CInt (0, Ltype.I1))
+  | Word "null" -> advance s; Lvalue.Const (Lvalue.CNull ty)
+  | Word "undef" -> advance s; Lvalue.Const (Lvalue.CUndef ty)
+  | Word "zeroinitializer" -> advance s; Lvalue.Const (Lvalue.CZero ty)
+  | t -> fail "expected a value, found %s" (token_str t)
+
+(** [ty value] pair. *)
+let parse_tv s =
+  let ty = parse_ty s in
+  parse_value s ty
+
+(* ------------------------------------------------------------------ *)
+(* Metadata and attributes                                            *)
+(* ------------------------------------------------------------------ *)
+
+let parse_imeta s : (string * Linstr.meta) list =
+  if cur s = Bang && peek_at s 1 = Word "md" then begin
+    advance s;
+    advance s;
+    expect_punct s '{';
+    let rec go acc =
+      if eat s (Punct '}') then List.rev acc
+      else
+        match cur s with
+        | Word key ->
+            advance s;
+            expect_punct s '=';
+            let v =
+              match cur s with
+              | Int i -> advance s; Linstr.MInt i
+              | Str str -> advance s; Linstr.MStr str
+              | t -> fail "expected metadata value, found %s" (token_str t)
+            in
+            if eat s (Punct ',') then go ((key, v) :: acc)
+            else begin
+              expect_punct s '}';
+              List.rev ((key, v) :: acc)
+            end
+        | t -> fail "expected metadata key, found %s" (token_str t)
+    in
+    go []
+  end
+  else []
+
+let parse_attrs s : (string * string) list =
+  if cur s = Word "attrs" then begin
+    advance s;
+    expect_punct s '(';
+    let rec go acc =
+      if eat s (Punct ')') then List.rev acc
+      else
+        match cur s with
+        | Word key ->
+            advance s;
+            expect_punct s '=';
+            let v =
+              match cur s with
+              | Str str -> advance s; str
+              | t -> fail "expected attr string, found %s" (token_str t)
+            in
+            if eat s (Punct ',') then go ((key, v) :: acc)
+            else begin
+              expect_punct s ')';
+              List.rev ((key, v) :: acc)
+            end
+        | t -> fail "expected attr key, found %s" (token_str t)
+    in
+    go []
+  end
+  else []
+
+(* ------------------------------------------------------------------ *)
+(* Instructions                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let ibinops = ["add";"sub";"mul";"sdiv";"udiv";"srem";"urem";"shl";"lshr";"ashr";"and";"or";"xor"]
+let fbinops = ["fadd";"fsub";"fmul";"fdiv";"frem"]
+let casts = ["trunc";"zext";"sext";"fptrunc";"fpext";"fptosi";"sitofp";"ptrtoint";"inttoptr";"bitcast"]
+
+let parse_inst s : Linstr.t =
+  let result =
+    match (cur s, peek_at s 1) with
+    | Pct r, Punct '=' ->
+        advance s;
+        advance s;
+        r
+    | _ -> ""
+  in
+  let kw =
+    match cur s with
+    | Word w -> advance s; w
+    | t -> fail "expected instruction keyword, found %s" (token_str t)
+  in
+  let open Linstr in
+  let op, ty =
+    if List.mem kw ibinops then begin
+      let ty = parse_ty s in
+      let a = parse_value s ty in
+      expect_punct s ',';
+      let b = parse_value s ty in
+      (IBin (ibinop_of_string kw, a, b), ty)
+    end
+    else if List.mem kw fbinops then begin
+      let ty = parse_ty s in
+      let a = parse_value s ty in
+      expect_punct s ',';
+      let b = parse_value s ty in
+      (FBin (fbinop_of_string kw, a, b), ty)
+    end
+    else if List.mem kw casts then begin
+      let v = parse_tv s in
+      expect s (Word "to");
+      let ty = parse_ty s in
+      (Cast (cast_of_string kw, v, ty), ty)
+    end
+    else
+      match kw with
+      | "icmp" ->
+          let p =
+            match cur s with
+            | Word w -> advance s; icmp_of_string w
+            | t -> fail "expected icmp predicate, found %s" (token_str t)
+          in
+          let ty = parse_ty s in
+          let a = parse_value s ty in
+          expect_punct s ',';
+          let b = parse_value s ty in
+          (Icmp (p, a, b), Ltype.I1)
+      | "fcmp" ->
+          let p =
+            match cur s with
+            | Word w -> advance s; fcmp_of_string w
+            | t -> fail "expected fcmp predicate, found %s" (token_str t)
+          in
+          let ty = parse_ty s in
+          let a = parse_value s ty in
+          expect_punct s ',';
+          let b = parse_value s ty in
+          (Fcmp (p, a, b), Ltype.I1)
+      | "alloca" ->
+          let ty = parse_ty s in
+          let count =
+            if eat s (Punct ',') then begin
+              expect s (Word "i64");
+              match cur s with
+              | Int n -> advance s; n
+              | t -> fail "expected alloca count, found %s" (token_str t)
+            end
+            else 1
+          in
+          (Alloca (ty, count), Ltype.ptr ty)
+      | "load" ->
+          let ty = parse_ty s in
+          expect_punct s ',';
+          let p = parse_tv s in
+          (Load (ty, p), ty)
+      | "store" ->
+          let v = parse_tv s in
+          expect_punct s ',';
+          let p = parse_tv s in
+          (Store (v, p), Ltype.Void)
+      | "getelementptr" ->
+          let inbounds = eat s (Word "inbounds") in
+          let src_ty = parse_ty s in
+          expect_punct s ',';
+          let base = parse_tv s in
+          let rec idxs acc =
+            if eat s (Punct ',') then idxs (parse_tv s :: acc)
+            else List.rev acc
+          in
+          let idxs = idxs [] in
+          (* reconstruct the result pointer type like the builder does *)
+          let rec walk ty = function
+            | [] -> ty
+            | idx :: rest ->
+                walk (Ltype.gep_step ty (Lvalue.const_int_value idx)) rest
+          in
+          let pointee =
+            match idxs with [] -> src_ty | _ :: rest -> walk src_ty rest
+          in
+          let rty =
+            if Ltype.is_opaque_pointer (Lvalue.type_of base) then
+              Ltype.opaque_ptr
+            else Ltype.ptr pointee
+          in
+          (Gep { inbounds; src_ty; base; idxs }, rty)
+      | "select" ->
+          let c = parse_tv s in
+          expect_punct s ',';
+          let a = parse_tv s in
+          expect_punct s ',';
+          let b = parse_tv s in
+          (Select (c, a, b), Lvalue.type_of a)
+      | "phi" ->
+          let ty = parse_ty s in
+          let rec go acc =
+            expect_punct s '[';
+            let v = parse_value s ty in
+            expect_punct s ',';
+            let l =
+              match cur s with
+              | Pct l -> advance s; l
+              | t -> fail "expected phi predecessor label, found %s" (token_str t)
+            in
+            expect_punct s ']';
+            if eat s (Punct ',') then go ((v, l) :: acc)
+            else List.rev ((v, l) :: acc)
+          in
+          (Phi (go []), ty)
+      | "call" ->
+          let ret = parse_ty s in
+          let callee =
+            match cur s with
+            | At f -> advance s; f
+            | t -> fail "expected callee, found %s" (token_str t)
+          in
+          expect_punct s '(';
+          let rec go acc =
+            if eat s (Punct ')') then List.rev acc
+            else
+              let v = parse_tv s in
+              if eat s (Punct ',') then go (v :: acc)
+              else begin
+                expect_punct s ')';
+                List.rev (v :: acc)
+              end
+          in
+          (Call { callee; ret; args = go [] }, ret)
+      | "extractvalue" ->
+          let agg = parse_tv s in
+          let rec go acc =
+            if eat s (Punct ',') then
+              match cur s with
+              | Int i -> advance s; go (i :: acc)
+              | t -> fail "expected index, found %s" (token_str t)
+            else List.rev acc
+          in
+          let path = go [] in
+          let rec walk ty = function
+            | [] -> ty
+            | i :: rest -> walk (Ltype.gep_step ty (Some i)) rest
+          in
+          (ExtractValue (agg, path), walk (Lvalue.type_of agg) path)
+      | "insertvalue" ->
+          let agg = parse_tv s in
+          expect_punct s ',';
+          let v = parse_tv s in
+          let rec go acc =
+            if eat s (Punct ',') then
+              match cur s with
+              | Int i -> advance s; go (i :: acc)
+              | t -> fail "expected index, found %s" (token_str t)
+            else List.rev acc
+          in
+          (InsertValue (agg, v, go []), Lvalue.type_of agg)
+      | "freeze" ->
+          let v = parse_tv s in
+          (Freeze v, Lvalue.type_of v)
+      | "ret" ->
+          if cur s = Word "void" then begin
+            advance s;
+            (Ret None, Ltype.Void)
+          end
+          else
+            let v = parse_tv s in
+            (Ret (Some v), Ltype.Void)
+      | "br" ->
+          if cur s = Word "label" then begin
+            advance s;
+            match cur s with
+            | Pct l -> advance s; (Br l, Ltype.Void)
+            | t -> fail "expected label, found %s" (token_str t)
+          end
+          else begin
+            let c = parse_tv s in
+            expect_punct s ',';
+            expect s (Word "label");
+            let t =
+              match cur s with
+              | Pct l -> advance s; l
+              | t -> fail "expected label, found %s" (token_str t)
+            in
+            expect_punct s ',';
+            expect s (Word "label");
+            let e =
+              match cur s with
+              | Pct l -> advance s; l
+              | t -> fail "expected label, found %s" (token_str t)
+            in
+            (CondBr (c, t, e), Ltype.Void)
+          end
+      | "switch" ->
+          let v = parse_tv s in
+          expect_punct s ',';
+          expect s (Word "label");
+          let d =
+            match cur s with
+            | Pct l -> advance s; l
+            | t -> fail "expected label, found %s" (token_str t)
+          in
+          expect_punct s '[';
+          let rec go acc =
+            if eat s (Punct ']') then List.rev acc
+            else begin
+              let _cty = parse_ty s in
+              let c =
+                match cur s with
+                | Int c -> advance s; c
+                | t -> fail "expected case constant, found %s" (token_str t)
+              in
+              expect_punct s ',';
+              expect s (Word "label");
+              let l =
+                match cur s with
+                | Pct l -> advance s; l
+                | t -> fail "expected label, found %s" (token_str t)
+              in
+              go ((c, l) :: acc)
+            end
+          in
+          (Switch (v, d, go []), Ltype.Void)
+      | "unreachable" -> (Unreachable, Ltype.Void)
+      | _ -> fail "unknown instruction %s" kw
+  in
+  let imeta = parse_imeta s in
+  { Linstr.result; ty; op; imeta }
+
+(* ------------------------------------------------------------------ *)
+(* Functions / module                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let parse_func s : Lmodule.func =
+  (* "define" consumed *)
+  let ret_ty = parse_ty s in
+  let fname =
+    match cur s with
+    | At f -> advance s; f
+    | t -> fail "expected function name, found %s" (token_str t)
+  in
+  expect_punct s '(';
+  let rec params acc =
+    if eat s (Punct ')') then List.rev acc
+    else begin
+      let pty = parse_ty s in
+      let pname =
+        match cur s with
+        | Pct r -> advance s; r
+        | t -> fail "expected parameter name, found %s" (token_str t)
+      in
+      let pattrs = parse_attrs s in
+      let p = { Lmodule.pname; pty; pattrs } in
+      if eat s (Punct ',') then params (p :: acc)
+      else begin
+        expect_punct s ')';
+        List.rev (p :: acc)
+      end
+    end
+  in
+  let params = params [] in
+  let fattrs = parse_attrs s in
+  expect_punct s '{';
+  let rec blocks acc =
+    if eat s (Punct '}') then List.rev acc
+    else
+      match (cur s, peek_at s 1) with
+      | Word label, Punct ':' ->
+          advance s;
+          advance s;
+          let rec insts acc2 =
+            match (cur s, peek_at s 1) with
+            | Punct '}', _ | Word _, Punct ':' -> List.rev acc2
+            | _ -> insts (parse_inst s :: acc2)
+          in
+          let insts = insts [] in
+          blocks ({ Lmodule.label; insts } :: acc)
+      | t, _ -> fail "expected block label, found %s" (token_str t)
+  in
+  let blocks = blocks [] in
+  { Lmodule.fname; ret_ty; params; blocks; fattrs }
+
+let parse_module (src : string) : Lmodule.t =
+  let s = { toks = tokenize src; pos = 0 } in
+  let funcs = ref [] in
+  let globals = ref [] in
+  let decls = ref [] in
+  let rec go () =
+    match cur s with
+    | Eof -> ()
+    | Word "define" ->
+        advance s;
+        funcs := parse_func s :: !funcs;
+        go ()
+    | Word "declare" ->
+        advance s;
+        let dret = parse_ty s in
+        let dname =
+          match cur s with
+          | At f -> advance s; f
+          | t -> fail "expected declared name, found %s" (token_str t)
+        in
+        expect_punct s '(';
+        let rec args acc =
+          if eat s (Punct ')') then List.rev acc
+          else
+            let t = parse_ty s in
+            if eat s (Punct ',') then args (t :: acc)
+            else begin
+              expect_punct s ')';
+              List.rev (t :: acc)
+            end
+        in
+        decls := { Lmodule.dname; dret; dargs = args [] } :: !decls;
+        go ()
+    | At gname ->
+        advance s;
+        expect_punct s '=';
+        let gconst = eat s (Word "constant") in
+        if not gconst then expect s (Word "global");
+        let gty = parse_ty s in
+        let ginit =
+          match cur s with
+          | Word "zeroinitializer" -> advance s; Some (Lvalue.CZero gty)
+          | Int v -> advance s; Some (Lvalue.CInt (v, gty))
+          | Float v -> advance s; Some (Lvalue.CFloat (v, gty))
+          | Word "undef" -> advance s; Some (Lvalue.CUndef gty)
+          | Word "null" -> advance s; Some (Lvalue.CNull gty)
+          | _ -> None
+        in
+        globals := { Lmodule.gname; gty; ginit; gconst } :: !globals;
+        go ()
+    | t -> fail "unexpected top-level token %s" (token_str t)
+  in
+  go ();
+  {
+    Lmodule.mname = "parsed";
+    funcs = List.rev !funcs;
+    globals = List.rev !globals;
+    decls = !decls;
+  }

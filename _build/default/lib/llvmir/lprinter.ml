@@ -1,0 +1,140 @@
+(** Textual output of LLVM IR in (near-).ll syntax.
+
+    Divergences from upstream .ll, chosen for exact round-tripping with
+    {!Lparser}:
+    - instruction metadata prints as a [!md{key = value, ...}] suffix
+      instead of numbered metadata nodes;
+    - parameter/function attributes print as [attrs(key = "value")];
+    - [alloca] with a static count prints as [alloca ty, i64 n]. *)
+
+open Linstr
+open Lmodule
+
+let vstr = Lvalue.to_string
+let tstr = Ltype.to_string
+
+(** Operand with its type, as .ll prints most operands. *)
+let tv v = Printf.sprintf "%s %s" (tstr (Lvalue.type_of v)) (vstr v)
+
+let meta_str = function
+  | MInt i -> string_of_int i
+  | MStr s -> Printf.sprintf "%S" s
+
+let imeta_str = function
+  | [] -> ""
+  | kvs ->
+      " !md{"
+      ^ String.concat ", "
+          (List.map (fun (k, v) -> k ^ " = " ^ meta_str v) kvs)
+      ^ "}"
+
+let attrs_str = function
+  | [] -> ""
+  | kvs ->
+      " attrs("
+      ^ String.concat ", "
+          (List.map (fun (k, v) -> Printf.sprintf "%s = %S" k v) kvs)
+      ^ ")"
+
+let inst_to_string (i : Linstr.t) =
+  let lhs = if i.result = "" then "" else Printf.sprintf "%%%s = " i.result in
+  let body =
+    match i.op with
+    | IBin (op, a, b) ->
+        Printf.sprintf "%s %s %s, %s" (string_of_ibinop op)
+          (tstr (Lvalue.type_of a)) (vstr a) (vstr b)
+    | FBin (op, a, b) ->
+        Printf.sprintf "%s %s %s, %s" (string_of_fbinop op)
+          (tstr (Lvalue.type_of a)) (vstr a) (vstr b)
+    | Icmp (p, a, b) ->
+        Printf.sprintf "icmp %s %s %s, %s" (string_of_icmp p)
+          (tstr (Lvalue.type_of a)) (vstr a) (vstr b)
+    | Fcmp (p, a, b) ->
+        Printf.sprintf "fcmp %s %s %s, %s" (string_of_fcmp p)
+          (tstr (Lvalue.type_of a)) (vstr a) (vstr b)
+    | Alloca (ty, 1) -> Printf.sprintf "alloca %s" (tstr ty)
+    | Alloca (ty, n) -> Printf.sprintf "alloca %s, i64 %d" (tstr ty) n
+    | Load (ty, p) -> Printf.sprintf "load %s, %s" (tstr ty) (tv p)
+    | Store (v, p) -> Printf.sprintf "store %s, %s" (tv v) (tv p)
+    | Gep { inbounds; src_ty; base; idxs } ->
+        Printf.sprintf "getelementptr%s %s, %s%s"
+          (if inbounds then " inbounds" else "")
+          (tstr src_ty) (tv base)
+          (String.concat "" (List.map (fun x -> ", " ^ tv x) idxs))
+    | Cast (c, v, ty) ->
+        Printf.sprintf "%s %s to %s" (string_of_cast c) (tv v) (tstr ty)
+    | Select (c, a, b) ->
+        Printf.sprintf "select %s, %s, %s" (tv c) (tv a) (tv b)
+    | Phi incoming ->
+        let ty =
+          match incoming with
+          | (v, _) :: _ -> tstr (Lvalue.type_of v)
+          | [] -> "void"
+        in
+        Printf.sprintf "phi %s %s" ty
+          (String.concat ", "
+             (List.map
+                (fun (v, l) -> Printf.sprintf "[ %s, %%%s ]" (vstr v) l)
+                incoming))
+    | Call { callee; ret; args } ->
+        Printf.sprintf "call %s @%s(%s)" (tstr ret) callee
+          (String.concat ", " (List.map tv args))
+    | ExtractValue (agg, path) ->
+        Printf.sprintf "extractvalue %s%s" (tv agg)
+          (String.concat ""
+             (List.map (fun i -> ", " ^ string_of_int i) path))
+    | InsertValue (agg, v, path) ->
+        Printf.sprintf "insertvalue %s, %s%s" (tv agg) (tv v)
+          (String.concat ""
+             (List.map (fun i -> ", " ^ string_of_int i) path))
+    | Freeze v -> Printf.sprintf "freeze %s" (tv v)
+    | Ret (Some v) -> Printf.sprintf "ret %s" (tv v)
+    | Ret None -> "ret void"
+    | Br l -> Printf.sprintf "br label %%%s" l
+    | CondBr (c, t, e) ->
+        Printf.sprintf "br %s, label %%%s, label %%%s" (tv c) t e
+    | Switch (v, d, cases) ->
+        Printf.sprintf "switch %s, label %%%s [ %s ]" (tv v) d
+          (String.concat " "
+             (List.map
+                (fun (c, l) ->
+                  Printf.sprintf "%s %d, label %%%s"
+                    (tstr (Lvalue.type_of v)) c l)
+                cases))
+    | Unreachable -> "unreachable"
+  in
+  lhs ^ body ^ imeta_str i.imeta
+
+let block_to_string (b : block) =
+  b.label ^ ":\n"
+  ^ String.concat ""
+      (List.map (fun i -> "  " ^ inst_to_string i ^ "\n") b.insts)
+
+let param_to_string (p : param) =
+  Printf.sprintf "%s %%%s%s" (tstr p.pty) p.pname (attrs_str p.pattrs)
+
+let func_to_string (f : func) =
+  Printf.sprintf "define %s @%s(%s)%s {\n%s}\n" (tstr f.ret_ty) f.fname
+    (String.concat ", " (List.map param_to_string f.params))
+    (attrs_str f.fattrs)
+    (String.concat "" (List.map block_to_string f.blocks))
+
+let global_to_string (g : global) =
+  Printf.sprintf "@%s = %s %s %s\n" g.gname
+    (if g.gconst then "constant" else "global")
+    (tstr g.gty)
+    (match g.ginit with
+    | Some c -> Lvalue.const_to_string c
+    | None -> "zeroinitializer")
+
+let decl_to_string (d : decl) =
+  Printf.sprintf "declare %s @%s(%s)\n" (tstr d.dret) d.dname
+    (String.concat ", " (List.map tstr d.dargs))
+
+let module_to_string (m : t) =
+  Printf.sprintf "; ModuleID = '%s'\n%s%s\n%s" m.mname
+    (String.concat "" (List.map decl_to_string (List.rev m.decls)))
+    (String.concat "" (List.map global_to_string m.globals))
+    (String.concat "\n" (List.map func_to_string m.funcs))
+
+let print m = print_string (module_to_string m)

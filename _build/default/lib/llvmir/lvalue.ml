@@ -1,0 +1,63 @@
+(** LLVM IR values: constants, virtual registers and globals. *)
+
+type const =
+  | CInt of int * Ltype.t
+  | CFloat of float * Ltype.t
+  | CNull of Ltype.t  (** null pointer of the given pointer type *)
+  | CUndef of Ltype.t
+  | CZero of Ltype.t  (** zeroinitializer *)
+
+type t =
+  | Reg of string * Ltype.t  (** [%name] — function-local SSA register *)
+  | Global of string * Ltype.t  (** [@name]; type is the pointer type *)
+  | Const of const
+
+let reg name ty = Reg (name, ty)
+let ci ?(ty = Ltype.I64) v = Const (CInt (v, ty))
+let ci32 v = Const (CInt (v, Ltype.I32))
+let ci64 v = Const (CInt (v, Ltype.I64))
+let ci1 b = Const (CInt ((if b then 1 else 0), Ltype.I1))
+let cf ?(ty = Ltype.Float) v = Const (CFloat (v, ty))
+let undef ty = Const (CUndef ty)
+
+let type_of = function
+  | Reg (_, ty) | Global (_, ty) -> ty
+  | Const (CInt (_, ty) | CFloat (_, ty) | CNull ty | CUndef ty | CZero ty) ->
+      ty
+
+let const_to_string = function
+  | CInt (v, Ltype.I1) -> if v <> 0 then "true" else "false"
+  | CInt (v, _) -> string_of_int v
+  | CFloat (v, _) ->
+      let s = Printf.sprintf "%.17g" v in
+      if String.contains s '.' || String.contains s 'e' || String.contains s 'n'
+      then s
+      else s ^ ".0"
+  | CNull _ -> "null"
+  | CUndef _ -> "undef"
+  | CZero _ -> "zeroinitializer"
+
+let to_string = function
+  | Reg (n, _) -> "%" ^ n
+  | Global (n, _) -> "@" ^ n
+  | Const c -> const_to_string c
+
+(** Value with its type prefix, as operands print in .ll files. *)
+let typed_to_string v =
+  Ltype.to_string (type_of v) ^ " " ^ to_string v
+
+let is_const = function Const _ -> true | _ -> false
+
+let const_int_value = function
+  | Const (CInt (v, _)) -> Some v
+  | _ -> None
+
+let const_float_value = function
+  | Const (CFloat (v, _)) -> Some v
+  | _ -> None
+
+(** Same SSA register? *)
+let same_reg a b =
+  match (a, b) with Reg (x, _), Reg (y, _) -> x = y | _ -> false
+
+let equal (a : t) (b : t) = a = b

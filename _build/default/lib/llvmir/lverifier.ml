@@ -1,0 +1,221 @@
+(** LLVM IR verifier: module/function well-formedness and SSA dominance.
+
+    Checks:
+    - block structure: non-empty blocks, exactly one terminator, at the
+      end; entry block has no phis; unique labels;
+    - SSA: unique definitions; every register use is dominated by its
+      definition (phi uses checked against the incoming edge);
+    - types: operand types are consistent where locally checkable
+      (binop operands match, store value matches pointee for typed
+      pointers, GEP base is a pointer, ...);
+    - calls: callee is a defined function or declaration with matching
+      arity. *)
+
+open Linstr
+open Lmodule
+
+let fail = Support.Err.fail ~pass:"llvmir.verifier"
+
+let check_block_structure (f : func) =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (b : block) ->
+      if Hashtbl.mem seen b.label then
+        fail "@%s: duplicate block label %%%s" f.fname b.label;
+      Hashtbl.replace seen b.label ();
+      match List.rev b.insts with
+      | [] -> fail "@%s: empty block %%%s" f.fname b.label
+      | term :: rest ->
+          if not (is_terminator term) then
+            fail "@%s: block %%%s does not end with a terminator" f.fname
+              b.label;
+          List.iter
+            (fun i ->
+              if is_terminator i then
+                fail "@%s: terminator in the middle of block %%%s" f.fname
+                  b.label)
+            rest)
+    f.blocks;
+  (match f.blocks with
+  | entry :: _ ->
+      List.iter
+        (fun (i : Linstr.t) ->
+          match i.op with
+          | Phi _ -> fail "@%s: phi in entry block" f.fname
+          | _ -> ())
+        entry.insts
+  | [] -> fail "@%s: function has no blocks" f.fname)
+
+let check_ssa (f : func) =
+  let cfg = Cfg.build f in
+  let dom = Dominance.compute cfg in
+  (* definition site per register: (block index, instruction index) *)
+  let defs = Hashtbl.create 64 in
+  List.iter (fun p -> Hashtbl.replace defs p.pname (-1, -1)) f.params;
+  List.iteri
+    (fun bi (b : block) ->
+      List.iteri
+        (fun ii (i : Linstr.t) ->
+          if i.result <> "" then begin
+            if Hashtbl.mem defs i.result then
+              fail "@%s: register %%%s defined more than once" f.fname i.result;
+            Hashtbl.replace defs i.result (bi, ii)
+          end)
+        b.insts)
+    f.blocks;
+  let check_use ~use_bi ~use_ii name =
+    match Hashtbl.find_opt defs name with
+    | None -> fail "@%s: use of undefined register %%%s" f.fname name
+    | Some (-1, _) -> ()  (* parameter *)
+    | Some (def_bi, def_ii) ->
+        let ok =
+          if def_bi = use_bi then def_ii < use_ii
+          else Dominance.dominates dom def_bi use_bi
+        in
+        if not ok then
+          fail "@%s: use of %%%s (block %%%s) not dominated by its definition"
+            f.fname name
+            (Cfg.label cfg use_bi)
+  in
+  List.iteri
+    (fun bi (b : block) ->
+      List.iteri
+        (fun ii (i : Linstr.t) ->
+          match i.op with
+          | Phi incoming ->
+              (* each incoming value must dominate the end of its pred *)
+              List.iter
+                (fun (v, pred_label) ->
+                  (match Cfg.index_of cfg pred_label with
+                  | None ->
+                      fail "@%s: phi references unknown block %%%s" f.fname
+                        pred_label
+                  | Some pred_bi ->
+                      if not (List.mem pred_bi cfg.Cfg.preds.(bi)) then
+                        fail "@%s: phi incoming block %%%s is not a predecessor"
+                          f.fname pred_label;
+                      (match v with
+                      | Lvalue.Reg (n, _) -> (
+                          match Hashtbl.find_opt defs n with
+                          | None ->
+                              fail "@%s: phi uses undefined register %%%s"
+                                f.fname n
+                          | Some (-1, _) -> ()
+                          | Some (def_bi, _) ->
+                              if not (Dominance.dominates dom def_bi pred_bi)
+                              then
+                                fail
+                                  "@%s: phi incoming %%%s does not dominate \
+                                   edge from %%%s"
+                                  f.fname n pred_label)
+                      | _ -> ())))
+                incoming
+          | _ ->
+              List.iter
+                (function
+                  | Lvalue.Reg (n, _) -> check_use ~use_bi:bi ~use_ii:ii n
+                  | _ -> ())
+                (operands i))
+        b.insts)
+    f.blocks
+
+let check_types (f : func) =
+  iter_insts
+    (fun (i : Linstr.t) ->
+      let t = Lvalue.type_of in
+      match i.op with
+      | IBin (_, a, b) ->
+          if not (Ltype.equal (t a) (t b)) then
+            fail "@%s: %%%s: integer binop operand types differ" f.fname
+              i.result;
+          if not (Ltype.is_int (t a)) then
+            fail "@%s: %%%s: integer binop on non-integer" f.fname i.result
+      | FBin (_, a, b) ->
+          if not (Ltype.equal (t a) (t b)) then
+            fail "@%s: %%%s: float binop operand types differ" f.fname i.result;
+          if not (Ltype.is_float (t a)) then
+            fail "@%s: %%%s: float binop on non-float" f.fname i.result
+      | Icmp (_, a, b) ->
+          if not (Ltype.equal (t a) (t b)) then
+            fail "@%s: icmp operand types differ" f.fname
+      | Fcmp (_, a, b) ->
+          if not (Ltype.equal (t a) (t b) && Ltype.is_float (t a)) then
+            fail "@%s: fcmp operand types invalid" f.fname
+      | Load (ty, p) -> (
+          match t p with
+          | Ltype.Ptr (Some pt) when not (Ltype.equal pt ty) ->
+              fail "@%s: load type %s from pointer to %s" f.fname
+                (Ltype.to_string ty) (Ltype.to_string pt)
+          | Ltype.Ptr _ -> ()
+          | other ->
+              fail "@%s: load from non-pointer %s" f.fname
+                (Ltype.to_string other))
+      | Store (v, p) -> (
+          match t p with
+          | Ltype.Ptr (Some pt) when not (Ltype.equal pt (t v)) ->
+              fail "@%s: store of %s into pointer to %s" f.fname
+                (Ltype.to_string (t v)) (Ltype.to_string pt)
+          | Ltype.Ptr _ -> ()
+          | other ->
+              fail "@%s: store to non-pointer %s" f.fname
+                (Ltype.to_string other))
+      | Gep { base; idxs; _ } ->
+          if not (Ltype.is_pointer (t base)) then
+            fail "@%s: getelementptr base is not a pointer" f.fname;
+          List.iter
+            (fun v ->
+              if not (Ltype.is_int (t v)) then
+                fail "@%s: getelementptr index is not an integer" f.fname)
+            idxs
+      | Select (c, a, b) ->
+          if not (Ltype.equal (t c) Ltype.I1) then
+            fail "@%s: select condition is not i1" f.fname;
+          if not (Ltype.equal (t a) (t b)) then
+            fail "@%s: select branch types differ" f.fname
+      | Phi incoming ->
+          let tys = List.map (fun (v, _) -> t v) incoming in
+          (match tys with
+          | [] -> fail "@%s: empty phi" f.fname
+          | ty0 :: rest ->
+              if not (List.for_all (Ltype.equal ty0) rest) then
+                fail "@%s: phi incoming types differ" f.fname)
+      | CondBr (c, _, _) ->
+          if not (Ltype.equal (t c) Ltype.I1) then
+            fail "@%s: conditional branch on non-i1" f.fname
+      | Ret (Some v) ->
+          if not (Ltype.equal (t v) f.ret_ty) then
+            fail "@%s: return type mismatch" f.fname
+      | Ret None ->
+          if not (Ltype.equal f.ret_ty Ltype.Void) then
+            fail "@%s: void return from non-void function" f.fname
+      | _ -> ())
+    f
+
+let check_calls (m : t) (f : func) =
+  iter_insts
+    (fun (i : Linstr.t) ->
+      match i.op with
+      | Call { callee; args; ret } -> (
+          match find_func m callee with
+          | Some g ->
+              if List.length args <> List.length g.params then
+                fail "@%s: call @%s with wrong arity" f.fname callee;
+              if not (Ltype.equal ret g.ret_ty) then
+                fail "@%s: call @%s return type mismatch" f.fname callee
+          | None -> (
+              match find_decl m callee with
+              | Some d ->
+                  if List.length args <> List.length d.dargs then
+                    fail "@%s: call @%s with wrong arity" f.fname callee
+              | None ->
+                  fail "@%s: call to undeclared function @%s" f.fname callee))
+      | _ -> ())
+    f
+
+let verify_func (m : t) (f : func) =
+  check_block_structure f;
+  check_ssa f;
+  check_types f;
+  check_calls m f
+
+let verify_module (m : t) = List.iter (verify_func m) m.funcs

@@ -1,0 +1,149 @@
+(** Constant folding and instruction simplification.
+
+    A single forward walk per iteration: constants and copies propagate
+    through a substitution map, folded instructions disappear.
+    Handles: integer/float binops on literals, comparisons, selects on
+    literal conditions, casts of literals, algebraic identities
+    ([x+0], [x*1], [x*0], [x-x], ...). *)
+
+open Linstr
+open Lvalue
+
+let fold_ibin op ty a b =
+  match op with
+  | Add -> Some (a + b)
+  | Sub -> Some (a - b)
+  | Mul -> Some (a * b)
+  | SDiv -> if b = 0 then None else Some (a / b)
+  | SRem -> if b = 0 then None else Some (a mod b)
+  | UDiv -> if b = 0 then None else Some (abs a / abs b)
+  | URem -> if b = 0 then None else Some (abs a mod abs b)
+  | Shl -> Some (a lsl b)
+  | AShr -> Some (a asr b)
+  | LShr ->
+      let w = Ltype.int_width ty in
+      Some ((a land ((1 lsl w) - 1)) lsr b)
+  | And -> Some (a land b)
+  | Or -> Some (a lor b)
+  | Xor -> Some (a lxor b)
+
+let fold_fbin op a b =
+  match op with
+  | FAdd -> Some (a +. b)
+  | FSub -> Some (a -. b)
+  | FMul -> Some (a *. b)
+  | FDiv -> Some (a /. b)
+  | FRem -> Some (Float.rem a b)
+
+let fold_icmp p a b =
+  let r =
+    match p with
+    | IEq -> a = b
+    | INe -> a <> b
+    | ISlt -> a < b
+    | ISle -> a <= b
+    | ISgt -> a > b
+    | ISge -> a >= b
+    | IUlt -> a < b
+    | IUle -> a <= b
+    | IUgt -> a > b
+    | IUge -> a >= b
+  in
+  if r then 1 else 0
+
+let inst_count_diff f f' = Lmodule.inst_count f <> Lmodule.inst_count f'
+
+let run_func (f : Lmodule.func) : Lmodule.func * bool =
+  let changed = ref false in
+  let subst : (string, Lvalue.t) Hashtbl.t = Hashtbl.create 32 in
+  let resolve v =
+    match v with
+    | Reg (n, _) -> (
+        match Hashtbl.find_opt subst n with Some v' -> v' | None -> v)
+    | _ -> v
+  in
+  let replace result v =
+    changed := true;
+    Hashtbl.replace subst result v;
+    []
+  in
+  let rw (i : Linstr.t) : Linstr.t list =
+    let i = Linstr.map_operands resolve i in
+    match i.op with
+    | IBin (op, Const (CInt (a, ty)), Const (CInt (b, _))) -> (
+        match fold_ibin op ty a b with
+        | Some v ->
+            replace i.result (Const (CInt (Linterp.norm_int ty v, ty)))
+        | None -> [ i ])
+    | FBin (op, Const (CFloat (a, ty)), Const (CFloat (b, _))) -> (
+        match fold_fbin op a b with
+        | Some v -> replace i.result (Const (CFloat (v, ty)))
+        | None -> [ i ])
+    | Icmp (p, Const (CInt (a, _)), Const (CInt (b, _))) ->
+        replace i.result (Const (CInt (fold_icmp p a b, Ltype.I1)))
+    | Select (Const (CInt (c, _)), a, b) ->
+        replace i.result (if c <> 0 then a else b)
+    | Cast ((Sext | Zext | Trunc), Const (CInt (v, _)), ty) ->
+        replace i.result (Const (CInt (Linterp.norm_int ty v, ty)))
+    | Cast (Sitofp, Const (CInt (v, _)), ty) ->
+        replace i.result (Const (CFloat (float_of_int v, ty)))
+    | Cast ((Fpext | Fptrunc), Const (CFloat (v, _)), ty) ->
+        replace i.result (Const (CFloat (v, ty)))
+    (* algebraic identities *)
+    | IBin (Add, x, Const (CInt (0, _)))
+    | IBin (Add, Const (CInt (0, _)), x)
+    | IBin (Sub, x, Const (CInt (0, _)))
+    | IBin (Mul, x, Const (CInt (1, _)))
+    | IBin (Mul, Const (CInt (1, _)), x)
+    | IBin (SDiv, x, Const (CInt (1, _)))
+    | IBin (Or, x, Const (CInt (0, _)))
+    | IBin (Or, Const (CInt (0, _)), x)
+    | IBin (Xor, x, Const (CInt (0, _)))
+    | IBin (Shl, x, Const (CInt (0, _)))
+    | IBin (AShr, x, Const (CInt (0, _))) ->
+        replace i.result x
+    | IBin (Mul, _, (Const (CInt (0, _)) as z))
+    | IBin (Mul, (Const (CInt (0, _)) as z), _)
+    | IBin (And, _, (Const (CInt (0, _)) as z))
+    | IBin (And, (Const (CInt (0, _)) as z), _) ->
+        replace i.result z
+    | IBin (Sub, Reg (a, ty), Reg (b, _)) when a = b ->
+        replace i.result (Const (CInt (0, ty)))
+    | FBin (FAdd, x, Const (CFloat (0.0, _)))
+    | FBin (FAdd, Const (CFloat (0.0, _)), x)
+    | FBin (FSub, x, Const (CFloat (0.0, _)))
+    | FBin (FMul, x, Const (CFloat (1.0, _)))
+    | FBin (FMul, Const (CFloat (1.0, _)), x)
+    | FBin (FDiv, x, Const (CFloat (1.0, _))) ->
+        replace i.result x
+    | Select (_, a, b) when Lvalue.equal a b -> replace i.result a
+    | Phi incoming -> (
+        (* all-same phi (ignoring self references) folds to the value *)
+        let non_self =
+          List.filter
+            (fun (v, _) ->
+              match v with Reg (n, _) -> n <> i.result | _ -> true)
+            incoming
+        in
+        match non_self with
+        | (v0, _) :: rest when List.for_all (fun (v, _) -> Lvalue.equal v v0) rest
+          ->
+            replace i.result v0
+        | _ -> [ i ])
+    | Freeze v when Lvalue.is_const v -> replace i.result v
+    | _ -> [ i ]
+  in
+  (* forward passes until stable (substitutions can cascade) *)
+  let rec go f n =
+    Hashtbl.reset subst;
+    changed := false;
+    let f' = Lmodule.rewrite_insts rw f in
+    (* apply any lingering substitutions to operands everywhere *)
+    let f' = Lmodule.substitute subst f' in
+    if !changed && n > 0 then (fst (go f' (n - 1)), true) else (f', !changed)
+  in
+  let f', _ = go f 8 in
+  (f', inst_count_diff f f')
+
+let run (m : Lmodule.t) : Lmodule.t =
+  Lmodule.map_funcs (fun f -> fst (run_func f)) m

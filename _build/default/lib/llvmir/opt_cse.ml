@@ -1,0 +1,91 @@
+(** Common subexpression elimination, dominance-based.
+
+    Pure instructions with identical opcodes and operands are unified:
+    the walk descends the dominator tree carrying a table of available
+    expressions, so a redundant instruction is always dominated by the
+    expression it reuses. *)
+
+open Linstr
+open Lmodule
+
+(** Structural key for a pure instruction (None when not CSE-able). *)
+let key_of (i : Linstr.t) : string option =
+  if not (Linstr.is_pure i) then None
+  else
+    match i.op with
+    | Phi _ -> None  (* phi equality depends on control flow *)
+    | _ ->
+        let opstr =
+          match i.op with
+          | IBin (op, _, _) -> "ibin:" ^ string_of_ibinop op
+          | FBin (op, _, _) -> "fbin:" ^ string_of_fbinop op
+          | Icmp (p, _, _) -> "icmp:" ^ string_of_icmp p
+          | Fcmp (p, _, _) -> "fcmp:" ^ string_of_fcmp p
+          | Gep { inbounds; src_ty; _ } ->
+              Printf.sprintf "gep:%b:%s" inbounds (Ltype.to_string src_ty)
+          | Cast (c, _, ty) ->
+              Printf.sprintf "cast:%s:%s" (string_of_cast c)
+                (Ltype.to_string ty)
+          | Select _ -> "select"
+          | ExtractValue (_, path) ->
+              "extract:" ^ String.concat "." (List.map string_of_int path)
+          | InsertValue (_, _, path) ->
+              "insert:" ^ String.concat "." (List.map string_of_int path)
+          | Freeze _ -> "freeze"
+          | _ -> "other"
+        in
+        let ops =
+          String.concat ","
+            (List.map
+               (fun v ->
+                 Ltype.to_string (Lvalue.type_of v) ^ ":" ^ Lvalue.to_string v)
+               (operands i))
+        in
+        Some (opstr ^ "(" ^ ops ^ ")")
+
+let run_func (f : func) : func * bool =
+  let cfg = Cfg.build f in
+  let dom = Dominance.compute cfg in
+  let blocks_arr = Array.of_list f.blocks in
+  let new_blocks = Array.make (Array.length blocks_arr) None in
+  let subst : (string, Lvalue.t) Hashtbl.t = Hashtbl.create 32 in
+  let changed = ref false in
+  let resolve v =
+    match v with
+    | Lvalue.Reg (r, _) -> (
+        match Hashtbl.find_opt subst r with Some v' -> v' | None -> v)
+    | _ -> v
+  in
+  let rec walk bi (avail : (string, Lvalue.t) Hashtbl.t) =
+    let avail = Hashtbl.copy avail in
+    let b = blocks_arr.(bi) in
+    let insts' =
+      List.concat_map
+        (fun (i : Linstr.t) ->
+          let i = Linstr.map_operands resolve i in
+          match key_of i with
+          | Some key when i.result <> "" -> (
+              match Hashtbl.find_opt avail key with
+              | Some v ->
+                  changed := true;
+                  Hashtbl.replace subst i.result v;
+                  []
+              | None ->
+                  Hashtbl.replace avail key (Lvalue.Reg (i.result, i.ty));
+                  [ i ])
+          | _ -> [ i ])
+        b.insts
+    in
+    new_blocks.(bi) <- Some { b with insts = insts' };
+    List.iter (fun c -> walk c avail) dom.Dominance.children.(bi)
+  in
+  if Array.length blocks_arr > 0 then walk 0 (Hashtbl.create 32);
+  let blocks =
+    List.mapi
+      (fun bi b -> Option.value ~default:b new_blocks.(bi))
+      f.blocks
+  in
+  let f' = substitute subst { f with blocks } in
+  (f', !changed)
+
+let run (m : t) : t = map_funcs (fun f -> fst (run_func f)) m

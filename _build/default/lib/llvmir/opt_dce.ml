@@ -1,0 +1,54 @@
+(** Dead code elimination: removes pure instructions whose results are
+    unused, plus calls to known-pure intrinsics.  Iterates to a fixed
+    point. *)
+
+open Lmodule
+
+(** Intrinsics with no side effects (safe to delete when unused). *)
+let pure_intrinsic name =
+  let starts_with p =
+    String.length name >= String.length p
+    && String.sub name 0 (String.length p) = p
+  in
+  starts_with "llvm.smax." || starts_with "llvm.smin."
+  || starts_with "llvm.umax." || starts_with "llvm.umin."
+  || starts_with "llvm.abs." || starts_with "llvm.fmuladd."
+  || starts_with "llvm.fma." || starts_with "llvm.fabs."
+  || starts_with "llvm.sqrt."
+
+let removable (i : Linstr.t) =
+  Linstr.is_pure i
+  ||
+  match i.op with
+  | Linstr.Call { callee; _ } -> pure_intrinsic callee
+  | _ -> false
+
+let run_func (f : func) : func * bool =
+  let changed_total = ref false in
+  let rec go f =
+    let used = used_names f in
+    let changed = ref false in
+    let f' =
+      rewrite_insts
+        (fun i ->
+          if
+            i.Linstr.result <> ""
+            && (not (Hashtbl.mem used i.Linstr.result))
+            && removable i
+          then begin
+            changed := true;
+            []
+          end
+          else [ i ])
+        f
+    in
+    if !changed then begin
+      changed_total := true;
+      go f'
+    end
+    else f'
+  in
+  let f' = go f in
+  (f', !changed_total)
+
+let run (m : t) : t = map_funcs (fun f -> fst (run_func f)) m

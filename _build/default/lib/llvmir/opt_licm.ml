@@ -1,0 +1,106 @@
+(** Loop-invariant code motion.
+
+    Pure instructions inside a loop whose operands are all defined
+    outside the loop (or are constants) hoist to the loop's
+    preheader — the unique out-of-loop predecessor of the header.
+    Loops without a unique preheader are skipped (the structured
+    lowering always produces one). *)
+
+open Linstr
+open Lmodule
+
+let run_func (f : func) : func * bool =
+  let cfg = Cfg.build f in
+  let li = Loop_info.compute cfg in
+  if Array.length li.Loop_info.loops = 0 then (f, false)
+  else begin
+    let changed = ref false in
+    (* process innermost-first so hoisted code can cascade outward *)
+    let order =
+      List.sort
+        (fun a b ->
+          compare li.Loop_info.loops.(b).Loop_info.depth
+            li.Loop_info.loops.(a).Loop_info.depth)
+        (List.init (Array.length li.Loop_info.loops) (fun i -> i))
+    in
+    let blocks = Array.of_list f.blocks in
+    let label_index = Hashtbl.create 16 in
+    Array.iteri
+      (fun i (b : block) -> Hashtbl.replace label_index b.label i)
+      blocks;
+    List.iter
+      (fun j ->
+        let l = li.Loop_info.loops.(j) in
+        let body_labels = List.map (Cfg.label cfg) l.Loop_info.body in
+        (* defs inside the loop *)
+        let inside_defs = Hashtbl.create 32 in
+        List.iter
+          (fun lbl ->
+            let b = blocks.(Hashtbl.find label_index lbl) in
+            List.iter
+              (fun (i : Linstr.t) ->
+                if i.result <> "" then Hashtbl.replace inside_defs i.result ())
+              b.insts)
+          body_labels;
+        (* unique preheader *)
+        let header_preds = cfg.Cfg.preds.(l.Loop_info.header) in
+        let outside_preds =
+          List.filter (fun p -> not (List.mem p l.Loop_info.body)) header_preds
+        in
+        match outside_preds with
+        | [ ph ] ->
+            let ph_label = Cfg.label cfg ph in
+            let hoisted = ref [] in
+            let invariant (i : Linstr.t) =
+              Linstr.is_pure i
+              && (match i.op with Phi _ -> false | _ -> true)
+              && List.for_all
+                   (fun v ->
+                     match v with
+                     | Lvalue.Reg (n, _) -> not (Hashtbl.mem inside_defs n)
+                     | _ -> true)
+                   (operands i)
+            in
+            (* iterate: hoisting one instruction may unlock its users *)
+            let rec sweep () =
+              let moved = ref false in
+              List.iter
+                (fun lbl ->
+                  let bi = Hashtbl.find label_index lbl in
+                  let b = blocks.(bi) in
+                  let keep, move =
+                    List.partition
+                      (fun (i : Linstr.t) ->
+                        if invariant i && i.result <> "" then begin
+                          Hashtbl.remove inside_defs i.result;
+                          false
+                        end
+                        else true)
+                      b.insts
+                  in
+                  if move <> [] then begin
+                    moved := true;
+                    changed := true;
+                    hoisted := !hoisted @ move;
+                    blocks.(bi) <- { b with insts = keep }
+                  end)
+                body_labels;
+              if !moved then sweep ()
+            in
+            sweep ();
+            if !hoisted <> [] then begin
+              let phi = Hashtbl.find label_index ph_label in
+              let phb = blocks.(phi) in
+              let insts =
+                match List.rev phb.insts with
+                | term :: restrev -> List.rev restrev @ !hoisted @ [ term ]
+                | [] -> !hoisted
+              in
+              blocks.(phi) <- { phb with insts }
+            end
+        | _ -> ())
+      order;
+    ({ f with blocks = Array.to_list blocks }, !changed)
+  end
+
+let run (m : t) : t = map_funcs (fun f -> fst (run_func f)) m

@@ -1,0 +1,187 @@
+(** Promotion of scalar allocas to SSA registers (mem2reg), using the
+    standard dominance-frontier phi placement.
+
+    An alloca is promotable when it holds a scalar type and every use
+    is a direct [load]/[store] of the whole slot (no GEPs, no escapes
+    via calls or pointer arithmetic).  The C-round-trip flow relies on
+    this pass: the mini-C front-end emits every local through an
+    alloca, just like Clang at -O0, and Vitis runs mem2reg first. *)
+
+open Linstr
+open Lmodule
+
+type alloca_info = { name : string; ty : Ltype.t }
+
+(** Find promotable allocas in [f]. *)
+let promotable (f : func) : alloca_info list =
+  let candidates = Hashtbl.create 16 in
+  iter_insts
+    (fun (i : Linstr.t) ->
+      match i.op with
+      | Alloca (ty, 1)
+        when (Ltype.is_int ty || Ltype.is_float ty)
+             && i.result <> "" ->
+          Hashtbl.replace candidates i.result ty
+      | _ -> ())
+    f;
+  (* disqualify escaping uses *)
+  iter_insts
+    (fun (i : Linstr.t) ->
+      let disqualify v =
+        match v with
+        | Lvalue.Reg (n, _) -> Hashtbl.remove candidates n
+        | _ -> ()
+      in
+      match i.op with
+      | Load (_, _ptr) -> ()  (* pointer operand of load is fine *)
+      | Store (v, _ptr) -> disqualify v  (* storing the pointer itself escapes *)
+      | _ -> List.iter disqualify (operands i))
+    f;
+  Hashtbl.fold (fun name ty acc -> { name; ty } :: acc) candidates []
+
+let run_func (f : func) : func * bool =
+  let allocas = promotable f in
+  if allocas = [] then (f, false)
+  else begin
+    let cfg = Cfg.build f in
+    let dom = Dominance.compute cfg in
+    let df = Dominance.frontiers dom in
+    let names = namegen f in
+    let n = Cfg.n_blocks cfg in
+    let alloca_tbl = Hashtbl.create 8 in
+    List.iter (fun a -> Hashtbl.replace alloca_tbl a.name a.ty) allocas;
+    (* blocks containing a store to each alloca *)
+    let def_blocks = Hashtbl.create 8 in
+    List.iteri
+      (fun bi (b : block) ->
+        List.iter
+          (fun (i : Linstr.t) ->
+            match i.op with
+            | Store (_, Lvalue.Reg (p, _)) when Hashtbl.mem alloca_tbl p ->
+                let cur =
+                  Option.value ~default:[] (Hashtbl.find_opt def_blocks p)
+                in
+                if not (List.mem bi cur) then
+                  Hashtbl.replace def_blocks p (bi :: cur)
+            | _ -> ())
+          b.insts)
+      f.blocks;
+    (* phi placement: iterated dominance frontier *)
+    (* phis.(bi) : (alloca_name, phi_reg) list *)
+    let phis : (string * string) list array = Array.make n [] in
+    List.iter
+      (fun a ->
+        let work = Queue.create () in
+        List.iter
+          (fun bi -> Queue.add bi work)
+          (Option.value ~default:[] (Hashtbl.find_opt def_blocks a.name));
+        let placed = Array.make n false in
+        while not (Queue.is_empty work) do
+          let bi = Queue.pop work in
+          List.iter
+            (fun fb ->
+              if not placed.(fb) then begin
+                placed.(fb) <- true;
+                let reg = Support.Namegen.fresh names (a.name ^ ".phi") in
+                phis.(fb) <- (a.name, reg) :: phis.(fb);
+                Queue.add fb work
+              end)
+            df.(bi)
+        done)
+      allocas;
+    (* renaming walk over the dominator tree *)
+    let blocks_arr = Array.of_list f.blocks in
+    let new_blocks = Array.make n None in
+    let subst : (string, Lvalue.t) Hashtbl.t = Hashtbl.create 32 in
+    (* incoming values for placed phis: (block, phi_reg) -> (value, pred) list *)
+    let phi_incoming : (int * string, (Lvalue.t * string) list ref) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    Array.iteri
+      (fun bi ps ->
+        List.iter
+          (fun (_, reg) -> Hashtbl.replace phi_incoming (bi, reg) (ref []))
+          ps)
+      phis;
+    let undef_of ty = Lvalue.Const (Lvalue.CUndef ty) in
+    let rec rename bi (cur : (string, Lvalue.t) Hashtbl.t) =
+      let b = blocks_arr.(bi) in
+      let cur = Hashtbl.copy cur in
+      (* bind phi registers first *)
+      List.iter
+        (fun (aname, reg) ->
+          let ty = Hashtbl.find alloca_tbl aname in
+          Hashtbl.replace cur aname (Lvalue.Reg (reg, ty)))
+        phis.(bi);
+      let resolve v =
+        match v with
+        | Lvalue.Reg (r, _) -> (
+            match Hashtbl.find_opt subst r with Some v' -> v' | None -> v)
+        | _ -> v
+      in
+      let insts' =
+        List.concat_map
+          (fun (i : Linstr.t) ->
+            let i = Linstr.map_operands resolve i in
+            match i.op with
+            | Alloca (_, _) when Hashtbl.mem alloca_tbl i.result -> []
+            | Store (v, Lvalue.Reg (p, _)) when Hashtbl.mem alloca_tbl p ->
+                Hashtbl.replace cur p (resolve v);
+                []
+            | Load (ty, Lvalue.Reg (p, _)) when Hashtbl.mem alloca_tbl p ->
+                let v =
+                  match Hashtbl.find_opt cur p with
+                  | Some v -> v
+                  | None -> undef_of ty
+                in
+                Hashtbl.replace subst i.result v;
+                []
+            | _ -> [ i ])
+          b.insts
+      in
+      new_blocks.(bi) <- Some { b with insts = insts' };
+      (* record incoming values for successor phis *)
+      List.iter
+        (fun si ->
+          List.iter
+            (fun (aname, reg) ->
+              let ty = Hashtbl.find alloca_tbl aname in
+              let v =
+                match Hashtbl.find_opt cur aname with
+                | Some v -> v
+                | None -> undef_of ty
+              in
+              let r = Hashtbl.find phi_incoming (si, reg) in
+              r := (v, b.label) :: !r)
+            phis.(si))
+        cfg.Cfg.succs.(bi);
+      (* recurse into dominator children *)
+      List.iter (fun child -> rename child cur) dom.Dominance.children.(bi)
+    in
+    rename 0 (Hashtbl.create 8);
+    (* materialize phi instructions at block heads *)
+    let final_blocks =
+      List.mapi
+        (fun bi (b : block) ->
+          let b = Option.value ~default:b new_blocks.(bi) in
+          let phi_insts =
+            List.rev_map
+              (fun (aname, reg) ->
+                let ty = Hashtbl.find alloca_tbl aname in
+                let incoming =
+                  List.rev !(Hashtbl.find phi_incoming (bi, reg))
+                in
+                Linstr.make ~result:reg ~ty (Phi incoming))
+              phis.(bi)
+          in
+          { b with insts = phi_insts @ b.insts })
+        f.blocks
+    in
+    let f' = { f with blocks = final_blocks } in
+    (* substitutions recorded during renaming must also rewrite uses that
+       appear before their defs in layout order (loop-carried phis) *)
+    let f' = substitute subst f' in
+    (f', true)
+  end
+
+let run (m : t) : t = map_funcs (fun f -> fst (run_func f)) m

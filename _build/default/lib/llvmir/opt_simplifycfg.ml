@@ -1,0 +1,157 @@
+(** CFG simplification:
+    - fold conditional branches on constant conditions;
+    - remove blocks unreachable from the entry (fixing up phis);
+    - merge a block into its unique predecessor when that predecessor
+      has a single successor (straightening chains the lowering and
+      other passes leave behind). *)
+
+open Linstr
+open Lmodule
+
+(** Drop phi entries coming from labels not in [preds]. *)
+let prune_phis (f : func) (live_preds : string -> string list) : func =
+  {
+    f with
+    blocks =
+      List.map
+        (fun (b : block) ->
+          let keep = live_preds b.label in
+          {
+            b with
+            insts =
+              List.concat_map
+                (fun (i : Linstr.t) ->
+                  match i.op with
+                  | Phi incoming -> (
+                      let incoming' =
+                        List.filter (fun (_, l) -> List.mem l keep) incoming
+                      in
+                      match incoming' with
+                      | [] -> []
+                      | _ -> [ { i with op = Phi incoming' } ])
+                  | _ -> [ i ])
+                b.insts;
+          })
+        f.blocks;
+  }
+
+let fold_const_branches (f : func) : func * bool =
+  let changed = ref false in
+  let f' =
+    rewrite_insts
+      (fun (i : Linstr.t) ->
+        match i.op with
+        | CondBr (Lvalue.Const (Lvalue.CInt (c, _)), t, e) ->
+            changed := true;
+            [ { i with op = Br (if c <> 0 then t else e) } ]
+        | CondBr (_, t, e) when t = e ->
+            changed := true;
+            [ { i with op = Br t } ]
+        | _ -> [ i ])
+      f
+  in
+  (f', !changed)
+
+let remove_unreachable (f : func) : func * bool =
+  let cfg = Cfg.build f in
+  let dead = Cfg.unreachable_blocks cfg in
+  if dead = [] then (f, false)
+  else begin
+    let dead_labels = List.map (Cfg.label cfg) dead in
+    let blocks =
+      List.filter (fun (b : block) -> not (List.mem b.label dead_labels)) f.blocks
+    in
+    let f' = { f with blocks } in
+    let cfg' = Cfg.build f' in
+    let live_preds label =
+      match Cfg.index_of cfg' label with
+      | Some i -> List.map (Cfg.label cfg') cfg'.Cfg.preds.(i)
+      | None -> []
+    in
+    (prune_phis f' live_preds, true)
+  end
+
+(** Merge [b] into its unique predecessor [p] when [p]'s terminator is
+    an unconditional branch to [b] and [b] has no phis. *)
+let merge_blocks (f : func) : func * bool =
+  let cfg = Cfg.build f in
+  let n = Cfg.n_blocks cfg in
+  (* find a mergeable pair *)
+  let candidate = ref None in
+  for bi = 1 to n - 1 do
+    if !candidate = None then
+      match cfg.Cfg.preds.(bi) with
+      | [ p ] when List.length cfg.Cfg.succs.(p) = 1 && p <> bi ->
+          let blk = Cfg.block cfg bi in
+          let has_phi =
+            List.exists
+              (fun (i : Linstr.t) ->
+                match i.op with Phi _ -> true | _ -> false)
+              blk.insts
+          in
+          if not has_phi then candidate := Some (p, bi)
+      | _ -> ()
+  done;
+  match !candidate with
+  | None -> (f, false)
+  | Some (p, bi) ->
+      let pred = Cfg.block cfg p in
+      let blk = Cfg.block cfg bi in
+      let pred_insts =
+        match List.rev pred.insts with
+        | _term :: rest -> List.rev rest
+        | [] -> []
+      in
+      let merged = { pred with insts = pred_insts @ blk.insts } in
+      let blocks =
+        List.filter_map
+          (fun (b : block) ->
+            if b.label = pred.label then Some merged
+            else if b.label = blk.label then None
+            else Some b)
+          f.blocks
+      in
+      (* phis in successors referencing the removed label now come from
+         the predecessor's label *)
+      let fixup (b : block) =
+        {
+          b with
+          insts =
+            List.map
+              (fun (i : Linstr.t) ->
+                match i.op with
+                | Phi incoming ->
+                    {
+                      i with
+                      op =
+                        Phi
+                          (List.map
+                             (fun (v, l) ->
+                               ((v : Lvalue.t), if l = blk.label then pred.label else l))
+                             incoming);
+                    }
+                | _ -> i)
+              b.insts;
+        }
+      in
+      ({ f with blocks = List.map fixup blocks }, true)
+
+let run_func (f : func) : func * bool =
+  let changed_total = ref false in
+  let rec go f n =
+    if n = 0 then f
+    else begin
+      let f, c1 = fold_const_branches f in
+      let f, c2 = remove_unreachable f in
+      let f, c3 = merge_blocks f in
+      if c1 || c2 || c3 then begin
+        changed_total := true;
+        go f (n - 1)
+      end
+      else f
+    end
+  in
+  let f' = go f 64 in
+  (f', !changed_total)
+
+let run (m : t) : t = map_funcs (fun f -> fst (run_func f)) m

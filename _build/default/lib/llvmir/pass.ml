@@ -1,0 +1,49 @@
+(** Pass manager for LLVM-level transforms: named passes, pipelines,
+    optional verification between passes, and per-pass timing. *)
+
+type pass = { name : string; run : Lmodule.t -> Lmodule.t }
+
+let inline = { name = "inline"; run = Opt_inline.run }
+let mem2reg = { name = "mem2reg"; run = Opt_mem2reg.run }
+let dce = { name = "dce"; run = Opt_dce.run }
+let constfold = { name = "constfold"; run = Opt_constfold.run }
+let cse = { name = "cse"; run = Opt_cse.run }
+let simplifycfg = { name = "simplifycfg"; run = Opt_simplifycfg.run }
+let licm = { name = "licm"; run = Opt_licm.run }
+
+(** The -O2-flavoured cleanup pipeline both flows run before HLS.
+    Inlining comes first: Vitis flattens the design into the top
+    function before anything else. *)
+let default_pipeline =
+  [ inline; mem2reg; constfold; cse; licm; dce; simplifycfg; constfold; dce ]
+
+type timing = { pass_name : string; seconds : float }
+
+(** Run a pipeline.  With [~verify:true] (default) the module is
+    verified after every pass so a miscompiling pass is caught at its
+    source.  Returns the transformed module and per-pass timings. *)
+let run_pipeline ?(verify = true) (passes : pass list) (m : Lmodule.t) :
+    Lmodule.t * timing list =
+  let timings = ref [] in
+  let m =
+    List.fold_left
+      (fun m p ->
+        let t0 = Sys.time () in
+        let m' = p.run m in
+        let t1 = Sys.time () in
+        timings := { pass_name = p.name; seconds = t1 -. t0 } :: !timings;
+        if verify then Lverifier.verify_module m';
+        m')
+      m passes
+  in
+  (m, List.rev !timings)
+
+let by_name = function
+  | "inline" -> Some inline
+  | "mem2reg" -> Some mem2reg
+  | "dce" -> Some dce
+  | "constfold" -> Some constfold
+  | "cse" -> Some cse
+  | "simplifycfg" -> Some simplifycfg
+  | "licm" -> Some licm
+  | _ -> None

@@ -1,0 +1,1 @@
+lib/lowering/lower.ml: Affine_expr Affine_map Array Attr Hashtbl Ir List Llvmir Mhir Option Printf String Support Types

@@ -1,0 +1,1 @@
+lib/mhir/affine_expr.ml: Array Format Printf

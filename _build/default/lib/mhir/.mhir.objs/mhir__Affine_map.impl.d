@@ -1,0 +1,1 @@
+lib/mhir/affine_map.ml: Affine_expr Array Format List Printf String

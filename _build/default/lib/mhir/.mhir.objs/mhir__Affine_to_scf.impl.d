@@ -1,0 +1,1 @@
+lib/mhir/affine_to_scf.ml: Affine_expr Affine_map Attr Ir List String Support Types

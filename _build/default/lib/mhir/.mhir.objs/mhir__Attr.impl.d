@@ -1,0 +1,1 @@
+lib/mhir/attr.ml: Affine_map Format List Printf String Types

@@ -1,0 +1,1 @@
+lib/mhir/builder.ml: Affine_map Attr Ir List Support Types

@@ -1,0 +1,1 @@
+lib/mhir/canonicalize.ml: Attr Dialect Float Hashtbl Ir List

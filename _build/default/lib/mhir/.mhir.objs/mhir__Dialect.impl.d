@@ -1,0 +1,1 @@
+lib/mhir/dialect.ml: List String

@@ -1,0 +1,1 @@
+lib/mhir/interp.ml: Affine_map Array Attr Float Hashtbl Ir List Support Types

@@ -1,0 +1,1 @@
+lib/mhir/ir.ml: Attr Hashtbl Int List Map Types

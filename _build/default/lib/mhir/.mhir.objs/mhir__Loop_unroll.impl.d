@@ -1,0 +1,1 @@
+lib/mhir/loop_unroll.ml: Affine_expr Affine_map Attr Hashtbl Ir List Support Types

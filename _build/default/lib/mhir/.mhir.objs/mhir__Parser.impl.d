@@ -1,0 +1,1 @@
+lib/mhir/parser.ml: Affine_expr Affine_map Array Attr Buffer Hashtbl Ir List Printf String Support Types

@@ -1,0 +1,1 @@
+lib/mhir/printer.ml: Affine_map Attr Buffer Ir List Printf String Types

@@ -1,0 +1,1 @@
+lib/mhir/types.ml: Format List Printf String

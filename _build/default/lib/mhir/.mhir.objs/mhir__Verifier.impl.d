@@ -1,0 +1,1 @@
+lib/mhir/verifier.ml: Affine_map Attr Dialect Hashtbl Ir List Support Types

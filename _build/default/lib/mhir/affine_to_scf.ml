@@ -1,0 +1,196 @@
+(** Lowering of the affine dialect into scf + arith + memref, mirroring
+    MLIR's [-lower-affine].  After this pass a function contains no
+    [affine.*] ops: loops become [scf.for] with explicit bound
+    constants, and affine subscript maps are expanded into arithmetic.
+
+    The direct-IR flow does not require this pass (lowering handles
+    affine ops natively); it exists because the paper's pipeline mirrors
+    the upstream MLIR pass stack, and it doubles as a differential
+    testing target (interpret before vs after). *)
+
+open Ir
+
+let fail = Support.Err.fail ~pass:"mhir.affine_to_scf"
+
+(** Mini-builder for pass-internal op creation: fresh ids continue from
+    the function's maximum. *)
+type ctx = { mutable next_id : int }
+
+let make_ctx (f : func) =
+  let m = ref 0 in
+  let see (v : value) = if v.id >= !m then m := v.id + 1 in
+  List.iter see f.args;
+  walk_func
+    (fun o ->
+      List.iter see o.operands;
+      List.iter see o.results;
+      List.iter
+        (fun r -> List.iter (fun b -> List.iter see b.params) r.blocks)
+        o.regions)
+    f;
+  { next_id = !m }
+
+let fresh ctx ty =
+  let id = ctx.next_id in
+  ctx.next_id <- ctx.next_id + 1;
+  { id; ty; hint = "" }
+
+let const_op ctx acc c =
+  let r = fresh ctx Types.Index in
+  acc :=
+    {
+      name = "arith.constant";
+      operands = [];
+      results = [ r ];
+      attrs = [ ("value", Attr.Int c) ];
+      regions = [];
+    }
+    :: !acc;
+  r
+
+let binop_op ctx acc name a b =
+  let r = fresh ctx Types.Index in
+  acc :=
+    { name; operands = [ a; b ]; results = [ r ]; attrs = []; regions = [] }
+    :: !acc;
+  r
+
+(** Expand an affine expression into arith ops appended to [acc]
+    (reversed); returns the value holding the result. *)
+let rec expand_expr ctx acc ~dims ~syms (e : Affine_expr.t) : value =
+  match e with
+  | Affine_expr.Const c -> const_op ctx acc c
+  | Affine_expr.Dim i -> List.nth dims i
+  | Affine_expr.Sym i -> List.nth syms i
+  | Affine_expr.Add (a, b) ->
+      binop_op ctx acc "arith.addi"
+        (expand_expr ctx acc ~dims ~syms a)
+        (expand_expr ctx acc ~dims ~syms b)
+  | Affine_expr.Mul (a, b) ->
+      binop_op ctx acc "arith.muli"
+        (expand_expr ctx acc ~dims ~syms a)
+        (expand_expr ctx acc ~dims ~syms b)
+  | Affine_expr.Mod (a, b) ->
+      (* Euclidean mod for non-negative subscripts: remsi suffices since
+         loop ivs are non-negative in the kernels this stack handles. *)
+      binop_op ctx acc "arith.remsi"
+        (expand_expr ctx acc ~dims ~syms a)
+        (expand_expr ctx acc ~dims ~syms b)
+  | Affine_expr.FloorDiv (a, b) ->
+      binop_op ctx acc "arith.divsi"
+        (expand_expr ctx acc ~dims ~syms a)
+        (expand_expr ctx acc ~dims ~syms b)
+  | Affine_expr.CeilDiv (a, b) ->
+      let va = expand_expr ctx acc ~dims ~syms a in
+      let vb = expand_expr ctx acc ~dims ~syms b in
+      let one = const_op ctx acc 1 in
+      let bm1 = binop_op ctx acc "arith.subi" vb one in
+      let sum = binop_op ctx acc "arith.addi" va bm1 in
+      binop_op ctx acc "arith.divsi" sum vb
+
+let split_map_operands (map : Affine_map.t) operands =
+  let rec take n = function
+    | l when n = 0 -> ([], l)
+    | x :: tl ->
+        let a, b = take (n - 1) tl in
+        (x :: a, b)
+    | [] -> fail "affine map operand list too short"
+  in
+  take map.Affine_map.num_dims operands
+
+let expand_map ctx acc (map : Affine_map.t) operands : value list =
+  let dims, syms = split_map_operands map operands in
+  List.map (expand_expr ctx acc ~dims ~syms) map.Affine_map.exprs
+
+let run_func (f : func) : func =
+  let ctx = make_ctx f in
+  let rewrite (o : op) : op list =
+    match o.name with
+    | "affine.apply" ->
+        let map = Attr.as_map (Attr.find_exn o.attrs "map") in
+        let acc = ref [] in
+        let vs = expand_map ctx acc map o.operands in
+        let result = List.hd o.results in
+        let v = List.hd vs in
+        (* Re-emit the final value under the op's original result id so
+           downstream uses keep working. *)
+        let copy =
+          {
+            name = "arith.addi";
+            operands = [ v; const_op ctx acc 0 ];
+            results = [ result ];
+            attrs = [];
+            regions = [];
+          }
+        in
+        List.rev (copy :: !acc)
+    | "affine.load" ->
+        let map = Attr.as_map (Attr.find_exn o.attrs "map") in
+        let mem = List.hd o.operands in
+        let acc = ref [] in
+        let idxs = expand_map ctx acc map (List.tl o.operands) in
+        let load =
+          {
+            name = "memref.load";
+            operands = mem :: idxs;
+            results = o.results;
+            attrs = [];
+            regions = [];
+          }
+        in
+        List.rev (load :: !acc)
+    | "affine.store" -> (
+        match o.operands with
+        | v :: mem :: rest ->
+            let map = Attr.as_map (Attr.find_exn o.attrs "map") in
+            let acc = ref [] in
+            let idxs = expand_map ctx acc map rest in
+            let store =
+              {
+                name = "memref.store";
+                operands = v :: mem :: idxs;
+                results = [];
+                attrs = [];
+                regions = [];
+              }
+            in
+            List.rev (store :: !acc)
+        | _ -> fail "affine.store: malformed operands")
+    | "affine.for" ->
+        let lb_map = Attr.as_map (Attr.find_exn o.attrs "lower_map") in
+        let ub_map = Attr.as_map (Attr.find_exn o.attrs "upper_map") in
+        let step = Attr.as_int (Attr.find_exn o.attrs "step") in
+        let lb_c =
+          match Affine_map.as_constant lb_map with
+          | Some c -> c
+          | None -> fail "affine.for: symbolic lower bound unsupported"
+        in
+        let ub_c =
+          match Affine_map.as_constant ub_map with
+          | Some c -> c
+          | None -> fail "affine.for: symbolic upper bound unsupported"
+        in
+        let acc = ref [] in
+        let lb = const_op ctx acc lb_c in
+        let ub = const_op ctx acc ub_c in
+        let stv = const_op ctx acc step in
+        (* keep HLS directive attrs on the scf.for *)
+        let dir_attrs =
+          List.filter (fun (k, _) -> String.length k > 4 && String.sub k 0 4 = "hls.") o.attrs
+        in
+        let scf =
+          {
+            name = "scf.for";
+            operands = lb :: ub :: stv :: o.operands;
+            results = o.results;
+            attrs = dir_attrs;
+            regions = o.regions;
+          }
+        in
+        List.rev (scf :: !acc)
+    | "affine.yield" -> [ { o with name = "scf.yield" } ]
+    | _ -> [ o ]
+  in
+  rewrite_func rewrite f
+
+let run (m : modul) : modul = { funcs = List.map run_func m.funcs }

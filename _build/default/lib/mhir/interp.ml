@@ -1,0 +1,348 @@
+(** Reference interpreter for the multi-level IR.
+
+    Used as the semantic oracle: workloads run here to produce golden
+    outputs that both HLS flows (direct-IR and C++ round-trip) must
+    match in "co-simulation" tests.
+
+    Integer semantics: values are stored as OCaml [int]s and normalized
+    to the width of their type after every operation ([i32] wraps,
+    [i1] is 0/1, [index]/[i64] use the native 63-bit range — documented
+    substitution, kernels stay far below 2^62). *)
+
+open Ir
+
+let fail = Support.Err.fail ~pass:"mhir.interp"
+
+type buffer = {
+  shape : int array;
+  elem : Types.ty;
+  fdata : float array;  (** used when [elem] is a float type *)
+  idata : int array;  (** used when [elem] is an integer type *)
+}
+
+type rv = Int of int | Float of float | Buf of buffer
+
+(** Normalize an integer to the range of its type. *)
+let norm_int ty v =
+  match ty with
+  | Types.I1 -> v land 1
+  | Types.I32 ->
+      let m = v land 0xFFFFFFFF in
+      if m land 0x80000000 <> 0 then m - (1 lsl 32) else m
+  | _ -> v
+
+let alloc_buffer shape elem =
+  let size = Array.fold_left ( * ) 1 shape in
+  if Types.is_float elem then
+    { shape; elem; fdata = Array.make size 0.0; idata = [||] }
+  else { shape; elem; fdata = [||]; idata = Array.make size 0 }
+
+let buffer_of_ty = function
+  | Types.Memref (shape, elem) -> alloc_buffer (Array.of_list shape) elem
+  | t -> fail "cannot allocate non-memref type %s" (Types.to_string t)
+
+let linearize (b : buffer) idxs =
+  let rank = Array.length b.shape in
+  if List.length idxs <> rank then fail "subscript rank mismatch";
+  let off = ref 0 in
+  List.iteri
+    (fun d i ->
+      if i < 0 || i >= b.shape.(d) then
+        fail "subscript %d out of bounds for dimension %d (size %d)" i d
+          b.shape.(d);
+      off := (!off * b.shape.(d)) + i)
+    idxs;
+  !off
+
+let buf_get b idxs =
+  let off = linearize b idxs in
+  if Types.is_float b.elem then Float b.fdata.(off) else Int b.idata.(off)
+
+let buf_set b idxs v =
+  let off = linearize b idxs in
+  match v with
+  | Float f when Types.is_float b.elem -> b.fdata.(off) <- f
+  | Int i when Types.is_int b.elem -> b.idata.(off) <- norm_int b.elem i
+  | _ -> fail "stored value does not match buffer element type"
+
+let as_int = function Int i -> i | _ -> fail "expected integer value"
+let as_float = function Float f -> f | _ -> fail "expected float value"
+let as_buf = function Buf b -> b | _ -> fail "expected memref value"
+
+type env = { vals : (int, rv) Hashtbl.t; modul : modul }
+
+let lookup env (v : value) =
+  match Hashtbl.find_opt env.vals v.id with
+  | Some rv -> rv
+  | None -> fail "value %%%d has no runtime binding" v.id
+
+let bind env (v : value) rv = Hashtbl.replace env.vals v.id rv
+
+let euclid_mod x y =
+  let r = x mod y in
+  if r < 0 then r + abs y else r
+
+let rec exec_block env (blk : block) : rv list =
+  let rec go = function
+    | [] -> fail "block fell through without terminator"
+    | [ last ] -> (
+        match last.name with
+        | "affine.yield" | "scf.yield" | "func.return" ->
+            List.map (lookup env) last.operands
+        | _ ->
+            exec_op env last;
+            fail "block does not end with a terminator")
+    | o :: rest ->
+        exec_op env o;
+        go rest
+  in
+  go blk.ops
+
+and exec_op env (o : op) : unit =
+  let bind1 rv = bind env (List.hd o.results) rv in
+  let int_binop f =
+    let a = as_int (lookup env (List.nth o.operands 0)) in
+    let b = as_int (lookup env (List.nth o.operands 1)) in
+    let r = (List.hd o.results : value) in
+    bind1 (Int (norm_int r.ty (f a b)))
+  in
+  let float_binop f =
+    let a = as_float (lookup env (List.nth o.operands 0)) in
+    let b = as_float (lookup env (List.nth o.operands 1)) in
+    bind1 (Float (f a b))
+  in
+  match o.name with
+  | "arith.constant" -> (
+      let r = (List.hd o.results : value) in
+      match Attr.find_exn o.attrs "value" with
+      | Attr.Int i -> bind1 (Int (norm_int r.ty i))
+      | Attr.Float f -> bind1 (Float f)
+      | a -> fail "bad constant attribute %s" (Attr.to_string a))
+  | "arith.addi" -> int_binop ( + )
+  | "arith.subi" -> int_binop ( - )
+  | "arith.muli" -> int_binop ( * )
+  | "arith.divsi" ->
+      int_binop (fun a b ->
+          if b = 0 then fail "division by zero" else a / b)
+  | "arith.remsi" ->
+      int_binop (fun a b ->
+          if b = 0 then fail "remainder by zero" else a mod b)
+  | "arith.andi" -> int_binop ( land )
+  | "arith.ori" -> int_binop ( lor )
+  | "arith.xori" -> int_binop ( lxor )
+  | "arith.shli" -> int_binop ( lsl )
+  | "arith.shrsi" -> int_binop ( asr )
+  | "arith.maxsi" -> int_binop max
+  | "arith.minsi" -> int_binop min
+  | "arith.addf" -> float_binop ( +. )
+  | "arith.subf" -> float_binop ( -. )
+  | "arith.mulf" -> float_binop ( *. )
+  | "arith.divf" -> float_binop ( /. )
+  | "arith.maximumf" -> float_binop Float.max
+  | "arith.minimumf" -> float_binop Float.min
+  | "arith.negf" ->
+      bind1 (Float (-.as_float (lookup env (List.hd o.operands))))
+  | "arith.cmpi" ->
+      let a = as_int (lookup env (List.nth o.operands 0)) in
+      let b = as_int (lookup env (List.nth o.operands 1)) in
+      let p = Attr.as_str (Attr.find_exn o.attrs "predicate") in
+      let r =
+        match p with
+        | "eq" -> a = b
+        | "ne" -> a <> b
+        | "slt" -> a < b
+        | "sle" -> a <= b
+        | "sgt" -> a > b
+        | "sge" -> a >= b
+        | _ -> fail "unknown cmpi predicate %s" p
+      in
+      bind1 (Int (if r then 1 else 0))
+  | "arith.cmpf" ->
+      let a = as_float (lookup env (List.nth o.operands 0)) in
+      let b = as_float (lookup env (List.nth o.operands 1)) in
+      let p = Attr.as_str (Attr.find_exn o.attrs "predicate") in
+      let r =
+        match p with
+        | "oeq" -> a = b
+        | "one" -> a <> b && not (Float.is_nan a || Float.is_nan b)
+        | "olt" -> a < b
+        | "ole" -> a <= b
+        | "ogt" -> a > b
+        | "oge" -> a >= b
+        | _ -> fail "unknown cmpf predicate %s" p
+      in
+      bind1 (Int (if r then 1 else 0))
+  | "arith.select" ->
+      let c = as_int (lookup env (List.nth o.operands 0)) in
+      bind1 (lookup env (List.nth o.operands (if c <> 0 then 1 else 2)))
+  | "arith.index_cast" ->
+      let r = (List.hd o.results : value) in
+      bind1 (Int (norm_int r.ty (as_int (lookup env (List.hd o.operands)))))
+  | "arith.sitofp" ->
+      bind1 (Float (float_of_int (as_int (lookup env (List.hd o.operands)))))
+  | "arith.fptosi" ->
+      let r = (List.hd o.results : value) in
+      bind1
+        (Int
+           (norm_int r.ty
+              (int_of_float (as_float (lookup env (List.hd o.operands))))))
+  | "arith.extf" | "arith.truncf" ->
+      bind1 (Float (as_float (lookup env (List.hd o.operands))))
+  | "memref.alloc" | "memref.alloca" ->
+      let r = (List.hd o.results : value) in
+      bind1 (Buf (buffer_of_ty r.ty))
+  | "memref.dealloc" -> ()
+  | "memref.load" ->
+      let buf = as_buf (lookup env (List.hd o.operands)) in
+      let idxs =
+        List.map (fun v -> as_int (lookup env v)) (List.tl o.operands)
+      in
+      bind1 (buf_get buf idxs)
+  | "memref.store" -> (
+      match o.operands with
+      | v :: m :: idx_vals ->
+          let buf = as_buf (lookup env m) in
+          let idxs = List.map (fun v -> as_int (lookup env v)) idx_vals in
+          buf_set buf idxs (lookup env v)
+      | _ -> fail "memref.store: malformed operands")
+  | "affine.apply" ->
+      let map = Attr.as_map (Attr.find_exn o.attrs "map") in
+      let operand_vals =
+        List.map (fun v -> as_int (lookup env v)) o.operands
+      in
+      let dims = Array.of_list operand_vals in
+      let dims, syms =
+        ( Array.sub dims 0 map.Affine_map.num_dims,
+          Array.sub dims map.Affine_map.num_dims map.Affine_map.num_syms )
+      in
+      (match Affine_map.eval map ~dims ~syms with
+      | [ r ] -> bind1 (Int r)
+      | _ -> fail "affine.apply: map must have one result")
+  | "affine.load" ->
+      let buf = as_buf (lookup env (List.hd o.operands)) in
+      let map = Attr.as_map (Attr.find_exn o.attrs "map") in
+      let operand_vals =
+        List.map (fun v -> as_int (lookup env v)) (List.tl o.operands)
+      in
+      let arr = Array.of_list operand_vals in
+      let dims = Array.sub arr 0 map.Affine_map.num_dims in
+      let syms = Array.sub arr map.Affine_map.num_dims map.Affine_map.num_syms in
+      bind1 (buf_get buf (Affine_map.eval map ~dims ~syms))
+  | "affine.store" -> (
+      match o.operands with
+      | v :: m :: idx_vals ->
+          let buf = as_buf (lookup env m) in
+          let map = Attr.as_map (Attr.find_exn o.attrs "map") in
+          let operand_vals =
+            List.map (fun v -> as_int (lookup env v)) idx_vals
+          in
+          let arr = Array.of_list operand_vals in
+          let dims = Array.sub arr 0 map.Affine_map.num_dims in
+          let syms =
+            Array.sub arr map.Affine_map.num_dims map.Affine_map.num_syms
+          in
+          buf_set buf (Affine_map.eval map ~dims ~syms) (lookup env v)
+      | _ -> fail "affine.store: malformed operands")
+  | "affine.for" ->
+      let lb_map = Attr.as_map (Attr.find_exn o.attrs "lower_map") in
+      let ub_map = Attr.as_map (Attr.find_exn o.attrs "upper_map") in
+      let step = Attr.as_int (Attr.find_exn o.attrs "step") in
+      let n_lower = Attr.as_int (Attr.find_exn o.attrs "lower_operands") in
+      let iter_inits = o.operands in
+      (* Bound operands precede iter_args when maps are non-constant; the
+         builder only produces constant bounds so [n_lower] is 0 here. *)
+      if n_lower <> 0 then fail "affine.for: symbolic bounds not supported";
+      let eval_bound m =
+        match Affine_map.eval m ~dims:[||] ~syms:[||] with
+        | [ c ] -> c
+        | _ -> fail "affine.for: bound map must have one result"
+      in
+      let lb = eval_bound lb_map and ub = eval_bound ub_map in
+      let blk = entry_block (List.hd o.regions) in
+      let iv, iter_params =
+        match blk.params with
+        | iv :: rest -> (iv, rest)
+        | [] -> fail "affine.for: missing induction variable"
+      in
+      let rec loop i carried =
+        if i >= ub then carried
+        else begin
+          bind env iv (Int i);
+          List.iter2 (bind env) iter_params carried;
+          let yielded = exec_block env blk in
+          loop (i + step) yielded
+        end
+      in
+      let finals = loop lb (List.map (lookup env) iter_inits) in
+      List.iter2 (bind env) o.results finals
+  | "scf.for" -> (
+      match o.operands with
+      | lb_v :: ub_v :: step_v :: iter_inits ->
+          let lb = as_int (lookup env lb_v) in
+          let ub = as_int (lookup env ub_v) in
+          let step = as_int (lookup env step_v) in
+          if step <= 0 then fail "scf.for: non-positive step";
+          let blk = entry_block (List.hd o.regions) in
+          let iv, iter_params =
+            match blk.params with
+            | iv :: rest -> (iv, rest)
+            | [] -> fail "scf.for: missing induction variable"
+          in
+          let rec loop i carried =
+            if i >= ub then carried
+            else begin
+              bind env iv (Int i);
+              List.iter2 (bind env) iter_params carried;
+              let yielded = exec_block env blk in
+              loop (i + step) yielded
+            end
+          in
+          let finals = loop lb (List.map (lookup env) iter_inits) in
+          List.iter2 (bind env) o.results finals
+      | _ -> fail "scf.for: malformed operands")
+  | "scf.if" ->
+      let c = as_int (lookup env (List.hd o.operands)) in
+      let r = List.nth o.regions (if c <> 0 then 0 else 1) in
+      let yielded = exec_block env (entry_block r) in
+      List.iter2 (bind env) o.results yielded
+  | "func.call" ->
+      let callee = Attr.as_str (Attr.find_exn o.attrs "callee") in
+      let f = find_func_exn env.modul callee in
+      let args = List.map (lookup env) o.operands in
+      let results = call_func env.modul f args in
+      List.iter2 (bind env) o.results results
+  | name -> fail "interpreter: unhandled op %s" name
+
+(** Invoke function [f] with runtime arguments.  Memref arguments are
+    passed by reference ([Buf] shares the array), mirroring MLIR
+    semantics. *)
+and call_func (m : modul) (f : func) (args : rv list) : rv list =
+  if List.length args <> List.length f.args then
+    fail "call @%s: expected %d arguments, got %d" f.fname
+      (List.length f.args) (List.length args);
+  let env = { vals = Hashtbl.create 256; modul = m } in
+  List.iter2 (bind env) f.args args;
+  exec_block env (entry_block f.body)
+
+let run_func (m : modul) name args =
+  call_func m (find_func_exn m name) args
+
+(** Convenience: build a float buffer from a flat list with shape. *)
+let fbuf shape values =
+  let b = alloc_buffer (Array.of_list shape) Types.F32 in
+  List.iteri (fun i v -> b.fdata.(i) <- v) values;
+  Buf b
+
+(** Deterministic pseudo-random float buffer (for tests/benches). *)
+let random_fbuf ~seed shape =
+  let size = List.fold_left ( * ) 1 shape in
+  let st = ref (seed land 0x3FFFFFFF) in
+  let next () =
+    st := ((!st * 1103515245) + 12345) land 0x3FFFFFFF;
+    float_of_int (!st mod 1000) /. 100.0
+  in
+  let b = alloc_buffer (Array.of_list shape) Types.F32 in
+  for i = 0 to size - 1 do
+    b.fdata.(i) <- next ()
+  done;
+  Buf b

@@ -1,0 +1,129 @@
+(** Core IR structures: values, operations, blocks, regions, functions
+    and modules.
+
+    The design mirrors MLIR's generic operation form: an op is a name
+    plus operands, results, an attribute dictionary and nested regions.
+    Dialect semantics (what ["affine.for"] means) live in {!Dialect}
+    and the per-dialect builders in {!Builder}.
+
+    Control flow is structured only — every region holds exactly one
+    block whose ops execute in order, with [affine.for]/[scf.for]/
+    [scf.if] nesting via regions.  This matches the IR the paper's flow
+    produces before lowering to LLVM (where real CFGs appear). *)
+
+(** An SSA value.  [id] is unique within a function; [ty] is its type;
+    [hint] is a printing hint (argument name etc.). *)
+type value = { id : int; ty : Types.ty; hint : string }
+
+type op = {
+  name : string;  (** fully-qualified, e.g. ["affine.for"] *)
+  operands : value list;
+  results : value list;
+  attrs : (string * Attr.t) list;
+  regions : region list;
+}
+
+and block = { params : value list; ops : op list }
+and region = { blocks : block list }
+
+type func = {
+  fname : string;
+  args : value list;
+  ret_tys : Types.ty list;
+  body : region;
+  fattrs : (string * Attr.t) list;  (** e.g. HLS array-partition directives *)
+}
+
+type modul = { funcs : func list }
+
+(* ------------------------------------------------------------------ *)
+(* Construction helpers                                               *)
+(* ------------------------------------------------------------------ *)
+
+let region ops = { blocks = [ { params = []; ops } ] }
+let region1 ~params ops = { blocks = [ { params; ops } ] }
+
+let entry_block (r : region) =
+  match r.blocks with
+  | [ b ] -> b
+  | _ -> invalid_arg "Ir.entry_block: region must have exactly one block"
+
+let find_func m name = List.find_opt (fun f -> f.fname = name) m.funcs
+
+let find_func_exn m name =
+  match find_func m name with
+  | Some f -> f
+  | None -> invalid_arg ("Ir.find_func_exn: no function " ^ name)
+
+(* ------------------------------------------------------------------ *)
+(* Traversal                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Pre-order walk over every op in a region, recursing into nested
+    regions. *)
+let rec walk_region f (r : region) =
+  List.iter (fun b -> List.iter (walk_op f) b.ops) r.blocks
+
+and walk_op f (o : op) =
+  f o;
+  List.iter (walk_region f) o.regions
+
+let walk_func f (fn : func) = walk_region f fn.body
+
+(** Count ops (including nested) in a function. *)
+let op_count fn =
+  let n = ref 0 in
+  walk_func (fun _ -> incr n) fn;
+  !n
+
+(** Bottom-up rewrite of every op in a region.  [f] receives an op whose
+    regions have already been rewritten and returns its replacement
+    op list (possibly empty for deletion, or more than one op). *)
+let rec rewrite_region f (r : region) : region =
+  { blocks = List.map (rewrite_block f) r.blocks }
+
+and rewrite_block f (b : block) : block =
+  let ops =
+    List.concat_map
+      (fun o ->
+        let o = { o with regions = List.map (rewrite_region f) o.regions } in
+        f o)
+      b.ops
+  in
+  { b with ops }
+
+let rewrite_func f (fn : func) = { fn with body = rewrite_region f fn.body }
+
+(* ------------------------------------------------------------------ *)
+(* Value maps                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Vmap = Map.Make (Int)
+
+(** Replace operand uses according to [subst : value Vmap.t] throughout
+    a region (results and block params are left alone). *)
+let rec substitute_region subst (r : region) : region =
+  let subst_value v =
+    match Vmap.find_opt v.id subst with Some v' -> v' | None -> v
+  in
+  let subst_op (o : op) =
+    {
+      o with
+      operands = List.map subst_value o.operands;
+      regions = List.map (substitute_region subst) o.regions;
+    }
+  in
+  {
+    blocks =
+      List.map
+        (fun b -> { b with ops = List.map subst_op b.ops })
+        r.blocks;
+  }
+
+(** All values used as operands (transitively) in a region. *)
+let used_values (r : region) =
+  let tbl = Hashtbl.create 64 in
+  walk_region
+    (fun o -> List.iter (fun v -> Hashtbl.replace tbl v.id ()) o.operands)
+    r;
+  tbl

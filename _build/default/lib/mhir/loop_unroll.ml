@@ -1,0 +1,192 @@
+(** Multi-level-IR loop unrolling — a cross-layer optimization in the
+    abstract's sense: transforming at the {e affine} level (where trip
+    counts and subscripts are still symbolic) instead of asking the HLS
+    backend to replicate the lowered data path.
+
+    [unroll_func ~factor f] unrolls every innermost [affine.for] whose
+    trip count is a multiple of [factor]: the step is scaled and the
+    body cloned [factor] times with the induction variable offset by
+    [k·step] per clone.  Loop-carried values chain through the clones.
+    Loops whose trip count is not divisible by the factor are left
+    untouched (no epilogue generation — mirroring the common HLS
+    restriction that unroll factors divide trip counts). *)
+
+open Ir
+
+let fail = Support.Err.fail ~pass:"mhir.loop_unroll"
+
+type ctx = { mutable next_id : int }
+
+let make_ctx (f : func) =
+  let m = ref 0 in
+  let see (v : value) = if v.id >= !m then m := v.id + 1 in
+  List.iter see f.args;
+  walk_func
+    (fun o ->
+      List.iter see o.operands;
+      List.iter see o.results;
+      List.iter
+        (fun r -> List.iter (fun b -> List.iter see b.params) r.blocks)
+        o.regions)
+    f;
+  { next_id = !m }
+
+let fresh ctx ty =
+  let id = ctx.next_id in
+  ctx.next_id <- ctx.next_id + 1;
+  { id; ty; hint = "" }
+
+(** Clone an op list with a value substitution map ([env] maps original
+    value ids to replacement values).  Results and block params get
+    fresh ids; the map is extended as we go. *)
+let rec clone_ops ctx (env : (int, value) Hashtbl.t) (ops : op list) : op list =
+  List.map
+    (fun (o : op) ->
+      let sub (v : value) =
+        match Hashtbl.find_opt env v.id with Some v' -> v' | None -> v
+      in
+      let operands = List.map sub o.operands in
+      let results =
+        List.map
+          (fun (r : value) ->
+            let r' = fresh ctx r.ty in
+            Hashtbl.replace env r.id r';
+            r')
+          o.results
+      in
+      let regions =
+        List.map
+          (fun (r : region) ->
+            {
+              blocks =
+                List.map
+                  (fun (b : block) ->
+                    let params =
+                      List.map
+                        (fun (p : value) ->
+                          let p' = fresh ctx p.ty in
+                          Hashtbl.replace env p.id p';
+                          p')
+                        b.params
+                    in
+                    { params; ops = clone_ops ctx env b.ops })
+                  r.blocks;
+            })
+          o.regions
+      in
+      { o with operands; results; regions })
+    ops
+
+(** Is this loop innermost (no nested affine/scf loops)? *)
+let innermost (o : op) =
+  let nested = ref false in
+  List.iter
+    (walk_region (fun inner ->
+         if inner.name = "affine.for" || inner.name = "scf.for" then
+           nested := true))
+    o.regions;
+  not !nested
+
+let unroll_op ctx ~factor (o : op) : op list =
+  if o.name <> "affine.for" || factor <= 1 || not (innermost o) then [ o ]
+  else
+    let lb_map = Attr.as_map (Attr.find_exn o.attrs "lower_map") in
+    let ub_map = Attr.as_map (Attr.find_exn o.attrs "upper_map") in
+    let step = Attr.as_int (Attr.find_exn o.attrs "step") in
+    match (Affine_map.as_constant lb_map, Affine_map.as_constant ub_map) with
+    | Some lb, Some ub when (ub - lb) mod (step * factor) = 0 && ub > lb ->
+        let blk = entry_block (List.hd o.regions) in
+        let iv, iter_params =
+          match blk.params with
+          | iv :: rest -> (iv, rest)
+          | [] -> fail "affine.for without induction variable"
+        in
+        (* new loop: same bounds, step scaled by factor *)
+        let new_iv = fresh ctx Types.Index in
+        let new_iters = List.map (fun (p : value) -> fresh ctx p.ty) iter_params in
+        (* build the body: factor clones, iv_k = new_iv + k*step,
+           carried values chained through the clones *)
+        let body_ops = ref [] in
+        let carried = ref new_iters in
+        for k = 0 to factor - 1 do
+          let env = Hashtbl.create 32 in
+          (* iv substitution: new_iv + k*step via affine.apply *)
+          let iv_k =
+            if k = 0 then new_iv
+            else begin
+              let r = fresh ctx Types.Index in
+              body_ops :=
+                {
+                  name = "affine.apply";
+                  operands = [ new_iv ];
+                  results = [ r ];
+                  attrs =
+                    [
+                      ( "map",
+                        Attr.Map
+                          (Affine_map.make ~num_dims:1 ~num_syms:0
+                             [
+                               Affine_expr.add (Affine_expr.dim 0)
+                                 (Affine_expr.const (k * step));
+                             ]) );
+                    ];
+                  regions = [];
+                }
+                :: !body_ops;
+              r
+            end
+          in
+          Hashtbl.replace env iv.id iv_k;
+          List.iter2
+            (fun (p : value) c -> Hashtbl.replace env p.id c)
+            iter_params !carried;
+          (* clone everything except the terminator *)
+          let rec split_last acc = function
+            | [ last ] -> (List.rev acc, last)
+            | x :: tl -> split_last (x :: acc) tl
+            | [] -> fail "empty loop body"
+          in
+          let body, yield = split_last [] blk.ops in
+          let cloned = clone_ops ctx env body in
+          body_ops := List.rev_append cloned !body_ops;
+          (* next clone's carried values = this clone's yields *)
+          carried :=
+            List.map
+              (fun (y : value) ->
+                match Hashtbl.find_opt env y.id with
+                | Some v -> v
+                | None -> y (* defined outside the loop *))
+              yield.operands
+        done;
+        let yield_op =
+          {
+            name = "affine.yield";
+            operands = !carried;
+            results = [];
+            attrs = [];
+            regions = [];
+          }
+        in
+        (* the loop keeps its original result values, so downstream
+           uses need no substitution *)
+        [
+          {
+            o with
+            attrs = Attr.set o.attrs "step" (Attr.Int (step * factor));
+            regions =
+              [
+                region1
+                  ~params:(new_iv :: new_iters)
+                  (List.rev (yield_op :: !body_ops));
+              ];
+          };
+        ]
+    | _ -> [ o ]
+
+(** Unroll every innermost [affine.for] in [f] by [factor]. *)
+let unroll_func ~factor (f : func) : func =
+  let ctx = make_ctx f in
+  rewrite_func (unroll_op ctx ~factor) f
+
+let run ~factor (m : modul) : modul =
+  { funcs = List.map (unroll_func ~factor) m.funcs }

@@ -1,0 +1,580 @@
+(** Parser for the generic textual form produced by
+    [Printer.module_to_string ~generic:true].
+
+    The grammar is the MLIR generic-op syntax restricted to what the
+    printer emits: single-block regions, quoted op names, explicit
+    functional type signatures.  SSA ids are file-local per function;
+    types are reconstructed from op signatures and checked for
+    consistency. *)
+
+type token =
+  | Word of string  (** identifiers, keywords, [x32xf32] fragments *)
+  | Int of int
+  | Float of float
+  | Str of string  (** double-quoted *)
+  | Pct of int  (** [%42] *)
+  | At of string  (** [@name] *)
+  | Caret of string  (** [^bb] *)
+  | Punct of char
+  | Arrow  (** [->] *)
+  | Eof
+
+let fail fmt = Support.Err.fail ~pass:"mhir.parser" fmt
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizer                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let tokenize (src : string) : token array =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  let is_word_start c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+  in
+  let is_word c =
+    is_word_start c || (c >= '0' && c <= '9') || c = '.' || c = '_'
+  in
+  let is_digit c = c >= '0' && c <= '9' in
+  let read_while pred =
+    let start = !i in
+    while !i < n && pred src.[!i] do incr i done;
+    String.sub src start (!i - start)
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '/' && peek 1 = Some '/' then
+      while !i < n && src.[!i] <> '\n' do incr i done
+    else if is_word_start c then begin
+      let w = read_while is_word in
+      toks := Word w :: !toks
+    end
+    else if is_digit c then begin
+      let start = !i in
+      let _ = read_while is_digit in
+      (* decimal part / exponent *)
+      let is_float = ref false in
+      if !i < n && src.[!i] = '.' && (match peek 1 with Some d -> is_digit d | None -> false)
+      then begin
+        is_float := true;
+        incr i;
+        let _ = read_while is_digit in
+        ()
+      end;
+      if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+        let save = !i in
+        incr i;
+        if !i < n && (src.[!i] = '+' || src.[!i] = '-') then incr i;
+        if !i < n && is_digit src.[!i] then begin
+          is_float := true;
+          let _ = read_while is_digit in
+          ()
+        end
+        else i := save
+      end;
+      let lit = String.sub src start (!i - start) in
+      if !is_float then toks := Float (float_of_string lit) :: !toks
+      else toks := Int (int_of_string lit) :: !toks
+    end
+    else if c = '"' then begin
+      incr i;
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !i >= n then fail "unterminated string literal"
+        else
+          match src.[!i] with
+          | '"' -> incr i
+          | '\\' ->
+              if !i + 1 >= n then fail "unterminated escape";
+              (match src.[!i + 1] with
+              | 'n' -> Buffer.add_char buf '\n'
+              | 't' -> Buffer.add_char buf '\t'
+              | ch -> Buffer.add_char buf ch);
+              i := !i + 2;
+              go ()
+          | ch ->
+              Buffer.add_char buf ch;
+              incr i;
+              go ()
+      in
+      go ();
+      toks := Str (Buffer.contents buf) :: !toks
+    end
+    else if c = '%' then begin
+      incr i;
+      let digits = read_while is_digit in
+      if digits = "" then fail "expected SSA id after %%";
+      toks := Pct (int_of_string digits) :: !toks
+    end
+    else if c = '@' then begin
+      incr i;
+      toks := At (read_while is_word) :: !toks
+    end
+    else if c = '^' then begin
+      incr i;
+      toks := Caret (read_while is_word) :: !toks
+    end
+    else if c = '-' && peek 1 = Some '>' then begin
+      i := !i + 2;
+      toks := Arrow :: !toks
+    end
+    else begin
+      incr i;
+      toks := Punct c :: !toks
+    end
+  done;
+  Array.of_list (List.rev (Eof :: !toks))
+
+(* ------------------------------------------------------------------ *)
+(* Token stream                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type stream = { toks : token array; mutable pos : int }
+
+let cur s = s.toks.(s.pos)
+let advance s = s.pos <- s.pos + 1
+
+let token_str = function
+  | Word w -> w
+  | Int i -> string_of_int i
+  | Float f -> string_of_float f
+  | Str st -> Printf.sprintf "%S" st
+  | Pct i -> "%" ^ string_of_int i
+  | At a -> "@" ^ a
+  | Caret c -> "^" ^ c
+  | Punct c -> String.make 1 c
+  | Arrow -> "->"
+  | Eof -> "<eof>"
+
+let expect s tok =
+  if cur s = tok then advance s
+  else fail "expected %s, found %s" (token_str tok) (token_str (cur s))
+
+let expect_word s w = expect s (Word w)
+let expect_punct s c = expect s (Punct c)
+
+let eat s tok = if cur s = tok then (advance s; true) else false
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let scalar_of_string = function
+  | "i1" -> Types.I1
+  | "i32" -> Types.I32
+  | "i64" -> Types.I64
+  | "index" -> Types.Index
+  | "f32" -> Types.F32
+  | "f64" -> Types.F64
+  | s -> fail "unknown scalar type %s" s
+
+let parse_ty s =
+  match cur s with
+  | Word "memref" ->
+      advance s;
+      expect_punct s '<';
+      (* Shape fragments arrive as Int and Word tokens: [32]; [x32xf32]. *)
+      let buf = Buffer.create 16 in
+      let rec collect () =
+        match cur s with
+        | Punct '>' -> advance s
+        | Int i ->
+            Buffer.add_string buf (string_of_int i);
+            advance s;
+            collect ()
+        | Word w ->
+            Buffer.add_string buf w;
+            advance s;
+            collect ()
+        | t -> fail "unexpected token in memref type: %s" (token_str t)
+      in
+      collect ();
+      let parts = String.split_on_char 'x' (Buffer.contents buf) in
+      let parts = List.filter (fun p -> p <> "") parts in
+      (match List.rev parts with
+      | elem :: dims_rev when dims_rev <> [] ->
+          let dims = List.rev_map int_of_string dims_rev in
+          Types.Memref (dims, scalar_of_string elem)
+      | _ -> fail "malformed memref type")
+  | Word w ->
+      advance s;
+      scalar_of_string w
+  | t -> fail "expected a type, found %s" (token_str t)
+
+let parse_ty_list s =
+  expect_punct s '(';
+  let rec go acc =
+    match cur s with
+    | Punct ')' ->
+        advance s;
+        List.rev acc
+    | _ ->
+        let t = parse_ty s in
+        if eat s (Punct ',') then go (t :: acc)
+        else begin
+          expect_punct s ')';
+          List.rev (t :: acc)
+        end
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Affine maps                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_affine_map s =
+  (* "affine_map" has been consumed by the caller. *)
+  expect_punct s '<';
+  expect_punct s '(';
+  let rec parse_vars acc close =
+    match cur s with
+    | Punct c when c = close ->
+        advance s;
+        List.rev acc
+    | Word w ->
+        advance s;
+        if eat s (Punct ',') then parse_vars (w :: acc) close
+        else begin
+          expect_punct s close;
+          List.rev (w :: acc)
+        end
+    | t -> fail "expected dim/sym name, found %s" (token_str t)
+  in
+  let dims = parse_vars [] ')' in
+  let syms = if eat s (Punct '[') then parse_vars [] ']' else [] in
+  expect s Arrow;
+  expect_punct s '(';
+  let var_index kind lst name =
+    let rec idx i = function
+      | [] -> fail "unknown %s variable %s" kind name
+      | x :: _ when x = name -> i
+      | _ :: tl -> idx (i + 1) tl
+    in
+    idx 0 lst
+  in
+  let rec parse_expr () =
+    let lhs = parse_term () in
+    parse_expr_rest lhs
+  and parse_expr_rest lhs =
+    match cur s with
+    | Punct '+' ->
+        advance s;
+        parse_expr_rest (Affine_expr.add lhs (parse_term ()))
+    | Punct '-' ->
+        advance s;
+        parse_expr_rest (Affine_expr.sub lhs (parse_term ()))
+    | _ -> lhs
+  and parse_term () =
+    let lhs = parse_factor () in
+    parse_term_rest lhs
+  and parse_term_rest lhs =
+    match cur s with
+    | Punct '*' ->
+        advance s;
+        parse_term_rest (Affine_expr.mul lhs (parse_factor ()))
+    | Word "mod" ->
+        advance s;
+        parse_term_rest (Affine_expr.modulo lhs (parse_factor ()))
+    | Word "floordiv" ->
+        advance s;
+        parse_term_rest (Affine_expr.floordiv lhs (parse_factor ()))
+    | Word "ceildiv" ->
+        advance s;
+        parse_term_rest (Affine_expr.ceildiv lhs (parse_factor ()))
+    | _ -> lhs
+  and parse_factor () =
+    match cur s with
+    | Int i ->
+        advance s;
+        Affine_expr.const i
+    | Punct '-' ->
+        advance s;
+        Affine_expr.mul (Affine_expr.const (-1)) (parse_factor ())
+    | Punct '(' ->
+        advance s;
+        let e = parse_expr () in
+        expect_punct s ')';
+        e
+    | Word w when List.mem w dims ->
+        advance s;
+        Affine_expr.dim (var_index "dim" dims w)
+    | Word w when List.mem w syms ->
+        advance s;
+        Affine_expr.sym (var_index "sym" syms w)
+    | t -> fail "unexpected token in affine expression: %s" (token_str t)
+  in
+  let rec parse_results acc =
+    let e = parse_expr () in
+    if eat s (Punct ',') then parse_results (e :: acc)
+    else begin
+      expect_punct s ')';
+      List.rev (e :: acc)
+    end
+  in
+  let exprs = parse_results [] in
+  expect_punct s '>';
+  Affine_map.make ~num_dims:(List.length dims) ~num_syms:(List.length syms)
+    exprs
+
+(* ------------------------------------------------------------------ *)
+(* Attributes                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_attr_value s : Attr.t =
+  match cur s with
+  | Int i ->
+      advance s;
+      Attr.Int i
+  | Float f ->
+      advance s;
+      Attr.Float f
+  | Punct '-' -> (
+      advance s;
+      match cur s with
+      | Int i ->
+          advance s;
+          Attr.Int (-i)
+      | Float f ->
+          advance s;
+          Attr.Float (-.f)
+      | t -> fail "expected number after '-', found %s" (token_str t))
+  | Word "true" ->
+      advance s;
+      Attr.Bool true
+  | Word "false" ->
+      advance s;
+      Attr.Bool false
+  | Str st ->
+      advance s;
+      Attr.Str st
+  | Word "type" ->
+      advance s;
+      expect_punct s '(';
+      let t = parse_ty s in
+      expect_punct s ')';
+      Attr.Type t
+  | Word "affine_map" ->
+      advance s;
+      Attr.Map (parse_affine_map s)
+  | Punct '[' ->
+      advance s;
+      let rec go acc =
+        if eat s (Punct ']') then List.rev acc
+        else
+          let v = parse_attr_value s in
+          if eat s (Punct ',') then go (v :: acc)
+          else begin
+            expect_punct s ']';
+            List.rev (v :: acc)
+          end
+      in
+      Attr.List (go [])
+  | t -> fail "unexpected attribute value: %s" (token_str t)
+
+let parse_attr_dict s =
+  if not (eat s (Punct '{')) then []
+  else
+    let rec go acc =
+      if eat s (Punct '}') then List.rev acc
+      else
+        match cur s with
+        | Word key ->
+            advance s;
+            expect_punct s '=';
+            let v = parse_attr_value s in
+            let acc = (key, v) :: acc in
+            if eat s (Punct ',') then go acc
+            else begin
+              expect_punct s '}';
+              List.rev acc
+            end
+        | t -> fail "expected attribute key, found %s" (token_str t)
+    in
+    go []
+
+(* ------------------------------------------------------------------ *)
+(* Ops and functions                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Per-function SSA environment: external ids -> values. *)
+type env = { values : (int, Ir.value) Hashtbl.t }
+
+let get_value env id ty =
+  match Hashtbl.find_opt env.values id with
+  | Some v ->
+      if not (Types.equal v.Ir.ty ty) then
+        fail "SSA value %%%d used at type %s but defined at type %s" id
+          (Types.to_string ty)
+          (Types.to_string v.Ir.ty);
+      v
+  | None ->
+      let v = { Ir.id; ty; hint = "" } in
+      Hashtbl.replace env.values id v;
+      v
+
+let parse_id_list s =
+  (* %0, %1, ... — returns raw ids *)
+  let rec go acc =
+    match cur s with
+    | Pct id ->
+        advance s;
+        if eat s (Punct ',') then go (id :: acc) else List.rev (id :: acc)
+    | _ -> List.rev acc
+  in
+  go []
+
+let rec parse_op env s : Ir.op =
+  (* results *)
+  let result_ids =
+    match cur s with
+    | Pct _ ->
+        let ids = parse_id_list s in
+        expect_punct s '=';
+        ids
+    | _ -> []
+  in
+  let name =
+    match cur s with
+    | Str n ->
+        advance s;
+        n
+    | t -> fail "expected quoted op name, found %s" (token_str t)
+  in
+  expect_punct s '(';
+  let operand_ids =
+    if eat s (Punct ')') then []
+    else
+      let ids = parse_id_list s in
+      expect_punct s ')';
+      ids
+  in
+  let attrs = parse_attr_dict s in
+  let regions =
+    if cur s = Punct '(' && s.toks.(s.pos + 1) = Punct '{' then begin
+      advance s;
+      let rec go acc =
+        let r = parse_region env s in
+        if eat s (Punct ',') then go (r :: acc)
+        else begin
+          expect_punct s ')';
+          List.rev (r :: acc)
+        end
+      in
+      go []
+    end
+    else []
+  in
+  expect_punct s ':';
+  let operand_tys = parse_ty_list s in
+  expect s Arrow;
+  let result_tys = parse_ty_list s in
+  if List.length operand_tys <> List.length operand_ids then
+    fail "op %s: %d operands but %d operand types" name
+      (List.length operand_ids) (List.length operand_tys);
+  if List.length result_tys <> List.length result_ids then
+    fail "op %s: %d results but %d result types" name (List.length result_ids)
+      (List.length result_tys);
+  let operands = List.map2 (get_value env) operand_ids operand_tys in
+  let results = List.map2 (get_value env) result_ids result_tys in
+  { Ir.name; operands; results; attrs; regions }
+
+and parse_region env s : Ir.region =
+  expect_punct s '{';
+  (match cur s with
+  | Caret _ -> advance s
+  | t -> fail "expected ^bb block label, found %s" (token_str t));
+  expect_punct s '(';
+  let rec parse_params acc =
+    if eat s (Punct ')') then List.rev acc
+    else
+      match cur s with
+      | Pct id ->
+          advance s;
+          expect_punct s ':';
+          let ty = parse_ty s in
+          let v = get_value env id ty in
+          if eat s (Punct ',') then parse_params (v :: acc)
+          else begin
+            expect_punct s ')';
+            List.rev (v :: acc)
+          end
+      | t -> fail "expected block parameter, found %s" (token_str t)
+  in
+  let params = parse_params [] in
+  expect_punct s ':';
+  let rec parse_ops acc =
+    if eat s (Punct '}') then List.rev acc
+    else
+      let op = parse_op env s in
+      parse_ops (op :: acc)
+  in
+  let ops = parse_ops [] in
+  { Ir.blocks = [ { Ir.params; ops } ] }
+
+let parse_func s : Ir.func =
+  expect_word s "func.func";
+  let fname =
+    match cur s with
+    | At n ->
+        advance s;
+        n
+    | t -> fail "expected @function-name, found %s" (token_str t)
+  in
+  let env = { values = Hashtbl.create 64 } in
+  expect_punct s '(';
+  let rec parse_args acc =
+    if eat s (Punct ')') then List.rev acc
+    else
+      match cur s with
+      | Pct id ->
+          advance s;
+          expect_punct s ':';
+          let ty = parse_ty s in
+          let v = get_value env id ty in
+          if eat s (Punct ',') then parse_args (v :: acc)
+          else begin
+            expect_punct s ')';
+            List.rev (v :: acc)
+          end
+      | t -> fail "expected function argument, found %s" (token_str t)
+  in
+  let args = parse_args [] in
+  expect s Arrow;
+  let ret_tys = parse_ty_list s in
+  let fattrs =
+    if cur s = Word "attributes" then begin
+      advance s;
+      parse_attr_dict s
+    end
+    else []
+  in
+  expect_punct s '{';
+  let rec parse_ops acc =
+    if eat s (Punct '}') then List.rev acc
+    else
+      let op = parse_op env s in
+      parse_ops (op :: acc)
+  in
+  let ops = parse_ops [] in
+  { Ir.fname; args; ret_tys; body = Ir.region1 ~params:[] ops; fattrs }
+
+(** Parse a whole module from the generic textual form. *)
+let parse_module (src : string) : Ir.modul =
+  let s = { toks = tokenize src; pos = 0 } in
+  expect_word s "module";
+  expect_punct s '{';
+  let rec go acc =
+    match cur s with
+    | Punct '}' ->
+        advance s;
+        List.rev acc
+    | Word "func.func" -> go (parse_func s :: acc)
+    | t -> fail "expected func.func or '}', found %s" (token_str t)
+  in
+  let funcs = go [] in
+  (match cur s with
+  | Eof -> ()
+  | t -> fail "trailing input after module: %s" (token_str t));
+  { Ir.funcs }

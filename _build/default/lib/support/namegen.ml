@@ -1,0 +1,33 @@
+(** Fresh-name generation for SSA values, labels and symbols.
+
+    A generator remembers every name it has handed out (and every name
+    registered from pre-existing IR) so freshness is global within one
+    function or module being rewritten. *)
+
+type t = { mutable counter : int; used : (string, unit) Hashtbl.t }
+
+let create () = { counter = 0; used = Hashtbl.create 64 }
+
+(** Mark [name] as taken without generating anything. *)
+let reserve t name = Hashtbl.replace t.used name ()
+
+let is_used t name = Hashtbl.mem t.used name
+
+(** [fresh t base] returns [base] if free, otherwise [base ^ string_of_int k]
+    for the first free [k]. The result is reserved. *)
+let fresh t base =
+  if not (Hashtbl.mem t.used base) then begin
+    Hashtbl.replace t.used base ();
+    base
+  end
+  else
+    let rec go () =
+      let candidate = base ^ string_of_int t.counter in
+      t.counter <- t.counter + 1;
+      if Hashtbl.mem t.used candidate then go ()
+      else begin
+        Hashtbl.replace t.used candidate ();
+        candidate
+      end
+    in
+    go ()

@@ -1,0 +1,78 @@
+(** Plain-text table rendering for reports and the bench harness.
+
+    Produces aligned ASCII tables in the style of Vitis HLS synthesis
+    reports, e.g.
+
+    {v
+    +--------+---------+-----+
+    | kernel | latency | II  |
+    +--------+---------+-----+
+    | gemm   |   34913 |   1 |
+    +--------+---------+-----+
+    v} *)
+
+type align = Left | Right
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable rows : string list list;  (* reversed *)
+}
+
+let create ?aligns headers =
+  let aligns =
+    match aligns with
+    | Some a -> a
+    | None -> List.map (fun _ -> Right) headers
+  in
+  { headers; aligns; rows = [] }
+
+let add_row t row = t.rows <- row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.length t.headers in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let sep =
+    "+"
+    ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "+"
+  in
+  let pad align w s =
+    let n = w - String.length s in
+    if n <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+  in
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun i cell ->
+          let w = List.nth widths i in
+          let a = try List.nth t.aligns i with _ -> Right in
+          " " ^ pad a w cell ^ " ")
+        (List.init ncols (fun i ->
+             match List.nth_opt row i with Some c -> c | None -> ""))
+    in
+    "|" ^ String.concat "|" cells ^ "|"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (sep ^ "\n");
+  Buffer.add_string buf (render_row t.headers ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  List.iter (fun r -> Buffer.add_string buf (render_row r ^ "\n")) rows;
+  Buffer.add_string buf sep;
+  Buffer.contents buf
+
+let print t = print_endline (render t)

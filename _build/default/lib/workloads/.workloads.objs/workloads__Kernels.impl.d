@@ -1,0 +1,1 @@
+lib/workloads/kernels.ml: Affine_expr Affine_map Array Attr Builder Ir List Mhir Printf Types

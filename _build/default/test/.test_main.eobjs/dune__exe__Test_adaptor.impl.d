@@ -1,0 +1,1 @@
+test/test_adaptor.ml: Adaptor Alcotest Array Float Flow Hls_backend Linstr Linterp List Llvmir Lmodule Lowering Lparser Lprinter Ltype Lverifier Pass Str_find Support Workloads

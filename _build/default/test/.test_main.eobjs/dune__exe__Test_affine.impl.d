@@ -1,0 +1,1 @@
+test/test_affine.ml: Affine_expr Affine_map Alcotest Array List Mhir QCheck QCheck_alcotest

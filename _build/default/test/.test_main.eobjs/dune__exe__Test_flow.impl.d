@@ -1,0 +1,1 @@
+test/test_flow.ml: Adaptor Alcotest Flow Hls_backend List Printf Str_find Workloads

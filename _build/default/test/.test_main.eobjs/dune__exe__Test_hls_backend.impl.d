@@ -1,0 +1,1 @@
+test/test_hls_backend.ml: Alcotest Array Cfg Flow Hls_backend List Llvmir Lmodule Loop_info Lowering Lparser Lverifier Printf Str_find String Workloads

@@ -1,0 +1,1 @@
+test/test_hlscpp.ml: Alcotest Array Flow Hls_backend Hlscpp Linterp List Llvmir Lprinter Lverifier Mhir Pass Str_find Support Workloads

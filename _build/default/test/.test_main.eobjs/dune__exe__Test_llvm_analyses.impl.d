@@ -1,0 +1,1 @@
+test/test_llvm_analyses.ml: Alcotest Array Cfg Dominance Fun List Llvmir Lmodule Loop_info Lowering Lparser Lverifier Workloads

@@ -1,0 +1,1 @@
+test/test_llvm_interp.ml: Alcotest Array Linterp Llvmir Lparser Lverifier Support

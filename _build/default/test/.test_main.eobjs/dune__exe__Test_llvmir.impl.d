@@ -1,0 +1,1 @@
+test/test_llvmir.ml: Alcotest Flow Hls_backend Lbuilder Linstr List Llvmir Lmodule Lowering Lparser Lprinter Ltype Lvalue Lverifier Str_find String Support Workloads

@@ -1,0 +1,1 @@
+test/test_llvmir_extra.ml: Alcotest Hashtbl Hls_backend Linstr Linterp List Llvmir Lmodule Lparser Lprinter Ltype Lvalue Lverifier

@@ -1,0 +1,1 @@
+test/test_loop_unroll.ml: Alcotest Array Attr Float Flow Hls_backend Interp Ir List Loop_unroll Mhir Types Verifier Workloads

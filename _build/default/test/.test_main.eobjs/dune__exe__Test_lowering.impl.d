@@ -1,0 +1,1 @@
+test/test_lowering.ml: Alcotest Array Float Flow Linstr Linterp List Llvmir Lmodule Lowering Ltype Lverifier Mhir Workloads

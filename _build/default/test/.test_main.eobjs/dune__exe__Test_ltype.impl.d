@@ -1,0 +1,1 @@
+test/test_ltype.ml: Alcotest List Llvmir Ltype QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mhir.ml: Alcotest Builder Ir List Mhir Parser Printer String Support Types Verifier Workloads

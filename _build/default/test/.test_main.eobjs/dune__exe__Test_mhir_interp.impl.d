@@ -1,0 +1,1 @@
+test/test_mhir_interp.ml: Affine_to_scf Alcotest Array Builder Canonicalize Dialect Float Interp Ir List Mhir Support Types Verifier Workloads

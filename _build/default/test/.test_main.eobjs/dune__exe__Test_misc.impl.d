@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Attr Builder Canonicalize Dialect Flow Hls_backend Hlscpp Ir List Llvmir Ltype Lvalue Mhir Option Parser Printer Str_find String Types Verifier Workloads

@@ -1,0 +1,1 @@
+test/test_random.ml: Adaptor Affine_expr Affine_map Array Attr Builder Canonicalize Float Hls_backend Hlscpp Interp Ir List Llvmir Lowering Mhir Parser Printer QCheck QCheck_alcotest Types Verifier

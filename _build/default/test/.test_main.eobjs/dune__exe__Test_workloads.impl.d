@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Float Flow List Mhir Printf Workloads

@@ -1,0 +1,26 @@
+(** Tiny substring-search helper shared by the test suites. *)
+
+(** Index of the first occurrence of [sub] in [s].
+    @raise Not_found when absent. *)
+let find (s : string) (sub : string) : int =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then raise Not_found
+    else if String.sub s i m = sub then i
+    else go (i + 1)
+  in
+  go 0
+
+let contains s sub = try ignore (find s sub); true with Not_found -> false
+
+(** Count non-overlapping occurrences. *)
+let count s sub =
+  let m = String.length sub in
+  if m = 0 then 0
+  else
+    let rec go i acc =
+      match try Some (find (String.sub s i (String.length s - i)) sub) with Not_found -> None with
+      | Some j -> go (i + j + m) (acc + 1)
+      | None -> acc
+    in
+    go 0 0

@@ -1,0 +1,163 @@
+(** Unit and property tests for affine expressions and maps. *)
+
+open Mhir
+module AE = Affine_expr
+module AM = Affine_map
+
+(* ------------------------------------------------------------------ *)
+(* QCheck generators                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Random affine expression over [ndims] dims and [nsyms] syms.  Only
+    "pure affine" shapes are generated (mul/div/mod by positive
+    constants). *)
+let gen_expr ~ndims ~nsyms : AE.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      ([ map AE.const (int_range (-8) 8) ]
+      @ (if ndims > 0 then [ map AE.dim (int_range 0 (ndims - 1)) ] else [])
+      @ if nsyms > 0 then [ map AE.sym (int_range 0 (nsyms - 1)) ] else [])
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        frequency
+          [
+            (2, leaf);
+            (2, map2 AE.add (self (depth - 1)) (self (depth - 1)));
+            (1, map2 (fun e c -> AE.mul e (AE.const c)) (self (depth - 1)) (int_range 1 6));
+            (1, map2 (fun e c -> AE.modulo e (AE.const c)) (self (depth - 1)) (int_range 1 6));
+            (1, map2 (fun e c -> AE.floordiv e (AE.const c)) (self (depth - 1)) (int_range 1 6));
+            (1, map2 (fun e c -> AE.ceildiv e (AE.const c)) (self (depth - 1)) (int_range 1 6));
+          ])
+    3
+
+let arb_expr = QCheck.make (gen_expr ~ndims:2 ~nsyms:1)
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let eval e dims syms =
+  AE.eval ~dims:(Array.of_list dims) ~syms:(Array.of_list syms) e
+
+let test_eval_basic () =
+  let e = AE.add (AE.mul (AE.dim 0) (AE.const 4)) (AE.dim 1) in
+  Alcotest.(check int) "d0*4 + d1 at (3, 2)" 14 (eval e [ 3; 2 ] []);
+  Alcotest.(check int) "at (0, 0)" 0 (eval e [ 0; 0 ] [])
+
+let test_eval_divmod () =
+  let d = AE.dim 0 in
+  Alcotest.(check int) "7 mod 4" 3 (eval (AE.modulo d (AE.const 4)) [ 7 ] []);
+  Alcotest.(check int) "-1 mod 4 is Euclidean" 3 (eval (AE.modulo d (AE.const 4)) [ -1 ] []);
+  Alcotest.(check int) "7 floordiv 2" 3 (eval (AE.floordiv d (AE.const 2)) [ 7 ] []);
+  Alcotest.(check int) "-7 floordiv 2" (-4) (eval (AE.floordiv d (AE.const 2)) [ -7 ] []);
+  Alcotest.(check int) "7 ceildiv 2" 4 (eval (AE.ceildiv d (AE.const 2)) [ 7 ] []);
+  Alcotest.(check int) "-7 ceildiv 2" (-3) (eval (AE.ceildiv d (AE.const 2)) [ -7 ] [])
+
+let test_smart_constructors () =
+  Alcotest.(check bool) "x + 0 = x" true (AE.add (AE.dim 0) (AE.const 0) = AE.dim 0);
+  Alcotest.(check bool) "x * 1 = x" true (AE.mul (AE.dim 0) (AE.const 1) = AE.dim 0);
+  Alcotest.(check bool) "x * 0 = 0" true (AE.mul (AE.dim 0) (AE.const 0) = AE.const 0);
+  Alcotest.(check bool) "const folding" true (AE.add (AE.const 2) (AE.const 3) = AE.const 5);
+  Alcotest.(check bool) "mod 1 = 0" true (AE.modulo (AE.dim 0) (AE.const 1) = AE.const 0)
+
+let test_max_dim_sym () =
+  let e = AE.add (AE.dim 2) (AE.sym 1) in
+  Alcotest.(check int) "max_dim" 3 (AE.max_dim e);
+  Alcotest.(check int) "max_sym" 2 (AE.max_sym e)
+
+let test_pure_affine () =
+  Alcotest.(check bool) "d0*4 is pure" true
+    (AE.is_pure_affine (AE.mul (AE.dim 0) (AE.const 4)));
+  Alcotest.(check bool) "d0*d1 is not pure" false
+    (AE.is_pure_affine (AE.Mul (AE.dim 0, AE.dim 1)))
+
+let test_map_identity () =
+  let m = AM.identity 3 in
+  Alcotest.(check (list int)) "identity eval" [ 5; 6; 7 ]
+    (AM.eval m ~dims:[| 5; 6; 7 |] ~syms:[||])
+
+let test_map_constant () =
+  let m = AM.constant 42 in
+  Alcotest.(check (option int)) "as_constant" (Some 42) (AM.as_constant m);
+  Alcotest.(check bool) "is_constant" true (AM.is_constant m)
+
+let test_map_make_validates () =
+  Alcotest.(check bool) "out-of-range dim rejected" true
+    (try
+       ignore (AM.make ~num_dims:1 ~num_syms:0 [ AE.dim 1 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_map_compose () =
+  (* f(x, y) = (x + y); g(a) = (a, a*2). f∘g (a) = a + 2a = 3a *)
+  let f = AM.make ~num_dims:2 ~num_syms:0 [ AE.add (AE.dim 0) (AE.dim 1) ] in
+  let g = AM.make ~num_dims:1 ~num_syms:0 [ AE.dim 0; AE.mul (AE.dim 0) (AE.const 2) ] in
+  let fg = AM.compose f g in
+  Alcotest.(check (list int)) "compose eval" [ 15 ]
+    (AM.eval fg ~dims:[| 5 |] ~syms:[||])
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let prop_substitute_consistent =
+  QCheck.Test.make ~name:"substitute with identity preserves eval" ~count:200
+    arb_expr (fun e ->
+      let dims = [| AE.dim 0; AE.dim 1 |] in
+      let syms = [| AE.sym 0 |] in
+      let e' = AE.substitute ~dims ~syms e in
+      List.for_all
+        (fun (d0, d1, s0) ->
+          AE.eval ~dims:[| d0; d1 |] ~syms:[| s0 |] e
+          = AE.eval ~dims:[| d0; d1 |] ~syms:[| s0 |] e')
+        [ (0, 0, 0); (1, 2, 3); (7, -3, 2); (100, 5, 1) ])
+
+let prop_smart_constructors_sound =
+  (* the smart constructors (used pervasively for simplification) must
+     agree with the raw constructors semantically *)
+  QCheck.Test.make ~name:"smart add/mul agree with raw eval" ~count:200
+    (QCheck.pair arb_expr arb_expr) (fun (a, b) ->
+      List.for_all
+        (fun (d0, d1, s0) ->
+          let dims = [| d0; d1 |] and syms = [| s0 |] in
+          AE.eval ~dims ~syms (AE.add a b)
+          = AE.eval ~dims ~syms a + AE.eval ~dims ~syms b
+          && AE.eval ~dims ~syms (AE.mul a (AE.const 3))
+             = AE.eval ~dims ~syms a * 3)
+        [ (0, 0, 0); (4, 9, 2); (-5, 3, 7) ])
+
+let prop_compose_is_application =
+  QCheck.Test.make ~name:"map composition = function composition" ~count:100
+    (QCheck.pair arb_expr arb_expr) (fun (e1, e2) ->
+      (* f: 2 dims -> 1 result (uses e1 mapped over (d0,d1));
+         g: 2 dims -> 2 results *)
+      let strip_syms e = AE.substitute ~dims:[| AE.dim 0; AE.dim 1 |] ~syms:[| AE.const 1 |] e in
+      let f = AM.make ~num_dims:2 ~num_syms:0 [ strip_syms e1 ] in
+      let g = AM.make ~num_dims:2 ~num_syms:0 [ strip_syms e2; AE.dim 0 ] in
+      let fg = AM.compose f g in
+      List.for_all
+        (fun (x, y) ->
+          let gv = Array.of_list (AM.eval g ~dims:[| x; y |] ~syms:[||]) in
+          AM.eval fg ~dims:[| x; y |] ~syms:[||]
+          = AM.eval f ~dims:gv ~syms:[||])
+        [ (0, 0); (3, 5); (-2, 7) ])
+
+let suite =
+  [
+    Alcotest.test_case "eval basic" `Quick test_eval_basic;
+    Alcotest.test_case "eval div/mod" `Quick test_eval_divmod;
+    Alcotest.test_case "smart constructors" `Quick test_smart_constructors;
+    Alcotest.test_case "max dim/sym" `Quick test_max_dim_sym;
+    Alcotest.test_case "pure affine" `Quick test_pure_affine;
+    Alcotest.test_case "map identity" `Quick test_map_identity;
+    Alcotest.test_case "map constant" `Quick test_map_constant;
+    Alcotest.test_case "map make validates" `Quick test_map_make_validates;
+    Alcotest.test_case "map compose" `Quick test_map_compose;
+    QCheck_alcotest.to_alcotest prop_substitute_consistent;
+    QCheck_alcotest.to_alcotest prop_smart_constructors_sound;
+    QCheck_alcotest.to_alcotest prop_compose_is_application;
+  ]

@@ -1,0 +1,113 @@
+(** Tests for the design-space exploration extension. *)
+
+module K = Workloads.Kernels
+module E = Hls_backend.Estimate
+module D = Flow.Dse
+
+let gemm_parts = [ ("A", 2); ("B", 1) ]
+
+let test_explore_finds_points () =
+  let r = D.explore ~parts:gemm_parts (K.gemm ()) in
+  Alcotest.(check bool) "explored several points" true
+    (List.length r.D.explored >= 6);
+  Alcotest.(check bool) "frontier non-empty" true (r.D.frontier <> []);
+  Alcotest.(check int) "nothing infeasible without a budget" 0
+    (List.length r.D.infeasible)
+
+let test_frontier_is_pareto () =
+  let r = D.explore ~parts:gemm_parts (K.gemm ()) in
+  (* no frontier point dominates another *)
+  List.iter
+    (fun p ->
+      List.iter
+        (fun q ->
+          if p != q then
+            Alcotest.(check bool)
+              (Printf.sprintf "%s does not dominate %s" p.D.label q.D.label)
+              false (D.dominates p q && D.dominates q p))
+        r.D.frontier)
+    r.D.frontier;
+  (* every explored point is dominated-by-or-on the frontier *)
+  List.iter
+    (fun p ->
+      let covered =
+        List.exists (fun q -> q.D.label = p.D.label || D.dominates q p) r.D.frontier
+      in
+      Alcotest.(check bool) (p.D.label ^ " covered by frontier") true covered)
+    r.D.explored
+
+let test_best_is_fastest () =
+  let r = D.explore ~parts:gemm_parts (K.gemm ()) in
+  match D.best r with
+  | Some best ->
+      List.iter
+        (fun p ->
+          Alcotest.(check bool) "best has minimal latency" true
+            (best.D.latency <= p.D.latency))
+        r.D.explored
+  | None -> Alcotest.fail "no best point"
+
+let test_budget_constrains () =
+  let unconstrained = D.explore ~parts:gemm_parts (K.gemm ()) in
+  let tight =
+    D.explore
+      ~budget:{ D.no_budget with D.max_dsp = Some 10 }
+      ~parts:gemm_parts (K.gemm ())
+  in
+  Alcotest.(check bool) "budget rejects some points" true
+    (List.length tight.D.explored < List.length unconstrained.D.explored);
+  Alcotest.(check bool) "budget recorded as infeasible" true
+    (tight.D.infeasible <> []);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "all kept points within budget" true
+        (p.D.resources.E.dsp <= 10))
+    tight.D.explored;
+  (* the constrained best is slower or equal *)
+  match (D.best unconstrained, D.best tight) with
+  | Some u, Some t ->
+      Alcotest.(check bool) "constrained best is slower-or-equal" true
+        (t.D.latency >= u.D.latency)
+  | _ -> Alcotest.fail "both spaces should have a best point"
+
+let test_dse_improves_over_baseline () =
+  let r = D.explore ~parts:gemm_parts (K.gemm ()) in
+  let baseline =
+    List.find (fun p -> p.D.label = "no directives") r.D.explored
+  in
+  match D.best r with
+  | Some best ->
+      Alcotest.(check bool) "best is at least 10x the baseline" true
+        (baseline.D.latency / best.D.latency >= 10)
+  | None -> Alcotest.fail "no best"
+
+let test_best_point_cosims () =
+  let r = D.explore ~parts:gemm_parts (K.gemm ()) in
+  match D.best r with
+  | Some best ->
+      let cs = Flow.cosim ~directives:best.D.directives (K.gemm ()) in
+      Alcotest.(check bool) "optimized design computes correctly" true cs.Flow.ok
+  | None -> Alcotest.fail "no best"
+
+let test_render () =
+  let r = D.explore ~parts:gemm_parts (K.gemm ()) in
+  let s = D.render r in
+  Alcotest.(check bool) "mentions kernel" true (Str_find.contains s "gemm");
+  Alcotest.(check bool) "marks pareto points" true (Str_find.contains s "*")
+
+let test_works_on_vector_kernels () =
+  (* kernels without partitionable matmul arrays still explore fine *)
+  let r = D.explore ~parts:[ ("A", 2) ] (K.atax ()) in
+  Alcotest.(check bool) "atax explored" true (r.D.frontier <> [])
+
+let suite =
+  [
+    Alcotest.test_case "explore finds points" `Quick test_explore_finds_points;
+    Alcotest.test_case "frontier is pareto" `Quick test_frontier_is_pareto;
+    Alcotest.test_case "best is fastest" `Quick test_best_is_fastest;
+    Alcotest.test_case "budget constrains" `Quick test_budget_constrains;
+    Alcotest.test_case "dse improves over baseline" `Quick test_dse_improves_over_baseline;
+    Alcotest.test_case "best point cosims" `Quick test_best_point_cosims;
+    Alcotest.test_case "render" `Quick test_render;
+    Alcotest.test_case "vector kernels" `Quick test_works_on_vector_kernels;
+  ]

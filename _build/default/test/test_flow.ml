@@ -1,0 +1,149 @@
+(** End-to-end flow tests: co-simulation of both flows against the
+    OCaml references under several directive sets, and the paper's
+    headline comparability property. *)
+
+module K = Workloads.Kernels
+module E = Hls_backend.Estimate
+
+let directive_sets =
+  [
+    ("no-directives", K.no_directives);
+    ("inner-pipeline", K.pipelined);
+    ("inner-pipeline-unroll2", { K.pipelined with K.unroll = Some 2 });
+    ("optimized", K.optimized ~factor:4 ~parts:[ ("A", 2) ] ());
+  ]
+
+let test_cosim_all_kernels_all_directives () =
+  List.iter
+    (fun k ->
+      List.iter
+        (fun (dname, d) ->
+          (* partitions reference "A"; skip sets that name absent args *)
+          let ok_args =
+            List.for_all
+              (fun (a, _, _, _) -> List.mem_assoc a k.K.args)
+              d.K.partitions
+          in
+          if ok_args then begin
+            let cs = Flow.cosim ~directives:d k in
+            if not cs.Flow.ok then
+              Alcotest.failf "%s/%s: %s" k.K.kname dname
+                (match cs.Flow.details with d :: _ -> d | [] -> "?")
+          end)
+        directive_sets)
+    (K.all ())
+
+let test_both_flows_synthesize_everything () =
+  List.iter
+    (fun k ->
+      let c = Flow.compare_flows k in
+      Alcotest.(check bool)
+        (k.K.kname ^ " direct latency positive")
+        true
+        (c.Flow.direct.Flow.hls.E.latency > 0);
+      Alcotest.(check bool)
+        (k.K.kname ^ " cpp latency positive")
+        true
+        (c.Flow.cpp.Flow.hls.E.latency > 0))
+    (K.all ())
+
+let test_comparable_performance () =
+  (* the paper's headline: QoR through the adaptor flow is comparable
+     to the HLS C++ flow — within 25% on every kernel *)
+  List.iter
+    (fun k ->
+      let c = Flow.compare_flows k in
+      let ratio = Flow.latency_ratio c in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s ratio %.3f within [0.75, 1.33]" k.K.kname ratio)
+        true
+        (ratio > 0.75 && ratio < 1.33))
+    (K.all ())
+
+let test_adaptor_report_attached () =
+  let r = Flow.run (K.gemm ()) Flow.Direct_ir in
+  match r.Flow.adaptor_report with
+  | Some rep ->
+      Alcotest.(check bool) "issues found before" true
+        (rep.Adaptor.issues_before <> []);
+      Alcotest.(check int) "no issues after" 0 (List.length rep.Adaptor.issues_after)
+  | None -> Alcotest.fail "direct flow must carry an adaptor report"
+
+let test_cpp_source_attached () =
+  let r = Flow.run (K.gemm ()) Flow.Hls_cpp in
+  match r.Flow.cpp_source with
+  | Some src -> Alcotest.(check bool) "has C++ text" true (Str_find.contains src "void gemm")
+  | None -> Alcotest.fail "cpp flow must carry its source"
+
+let test_partition_sweep_monotonic () =
+  (* Figure 3's shape: increasing the partition factor must never
+     increase adaptor-flow latency, and II must reach 1 at factor 8 *)
+  let latencies =
+    List.map
+      (fun factor ->
+        let d = K.optimized ~factor ~parts:[ ("A", 2); ("B", 1) ] () in
+        let r = Flow.run ~directives:d (K.gemm ()) Flow.Direct_ir in
+        r.Flow.hls.E.latency)
+      [ 1; 2; 4; 8 ]
+  in
+  let rec monotonic = function
+    | a :: (b :: _ as tl) -> a >= b && monotonic tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "latency non-increasing in factor" true
+    (monotonic latencies)
+
+let test_flat_ablation_ignores_partitioning () =
+  (* without delinearization the partition directive cannot help *)
+  let lat factor =
+    let d = K.optimized ~factor ~parts:[ ("A", 2); ("B", 1) ] () in
+    let m = (K.gemm ()).K.build d in
+    let lm, _, _ =
+      Flow.direct_ir_frontend ~adaptor_config:Adaptor.flat_views m
+    in
+    (E.synthesize ~top:"gemm" lm).E.latency
+  in
+  Alcotest.(check int) "factor has no effect on the flat view" (lat 1) (lat 8)
+
+let test_adaptor_beats_flat_ablation () =
+  let d = K.optimized ~factor:8 ~parts:[ ("A", 2); ("B", 1) ] () in
+  let full = Flow.run ~directives:d (K.gemm ()) Flow.Direct_ir in
+  let m = (K.gemm ()).K.build d in
+  let lm, _, _ = Flow.direct_ir_frontend ~adaptor_config:Adaptor.flat_views m in
+  let flat = E.synthesize ~top:"gemm" lm in
+  Alcotest.(check bool) "delinearization pays off" true
+    (full.Flow.hls.E.latency * 2 < flat.E.latency)
+
+let test_no_descriptor_ablation_rejected () =
+  let m = (K.gemm ()).K.build K.pipelined in
+  let lm, _, _ =
+    Flow.direct_ir_frontend
+      ~adaptor_config:Adaptor.no_descriptor_elimination m
+  in
+  Alcotest.(check bool) "descriptor IR rejected by the tool" true
+    (try
+       ignore (E.synthesize ~top:"gemm" lm);
+       false
+     with E.Rejected _ -> true)
+
+let test_compile_times_recorded () =
+  let c = Flow.compare_flows (K.gemm ()) in
+  Alcotest.(check bool) "direct time recorded" true (c.Flow.direct.Flow.seconds >= 0.0);
+  Alcotest.(check bool) "cpp time recorded" true (c.Flow.cpp.Flow.seconds >= 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "cosim (all kernels x directives)" `Slow
+      test_cosim_all_kernels_all_directives;
+    Alcotest.test_case "both flows synthesize" `Quick test_both_flows_synthesize_everything;
+    Alcotest.test_case "comparable performance" `Quick test_comparable_performance;
+    Alcotest.test_case "adaptor report attached" `Quick test_adaptor_report_attached;
+    Alcotest.test_case "cpp source attached" `Quick test_cpp_source_attached;
+    Alcotest.test_case "partition sweep monotonic" `Quick test_partition_sweep_monotonic;
+    Alcotest.test_case "flat ablation ignores partitioning" `Quick
+      test_flat_ablation_ignores_partitioning;
+    Alcotest.test_case "adaptor beats flat ablation" `Quick test_adaptor_beats_flat_ablation;
+    Alcotest.test_case "no-descriptor ablation rejected" `Quick
+      test_no_descriptor_ablation_rejected;
+    Alcotest.test_case "compile times recorded" `Quick test_compile_times_recorded;
+  ]

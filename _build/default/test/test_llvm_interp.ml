@@ -1,0 +1,261 @@
+(** Tests for the LLVM IR interpreter: memory model, GEP arithmetic,
+    aggregates, intrinsics, control flow. *)
+
+open Llvmir
+
+let run_module text fname args =
+  let m = Lparser.parse_module text in
+  Lverifier.verify_module m;
+  let st = Linterp.create m in
+  (st, Linterp.run st fname args)
+
+let check_int name expected = function
+  | Some (Linterp.RInt v) -> Alcotest.(check int) name expected v
+  | _ -> Alcotest.fail (name ^ ": expected integer result")
+
+let check_float name expected = function
+  | Some (Linterp.RFloat v) -> Alcotest.(check (float 1e-9)) name expected v
+  | _ -> Alcotest.fail (name ^ ": expected float result")
+
+let test_arith () =
+  let _, r =
+    run_module
+      {|define i64 @f() {
+entry:
+  %a = mul i64 6, 7
+  %b = sub i64 %a, 2
+  %c = sdiv i64 %b, 4
+  ret i64 %c
+}|}
+      "f" []
+  in
+  check_int "(6*7-2)/4" 10 r
+
+let test_i32_wrap () =
+  let _, r =
+    run_module
+      {|define i32 @f() {
+entry:
+  %a = add i32 2147483647, 1
+  ret i32 %a
+}|}
+      "f" []
+  in
+  check_int "i32 wraps" (-2147483648) r
+
+let test_branches_and_phis () =
+  let run c =
+    let _, r =
+      run_module
+        {|define i64 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  %r = phi i64 [ 10, %a ], [ 20, %b ]
+  ret i64 %r
+}|}
+        "f" [ Linterp.RInt c ]
+    in
+    r
+  in
+  check_int "true edge" 10 (run 1);
+  check_int "false edge" 20 (run 0)
+
+let test_loop_sums () =
+  let _, r =
+    run_module
+      {|define i64 @f() {
+entry:
+  br label %header
+header:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %header ]
+  %s = phi i64 [ 0, %entry ], [ %s.next, %header ]
+  %s.next = add i64 %s, %i
+  %i.next = add i64 %i, 1
+  %c = icmp slt i64 %i.next, 10
+  br i1 %c, label %header, label %exit
+exit:
+  ret i64 %s.next
+}|}
+      "f" []
+  in
+  check_int "sum 0..9" 45 r
+
+let test_memory_and_gep () =
+  let m =
+    Lparser.parse_module
+      {|define float @f(float* %p) {
+entry:
+  %a = getelementptr float, float* %p, i64 3
+  %v = load float, float* %a
+  ret float %v
+}|}
+  in
+  let st = Linterp.create m in
+  let addr = Linterp.alloc_floats st 8 in
+  Linterp.write_floats st addr [| 0.; 1.; 2.; 3.5; 4.; 5.; 6.; 7. |];
+  check_float "p[3]" 3.5 (Linterp.run st "f" [ Linterp.RPtr addr ])
+
+let test_multidim_gep () =
+  let m =
+    Lparser.parse_module
+      {|define float @f([4 x [8 x float]]* %p) {
+entry:
+  %a = getelementptr [4 x [8 x float]], [4 x [8 x float]]* %p, i64 0, i64 2, i64 5
+  %v = load float, float* %a
+  ret float %v
+}|}
+  in
+  let st = Linterp.create m in
+  let addr = Linterp.alloc_floats st 32 in
+  let data = Array.init 32 float_of_int in
+  Linterp.write_floats st addr data;
+  check_float "p[2][5] = flat 21" 21.0 (Linterp.run st "f" [ Linterp.RPtr addr ])
+
+let test_struct_gep_matches_layout () =
+  (* store through field 1 of { i8, i32 }, read back *)
+  let m =
+    Lparser.parse_module
+      {|define i32 @f() {
+entry:
+  %s = alloca { i8, i32 }
+  %f1 = getelementptr { i8, i32 }, { i8, i32 }* %s, i64 0, i64 1
+  store i32 77, i32* %f1
+  %v = load i32, i32* %f1
+  ret i32 %v
+}|}
+  in
+  let st = Linterp.create m in
+  check_int "struct field store/load" 77 (Linterp.run st "f" [])
+
+let test_insert_extract_value () =
+  let _, r =
+    run_module
+      {|define i64 @f() {
+entry:
+  %a = insertvalue { i64, i64 } undef, i64 11, 0
+  %b = insertvalue { i64, i64 } %a, i64 31, 1
+  %x = extractvalue { i64, i64 } %b, 0
+  %y = extractvalue { i64, i64 } %b, 1
+  %s = add i64 %x, %y
+  ret i64 %s
+}|}
+      "f" []
+  in
+  check_int "insert/extract" 42 r
+
+let test_intrinsics () =
+  let _, r =
+    run_module
+      {|declare i64 @llvm.smax.i64(i64, i64)
+define i64 @f() {
+entry:
+  %m = call i64 @llvm.smax.i64(i64 3, i64 9)
+  ret i64 %m
+}|}
+      "f" []
+  in
+  check_int "llvm.smax" 9 r;
+  let _, r2 =
+    run_module
+      {|declare float @llvm.fmuladd.f32(float, float, float)
+define float @f() {
+entry:
+  %m = call float @llvm.fmuladd.f32(float 2.0, float 3.0, float 4.0)
+  ret float %m
+}|}
+      "f" []
+  in
+  check_float "llvm.fmuladd" 10.0 r2
+
+let test_select_freeze () =
+  let _, r =
+    run_module
+      {|define i64 @f() {
+entry:
+  %c = icmp sgt i64 5, 3
+  %s = select i1 %c, i64 1, i64 2
+  %fz = freeze i64 %s
+  ret i64 %fz
+}|}
+      "f" []
+  in
+  check_int "select + freeze" 1 r
+
+let test_switch () =
+  let run v =
+    let _, r =
+      run_module
+        {|define i64 @f(i64 %x) {
+entry:
+  switch i64 %x, label %def [ i64 1, label %one i64 2, label %two ]
+one:
+  ret i64 100
+two:
+  ret i64 200
+def:
+  ret i64 0
+}|}
+        "f" [ Linterp.RInt v ]
+    in
+    r
+  in
+  check_int "case 1" 100 (run 1);
+  check_int "case 2" 200 (run 2);
+  check_int "default" 0 (run 7)
+
+let test_infinite_loop_guard () =
+  let m =
+    Lparser.parse_module
+      {|define void @f() {
+entry:
+  br label %spin
+spin:
+  br label %spin
+}|}
+  in
+  let st = Linterp.create m in
+  st.Linterp.fuel <- 10_000;
+  Alcotest.(check bool) "fuel exhaustion raises" true
+    (try
+       ignore (Linterp.run st "f" []);
+       false
+     with Support.Err.Compile_error _ -> true)
+
+let test_uninitialized_load_traps () =
+  let m =
+    Lparser.parse_module
+      {|define float @f() {
+entry:
+  %p = inttoptr i64 99991 to float*
+  %v = load float, float* %p
+  ret float %v
+}|}
+  in
+  let st = Linterp.create m in
+  Alcotest.(check bool) "wild load raises" true
+    (try
+       ignore (Linterp.run st "f" []);
+       false
+     with Support.Err.Compile_error _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "arith" `Quick test_arith;
+    Alcotest.test_case "i32 wrap" `Quick test_i32_wrap;
+    Alcotest.test_case "branches + phis" `Quick test_branches_and_phis;
+    Alcotest.test_case "loop sum" `Quick test_loop_sums;
+    Alcotest.test_case "memory + gep" `Quick test_memory_and_gep;
+    Alcotest.test_case "multidim gep" `Quick test_multidim_gep;
+    Alcotest.test_case "struct gep layout" `Quick test_struct_gep_matches_layout;
+    Alcotest.test_case "insert/extract value" `Quick test_insert_extract_value;
+    Alcotest.test_case "intrinsics" `Quick test_intrinsics;
+    Alcotest.test_case "select + freeze" `Quick test_select_freeze;
+    Alcotest.test_case "switch" `Quick test_switch;
+    Alcotest.test_case "infinite loop guard" `Quick test_infinite_loop_guard;
+    Alcotest.test_case "uninitialized load traps" `Quick test_uninitialized_load_traps;
+  ]

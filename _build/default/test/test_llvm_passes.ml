@@ -1,0 +1,418 @@
+(** Tests for the LLVM optimization passes, both unit-level (expected
+    structural effect) and differential (semantics preserved on every
+    kernel through the interpreter). *)
+
+open Llvmir
+
+let parse text =
+  let m = Lparser.parse_module text in
+  Lverifier.verify_module m;
+  m
+
+let count_opcode pred (m : Lmodule.t) =
+  List.fold_left
+    (fun acc f -> Lmodule.fold_insts (fun n i -> if pred i then n + 1 else n) acc f)
+    0 m.Lmodule.funcs
+
+let is_alloca (i : Linstr.t) = match i.Linstr.op with Linstr.Alloca _ -> true | _ -> false
+let is_load (i : Linstr.t) = match i.Linstr.op with Linstr.Load _ -> true | _ -> false
+let is_phi (i : Linstr.t) = match i.Linstr.op with Linstr.Phi _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* mem2reg                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let mem2reg_input =
+  {|define i64 @f(i1 %c) {
+entry:
+  %x = alloca i64
+  store i64 1, i64* %x
+  br i1 %c, label %a, label %b
+a:
+  store i64 10, i64* %x
+  br label %join
+b:
+  store i64 20, i64* %x
+  br label %join
+join:
+  %v = load i64, i64* %x
+  ret i64 %v
+}|}
+
+let test_mem2reg_promotes () =
+  let m = parse mem2reg_input in
+  let m' = Opt_mem2reg.run m in
+  Lverifier.verify_module m';
+  Alcotest.(check int) "allocas gone" 0 (count_opcode is_alloca m');
+  Alcotest.(check int) "loads gone" 0 (count_opcode is_load m');
+  Alcotest.(check int) "a phi was placed" 1 (count_opcode is_phi m')
+
+let test_mem2reg_semantics () =
+  let m = parse mem2reg_input in
+  let m' = Opt_mem2reg.run m in
+  List.iter
+    (fun c ->
+      let run mm =
+        let st = Linterp.create mm in
+        match Linterp.run st "f" [ Linterp.RInt c ] with
+        | Some (Linterp.RInt v) -> v
+        | _ -> -1
+      in
+      Alcotest.(check int) (Printf.sprintf "same result for c=%d" c) (run m) (run m'))
+    [ 0; 1 ]
+
+let test_mem2reg_loop_carried () =
+  (* a counter in memory promoted across a back edge *)
+  let m =
+    parse
+      {|define i64 @f() {
+entry:
+  %x = alloca i64
+  store i64 0, i64* %x
+  br label %header
+header:
+  %v = load i64, i64* %x
+  %c = icmp slt i64 %v, 5
+  br i1 %c, label %body, label %exit
+body:
+  %v2 = load i64, i64* %x
+  %v3 = add i64 %v2, 1
+  store i64 %v3, i64* %x
+  br label %header
+exit:
+  %r = load i64, i64* %x
+  ret i64 %r
+}|}
+  in
+  let m' = Opt_mem2reg.run m in
+  Lverifier.verify_module m';
+  Alcotest.(check int) "allocas gone" 0 (count_opcode is_alloca m');
+  let st = Linterp.create m' in
+  (match Linterp.run st "f" [] with
+  | Some (Linterp.RInt 5) -> ()
+  | Some (Linterp.RInt v) -> Alcotest.failf "expected 5, got %d" v
+  | _ -> Alcotest.fail "bad result")
+
+let test_mem2reg_skips_escaping () =
+  (* an alloca whose address is stored escapes and must survive *)
+  let m =
+    parse
+      {|define void @f(i64** %out) {
+entry:
+  %x = alloca i64
+  store i64* %x, i64** %out
+  ret void
+}|}
+  in
+  let m' = Opt_mem2reg.run m in
+  Alcotest.(check int) "escaping alloca preserved" 1 (count_opcode is_alloca m')
+
+(* ------------------------------------------------------------------ *)
+(* constfold / dce / cse / simplifycfg / licm                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_constfold () =
+  let m =
+    parse
+      {|define i64 @f() {
+entry:
+  %a = mul i64 6, 7
+  %b = add i64 %a, 0
+  %c = select i1 true, i64 %b, i64 99
+  ret i64 %c
+}|}
+  in
+  let m' = Opt_constfold.run m in
+  Lverifier.verify_module m';
+  Alcotest.(check int) "folded to a bare ret" 1
+    (Lmodule.inst_count (List.hd m'.Lmodule.funcs));
+  let st = Linterp.create m' in
+  (match Linterp.run st "f" [] with
+  | Some (Linterp.RInt 42) -> ()
+  | _ -> Alcotest.fail "folded value wrong")
+
+let test_dce () =
+  let m =
+    parse
+      {|define i64 @f(i64 %x) {
+entry:
+  %dead1 = mul i64 %x, %x
+  %dead2 = add i64 %dead1, 1
+  ret i64 %x
+}|}
+  in
+  let m' = Opt_dce.run m in
+  Alcotest.(check int) "dead chain removed" 1
+    (Lmodule.inst_count (List.hd m'.Lmodule.funcs))
+
+let test_dce_keeps_side_effects () =
+  let m =
+    parse
+      {|define void @f(i64* %p) {
+entry:
+  store i64 1, i64* %p
+  ret void
+}|}
+  in
+  let m' = Opt_dce.run m in
+  Alcotest.(check int) "store survives" 2
+    (Lmodule.inst_count (List.hd m'.Lmodule.funcs))
+
+let test_cse () =
+  let m =
+    parse
+      {|define i64 @f(i64 %x) {
+entry:
+  %a = mul i64 %x, %x
+  %b = mul i64 %x, %x
+  %c = add i64 %a, %b
+  ret i64 %c
+}|}
+  in
+  let m' = Opt_cse.run m in
+  Lverifier.verify_module m';
+  let muls =
+    count_opcode
+      (fun i -> match i.Linstr.op with Linstr.IBin (Linstr.Mul, _, _) -> true | _ -> false)
+      m'
+  in
+  Alcotest.(check int) "duplicate mul unified" 1 muls;
+  let st = Linterp.create m' in
+  (match Linterp.run st "f" [ Linterp.RInt 5 ] with
+  | Some (Linterp.RInt 50) -> ()
+  | _ -> Alcotest.fail "cse changed semantics")
+
+let test_cse_respects_dominance () =
+  (* identical instructions in sibling branches must NOT unify *)
+  let m =
+    parse
+      {|define i64 @f(i1 %c, i64 %x) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %m1 = mul i64 %x, %x
+  br label %join
+b:
+  %m2 = mul i64 %x, %x
+  br label %join
+join:
+  %r = phi i64 [ %m1, %a ], [ %m2, %b ]
+  ret i64 %r
+}|}
+  in
+  let m' = Opt_cse.run m in
+  Lverifier.verify_module m';
+  let muls =
+    count_opcode
+      (fun i -> match i.Linstr.op with Linstr.IBin (Linstr.Mul, _, _) -> true | _ -> false)
+      m'
+  in
+  Alcotest.(check int) "sibling expressions kept" 2 muls
+
+let test_simplifycfg_folds_constant_branch () =
+  let m =
+    parse
+      {|define i64 @f() {
+entry:
+  br i1 true, label %a, label %b
+a:
+  ret i64 1
+b:
+  ret i64 2
+}|}
+  in
+  let m' = Opt_simplifycfg.run m in
+  Lverifier.verify_module m';
+  let f = List.hd m'.Lmodule.funcs in
+  Alcotest.(check int) "dead branch removed" 1 (List.length f.Lmodule.blocks);
+  let st = Linterp.create m' in
+  (match Linterp.run st "f" [] with
+  | Some (Linterp.RInt 1) -> ()
+  | _ -> Alcotest.fail "wrong branch survived")
+
+let test_simplifycfg_merges_chains () =
+  let m =
+    parse
+      {|define i64 @f() {
+entry:
+  br label %a
+a:
+  %x = add i64 1, 2
+  br label %b
+b:
+  ret i64 %x
+}|}
+  in
+  let m' = Opt_simplifycfg.run m in
+  Lverifier.verify_module m';
+  Alcotest.(check int) "straight-line chain merged" 1
+    (List.length (List.hd m'.Lmodule.funcs).Lmodule.blocks)
+
+let test_licm_hoists () =
+  let m =
+    parse
+      {|define i64 @f(i64 %a, i64 %b) {
+entry:
+  br label %header
+header:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %body ]
+  %s = phi i64 [ 0, %entry ], [ %s.next, %body ]
+  %c = icmp slt i64 %i, 10
+  br i1 %c, label %body, label %exit
+body:
+  %inv = mul i64 %a, %b
+  %s.next = add i64 %s, %inv
+  %i.next = add i64 %i, 1
+  br label %header
+exit:
+  ret i64 %s
+}|}
+  in
+  let m' = Opt_licm.run m in
+  Lverifier.verify_module m';
+  let f = Lmodule.find_func_exn m' "f" in
+  let entry = Lmodule.entry f in
+  let hoisted =
+    List.exists
+      (fun (i : Linstr.t) ->
+        match i.Linstr.op with Linstr.IBin (Linstr.Mul, _, _) -> true | _ -> false)
+      entry.Lmodule.insts
+  in
+  Alcotest.(check bool) "invariant mul hoisted to preheader" true hoisted;
+  let run mm =
+    let st = Linterp.create mm in
+    match Linterp.run st "f" [ Linterp.RInt 3; Linterp.RInt 4 ] with
+    | Some (Linterp.RInt v) -> v
+    | _ -> -1
+  in
+  Alcotest.(check int) "licm preserves semantics" (run m) (run m')
+
+(* ------------------------------------------------------------------ *)
+(* Differential: full pipeline on all kernels                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_pipeline_differential () =
+  List.iter
+    (fun k ->
+      let m = k.Workloads.Kernels.build Workloads.Kernels.no_directives in
+      let lm = Lowering.Lower.lower_module m in
+      let lm', _ = Pass.run_pipeline Pass.default_pipeline lm in
+      let out1 = Flow.run_llvm k lm in
+      let out2 = Flow.run_llvm k lm' in
+      List.iteri
+        (fun i (a, b) ->
+          Array.iteri
+            (fun j av ->
+              if Float.abs (av -. b.(j)) > 1e-9 then
+                Alcotest.failf "%s: optimized IR diverges at arg %d[%d]"
+                  k.Workloads.Kernels.kname i j)
+            a)
+        (List.combine out1 out2))
+    (Workloads.Kernels.all ())
+
+let test_pipeline_shrinks_ir () =
+  (* the cleanup pipeline should never grow the instruction count on
+     single-function kernels (inlining legitimately duplicates code in
+     multi-function ones) *)
+  List.iter
+    (fun k ->
+      let m = k.Workloads.Kernels.build Workloads.Kernels.no_directives in
+      if List.length m.Mhir.Ir.funcs = 1 then begin
+        let lm = Lowering.Lower.lower_module m in
+        let lm', _ = Pass.run_pipeline Pass.default_pipeline lm in
+        let count mm =
+          List.fold_left
+            (fun acc f -> acc + Lmodule.inst_count f)
+            0 mm.Lmodule.funcs
+        in
+        Alcotest.(check bool)
+          (k.Workloads.Kernels.kname ^ " does not grow")
+          true
+          (count lm' <= count lm)
+      end)
+    (Workloads.Kernels.all ())
+
+let test_inline_pass () =
+  let m =
+    parse
+      {|define i64 @helper(i64 %x) {
+entry:
+  %c = icmp sgt i64 %x, 10
+  br i1 %c, label %big, label %small
+big:
+  ret i64 100
+small:
+  %d = mul i64 %x, 2
+  ret i64 %d
+}
+define i64 @top(i64 %a) {
+entry:
+  %r1 = call i64 @helper(i64 %a)
+  %r2 = call i64 @helper(i64 20)
+  %s = add i64 %r1, %r2
+  ret i64 %s
+}|}
+  in
+  let m' = Opt_inline.run m in
+  Lverifier.verify_module m';
+  let top = Lmodule.find_func_exn m' "top" in
+  let calls =
+    Lmodule.fold_insts
+      (fun n (i : Linstr.t) ->
+        match i.Linstr.op with Linstr.Call _ -> n + 1 | _ -> n)
+      0 top
+  in
+  Alcotest.(check int) "no calls remain in @top" 0 calls;
+  let run mm a =
+    let st = Linterp.create mm in
+    match Linterp.run st "top" [ Linterp.RInt a ] with
+    | Some (Linterp.RInt v) -> v
+    | _ -> -1
+  in
+  (* helper(3)=6, helper(20)=100 -> 106; helper(50)=100 -> 200 *)
+  Alcotest.(check int) "inlined semantics (small)" 106 (run m' 3);
+  Alcotest.(check int) "inlined semantics (big)" 200 (run m' 50);
+  Alcotest.(check int) "matches original" (run m 3) (run m' 3)
+
+let test_inline_multi_function_kernel () =
+  let k = Workloads.Kernels.mmcall () in
+  let m = k.Workloads.Kernels.build Workloads.Kernels.pipelined in
+  let lm = Lowering.Lower.lower_module m in
+  let lm', _ = Pass.run_pipeline Pass.default_pipeline lm in
+  let top = Lmodule.find_func_exn lm' "mmcall" in
+  let calls_to_helper =
+    Lmodule.fold_insts
+      (fun n (i : Linstr.t) ->
+        match i.Linstr.op with
+        | Linstr.Call { callee = "mm_row"; _ } -> n + 1
+        | _ -> n)
+      0 top
+  in
+  Alcotest.(check int) "helper fully inlined" 0 calls_to_helper;
+  (* semantics preserved vs the reference *)
+  let reference = Flow.run_reference k in
+  let got = Flow.run_llvm k lm' in
+  let err, issues = Flow.compare_outputs k ~what:"inlined" reference got in
+  if issues <> [] then Alcotest.fail (List.hd issues);
+  Alcotest.(check bool) "error small" true (err < 1e-5)
+
+let suite =
+  [
+    Alcotest.test_case "mem2reg promotes" `Quick test_mem2reg_promotes;
+    Alcotest.test_case "mem2reg semantics" `Quick test_mem2reg_semantics;
+    Alcotest.test_case "mem2reg loop-carried" `Quick test_mem2reg_loop_carried;
+    Alcotest.test_case "mem2reg skips escaping" `Quick test_mem2reg_skips_escaping;
+    Alcotest.test_case "constfold" `Quick test_constfold;
+    Alcotest.test_case "dce" `Quick test_dce;
+    Alcotest.test_case "dce keeps side effects" `Quick test_dce_keeps_side_effects;
+    Alcotest.test_case "cse" `Quick test_cse;
+    Alcotest.test_case "cse respects dominance" `Quick test_cse_respects_dominance;
+    Alcotest.test_case "simplifycfg constant branch" `Quick test_simplifycfg_folds_constant_branch;
+    Alcotest.test_case "simplifycfg merges chains" `Quick test_simplifycfg_merges_chains;
+    Alcotest.test_case "licm hoists" `Quick test_licm_hoists;
+    Alcotest.test_case "pipeline differential (all kernels)" `Quick test_pipeline_differential;
+    Alcotest.test_case "pipeline shrinks IR" `Quick test_pipeline_shrinks_ir;
+    Alcotest.test_case "inline pass" `Quick test_inline_pass;
+    Alcotest.test_case "inline multi-function kernel" `Quick
+      test_inline_multi_function_kernel;
+  ]

@@ -1,0 +1,112 @@
+(** Tests for the LLVM type system: sizes, alignment, layout, GEP
+    stepping, printing. *)
+
+open Llvmir
+
+let test_scalar_sizes () =
+  Alcotest.(check int) "i1" 1 (Ltype.sizeof Ltype.I1);
+  Alcotest.(check int) "i8" 1 (Ltype.sizeof Ltype.I8);
+  Alcotest.(check int) "i16" 2 (Ltype.sizeof Ltype.I16);
+  Alcotest.(check int) "i32" 4 (Ltype.sizeof Ltype.I32);
+  Alcotest.(check int) "i64" 8 (Ltype.sizeof Ltype.I64);
+  Alcotest.(check int) "float" 4 (Ltype.sizeof Ltype.Float);
+  Alcotest.(check int) "double" 8 (Ltype.sizeof Ltype.Double);
+  Alcotest.(check int) "ptr" 8 (Ltype.sizeof Ltype.opaque_ptr)
+
+let test_array_sizes () =
+  Alcotest.(check int) "[8 x float]" 32 (Ltype.sizeof (Ltype.Array (8, Ltype.Float)));
+  Alcotest.(check int) "[4 x [4 x i32]]" 64
+    (Ltype.sizeof (Ltype.Array (4, Ltype.Array (4, Ltype.I32))))
+
+let test_struct_layout () =
+  (* { i8, i32 } pads to 8 bytes *)
+  let s = Ltype.Struct [ Ltype.I8; Ltype.I32 ] in
+  Alcotest.(check int) "padded struct size" 8 (Ltype.sizeof s);
+  Alcotest.(check int) "field 0 offset" 0 (Ltype.struct_offset [ Ltype.I8; Ltype.I32 ] 0);
+  Alcotest.(check int) "field 1 aligned" 4 (Ltype.struct_offset [ Ltype.I8; Ltype.I32 ] 1)
+
+let test_descriptor_layout () =
+  (* the memref descriptor: { ptr, ptr, i64, [2 x i64], [2 x i64] } *)
+  let fields =
+    [ Ltype.opaque_ptr; Ltype.opaque_ptr; Ltype.I64;
+      Ltype.Array (2, Ltype.I64); Ltype.Array (2, Ltype.I64) ]
+  in
+  Alcotest.(check int) "descriptor size" 56 (Ltype.sizeof (Ltype.Struct fields));
+  Alcotest.(check int) "aligned ptr field at 8" 8 (Ltype.struct_offset fields 1);
+  Alcotest.(check int) "sizes array at 24" 24 (Ltype.struct_offset fields 3)
+
+let test_gep_step () =
+  let arr = Ltype.Array (4, Ltype.Array (8, Ltype.Float)) in
+  Alcotest.(check bool) "array step" true
+    (Ltype.equal (Ltype.gep_step arr None) (Ltype.Array (8, Ltype.Float)));
+  let s = Ltype.Struct [ Ltype.I32; Ltype.Float ] in
+  Alcotest.(check bool) "struct step needs constant" true
+    (try
+       ignore (Ltype.gep_step s None);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "struct field 1" true
+    (Ltype.equal (Ltype.gep_step s (Some 1)) Ltype.Float)
+
+let test_to_string () =
+  Alcotest.(check string) "typed ptr" "float*" (Ltype.to_string (Ltype.ptr Ltype.Float));
+  Alcotest.(check string) "opaque ptr" "ptr" (Ltype.to_string Ltype.opaque_ptr);
+  Alcotest.(check string) "nested array" "[4 x [8 x float]]"
+    (Ltype.to_string (Ltype.Array (4, Ltype.Array (8, Ltype.Float))));
+  Alcotest.(check string) "struct" "{ i64, float* }"
+    (Ltype.to_string (Ltype.Struct [ Ltype.I64; Ltype.ptr Ltype.Float ]))
+
+let test_predicates () =
+  Alcotest.(check bool) "opaque detected" true (Ltype.is_opaque_pointer Ltype.opaque_ptr);
+  Alcotest.(check bool) "typed not opaque" false (Ltype.is_opaque_pointer (Ltype.ptr Ltype.I32));
+  Alcotest.(check bool) "aggregate" true (Ltype.is_aggregate (Ltype.Array (2, Ltype.I8)));
+  Alcotest.(check bool) "int width" true (Ltype.int_width Ltype.I16 = 16)
+
+let prop_sizeof_positive =
+  let gen_ty =
+    let open QCheck.Gen in
+    fix
+      (fun self depth ->
+        if depth = 0 then
+          oneofl [ Ltype.I1; Ltype.I8; Ltype.I32; Ltype.I64; Ltype.Float; Ltype.Double ]
+        else
+          frequency
+            [
+              (3, oneofl [ Ltype.I32; Ltype.Float; Ltype.I64 ]);
+              (1, map2 (fun n t -> Ltype.Array (n, t)) (int_range 1 8) (self (depth - 1)));
+              (1, map (fun ts -> Ltype.Struct ts) (list_size (int_range 1 4) (self (depth - 1))));
+            ])
+      3
+  in
+  QCheck.Test.make ~name:"sizeof is positive and aligned" ~count:200
+    (QCheck.make gen_ty) (fun t ->
+      let s = Ltype.sizeof t and a = Ltype.alignment t in
+      s > 0 && a > 0 && s mod a = 0)
+
+let prop_struct_offsets_monotonic =
+  let gen_fields =
+    QCheck.Gen.(list_size (int_range 1 6)
+      (oneofl [ Ltype.I8; Ltype.I16; Ltype.I32; Ltype.I64; Ltype.Float; Ltype.Double ]))
+  in
+  QCheck.Test.make ~name:"struct offsets are monotonic and in-bounds" ~count:200
+    (QCheck.make gen_fields) (fun fields ->
+      let n = List.length fields in
+      let offs = List.init n (Ltype.struct_offset fields) in
+      let sorted = List.sort compare offs in
+      offs = sorted
+      && List.for_all2
+           (fun o f -> o + Ltype.sizeof f <= Ltype.sizeof (Ltype.Struct fields))
+           offs fields)
+
+let suite =
+  [
+    Alcotest.test_case "scalar sizes" `Quick test_scalar_sizes;
+    Alcotest.test_case "array sizes" `Quick test_array_sizes;
+    Alcotest.test_case "struct layout" `Quick test_struct_layout;
+    Alcotest.test_case "descriptor layout" `Quick test_descriptor_layout;
+    Alcotest.test_case "gep step" `Quick test_gep_step;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+    Alcotest.test_case "predicates" `Quick test_predicates;
+    QCheck_alcotest.to_alcotest prop_sizeof_positive;
+    QCheck_alcotest.to_alcotest prop_struct_offsets_monotonic;
+  ]

@@ -1,0 +1,26 @@
+(** Test entry point: one Alcotest suite per subsystem. *)
+
+let () =
+  Alcotest.run "mlir-hls-adaptor"
+    [
+      ("support", Test_support.suite);
+      ("affine", Test_affine.suite);
+      ("mhir", Test_mhir.suite);
+      ("mhir-interp", Test_mhir_interp.suite);
+      ("loop-unroll", Test_loop_unroll.suite);
+      ("ltype", Test_ltype.suite);
+      ("llvmir", Test_llvmir.suite);
+      ("llvm-analyses", Test_llvm_analyses.suite);
+      ("llvmir-extra", Test_llvmir_extra.suite);
+      ("llvm-interp", Test_llvm_interp.suite);
+      ("llvm-passes", Test_llvm_passes.suite);
+      ("adaptor", Test_adaptor.suite);
+      ("hlscpp", Test_hlscpp.suite);
+      ("hls-backend", Test_hls_backend.suite);
+      ("workloads", Test_workloads.suite);
+      ("lowering", Test_lowering.suite);
+      ("flow", Test_flow.suite);
+      ("random", Test_random.suite);
+      ("dse", Test_dse.suite);
+      ("misc", Test_misc.suite);
+    ]

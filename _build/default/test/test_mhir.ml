@@ -1,0 +1,243 @@
+(** Tests for the multi-level IR: builder, verifier, printer/parser
+    round-trip, and structural utilities. *)
+
+open Mhir
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** saxpy-like module: y[i] = a*x[i] + y[i] with scalar a as constant. *)
+let build_saxpy n =
+  let b = Builder.create () in
+  let vty = Types.memref [ n ] in
+  let f =
+    Builder.func b "saxpy"
+      ~args:[ ("x", vty); ("y", vty) ]
+      ~ret_tys:[]
+      (fun b args ->
+        match args with
+        | [ x; y ] ->
+            ignore
+              (Builder.affine_for b ~lb:0 ~ub:n (fun b i _ ->
+                   let a = Builder.constant_f b 2.5 in
+                   let xv = Builder.load b x [ i ] in
+                   let yv = Builder.load b y [ i ] in
+                   let m = Builder.mulf b a xv in
+                   let s = Builder.addf b m yv in
+                   Builder.store b s y [ i ];
+                   []));
+            Builder.ret b []
+        | _ -> assert false)
+  in
+  { Ir.funcs = [ f ] }
+
+let build_sum_reduction n =
+  let b = Builder.create () in
+  let vty = Types.memref [ n ] in
+  let f =
+    Builder.func b "sum"
+      ~args:[ ("x", vty); ("out", Types.memref [ 1 ]) ]
+      ~ret_tys:[]
+      (fun b args ->
+        match args with
+        | [ x; out ] ->
+            let zero = Builder.constant_f b 0.0 in
+            let acc =
+              Builder.affine_for b ~lb:0 ~ub:n ~iters:[ zero ] (fun b i iters ->
+                  let xv = Builder.load b x [ i ] in
+                  [ Builder.addf b (List.hd iters) xv ])
+            in
+            let c0 = Builder.constant_i b 0 in
+            Builder.store b (List.hd acc) out [ c0 ];
+            Builder.ret b []
+        | _ -> assert false)
+  in
+  { Ir.funcs = [ f ] }
+
+(* ------------------------------------------------------------------ *)
+(* Builder / verifier                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_builder_produces_valid_ir () =
+  Verifier.verify_module (build_saxpy 8);
+  Verifier.verify_module (build_sum_reduction 8)
+
+let test_builder_type_checks () =
+  let b = Builder.create () in
+  let i = Builder.constant_i b 1 in
+  let f = Builder.constant_f b 1.0 in
+  Alcotest.(check bool) "addi on float rejected" true
+    (try
+       ignore (Builder.addi b f f);
+       false
+     with Support.Err.Compile_error _ -> true);
+  Alcotest.(check bool) "mixed addf rejected" true
+    (try
+       ignore (Builder.addf b f (Builder.sitofp b i Types.F64));
+       false
+     with Support.Err.Compile_error _ -> true)
+
+let test_builder_subscript_checks () =
+  let b = Builder.create () in
+  let m = Builder.memref_alloc b (Types.memref [ 4; 4 ]) in
+  let i = Builder.constant_i b 0 in
+  Alcotest.(check bool) "rank mismatch rejected" true
+    (try
+       ignore (Builder.load b m [ i ]);
+       false
+     with Support.Err.Compile_error _ -> true)
+
+let test_verifier_detects_bad_yield () =
+  (* hand-build an affine.for whose yield type mismatches its result *)
+  let b = Builder.create () in
+  let f =
+    Builder.func b "bad" ~args:[] ~ret_tys:[] (fun b _ ->
+        let zero = Builder.constant_f b 0.0 in
+        ignore
+          (Builder.affine_for b ~lb:0 ~ub:4 ~iters:[ zero ] (fun b _ iters ->
+               iters));
+        Builder.ret b [])
+  in
+  let m = { Ir.funcs = [ f ] } in
+  (* corrupt it: change the loop result type *)
+  let corrupt =
+    Ir.rewrite_func
+      (fun o ->
+        if o.Ir.name = "affine.for" then
+          [ { o with Ir.results = List.map (fun v -> { v with Ir.ty = Types.I32 }) o.Ir.results } ]
+        else [ o ])
+      f
+  in
+  Verifier.verify_module m;
+  Alcotest.(check bool) "corrupted module rejected" true
+    (try
+       Verifier.verify_module { Ir.funcs = [ corrupt ] };
+       false
+     with Support.Err.Compile_error _ -> true)
+
+let test_verifier_detects_duplicate_funcs () =
+  let m = build_saxpy 4 in
+  let dup = { Ir.funcs = m.Ir.funcs @ m.Ir.funcs } in
+  Alcotest.(check bool) "duplicate function names rejected" true
+    (try
+       Verifier.verify_module dup;
+       false
+     with Support.Err.Compile_error _ -> true)
+
+let test_verifier_checks_calls () =
+  let b = Builder.create () in
+  let f =
+    Builder.func b "caller" ~args:[] ~ret_tys:[] (fun b _ ->
+        ignore (Builder.call b "missing" ~ret_tys:[] []);
+        Builder.ret b [])
+  in
+  Alcotest.(check bool) "call to unknown function rejected" true
+    (try
+       Verifier.verify_module { Ir.funcs = [ f ] };
+       false
+     with Support.Err.Compile_error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Walk / rewrite                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_walk_counts () =
+  let m = build_saxpy 8 in
+  let f = List.hd m.Ir.funcs in
+  let count = Ir.op_count f in
+  (* for + yield + return + 6 body ops *)
+  Alcotest.(check bool) "op_count sees nested ops" true (count >= 8)
+
+let test_rewrite_deletes () =
+  let m = build_saxpy 8 in
+  let f = List.hd m.Ir.funcs in
+  let without_stores =
+    Ir.rewrite_func
+      (fun o -> if o.Ir.name = "affine.store" then [] else [ o ])
+      f
+  in
+  let stores = ref 0 in
+  Ir.walk_func
+    (fun o -> if o.Ir.name = "affine.store" then incr stores)
+    without_stores;
+  Alcotest.(check int) "stores removed" 0 !stores
+
+(* ------------------------------------------------------------------ *)
+(* Printer / parser round-trip                                        *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip m =
+  let text = Printer.module_to_string ~generic:true m in
+  let m2 = Parser.parse_module text in
+  Verifier.verify_module m2;
+  let text2 = Printer.module_to_string ~generic:true m2 in
+  (text, text2)
+
+let test_roundtrip_saxpy () =
+  let t1, t2 = roundtrip (build_saxpy 8) in
+  Alcotest.(check string) "generic text is a fixpoint" t1 t2
+
+let test_roundtrip_reduction () =
+  let t1, t2 = roundtrip (build_sum_reduction 16) in
+  Alcotest.(check string) "generic text is a fixpoint" t1 t2
+
+let test_roundtrip_all_kernels () =
+  List.iter
+    (fun k ->
+      let m = k.Workloads.Kernels.build Workloads.Kernels.pipelined in
+      let t1, t2 = roundtrip m in
+      Alcotest.(check string) (k.Workloads.Kernels.kname ^ " round-trips") t1 t2)
+    (Workloads.Kernels.all ())
+
+let test_pretty_printer_runs () =
+  let m = build_saxpy 8 in
+  let s = Printer.module_to_string m in
+  Alcotest.(check bool) "pretty output mentions affine.for" true
+    (let found = ref false in
+     String.iteri
+       (fun i _ ->
+         if i + 10 <= String.length s && String.sub s i 10 = "affine.for" then
+           found := true)
+       s;
+     !found)
+
+let test_parser_rejects_garbage () =
+  Alcotest.(check bool) "garbage rejected" true
+    (try
+       ignore (Parser.parse_module "module { func.func oops }");
+       false
+     with Support.Err.Compile_error _ -> true)
+
+let test_parser_rejects_type_conflict () =
+  let bad =
+    {|module {
+func.func @f(%0: i32) -> () {
+  %1 = "arith.addi"(%0, %0) : (i64, i64) -> (i64)
+  "func.return"() : () -> ()
+}
+}|}
+  in
+  Alcotest.(check bool) "conflicting SSA types rejected" true
+    (try
+       ignore (Parser.parse_module bad);
+       false
+     with Support.Err.Compile_error _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "builder produces valid IR" `Quick test_builder_produces_valid_ir;
+    Alcotest.test_case "builder type checks" `Quick test_builder_type_checks;
+    Alcotest.test_case "builder subscript checks" `Quick test_builder_subscript_checks;
+    Alcotest.test_case "verifier: bad yield" `Quick test_verifier_detects_bad_yield;
+    Alcotest.test_case "verifier: duplicate funcs" `Quick test_verifier_detects_duplicate_funcs;
+    Alcotest.test_case "verifier: unknown call" `Quick test_verifier_checks_calls;
+    Alcotest.test_case "walk counts nested ops" `Quick test_walk_counts;
+    Alcotest.test_case "rewrite deletes ops" `Quick test_rewrite_deletes;
+    Alcotest.test_case "roundtrip saxpy" `Quick test_roundtrip_saxpy;
+    Alcotest.test_case "roundtrip reduction" `Quick test_roundtrip_reduction;
+    Alcotest.test_case "roundtrip all kernels" `Quick test_roundtrip_all_kernels;
+    Alcotest.test_case "pretty printer" `Quick test_pretty_printer_runs;
+    Alcotest.test_case "parser rejects garbage" `Quick test_parser_rejects_garbage;
+    Alcotest.test_case "parser rejects type conflicts" `Quick test_parser_rejects_type_conflict;
+  ]

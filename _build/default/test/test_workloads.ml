@@ -1,0 +1,94 @@
+(** Tests for the workload suite itself: metadata consistency and
+    reference-vs-interpreter agreement for every kernel. *)
+
+module K = Workloads.Kernels
+
+let test_kernel_metadata_consistent () =
+  List.iter
+    (fun k ->
+      (* outputs name real arguments *)
+      List.iter
+        (fun o ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s output %s is an argument" k.K.kname o)
+            true (List.mem_assoc o k.K.args))
+        k.K.outputs;
+      (* the built module has a top function with matching arity *)
+      let m = k.K.build K.no_directives in
+      let f = Mhir.Ir.find_func_exn m k.K.kname in
+      Alcotest.(check int)
+        (k.K.kname ^ " argument count")
+        (List.length k.K.args)
+        (List.length f.Mhir.Ir.args))
+    (K.all ())
+
+let test_kernel_names_unique () =
+  let names = List.map (fun k -> k.K.kname) (K.all ()) in
+  Alcotest.(check int) "no duplicate kernel names"
+    (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_by_name () =
+  Alcotest.(check bool) "gemm found" true (K.by_name "gemm" <> None);
+  Alcotest.(check bool) "unknown absent" true (K.by_name "nope" = None)
+
+let test_reference_matches_interpreter () =
+  List.iter
+    (fun k ->
+      let reference = Flow.run_reference k in
+      let interp = Flow.run_mhir k ~directives:K.no_directives in
+      let err, issues =
+        Flow.compare_outputs k ~what:"mhir" reference interp
+      in
+      if issues <> [] then
+        Alcotest.failf "%s: %s" k.K.kname (List.hd issues);
+      Alcotest.(check bool) (k.K.kname ^ " matches reference") true (err < 1e-5))
+    (K.all ())
+
+let test_directives_do_not_change_semantics () =
+  (* attributes are annotations only: the interpreter must compute the
+     same result with or without them *)
+  List.iter
+    (fun k ->
+      let plain = Flow.run_mhir k ~directives:K.no_directives in
+      let ann =
+        Flow.run_mhir k
+          ~directives:(K.optimized ~factor:4 ~parts:[] ())
+      in
+      List.iteri
+        (fun i (a, b) ->
+          Array.iteri
+            (fun j av ->
+              if Float.abs (av -. b.(j)) > 1e-9 then
+                Alcotest.failf "%s: directives changed semantics at %d[%d]"
+                  k.K.kname i j)
+            a)
+        (List.combine plain ann))
+    (K.all ())
+
+let test_kernels_verify_under_all_directive_sets () =
+  List.iter
+    (fun k ->
+      List.iter
+        (fun d ->
+          Mhir.Verifier.verify_module (k.K.build d))
+        [
+          K.no_directives;
+          K.pipelined;
+          { K.pipelined with K.unroll = Some 2 };
+          K.optimized ~factor:2 ~parts:[] ();
+        ])
+    (K.all ())
+
+let suite =
+  [
+    Alcotest.test_case "metadata consistent" `Quick test_kernel_metadata_consistent;
+    Alcotest.test_case "names unique" `Quick test_kernel_names_unique;
+    Alcotest.test_case "by_name" `Quick test_by_name;
+    Alcotest.test_case "reference matches interpreter" `Quick
+      test_reference_matches_interpreter;
+    Alcotest.test_case "directives preserve semantics" `Quick
+      test_directives_do_not_change_semantics;
+    Alcotest.test_case "kernels verify under directives" `Quick
+      test_kernels_verify_under_all_directive_sets;
+  ]
