@@ -6,7 +6,8 @@
     - [synth]    run a flow end-to-end and print the synthesis report;
     - [compare]  run both flows and compare QoR;
     - [cosim]    three-way functional co-simulation;
-    - [adapt]    run the adaptor on an .ll file (our textual dialect). *)
+    - [adapt]    run the adaptor on an .ll file (our textual dialect);
+    - [lint]     run the HLS diagnostics engine and report all findings. *)
 
 open Cmdliner
 module K = Workloads.Kernels
@@ -219,9 +220,14 @@ let adapt_cmd =
     let m = Llvmir.Lparser.parse_module src in
     Llvmir.Lverifier.verify_module m;
     let config = { Adaptor.default_config with Adaptor.strict } in
-    let m', report = Adaptor.run ~config m in
-    prerr_string (Adaptor.report_to_string report);
-    print_string (Llvmir.Lprinter.module_to_string m')
+    match Adaptor.run ~config m with
+    | m', report ->
+        prerr_string (Adaptor.report_to_string report);
+        print_string (Llvmir.Lprinter.module_to_string m')
+    | exception Support.Diag.Failed ds ->
+        (* strict gate: the complete accumulated diagnostic list *)
+        prerr_string (Support.Diag.render ds);
+        exit (Support.Diag.exit_code ds)
   in
   let strict =
     Arg.(value & flag & info [ "strict" ]
@@ -232,6 +238,61 @@ let adapt_cmd =
        ~doc:"Run the adaptor on an .ll file and print the legalized IR \
              (report goes to stderr).")
     Term.(const run $ file $ strict)
+
+(* ------------------------------------------------------------------ *)
+(* lint                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let lint_cmd =
+  let target =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"TARGET"
+             ~doc:"Kernel name (see `mhlsc list`) or an .ll file (this \
+                   tool's dialect).  Kernels are linted on the adapter's \
+                   HLS-ready output; files are linted as written.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the diagnostics as JSON.")
+  in
+  let werror =
+    Arg.(value & flag & info [ "werror" ] ~doc:"Promote warnings to errors.")
+  in
+  let top =
+    Arg.(value & opt (some string) None
+         & info [ "top" ] ~docv:"NAME"
+             ~doc:"Top function for interface rules (default: the module's \
+                   single function).")
+  in
+  let rules =
+    Arg.(value & opt (some string) None
+         & info [ "rules" ] ~docv:"IDS"
+             ~doc:"Comma-separated rule IDs to keep (e.g. HLS001,HLS004).")
+  in
+  let run target json werror top rules pipeline strategy unroll partitions =
+    let only = Option.map (String.split_on_char ',') rules in
+    let diags =
+      if Sys.file_exists target then
+        let src = In_channel.with_open_text target In_channel.input_all in
+        match Llvmir.Lparser.parse_module src with
+        | m -> Hls_backend.Lint.run ?only ~werror ?top m
+        | exception Support.Err.Compile_error e ->
+            [ Support.Diag.of_err ~rule:"HLS000" e ]
+      else
+        let k = find_kernel target in
+        let d = directives_of ~pipeline ~strategy ~unroll ~partitions in
+        Flow.lint_kernel ~directives:d ?only ~werror k
+    in
+    if json then print_endline (Support.Diag.to_json diags)
+    else print_string (Support.Diag.render diags);
+    exit (Support.Diag.exit_code diags)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Run the HLS diagnostics engine: dataflow and dependence \
+             analyses plus compatibility rules, reported all at once. \
+             Exit code: 0 clean, 1 warnings, 2 errors.")
+    Term.(const run $ target $ json $ werror $ top $ rules $ pipeline_arg
+          $ strategy_arg $ unroll_arg $ partition_arg)
 
 (* ------------------------------------------------------------------ *)
 (* synth-mlir: compile a textual multi-level IR file                  *)
@@ -332,4 +393,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; emit_cmd; synth_cmd; compare_cmd; cosim_cmd; adapt_cmd;
-            synth_mlir_cmd; dse_cmd ]))
+            lint_cmd; synth_mlir_cmd; dse_cmd ]))

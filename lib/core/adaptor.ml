@@ -63,6 +63,8 @@ type report = {
   interfaces : Interfaces.stats;
   issues_before : Compat.issue list;
   issues_after : Compat.issue list;
+  diagnostics : Support.Diag.t list;
+      (** [issues_after] as accumulated diagnostics (HLS10x rules) *)
   pass_seconds : (string * float) list;
 }
 
@@ -76,6 +78,7 @@ let fresh_report () =
     interfaces = Interfaces.fresh_stats ();
     issues_before = [];
     issues_after = [];
+    diagnostics = [];
     pass_seconds = [];
   }
 
@@ -112,29 +115,50 @@ let run ?(config = default_config) (m : Llvmir.Lmodule.t) :
          (Interfaces.run ~stats:r.interfaces ?top:config.top)
   in
   let issues_after = Compat.check m in
-  if config.strict && issues_after <> [] then
-    Support.Err.fail ~pass:"adaptor"
-      "output is not HLS-ready: %d issues remain (first: %s)"
-      (List.length issues_after)
-      (Compat.issue_to_string (List.hd issues_after));
+  let diagnostics = Compat.to_diagnostics issues_after in
+  (* Strict mode gates on {e error}-severity issues only (warnings such
+     as untranslated loop metadata lose directives but still compile),
+     and reports the complete accumulated list — not just the first. *)
+  let blocking =
+    List.filter
+      (fun (i : Compat.issue) ->
+        Compat.issue_severity i.Compat.kind = Support.Err.Error)
+      issues_after
+  in
+  if config.strict && blocking <> [] then
+    raise (Support.Diag.Failed diagnostics);
   ( m,
     {
       r with
       issues_before;
       issues_after;
+      diagnostics;
       pass_seconds = List.rev !timings;
     } )
 
 let report_to_string (r : report) =
   let b = Buffer.create 256 in
   Buffer.add_string b "=== MLIR HLS Adaptor report ===\n";
+  let count sev issues =
+    List.length
+      (List.filter
+         (fun (i : Compat.issue) -> Compat.issue_severity i.Compat.kind = sev)
+         issues)
+  in
   Buffer.add_string b
-    (Printf.sprintf "compat issues: %d before -> %d after\n"
+    (Printf.sprintf
+       "compat issues: %d before -> %d after (%d errors, %d warnings)\n"
        (List.length r.issues_before)
-       (List.length r.issues_after));
+       (List.length r.issues_after)
+       (count Support.Err.Error r.issues_after)
+       (count Support.Err.Warning r.issues_after));
   List.iter
     (fun (k, n) -> Buffer.add_string b (Printf.sprintf "  before %-18s %d\n" k n))
     (Compat.summarize r.issues_before);
+  List.iter
+    (fun i ->
+      Buffer.add_string b ("  after  " ^ Compat.issue_to_string i ^ "\n"))
+    r.issues_after;
   Buffer.add_string b
     (Printf.sprintf
        "intrinsics: %d min/max, %d fmuladd split, %d dropped, %d freezes\n"

@@ -27,8 +27,58 @@ let kind_name = function
   | Modern_loop_metadata _ -> "loop-metadata"
   | Unsupported_aggregate_op -> "aggregate-op"
 
+(** How bad is each issue for the HLS middle-end?  Untranslated loop
+    metadata merely loses directives (the IR still parses); everything
+    else makes the input unreadable. *)
+let issue_severity (k : issue_kind) : Support.Err.severity =
+  match k with
+  | Modern_loop_metadata _ -> Support.Err.Warning
+  | Opaque_pointer | Memref_descriptor | Modern_intrinsic _ | Freeze_inst
+  | Unsupported_aggregate_op ->
+      Support.Err.Error
+
+(** Stable lint rule ID for each issue kind (the [HLS10x] family). *)
+let rule_id = function
+  | Opaque_pointer -> "HLS101"
+  | Memref_descriptor -> "HLS102"
+  | Modern_intrinsic _ -> "HLS103"
+  | Freeze_inst -> "HLS104"
+  | Modern_loop_metadata _ -> "HLS105"
+  | Unsupported_aggregate_op -> "HLS106"
+
 let issue_to_string i =
-  Printf.sprintf "%-18s %-24s %s" (kind_name i.kind) i.where i.detail
+  Printf.sprintf "%-7s %-18s %-24s %s"
+    (Support.Err.severity_name (issue_severity i.kind))
+    (kind_name i.kind) i.where i.detail
+
+let issue_hint = function
+  | Opaque_pointer -> "enable the typed-pointers adaptor pass"
+  | Memref_descriptor -> "enable descriptor elimination"
+  | Modern_intrinsic n -> "legalize intrinsic " ^ n
+  | Freeze_inst -> "enable intrinsic legalization (freeze is folded away)"
+  | Modern_loop_metadata k ->
+      "enable metadata translation to turn " ^ k ^ " into _ssdm markers"
+  | Unsupported_aggregate_op ->
+      "only memref-descriptor aggregates can be eliminated"
+
+(** One compat issue as an accumulating diagnostic. *)
+let to_diagnostic (i : issue) : Support.Diag.t =
+  let func =
+    if String.length i.where > 0 && i.where.[0] = '@' then
+      Some (String.sub i.where 1 (String.length i.where - 1))
+    else None
+  in
+  {
+    Support.Diag.rule = rule_id i.kind;
+    severity = Support.Diag.of_err_severity (issue_severity i.kind);
+    func;
+    location = None;
+    message = Printf.sprintf "%s: %s" (kind_name i.kind) i.detail;
+    hint = Some (issue_hint i.kind);
+  }
+
+let to_diagnostics (issues : issue list) : Support.Diag.t list =
+  List.map to_diagnostic issues
 
 let rec has_opaque (t : Ltype.t) =
   match t with

@@ -45,6 +45,26 @@ let direct_ir_frontend ?(adaptor_config = Adaptor.default_config)
   let lm, report = Adaptor.run ~config:adaptor_config lm in
   (lm, report, Sys.time () -. t0)
 
+(** Lint a kernel: run Flow A's front-end without the strict gate and
+    hand the adapted IR to the {!Hls_backend.Lint} rule registry.
+    Compat leftovers surface as accumulated HLS10x diagnostics instead
+    of an exception. *)
+let lint_kernel ?(directives = K.pipelined) ?only ?(werror = false)
+    ?adaptor_config (kernel : K.kernel) : Support.Diag.t list =
+  let m = kernel.K.build directives in
+  let config =
+    match adaptor_config with
+    | Some c -> { c with Adaptor.strict = false }
+    | None ->
+        {
+          Adaptor.default_config with
+          Adaptor.strict = false;
+          top = Some kernel.K.kname;
+        }
+  in
+  let lm, _, _ = direct_ir_frontend ~adaptor_config:config m in
+  Hls_backend.Lint.run ?only ~werror ~top:kernel.K.kname lm
+
 (** Flow B front-end: mhir to HLS-ready LLVM IR through C++ text. *)
 let hls_cpp_frontend (m : Mhir.Ir.modul) : Llvmir.Lmodule.t * string * float =
   let t0 = Sys.time () in

@@ -139,15 +139,6 @@ let arrays (f : Lmodule.func) : array_info list =
 
 (** Root array of a pointer value: walk GEP/bitcast chains back to a
     parameter or alloca name. *)
-let rec base_array (defs : (string, Linstr.t) Hashtbl.t) (v : Lvalue.t) :
+let base_array (defs : (string, Linstr.t) Hashtbl.t) (v : Lvalue.t) :
     string option =
-  match v with
-  | Lvalue.Reg (n, _) -> (
-      match Hashtbl.find_opt defs n with
-      | Some { op = Gep { base; _ }; _ } -> base_array defs base
-      | Some { op = Cast (Bitcast, src, _); _ } -> base_array defs src
-      | Some { op = Alloca _; _ } -> Some n
-      | Some _ -> Some n
-      | None -> Some n (* parameter *))
-  | Lvalue.Global (n, _) -> Some n
-  | _ -> None
+  Lmodule.base_pointer defs v

@@ -155,6 +155,22 @@ let def_map (fn : func) =
     fn;
   tbl
 
+(** Root of a pointer value: walk GEP/bitcast chains back to the
+    underlying parameter, alloca or global name. *)
+let rec base_pointer (defs : (string, Linstr.t) Hashtbl.t) (v : Lvalue.t) :
+    string option =
+  match v with
+  | Lvalue.Reg (n, _) -> (
+      match Hashtbl.find_opt defs n with
+      | Some { Linstr.op = Linstr.Gep { base; _ }; _ } -> base_pointer defs base
+      | Some { Linstr.op = Linstr.Cast (Linstr.Bitcast, src, _); _ } ->
+          base_pointer defs src
+      | Some { Linstr.op = Linstr.Alloca _; _ } -> Some n
+      | Some _ -> Some n
+      | None -> Some n (* parameter *))
+  | Lvalue.Global (n, _) -> Some n
+  | _ -> None
+
 (** Use counts: register name -> number of operand occurrences. *)
 let use_counts (fn : func) =
   let tbl = Hashtbl.create 64 in

@@ -1,0 +1,375 @@
+(** Loop-carried memory-dependence analysis.
+
+    For each {!Loop_info} loop this module collects the load/store
+    accesses in the loop body, recovers each access's subscript
+    expressions as affine forms over SSA registers (walking GEP index
+    expressions through adds, constant multiplies, shifts and integer
+    casts), and runs a per-dimension delta test between every pair of
+    accesses to the same root array with at least one store:
+
+    - {b Independent} — the subscripts can never collide across
+      iterations of the analyzed loop;
+    - {b Intra} — they collide only within one iteration (no carried
+      dependence, pipelining is unaffected);
+    - {b Carried d} — iterations [d] apart touch the same element; a
+      pipelined II below the recurrence latency divided by [d] is
+      infeasible;
+    - {b Unknown} — the analysis cannot bound the dependence (assume
+      carried at distance 1 when scheduling).
+
+    SSA registers that the walker cannot expand stay {e atomic}: an
+    atom defined outside the loop is a fixed unknown (it cancels when
+    both subscripts use it identically), while an atom defined inside
+    the loop takes fresh values every iteration and defeats exact
+    distance computation. *)
+
+open Linstr
+
+(* ------------------------------------------------------------------ *)
+(* Affine forms                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** [sum of coeff * atom + konst]; [terms] sorted by atom name with no
+    zero coefficients.  Atoms are SSA register (or global) names. *)
+type form = { terms : (string * int) list; konst : int }
+
+let const_form c = { terms = []; konst = c }
+let atom_form n = { terms = [ (n, 1) ]; konst = 0 }
+
+let norm_terms terms =
+  List.filter (fun (_, c) -> c <> 0) (List.sort compare terms)
+
+let form_add a b =
+  let merged =
+    List.fold_left
+      (fun acc (n, c) ->
+        let prev = Option.value ~default:0 (List.assoc_opt n acc) in
+        (n, prev + c) :: List.remove_assoc n acc)
+      a.terms b.terms
+  in
+  { terms = norm_terms merged; konst = a.konst + b.konst }
+
+let form_scale k f =
+  {
+    terms = norm_terms (List.map (fun (n, c) -> (n, c * k)) f.terms);
+    konst = f.konst * k;
+  }
+
+let form_sub a b = form_add a (form_scale (-1) b)
+let coeff_of (f : form) (n : string) = Option.value ~default:0 (List.assoc_opt n f.terms)
+let drop_atom (f : form) (n : string) = { f with terms = List.remove_assoc n f.terms }
+
+let form_to_string (f : form) =
+  let ts =
+    List.map
+      (fun (n, c) -> if c = 1 then "%" ^ n else Printf.sprintf "%d*%%%s" c n)
+      f.terms
+  in
+  let parts = ts @ (if f.konst <> 0 || ts = [] then [ string_of_int f.konst ] else []) in
+  String.concat " + " parts
+
+(** Expand a value into an affine form over atoms.  Registers with a
+    non-affine definition become atoms themselves, which keeps the
+    result sound: an SSA register has exactly one value per dynamic
+    instance. *)
+let form_of (defs : (string, Linstr.t) Hashtbl.t) (v : Lvalue.t) : form option =
+  let rec go depth v =
+    if depth > 24 then None
+    else
+      match v with
+      | Lvalue.Const (Lvalue.CInt (c, _)) -> Some (const_form c)
+      | Lvalue.Const (Lvalue.CZero _) -> Some (const_form 0)
+      | Lvalue.Const _ -> None
+      | Lvalue.Global (n, _) -> Some (atom_form n)
+      | Lvalue.Reg (n, _) -> (
+          match Hashtbl.find_opt defs n with
+          | None -> Some (atom_form n)  (* parameter *)
+          | Some i -> (
+              match i.op with
+              | IBin (Add, a, b) -> (
+                  match (go (depth + 1) a, go (depth + 1) b) with
+                  | Some fa, Some fb -> Some (form_add fa fb)
+                  | _ -> Some (atom_form n))
+              | IBin (Sub, a, b) -> (
+                  match (go (depth + 1) a, go (depth + 1) b) with
+                  | Some fa, Some fb -> Some (form_sub fa fb)
+                  | _ -> Some (atom_form n))
+              | IBin (Mul, a, b) -> (
+                  match (Lvalue.const_int_value a, Lvalue.const_int_value b) with
+                  | Some k, _ -> (
+                      match go (depth + 1) b with
+                      | Some fb -> Some (form_scale k fb)
+                      | None -> Some (atom_form n))
+                  | _, Some k -> (
+                      match go (depth + 1) a with
+                      | Some fa -> Some (form_scale k fa)
+                      | None -> Some (atom_form n))
+                  | _ -> Some (atom_form n))
+              | IBin (Shl, a, b) -> (
+                  match Lvalue.const_int_value b with
+                  | Some k when k >= 0 && k < 31 -> (
+                      match go (depth + 1) a with
+                      | Some fa -> Some (form_scale (1 lsl k) fa)
+                      | None -> Some (atom_form n))
+                  | _ -> Some (atom_form n))
+              | Cast ((Sext | Zext | Trunc), src, _) -> go (depth + 1) src
+              | _ -> Some (atom_form n)))
+  in
+  go 0 v
+
+(* ------------------------------------------------------------------ *)
+(* Accesses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type access = {
+  acc_block : int;
+  acc_index : int;  (** instruction index within its block *)
+  acc_is_store : bool;
+  acc_array : string;  (** root parameter / alloca / global *)
+  acc_subs : form list option;
+      (** one form per GEP index (leading pointer index included);
+          [None] when the address is not a single GEP from the root *)
+  acc_inst : Linstr.t;
+}
+
+(** Subscript forms of a pointer: requires the address to be one GEP
+    whose base resolves directly to the root (the canonical shape after
+    the adaptor's GEP canonicalization); anything else is opaque. *)
+let subscripts (defs : (string, Linstr.t) Hashtbl.t) (p : Lvalue.t) :
+    form list option =
+  match p with
+  | Lvalue.Reg (n, _) -> (
+      match Hashtbl.find_opt defs n with
+      | Some { op = Gep { base; idxs; _ }; _ } -> (
+          let base_is_root =
+            match base with
+            | Lvalue.Reg (bn, _) -> (
+                match Hashtbl.find_opt defs bn with
+                | None -> true  (* parameter *)
+                | Some { op = Alloca _; _ } -> true
+                | Some _ -> false)
+            | Lvalue.Global _ -> true
+            | _ -> false
+          in
+          if not base_is_root then None
+          else
+            let forms = List.map (form_of defs) idxs in
+            if List.for_all Option.is_some forms then
+              Some (List.map Option.get forms)
+            else None)
+      | None -> Some []  (* scalar pointer parameter: zero subscripts *)
+      | Some { op = Alloca _; _ } -> Some []
+      | Some _ -> None)
+  | Lvalue.Global _ -> Some []
+  | _ -> None
+
+(** All loads/stores whose block lies in loop [j]'s body. *)
+let accesses_in (cfg : Cfg.t) (li : Loop_info.t) (j : int) : access list =
+  let defs = Lmodule.def_map cfg.Cfg.func in
+  let body = li.Loop_info.loops.(j).Loop_info.body in
+  let out = ref [] in
+  List.iter
+    (fun b ->
+      let blk = Cfg.block cfg b in
+      List.iteri
+        (fun ii (i : Linstr.t) ->
+          let record is_store p =
+            match Lmodule.base_pointer defs p with
+            | Some root ->
+                out :=
+                  {
+                    acc_block = b;
+                    acc_index = ii;
+                    acc_is_store = is_store;
+                    acc_array = root;
+                    acc_subs = subscripts defs p;
+                    acc_inst = i;
+                  }
+                  :: !out
+            | None -> ()
+          in
+          match i.op with
+          | Load (_, p) -> record false p
+          | Store (_, p) -> record true p
+          | _ -> ())
+        blk.Lmodule.insts)
+    (List.sort compare body);
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* The delta test                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type verdict =
+  | Independent
+  | Intra  (** dependence only within a single iteration *)
+  | Carried of int  (** minimum positive iteration distance *)
+  | Unknown
+
+let verdict_to_string = function
+  | Independent -> "independent"
+  | Intra -> "intra-iteration"
+  | Carried d -> Printf.sprintf "carried(distance=%d)" d
+  | Unknown -> "unknown"
+
+(** Induction variable of loop [j]: the first header phi whose
+    latch-incoming value is an integer add/sub of the phi itself. *)
+let iv_phi (cfg : Cfg.t) (li : Loop_info.t) (j : int) : string option =
+  let l = li.Loop_info.loops.(j) in
+  let header = Cfg.block cfg l.Loop_info.header in
+  let latch_labels = List.map (Cfg.label cfg) l.Loop_info.latches in
+  let defs = Lmodule.def_map cfg.Cfg.func in
+  List.find_map
+    (fun (i : Linstr.t) ->
+      match i.op with
+      | Phi incoming -> (
+          let from_latch =
+            List.find_opt (fun (_, lbl) -> List.mem lbl latch_labels) incoming
+          in
+          match from_latch with
+          | Some (Lvalue.Reg (next, _), _) -> (
+              match Hashtbl.find_opt defs next with
+              | Some { op = IBin ((Add | Sub), a, b); _ }
+                when Lvalue.same_reg a (Lvalue.Reg (i.result, i.ty))
+                     || Lvalue.same_reg b (Lvalue.Reg (i.result, i.ty)) ->
+                  Some i.result
+              | _ -> None)
+          | _ -> None)
+      | _ -> None)
+    header.Lmodule.insts
+
+(** Per-dimension conclusion of the delta test. *)
+type dim_verdict =
+  | DAny  (** compatible with any iteration distance *)
+  | DExact of int  (** iteration distance must equal exactly this *)
+  | DIndep
+  | DUnknown
+
+(** Does atom [a] take a fresh value on each iteration of loop [j]?
+    True when its definition lives inside the loop body (nested-loop
+    induction variables, loads, ...); parameters and defs outside the
+    loop are fixed for the loop's whole execution. *)
+let varies_in_loop (cfg : Cfg.t) (li : Loop_info.t) (j : int)
+    (def_block : (string, int) Hashtbl.t) (a : string) : bool =
+  match Hashtbl.find_opt def_block a with
+  | None -> false
+  | Some b -> List.mem b li.Loop_info.loops.(j).Loop_info.body
+
+let dim_test ~iv ~varies (s : form) (t : form) : dim_verdict =
+  let a_s = coeff_of s iv and a_t = coeff_of t iv in
+  let rest_s = drop_atom s iv and rest_t = drop_atom t iv in
+  let has_varying f = List.exists (fun (n, _) -> varies n) f.terms in
+  if has_varying rest_s || has_varying rest_t then
+    (* fresh values every iteration: the dimension cannot pin a
+       distance, but neither can it rule dependence out *)
+    DAny
+  else
+    let delta = form_sub rest_s rest_t in
+    if delta.terms <> [] then DUnknown  (* fixed but unknown offset *)
+    else
+      let c = delta.konst in
+      if a_s <> a_t then DUnknown
+      else if a_s = 0 then if c = 0 then DAny else DIndep
+      else if c mod a_s <> 0 then DIndep
+      else DExact (c / a_s)
+
+(** Delta test between two accesses w.r.t. loop [j]. *)
+let classify_pair (cfg : Cfg.t) (li : Loop_info.t) (j : int) (s : access)
+    (t : access) : verdict =
+  if s.acc_array <> t.acc_array then Independent
+  else
+    match iv_phi cfg li j with
+    | None -> Unknown
+    | Some iv -> (
+        match (s.acc_subs, t.acc_subs) with
+        | Some subs_s, Some subs_t
+          when List.length subs_s = List.length subs_t ->
+            let def_block = Hashtbl.create 64 in
+            List.iteri
+              (fun bi (b : Lmodule.block) ->
+                List.iter
+                  (fun (i : Linstr.t) ->
+                    if i.result <> "" then Hashtbl.replace def_block i.result bi)
+                  b.Lmodule.insts)
+              cfg.Cfg.func.Lmodule.blocks;
+            let varies = varies_in_loop cfg li j def_block in
+            let dims =
+              List.map2 (fun a b -> dim_test ~iv ~varies a b) subs_s subs_t
+            in
+            if List.mem DIndep dims then Independent
+            else if List.mem DUnknown dims then Unknown
+            else
+              let exacts =
+                List.filter_map
+                  (function DExact k -> Some k | _ -> None)
+                  dims
+              in
+              (match List.sort_uniq compare exacts with
+              | [] -> Carried 1  (* same element on every iteration *)
+              | [ 0 ] -> Intra
+              | [ k ] -> Carried (abs k)
+              | _ -> Independent  (* contradictory distance requirements *))
+        | _ -> Unknown)
+
+(* ------------------------------------------------------------------ *)
+(* Whole-loop analysis                                                *)
+(* ------------------------------------------------------------------ *)
+
+type dep = {
+  dep_array : string;
+  dep_src : access;  (** the store of the pair *)
+  dep_dst : access;
+  dep_verdict : verdict;
+}
+
+let dep_to_string (cfg : Cfg.t) (d : dep) =
+  let pos (a : access) =
+    Printf.sprintf "%s@%%%s"
+      (if a.acc_is_store then "store" else "load")
+      (Cfg.label cfg a.acc_block)
+  in
+  Printf.sprintf "%s: %s -> %s: %s" d.dep_array (pos d.dep_src)
+    (pos d.dep_dst)
+    (verdict_to_string d.dep_verdict)
+
+(** All dependence pairs (at least one store) on the same array inside
+    loop [j], with their verdicts.  Store/store pairs are included once
+    ([src] is always a store); a store is also paired with itself —
+    that is how a subscript invariant in [j]'s IV ("same element every
+    iteration") surfaces as a carried output dependence. *)
+let analyze_loop (cfg : Cfg.t) (li : Loop_info.t) (j : int) : dep list =
+  let accs = accesses_in cfg li j in
+  let deps = ref [] in
+  let consider (s : access) (t : access) =
+    let v = classify_pair cfg li j s t in
+    deps := { dep_array = s.acc_array; dep_src = s; dep_dst = t; dep_verdict = v } :: !deps
+  in
+  let stores = List.filter (fun a -> a.acc_is_store) accs in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun t ->
+          if t.acc_array = s.acc_array then
+            if t.acc_is_store then begin
+              (* count each store/store pair once, self-pairs included *)
+              if
+                (t.acc_block, t.acc_index) >= (s.acc_block, s.acc_index)
+              then consider s t
+            end
+            else consider s t)
+        accs)
+    stores;
+  List.rev !deps
+
+(** The loop-carried (or unboundable) subset of {!analyze_loop}. *)
+let carried (deps : dep list) : dep list =
+  List.filter
+    (fun d -> match d.dep_verdict with Carried _ | Unknown -> true | _ -> false)
+    deps
+
+(** Analyze every loop of a function: [(loop index, deps)] pairs. *)
+let analyze (f : Lmodule.func) : (int * dep list) list =
+  let cfg = Cfg.build f in
+  let li = Loop_info.compute cfg in
+  List.init (Array.length li.Loop_info.loops) (fun j ->
+      (j, analyze_loop cfg li j))

@@ -14,6 +14,8 @@ type t = {
 
 exception Compile_error of t
 
+let severity_name = function Error -> "error" | Warning -> "warning"
+
 let make ?(severity = Error) ?context ~pass message =
   { severity; pass; message; context }
 
@@ -23,7 +25,7 @@ let fail ?context ~pass fmt =
     fmt
 
 let to_string { severity; pass; message; context } =
-  let sev = match severity with Error -> "error" | Warning -> "warning" in
+  let sev = severity_name severity in
   let ctx = match context with None -> "" | Some c -> "\n  in: " ^ c in
   Printf.sprintf "[%s] %s: %s%s" pass sev message ctx
 

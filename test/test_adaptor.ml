@@ -371,15 +371,16 @@ let test_adaptor_differential_all_kernels () =
 
 let test_strict_mode_rejects_incomplete () =
   let m = gemm_modern () in
-  (* descriptor elimination disabled but strict: must raise *)
+  (* descriptor elimination disabled but strict: must raise, carrying
+     the complete accumulated diagnostic list *)
   let config =
     { A.default_config with A.eliminate_descriptors = false; A.strict = true }
   in
-  Alcotest.(check bool) "strict + incomplete raises" true
-    (try
-       ignore (A.run ~config m);
-       false
-     with Support.Err.Compile_error _ -> true)
+  match A.run ~config m with
+  | _ -> Alcotest.fail "strict + incomplete must raise"
+  | exception Support.Diag.Failed ds ->
+      Alcotest.(check bool) "carries all findings" true (List.length ds > 1);
+      Alcotest.(check bool) "has error severity" true (Support.Diag.errors ds > 0)
 
 let test_compat_summary () =
   let m = gemm_modern () in

@@ -1,0 +1,213 @@
+(** Tests for the lint rule registry and the accumulating diagnostics
+    engine: rule firing, JSON golden output, exit codes, -Werror, and
+    the adaptor's complete-list strict mode. *)
+
+module K = Workloads.Kernels
+module Diag = Support.Diag
+
+let parse m = Llvmir.Lparser.parse_module m
+
+let dirs ?(ii = 1) () =
+  { K.pipeline_ii = Some ii; unroll = None; strategy = K.Inner; partitions = [] }
+
+let lint_gemm ?only ?(werror = false) ~ii () =
+  Flow.lint_kernel ~directives:(dirs ~ii ()) ?only ~werror
+    (Option.get (K.by_name "gemm"))
+
+let has_rule r ds = List.exists (fun d -> d.Diag.rule = r) ds
+
+(* --- HLS001: infeasible pipeline II ------------------------------- *)
+
+let test_gemm_ii1_infeasible () =
+  let ds = lint_gemm ~ii:1 () in
+  Alcotest.(check bool) "HLS001 fires" true (has_rule "HLS001" ds);
+  Alcotest.(check int) "exit code 1 (warnings)" 1 (Diag.exit_code ds);
+  let d = List.find (fun d -> d.Diag.rule = "HLS001") ds in
+  Alcotest.(check (option string)) "function" (Some "gemm") d.Diag.func;
+  Alcotest.(check (option string)) "location" (Some "loop3.header")
+    d.Diag.location;
+  Alcotest.(check bool) "message names the recurrence" true
+    (Str_find.contains d.Diag.message "register recurrence")
+
+let test_gemm_ii4_clean () =
+  let ds = lint_gemm ~ii:4 () in
+  Alcotest.(check bool) "no HLS001 at II 4" false (has_rule "HLS001" ds);
+  Alcotest.(check int) "exit code 0" 0 (Diag.exit_code ds)
+
+(* --- JSON golden output ------------------------------------------- *)
+
+let golden_json =
+  "{\"diagnostics\": [{\"rule\": \"HLS001\", \"severity\": \"warning\", \
+   \"function\": \"gemm\", \"location\": \"loop3.header\", \"message\": \
+   \"pipeline II 1 is infeasible: register recurrence through %call needs \
+   II >= 4\", \"hint\": \"request II >= 4 or break the recurrence\"}], \
+   \"errors\": 0, \"warnings\": 1, \"notes\": 0}"
+
+let test_json_golden () =
+  let ds = lint_gemm ~ii:1 () in
+  Alcotest.(check string) "stable JSON rendering" golden_json
+    (Diag.to_json ds)
+
+(* --- -Werror and rule filtering ----------------------------------- *)
+
+let test_werror () =
+  let ds = lint_gemm ~ii:1 ~werror:true () in
+  Alcotest.(check int) "warnings promoted to errors" 2 (Diag.exit_code ds);
+  Alcotest.(check int) "no warnings left" 0 (Diag.warnings ds)
+
+let test_rule_filter () =
+  let ds = lint_gemm ~ii:1 ~only:[ "HLS007" ] () in
+  Alcotest.(check bool) "filtered out HLS001" false (has_rule "HLS001" ds);
+  let ds = lint_gemm ~ii:1 ~only:[ "HLS001" ] () in
+  Alcotest.(check bool) "kept HLS001" true (has_rule "HLS001" ds)
+
+(* --- HLS003: partition vs access pattern -------------------------- *)
+
+let test_partition_conflict () =
+  let d =
+    {
+      K.pipeline_ii = Some 4;
+      unroll = None;
+      strategy = K.Inner;
+      partitions = [ ("A", "cyclic", 4, 1) ];
+    }
+  in
+  let ds = Flow.lint_kernel ~directives:d (Option.get (K.by_name "gemm")) in
+  (* inner loop iv does not move along dim 1 of A: every iteration
+     lands in the same bank *)
+  Alcotest.(check bool) "HLS003 fires" true (has_rule "HLS003" ds);
+  let d2 =
+    { d with K.partitions = [ ("A", "cyclic", 4, 2) ] }
+  in
+  let ds2 = Flow.lint_kernel ~directives:d2 (Option.get (K.by_name "gemm")) in
+  Alcotest.(check bool) "stride-1 dim is conflict-free" false
+    (has_rule "HLS003" ds2)
+
+(* --- HLS004/HLS005/HLS006 on hand-written IR ---------------------- *)
+
+let warty =
+  {|define void @top([16 x float]* %out, float* %unused) {
+entry:
+  %tmp = alloca [16 x float]
+  %p0 = getelementptr inbounds [16 x float], [16 x float]* %tmp, i64 0, i64 0
+  store float 1.0, float* %p0
+  %q = getelementptr inbounds [16 x float], [16 x float]* %out, i64 0, i64 0
+  store float 2.0, float* %q
+  ret void
+island:
+  br label %island
+}|}
+
+let test_handwritten_rules () =
+  let ds = Hls_backend.Lint.run ~top:"top" (parse warty) in
+  Alcotest.(check bool) "dead store (HLS004)" true (has_rule "HLS004" ds);
+  Alcotest.(check bool) "unused param (HLS005)" true (has_rule "HLS005" ds);
+  Alcotest.(check bool) "unreachable block (HLS006)" true
+    (has_rule "HLS006" ds);
+  let d5 = List.find (fun d -> d.Diag.rule = "HLS005") ds in
+  Alcotest.(check (option string)) "names the parameter" (Some "unused")
+    d5.Diag.location
+
+(* --- HLS000: broken IR -------------------------------------------- *)
+
+let test_broken_ir () =
+  let m =
+    parse
+      {|define i64 @f(i64 %x) {
+entry:
+  %y = add i64 %x, %z
+  ret i64 %y
+}|}
+  in
+  let ds = Hls_backend.Lint.run m in
+  Alcotest.(check bool) "HLS000 fires" true (has_rule "HLS000" ds);
+  Alcotest.(check int) "exit code 2 (errors)" 2 (Diag.exit_code ds)
+
+(* --- HLS10x: compat issues re-reported as diagnostics ------------- *)
+
+let test_compat_rules () =
+  let m =
+    parse
+      {|define i64 @f(i64 %x) {
+entry:
+  %y = freeze i64 %x
+  %z = add i64 %y, 1 !md{llvm.loop.unroll.count = 4}
+  ret i64 %z
+}|}
+  in
+  let ds = Hls_backend.Lint.run m in
+  Alcotest.(check bool) "freeze (HLS104)" true (has_rule "HLS104" ds);
+  Alcotest.(check bool) "loop metadata (HLS105)" true (has_rule "HLS105" ds);
+  let d104 = List.find (fun d -> d.Diag.rule = "HLS104") ds in
+  let d105 = List.find (fun d -> d.Diag.rule = "HLS105") ds in
+  Alcotest.(check bool) "freeze is an error" true
+    (d104.Diag.severity = Diag.Error);
+  Alcotest.(check bool) "metadata only a warning" true
+    (d105.Diag.severity = Diag.Warning)
+
+(* --- adaptor strict mode reports the complete list ---------------- *)
+
+let test_adaptor_complete_list () =
+  let k = Option.get (K.by_name "gemm") in
+  let m = k.K.build (dirs ~ii:1 ()) in
+  (* without descriptor elimination the output keeps descriptors and
+     opaque pointers: non-strict run accumulates them in the report *)
+  let _, report, _ =
+    Flow.direct_ir_frontend
+      ~adaptor_config:Adaptor.no_descriptor_elimination m
+  in
+  let n = List.length report.Adaptor.diagnostics in
+  Alcotest.(check bool) "multiple diagnostics accumulated" true (n > 1);
+  (* strict run raises with the same complete list, not just the head *)
+  let config =
+    { Adaptor.no_descriptor_elimination with Adaptor.strict = true }
+  in
+  match Flow.direct_ir_frontend ~adaptor_config:config m with
+  | _ -> Alcotest.fail "strict adaptor should have raised"
+  | exception Diag.Failed ds ->
+      Alcotest.(check int) "complete accumulated list" n (List.length ds);
+      Alcotest.(check bool) "only error severities block" true
+        (Diag.errors ds > 0)
+
+(* --- diag engine unit checks -------------------------------------- *)
+
+let test_diag_engine () =
+  let w = Diag.warning ~rule:"HLS999" "w %d" 1 in
+  let e = Diag.error ~rule:"HLS998" "e" in
+  let n = Diag.note ~rule:"HLS997" "n" in
+  let ds = [ w; e; n ] in
+  Alcotest.(check int) "errors" 1 (Diag.errors ds);
+  Alcotest.(check int) "warnings" 1 (Diag.warnings ds);
+  Alcotest.(check int) "exit code" 2 (Diag.exit_code ds);
+  (* sort puts the error first *)
+  Alcotest.(check string) "sorted" "HLS998" (List.hd (Diag.sort ds)).Diag.rule;
+  (* promote_warnings flips only the warning *)
+  let p = Diag.promote_warnings ds in
+  Alcotest.(check int) "promoted" 2 (Diag.errors p);
+  Alcotest.(check int) "notes untouched" 1 (Diag.count Diag.Note p);
+  (* render mentions every rule, summary counts *)
+  let txt = Diag.render ds in
+  Alcotest.(check bool) "render lists rules" true
+    (Str_find.contains txt "HLS999" && Str_find.contains txt "HLS998");
+  Alcotest.(check bool) "summary line" true
+    (Str_find.contains txt "1 error(s), 1 warning(s), 1 note(s)");
+  (* JSON escaping *)
+  let tricky = Diag.warning ~rule:"X" "quote \" and\nnewline" in
+  Alcotest.(check bool) "escaped" true
+    (Str_find.contains (Diag.diag_to_json tricky) "quote \\\" and\\nnewline")
+
+let suite =
+  [
+    Alcotest.test_case "gemm II 1 infeasible" `Quick test_gemm_ii1_infeasible;
+    Alcotest.test_case "gemm II 4 clean" `Quick test_gemm_ii4_clean;
+    Alcotest.test_case "json golden" `Quick test_json_golden;
+    Alcotest.test_case "werror" `Quick test_werror;
+    Alcotest.test_case "rule filter" `Quick test_rule_filter;
+    Alcotest.test_case "partition conflict" `Quick test_partition_conflict;
+    Alcotest.test_case "handwritten rules" `Quick test_handwritten_rules;
+    Alcotest.test_case "broken IR" `Quick test_broken_ir;
+    Alcotest.test_case "compat rules" `Quick test_compat_rules;
+    Alcotest.test_case "adaptor complete list" `Quick
+      test_adaptor_complete_list;
+    Alcotest.test_case "diag engine" `Quick test_diag_engine;
+  ]

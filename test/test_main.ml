@@ -11,6 +11,9 @@ let () =
       ("ltype", Test_ltype.suite);
       ("llvmir", Test_llvmir.suite);
       ("llvm-analyses", Test_llvm_analyses.suite);
+      ("dataflow", Test_dataflow.suite);
+      ("memdep", Test_memdep.suite);
+      ("verifier-neg", Test_verifier_neg.suite);
       ("llvmir-extra", Test_llvmir_extra.suite);
       ("llvm-interp", Test_llvm_interp.suite);
       ("llvm-passes", Test_llvm_passes.suite);
@@ -20,6 +23,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("lowering", Test_lowering.suite);
       ("flow", Test_flow.suite);
+      ("lint", Test_lint.suite);
       ("random", Test_random.suite);
       ("dse", Test_dse.suite);
       ("misc", Test_misc.suite);

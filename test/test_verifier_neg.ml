@@ -1,0 +1,109 @@
+(** Negative tests for the LLVM IR verifier: every malformed module
+    must be rejected with a message naming the defect. *)
+
+open Llvmir
+
+let expect_reject ~(sub : string) (text : string) () =
+  match Lverifier.verify_module (Lparser.parse_module text) with
+  | () -> Alcotest.fail "verifier accepted malformed IR"
+  | exception Support.Err.Compile_error e ->
+      if not (Str_find.contains e.Support.Err.message sub) then
+        Alcotest.failf "expected %S in message, got %S" sub
+          e.Support.Err.message
+
+(* %v is defined in one arm only; its use at the join is not dominated *)
+let use_across_branch =
+  {|define i64 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %v = add i64 1, 2
+  br label %j
+b:
+  br label %j
+j:
+  %w = add i64 %v, 1
+  ret i64 %w
+}|}
+
+(* the phi names %b as an incoming block, but %b is not a predecessor *)
+let phi_wrong_edge =
+  {|define i64 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %j
+b:
+  ret i64 0
+j:
+  %p = phi i64 [ 1, %a ], [ 2, %b ]
+  ret i64 %p
+}|}
+
+(* a terminator in the middle of a block *)
+let mid_block_terminator =
+  {|define void @f() {
+entry:
+  br label %next
+  br label %next
+next:
+  ret void
+}|}
+
+(* the same register defined twice *)
+let double_def =
+  {|define i64 @f() {
+entry:
+  %x = add i64 1, 2
+  %x = add i64 3, 4
+  ret i64 %x
+}|}
+
+(* phi in the entry block *)
+let entry_phi =
+  {|define i64 @f() {
+entry:
+  %p = phi i64 [ 0, %entry ]
+  ret i64 %p
+}|}
+
+(* plain use of a register that is never defined *)
+let undefined_use =
+  {|define i64 @f() {
+entry:
+  %y = add i64 %nope, 1
+  ret i64 %y
+}|}
+
+(* phi incoming value defined in a block that does not dominate the edge *)
+let phi_bad_incoming =
+  {|define i64 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %v = add i64 1, 2
+  br label %j
+b:
+  br label %j
+j:
+  %p = phi i64 [ 0, %a ], [ %v, %b ]
+  ret i64 %p
+}|}
+
+let suite =
+  [
+    Alcotest.test_case "use across branches" `Quick
+      (expect_reject ~sub:"not dominated" use_across_branch);
+    Alcotest.test_case "phi wrong incoming edge" `Quick
+      (expect_reject ~sub:"not a predecessor" phi_wrong_edge);
+    Alcotest.test_case "mid-block terminator" `Quick
+      (expect_reject ~sub:"middle" mid_block_terminator);
+    Alcotest.test_case "double definition" `Quick
+      (expect_reject ~sub:"more than once" double_def);
+    Alcotest.test_case "phi in entry" `Quick
+      (expect_reject ~sub:"phi in entry" entry_phi);
+    Alcotest.test_case "undefined register" `Quick
+      (expect_reject ~sub:"undefined register" undefined_use);
+    Alcotest.test_case "phi incoming not dominating" `Quick
+      (expect_reject ~sub:"does not dominate" phi_bad_incoming);
+  ]
