@@ -13,8 +13,37 @@
 module K = Workloads.Kernels
 module E = Hls_backend.Estimate
 module T = Support.Table
+module D = Mhls_driver.Driver
 
 let kernels = K.all ()
+
+(* One shared batch over every kernel x both flows, compiled through
+   the parallel batch driver; table2/table3/fig1 all read from it, so
+   each flow runs exactly once per kernel no matter how many
+   experiments are selected. *)
+let flow_batch =
+  lazy
+    (let js =
+       List.concat_map
+         (fun k ->
+           List.map
+             (fun flow -> D.job ~flow ~kernel:k.K.kname K.pipelined)
+             [ Flow.Direct_ir; Flow.Hls_cpp ])
+         kernels
+     in
+     D.run_batch ~jobs:(Mhls_driver.Pool.default_jobs ()) js)
+
+let flow_report kname flow : E.report =
+  let b = Lazy.force flow_batch in
+  let o =
+    List.find
+      (fun (o : D.outcome) ->
+        o.D.o_job.D.kernel = kname && o.D.o_job.D.flow = flow)
+      b.D.outcomes
+  in
+  match o.D.o_qor with
+  | Ok r -> r
+  | Error reasons -> failwith (String.concat "; " reasons)
 
 let hdr title =
   Printf.printf "\n==================================================\n";
@@ -53,7 +82,7 @@ let table1 () =
              (fun i -> Adaptor.Compat.kind_name i.Adaptor.Compat.kind = kind)
              issues)
       in
-      let adapted, _ = Adaptor.run lm in
+      let adapted, _ = Adaptor.run_exn lm in
       let after = List.length (Adaptor.Compat.check adapted) in
       T.add_row t
         [
@@ -84,15 +113,17 @@ let table2 () =
   in
   List.iter
     (fun k ->
-      let c = Flow.compare_flows k in
+      let da = flow_report k.K.kname Flow.Direct_ir in
+      let cb = flow_report k.K.kname Flow.Hls_cpp in
       T.add_row t
         [
           k.K.kname;
-          string_of_int c.Flow.direct.Flow.hls.E.latency;
-          string_of_int c.Flow.cpp.Flow.hls.E.latency;
-          Printf.sprintf "%.3f" (Flow.latency_ratio c);
-          string_of_int (inner_ii c.Flow.direct.Flow.hls);
-          string_of_int (inner_ii c.Flow.cpp.Flow.hls);
+          string_of_int da.E.latency;
+          string_of_int cb.E.latency;
+          Printf.sprintf "%.3f"
+            (float_of_int cb.E.latency /. float_of_int da.E.latency);
+          string_of_int (inner_ii da);
+          string_of_int (inner_ii cb);
         ])
     kernels;
   T.print t;
@@ -116,9 +147,8 @@ let table3 () =
   in
   List.iter
     (fun k ->
-      let c = Flow.compare_flows k in
-      let ra = c.Flow.direct.Flow.hls.E.resources in
-      let rb = c.Flow.cpp.Flow.hls.E.resources in
+      let ra = (flow_report k.K.kname Flow.Direct_ir).E.resources in
+      let rb = (flow_report k.K.kname Flow.Hls_cpp).E.resources in
       T.add_row t
         [
           k.K.kname;
@@ -142,8 +172,9 @@ let fig1 () =
   hdr "Figure 1: latency ratio (HLS C++ / direct-IR) per kernel";
   List.iter
     (fun k ->
-      let c = Flow.compare_flows k in
-      let r = Flow.latency_ratio c in
+      let da = flow_report k.K.kname Flow.Direct_ir in
+      let cb = flow_report k.K.kname Flow.Hls_cpp in
+      let r = float_of_int cb.E.latency /. float_of_int da.E.latency in
       let bar = String.make (max 1 (int_of_float (r *. 40.0))) '#' in
       Printf.printf "%-10s %5.3f |%s\n" k.K.kname r bar)
     kernels;
@@ -209,10 +240,10 @@ let fig3 () =
       List.iter
         (fun factor ->
           let d = K.optimized ~factor ~parts:(parts_for kname) () in
-          let full = Flow.run ~directives:d k Flow.Direct_ir in
+          let full = Flow.run_exn ~directives:d k Flow.Direct_ir in
           let m = k.K.build d in
           let lm, _, _ =
-            Flow.direct_ir_frontend ~adaptor_config:Adaptor.flat_views m
+            Flow.direct_ir_frontend_exn ~pipeline:Adaptor.Pipeline.flat_views m
           in
           let flat = E.synthesize ~top:kname lm in
           T.add_row t
@@ -288,13 +319,18 @@ let table4 () =
 (* ------------------------------------------------------------------ *)
 
 let ablation () =
-  hdr "Ablation A: adaptor configurations on gemm (optimized directives)";
+  hdr "Ablation A: adaptor pipelines on gemm (optimized directives)";
   let d = K.optimized ~factor:4 ~parts:[ ("A", 2); ("B", 1) ] () in
   let m () = (K.gemm ()).K.build d in
-  let t = T.create ~aligns:[ T.Left; T.Left ] [ "configuration"; "outcome" ] in
-  let try_cfg name cfg =
+  let t = T.create ~aligns:[ T.Left; T.Left ] [ "pipeline"; "outcome" ] in
+  let without name =
+    match Adaptor.Pipeline.(disable name (relaxed default)) with
+    | Ok p -> p
+    | Error diag -> failwith (Support.Diag.render [ diag ])
+  in
+  let try_pipeline name p =
     try
-      let lm, _, _ = Flow.direct_ir_frontend ~adaptor_config:cfg (m ()) in
+      let lm, _, _ = Flow.direct_ir_frontend_exn ~pipeline:p (m ()) in
       match E.synthesize ~top:"gemm" lm with
       | r ->
           T.add_row t
@@ -305,18 +341,20 @@ let ablation () =
             [ name;
               Printf.sprintf "REJECTED (%d issues, e.g. \"%s\")"
                 (List.length errs) (List.hd errs) ]
-    with Support.Err.Compile_error e ->
-      T.add_row t [ name; "FAILED: " ^ Support.Err.to_string e ]
+    with
+    | Support.Err.Compile_error e ->
+        T.add_row t [ name; "FAILED: " ^ Support.Err.to_string e ]
+    | Support.Diag.Failed ds ->
+        T.add_row t
+          [ name; Printf.sprintf "FAILED: %d diagnostics" (List.length ds) ]
   in
-  try_cfg "full adaptor" Adaptor.default_config;
-  try_cfg "no delinearization (flat views)" Adaptor.flat_views;
-  try_cfg "no descriptor elimination" Adaptor.no_descriptor_elimination;
-  try_cfg "no intrinsic legalization"
-    { Adaptor.default_config with Adaptor.legalize_intrinsics = false; Adaptor.strict = false };
-  try_cfg "no typed-pointer reconstruction"
-    { Adaptor.default_config with Adaptor.typed_pointers = false; Adaptor.strict = false };
-  try_cfg "no metadata translation"
-    { Adaptor.default_config with Adaptor.translate_metadata = false; Adaptor.strict = false };
+  try_pipeline "full adaptor" Adaptor.Pipeline.default;
+  try_pipeline "no delinearization (flat views)" Adaptor.Pipeline.flat_views;
+  try_pipeline "no descriptor elimination"
+    Adaptor.Pipeline.no_descriptor_elimination;
+  try_pipeline "no intrinsic legalization" (without "legalize-intrinsics");
+  try_pipeline "no typed-pointer reconstruction" (without "typed-pointers");
+  try_pipeline "no metadata translation" (without "translate-metadata");
   T.print t
 
 (* ------------------------------------------------------------------ *)
@@ -324,13 +362,16 @@ let ablation () =
 (* ------------------------------------------------------------------ *)
 
 let dse () =
-  hdr "Extension: automatic design-space exploration (adaptor flow)";
+  hdr "Extension: automatic design-space exploration (batch driver)";
   List.iter
     (fun (kname, parts) ->
       match K.by_name kname with
       | Some k ->
-          let r = Flow.Dse.explore ~parts k in
+          let r, batch =
+            D.explore_dse ~parts ~jobs:(Mhls_driver.Pool.default_jobs ()) k
+          in
           print_string (Flow.Dse.render r);
+          print_endline (D.render_stats batch);
           (match Flow.Dse.best r with
           | Some best ->
               Printf.printf "best: %s (%d cycles)\n\n" best.Flow.Dse.label
@@ -352,7 +393,7 @@ let crosslayer () =
   in
   let k = K.gemm () in
   let synth m =
-    let lm, _, _ = Flow.direct_ir_frontend m in
+    let lm, _, _ = Flow.direct_ir_frontend_exn m in
     E.synthesize ~top:"gemm" lm
   in
   let row name (r : E.report) =
@@ -385,7 +426,7 @@ let clocksweep () =
   List.iter
     (fun clock ->
       let r =
-        Flow.run ~directives:K.pipelined ~clock_ns:clock (K.gemm ())
+        Flow.run_exn ~directives:K.pipelined ~clock_ns:clock (K.gemm ())
           Flow.Direct_ir
       in
       T.add_row t
@@ -411,7 +452,7 @@ let reports () =
   hdr "Appendix: full synthesis reports (direct-IR flow)";
   List.iter
     (fun k ->
-      let r = Flow.run k Flow.Direct_ir in
+      let r = Flow.run_exn k Flow.Direct_ir in
       print_string (Hls_backend.Report.render r.Flow.hls);
       print_newline ())
     kernels

@@ -7,11 +7,18 @@
     - [compare]  run both flows and compare QoR;
     - [cosim]    three-way functional co-simulation;
     - [adapt]    run the adaptor on an .ll file (our textual dialect);
-    - [lint]     run the HLS diagnostics engine and report all findings. *)
+    - [lint]     run the HLS diagnostics engine and report all findings;
+    - [batch]    compile a set of jobs in parallel with result caching;
+    - [dse]      explore the directive design space.
+
+    This executable is the {e exception boundary}: the libraries report
+    failures as [result] values ({!Adaptor.run}, {!Flow.run}); only
+    here are they rendered and turned into exit codes. *)
 
 open Cmdliner
 module K = Workloads.Kernels
 module E = Hls_backend.Estimate
+module D = Mhls_driver.Driver
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                   *)
@@ -78,6 +85,42 @@ let find_kernel name =
       Printf.eprintf "unknown kernel %s; try `mhlsc list`\n" name;
       exit 1
 
+(* Adaptor pass-pipeline flags, shared by adapt / lint / synth / batch *)
+
+let passes_arg =
+  let doc =
+    "Run exactly these adaptor passes, in order (comma-separated). \
+     Defaults to the full pipeline; see the README for pass names."
+  in
+  Arg.(value & opt (some string) None & info [ "passes" ] ~docv:"P1,P2" ~doc)
+
+let disable_pass_arg =
+  let doc = "Disable one adaptor pass by name (repeatable)." in
+  Arg.(value & opt_all string [] & info [ "disable-pass" ] ~docv:"NAME" ~doc)
+
+(** Resolve the pipeline flags; unknown pass names exit with an
+    HLS-style diagnostic (rule HLS900), not a stack trace. *)
+let pipeline_of_flags ?top ?(strict = true) ~passes ~disable () :
+    Adaptor.Pipeline.t =
+  let or_die = function
+    | Ok p -> p
+    | Error d ->
+        prerr_string (Support.Diag.render [ d ]);
+        exit (Support.Diag.exit_code [ d ])
+  in
+  let base =
+    match passes with
+    | None ->
+        { Adaptor.Pipeline.default with Adaptor.Pipeline.top; strict }
+    | Some spec ->
+        or_die
+          (Adaptor.Pipeline.of_names ?top ~strict
+             (String.split_on_char ',' spec))
+  in
+  List.fold_left
+    (fun p name -> or_die (Adaptor.Pipeline.disable name p))
+    base disable
+
 (* ------------------------------------------------------------------ *)
 (* list                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -117,9 +160,12 @@ let emit_cmd =
         let lm = Lowering.Lower.lower_module (Mhir.Canonicalize.run m) in
         let lm = fst (Llvmir.Pass.run_pipeline Llvmir.Pass.default_pipeline lm) in
         print_string (Llvmir.Lprinter.module_to_string lm)
-    | `Adapted ->
-        let lm, _, _ = Flow.direct_ir_frontend m in
-        print_string (Llvmir.Lprinter.module_to_string lm)
+    | `Adapted -> (
+        match Flow.direct_ir_frontend m with
+        | Ok (lm, _, _) -> print_string (Llvmir.Lprinter.module_to_string lm)
+        | Error ds ->
+            prerr_string (Support.Diag.render ds);
+            exit (Support.Diag.exit_code ds))
     | `Cpp ->
         let _, cpp, _ = Flow.hls_cpp_frontend m in
         print_string cpp
@@ -134,17 +180,27 @@ let emit_cmd =
 (* ------------------------------------------------------------------ *)
 
 let synth_cmd =
-  let run kernel flow pipeline strategy unroll partitions clock verbose =
+  let run kernel flow pipeline strategy unroll partitions clock verbose passes
+      disable =
     let k = find_kernel kernel in
     let d = directives_of ~pipeline ~strategy ~unroll ~partitions in
-    let r = Flow.run ~directives:d ~clock_ns:clock k flow in
-    Printf.printf "kernel: %s   flow: %s   front-end: %.1f ms\n" k.K.kname
-      (Flow.flow_name r.Flow.kind)
-      (r.Flow.seconds *. 1000.0);
-    (match (verbose, r.Flow.adaptor_report) with
-    | true, Some rep -> print_string (Adaptor.report_to_string rep)
-    | _ -> ());
-    print_string (Hls_backend.Report.render r.Flow.hls)
+    let adaptor_pipeline =
+      pipeline_of_flags ~top:k.K.kname ~passes ~disable ()
+    in
+    match
+      Flow.run ~directives:d ~pipeline:adaptor_pipeline ~clock_ns:clock k flow
+    with
+    | Error ds ->
+        prerr_string (Support.Diag.render ds);
+        exit (Support.Diag.exit_code ds)
+    | Ok r ->
+        Printf.printf "kernel: %s   flow: %s   front-end: %.1f ms\n" k.K.kname
+          (Flow.flow_name r.Flow.kind)
+          (r.Flow.seconds *. 1000.0);
+        (match (verbose, r.Flow.adaptor_report) with
+        | true, Some rep -> print_string (Adaptor.report_to_string rep)
+        | _ -> ());
+        print_string (Hls_backend.Report.render r.Flow.hls)
   in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the adaptor report.")
@@ -152,7 +208,8 @@ let synth_cmd =
   Cmd.v
     (Cmd.info "synth" ~doc:"Run one flow end-to-end and print the synthesis report.")
     Term.(const run $ kernel_arg $ flow_arg $ pipeline_arg $ strategy_arg
-          $ unroll_arg $ partition_arg $ clock_arg $ verbose)
+          $ unroll_arg $ partition_arg $ clock_arg $ verbose $ passes_arg
+          $ disable_pass_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                            *)
@@ -215,16 +272,16 @@ let adapt_cmd =
     Arg.(required & pos 0 (some file) None
          & info [] ~docv:"FILE.ll" ~doc:"LLVM IR file (this tool's dialect).")
   in
-  let run file strict =
+  let run file strict passes disable =
     let src = In_channel.with_open_text file In_channel.input_all in
     let m = Llvmir.Lparser.parse_module src in
     Llvmir.Lverifier.verify_module m;
-    let config = { Adaptor.default_config with Adaptor.strict } in
-    match Adaptor.run ~config m with
-    | m', report ->
+    let pipeline = pipeline_of_flags ~strict ~passes ~disable () in
+    match Adaptor.run ~pipeline m with
+    | Ok (m', report) ->
         prerr_string (Adaptor.report_to_string report);
         print_string (Llvmir.Lprinter.module_to_string m')
-    | exception Support.Diag.Failed ds ->
+    | Error ds ->
         (* strict gate: the complete accumulated diagnostic list *)
         prerr_string (Support.Diag.render ds);
         exit (Support.Diag.exit_code ds)
@@ -237,7 +294,7 @@ let adapt_cmd =
     (Cmd.info "adapt"
        ~doc:"Run the adaptor on an .ll file and print the legalized IR \
              (report goes to stderr).")
-    Term.(const run $ file $ strict)
+    Term.(const run $ file $ strict $ passes_arg $ disable_pass_arg)
 
 (* ------------------------------------------------------------------ *)
 (* lint                                                               *)
@@ -268,7 +325,8 @@ let lint_cmd =
          & info [ "rules" ] ~docv:"IDS"
              ~doc:"Comma-separated rule IDs to keep (e.g. HLS001,HLS004).")
   in
-  let run target json werror top rules pipeline strategy unroll partitions =
+  let run target json werror top rules pipeline strategy unroll partitions
+      passes disable =
     let only = Option.map (String.split_on_char ',') rules in
     let diags =
       if Sys.file_exists target then
@@ -280,7 +338,11 @@ let lint_cmd =
       else
         let k = find_kernel target in
         let d = directives_of ~pipeline ~strategy ~unroll ~partitions in
-        Flow.lint_kernel ~directives:d ?only ~werror k
+        let adaptor_pipeline =
+          pipeline_of_flags ~top:k.K.kname ~passes ~disable ()
+        in
+        Flow.lint_kernel ~directives:d ~pipeline:adaptor_pipeline ?only
+          ~werror k
     in
     if json then print_endline (Support.Diag.to_json diags)
     else print_string (Support.Diag.render diags);
@@ -292,7 +354,8 @@ let lint_cmd =
              analyses plus compatibility rules, reported all at once. \
              Exit code: 0 clean, 1 warnings, 2 errors.")
     Term.(const run $ target $ json $ werror $ top $ rules $ pipeline_arg
-          $ strategy_arg $ unroll_arg $ partition_arg)
+          $ strategy_arg $ unroll_arg $ partition_arg $ passes_arg
+          $ disable_pass_arg)
 
 (* ------------------------------------------------------------------ *)
 (* synth-mlir: compile a textual multi-level IR file                  *)
@@ -324,10 +387,14 @@ let synth_mlir_cmd =
     in
     let lm =
       match flow with
-      | Flow.Direct_ir ->
-          let lm, report, _ = Flow.direct_ir_frontend m in
-          if verbose then prerr_string (Adaptor.report_to_string report);
-          lm
+      | Flow.Direct_ir -> (
+          match Flow.direct_ir_frontend m with
+          | Ok (lm, report, _) ->
+              if verbose then prerr_string (Adaptor.report_to_string report);
+              lm
+          | Error ds ->
+              prerr_string (Support.Diag.render ds);
+              exit (Support.Diag.exit_code ds))
       | Flow.Hls_cpp ->
           let lm, cpp, _ = Flow.hls_cpp_frontend m in
           if verbose then prerr_string cpp;
@@ -351,8 +418,21 @@ let synth_mlir_cmd =
 (* dse                                                                *)
 (* ------------------------------------------------------------------ *)
 
+let jobs_arg =
+  let doc = "Worker domains to compile on (1 = sequential)." in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let cache_dir_arg =
+  let doc =
+    "Result cache directory (content-addressed; safe to share between \
+     runs).  Pass the empty string to disable caching."
+  in
+  Arg.(value & opt string ".mhlsc-cache" & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let cache_dir_opt dir = if dir = "" then None else Some dir
+
 let dse_cmd =
-  let run kernel partitions max_dsp max_bram =
+  let run kernel partitions max_dsp max_bram jobs cache_dir =
     let k = find_kernel kernel in
     let parts =
       match parse_partitions partitions with
@@ -362,8 +442,12 @@ let dse_cmd =
     let budget =
       { Flow.Dse.no_budget with Flow.Dse.max_dsp; Flow.Dse.max_bram }
     in
-    let r = Flow.Dse.explore ~budget ~parts k in
+    let r, batch =
+      D.explore_dse ~budget ~parts ~jobs
+        ?cache_dir:(cache_dir_opt cache_dir) k
+    in
     print_string (Flow.Dse.render r);
+    Printf.printf "\n%s" (D.render_stats batch);
     match Flow.Dse.best r with
     | Some best ->
         Printf.printf "\nbest: %s (%d cycles)\n" best.Flow.Dse.label
@@ -381,8 +465,91 @@ let dse_cmd =
   Cmd.v
     (Cmd.info "dse"
        ~doc:"Explore the directive design space through the adaptor flow \
-             and print the Pareto frontier.")
-    Term.(const run $ kernel_arg $ partition_arg $ max_dsp $ max_bram)
+             (on the batch driver: parallel and cached) and print the \
+             Pareto frontier.")
+    Term.(const run $ kernel_arg $ partition_arg $ max_dsp $ max_bram
+          $ jobs_arg $ cache_dir_arg)
+
+(* ------------------------------------------------------------------ *)
+(* batch                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let batch_cmd =
+  let manifest =
+    Arg.(value & pos 0 (some file) None
+         & info [] ~docv:"MANIFEST"
+             ~doc:"Job manifest: one job per line, `KERNEL key=value ...` \
+                   (see the README).  Mutually exclusive with \
+                   $(b,--all-kernels).")
+  in
+  let all_kernels =
+    Arg.(value & flag
+         & info [ "all-kernels" ]
+             ~doc:"Sweep every built-in kernel through the default \
+                   directive grid.")
+  in
+  let both_flows =
+    Arg.(value & flag
+         & info [ "both-flows" ]
+             ~doc:"With $(b,--all-kernels): run the HLS C++ baseline flow \
+                   next to the direct-IR flow.")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE.json"
+             ~doc:"Write the per-job per-pass JSON trace and print the \
+                   aggregate pass summary.")
+  in
+  let run manifest all_kernels both_flows jobs cache_dir trace_out clock
+      passes disable =
+    let pipeline = pipeline_of_flags ~passes ~disable () in
+    let js =
+      match (manifest, all_kernels) with
+      | Some file, _ -> (
+          let text = In_channel.with_open_text file In_channel.input_all in
+          match D.parse_manifest text with
+          | Ok js -> js
+          | Error d ->
+              prerr_string (Support.Diag.render [ d ]);
+              exit (Support.Diag.exit_code [ d ]))
+      | None, true ->
+          let flows =
+            if both_flows then [ Flow.Direct_ir; Flow.Hls_cpp ]
+            else [ Flow.Direct_ir ]
+          in
+          D.all_kernel_jobs ~flows ~clock_ns:clock ()
+      | None, false ->
+          prerr_endline "batch: need a MANIFEST file or --all-kernels";
+          exit 2
+    in
+    let b =
+      D.run_batch ~pipeline ?cache_dir:(cache_dir_opt cache_dir) ~jobs js
+    in
+    print_string (D.render b);
+    (match trace_out with
+    | Some path ->
+        let records = D.trace_records b in
+        Mhls_driver.Trace.write_file ~tool:D.tool_version path records;
+        Printf.printf "\ntrace: %d records -> %s\n%s" (List.length records)
+          path
+          (Mhls_driver.Trace.summary_table records)
+    | None -> ());
+    let failed =
+      List.exists
+        (fun (o : D.outcome) -> Result.is_error o.D.o_qor)
+        b.D.outcomes
+    in
+    exit (if failed then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Compile a set of jobs (kernel × flow × directives) on a \
+             parallel worker pool with persistent result caching; print \
+             the QoR table, run statistics, and optionally a per-pass \
+             JSON trace.")
+    Term.(const run $ manifest $ all_kernels $ both_flows $ jobs_arg
+          $ cache_dir_arg $ trace_out $ clock_arg $ passes_arg
+          $ disable_pass_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -393,4 +560,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; emit_cmd; synth_cmd; compare_cmd; cosim_cmd; adapt_cmd;
-            lint_cmd; synth_mlir_cmd; dse_cmd ]))
+            lint_cmd; synth_mlir_cmd; dse_cmd; batch_cmd ]))

@@ -36,7 +36,7 @@ let () =
 
   print_endline "--- full adaptor (with delinearization) ---";
   let m = kernel.K.build directives in
-  let full_ir, report, _ = Flow.direct_ir_frontend m in
+  let full_ir, report, _ = Flow.direct_ir_frontend_exn m in
   Printf.printf "  %d GEPs delinearized, %d flat fallbacks\n"
     report.Adaptor.descriptors.Adaptor.Eliminate_descriptors.delinearized
     report.Adaptor.descriptors.Adaptor.Eliminate_descriptors.flat_fallback;
@@ -47,7 +47,7 @@ let () =
   print_endline "--- ablation: flat views (shape information lost) ---";
   let m = kernel.K.build directives in
   let flat_ir, _, _ =
-    Flow.direct_ir_frontend ~adaptor_config:Adaptor.flat_views m
+    Flow.direct_ir_frontend_exn ~pipeline:Adaptor.Pipeline.flat_views m
   in
   show_access_shapes flat_ir;
   let flat = E.synthesize ~top:"conv2d" flat_ir in

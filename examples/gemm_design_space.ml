@@ -43,7 +43,7 @@ let () =
   let best = ref None in
   List.iter
     (fun p ->
-      let r = Flow.run ~directives:p.directives kernel Flow.Direct_ir in
+      let r = Flow.run_exn ~directives:p.directives kernel Flow.Direct_ir in
       let hls = r.Flow.hls in
       let ii =
         List.fold_left
@@ -70,7 +70,7 @@ let () =
   | Some (name, lat) ->
       Printf.printf "\nbest design point: %s (%d cycles, %.1fx over baseline)\n"
         name lat
-        (let base = Flow.run ~directives:K.no_directives kernel Flow.Direct_ir in
+        (let base = Flow.run_exn ~directives:K.no_directives kernel Flow.Direct_ir in
          float_of_int base.Flow.hls.E.latency /. float_of_int lat)
   | None -> ());
   (* sanity: the fastest point still computes the right answer *)

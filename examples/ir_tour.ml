@@ -67,7 +67,7 @@ let () =
     (Adaptor.Compat.summarize issues);
 
   banner "5. HLS-ready IR after the adaptor";
-  let adapted, report = Adaptor.run lm_opt in
+  let adapted, report = Adaptor.run_exn lm_opt in
   print_string (Llvmir.Lprinter.module_to_string adapted);
   Printf.printf "\nremaining issues: %d\n" (List.length report.Adaptor.issues_after);
 

@@ -20,7 +20,7 @@ let () =
   Printf.printf "kernel: %s — %s\n\n" kernel.K.kname kernel.K.description;
 
   (* ---- Flow A: direct IR through the adaptor --------------------- *)
-  let direct = Flow.run ~directives:K.pipelined kernel Flow.Direct_ir in
+  let direct = Flow.run_exn ~directives:K.pipelined kernel Flow.Direct_ir in
   print_endline "--- Flow A: direct IR + adaptor ---";
   (match direct.Flow.adaptor_report with
   | Some rep ->
@@ -30,7 +30,7 @@ let () =
   print_string (Hls_backend.Report.render direct.Flow.hls);
 
   (* ---- Flow B: HLS C++ round-trip --------------------------------- *)
-  let cpp = Flow.run ~directives:K.pipelined kernel Flow.Hls_cpp in
+  let cpp = Flow.run_exn ~directives:K.pipelined kernel Flow.Hls_cpp in
   print_endline "\n--- Flow B: HLS C++ baseline ---";
   (match cpp.Flow.cpp_source with
   | Some src ->

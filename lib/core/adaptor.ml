@@ -17,43 +17,6 @@ module Translate_metadata = Translate_metadata
 module Interfaces = Interfaces
 module Compat = Compat
 
-type config = {
-  legalize_intrinsics : bool;
-  eliminate_descriptors : bool;
-  delinearize : bool;  (** rebuild multi-dimensional GEPs (paper's key step) *)
-  typed_pointers : bool;
-  canonicalize_geps : bool;
-  translate_metadata : bool;
-  lower_interfaces : bool;
-  top : string option;  (** top function for interface lowering *)
-  strict : bool;  (** fail if the output is not HLS-ready *)
-}
-
-let default_config =
-  {
-    legalize_intrinsics = true;
-    eliminate_descriptors = true;
-    delinearize = true;
-    typed_pointers = true;
-    canonicalize_geps = true;
-    translate_metadata = true;
-    lower_interfaces = true;
-    top = None;
-    strict = true;
-  }
-
-(** Ablation 1: skip descriptor elimination entirely.  The output still
-    contains descriptor aggregates and opaque pointers, so the HLS
-    middle-end {e rejects} it — the raw "syntax gap". *)
-let no_descriptor_elimination =
-  { default_config with eliminate_descriptors = false; strict = false }
-
-(** Ablation 2: eliminate descriptors but keep accesses on flat 1-D
-    views (no delinearization).  The output is accepted but the array
-    shape is gone, so array-partition directives cannot take effect —
-    the cost of losing "expression details". *)
-let flat_views = { default_config with delinearize = false }
-
 type report = {
   intrinsics : Legalize_intrinsics.stats;
   descriptors : Eliminate_descriptors.stats;
@@ -82,40 +45,312 @@ let fresh_report () =
     pass_seconds = [];
   }
 
-(** Run the adaptor.  Returns the legalized module and a report. *)
-let run ?(config = default_config) (m : Llvmir.Lmodule.t) :
-    Llvmir.Lmodule.t * report =
+(** The adaptor's pass pipeline as a first-class, ordered, named value
+    — replaces the old record of nine booleans.  A pipeline is an
+    ordered list of named passes (each individually toggleable) plus
+    the two driver options ([top], [strict]).  Pipelines can be
+    described canonically ({!describe}), which the batch driver uses as
+    part of its cache key, and built from user-supplied pass names
+    ({!of_names}, {!set_enabled}) with unknown names reported as
+    values, not exceptions. *)
+module Pipeline = struct
+  type pass = {
+    pname : string;  (** stable pass name, e.g. ["typed-pointers"] *)
+    enabled : bool;
+    prun : report -> top:string option -> Llvmir.Lmodule.t -> Llvmir.Lmodule.t;
+        (** the rewrite; updates the matching [report] stats in place *)
+  }
+
+  type t = {
+    passes : pass list;  (** executed in list order *)
+    top : string option;  (** top function for interface lowering *)
+    strict : bool;  (** error if the output is not HLS-ready *)
+  }
+
+  let legalize_intrinsics =
+    {
+      pname = "legalize-intrinsics";
+      enabled = true;
+      prun = (fun r ~top:_ m -> Legalize_intrinsics.run ~stats:r.intrinsics m);
+    }
+
+  let eliminate_descriptors =
+    {
+      pname = "eliminate-descriptors";
+      enabled = true;
+      prun =
+        (fun r ~top:_ m ->
+          Eliminate_descriptors.run ~stats:r.descriptors ~delinearize:true m);
+    }
+
+  (** Variant of {!eliminate_descriptors} that keeps accesses on flat
+      1-D views (no delinearization) — a distinct pass name so traces
+      and cache keys distinguish it. *)
+  let eliminate_descriptors_flat =
+    {
+      pname = "eliminate-descriptors-flat";
+      enabled = true;
+      prun =
+        (fun r ~top:_ m ->
+          Eliminate_descriptors.run ~stats:r.descriptors ~delinearize:false m);
+    }
+
+  let typed_pointers =
+    {
+      pname = "typed-pointers";
+      enabled = true;
+      prun = (fun r ~top:_ m -> Typed_pointers.run ~stats:r.pointers m);
+    }
+
+  let canonicalize_geps =
+    {
+      pname = "canonicalize-geps";
+      enabled = true;
+      prun = (fun r ~top:_ m -> Canonicalize_geps.run ~stats:r.geps m);
+    }
+
+  let translate_metadata =
+    {
+      pname = "translate-metadata";
+      enabled = true;
+      prun = (fun r ~top:_ m -> Translate_metadata.run ~stats:r.metadata m);
+    }
+
+  let lower_interfaces =
+    {
+      pname = "lower-interfaces";
+      enabled = true;
+      prun = (fun r ~top m -> Interfaces.run ~stats:r.interfaces ?top m);
+    }
+
+  (** Every constructible pass, in canonical order. *)
+  let registry =
+    [
+      legalize_intrinsics;
+      eliminate_descriptors;
+      eliminate_descriptors_flat;
+      typed_pointers;
+      canonicalize_geps;
+      translate_metadata;
+      lower_interfaces;
+    ]
+
+  let known_names = List.map (fun p -> p.pname) registry
+  let find_pass name = List.find_opt (fun p -> p.pname = name) registry
+
+  (** The paper's full adaptor pipeline. *)
+  let default =
+    {
+      passes =
+        [
+          legalize_intrinsics;
+          eliminate_descriptors;
+          typed_pointers;
+          canonicalize_geps;
+          translate_metadata;
+          lower_interfaces;
+        ];
+      top = None;
+      strict = true;
+    }
+
+  (** Ablation 1: skip descriptor elimination entirely.  The output
+      still contains descriptor aggregates and opaque pointers, so the
+      HLS middle-end {e rejects} it — the raw "syntax gap". *)
+  let no_descriptor_elimination =
+    {
+      default with
+      passes =
+        List.map
+          (fun p ->
+            if p.pname = "eliminate-descriptors" then { p with enabled = false }
+            else p)
+          default.passes;
+      strict = false;
+    }
+
+  (** Ablation 2: eliminate descriptors but keep accesses on flat 1-D
+      views (no delinearization).  The output is accepted but the array
+      shape is gone, so array-partition directives cannot take effect —
+      the cost of losing "expression details". *)
+  let flat_views =
+    {
+      default with
+      passes =
+        List.map
+          (fun p ->
+            if p.pname = "eliminate-descriptors" then eliminate_descriptors_flat
+            else p)
+          default.passes;
+    }
+
+  let with_top top t = { t with top }
+  let relaxed t = { t with strict = false }
+
+  (** Enabled pass names, in execution order. *)
+  let enabled_names t =
+    List.filter_map (fun p -> if p.enabled then Some p.pname else None) t.passes
+
+  (** Canonical description of the whole pipeline — stable across runs,
+      used for cache keying and trace metadata.  Disabled passes are
+      kept (as [name:off]) because order matters. *)
+  let describe (t : t) : string =
+    Printf.sprintf "passes=%s;top=%s;strict=%b"
+      (String.concat ","
+         (List.map
+            (fun p -> p.pname ^ (if p.enabled then ":on" else ":off"))
+            t.passes))
+      (Option.value ~default:"-" t.top)
+      t.strict
+
+  let unknown_pass_diag name =
+    Support.Diag.error ~rule:"HLS900"
+      ~hint:("known passes: " ^ String.concat ", " known_names)
+      "unknown adaptor pass '%s'" name
+
+  (** Toggle one named pass.  Unknown names are reported as an
+      HLS-style diagnostic value, never an exception. *)
+  let set_enabled (name : string) (enabled : bool) (t : t) :
+      (t, Support.Diag.t) result =
+    if not (List.exists (fun p -> p.pname = name) t.passes) then
+      Error (unknown_pass_diag name)
+    else
+      Ok
+        {
+          t with
+          passes =
+            List.map
+              (fun p -> if p.pname = name then { p with enabled } else p)
+              t.passes;
+        }
+
+  let disable name t = set_enabled name false t
+
+  (** Build a pipeline running exactly [names], in the given order. *)
+  let of_names ?top ?(strict = true) (names : string list) :
+      (t, Support.Diag.t) result =
+    let rec build acc = function
+      | [] -> Ok { passes = List.rev acc; top; strict }
+      | n :: rest -> (
+          match find_pass n with
+          | Some p -> build (p :: acc) rest
+          | None -> Error (unknown_pass_diag n))
+    in
+    build [] names
+end
+
+(* ------------------------------------------------------------------ *)
+(* Deprecated boolean-flag configuration (one-release shim)           *)
+(* ------------------------------------------------------------------ *)
+
+(** @deprecated The boolean-flag record is superseded by
+    {!Pipeline.t}; it remains for one release.  Use
+    {!Pipeline.default} and friends, or {!pipeline_of_config} to
+    convert an existing record. *)
+type config = {
+  legalize_intrinsics : bool;
+  eliminate_descriptors : bool;
+  delinearize : bool;  (** rebuild multi-dimensional GEPs (paper's key step) *)
+  typed_pointers : bool;
+  canonicalize_geps : bool;
+  translate_metadata : bool;
+  lower_interfaces : bool;
+  top : string option;  (** top function for interface lowering *)
+  strict : bool;  (** fail if the output is not HLS-ready *)
+}
+
+let default_config =
+  {
+    legalize_intrinsics = true;
+    eliminate_descriptors = true;
+    delinearize = true;
+    typed_pointers = true;
+    canonicalize_geps = true;
+    translate_metadata = true;
+    lower_interfaces = true;
+    top = None;
+    strict = true;
+  }
+
+let no_descriptor_elimination =
+  { default_config with eliminate_descriptors = false; strict = false }
+
+let flat_views = { default_config with delinearize = false }
+
+(** Convert an old-style boolean record to the pipeline it always
+    denoted. *)
+let pipeline_of_config (c : config) : Pipeline.t =
+  let toggle name enabled (p : Pipeline.pass) =
+    if p.Pipeline.pname = name then { p with Pipeline.enabled } else p
+  in
+  let passes =
+    Pipeline.default.Pipeline.passes
+    |> List.map (fun p ->
+           if p.Pipeline.pname = "eliminate-descriptors" && not c.delinearize
+           then
+             {
+               Pipeline.eliminate_descriptors_flat with
+               Pipeline.enabled = c.eliminate_descriptors;
+             }
+           else p)
+    |> List.map (toggle "legalize-intrinsics" c.legalize_intrinsics)
+    |> List.map (toggle "eliminate-descriptors" c.eliminate_descriptors)
+    |> List.map (toggle "typed-pointers" c.typed_pointers)
+    |> List.map (toggle "canonicalize-geps" c.canonicalize_geps)
+    |> List.map (toggle "translate-metadata" c.translate_metadata)
+    |> List.map (toggle "lower-interfaces" c.lower_interfaces)
+  in
+  { Pipeline.passes; top = c.top; strict = c.strict }
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Run the adaptor pipeline.  Returns [Ok (module, report)], or — in
+    strict mode, when error-severity compatibility issues remain —
+    [Error diagnostics] with the {e complete} accumulated list.  No
+    exception escapes; converting diagnostics to {!Support.Diag.Failed}
+    is the CLI boundary's job (or use {!run_exn}).
+
+    [?config] is the deprecated boolean-record shim and, when given,
+    overrides [?pipeline].  [?trace] receives one
+    {!Support.Tracing.event} per executed pass (stage ["adaptor"]). *)
+let run ?(pipeline = Pipeline.default) ?config
+    ?(trace = Support.Tracing.null) (m : Llvmir.Lmodule.t) :
+    (Llvmir.Lmodule.t * report, Support.Diag.t list) result =
+  let pipeline =
+    match config with Some c -> pipeline_of_config c | None -> pipeline
+  in
   let r = fresh_report () in
   let issues_before = Compat.check m in
   let timings = ref [] in
-  let step name enabled f m =
-    if not enabled then m
+  let step m (p : Pipeline.pass) =
+    if not p.Pipeline.enabled then m
     else begin
+      let before = Llvmir.Lmodule.instr_count m in
       let t0 = Sys.time () in
-      let m' = f m in
-      timings := (name, Sys.time () -. t0) :: !timings;
+      let m' = p.Pipeline.prun r ~top:pipeline.Pipeline.top m in
+      let seconds = Sys.time () -. t0 in
+      timings := (p.Pipeline.pname, seconds) :: !timings;
       Llvmir.Lverifier.verify_module m';
+      trace
+        (Support.Tracing.event ~stage:"adaptor" ~pass:p.Pipeline.pname
+           ~seconds ~before ~after:(Llvmir.Lmodule.instr_count m'));
       m'
     end
   in
-  let m =
-    m
-    |> step "legalize-intrinsics" config.legalize_intrinsics
-         (Legalize_intrinsics.run ~stats:r.intrinsics)
-    |> step "eliminate-descriptors" config.eliminate_descriptors
-         (Eliminate_descriptors.run ~stats:r.descriptors
-            ~delinearize:config.delinearize)
-    |> step "typed-pointers" config.typed_pointers
-         (Typed_pointers.run ~stats:r.pointers)
-    |> step "canonicalize-geps" config.canonicalize_geps
-         (Canonicalize_geps.run ~stats:r.geps)
-    |> step "translate-metadata" config.translate_metadata
-         (Translate_metadata.run ~stats:r.metadata)
-    |> step "lower-interfaces" config.lower_interfaces
-         (Interfaces.run ~stats:r.interfaces ?top:config.top)
-  in
+  let m = List.fold_left step m pipeline.Pipeline.passes in
   let issues_after = Compat.check m in
   let diagnostics = Compat.to_diagnostics issues_after in
+  let report =
+    {
+      r with
+      issues_before;
+      issues_after;
+      diagnostics;
+      pass_seconds = List.rev !timings;
+    }
+  in
   (* Strict mode gates on {e error}-severity issues only (warnings such
      as untranslated loop metadata lose directives but still compile),
      and reports the complete accumulated list — not just the first. *)
@@ -125,16 +360,16 @@ let run ?(config = default_config) (m : Llvmir.Lmodule.t) :
         Compat.issue_severity i.Compat.kind = Support.Err.Error)
       issues_after
   in
-  if config.strict && blocking <> [] then
-    raise (Support.Diag.Failed diagnostics);
-  ( m,
-    {
-      r with
-      issues_before;
-      issues_after;
-      diagnostics;
-      pass_seconds = List.rev !timings;
-    } )
+  if pipeline.Pipeline.strict && blocking <> [] then Error diagnostics
+  else Ok (m, report)
+
+(** Exception-raising convenience for process boundaries: raises
+    {!Support.Diag.Failed} where {!run} returns [Error]. *)
+let run_exn ?pipeline ?config ?trace (m : Llvmir.Lmodule.t) :
+    Llvmir.Lmodule.t * report =
+  match run ?pipeline ?config ?trace m with
+  | Ok x -> x
+  | Error ds -> raise (Support.Diag.Failed ds)
 
 let report_to_string (r : report) =
   let b = Buffer.create 256 in

@@ -1,0 +1,76 @@
+(** Persistent content-addressed result cache.
+
+    A dumb blob store: entries are raw strings filed under the hex
+    digest of whatever identity the caller hashed ({!key}).  The driver
+    keys entries by (input IR, pipeline description, directives, tool
+    version), so any change to any ingredient lands on a different
+    entry and stale results can never be served — invalidation is
+    structural, not temporal.
+
+    Writes go through a per-domain temporary file and an atomic
+    [Sys.rename], so concurrent workers (or concurrent batch runs
+    sharing a cache directory) never observe torn entries.  Hit/miss
+    counters are atomics for the same reason. *)
+
+type t = {
+  dir : string;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+}
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Sys.mkdir dir 0o755
+     with Sys_error _ when Sys.file_exists dir -> () (* lost the race *))
+  end
+
+let create ~dir : t =
+  mkdir_p dir;
+  { dir; hits = Atomic.make 0; misses = Atomic.make 0 }
+
+(** Content address for an identity: the parts are hashed with an
+    unambiguous separator (no concatenation collisions). *)
+let key (parts : string list) : string =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          (string_of_int (List.length parts)
+          :: List.concat_map (fun p -> [ string_of_int (String.length p); p ])
+               parts)))
+
+let path t k = Filename.concat t.dir (k ^ ".cache")
+
+(** Look an entry up; counts a hit or a miss.  Unreadable or torn
+    entries are treated as misses. *)
+let find (t : t) (k : string) : string option =
+  match In_channel.with_open_bin (path t k) In_channel.input_all with
+  | data ->
+      Atomic.incr t.hits;
+      Some data
+  | exception Sys_error _ ->
+      Atomic.incr t.misses;
+      None
+
+(** Store an entry atomically (temp file + rename).  Concurrent stores
+    of the same key are benign: last rename wins, both contents are
+    valid by construction. *)
+let store (t : t) (k : string) (data : string) : unit =
+  let tmp =
+    Filename.concat t.dir
+      (Printf.sprintf ".%s.tmp.%d" k (Domain.self () :> int))
+  in
+  Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc data);
+  Sys.rename tmp (path t k)
+
+let hits t = Atomic.get t.hits
+let misses t = Atomic.get t.misses
+
+(** Number of entries currently on disk. *)
+let entry_count (t : t) : int =
+  match Sys.readdir t.dir with
+  | files ->
+      Array.fold_left
+        (fun n f -> if Filename.check_suffix f ".cache" then n + 1 else n)
+        0 files
+  | exception Sys_error _ -> 0

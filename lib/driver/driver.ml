@@ -1,0 +1,526 @@
+(** Batch compilation driver: takes a set of jobs (kernel × flow ×
+    directive config), executes them on a {!Pool} of OCaml 5 domains,
+    and memoizes results in a persistent content-addressed {!Cache}
+    keyed by (input IR, pipeline description, directives, tool
+    version) — a re-run of a sweep is near-instant.  Each job carries a
+    {!Support.Tracing} hook, so the batch yields a full per-pass JSON
+    trace ({!Trace}) alongside the QoR table.
+
+    The QoR rendering ({!render_qor}) is deterministic: it depends only
+    on job identities and compile results, never on wall time, worker
+    count or cache state — a 4-worker run prints byte-identical QoR to
+    a sequential one. *)
+
+module K = Workloads.Kernels
+module E = Hls_backend.Estimate
+
+(** Cache-key ingredient; bump on any change that alters compiler
+    output. *)
+let tool_version = "mhlsc-1.1.0"
+
+(* ------------------------------------------------------------------ *)
+(* Jobs                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type job = {
+  label : string;  (** unique within a batch; names trace records *)
+  kernel : string;  (** built-in kernel name *)
+  flow : Flow.flow_kind;
+  directives : K.directives;
+  clock_ns : float;
+}
+
+let job ?label ?(flow = Flow.Direct_ir) ?(clock_ns = 10.0) ~kernel directives
+    =
+  let label =
+    match label with
+    | Some l -> l
+    | None -> Printf.sprintf "%s/%s" kernel (Flow.flow_name flow)
+  in
+  { label; kernel; flow; directives; clock_ns }
+
+(** Canonical description of a directive configuration — part of the
+    cache identity and human-readable in traces. *)
+let directives_describe (d : K.directives) : string =
+  Printf.sprintf "ii=%s;unroll=%s;strategy=%s;parts=%s"
+    (match d.K.pipeline_ii with None -> "-" | Some ii -> string_of_int ii)
+    (match d.K.unroll with None -> "-" | Some u -> string_of_int u)
+    (match d.K.strategy with K.Inner -> "inner" | K.Middle -> "middle")
+    (String.concat "+"
+       (List.map
+          (fun (a, kind, f, dim) -> Printf.sprintf "%s:%s:%d:%d" a kind f dim)
+          d.K.partitions))
+
+(* ------------------------------------------------------------------ *)
+(* Outcomes                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** What the cache stores per job (must stay marshal-safe: plain data,
+    no closures). *)
+type payload = {
+  p_qor : (E.report, string list) result;
+  p_trace : Trace.record list;
+  p_seconds : float;  (** front-end compile seconds of the original run *)
+}
+
+type outcome = {
+  o_job : job;
+  o_qor : (E.report, string list) result;
+      (** full synthesis report, or the reasons the job failed *)
+  o_seconds : float;
+  o_from_cache : bool;
+  o_trace : Trace.record list;  (** [tr_cached] reflects [o_from_cache] *)
+}
+
+type batch_report = {
+  outcomes : outcome list;  (** in job-list order *)
+  wall_seconds : float;
+  jobs_used : int;  (** worker count *)
+  cache_hits : int;
+  cache_misses : int;  (** both 0 when caching is disabled *)
+}
+
+let trace_records (b : batch_report) : Trace.record list =
+  List.concat_map (fun o -> o.o_trace) b.outcomes
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Compile one job from scratch, capturing per-pass trace events.
+    Never raises: every failure mode becomes [Error reasons]. *)
+let compute ~(pipeline : Adaptor.Pipeline.t) (j : job) : payload =
+  match K.by_name j.kernel with
+  | None ->
+      {
+        p_qor = Error [ Printf.sprintf "unknown kernel '%s'" j.kernel ];
+        p_trace = [];
+        p_seconds = 0.0;
+      }
+  | Some k ->
+      let hook, events = Support.Tracing.collector () in
+      let qor, seconds =
+        match
+          Flow.run ~directives:j.directives ~pipeline ~clock_ns:j.clock_ns
+            ~trace:hook k j.flow
+        with
+        | Ok r -> (Ok r.Flow.hls, r.Flow.seconds)
+        | Error ds -> (Error (List.map Support.Diag.to_string ds), 0.0)
+        | exception Support.Err.Compile_error e ->
+            (Error [ Support.Err.to_string e ], 0.0)
+        | exception E.Rejected errs ->
+            ( Error
+                (Printf.sprintf "rejected by HLS middle-end (%d issues)"
+                   (List.length errs)
+                :: errs),
+              0.0 )
+      in
+      let records =
+        List.map
+          (Trace.of_event ~job:j.label ~kernel:j.kernel
+             ~flow:(Flow.flow_name j.flow) ~cached:false)
+          (events ())
+      in
+      { p_qor = qor; p_trace = records; p_seconds = seconds }
+
+(** The job's content address: hashes the {e printed input IR} (the
+    kernel built under its directives), so any change to the kernel
+    builder lands on a fresh entry, plus every knob that affects the
+    result downstream of that IR. *)
+let cache_key ~(pipeline : Adaptor.Pipeline.t) (j : job) : string option =
+  match K.by_name j.kernel with
+  | None -> None
+  | Some k ->
+      let input_ir =
+        Mhir.Printer.module_to_string (k.K.build j.directives)
+      in
+      Some
+        (Cache.key
+           [
+             tool_version;
+             input_ir;
+             Adaptor.Pipeline.describe pipeline;
+             directives_describe j.directives;
+             Flow.flow_name j.flow;
+             Printf.sprintf "%.3f" j.clock_ns;
+           ])
+
+let payload_to_string (p : payload) : string = Marshal.to_string p []
+
+let payload_of_string (s : string) : payload option =
+  match (Marshal.from_string s 0 : payload) with
+  | p -> Some p
+  | exception _ -> None
+
+(** Run one job, consulting [cache] first. *)
+let run_job ~pipeline ~(cache : Cache.t option) (j : job) : outcome =
+  let fresh () =
+    let p = compute ~pipeline j in
+    ( p,
+      {
+        o_job = j;
+        o_qor = p.p_qor;
+        o_seconds = p.p_seconds;
+        o_from_cache = false;
+        o_trace = p.p_trace;
+      } )
+  in
+  match cache with
+  | None -> snd (fresh ())
+  | Some cache -> (
+      match cache_key ~pipeline j with
+      | None -> snd (fresh ())
+      | Some key -> (
+          match Option.bind (Cache.find cache key) payload_of_string with
+          | Some p ->
+              {
+                o_job = j;
+                o_qor = p.p_qor;
+                o_seconds = p.p_seconds;
+                o_from_cache = true;
+                o_trace =
+                  List.map
+                    (fun (r : Trace.record) ->
+                      { r with Trace.tr_cached = true })
+                    p.p_trace;
+              }
+          | None ->
+              let p, o = fresh () in
+              Cache.store cache key (payload_to_string p);
+              o))
+
+(** Run a batch: up to [jobs] domains, optional result cache.  Job
+    order is preserved in [outcomes] regardless of worker count.
+
+    [jobs] is an upper bound: the pool never oversubscribes the
+    hardware (OCaml 5 minor collections are stop-the-world across
+    domains, so excess domains make an allocation-heavy workload
+    {e slower}) — the worker count is clamped to
+    [Domain.recommended_domain_count ()].  Results are deterministic
+    for any worker count. *)
+let run_batch ?(pipeline = Adaptor.Pipeline.default) ?cache_dir ?(jobs = 1)
+    (js : job list) : batch_report =
+  let cache = Option.map (fun dir -> Cache.create ~dir) cache_dir in
+  let workers =
+    max 1 (min jobs (min (List.length js) (Domain.recommended_domain_count ())))
+  in
+  let t0 = Unix.gettimeofday () in
+  let outcomes = Pool.map ~jobs:workers (run_job ~pipeline ~cache) js in
+  {
+    outcomes;
+    wall_seconds = Unix.gettimeofday () -. t0;
+    jobs_used = workers;
+    cache_hits = (match cache with Some c -> Cache.hits c | None -> 0);
+    cache_misses = (match cache with Some c -> Cache.misses c | None -> 0);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Built-in job grids and manifests                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** The default directive grid swept by [mhlsc batch --all-kernels]. *)
+let default_grid : (string * K.directives) list =
+  [
+    ("baseline", K.no_directives);
+    ("pipeline-inner", K.pipelined);
+    ("inner-unroll4", { K.pipelined with K.unroll = Some 4 });
+    ("middle-full-unroll", K.optimized ~factor:1 ~parts:[] ());
+  ]
+
+(** Every built-in kernel × {!default_grid} × [flows]. *)
+let all_kernel_jobs ?(flows = [ Flow.Direct_ir ]) ?(clock_ns = 10.0) () :
+    job list =
+  List.concat_map
+    (fun k ->
+      List.concat_map
+        (fun flow ->
+          List.map
+            (fun (cfg, d) ->
+              job
+                ~label:
+                  (Printf.sprintf "%s/%s/%s" k.K.kname cfg
+                     (Flow.flow_name flow))
+                ~flow ~clock_ns ~kernel:k.K.kname d)
+            default_grid)
+        flows)
+    (K.all ())
+
+let manifest_diag lineno fmt =
+  Support.Diag.error ~rule:"HLS901"
+    ~func:(Printf.sprintf "manifest:%d" lineno)
+    fmt
+
+(** Parse a job manifest.  One job per line:
+    {v
+    # comment
+    <kernel> [flow=direct|cpp] [label=NAME] [ii=N] [strategy=inner|middle]
+             [unroll=N] [partition=ARG:KIND:FACTOR:DIM]* [clock=NS]
+    v}
+    Unknown kernels, keys or malformed values are reported as
+    HLS-style diagnostics, never exceptions. *)
+let parse_manifest (text : string) : (job list, Support.Diag.t) result =
+  let parse_line lineno line =
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    match
+      String.split_on_char ' ' (String.trim line)
+      |> List.filter (fun s -> s <> "")
+    with
+    | [] -> Ok None
+    | kernel :: opts ->
+        if K.by_name kernel = None then
+          Error
+            (manifest_diag lineno
+               "unknown kernel '%s' in manifest" kernel)
+        else
+          let rec apply j partitions = function
+            | [] ->
+                Ok
+                  (Some
+                     {
+                       j with
+                       directives =
+                         {
+                           j.directives with
+                           K.partitions = List.rev partitions;
+                         };
+                     })
+            | opt :: rest -> (
+                match String.index_opt opt '=' with
+                | None ->
+                    Error
+                      (manifest_diag lineno
+                         "malformed option '%s' (expected key=value)" opt)
+                | Some i -> (
+                    let key = String.sub opt 0 i in
+                    let v =
+                      String.sub opt (i + 1) (String.length opt - i - 1)
+                    in
+                    let int_v () =
+                      match int_of_string_opt v with
+                      | Some n -> Ok n
+                      | None ->
+                          Error
+                            (manifest_diag lineno
+                               "option %s wants an integer, got '%s'" key v)
+                    in
+                    match key with
+                    | "label" -> apply { j with label = v } partitions rest
+                    | "flow" -> (
+                        match v with
+                        | "direct" ->
+                            apply { j with flow = Flow.Direct_ir } partitions
+                              rest
+                        | "cpp" ->
+                            apply { j with flow = Flow.Hls_cpp } partitions
+                              rest
+                        | _ ->
+                            Error
+                              (manifest_diag lineno
+                                 "flow must be 'direct' or 'cpp', got '%s'" v)
+                        )
+                    | "ii" -> (
+                        match int_v () with
+                        | Error d -> Error d
+                        | Ok n ->
+                            apply
+                              {
+                                j with
+                                directives =
+                                  {
+                                    j.directives with
+                                    K.pipeline_ii =
+                                      (if n <= 0 then None else Some n);
+                                  };
+                              }
+                              partitions rest)
+                    | "unroll" -> (
+                        match int_v () with
+                        | Error d -> Error d
+                        | Ok n ->
+                            apply
+                              {
+                                j with
+                                directives =
+                                  { j.directives with K.unroll = Some n };
+                              }
+                              partitions rest)
+                    | "strategy" -> (
+                        match v with
+                        | "inner" ->
+                            apply
+                              {
+                                j with
+                                directives =
+                                  { j.directives with K.strategy = K.Inner };
+                              }
+                              partitions rest
+                        | "middle" ->
+                            apply
+                              {
+                                j with
+                                directives =
+                                  { j.directives with K.strategy = K.Middle };
+                              }
+                              partitions rest
+                        | _ ->
+                            Error
+                              (manifest_diag lineno
+                                 "strategy must be 'inner' or 'middle', got \
+                                  '%s'"
+                                 v))
+                    | "clock" -> (
+                        match float_of_string_opt v with
+                        | Some f ->
+                            apply { j with clock_ns = f } partitions rest
+                        | None ->
+                            Error
+                              (manifest_diag lineno
+                                 "clock wants a float, got '%s'" v))
+                    | "partition" -> (
+                        match String.split_on_char ':' v with
+                        | [ a; kind; f; d ] -> (
+                            match
+                              (int_of_string_opt f, int_of_string_opt d)
+                            with
+                            | Some f, Some d ->
+                                apply j ((a, kind, f, d) :: partitions) rest
+                            | _ ->
+                                Error
+                                  (manifest_diag lineno
+                                     "bad partition spec '%s' (want \
+                                      ARG:KIND:FACTOR:DIM)"
+                                     v))
+                        | _ ->
+                            Error
+                              (manifest_diag lineno
+                                 "bad partition spec '%s' (want \
+                                  ARG:KIND:FACTOR:DIM)"
+                                 v))
+                    | _ ->
+                        Error
+                          (manifest_diag lineno
+                             "unknown manifest option '%s'" key)))
+          in
+          apply
+            (job ~label:(Printf.sprintf "%s:%d" kernel lineno) ~kernel
+               K.no_directives)
+            [] opts
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | l :: rest -> (
+        match parse_line lineno l with
+        | Error d -> Error d
+        | Ok None -> go (lineno + 1) acc rest
+        | Ok (Some j) -> go (lineno + 1) (j :: acc) rest)
+  in
+  go 1 [] lines
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let inner_ii (r : E.report) =
+  List.fold_left
+    (fun acc (l : E.loop_report) ->
+      match l.E.achieved_ii with Some ii -> max acc ii | None -> acc)
+    0 r.E.loops
+
+(** Deterministic QoR table: depends only on job identities and compile
+    results — never on wall time, worker count or cache state. *)
+let render_qor (b : batch_report) : string =
+  let t =
+    Support.Table.create
+      ~aligns:
+        [ Support.Table.Left; Support.Table.Left; Support.Table.Left;
+          Support.Table.Left; Support.Table.Right; Support.Table.Right;
+          Support.Table.Right; Support.Table.Right; Support.Table.Right ]
+      [ "job"; "kernel"; "flow"; "status"; "latency"; "II"; "BRAM"; "DSP";
+        "LUT" ]
+  in
+  let failures = ref [] in
+  List.iter
+    (fun o ->
+      match o.o_qor with
+      | Ok r ->
+          Support.Table.add_row t
+            [
+              o.o_job.label;
+              o.o_job.kernel;
+              Flow.flow_name o.o_job.flow;
+              "ok";
+              string_of_int r.E.latency;
+              string_of_int (inner_ii r);
+              string_of_int r.E.resources.E.bram;
+              string_of_int r.E.resources.E.dsp;
+              string_of_int r.E.resources.E.lut;
+            ]
+      | Error reasons ->
+          failures := (o.o_job.label, reasons) :: !failures;
+          Support.Table.add_row t
+            [
+              o.o_job.label; o.o_job.kernel; Flow.flow_name o.o_job.flow;
+              "FAIL"; "-"; "-"; "-"; "-"; "-";
+            ])
+    b.outcomes;
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Support.Table.render t);
+  List.iter
+    (fun (label, reasons) ->
+      Buffer.add_string buf (Printf.sprintf "\n%s failed:\n" label);
+      List.iter
+        (fun r -> Buffer.add_string buf (Printf.sprintf "  %s\n" r))
+        reasons)
+    (List.rev !failures);
+  Buffer.contents buf
+
+(** Run statistics — the non-deterministic tail of the report.  The
+    cache-hit rate line is stable ("cache-hit rate: 100%") so scripts
+    and CI can assert on it. *)
+let render_stats (b : batch_report) : string =
+  let n = List.length b.outcomes in
+  let cache_line =
+    if b.cache_hits + b.cache_misses = 0 then "cache: disabled"
+    else
+      Printf.sprintf "cache: %d hits, %d misses; cache-hit rate: %d%%"
+        b.cache_hits b.cache_misses
+        (if n = 0 then 0 else 100 * b.cache_hits / (b.cache_hits + b.cache_misses))
+  in
+  Printf.sprintf "%d jobs in %.2fs wall (%d workers); %s\n" n b.wall_seconds
+    b.jobs_used cache_line
+
+let render (b : batch_report) : string = render_qor b ^ "\n" ^ render_stats b
+
+(* ------------------------------------------------------------------ *)
+(* DSE on the driver                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Design-space exploration through the batch driver: the same
+    candidate grid and Pareto assembly as {!Flow.Dse.explore}, but the
+    candidates compile in parallel and memoize across runs. *)
+let explore_dse ?budget ?(factors = [ 1; 2; 4; 8 ]) ?pipeline ?cache_dir
+    ?(jobs = 1) ?(clock_ns = 10.0) ~(parts : (string * int) list)
+    (kernel : K.kernel) : Flow.Dse.result * batch_report =
+  let cands = Flow.Dse.candidates ~parts ~factors in
+  let js =
+    List.map
+      (fun (label, d) -> job ~label ~clock_ns ~kernel:kernel.K.kname d)
+      cands
+  in
+  let batch = run_batch ?pipeline ?cache_dir ~jobs js in
+  let evals =
+    List.map2
+      (fun (label, d) o ->
+        ( label,
+          d,
+          match o.o_qor with
+          | Ok r -> Ok r
+          | Error reasons -> Error (String.concat "; " reasons) ))
+      cands batch.outcomes
+  in
+  (Flow.Dse.assemble ?budget ~kernel:kernel.K.kname evals, batch)

@@ -1,0 +1,37 @@
+(** Fixed-size worker pool over OCaml 5 domains.
+
+    Work items are claimed from a shared atomic counter, so the pool
+    load-balances automatically: a domain that draws a cheap job simply
+    claims the next one.  With [jobs <= 1] (or a single item) the work
+    runs inline on the calling domain — the sequential path used by the
+    determinism test as the reference. *)
+
+(** [map ~jobs f xs] applies [f] to every element of [xs], on up to
+    [jobs] domains, preserving input order in the result.  [f] should
+    not raise: an exception in a worker tears down the whole pool (it
+    is re-raised by [Domain.join]). *)
+let map ~(jobs : int) (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  let n = List.length xs in
+  if jobs <= 1 || n <= 1 then List.map f xs
+  else begin
+    let input = Array.of_list xs in
+    let output = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          output.(i) <- Some (f input.(i));
+          go ()
+        end
+      in
+      go ()
+    in
+    let domains = List.init (min jobs n) (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join domains;
+    Array.to_list
+      (Array.map (function Some v -> v | None -> assert false) output)
+  end
+
+(** A reasonable default worker count for this machine. *)
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)

@@ -81,41 +81,68 @@ type result = {
   infeasible : (string * string) list;  (** label, reason *)
 }
 
-(** Explore the space for [kernel].  [parts] names the arrays worth
-    partitioning and the dimension their hot accesses vary in (e.g.
-    [[("A", 2); ("B", 1)]] for gemm). *)
-let explore ?(budget = no_budget) ?(factors = [ 1; 2; 4; 8 ])
-    ~(parts : (string * int) list) (kernel : K.kernel) : result =
-  let explored = ref [] in
-  let infeasible = ref [] in
-  List.iter
+(** One evaluated candidate: label, directives, and either the full
+    synthesis report or the reason evaluation failed.  The driver
+    library produces these in parallel (with caching); {!evaluate} is
+    the sequential reference evaluator. *)
+type evaluation = (string * K.directives * (E.report, string) Stdlib.result) list
+
+(** Evaluate candidates one by one through the direct-IR flow.  All
+    failure modes are captured as [Error reason] values. *)
+let evaluate ?pipeline (kernel : K.kernel)
+    (cands : (string * K.directives) list) : evaluation =
+  List.map
     (fun (label, directives) ->
-      match Flow_impl.run ~directives kernel Flow_impl.Direct_ir with
-      | r ->
-          let hls = r.Flow_impl.hls in
-          if within budget hls.E.resources then
-            explored :=
-              {
-                label;
-                directives;
-                latency = hls.E.latency;
-                resources = hls.E.resources;
-                report = hls;
-              }
-              :: !explored
-          else infeasible := (label, "over budget") :: !infeasible
-      | exception Support.Err.Compile_error e ->
-          infeasible := (label, Support.Err.to_string e) :: !infeasible
-      | exception E.Rejected errs ->
-          infeasible :=
-            (label, Printf.sprintf "rejected (%d issues)" (List.length errs))
-            :: !infeasible)
-    (candidates ~parts ~factors);
-  let explored = List.rev !explored in
+      let outcome =
+        match Flow_impl.run ~directives ?pipeline kernel Flow_impl.Direct_ir with
+        | Ok r -> Ok r.Flow_impl.hls
+        | Error ds ->
+            Error (Printf.sprintf "adaptor: %s" (Support.Diag.summary ds))
+        | exception Support.Err.Compile_error e ->
+            Error (Support.Err.to_string e)
+        | exception E.Rejected errs ->
+            Error (Printf.sprintf "rejected (%d issues)" (List.length errs))
+      in
+      (label, directives, outcome))
+    cands
+
+(** Assemble evaluated candidates into a DSE result: apply the resource
+    budget, split feasible/infeasible, compute the Pareto frontier. *)
+let assemble ?(budget = no_budget) ~(kernel : string) (evals : evaluation) :
+    result =
+  let explored, infeasible =
+    List.fold_left
+      (fun (ex, inf) (label, directives, outcome) ->
+        match outcome with
+        | Ok (hls : E.report) ->
+            if within budget hls.E.resources then
+              ( {
+                  label;
+                  directives;
+                  latency = hls.E.latency;
+                  resources = hls.E.resources;
+                  report = hls;
+                }
+                :: ex,
+                inf )
+            else (ex, (label, "over budget") :: inf)
+        | Error reason -> (ex, (label, reason) :: inf))
+      ([], []) evals
+  in
+  let explored = List.rev explored in
   let frontier =
     List.sort (fun a b -> compare a.latency b.latency) (pareto explored)
   in
-  { kernel = kernel.K.kname; explored; frontier; infeasible = List.rev !infeasible }
+  { kernel; explored; frontier; infeasible = List.rev infeasible }
+
+(** Explore the space for [kernel].  [parts] names the arrays worth
+    partitioning and the dimension their hot accesses vary in (e.g.
+    [[("A", 2); ("B", 1)]] for gemm). *)
+let explore ?budget ?(factors = [ 1; 2; 4; 8 ]) ~(parts : (string * int) list)
+    (kernel : K.kernel) : result =
+  candidates ~parts ~factors
+  |> evaluate kernel
+  |> assemble ?budget ~kernel:kernel.K.kname
 
 (** Best (lowest-latency) feasible point, if any. *)
 let best (r : result) : point option =

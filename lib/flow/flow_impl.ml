@@ -31,84 +31,127 @@ type result = {
 
 (** Shared LLVM cleanup pipeline (stands in for Vitis' middle-end
     [opt] run). *)
-let llvm_cleanup m = fst (Llvmir.Pass.run_pipeline ~verify:true Llvmir.Pass.default_pipeline m)
+let llvm_cleanup ?trace m =
+  fst
+    (Llvmir.Pass.run_pipeline ~verify:true ?trace Llvmir.Pass.default_pipeline
+       m)
 
-(** Flow A front-end: mhir to HLS-ready LLVM IR through the adaptor. *)
-let direct_ir_frontend ?(adaptor_config = Adaptor.default_config)
-    (m : Mhir.Ir.modul) : Llvmir.Lmodule.t * Adaptor.report * float =
+(** Flow A front-end: mhir to HLS-ready LLVM IR through the adaptor.
+    Returns [Error diagnostics] when the (strict) adaptor pipeline
+    leaves blocking compatibility issues; no exception escapes. *)
+let direct_ir_frontend ?(pipeline = Adaptor.Pipeline.default)
+    ?(trace = Support.Tracing.null) (m : Mhir.Ir.modul) :
+    (Llvmir.Lmodule.t * Adaptor.report * float, Support.Diag.t list)
+    Stdlib.result =
   let t0 = Sys.time () in
   Mhir.Verifier.verify_module m;
   let m = Mhir.Canonicalize.run m in
+  let tl0 = Sys.time () in
   let lm = Lowering.Lower.lower_module ~style:Lowering.Lower.modern m in
   Llvmir.Lverifier.verify_module lm;
-  let lm = llvm_cleanup lm in
-  let lm, report = Adaptor.run ~config:adaptor_config lm in
-  (lm, report, Sys.time () -. t0)
+  trace
+    (Support.Tracing.event ~stage:"lower" ~pass:"lower-modern"
+       ~seconds:(Sys.time () -. tl0) ~before:0
+       ~after:(Llvmir.Lmodule.instr_count lm));
+  let lm = llvm_cleanup ~trace lm in
+  match Adaptor.run ~pipeline ~trace lm with
+  | Ok (lm, report) -> Ok (lm, report, Sys.time () -. t0)
+  | Error ds -> Error ds
+
+(** Exception-raising convenience for process boundaries (CLI, bench):
+    raises {!Support.Diag.Failed} where {!direct_ir_frontend} returns
+    [Error]. *)
+let direct_ir_frontend_exn ?pipeline ?trace (m : Mhir.Ir.modul) :
+    Llvmir.Lmodule.t * Adaptor.report * float =
+  match direct_ir_frontend ?pipeline ?trace m with
+  | Ok x -> x
+  | Error ds -> raise (Support.Diag.Failed ds)
 
 (** Lint a kernel: run Flow A's front-end without the strict gate and
     hand the adapted IR to the {!Hls_backend.Lint} rule registry.
     Compat leftovers surface as accumulated HLS10x diagnostics instead
     of an exception. *)
-let lint_kernel ?(directives = K.pipelined) ?only ?(werror = false)
-    ?adaptor_config (kernel : K.kernel) : Support.Diag.t list =
+let lint_kernel ?(directives = K.pipelined) ?only ?(werror = false) ?pipeline
+    (kernel : K.kernel) : Support.Diag.t list =
   let m = kernel.K.build directives in
-  let config =
-    match adaptor_config with
-    | Some c -> { c with Adaptor.strict = false }
+  let pipeline =
+    match pipeline with
+    | Some p -> Adaptor.Pipeline.relaxed p
     | None ->
-        {
-          Adaptor.default_config with
-          Adaptor.strict = false;
-          top = Some kernel.K.kname;
-        }
+        Adaptor.Pipeline.(
+          default |> with_top (Some kernel.K.kname) |> relaxed)
   in
-  let lm, _, _ = direct_ir_frontend ~adaptor_config:config m in
-  Hls_backend.Lint.run ?only ~werror ~top:kernel.K.kname lm
+  match direct_ir_frontend ~pipeline m with
+  | Ok (lm, _, _) -> Hls_backend.Lint.run ?only ~werror ~top:kernel.K.kname lm
+  | Error ds -> ds (* unreachable: the pipeline is non-strict *)
 
 (** Flow B front-end: mhir to HLS-ready LLVM IR through C++ text. *)
-let hls_cpp_frontend (m : Mhir.Ir.modul) : Llvmir.Lmodule.t * string * float =
+let hls_cpp_frontend ?(trace = Support.Tracing.null) (m : Mhir.Ir.modul) :
+    Llvmir.Lmodule.t * string * float =
   let t0 = Sys.time () in
   Mhir.Verifier.verify_module m;
   let m = Mhir.Canonicalize.run m in
+  let te0 = Sys.time () in
   let cpp = Hlscpp.Emit.emit_module m in
   let lm = Hlscpp.Ccodegen.compile cpp in
   Llvmir.Lverifier.verify_module lm;
-  let lm = llvm_cleanup lm in
+  trace
+    (Support.Tracing.event ~stage:"hls-cpp" ~pass:"emit-and-parse"
+       ~seconds:(Sys.time () -. te0) ~before:0
+       ~after:(Llvmir.Lmodule.instr_count lm));
+  let lm = llvm_cleanup ~trace lm in
   (lm, cpp, Sys.time () -. t0)
 
-(** Run one flow on a kernel and synthesize. *)
-let run ?(directives = K.pipelined) ?adaptor_config ?clock_ns
-    (kernel : K.kernel) (kind : flow_kind) : result =
+(** Run one flow on a kernel and synthesize.  [Error diagnostics] when
+    the strict adaptor gate blocks (direct-IR flow only). *)
+let run ?(directives = K.pipelined) ?pipeline ?clock_ns
+    ?(trace = Support.Tracing.null) (kernel : K.kernel) (kind : flow_kind) :
+    (result, Support.Diag.t list) Stdlib.result =
   let m = kernel.K.build directives in
+  let synthesize lm =
+    let t0 = Sys.time () in
+    let hls = Hls_backend.Estimate.synthesize ?clock_ns ~top:kernel.K.kname lm in
+    let n = Llvmir.Lmodule.instr_count lm in
+    trace
+      (Support.Tracing.event ~stage:"hls" ~pass:"estimate"
+         ~seconds:(Sys.time () -. t0) ~before:n ~after:n);
+    hls
+  in
   match kind with
-  | Direct_ir ->
-      let lm, report, seconds = direct_ir_frontend ?adaptor_config m in
-      let hls =
-        Hls_backend.Estimate.synthesize ?clock_ns ~top:kernel.K.kname lm
-      in
-      {
-        kernel = kernel.K.kname;
-        kind;
-        llvm = lm;
-        hls;
-        seconds;
-        cpp_source = None;
-        adaptor_report = Some report;
-      }
+  | Direct_ir -> (
+      match direct_ir_frontend ?pipeline ~trace m with
+      | Error ds -> Error ds
+      | Ok (lm, report, seconds) ->
+          Ok
+            {
+              kernel = kernel.K.kname;
+              kind;
+              llvm = lm;
+              hls = synthesize lm;
+              seconds;
+              cpp_source = None;
+              adaptor_report = Some report;
+            })
   | Hls_cpp ->
-      let lm, cpp, seconds = hls_cpp_frontend m in
-      let hls =
-        Hls_backend.Estimate.synthesize ?clock_ns ~top:kernel.K.kname lm
-      in
-      {
-        kernel = kernel.K.kname;
-        kind;
-        llvm = lm;
-        hls;
-        seconds;
-        cpp_source = Some cpp;
-        adaptor_report = None;
-      }
+      let lm, cpp, seconds = hls_cpp_frontend ~trace m in
+      Ok
+        {
+          kernel = kernel.K.kname;
+          kind;
+          llvm = lm;
+          hls = synthesize lm;
+          seconds;
+          cpp_source = Some cpp;
+          adaptor_report = None;
+        }
+
+(** Exception-raising convenience for process boundaries: raises
+    {!Support.Diag.Failed} where {!run} returns [Error]. *)
+let run_exn ?directives ?pipeline ?clock_ns ?trace (kernel : K.kernel)
+    (kind : flow_kind) : result =
+  match run ?directives ?pipeline ?clock_ns ?trace kernel kind with
+  | Ok r -> r
+  | Error ds -> raise (Support.Diag.Failed ds)
 
 (* ------------------------------------------------------------------ *)
 (* Co-simulation                                                      *)
@@ -206,7 +249,7 @@ let cosim ?(directives = K.pipelined) (kernel : K.kernel) : cosim_outcome =
   let reference = run_reference kernel in
   let mhir_out = run_mhir kernel ~directives in
   let m = kernel.K.build directives in
-  let direct, _, _ = direct_ir_frontend m in
+  let direct, _, _ = direct_ir_frontend_exn m in
   let cpp, _, _ = hls_cpp_frontend m in
   let direct_out = run_llvm kernel direct in
   let cpp_out = run_llvm kernel cpp in
@@ -235,8 +278,8 @@ let compare_flows ?(directives = K.pipelined) ?clock_ns (kernel : K.kernel) :
     comparison =
   {
     c_kernel = kernel.K.kname;
-    direct = run ~directives ?clock_ns kernel Direct_ir;
-    cpp = run ~directives ?clock_ns kernel Hls_cpp;
+    direct = run_exn ~directives ?clock_ns kernel Direct_ir;
+    cpp = run_exn ~directives ?clock_ns kernel Hls_cpp;
   }
 
 let latency_ratio (c : comparison) =

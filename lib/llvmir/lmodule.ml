@@ -73,6 +73,14 @@ let replace_func m f =
 
 let map_funcs fn m = { m with funcs = List.map fn m.funcs }
 
+(** Total instruction count — the "IR size" metric pass tracing
+    reports deltas of. *)
+let instr_count (m : t) : int =
+  List.fold_left
+    (fun acc f ->
+      List.fold_left (fun acc b -> acc + List.length b.insts) acc f.blocks)
+    0 m.funcs
+
 (* ------------------------------------------------------------------ *)
 (* Traversal / rewriting                                              *)
 (* ------------------------------------------------------------------ *)

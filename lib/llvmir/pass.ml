@@ -21,18 +21,24 @@ type timing = { pass_name : string; seconds : float }
 
 (** Run a pipeline.  With [~verify:true] (default) the module is
     verified after every pass so a miscompiling pass is caught at its
-    source.  Returns the transformed module and per-pass timings. *)
-let run_pipeline ?(verify = true) (passes : pass list) (m : Lmodule.t) :
-    Lmodule.t * timing list =
+    source.  [?trace] receives one {!Support.Tracing.event} per pass
+    (stage ["llvm-opt"]).  Returns the transformed module and per-pass
+    timings. *)
+let run_pipeline ?(verify = true) ?(trace = Support.Tracing.null)
+    (passes : pass list) (m : Lmodule.t) : Lmodule.t * timing list =
   let timings = ref [] in
   let m =
     List.fold_left
       (fun m p ->
+        let before = Lmodule.instr_count m in
         let t0 = Sys.time () in
         let m' = p.run m in
         let t1 = Sys.time () in
         timings := { pass_name = p.name; seconds = t1 -. t0 } :: !timings;
         if verify then Lverifier.verify_module m';
+        trace
+          (Support.Tracing.event ~stage:"llvm-opt" ~pass:p.name
+             ~seconds:(t1 -. t0) ~before ~after:(Lmodule.instr_count m'));
         m')
       m passes
   in

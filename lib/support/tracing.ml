@@ -1,0 +1,51 @@
+(** Pass-level tracing hook — the observability seam of the compiler.
+
+    Every staged driver ({!Llvmir.Pass.run_pipeline}, [Adaptor.run],
+    the flows) can be handed a [hook]; after each pass it reports one
+    {!event} carrying the pass identity, its wall time and the IR-size
+    delta it caused.  The hook is deliberately dumb — a plain callback
+    over a record of scalars — so this module needs no IR knowledge and
+    every layer of the stack can depend on it.  The batch driver
+    ([Mhls_driver.Trace]) aggregates events into JSON traces and
+    summary tables. *)
+
+type event = {
+  ev_stage : string;
+      (** coarse phase: ["mhir"], ["lower"], ["llvm-opt"], ["adaptor"],
+          ["hls"], ... *)
+  ev_pass : string;  (** pass name within the stage *)
+  ev_seconds : float;  (** time spent in the pass *)
+  ev_instrs_before : int;  (** IR size (instruction count) entering *)
+  ev_instrs_after : int;  (** IR size leaving — delta = effect *)
+}
+
+type hook = event -> unit
+
+(** The no-op hook: tracing disabled. *)
+let null : hook = fun _ -> ()
+
+let event ~stage ~pass ~seconds ~before ~after : event =
+  {
+    ev_stage = stage;
+    ev_pass = pass;
+    ev_seconds = seconds;
+    ev_instrs_before = before;
+    ev_instrs_after = after;
+  }
+
+(** An accumulating hook: [collector ()] returns the hook and a
+    function reading back everything recorded so far, in order. *)
+let collector () : hook * (unit -> event list) =
+  let events = ref [] in
+  ((fun e -> events := e :: !events), fun () -> List.rev !events)
+
+(** [timed hook ~stage ~pass ~size f x] runs [f x], reporting one event
+    to [hook] with [size] evaluated on input and output. *)
+let timed (hook : hook) ~stage ~pass ~(size : 'a -> int) (f : 'a -> 'a)
+    (x : 'a) : 'a =
+  let before = size x in
+  let t0 = Sys.time () in
+  let y = f x in
+  let seconds = Sys.time () -. t0 in
+  hook (event ~stage ~pass ~seconds ~before ~after:(size y));
+  y

@@ -338,7 +338,7 @@ let test_full_adaptor_on_all_kernels () =
       Alcotest.(check bool)
         (k.Workloads.Kernels.kname ^ " has issues before")
         true (before <> []);
-      let lm', report = A.run lm in
+      let lm', report = A.run_exn lm in
       Alcotest.(check int)
         (k.Workloads.Kernels.kname ^ " has no issues after")
         0
@@ -355,7 +355,7 @@ let test_adaptor_differential_all_kernels () =
       let m = k.Workloads.Kernels.build Workloads.Kernels.pipelined in
       let lm = Lowering.Lower.lower_module m in
       let lm_opt = fst (Pass.run_pipeline Pass.default_pipeline lm) in
-      let lm', _ = A.run lm_opt in
+      let lm', _ = A.run_exn lm_opt in
       let out1 = Flow.run_llvm k lm_opt in
       let out2 = Flow.run_llvm k lm' in
       List.iteri
@@ -377,8 +377,8 @@ let test_strict_mode_rejects_incomplete () =
     { A.default_config with A.eliminate_descriptors = false; A.strict = true }
   in
   match A.run ~config m with
-  | _ -> Alcotest.fail "strict + incomplete must raise"
-  | exception Support.Diag.Failed ds ->
+  | Ok _ -> Alcotest.fail "strict + incomplete must fail"
+  | Error ds ->
       Alcotest.(check bool) "carries all findings" true (List.length ds > 1);
       Alcotest.(check bool) "has error severity" true (Support.Diag.errors ds > 0)
 

@@ -61,7 +61,7 @@ let test_comparable_performance () =
     (K.all ())
 
 let test_adaptor_report_attached () =
-  let r = Flow.run (K.gemm ()) Flow.Direct_ir in
+  let r = Flow.run_exn (K.gemm ()) Flow.Direct_ir in
   match r.Flow.adaptor_report with
   | Some rep ->
       Alcotest.(check bool) "issues found before" true
@@ -70,7 +70,7 @@ let test_adaptor_report_attached () =
   | None -> Alcotest.fail "direct flow must carry an adaptor report"
 
 let test_cpp_source_attached () =
-  let r = Flow.run (K.gemm ()) Flow.Hls_cpp in
+  let r = Flow.run_exn (K.gemm ()) Flow.Hls_cpp in
   match r.Flow.cpp_source with
   | Some src -> Alcotest.(check bool) "has C++ text" true (Str_find.contains src "void gemm")
   | None -> Alcotest.fail "cpp flow must carry its source"
@@ -82,7 +82,7 @@ let test_partition_sweep_monotonic () =
     List.map
       (fun factor ->
         let d = K.optimized ~factor ~parts:[ ("A", 2); ("B", 1) ] () in
-        let r = Flow.run ~directives:d (K.gemm ()) Flow.Direct_ir in
+        let r = Flow.run_exn ~directives:d (K.gemm ()) Flow.Direct_ir in
         r.Flow.hls.E.latency)
       [ 1; 2; 4; 8 ]
   in
@@ -99,7 +99,7 @@ let test_flat_ablation_ignores_partitioning () =
     let d = K.optimized ~factor ~parts:[ ("A", 2); ("B", 1) ] () in
     let m = (K.gemm ()).K.build d in
     let lm, _, _ =
-      Flow.direct_ir_frontend ~adaptor_config:Adaptor.flat_views m
+      Flow.direct_ir_frontend_exn ~pipeline:Adaptor.Pipeline.flat_views m
     in
     (E.synthesize ~top:"gemm" lm).E.latency
   in
@@ -107,9 +107,9 @@ let test_flat_ablation_ignores_partitioning () =
 
 let test_adaptor_beats_flat_ablation () =
   let d = K.optimized ~factor:8 ~parts:[ ("A", 2); ("B", 1) ] () in
-  let full = Flow.run ~directives:d (K.gemm ()) Flow.Direct_ir in
+  let full = Flow.run_exn ~directives:d (K.gemm ()) Flow.Direct_ir in
   let m = (K.gemm ()).K.build d in
-  let lm, _, _ = Flow.direct_ir_frontend ~adaptor_config:Adaptor.flat_views m in
+  let lm, _, _ = Flow.direct_ir_frontend_exn ~pipeline:Adaptor.Pipeline.flat_views m in
   let flat = E.synthesize ~top:"gemm" lm in
   Alcotest.(check bool) "delinearization pays off" true
     (full.Flow.hls.E.latency * 2 < flat.E.latency)
@@ -117,8 +117,8 @@ let test_adaptor_beats_flat_ablation () =
 let test_no_descriptor_ablation_rejected () =
   let m = (K.gemm ()).K.build K.pipelined in
   let lm, _, _ =
-    Flow.direct_ir_frontend
-      ~adaptor_config:Adaptor.no_descriptor_elimination m
+    Flow.direct_ir_frontend_exn
+      ~pipeline:Adaptor.Pipeline.no_descriptor_elimination m
   in
   Alcotest.(check bool) "descriptor IR rejected by the tool" true
     (try

@@ -153,18 +153,21 @@ let test_adaptor_complete_list () =
   (* without descriptor elimination the output keeps descriptors and
      opaque pointers: non-strict run accumulates them in the report *)
   let _, report, _ =
-    Flow.direct_ir_frontend
-      ~adaptor_config:Adaptor.no_descriptor_elimination m
+    Flow.direct_ir_frontend_exn
+      ~pipeline:Adaptor.Pipeline.no_descriptor_elimination m
   in
   let n = List.length report.Adaptor.diagnostics in
   Alcotest.(check bool) "multiple diagnostics accumulated" true (n > 1);
   (* strict run raises with the same complete list, not just the head *)
-  let config =
-    { Adaptor.no_descriptor_elimination with Adaptor.strict = true }
+  let strict_p =
+    {
+      Adaptor.Pipeline.no_descriptor_elimination with
+      Adaptor.Pipeline.strict = true;
+    }
   in
-  match Flow.direct_ir_frontend ~adaptor_config:config m with
-  | _ -> Alcotest.fail "strict adaptor should have raised"
-  | exception Diag.Failed ds ->
+  match Flow.direct_ir_frontend ~pipeline:strict_p m with
+  | Ok _ -> Alcotest.fail "strict adaptor should have failed"
+  | Error ds ->
       Alcotest.(check int) "complete accumulated list" n (List.length ds);
       Alcotest.(check bool) "only error severities block" true
         (Diag.errors ds > 0)

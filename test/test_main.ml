@@ -26,5 +26,6 @@ let () =
       ("lint", Test_lint.suite);
       ("random", Test_random.suite);
       ("dse", Test_dse.suite);
+      ("driver", Test_driver.suite);
       ("misc", Test_misc.suite);
     ]

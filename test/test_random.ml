@@ -207,7 +207,7 @@ let prop_all_stages_agree =
       Llvmir.Lverifier.verify_module lowered;
       let opt = fst (Llvmir.Pass.run_pipeline Llvmir.Pass.default_pipeline lowered) in
       (* adaptor *)
-      let adapted, _ = Adaptor.run opt in
+      let adapted, _ = Adaptor.run_exn opt in
       (* C++ round-trip *)
       let cpp = Hlscpp.Emit.emit_module (Canonicalize.run m) in
       let cpp_ir = Hlscpp.Ccodegen.compile cpp in
@@ -232,7 +232,7 @@ let prop_adapted_always_legal =
       let m = build_module rk in
       let lowered = Lowering.Lower.lower_module (Canonicalize.run m) in
       let opt = fst (Llvmir.Pass.run_pipeline Llvmir.Pass.default_pipeline lowered) in
-      let adapted, _ = Adaptor.run opt in
+      let adapted, _ = Adaptor.run_exn opt in
       Hls_backend.Adaptor_markers.legality_errors adapted = [])
 
 let prop_synthesis_total =
@@ -241,7 +241,7 @@ let prop_synthesis_total =
       let m = build_module rk in
       let lowered = Lowering.Lower.lower_module (Canonicalize.run m) in
       let opt = fst (Llvmir.Pass.run_pipeline Llvmir.Pass.default_pipeline lowered) in
-      let adapted, _ = Adaptor.run opt in
+      let adapted, _ = Adaptor.run_exn opt in
       let r = Hls_backend.Estimate.synthesize ~top:"rnd" adapted in
       r.Hls_backend.Estimate.latency > 0)
 
