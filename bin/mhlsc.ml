@@ -552,6 +552,64 @@ let batch_cmd =
           $ disable_pass_arg)
 
 (* ------------------------------------------------------------------ *)
+(* fuzz                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let module F = Mhls_difftest.Difftest in
+  let run seed count stages shrink repro_dir jobs =
+    let stages =
+      List.map
+        (fun s ->
+          match F.stage_of_name s with
+          | Some st -> st
+          | None ->
+              Printf.eprintf
+                "fuzz: unknown stage %S (expected lower, adapted or cpp)\n" s;
+              exit 2)
+        stages
+    in
+    let repro_dir = if repro_dir = "" then None else Some repro_dir in
+    let r = F.run_batch ~stages ~shrink ?repro_dir ~jobs ~seed ~count () in
+    print_string (F.render r);
+    exit (if r.F.r_failures = [] then 0 else 1)
+  in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"N" ~doc:"Base seed for the run.")
+  in
+  let count =
+    Arg.(value & opt int 200
+         & info [ "count" ] ~docv:"N" ~doc:"Number of random kernels to test.")
+  in
+  let stages =
+    let doc =
+      "Stages to check against the mhir reference interpreter, \
+       repeatable: $(b,lower) (modern LLVM lowering + cleanup), \
+       $(b,adapted) (full direct-IR front-end incl. the adaptor) or \
+       $(b,cpp) (HLS-C++ emission re-parsed by the mini-C front-end)."
+    in
+    Arg.(value & opt_all string [ "lower"; "adapted"; "cpp" ]
+         & info [ "stages" ] ~docv:"STAGE" ~doc)
+  in
+  let shrink =
+    Arg.(value & opt bool true
+         & info [ "shrink" ] ~docv:"BOOL"
+             ~doc:"Minimize mismatching kernels before reporting.")
+  in
+  let repro_dir =
+    Arg.(value & opt string ""
+         & info [ "repro-dir" ] ~docv:"DIR"
+             ~doc:"Write a self-contained .mlir repro per mismatch into DIR.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential testing: run random well-typed kernels through \
+             every flow stage on identical inputs and cross-check the \
+             results bit-for-bit against the mhir interpreter.")
+    Term.(const run $ seed $ count $ stages $ shrink $ repro_dir $ jobs_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "MLIR HLS adaptor for LLVM IR — reference implementation" in
@@ -560,4 +618,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; emit_cmd; synth_cmd; compare_cmd; cosim_cmd; adapt_cmd;
-            lint_cmd; synth_mlir_cmd; dse_cmd; batch_cmd ]))
+            lint_cmd; synth_mlir_cmd; dse_cmd; batch_cmd; fuzz_cmd ]))

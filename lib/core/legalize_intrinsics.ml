@@ -35,21 +35,22 @@ let run_func ?(stats = fresh_stats ()) (f : Lmodule.func) : Lmodule.func =
         match args with
         | [ a; b ]
           when starts_with "llvm.smax." callee
-               || starts_with "llvm.umax." callee ->
-            stats.minmax <- stats.minmax + 1;
-            let c = Support.Namegen.fresh names (i.result ^ ".cmp") in
-            [
-              mk ~result:c ~ty:Ltype.I1 (Icmp (ISgt, a, b));
-              mk ~result:i.result ~ty:ret
-                (Select (Lvalue.Reg (c, Ltype.I1), a, b));
-            ]
-        | [ a; b ]
-          when starts_with "llvm.smin." callee
+               || starts_with "llvm.umax." callee
+               || starts_with "llvm.smin." callee
                || starts_with "llvm.umin." callee ->
+            (* unsigned variants must compare unsigned: lowering umax
+               through sgt miscompares once an operand's sign bit is
+               set *)
+            let pred =
+              if starts_with "llvm.smax." callee then ISgt
+              else if starts_with "llvm.umax." callee then IUgt
+              else if starts_with "llvm.smin." callee then ISlt
+              else IUlt
+            in
             stats.minmax <- stats.minmax + 1;
             let c = Support.Namegen.fresh names (i.result ^ ".cmp") in
             [
-              mk ~result:c ~ty:Ltype.I1 (Icmp (ISlt, a, b));
+              mk ~result:c ~ty:Ltype.I1 (Icmp (pred, a, b));
               mk ~result:i.result ~ty:ret
                 (Select (Lvalue.Reg (c, Ltype.I1), a, b));
             ]

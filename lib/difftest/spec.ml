@@ -1,0 +1,437 @@
+(** Random-kernel specifications for the differential tester.
+
+    A [t] is a small, closed description of a well-typed mhir kernel:
+    a 2-level affine loop nest over [dim x dim] memrefs that stores one
+    integer expression and one float expression per element, optionally
+    carries an integer reduction through the nest, and optionally calls
+    a one-op helper function.  [build] turns a spec into a real
+    {!Mhir.Ir.modul}; [generate] draws one from an {!Rng} stream;
+    [shrink] enumerates strictly simpler candidate specs for repro
+    minimization.
+
+    Design rules that keep every spec executable at every stage:
+    - all integer expressions are [i32]; C's [int] is the same width,
+      so the HLS-C++ round trip preserves types exactly;
+    - division-like ops guard the divisor with
+      [select (divisor == 0), 1, divisor] {e in the IR itself}, so all
+      stages see the same guarded program — shifts are deliberately
+      unguarded because their out-of-range behavior is defined (and is
+      exactly what this harness exists to cross-check);
+    - float constants are dyadic ([k/16]) so they round-trip through
+      decimal C++ literals bit-exactly, and float division only ever
+      sees non-zero constant divisors. *)
+
+module B = Mhir.Builder
+module T = Mhir.Types
+
+type ibin =
+  | IAdd | ISub | IMul
+  | IDivS | IRemS | IDivU | IRemU | IFloorDiv
+  | IAnd | IOr | IXor
+  | IShl | IShrS | IShrU
+  | IMaxS | IMinS | IMaxU | IMinU
+
+type icmp = CEq | CNe | CSlt | CSle | CSgt | CSge | CUlt | CUle | CUgt | CUge
+type fbin = FbAdd | FbSub | FbMul | FbDiv | FbMax | FbMin
+
+type iexpr =
+  | IConst of int
+  | IArg  (** the scalar [n] kernel argument *)
+  | ILoad of bool  (** [a0\[i\]\[j\]], or [a0\[j\]\[i\]] when [true] *)
+  | IIdx of int  (** loop induction variable 0 or 1, cast to i32 *)
+  | IBin of ibin * iexpr * iexpr
+  | ISel of icmp * iexpr * iexpr * iexpr * iexpr
+      (** [select (cmpi p x y), a, b] *)
+  | ICall of iexpr * iexpr  (** call of the helper function *)
+
+type fexpr =
+  | FConst of float
+  | FLoad of bool
+  | FBin of fbin * fexpr * fexpr
+  | FSel of icmp * iexpr * iexpr * fexpr * fexpr
+  | FFromInt of iexpr
+
+type t = {
+  dim : int;  (** memref side length, 1..4 *)
+  istore : iexpr;  (** stored to [a1\[i\]\[j\]] *)
+  fstore : fexpr;  (** stored to [f1\[i\]\[j\]] *)
+  ired : (ibin * iexpr) option;  (** reduction carried through the nest *)
+  helper : ibin option;  (** body of the [helper] function, if present *)
+}
+
+let max_dim = 4
+
+(* ------------------------------------------------------------------ *)
+(* Size (shrinking metric)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec isize = function
+  | IConst _ | IArg | ILoad _ | IIdx _ -> 1
+  | IBin (_, a, b) | ICall (a, b) -> 1 + isize a + isize b
+  | ISel (_, x, y, a, b) -> 1 + isize x + isize y + isize a + isize b
+
+let rec fsize = function
+  | FConst _ | FLoad _ -> 1
+  | FBin (_, a, b) -> 1 + fsize a + fsize b
+  | FFromInt e -> 1 + isize e
+  | FSel (_, x, y, a, b) -> 1 + isize x + isize y + fsize a + fsize b
+
+let size s =
+  s.dim + isize s.istore + fsize s.fstore
+  + (match s.ired with Some (_, e) -> 1 + isize e | None -> 0)
+  + (match s.helper with Some _ -> 1 | None -> 0)
+
+(* ------------------------------------------------------------------ *)
+(* Building the module                                                *)
+(* ------------------------------------------------------------------ *)
+
+let is_div = function
+  | IDivS | IRemS | IDivU | IRemU | IFloorDiv -> true
+  | _ -> false
+
+let ibin_build b op x y =
+  match op with
+  | IAdd -> B.addi b x y
+  | ISub -> B.subi b x y
+  | IMul -> B.muli b x y
+  | IDivS -> B.divsi b x y
+  | IRemS -> B.remsi b x y
+  | IDivU -> B.divui b x y
+  | IRemU -> B.remui b x y
+  | IFloorDiv -> B.floordivsi b x y
+  | IAnd -> B.andi b x y
+  | IOr -> B.ori b x y
+  | IXor -> B.xori b x y
+  | IShl -> B.shli b x y
+  | IShrS -> B.shrsi b x y
+  | IShrU -> B.shrui b x y
+  | IMaxS -> B.maxsi b x y
+  | IMinS -> B.minsi b x y
+  | IMaxU -> B.maxui b x y
+  | IMinU -> B.minui b x y
+
+(** [select (v == 0), 1, v] — the in-IR divisor guard. *)
+let nonzero b v =
+  let zero = B.constant_i b ~ty:T.I32 0 in
+  let one = B.constant_i b ~ty:T.I32 1 in
+  let is0 = B.cmpi b B.Eq v zero in
+  B.select b is0 one v
+
+let ibin_guarded b op x y =
+  if is_div op then ibin_build b op x (nonzero b y) else ibin_build b op x y
+
+let fbin_build b op x y =
+  match op with
+  | FbAdd -> B.addf b x y
+  | FbSub -> B.subf b x y
+  | FbMul -> B.mulf b x y
+  | FbDiv -> B.divf b x y
+  | FbMax -> B.maxf b x y
+  | FbMin -> B.minf b x y
+
+let bpred = function
+  | CEq -> B.Eq
+  | CNe -> B.Ne
+  | CSlt -> B.Slt
+  | CSle -> B.Sle
+  | CSgt -> B.Sgt
+  | CSge -> B.Sge
+  | CUlt -> B.Ult
+  | CUle -> B.Ule
+  | CUgt -> B.Ugt
+  | CUge -> B.Uge
+
+type env = {
+  a0 : Mhir.Ir.value;
+  f0 : Mhir.Ir.value;
+  n : Mhir.Ir.value;
+  i : Mhir.Ir.value;
+  j : Mhir.Ir.value;
+}
+
+let rec gen_i b env = function
+  | IConst c -> B.constant_i b ~ty:T.I32 c
+  | IArg -> env.n
+  | ILoad swap ->
+      let idxs = if swap then [ env.j; env.i ] else [ env.i; env.j ] in
+      B.load b env.a0 idxs
+  | IIdx d -> B.index_cast b (if d = 0 then env.i else env.j) T.I32
+  | IBin (op, x, y) -> ibin_guarded b op (gen_i b env x) (gen_i b env y)
+  | ISel (p, x, y, a, c) ->
+      let cond = B.cmpi b (bpred p) (gen_i b env x) (gen_i b env y) in
+      B.select b cond (gen_i b env a) (gen_i b env c)
+  | ICall (x, y) -> (
+      match B.call b "helper" ~ret_tys:[ T.I32 ] [ gen_i b env x; gen_i b env y ]
+      with
+      | [ v ] -> v
+      | _ -> assert false)
+
+let rec gen_f b env = function
+  | FConst f -> B.constant_f b ~ty:T.F32 f
+  | FLoad swap ->
+      let idxs = if swap then [ env.j; env.i ] else [ env.i; env.j ] in
+      B.load b env.f0 idxs
+  | FBin (op, x, y) -> fbin_build b op (gen_f b env x) (gen_f b env y)
+  | FSel (p, x, y, a, c) ->
+      let cond = B.cmpi b (bpred p) (gen_i b env x) (gen_i b env y) in
+      B.select b cond (gen_f b env a) (gen_f b env c)
+  | FFromInt e -> B.sitofp b (gen_i b env e) T.F32
+
+(** Materialize the spec as a verified-shape mhir module with a
+    [kernel(a0, a1, f0, f1, n) -> i32] function (and possibly a
+    [helper]).  [a0]/[f0] are inputs, [a1]/[f1] outputs. *)
+let build (s : t) : Mhir.Ir.modul =
+  let b = B.create () in
+  let helper_fns =
+    match s.helper with
+    | None -> []
+    | Some op ->
+        [
+          B.func b "helper"
+            ~args:[ ("x", T.I32); ("y", T.I32) ]
+            ~ret_tys:[ T.I32 ]
+            (fun b args ->
+              match args with
+              | [ x; y ] -> B.ret b [ ibin_guarded b op x y ]
+              | _ -> assert false);
+        ]
+  in
+  let imem = T.Memref ([ s.dim; s.dim ], T.I32) in
+  let fmem = T.Memref ([ s.dim; s.dim ], T.F32) in
+  let kernel =
+    B.func b "kernel"
+      ~args:
+        [ ("a0", imem); ("a1", imem); ("f0", fmem); ("f1", fmem); ("n", T.I32) ]
+      ~ret_tys:[ T.I32 ]
+      (fun b args ->
+        match args with
+        | [ a0; a1; f0; f1; n ] ->
+            let init = B.constant_i b ~ty:T.I32 0 in
+            let iters = match s.ired with Some _ -> [ init ] | None -> [] in
+            let outer =
+              B.affine_for b ~lb:0 ~ub:s.dim ~iters (fun b i outer_accs ->
+                  B.affine_for b ~lb:0 ~ub:s.dim ~iters:outer_accs
+                    (fun b j accs ->
+                      let env = { a0; f0; n; i; j } in
+                      let vi = gen_i b env s.istore in
+                      B.store b vi a1 [ i; j ];
+                      let vf = gen_f b env s.fstore in
+                      B.store b vf f1 [ i; j ];
+                      match (s.ired, accs) with
+                      | Some (op, e), [ acc ] ->
+                          [ ibin_build b op acc (gen_i b env e) ]
+                      | None, [] -> []
+                      | _ -> assert false))
+            in
+            let ret =
+              match outer with
+              | [ v ] -> v
+              | _ -> B.constant_i b ~ty:T.I32 0
+            in
+            B.ret b [ ret ]
+        | _ -> assert false)
+  in
+  { Mhir.Ir.funcs = helper_fns @ [ kernel ] }
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Boundary-heavy constant pool (pre-normalized i32). *)
+let interesting =
+  [| 0; 1; -1; 2; 7; 31; 32; 33; 0x7FFFFFFF; -0x80000000; 200; -3; 1000000007 |]
+
+let all_ibin =
+  [|
+    IAdd; ISub; IMul; IDivS; IRemS; IDivU; IRemU; IFloorDiv; IAnd; IOr; IXor;
+    IShl; IShrS; IShrU; IMaxS; IMinS; IMaxU; IMinU;
+  |]
+
+(** Reduction ops: associative-enough and division-free, so the carried
+    accumulator never needs a guard. *)
+let red_ibin = [| IAdd; ISub; IMul; IAnd; IOr; IXor; IMaxS; IMinS; IMaxU; IMinU |]
+
+let all_icmp = [| CEq; CNe; CSlt; CSle; CSgt; CSge; CUlt; CUle; CUgt; CUge |]
+let all_fbin = [| FbAdd; FbSub; FbMul; FbDiv; FbMax; FbMin |]
+
+let gen_iconst rng =
+  IConst (Support.Int_sem.norm ~width:32 (Rng.pick rng interesting))
+
+(** Dyadic float [k/16], exactly representable and round-trippable
+    through the C++ printer's decimal literals. *)
+let dyadic rng = float_of_int (Rng.int rng 129 - 64) /. 16.0
+
+let dyadic_nz rng =
+  let k = 1 + Rng.int rng 64 in
+  let k = if Rng.bool rng then k else -k in
+  float_of_int k /. 16.0
+
+let rec gen_iexpr rng ~helper depth =
+  if depth = 0 || Rng.int rng 4 = 0 then
+    match Rng.int rng 4 with
+    | 0 -> gen_iconst rng
+    | 1 -> IArg
+    | 2 -> ILoad (Rng.bool rng)
+    | _ -> IIdx (Rng.int rng 2)
+  else
+    match Rng.int rng (if helper then 4 else 3) with
+    | 0 | 1 ->
+        IBin
+          ( Rng.pick rng all_ibin,
+            gen_iexpr rng ~helper (depth - 1),
+            gen_iexpr rng ~helper (depth - 1) )
+    | 2 ->
+        ISel
+          ( Rng.pick rng all_icmp,
+            gen_iexpr rng ~helper (depth - 1),
+            gen_iexpr rng ~helper (depth - 1),
+            gen_iexpr rng ~helper (depth - 1),
+            gen_iexpr rng ~helper (depth - 1) )
+    | _ ->
+        ICall (gen_iexpr rng ~helper (depth - 1), gen_iexpr rng ~helper (depth - 1))
+
+let rec gen_fexpr rng ~helper depth =
+  if depth = 0 || Rng.int rng 4 = 0 then
+    if Rng.bool rng then FConst (dyadic rng) else FLoad (Rng.bool rng)
+  else
+    match Rng.int rng 4 with
+    | 0 | 1 ->
+        let op = Rng.pick rng all_fbin in
+        if op = FbDiv then
+          FBin (FbDiv, gen_fexpr rng ~helper (depth - 1), FConst (dyadic_nz rng))
+        else
+          FBin
+            ( op,
+              gen_fexpr rng ~helper (depth - 1),
+              gen_fexpr rng ~helper (depth - 1) )
+    | 2 ->
+        FSel
+          ( Rng.pick rng all_icmp,
+            gen_iexpr rng ~helper (depth - 1),
+            gen_iexpr rng ~helper (depth - 1),
+            gen_fexpr rng ~helper (depth - 1),
+            gen_fexpr rng ~helper (depth - 1) )
+    | _ -> FFromInt (gen_iexpr rng ~helper (depth - 1))
+
+let generate rng : t =
+  let helper = if Rng.bool rng then Some (Rng.pick rng all_ibin) else None in
+  let has_h = helper <> None in
+  let dim = 2 + Rng.int rng (max_dim - 1) in
+  let istore = gen_iexpr rng ~helper:has_h 3 in
+  let fstore = gen_fexpr rng ~helper:has_h 3 in
+  let ired =
+    if Rng.bool rng then
+      Some (Rng.pick rng red_ibin, gen_iexpr rng ~helper:has_h 2)
+    else None
+  in
+  { dim; istore; fstore; ired; helper }
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec inline_calls op = function
+  | (IConst _ | IArg | ILoad _ | IIdx _) as e -> e
+  | IBin (o, a, b) -> IBin (o, inline_calls op a, inline_calls op b)
+  | ISel (p, x, y, a, b) ->
+      ISel
+        ( p,
+          inline_calls op x,
+          inline_calls op y,
+          inline_calls op a,
+          inline_calls op b )
+  | ICall (a, b) -> IBin (op, inline_calls op a, inline_calls op b)
+
+let rec inline_calls_f op = function
+  | (FConst _ | FLoad _) as e -> e
+  | FBin (o, a, b) -> FBin (o, inline_calls_f op a, inline_calls_f op b)
+  | FSel (p, x, y, a, b) ->
+      FSel
+        ( p,
+          inline_calls op x,
+          inline_calls op y,
+          inline_calls_f op a,
+          inline_calls_f op b )
+  | FFromInt e -> FFromInt (inline_calls op e)
+
+let rec shrink_iexpr = function
+  | IConst 0 -> []
+  | IConst c -> [ IConst 0; IConst (c / 2) ]
+  | IArg | ILoad _ | IIdx _ -> [ IConst 0 ]
+  | IBin (op, a, b) ->
+      [ a; b ]
+      @ List.map (fun a' -> IBin (op, a', b)) (shrink_iexpr a)
+      @ List.map (fun b' -> IBin (op, a, b')) (shrink_iexpr b)
+  | ISel (p, x, y, a, b) ->
+      [ a; b ]
+      @ List.map (fun x' -> ISel (p, x', y, a, b)) (shrink_iexpr x)
+      @ List.map (fun y' -> ISel (p, x, y', a, b)) (shrink_iexpr y)
+      @ List.map (fun a' -> ISel (p, x, y, a', b)) (shrink_iexpr a)
+      @ List.map (fun b' -> ISel (p, x, y, a, b')) (shrink_iexpr b)
+  | ICall (a, b) ->
+      [ a; b ]
+      @ List.map (fun a' -> ICall (a', b)) (shrink_iexpr a)
+      @ List.map (fun b' -> ICall (a, b')) (shrink_iexpr b)
+
+let rec shrink_fexpr = function
+  | FConst f when f = 0.0 -> []
+  | FConst _ -> [ FConst 0.0; FConst 1.0 ]
+  | FLoad _ -> [ FConst 0.0 ]
+  | FBin (op, a, b) ->
+      let keep_nz cands =
+        (* never shrink a divisor to a zero constant *)
+        if op = FbDiv then List.filter (fun e -> e <> FConst 0.0) cands
+        else cands
+      in
+      (keep_nz [ a; b ] |> fun whole -> whole)
+      @ List.map (fun a' -> FBin (op, a', b)) (shrink_fexpr a)
+      @ List.map (fun b' -> FBin (op, a, b')) (keep_nz (shrink_fexpr b))
+  | FSel (p, x, y, a, b) ->
+      [ a; b ]
+      @ List.map (fun x' -> FSel (p, x', y, a, b)) (shrink_iexpr x)
+      @ List.map (fun y' -> FSel (p, x, y', a, b)) (shrink_iexpr y)
+      @ List.map (fun a' -> FSel (p, x, y, a', b)) (shrink_fexpr a)
+      @ List.map (fun b' -> FSel (p, x, y, a, b')) (shrink_fexpr b)
+  | FFromInt e -> FConst 0.0 :: List.map (fun e' -> FFromInt e') (shrink_iexpr e)
+
+(** Strictly simpler candidate specs, most aggressive first.  Every
+    candidate is still well-formed: [ICall] only survives while
+    [helper] is present, and float divisors never become the zero
+    constant. *)
+let shrink (s : t) : t list =
+  let dims =
+    if s.dim > 1 then
+      { s with dim = 1 }
+      :: (if s.dim > 2 then [ { s with dim = s.dim - 1 } ] else [])
+    else []
+  in
+  let red =
+    match s.ired with
+    | None -> []
+    | Some (op, e) ->
+        { s with ired = None }
+        :: List.map (fun e' -> { s with ired = Some (op, e') }) (shrink_iexpr e)
+  in
+  let helper =
+    match s.helper with
+    | None -> []
+    | Some op ->
+        [
+          {
+            s with
+            helper = None;
+            istore = inline_calls op s.istore;
+            fstore = inline_calls_f op s.fstore;
+            ired = Option.map (fun (o, e) -> (o, inline_calls op e)) s.ired;
+          };
+        ]
+  in
+  let ist =
+    (if s.istore <> IConst 0 then [ { s with istore = IConst 0 } ] else [])
+    @ List.map (fun e -> { s with istore = e }) (shrink_iexpr s.istore)
+  in
+  let fst_ =
+    (if s.fstore <> FConst 0.0 then [ { s with fstore = FConst 0.0 } ] else [])
+    @ List.map (fun e -> { s with fstore = e }) (shrink_fexpr s.fstore)
+  in
+  List.filter (fun c -> c <> s) (dims @ red @ helper @ ist @ fst_)

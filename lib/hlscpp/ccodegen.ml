@@ -189,6 +189,65 @@ and gen_expr env (e : expr) : Lvalue.t =
         { Lmodule.dname = "llvm.fabs.f32"; dret = Ltype.Float; dargs = [ Ltype.Float ] };
       B.call env.b ~ret:Ltype.Float "llvm.fabs.f32"
         [ coerce env (gen_expr env a) Ltype.Float ]
+  (* [__mhls_*] helpers printed by the HLS C++ emitter: C has no
+     unsigned locals in this subset, so unsigned ops travel through
+     these named calls and lower back to the LLVM instructions here. *)
+  | Ecall (("__mhls_udiv" | "__mhls_urem" | "__mhls_lshr") as name, [ a; b ])
+    ->
+      let av = gen_expr env a in
+      let bv = gen_expr env b in
+      let ty = common_ty (Lvalue.type_of av) (Lvalue.type_of bv) in
+      let op =
+        match name with
+        | "__mhls_udiv" -> Linstr.UDiv
+        | "__mhls_urem" -> Linstr.URem
+        | _ -> Linstr.LShr
+      in
+      B.ibin env.b op (coerce env av ty) (coerce env bv ty)
+  | Ecall ("__mhls_floordiv", [ a; b ]) ->
+      (* trunc-div plus correction, same expansion the direct lowering
+         uses for arith.floordivsi *)
+      let av = gen_expr env a in
+      let bv = gen_expr env b in
+      let ty = common_ty (Lvalue.type_of av) (Lvalue.type_of bv) in
+      let x = coerce env av ty and y = coerce env bv ty in
+      let q = B.ibin env.b Linstr.SDiv x y in
+      let r = B.ibin env.b Linstr.SRem x y in
+      let rnz = B.icmp env.b Linstr.INe r (Lvalue.ci ~ty 0) in
+      let rneg = B.icmp env.b Linstr.ISlt r (Lvalue.ci ~ty 0) in
+      let yneg = B.icmp env.b Linstr.ISlt y (Lvalue.ci ~ty 0) in
+      let opposite = B.ibin env.b Linstr.Xor rneg yneg in
+      let adjust = B.ibin env.b Linstr.And rnz opposite in
+      let qm1 = B.ibin env.b Linstr.Sub q (Lvalue.ci ~ty 1) in
+      B.select env.b adjust qm1 q
+  | Ecall (("__mhls_umax" | "__mhls_umin") as name, [ a; b ]) ->
+      let av = gen_expr env a in
+      let bv = gen_expr env b in
+      let ty = common_ty (Lvalue.type_of av) (Lvalue.type_of bv) in
+      let suffix =
+        match ty with
+        | Ltype.I64 -> "i64"
+        | _ -> "i32"
+      in
+      let callee =
+        (if name = "__mhls_umax" then "llvm.umax." else "llvm.umin.") ^ suffix
+      in
+      need_decl env { Lmodule.dname = callee; dret = ty; dargs = [ ty; ty ] };
+      B.call env.b ~ret:ty callee [ coerce env av ty; coerce env bv ty ]
+  | Ecall (("__mhls_ult" | "__mhls_ule" | "__mhls_ugt" | "__mhls_uge") as name,
+           [ a; b ]) ->
+      let av = gen_expr env a in
+      let bv = gen_expr env b in
+      let ty = common_ty (Lvalue.type_of av) (Lvalue.type_of bv) in
+      let p =
+        match name with
+        | "__mhls_ult" -> Linstr.IUlt
+        | "__mhls_ule" -> Linstr.IUle
+        | "__mhls_ugt" -> Linstr.IUgt
+        | _ -> Linstr.IUge
+      in
+      let c = B.icmp env.b p (coerce env av ty) (coerce env bv ty) in
+      B.cast env.b Linstr.Zext c Ltype.I32
   | Ecall (name, args) -> (
       (* user-defined function in the same translation unit *)
       match Hashtbl.find_opt env.sigs name with

@@ -75,7 +75,27 @@ and parse_or s =
 
 and parse_and s =
   let rec go lhs =
-    if eat_punct s "&&" then go (Ebin ("&&", lhs, parse_cmp s)) else lhs
+    if eat_punct s "&&" then go (Ebin ("&&", lhs, parse_bitor s)) else lhs
+  in
+  go (parse_bitor s)
+
+(* the lexer's longest-match rule keeps "|" distinct from "||" and
+   "&" from "&&", so single-char bitwise puncts are unambiguous here *)
+and parse_bitor s =
+  let rec go lhs =
+    if eat_punct s "|" then go (Ebin ("|", lhs, parse_bitxor s)) else lhs
+  in
+  go (parse_bitxor s)
+
+and parse_bitxor s =
+  let rec go lhs =
+    if eat_punct s "^" then go (Ebin ("^", lhs, parse_bitand s)) else lhs
+  in
+  go (parse_bitand s)
+
+and parse_bitand s =
+  let rec go lhs =
+    if eat_punct s "&" then go (Ebin ("&", lhs, parse_cmp s)) else lhs
   in
   go (parse_cmp s)
 
@@ -83,6 +103,16 @@ and parse_cmp s =
   let rec go lhs =
     match cur s with
     | Tpunct (("<" | ">" | "<=" | ">=" | "==" | "!=") as op) ->
+        advance s;
+        go (Ebin (op, lhs, parse_shift s))
+    | _ -> lhs
+  in
+  go (parse_shift s)
+
+and parse_shift s =
+  let rec go lhs =
+    match cur s with
+    | Tpunct (("<<" | ">>") as op) ->
         advance s;
         go (Ebin (op, lhs, parse_add s))
     | _ -> lhs

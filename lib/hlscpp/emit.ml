@@ -63,7 +63,10 @@ let float_lit f ty =
   let s =
     if Float.is_integer f && Float.abs f < 1e15 then
       Printf.sprintf "%.1f" f
-    else Printf.sprintf "%.9g" f
+    else
+      (* shortest decimal form that round-trips the exact double *)
+      let s9 = Printf.sprintf "%.9g" f in
+      if float_of_string s9 = f then s9 else Printf.sprintf "%.17g" f
   in
   match ty with Types.F32 -> s ^ "f" | _ -> s
 
@@ -113,6 +116,22 @@ and emit_op ctx (o : Ir.op) : unit =
   | name when List.mem_assoc name binop_table ->
       def (List.hd o.Ir.results)
         (Printf.sprintf "%s %s %s" (n 0) (List.assoc name binop_table) (n 1))
+  (* C has no unsigned-typed locals in this dialect, so unsigned ops and
+     floor division print as [__mhls_*] helper calls that the mini-C
+     front-end ({!Ccodegen}) recognizes and lowers back to the right
+     LLVM instructions. *)
+  | "arith.divui" | "arith.remui" | "arith.shrui" | "arith.floordivsi"
+  | "arith.maxui" | "arith.minui" ->
+      let helper =
+        match o.Ir.name with
+        | "arith.divui" -> "__mhls_udiv"
+        | "arith.remui" -> "__mhls_urem"
+        | "arith.shrui" -> "__mhls_lshr"
+        | "arith.floordivsi" -> "__mhls_floordiv"
+        | "arith.maxui" -> "__mhls_umax"
+        | _ -> "__mhls_umin"
+      in
+      def (List.hd o.Ir.results) (Printf.sprintf "%s(%s, %s)" helper (n 0) (n 1))
   | "arith.negf" -> def (List.hd o.Ir.results) (Printf.sprintf "-%s" (n 0))
   | "arith.maxsi" | "arith.maximumf" ->
       def (List.hd o.Ir.results)
@@ -120,10 +139,17 @@ and emit_op ctx (o : Ir.op) : unit =
   | "arith.minsi" | "arith.minimumf" ->
       def (List.hd o.Ir.results)
         (Printf.sprintf "%s < %s ? %s : %s" (n 0) (n 1) (n 0) (n 1))
-  | "arith.cmpi" | "arith.cmpf" ->
+  | "arith.cmpi" | "arith.cmpf" -> (
       let p = Attr.as_str (Attr.find_exn o.Ir.attrs "predicate") in
-      def (List.hd o.Ir.results)
-        (Printf.sprintf "%s %s %s" (n 0) (List.assoc p cmp_table) (n 1))
+      match List.assoc_opt p cmp_table with
+      | Some c_op ->
+          def (List.hd o.Ir.results)
+            (Printf.sprintf "%s %s %s" (n 0) c_op (n 1))
+      | None ->
+          (* unsigned predicates go through helper calls, like the
+             unsigned binops above *)
+          def (List.hd o.Ir.results)
+            (Printf.sprintf "__mhls_%s(%s, %s)" p (n 0) (n 1)))
   | "arith.select" ->
       def (List.hd o.Ir.results)
         (Printf.sprintf "%s ? %s : %s" (n 0) (n 1) (n 2))

@@ -11,7 +11,9 @@
       {!Ltype.sizeof});
     - [float]/[double] are both OCaml floats (the mhir interpreter makes
       the same substitution, keeping the oracles comparable);
-    - integers normalize to their width after every operation;
+    - integers normalize to their width after every operation; unsigned
+      arithmetic and the deterministic out-of-range shift behaviour are
+      defined once in {!Support.Int_sem};
     - intrinsics: [llvm.smax/smin/umax/umin/abs/fmuladd/fabs/sqrt] are
       evaluated; [llvm.lifetime.*], [llvm.assume] and the Vitis-style
       [_ssdm_op_Spec*] markers are no-ops. *)
@@ -153,21 +155,25 @@ let as_p = function
   | RUndef -> 0
   | _ -> fail "expected pointer runtime value"
 
+(* Division, remainder, shifts and unsigned reinterpretation all follow
+   {!Support.Int_sem} — the semantics shared with the mhir interpreter
+   and both constant folders.  Shift amounts >= width (or negative)
+   yield 0 for [shl]/[lshr] and the sign fill for [ashr]. *)
 let ibin_eval op ty a b =
+  let w = Ltype.int_width ty in
+  let module S = Support.Int_sem in
   let v =
     match op with
     | Add -> a + b
     | Sub -> a - b
     | Mul -> a * b
     | SDiv -> if b = 0 then fail "sdiv by zero" else a / b
-    | UDiv -> if b = 0 then fail "udiv by zero" else abs a / abs b
+    | UDiv -> if b = 0 then fail "udiv by zero" else S.udiv ~width:w a b
     | SRem -> if b = 0 then fail "srem by zero" else a mod b
-    | URem -> if b = 0 then fail "urem by zero" else abs a mod abs b
-    | Shl -> a lsl b
-    | LShr ->
-        let w = Ltype.int_width ty in
-        (a land ((1 lsl w) - 1)) lsr b
-    | AShr -> a asr b
+    | URem -> if b = 0 then fail "urem by zero" else S.urem ~width:w a b
+    | Shl -> S.shl ~width:w a b
+    | LShr -> S.lshr ~width:w a b
+    | AShr -> S.ashr ~width:w a b
     | And -> a land b
     | Or -> a lor b
     | Xor -> a lxor b
@@ -183,6 +189,7 @@ let fbin_eval op a b =
   | FRem -> Float.rem a b
 
 let icmp_eval p a b =
+  let module S = Support.Int_sem in
   match p with
   | IEq -> a = b
   | INe -> a <> b
@@ -190,11 +197,10 @@ let icmp_eval p a b =
   | ISle -> a <= b
   | ISgt -> a > b
   | ISge -> a >= b
-  (* unsigned: kernels only compare non-negative subscripts *)
-  | IUlt -> a < b
-  | IUle -> a <= b
-  | IUgt -> a > b
-  | IUge -> a >= b
+  | IUlt -> S.ult a b
+  | IUle -> S.ule a b
+  | IUgt -> S.ugt a b
+  | IUge -> S.uge a b
 
 let fcmp_eval p a b =
   match p with
@@ -214,8 +220,10 @@ let intrinsic_eval st name (args : rv list) : rv option =
   match args with
   | [ a; b ] when starts_with "llvm.smax." -> Some (RInt (max (as_i a) (as_i b)))
   | [ a; b ] when starts_with "llvm.smin." -> Some (RInt (min (as_i a) (as_i b)))
-  | [ a; b ] when starts_with "llvm.umax." -> Some (RInt (max (as_i a) (as_i b)))
-  | [ a; b ] when starts_with "llvm.umin." -> Some (RInt (min (as_i a) (as_i b)))
+  | [ a; b ] when starts_with "llvm.umax." ->
+      Some (RInt (Support.Int_sem.umax (as_i a) (as_i b)))
+  | [ a; b ] when starts_with "llvm.umin." ->
+      Some (RInt (Support.Int_sem.umin (as_i a) (as_i b)))
   | [ a; _poison ] when starts_with "llvm.abs." -> Some (RInt (abs (as_i a)))
   | [ a; b; c ] when starts_with "llvm.fmuladd." || starts_with "llvm.fma." ->
       Some (RFloat ((as_f a *. as_f b) +. as_f c))

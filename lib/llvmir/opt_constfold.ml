@@ -9,20 +9,26 @@
 open Linstr
 open Lvalue
 
+(* Folding must agree with {!Linterp.ibin_eval} bit-for-bit or the
+   differential oracle would distinguish optimized from unoptimized IR;
+   both defer to {!Support.Int_sem}.  Inputs normalize first so literal
+   constants written outside the type's range fold the same way the
+   interpreter evaluates them. *)
 let fold_ibin op ty a b =
+  let w = Ltype.int_width ty in
+  let module S = Support.Int_sem in
+  let a = Linterp.norm_int ty a and b = Linterp.norm_int ty b in
   match op with
   | Add -> Some (a + b)
   | Sub -> Some (a - b)
   | Mul -> Some (a * b)
   | SDiv -> if b = 0 then None else Some (a / b)
   | SRem -> if b = 0 then None else Some (a mod b)
-  | UDiv -> if b = 0 then None else Some (abs a / abs b)
-  | URem -> if b = 0 then None else Some (abs a mod abs b)
-  | Shl -> Some (a lsl b)
-  | AShr -> Some (a asr b)
-  | LShr ->
-      let w = Ltype.int_width ty in
-      Some ((a land ((1 lsl w) - 1)) lsr b)
+  | UDiv -> if b = 0 then None else Some (S.udiv ~width:w a b)
+  | URem -> if b = 0 then None else Some (S.urem ~width:w a b)
+  | Shl -> Some (S.shl ~width:w a b)
+  | AShr -> Some (S.ashr ~width:w a b)
+  | LShr -> Some (S.lshr ~width:w a b)
   | And -> Some (a land b)
   | Or -> Some (a lor b)
   | Xor -> Some (a lxor b)
@@ -35,21 +41,9 @@ let fold_fbin op a b =
   | FDiv -> Some (a /. b)
   | FRem -> Some (Float.rem a b)
 
-let fold_icmp p a b =
-  let r =
-    match p with
-    | IEq -> a = b
-    | INe -> a <> b
-    | ISlt -> a < b
-    | ISle -> a <= b
-    | ISgt -> a > b
-    | ISge -> a >= b
-    | IUlt -> a < b
-    | IUle -> a <= b
-    | IUgt -> a > b
-    | IUge -> a >= b
-  in
-  if r then 1 else 0
+let fold_icmp p ty a b =
+  let a = Linterp.norm_int ty a and b = Linterp.norm_int ty b in
+  if Linterp.icmp_eval p a b then 1 else 0
 
 let inst_count_diff f f' = Lmodule.inst_count f <> Lmodule.inst_count f'
 
@@ -79,8 +73,8 @@ let run_func (f : Lmodule.func) : Lmodule.func * bool =
         match fold_fbin op a b with
         | Some v -> replace i.result (Const (CFloat (v, ty)))
         | None -> [ i ])
-    | Icmp (p, Const (CInt (a, _)), Const (CInt (b, _))) ->
-        replace i.result (Const (CInt (fold_icmp p a b, Ltype.I1)))
+    | Icmp (p, Const (CInt (a, ty)), Const (CInt (b, _))) ->
+        replace i.result (Const (CInt (fold_icmp p ty a b, Ltype.I1)))
     | Select (Const (CInt (c, _)), a, b) ->
         replace i.result (if c <> 0 then a else b)
     | Cast ((Sext | Zext | Trunc), Const (CInt (v, _)), ty) ->

@@ -284,6 +284,10 @@ let cmpi_pred = function
   | "sle" -> Linstr.ISle
   | "sgt" -> Linstr.ISgt
   | "sge" -> Linstr.ISge
+  | "ult" -> Linstr.IUlt
+  | "ule" -> Linstr.IUle
+  | "ugt" -> Linstr.IUgt
+  | "uge" -> Linstr.IUge
   | p -> fail "unknown cmpi predicate %s" p
 
 let cmpf_pred = function
@@ -364,26 +368,52 @@ and lower_op env fctx (rest : Ir.op list) (o : Ir.op) : unit =
   | "arith.muli" -> bind1 (B.ibin b Mul (lv 0) (lv 1))
   | "arith.divsi" -> bind1 (B.ibin b SDiv (lv 0) (lv 1))
   | "arith.remsi" -> bind1 (B.ibin b SRem (lv 0) (lv 1))
+  | "arith.divui" -> bind1 (B.ibin b UDiv (lv 0) (lv 1))
+  | "arith.remui" -> bind1 (B.ibin b URem (lv 0) (lv 1))
+  | "arith.floordivsi" ->
+      (* expand to trunc-div with correction: q - 1 when the remainder
+         is non-zero and has a sign opposite to the divisor *)
+      let x = lv 0 and y = lv 1 in
+      let ty = Lvalue.type_of x in
+      let q = B.ibin b SDiv x y in
+      let r = B.ibin b SRem x y in
+      let rnz = B.icmp b INe r (Lvalue.ci ~ty 0) in
+      let rneg = B.icmp b ISlt r (Lvalue.ci ~ty 0) in
+      let yneg = B.icmp b ISlt y (Lvalue.ci ~ty 0) in
+      let opposite = B.ibin b Xor rneg yneg in
+      let adjust = B.ibin b And rnz opposite in
+      let qm1 = B.ibin b Sub q (Lvalue.ci ~ty 1) in
+      bind1 (B.select b adjust qm1 q)
   | "arith.andi" -> bind1 (B.ibin b And (lv 0) (lv 1))
   | "arith.ori" -> bind1 (B.ibin b Or (lv 0) (lv 1))
   | "arith.xori" -> bind1 (B.ibin b Xor (lv 0) (lv 1))
   | "arith.shli" -> bind1 (B.ibin b Shl (lv 0) (lv 1))
   | "arith.shrsi" -> bind1 (B.ibin b AShr (lv 0) (lv 1))
-  | "arith.maxsi" | "arith.minsi" ->
+  | "arith.shrui" -> bind1 (B.ibin b LShr (lv 0) (lv 1))
+  | "arith.maxsi" | "arith.minsi" | "arith.maxui" | "arith.minui" ->
       let x = lv 0 and y = lv 1 in
       if env.style.modern_intrinsics then begin
         let ty = Lvalue.type_of x in
         let name =
-          (if o.Ir.name = "arith.maxsi" then "llvm.smax." else "llvm.smin.")
+          (match o.Ir.name with
+          | "arith.maxsi" -> "llvm.smax."
+          | "arith.minsi" -> "llvm.smin."
+          | "arith.maxui" -> "llvm.umax."
+          | _ -> "llvm.umin.")
           ^ int_suffix ty
         in
         need_decl env { dname = name; dret = ty; dargs = [ ty; ty ] };
         bind1 (B.call b ~ret:ty name [ x; y ])
       end
       else begin
-        let c =
-          B.icmp b (if o.Ir.name = "arith.maxsi" then ISgt else ISlt) x y
+        let pred =
+          match o.Ir.name with
+          | "arith.maxsi" -> ISgt
+          | "arith.minsi" -> ISlt
+          | "arith.maxui" -> IUgt
+          | _ -> IUlt
         in
+        let c = B.icmp b pred x y in
         bind1 (B.select b c x y)
       end
   | "arith.addf" -> (

@@ -91,13 +91,19 @@ let subi b x y = binop b "arith.subi" check_int x y
 let muli b x y = binop b "arith.muli" check_int x y
 let divsi b x y = binop b "arith.divsi" check_int x y
 let remsi b x y = binop b "arith.remsi" check_int x y
+let divui b x y = binop b "arith.divui" check_int x y
+let remui b x y = binop b "arith.remui" check_int x y
+let floordivsi b x y = binop b "arith.floordivsi" check_int x y
 let andi b x y = binop b "arith.andi" check_int x y
 let ori b x y = binop b "arith.ori" check_int x y
 let xori b x y = binop b "arith.xori" check_int x y
 let shli b x y = binop b "arith.shli" check_int x y
 let shrsi b x y = binop b "arith.shrsi" check_int x y
+let shrui b x y = binop b "arith.shrui" check_int x y
 let maxsi b x y = binop b "arith.maxsi" check_int x y
 let minsi b x y = binop b "arith.minsi" check_int x y
+let maxui b x y = binop b "arith.maxui" check_int x y
+let minui b x y = binop b "arith.minui" check_int x y
 let addf b x y = binop b "arith.addf" check_float x y
 let subf b x y = binop b "arith.subf" check_float x y
 let mulf b x y = binop b "arith.mulf" check_float x y
@@ -112,15 +118,17 @@ let negf b x =
     { name = "arith.negf"; operands = [ x ]; results = [ r ]; attrs = []; regions = [] };
   r
 
-type cmpi_pred = Eq | Ne | Slt | Sle | Sgt | Sge
+type cmpi_pred = Eq | Ne | Slt | Sle | Sgt | Sge | Ult | Ule | Ugt | Uge
 
 let string_of_cmpi = function
   | Eq -> "eq" | Ne -> "ne" | Slt -> "slt" | Sle -> "sle"
-  | Sgt -> "sgt" | Sge -> "sge"
+  | Sgt -> "sgt" | Sge -> "sge" | Ult -> "ult" | Ule -> "ule"
+  | Ugt -> "ugt" | Uge -> "uge"
 
 let cmpi_of_string = function
   | "eq" -> Eq | "ne" -> Ne | "slt" -> Slt | "sle" -> Sle
-  | "sgt" -> Sgt | "sge" -> Sge
+  | "sgt" -> Sgt | "sge" -> Sge | "ult" -> Ult | "ule" -> Ule
+  | "ugt" -> Ugt | "uge" -> Uge
   | s -> invalid_arg ("Builder.cmpi_of_string: " ^ s)
 
 type cmpf_pred = Oeq | One | Olt | Ole | Ogt | Oge

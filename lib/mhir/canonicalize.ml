@@ -5,26 +5,42 @@
 
 open Ir
 
-let fold_int_binop name a b =
-  let f =
-    match name with
-    | "arith.addi" -> Some ( + )
-    | "arith.subi" -> Some ( - )
-    | "arith.muli" -> Some ( * )
-    | "arith.divsi" -> Some (fun x y -> if y = 0 then raise Exit else x / y)
-    | "arith.remsi" -> Some (fun x y -> if y = 0 then raise Exit else x mod y)
-    | "arith.andi" -> Some ( land )
-    | "arith.ori" -> Some ( lor )
-    | "arith.xori" -> Some ( lxor )
-    | "arith.shli" -> Some ( lsl )
-    | "arith.shrsi" -> Some ( asr )
-    | "arith.maxsi" -> Some max
-    | "arith.minsi" -> Some min
-    | _ -> None
-  in
-  match f with
-  | Some f -> ( try Some (f a b) with Exit -> None)
-  | None -> None
+(* Folding must agree with {!Interp} bit-for-bit (the differential
+   oracle runs canonicalized and raw kernels against each other), so
+   unsigned ops, shifts and result normalization all defer to
+   {!Support.Int_sem} in the result type's width. *)
+let fold_int_binop name ty a b =
+  let module S = Support.Int_sem in
+  match Types.int_width ty with
+  | exception Invalid_argument _ -> None
+  | w -> (
+      let nz f x y = if y = 0 then raise Exit else f x y in
+      let a = S.norm ~width:w a and b = S.norm ~width:w b in
+      let f =
+        match name with
+        | "arith.addi" -> Some ( + )
+        | "arith.subi" -> Some ( - )
+        | "arith.muli" -> Some ( * )
+        | "arith.divsi" -> Some (nz ( / ))
+        | "arith.remsi" -> Some (nz (fun x y -> x mod y))
+        | "arith.divui" -> Some (nz (S.udiv ~width:w))
+        | "arith.remui" -> Some (nz (S.urem ~width:w))
+        | "arith.floordivsi" -> Some (nz S.floordivsi)
+        | "arith.andi" -> Some ( land )
+        | "arith.ori" -> Some ( lor )
+        | "arith.xori" -> Some ( lxor )
+        | "arith.shli" -> Some (S.shl ~width:w)
+        | "arith.shrsi" -> Some (S.ashr ~width:w)
+        | "arith.shrui" -> Some (S.lshr ~width:w)
+        | "arith.maxsi" -> Some max
+        | "arith.minsi" -> Some min
+        | "arith.maxui" -> Some S.umax
+        | "arith.minui" -> Some S.umin
+        | _ -> None
+      in
+      match f with
+      | Some f -> ( try Some (S.norm ~width:w (f a b)) with Exit -> None)
+      | None -> None)
 
 let fold_float_binop name a b =
   match name with
@@ -74,7 +90,7 @@ let fold_constants_func (f : func) : func * bool =
         | [ a; b ], [ r ] -> (
             match (const_of a, const_of b) with
             | Some (Attr.Int x), Some (Attr.Int y) -> (
-                match fold_int_binop o.name x y with
+                match fold_int_binop o.name r.ty x y with
                 | Some v ->
                     changed := true;
                     [ mk_const r (Attr.Int v) ]
@@ -90,7 +106,9 @@ let fold_constants_func (f : func) : func * bool =
                 match (o.name, ca, cb) with
                 | ("arith.addi" | "arith.ori" | "arith.xori"), _, Some (Attr.Int 0)
                 | ("arith.muli" | "arith.divsi"), _, Some (Attr.Int 1)
-                | ("arith.shli" | "arith.shrsi"), _, Some (Attr.Int 0)
+                | ( ("arith.shli" | "arith.shrsi" | "arith.shrui"),
+                    _,
+                    Some (Attr.Int 0) )
                 | "arith.subi", _, Some (Attr.Int 0) ->
                     set_alias r a;
                     []

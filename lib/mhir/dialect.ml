@@ -31,10 +31,16 @@ let registry : (string * signature) list =
     ("arith.andi", binop);
     ("arith.ori", binop);
     ("arith.xori", binop);
+    ("arith.divui", binop);
+    ("arith.remui", binop);
+    ("arith.floordivsi", binop);
     ("arith.shli", binop);
     ("arith.shrsi", binop);
+    ("arith.shrui", binop);
     ("arith.maxsi", binop);
     ("arith.minsi", binop);
+    ("arith.maxui", binop);
+    ("arith.minui", binop);
     ("arith.addf", binop);
     ("arith.subf", binop);
     ("arith.mulf", binop);

@@ -78,9 +78,12 @@ let lookup env (v : value) =
 
 let bind env (v : value) rv = Hashtbl.replace env.vals v.id rv
 
-let euclid_mod x y =
-  let r = x mod y in
-  if r < 0 then r + abs y else r
+(* Unsigned arithmetic, floor division and deterministic out-of-range
+   shifts are shared with the LLVM-side evaluators through
+   {!Support.Int_sem} (which supersedes the old local euclid_mod
+   helper): stage disagreement here would be reported as a kernel
+   miscompile by the differential oracle. *)
+module S = Support.Int_sem
 
 let rec exec_block env (blk : block) : rv list =
   let rec go = function
@@ -106,6 +109,11 @@ and exec_op env (o : op) : unit =
     let r = (List.hd o.results : value) in
     bind1 (Int (norm_int r.ty (f a b)))
   in
+  (* variant receiving the type's bit width (unsigned ops, shifts) *)
+  let int_binop_w f =
+    let r = (List.hd o.results : value) in
+    int_binop (f (Types.int_width r.ty))
+  in
   let float_binop f =
     let a = as_float (lookup env (List.nth o.operands 0)) in
     let b = as_float (lookup env (List.nth o.operands 1)) in
@@ -127,13 +135,25 @@ and exec_op env (o : op) : unit =
   | "arith.remsi" ->
       int_binop (fun a b ->
           if b = 0 then fail "remainder by zero" else a mod b)
+  | "arith.divui" ->
+      int_binop_w (fun w a b ->
+          if b = 0 then fail "division by zero" else S.udiv ~width:w a b)
+  | "arith.remui" ->
+      int_binop_w (fun w a b ->
+          if b = 0 then fail "remainder by zero" else S.urem ~width:w a b)
+  | "arith.floordivsi" ->
+      int_binop (fun a b ->
+          if b = 0 then fail "division by zero" else S.floordivsi a b)
   | "arith.andi" -> int_binop ( land )
   | "arith.ori" -> int_binop ( lor )
   | "arith.xori" -> int_binop ( lxor )
-  | "arith.shli" -> int_binop ( lsl )
-  | "arith.shrsi" -> int_binop ( asr )
+  | "arith.shli" -> int_binop_w (fun w a b -> S.shl ~width:w a b)
+  | "arith.shrsi" -> int_binop_w (fun w a b -> S.ashr ~width:w a b)
+  | "arith.shrui" -> int_binop_w (fun w a b -> S.lshr ~width:w a b)
   | "arith.maxsi" -> int_binop max
   | "arith.minsi" -> int_binop min
+  | "arith.maxui" -> int_binop S.umax
+  | "arith.minui" -> int_binop S.umin
   | "arith.addf" -> float_binop ( +. )
   | "arith.subf" -> float_binop ( -. )
   | "arith.mulf" -> float_binop ( *. )
@@ -154,6 +174,10 @@ and exec_op env (o : op) : unit =
         | "sle" -> a <= b
         | "sgt" -> a > b
         | "sge" -> a >= b
+        | "ult" -> S.ult a b
+        | "ule" -> S.ule a b
+        | "ugt" -> S.ugt a b
+        | "uge" -> S.uge a b
         | _ -> fail "unknown cmpi predicate %s" p
       in
       bind1 (Int (if r then 1 else 0))

@@ -61,8 +61,10 @@ let check_op_types (o : op) =
   in
   match o.name with
   | "arith.addi" | "arith.subi" | "arith.muli" | "arith.divsi"
-  | "arith.remsi" | "arith.andi" | "arith.ori" | "arith.xori"
-  | "arith.shli" | "arith.shrsi" | "arith.maxsi" | "arith.minsi" ->
+  | "arith.remsi" | "arith.divui" | "arith.remui" | "arith.floordivsi"
+  | "arith.andi" | "arith.ori" | "arith.xori"
+  | "arith.shli" | "arith.shrsi" | "arith.shrui"
+  | "arith.maxsi" | "arith.minsi" | "arith.maxui" | "arith.minui" ->
       binop_same `Int
   | "arith.addf" | "arith.subf" | "arith.mulf" | "arith.divf"
   | "arith.maximumf" | "arith.minimumf" ->

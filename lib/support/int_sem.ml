@@ -1,0 +1,85 @@
+(** Shared two's-complement integer semantics.
+
+    Every evaluator in the stack — the mhir reference interpreter, the
+    LLVM IR interpreter, both constant folders and the adaptor's
+    legalization passes — must agree bit-for-bit on integer arithmetic,
+    or the differential oracle ({!Mhls_difftest}) reports false
+    mismatches between stages.  This module is the single definition
+    they all share.
+
+    Representation: an integer of width [w] is stored as a native OCaml
+    [int], sign-extended ("normalized") so that its signed value and its
+    native value coincide.  Unsigned operations reinterpret that
+    two's-complement pattern in the type's width.
+
+    Width 64 is special: native ints have 63 bits, so 64-bit operations
+    are computed in [Int64] (true LLVM semantics) and the result is
+    truncated back to the native range — the same documented
+    substitution the interpreters make for [i64]/[index] values.
+
+    Deterministic shift semantics (LLVM leaves these poison; we pick a
+    fixed behaviour so every stage agrees and document it):
+    - shift amount [< 0] or [>= width]: [shl] and [lshr] yield 0,
+      [ashr] yields the sign fill (-1 for negative operands, else 0);
+    - otherwise the usual two's-complement shift in the type's width. *)
+
+(** Sign-extend [v] to the native range from width [w] (identity for
+    [w >= 63]). *)
+let norm ~width v =
+  if width >= 63 then v
+  else
+    let m = v land ((1 lsl width) - 1) in
+    if width > 1 && m land (1 lsl (width - 1)) <> 0 then m - (1 lsl width)
+    else m
+
+(** Unsigned reinterpretation of a normalized value (widths < 63). *)
+let to_unsigned ~width v = v land ((1 lsl width) - 1)
+
+(* 64-bit operations run in Int64; [Int64.of_int] sign-extends the
+   normalized native value into the full 64-bit pattern and
+   [Int64.to_int] truncates the result back to 63 bits. *)
+let via_int64 f a b = Int64.to_int (f (Int64.of_int a) (Int64.of_int b))
+
+(** Unsigned division.  The divisor must be non-zero (callers guard and
+    report division by zero in their own way). *)
+let udiv ~width a b =
+  if width >= 63 then via_int64 Int64.unsigned_div a b
+  else norm ~width (to_unsigned ~width a / to_unsigned ~width b)
+
+(** Unsigned remainder; divisor must be non-zero. *)
+let urem ~width a b =
+  if width >= 63 then via_int64 Int64.unsigned_rem a b
+  else norm ~width (to_unsigned ~width a mod to_unsigned ~width b)
+
+let shl ~width a b =
+  if b < 0 || b >= width then 0
+  else if width >= 63 then Int64.to_int (Int64.shift_left (Int64.of_int a) b)
+  else norm ~width (a lsl b)
+
+let lshr ~width a b =
+  if b < 0 || b >= width then 0
+  else if width >= 63 then
+    Int64.to_int (Int64.shift_right_logical (Int64.of_int a) b)
+  else norm ~width (to_unsigned ~width a lsr b)
+
+let ashr ~width a b =
+  if b < 0 || b >= width then if a < 0 then -1 else 0
+  else if width >= 63 then Int64.to_int (Int64.shift_right (Int64.of_int a) b)
+  else a asr b
+
+(* Unsigned comparisons: flipping the native sign bit maps unsigned
+   order onto signed order.  Sign-extension preserves unsigned order
+   across widths (the negative half of width [w] maps to the top of the
+   native unsigned range), so normalized values need no width here. *)
+let ult a b = a lxor min_int < b lxor min_int
+let ule a b = not (b lxor min_int < a lxor min_int)
+let ugt a b = b lxor min_int < a lxor min_int
+let uge a b = not (a lxor min_int < b lxor min_int)
+let umax a b = if ult a b then b else a
+let umin a b = if ult a b then a else b
+
+(** Signed division rounding toward negative infinity (MLIR
+    [arith.floordivsi]); divisor must be non-zero. *)
+let floordivsi a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && r < 0 <> (b < 0) then q - 1 else q

@@ -1,0 +1,171 @@
+(** Table-driven boundary tests for the shared two's-complement
+    semantics ({!Support.Int_sem}) as exposed by both interpreters.
+
+    Expected values are precomputed LLVM results (what `opt -O0` +
+    `lli` produce for the same ops), so these tables pin the semantics
+    independently of the implementation under test.  Negative literals
+    stand for the normalized form of large unsigned patterns, e.g.
+    [-56] is the i8 bit pattern of 200. *)
+
+open Llvmir
+
+(* ------------------------------------------------------------------ *)
+(* Linterp.ibin_eval                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let ibin_cases =
+  [
+    (* name, op, ty, a, b, expected *)
+    ("udiv i8 200/3", Linstr.UDiv, Ltype.I8, -56, 3, 66);
+    ("urem i8 200%3", Linstr.URem, Ltype.I8, -56, 3, 2);
+    ("udiv i32 0xffffffff/2", Linstr.UDiv, Ltype.I32, -1, 2, 0x7FFFFFFF);
+    ("urem i32 0xffffffff%2", Linstr.URem, Ltype.I32, -1, 2, 1);
+    ("udiv i32 min/-1", Linstr.UDiv, Ltype.I32, -0x80000000, -1, 0);
+    ("urem i32 min%-1", Linstr.URem, Ltype.I32, -0x80000000, -1, -0x80000000);
+    (* i64 runs in Int64 and truncates back to the 63-bit native int *)
+    ("udiv i64 -2/2", Linstr.UDiv, Ltype.I64, -2, 2, -1);
+    ("shl i32 1<<31", Linstr.Shl, Ltype.I32, 1, 31, -0x80000000);
+    ("shl i32 1<<32 (oob -> 0)", Linstr.Shl, Ltype.I32, 1, 32, 0);
+    ("shl i32 1<<33 (oob -> 0)", Linstr.Shl, Ltype.I32, 1, 33, 0);
+    ("shl i32 1<<-1 (oob -> 0)", Linstr.Shl, Ltype.I32, 1, -1, 0);
+    ("shl i8 1<<7", Linstr.Shl, Ltype.I8, 1, 7, -128);
+    ("shl i8 1<<8 (oob -> 0)", Linstr.Shl, Ltype.I8, 1, 8, 0);
+    ("shl i64 1<<62 wraps to native min", Linstr.Shl, Ltype.I64, 1, 62, min_int);
+    ("lshr i32 -1>>1", Linstr.LShr, Ltype.I32, -1, 1, 0x7FFFFFFF);
+    ("lshr i32 -1>>31", Linstr.LShr, Ltype.I32, -1, 31, 1);
+    ("lshr i32 -1>>32 (oob -> 0)", Linstr.LShr, Ltype.I32, -1, 32, 0);
+    ("lshr i8 200>>2", Linstr.LShr, Ltype.I8, -56, 2, 50);
+    ("ashr i32 -8>>1", Linstr.AShr, Ltype.I32, -8, 1, -4);
+    ("ashr i32 -8>>32 (oob -> sign)", Linstr.AShr, Ltype.I32, -8, 32, -1);
+    ("ashr i32 8>>70 (oob -> 0)", Linstr.AShr, Ltype.I32, 8, 70, 0);
+    ("ashr i64 -1>>63 (oob -> sign)", Linstr.AShr, Ltype.I64, -1, 63, -1);
+    ("udiv i1 1/1", Linstr.UDiv, Ltype.I1, 1, 1, 1);
+  ]
+
+let test_ibin_eval () =
+  List.iter
+    (fun (name, op, ty, a, b, expected) ->
+      Alcotest.(check int) name expected (Linterp.ibin_eval op ty a b))
+    ibin_cases
+
+(* ------------------------------------------------------------------ *)
+(* Linterp.icmp_eval                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let icmp_cases =
+  [
+    ("ult 0xffffffff 1 = false", Linstr.IUlt, -1, 1, false);
+    ("ult 1 0xffffffff = true", Linstr.IUlt, 1, -1, true);
+    ("ult 0 0 = false", Linstr.IUlt, 0, 0, false);
+    ("ule -1 -1 = true", Linstr.IUle, -1, -1, true);
+    ("ugt 0xffffffff 0 = true", Linstr.IUgt, -1, 0, true);
+    ("uge 0 0xffffffff = false", Linstr.IUge, 0, -1, false);
+    ("slt -1 1 = true (sanity)", Linstr.ISlt, -1, 1, true);
+    ("sgt -1 1 = false (sanity)", Linstr.ISgt, -1, 1, false);
+  ]
+
+let test_icmp_eval () =
+  List.iter
+    (fun (name, p, a, b, expected) ->
+      Alcotest.(check bool) name expected (Linterp.icmp_eval p a b))
+    icmp_cases
+
+(* ------------------------------------------------------------------ *)
+(* Linterp.intrinsic_eval: unsigned min/max                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_unsigned_intrinsics () =
+  let st = Linterp.create (Lmodule.empty "t") in
+  let call name a b =
+    match Linterp.intrinsic_eval st name [ Linterp.RInt a; Linterp.RInt b ] with
+    | Some (Linterp.RInt v) -> v
+    | _ -> Alcotest.fail (name ^ ": expected an integer")
+  in
+  Alcotest.(check int) "umax(-1, 1) = -1" (-1) (call "llvm.umax.i32" (-1) 1);
+  Alcotest.(check int) "umin(-1, 1) = 1" 1 (call "llvm.umin.i32" (-1) 1);
+  Alcotest.(check int) "umax(3, 7) = 7" 7 (call "llvm.umax.i32" 3 7);
+  Alcotest.(check int) "smax(-1, 1) = 1" 1 (call "llvm.smax.i32" (-1) 1)
+
+(* ------------------------------------------------------------------ *)
+(* The mhir interpreter: the same table through arith ops             *)
+(* ------------------------------------------------------------------ *)
+
+module B = Mhir.Builder
+module T = Mhir.Types
+
+(** Evaluate one i32 binop on constants through {!Mhir.Interp}. *)
+let mhir_binop op a bval =
+  let b = B.create () in
+  let f =
+    B.func b "f" ~args:[] ~ret_tys:[ T.I32 ] (fun b _ ->
+        let x = B.constant_i b ~ty:T.I32 a in
+        let y = B.constant_i b ~ty:T.I32 bval in
+        B.ret b [ op b x y ])
+  in
+  match Mhir.Interp.run_func { Mhir.Ir.funcs = [ f ] } "f" [] with
+  | [ Mhir.Interp.Int v ] -> v
+  | _ -> Alcotest.fail "expected a single integer result"
+
+let mhir_cmpi pred a bval =
+  let b = B.create () in
+  let f =
+    B.func b "f" ~args:[] ~ret_tys:[ T.I1 ] (fun b _ ->
+        let x = B.constant_i b ~ty:T.I32 a in
+        let y = B.constant_i b ~ty:T.I32 bval in
+        B.ret b [ B.cmpi b pred x y ])
+  in
+  match Mhir.Interp.run_func { Mhir.Ir.funcs = [ f ] } "f" [] with
+  | [ Mhir.Interp.Int v ] -> v
+  | _ -> Alcotest.fail "expected a single integer result"
+
+let test_mhir_unsigned_ops () =
+  let cases =
+    [
+      ("divui 0xffffffff/2", B.divui, -1, 2, 0x7FFFFFFF);
+      ("remui 0xffffffff%2", B.remui, -1, 2, 1);
+      ("divui 200/3", B.divui, 200, 3, 66);
+      ("shrui -1>>1", B.shrui, -1, 1, 0x7FFFFFFF);
+      ("shrui -1>>32 (oob -> 0)", B.shrui, -1, 32, 0);
+      ("shli 1<<31", B.shli, 1, 31, -0x80000000);
+      ("shli 1<<32 (oob -> 0)", B.shli, 1, 32, 0);
+      ("shrsi -8>>1", B.shrsi, -8, 1, -4);
+      ("shrsi -8>>40 (oob -> sign)", B.shrsi, -8, 40, -1);
+      ("floordivsi -7/2", B.floordivsi, -7, 2, -4);
+      ("floordivsi 7/-2", B.floordivsi, 7, -2, -4);
+      ("floordivsi -7/-2", B.floordivsi, -7, -2, 3);
+      ("divsi -7/2 (sanity)", B.divsi, -7, 2, -3);
+      ("maxui -1 1", B.maxui, -1, 1, -1);
+      ("minui -1 1", B.minui, -1, 1, 1);
+      ("maxsi -1 1 (sanity)", B.maxsi, -1, 1, 1);
+    ]
+  in
+  List.iter
+    (fun (name, op, a, b, expected) ->
+      Alcotest.(check int) name expected (mhir_binop op a b))
+    cases
+
+let test_mhir_unsigned_cmpi () =
+  let cases =
+    [
+      ("cmpi ult -1 1", B.Ult, -1, 1, 0);
+      ("cmpi ult 1 -1", B.Ult, 1, -1, 1);
+      ("cmpi ule -1 -1", B.Ule, -1, -1, 1);
+      ("cmpi ugt -1 0", B.Ugt, -1, 0, 1);
+      ("cmpi uge 0 -1", B.Uge, 0, -1, 0);
+      ("cmpi slt -1 1 (sanity)", B.Slt, -1, 1, 1);
+    ]
+  in
+  List.iter
+    (fun (name, p, a, b, expected) ->
+      Alcotest.(check int) name expected (mhir_cmpi p a b))
+    cases
+
+let suite =
+  [
+    Alcotest.test_case "linterp ibin boundary table" `Quick test_ibin_eval;
+    Alcotest.test_case "linterp icmp unsigned table" `Quick test_icmp_eval;
+    Alcotest.test_case "linterp unsigned intrinsics" `Quick
+      test_unsigned_intrinsics;
+    Alcotest.test_case "mhir unsigned/shift ops" `Quick test_mhir_unsigned_ops;
+    Alcotest.test_case "mhir unsigned cmpi" `Quick test_mhir_unsigned_cmpi;
+  ]

@@ -28,4 +28,6 @@ let () =
       ("dse", Test_dse.suite);
       ("driver", Test_driver.suite);
       ("misc", Test_misc.suite);
+      ("int-semantics", Test_int_semantics.suite);
+      ("difftest", Test_difftest.suite);
     ]
