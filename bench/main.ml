@@ -43,7 +43,13 @@ let flow_report kname flow : E.report =
   in
   match o.D.o_qor with
   | Ok r -> r
-  | Error reasons -> failwith (String.concat "; " reasons)
+  | Error ds -> raise (Support.Diag.Failed ds)
+
+(* benches are a process boundary: escalate front-end diagnostics *)
+let frontend_exn ?pipeline m =
+  match Flow.direct_ir_frontend ?pipeline m with
+  | Ok r -> r
+  | Error ds -> raise (Support.Diag.Failed ds)
 
 let hdr title =
   Printf.printf "\n==================================================\n";
@@ -243,7 +249,7 @@ let fig3 () =
           let full = Flow.run_exn ~directives:d k Flow.Direct_ir in
           let m = k.K.build d in
           let lm, _, _ =
-            Flow.direct_ir_frontend_exn ~pipeline:Adaptor.Pipeline.flat_views m
+            frontend_exn ~pipeline:Adaptor.Pipeline.flat_views m
           in
           let flat = E.synthesize ~top:kname lm in
           T.add_row t
@@ -330,7 +336,7 @@ let ablation () =
   in
   let try_pipeline name p =
     try
-      let lm, _, _ = Flow.direct_ir_frontend_exn ~pipeline:p (m ()) in
+      let lm, _, _ = frontend_exn ~pipeline:p (m ()) in
       match E.synthesize ~top:"gemm" lm with
       | r ->
           T.add_row t
@@ -362,23 +368,21 @@ let ablation () =
 (* ------------------------------------------------------------------ *)
 
 let dse () =
-  hdr "Extension: automatic design-space exploration (batch driver)";
+  hdr "Extension: automatic design-space exploration (Pareto archive)";
+  let module S = Mhls_dse.Search in
   List.iter
-    (fun (kname, parts) ->
+    (fun kname ->
       match K.by_name kname with
       | Some k ->
-          let r, batch =
-            D.explore_dse ~parts ~jobs:(Mhls_driver.Pool.default_jobs ()) k
-          in
-          print_string (Flow.Dse.render r);
-          print_endline (D.render_stats batch);
-          (match Flow.Dse.best r with
+          let o = S.search ~jobs:(Mhls_driver.Pool.default_jobs ()) k in
+          print_string (S.render o);
+          (match S.best o with
           | Some best ->
-              Printf.printf "best: %s (%d cycles)\n\n" best.Flow.Dse.label
-                best.Flow.Dse.latency
+              Printf.printf "best: %s (%d cycles)\n\n" best.S.pt_label
+                best.S.pt_report.E.latency
           | None -> ())
       | None -> ())
-    [ ("gemm", [ ("A", 2); ("B", 1) ]); ("conv2d", [ ("img", 2); ("ker", 2) ]) ]
+    [ "gemm"; "conv2d" ]
 
 (* ------------------------------------------------------------------ *)
 (* Extension: cross-layer unrolling comparison                        *)
@@ -393,7 +397,7 @@ let crosslayer () =
   in
   let k = K.gemm () in
   let synth m =
-    let lm, _, _ = Flow.direct_ir_frontend_exn m in
+    let lm, _, _ = frontend_exn m in
     E.synthesize ~top:"gemm" lm
   in
   let row name (r : E.report) =

@@ -432,43 +432,86 @@ let cache_dir_arg =
 let cache_dir_opt dir = if dir = "" then None else Some dir
 
 let dse_cmd =
-  let run kernel partitions max_dsp max_bram jobs cache_dir =
+  let module S = Mhls_dse.Search in
+  let run kernel max_evals rounds stable budget_bram budget_dsp budget_lut
+      jobs cache_dir clock out =
     let k = find_kernel kernel in
-    let parts =
-      match parse_partitions partitions with
-      | [] -> [ ("A", 2) ]  (* a sensible default for the matmul family *)
-      | specs -> List.map (fun (a, _, _, d) -> (a, d)) specs
+    let params =
+      {
+        S.max_evals;
+        S.max_rounds = rounds;
+        S.stable_rounds = stable;
+        S.budget =
+          {
+            S.b_max_bram = budget_bram;
+            S.b_max_dsp = budget_dsp;
+            S.b_max_lut = budget_lut;
+          };
+        S.clock_ns = clock;
+      }
     in
-    let budget =
-      { Flow.Dse.no_budget with Flow.Dse.max_dsp; Flow.Dse.max_bram }
+    let o =
+      S.search ~params ~jobs ?cache_dir:(cache_dir_opt cache_dir) k
     in
-    let r, batch =
-      D.explore_dse ~budget ~parts ~jobs
-        ?cache_dir:(cache_dir_opt cache_dir) k
-    in
-    print_string (Flow.Dse.render r);
-    Printf.printf "\n%s" (D.render_stats batch);
-    match Flow.Dse.best r with
+    print_string (S.render o);
+    (match out with
+    | Some path ->
+        Mhls_dse.Dse_json.write_file ~tool:D.tool_version path o;
+        (* validate what we just wrote, so a green exit implies a
+           schema-conforming export (CI asserts on this) *)
+        (match Mhls_dse.Dse_json.validate_file path with
+        | Ok () -> Printf.printf "\ndse.json: frontier -> %s (valid)\n" path
+        | Error e ->
+            Printf.eprintf "dse.json: %s\n" e;
+            exit 1)
+    | None -> ());
+    match S.best o with
     | Some best ->
-        Printf.printf "\nbest: %s (%d cycles)\n" best.Flow.Dse.label
-          best.Flow.Dse.latency
+        Printf.printf "\nbest: %s (%d cycles)\n" best.S.pt_label
+          best.S.pt_report.E.latency
     | None -> print_endline "\nno feasible design point under this budget"
   in
-  let max_dsp =
-    Arg.(value & opt (some int) None
-         & info [ "max-dsp" ] ~docv:"N" ~doc:"DSP48 budget.")
+  let max_evals =
+    Arg.(value & opt int S.default_params.S.max_evals
+         & info [ "max-evals" ] ~docv:"N"
+             ~doc:"Cap on distinct configurations evaluated.")
   in
-  let max_bram =
+  let rounds =
+    Arg.(value & opt int S.default_params.S.max_rounds
+         & info [ "rounds" ] ~docv:"N" ~doc:"Cap on search rounds.")
+  in
+  let stable =
+    Arg.(value & opt int S.default_params.S.stable_rounds
+         & info [ "stable-rounds" ] ~docv:"K"
+             ~doc:"Stop after K consecutive rounds without frontier change.")
+  in
+  let budget_bram =
     Arg.(value & opt (some int) None
-         & info [ "max-bram" ] ~docv:"N" ~doc:"BRAM18K budget.")
+         & info [ "budget-bram"; "max-bram" ] ~docv:"N" ~doc:"BRAM18K budget.")
+  in
+  let budget_dsp =
+    Arg.(value & opt (some int) None
+         & info [ "budget-dsp"; "max-dsp" ] ~docv:"N" ~doc:"DSP48 budget.")
+  in
+  let budget_lut =
+    Arg.(value & opt (some int) None
+         & info [ "budget-lut" ] ~docv:"N" ~doc:"LUT budget.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE.json"
+             ~doc:"Write the versioned dse.json frontier export (validated \
+                   after writing).")
   in
   Cmd.v
     (Cmd.info "dse"
-       ~doc:"Explore the directive design space through the adaptor flow \
-             (on the batch driver: parallel and cached) and print the \
-             Pareto frontier.")
-    Term.(const run $ kernel_arg $ partition_arg $ max_dsp $ max_bram
-          $ jobs_arg $ cache_dir_arg)
+       ~doc:"Pareto-archive design-space exploration: the search space is \
+             derived from the kernel's own loops and arrays, candidates \
+             compile as parallel cached jobs on the batch driver, and the \
+             frontier is deterministic for any $(b,--jobs).")
+    Term.(const run $ kernel_arg $ max_evals $ rounds $ stable $ budget_bram
+          $ budget_dsp $ budget_lut $ jobs_arg $ cache_dir_arg $ clock_arg
+          $ out)
 
 (* ------------------------------------------------------------------ *)
 (* batch                                                              *)

@@ -13,6 +13,14 @@
 module K = Workloads.Kernels
 module E = Hls_backend.Estimate
 
+(* process boundary: surface adaptor diagnostics and bail *)
+let frontend ?pipeline m =
+  match Flow.direct_ir_frontend ?pipeline m with
+  | Ok r -> r
+  | Error ds ->
+      List.iter (fun d -> prerr_endline (Support.Diag.to_string d)) ds;
+      exit 1
+
 let show_access_shapes lm =
   (* count 2-D vs 1-D GEPs in the top function *)
   let f = Llvmir.Lmodule.find_func_exn lm "conv2d" in
@@ -36,7 +44,7 @@ let () =
 
   print_endline "--- full adaptor (with delinearization) ---";
   let m = kernel.K.build directives in
-  let full_ir, report, _ = Flow.direct_ir_frontend_exn m in
+  let full_ir, report, _ = frontend m in
   Printf.printf "  %d GEPs delinearized, %d flat fallbacks\n"
     report.Adaptor.descriptors.Adaptor.Eliminate_descriptors.delinearized
     report.Adaptor.descriptors.Adaptor.Eliminate_descriptors.flat_fallback;
@@ -46,9 +54,7 @@ let () =
 
   print_endline "--- ablation: flat views (shape information lost) ---";
   let m = kernel.K.build directives in
-  let flat_ir, _, _ =
-    Flow.direct_ir_frontend_exn ~pipeline:Adaptor.Pipeline.flat_views m
-  in
+  let flat_ir, _, _ = frontend ~pipeline:Adaptor.Pipeline.flat_views m in
   show_access_shapes flat_ir;
   let flat = E.synthesize ~top:"conv2d" flat_ir in
   Printf.printf "  latency: %d cycles\n\n" flat.E.latency;

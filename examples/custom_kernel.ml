@@ -8,7 +8,7 @@
     - the mhir {!Mhir.Builder} API (loops with iter_args, affine
       subscript maps, HLS directive attributes);
     - attaching array-partition directives via function attributes;
-    - running a hand-built module through [Flow.direct_ir_frontend_exn] /
+    - running a hand-built module through [Flow.direct_ir_frontend] /
       [Flow.hls_cpp_frontend] without a [Workloads.Kernels.kernel]
       wrapper. *)
 
@@ -73,7 +73,13 @@ let () =
   print_string (Printer.module_to_string m);
 
   (* direct flow *)
-  let lm, report, _ = Flow.direct_ir_frontend_exn m in
+  let lm, report, _ =
+    match Flow.direct_ir_frontend m with
+    | Ok r -> r
+    | Error ds ->
+        List.iter (fun d -> prerr_endline (Support.Diag.to_string d)) ds;
+        exit 1
+  in
   Printf.printf "\nadaptor: %d issues closed\n"
     (List.length report.Adaptor.issues_before);
   let r = Hls_backend.Estimate.synthesize ~top:"wavg" lm in

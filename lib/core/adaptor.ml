@@ -4,7 +4,8 @@
     HLS-readable IR: no opaque pointers, no memref descriptors, no
     modern intrinsics, directives carried by [_ssdm_op_Spec*] markers,
     interfaces annotated on the top function.  {!Compat.check} must
-    return no issues on the output (asserted when [config.strict]). *)
+    return no issues on the output (asserted when the pipeline is
+    strict). *)
 
 (* Re-export the pass modules: this file is the library's root module,
    so siblings are only reachable through these aliases. *)
@@ -240,69 +241,6 @@ module Pipeline = struct
 end
 
 (* ------------------------------------------------------------------ *)
-(* Deprecated boolean-flag configuration (one-release shim)           *)
-(* ------------------------------------------------------------------ *)
-
-(** @deprecated The boolean-flag record is superseded by
-    {!Pipeline.t}; it remains for one release.  Use
-    {!Pipeline.default} and friends, or {!pipeline_of_config} to
-    convert an existing record. *)
-type config = {
-  legalize_intrinsics : bool;
-  eliminate_descriptors : bool;
-  delinearize : bool;  (** rebuild multi-dimensional GEPs (paper's key step) *)
-  typed_pointers : bool;
-  canonicalize_geps : bool;
-  translate_metadata : bool;
-  lower_interfaces : bool;
-  top : string option;  (** top function for interface lowering *)
-  strict : bool;  (** fail if the output is not HLS-ready *)
-}
-
-let default_config =
-  {
-    legalize_intrinsics = true;
-    eliminate_descriptors = true;
-    delinearize = true;
-    typed_pointers = true;
-    canonicalize_geps = true;
-    translate_metadata = true;
-    lower_interfaces = true;
-    top = None;
-    strict = true;
-  }
-
-let no_descriptor_elimination =
-  { default_config with eliminate_descriptors = false; strict = false }
-
-let flat_views = { default_config with delinearize = false }
-
-(** Convert an old-style boolean record to the pipeline it always
-    denoted. *)
-let pipeline_of_config (c : config) : Pipeline.t =
-  let toggle name enabled (p : Pipeline.pass) =
-    if p.Pipeline.pname = name then { p with Pipeline.enabled } else p
-  in
-  let passes =
-    Pipeline.default.Pipeline.passes
-    |> List.map (fun p ->
-           if p.Pipeline.pname = "eliminate-descriptors" && not c.delinearize
-           then
-             {
-               Pipeline.eliminate_descriptors_flat with
-               Pipeline.enabled = c.eliminate_descriptors;
-             }
-           else p)
-    |> List.map (toggle "legalize-intrinsics" c.legalize_intrinsics)
-    |> List.map (toggle "eliminate-descriptors" c.eliminate_descriptors)
-    |> List.map (toggle "typed-pointers" c.typed_pointers)
-    |> List.map (toggle "canonicalize-geps" c.canonicalize_geps)
-    |> List.map (toggle "translate-metadata" c.translate_metadata)
-    |> List.map (toggle "lower-interfaces" c.lower_interfaces)
-  in
-  { Pipeline.passes; top = c.top; strict = c.strict }
-
-(* ------------------------------------------------------------------ *)
 (* Driver                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -312,15 +250,11 @@ let pipeline_of_config (c : config) : Pipeline.t =
     exception escapes; converting diagnostics to {!Support.Diag.Failed}
     is the CLI boundary's job (or use {!run_exn}).
 
-    [?config] is the deprecated boolean-record shim and, when given,
-    overrides [?pipeline].  [?trace] receives one
-    {!Support.Tracing.event} per executed pass (stage ["adaptor"]). *)
-let run ?(pipeline = Pipeline.default) ?config
-    ?(trace = Support.Tracing.null) (m : Llvmir.Lmodule.t) :
+    [?trace] receives one {!Support.Tracing.event} per executed pass
+    (stage ["adaptor"]). *)
+let run ?(pipeline = Pipeline.default) ?(trace = Support.Tracing.null)
+    (m : Llvmir.Lmodule.t) :
     (Llvmir.Lmodule.t * report, Support.Diag.t list) result =
-  let pipeline =
-    match config with Some c -> pipeline_of_config c | None -> pipeline
-  in
   let r = fresh_report () in
   let issues_before = Compat.check m in
   let timings = ref [] in
@@ -365,9 +299,9 @@ let run ?(pipeline = Pipeline.default) ?config
 
 (** Exception-raising convenience for process boundaries: raises
     {!Support.Diag.Failed} where {!run} returns [Error]. *)
-let run_exn ?pipeline ?config ?trace (m : Llvmir.Lmodule.t) :
+let run_exn ?pipeline ?trace (m : Llvmir.Lmodule.t) :
     Llvmir.Lmodule.t * report =
-  match run ?pipeline ?config ?trace m with
+  match run ?pipeline ?trace m with
   | Ok x -> x
   | Error ds -> raise (Support.Diag.Failed ds)
 

@@ -1,0 +1,26 @@
+(** Persistent content-addressed result cache: raw strings filed under
+    the hex digest of a caller-hashed identity.  Writes are atomic
+    (temp file + rename); hit/miss counters are atomics, so concurrent
+    workers can share one cache. *)
+
+type t
+
+val create : dir:string -> t
+
+(** Content address for an identity: the parts are hashed with an
+    unambiguous separator (no concatenation collisions). *)
+val key : string list -> string
+
+(** Look an entry up; counts a hit or a miss.  Unreadable or torn
+    entries are treated as misses. *)
+val find : t -> string -> string option
+
+(** Store an entry atomically.  Concurrent stores of one key are
+    benign: last rename wins. *)
+val store : t -> string -> string -> unit
+
+val hits : t -> int
+val misses : t -> int
+
+(** Number of entries currently on disk. *)
+val entry_count : t -> int

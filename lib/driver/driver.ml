@@ -6,6 +6,20 @@
     {!Support.Tracing} hook, so the batch yields a full per-pass JSON
     trace ({!Trace}) alongside the QoR table.
 
+    Two entry points:
+
+    - {!run_batch} — one-shot: run a job list, return a report.
+    - {!create_session}/{!submit}/{!close_session} — incremental: a
+      live worker pool and cache that accept successive job batches.
+      An iterative client (the DSE search loop) submits a small batch
+      per round; the cache accumulates across rounds, so a config
+      revisited in round [n+k] is a hit, and the domains are spawned
+      once rather than per round.
+
+    Failures are carried as {!Support.Diag.t} lists (rules HLS000 /
+    HLS902 / HLS903), never ad-hoc strings, so every consumer renders
+    and filters them uniformly.
+
     The QoR rendering ({!render_qor}) is deterministic: it depends only
     on job identities and compile results, never on wall time, worker
     count or cache state — a 4-worker run prints byte-identical QoR to
@@ -13,10 +27,12 @@
 
 module K = Workloads.Kernels
 module E = Hls_backend.Estimate
+module Diag = Support.Diag
 
 (** Cache-key ingredient; bump on any change that alters compiler
-    output. *)
-let tool_version = "mhlsc-1.1.0"
+    output (or the marshalled payload format — 1.2.0 moved job errors
+    from strings to {!Support.Diag.t}). *)
+let tool_version = "mhlsc-1.2.0"
 
 (* ------------------------------------------------------------------ *)
 (* Jobs                                                               *)
@@ -56,17 +72,17 @@ let directives_describe (d : K.directives) : string =
 (* ------------------------------------------------------------------ *)
 
 (** What the cache stores per job (must stay marshal-safe: plain data,
-    no closures). *)
+    no closures — {!Support.Diag.t} qualifies). *)
 type payload = {
-  p_qor : (E.report, string list) result;
+  p_qor : (E.report, Diag.t list) result;
   p_trace : Trace.record list;
   p_seconds : float;  (** front-end compile seconds of the original run *)
 }
 
 type outcome = {
   o_job : job;
-  o_qor : (E.report, string list) result;
-      (** full synthesis report, or the reasons the job failed *)
+  o_qor : (E.report, Diag.t list) result;
+      (** full synthesis report, or the diagnostics that failed the job *)
   o_seconds : float;
   o_from_cache : bool;
   o_trace : Trace.record list;  (** [tr_cached] reflects [o_from_cache] *)
@@ -88,12 +104,19 @@ let trace_records (b : batch_report) : Trace.record list =
 (* ------------------------------------------------------------------ *)
 
 (** Compile one job from scratch, capturing per-pass trace events.
-    Never raises: every failure mode becomes [Error reasons]. *)
+    Never raises: every failure mode becomes [Error diags] —
+    HLS000 for front-end compile errors, HLS902 for middle-end
+    rejection, HLS903 for an unknown kernel name. *)
 let compute ~(pipeline : Adaptor.Pipeline.t) (j : job) : payload =
   match K.by_name j.kernel with
   | None ->
       {
-        p_qor = Error [ Printf.sprintf "unknown kernel '%s'" j.kernel ];
+        p_qor =
+          Error
+            [
+              Diag.error ~rule:"HLS903" ~func:j.label "unknown kernel '%s'"
+                j.kernel;
+            ];
         p_trace = [];
         p_seconds = 0.0;
       }
@@ -105,14 +128,18 @@ let compute ~(pipeline : Adaptor.Pipeline.t) (j : job) : payload =
             ~trace:hook k j.flow
         with
         | Ok r -> (Ok r.Flow.hls, r.Flow.seconds)
-        | Error ds -> (Error (List.map Support.Diag.to_string ds), 0.0)
+        | Error ds -> (Error ds, 0.0)
         | exception Support.Err.Compile_error e ->
-            (Error [ Support.Err.to_string e ], 0.0)
+            (Error [ Diag.of_err ~rule:"HLS000" e ], 0.0)
         | exception E.Rejected errs ->
             ( Error
-                (Printf.sprintf "rejected by HLS middle-end (%d issues)"
+                (Diag.error ~rule:"HLS902" ~func:j.label
+                   "rejected by HLS middle-end (%d issues)"
                    (List.length errs)
-                :: errs),
+                :: List.map
+                     (fun msg ->
+                       Diag.error ~rule:"HLS902" ~func:j.label "%s" msg)
+                     errs),
               0.0 )
       in
       let records =
@@ -189,30 +216,84 @@ let run_job ~pipeline ~(cache : Cache.t option) (j : job) : outcome =
               Cache.store cache key (payload_to_string p);
               o))
 
+(* ------------------------------------------------------------------ *)
+(* Sessions: a live pool + cache accepting incremental submissions    *)
+(* ------------------------------------------------------------------ *)
+
+type session = {
+  s_pipeline : Adaptor.Pipeline.t;
+  s_cache : Cache.t option;
+  s_pool : Pool.t;
+  mutable s_submitted : int;
+  mutable s_closed : bool;
+}
+
+(** [create_session ()] spins up the worker pool (and opens the cache
+    directory, if any) once; every subsequent {!submit} reuses both.
+    Close with {!close_session} — or lexically via {!with_session}. *)
+let create_session ?(pipeline = Adaptor.Pipeline.default) ?cache_dir
+    ?(jobs = 1) () : session =
+  {
+    s_pipeline = pipeline;
+    s_cache = Option.map (fun dir -> Cache.create ~dir) cache_dir;
+    s_pool = Pool.create ~jobs;
+    s_submitted = 0;
+    s_closed = false;
+  }
+
+(** Submit one more batch into the live session.  Outcomes come back in
+    job-list order, deterministic for any worker count.  Cache hits
+    accumulate across submissions: a job resubmitted in a later round
+    (same content address) is served from cache. *)
+let submit (s : session) (js : job list) : outcome list =
+  if s.s_closed then invalid_arg "Driver.submit: session is closed";
+  s.s_submitted <- s.s_submitted + List.length js;
+  Pool.run s.s_pool (run_job ~pipeline:s.s_pipeline ~cache:s.s_cache) js
+
+let session_pipeline (s : session) = s.s_pipeline
+let session_submitted (s : session) = s.s_submitted
+let session_workers (s : session) = Pool.size s.s_pool
+
+let session_hits (s : session) =
+  match s.s_cache with Some c -> Cache.hits c | None -> 0
+
+let session_misses (s : session) =
+  match s.s_cache with Some c -> Cache.misses c | None -> 0
+
+(** Shut the pool down and mark the session closed.  Idempotent. *)
+let close_session (s : session) : unit =
+  if not s.s_closed then begin
+    s.s_closed <- true;
+    Pool.shutdown s.s_pool
+  end
+
+(** [with_session ?pipeline ?cache_dir ?jobs f] runs [f] over a fresh
+    session and closes it even if [f] raises. *)
+let with_session ?pipeline ?cache_dir ?jobs (f : session -> 'a) : 'a =
+  let s = create_session ?pipeline ?cache_dir ?jobs () in
+  Fun.protect ~finally:(fun () -> close_session s) (fun () -> f s)
+
 (** Run a batch: up to [jobs] domains, optional result cache.  Job
     order is preserved in [outcomes] regardless of worker count.
 
     [jobs] is an upper bound: the pool never oversubscribes the
     hardware (OCaml 5 minor collections are stop-the-world across
     domains, so excess domains make an allocation-heavy workload
-    {e slower}) — the worker count is clamped to
-    [Domain.recommended_domain_count ()].  Results are deterministic
-    for any worker count. *)
-let run_batch ?(pipeline = Adaptor.Pipeline.default) ?cache_dir ?(jobs = 1)
-    (js : job list) : batch_report =
-  let cache = Option.map (fun dir -> Cache.create ~dir) cache_dir in
-  let workers =
-    max 1 (min jobs (min (List.length js) (Domain.recommended_domain_count ())))
-  in
-  let t0 = Unix.gettimeofday () in
-  let outcomes = Pool.map ~jobs:workers (run_job ~pipeline ~cache) js in
-  {
-    outcomes;
-    wall_seconds = Unix.gettimeofday () -. t0;
-    jobs_used = workers;
-    cache_hits = (match cache with Some c -> Cache.hits c | None -> 0);
-    cache_misses = (match cache with Some c -> Cache.misses c | None -> 0);
-  }
+    {e slower}).  Results are deterministic for any worker count.
+    One-shot wrapper over a {!session}. *)
+let run_batch ?pipeline ?cache_dir ?(jobs = 1) (js : job list) : batch_report
+    =
+  let jobs = max 1 (min jobs (max 1 (List.length js))) in
+  with_session ?pipeline ?cache_dir ~jobs (fun s ->
+      let t0 = Unix.gettimeofday () in
+      let outcomes = submit s js in
+      {
+        outcomes;
+        wall_seconds = Unix.gettimeofday () -. t0;
+        jobs_used = session_workers s;
+        cache_hits = session_hits s;
+        cache_misses = session_misses s;
+      })
 
 (* ------------------------------------------------------------------ *)
 (* Built-in job grids and manifests                                   *)
@@ -460,8 +541,8 @@ let render_qor (b : batch_report) : string =
               string_of_int r.E.resources.E.dsp;
               string_of_int r.E.resources.E.lut;
             ]
-      | Error reasons ->
-          failures := (o.o_job.label, reasons) :: !failures;
+      | Error diags ->
+          failures := (o.o_job.label, diags) :: !failures;
           Support.Table.add_row t
             [
               o.o_job.label; o.o_job.kernel; Flow.flow_name o.o_job.flow;
@@ -471,11 +552,12 @@ let render_qor (b : batch_report) : string =
   let buf = Buffer.create 512 in
   Buffer.add_string buf (Support.Table.render t);
   List.iter
-    (fun (label, reasons) ->
+    (fun (label, diags) ->
       Buffer.add_string buf (Printf.sprintf "\n%s failed:\n" label);
       List.iter
-        (fun r -> Buffer.add_string buf (Printf.sprintf "  %s\n" r))
-        reasons)
+        (fun d ->
+          Buffer.add_string buf (Printf.sprintf "  %s\n" (Diag.to_string d)))
+        diags)
     (List.rev !failures);
   Buffer.contents buf
 
@@ -495,32 +577,3 @@ let render_stats (b : batch_report) : string =
     b.jobs_used cache_line
 
 let render (b : batch_report) : string = render_qor b ^ "\n" ^ render_stats b
-
-(* ------------------------------------------------------------------ *)
-(* DSE on the driver                                                  *)
-(* ------------------------------------------------------------------ *)
-
-(** Design-space exploration through the batch driver: the same
-    candidate grid and Pareto assembly as {!Flow.Dse.explore}, but the
-    candidates compile in parallel and memoize across runs. *)
-let explore_dse ?budget ?(factors = [ 1; 2; 4; 8 ]) ?pipeline ?cache_dir
-    ?(jobs = 1) ?(clock_ns = 10.0) ~(parts : (string * int) list)
-    (kernel : K.kernel) : Flow.Dse.result * batch_report =
-  let cands = Flow.Dse.candidates ~parts ~factors in
-  let js =
-    List.map
-      (fun (label, d) -> job ~label ~clock_ns ~kernel:kernel.K.kname d)
-      cands
-  in
-  let batch = run_batch ?pipeline ?cache_dir ~jobs js in
-  let evals =
-    List.map2
-      (fun (label, d) o ->
-        ( label,
-          d,
-          match o.o_qor with
-          | Ok r -> Ok r
-          | Error reasons -> Error (String.concat "; " reasons) ))
-      cands batch.outcomes
-  in
-  (Flow.Dse.assemble ?budget ~kernel:kernel.K.kname evals, batch)

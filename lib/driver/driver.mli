@@ -1,0 +1,152 @@
+(** Batch compilation driver: (kernel × flow × directive) jobs on a
+    domain {!Pool}, memoized in a content-addressed {!Cache}, traced
+    via {!Trace}.
+
+    Two entry points: the one-shot {!run_batch}, and the incremental
+    {!create_session}/{!submit}/{!close_session} trio, which keeps a
+    live worker pool and cache across successive batches (the DSE
+    search submits one batch per round; revisited configs hit the
+    cache, and domains are spawned once).
+
+    Failures are {!Support.Diag.t} lists (HLS000 compile error, HLS902
+    middle-end rejection, HLS903 unknown kernel), never ad-hoc
+    strings.  QoR rendering is deterministic: independent of wall
+    time, worker count and cache state. *)
+
+module K := Workloads.Kernels
+module E := Hls_backend.Estimate
+
+(** Cache-key ingredient; bumped on any change that alters compiler
+    output or the cached payload format. *)
+val tool_version : string
+
+(* ------------------------------------------------------------------ *)
+(* Jobs                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type job = {
+  label : string;  (** unique within a batch; names trace records *)
+  kernel : string;  (** built-in kernel name *)
+  flow : Flow.flow_kind;
+  directives : K.directives;
+  clock_ns : float;
+}
+
+(** Smart constructor; the default label is ["<kernel>/<flow>"]. *)
+val job :
+  ?label:string ->
+  ?flow:Flow.flow_kind ->
+  ?clock_ns:float ->
+  kernel:string ->
+  K.directives ->
+  job
+
+(** Canonical description of a directive configuration — part of the
+    cache identity and human-readable in traces. *)
+val directives_describe : K.directives -> string
+
+(* ------------------------------------------------------------------ *)
+(* Outcomes                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  o_job : job;
+  o_qor : (E.report, Support.Diag.t list) result;
+      (** full synthesis report, or the diagnostics that failed the job *)
+  o_seconds : float;
+  o_from_cache : bool;
+  o_trace : Trace.record list;  (** [tr_cached] reflects [o_from_cache] *)
+}
+
+type batch_report = {
+  outcomes : outcome list;  (** in job-list order *)
+  wall_seconds : float;
+  jobs_used : int;  (** worker count *)
+  cache_hits : int;
+  cache_misses : int;  (** both 0 when caching is disabled *)
+}
+
+val trace_records : batch_report -> Trace.record list
+
+(** The job's content address, [None] for an unknown kernel: hashes
+    the printed input IR plus every knob that affects the result. *)
+val cache_key : pipeline:Adaptor.Pipeline.t -> job -> string option
+
+(** Run one job, consulting [cache] first.  Never raises: every
+    failure mode becomes [Error diags]. *)
+val run_job : pipeline:Adaptor.Pipeline.t -> cache:Cache.t option -> job -> outcome
+
+(* ------------------------------------------------------------------ *)
+(* Sessions: a live pool + cache accepting incremental submissions    *)
+(* ------------------------------------------------------------------ *)
+
+type session
+
+(** Spin up the worker pool (and open the cache directory, if any)
+    once; every subsequent {!submit} reuses both. *)
+val create_session :
+  ?pipeline:Adaptor.Pipeline.t ->
+  ?cache_dir:string ->
+  ?jobs:int ->
+  unit ->
+  session
+
+(** Submit one more batch into the live session.  Outcomes in job-list
+    order, deterministic for any worker count; cache hits accumulate
+    across submissions.
+    @raise Invalid_argument after {!close_session}. *)
+val submit : session -> job list -> outcome list
+
+val session_pipeline : session -> Adaptor.Pipeline.t
+val session_submitted : session -> int
+val session_workers : session -> int
+val session_hits : session -> int
+val session_misses : session -> int
+
+(** Shut the pool down and mark the session closed.  Idempotent. *)
+val close_session : session -> unit
+
+(** Run [f] over a fresh session; closes it even if [f] raises. *)
+val with_session :
+  ?pipeline:Adaptor.Pipeline.t ->
+  ?cache_dir:string ->
+  ?jobs:int ->
+  (session -> 'a) ->
+  'a
+
+(** One-shot wrapper over a session: run a batch on up to [jobs]
+    domains with an optional result cache. *)
+val run_batch :
+  ?pipeline:Adaptor.Pipeline.t ->
+  ?cache_dir:string ->
+  ?jobs:int ->
+  job list ->
+  batch_report
+
+(* ------------------------------------------------------------------ *)
+(* Built-in job grids and manifests                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** The default directive grid swept by [mhlsc batch --all-kernels]. *)
+val default_grid : (string * K.directives) list
+
+(** Every built-in kernel × {!default_grid} × [flows]. *)
+val all_kernel_jobs :
+  ?flows:Flow.flow_kind list -> ?clock_ns:float -> unit -> job list
+
+(** Parse a job manifest (one job per line; [#] comments).  Unknown
+    kernels, keys or malformed values are HLS901 diagnostics. *)
+val parse_manifest : string -> (job list, Support.Diag.t) result
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Deterministic QoR table. *)
+val render_qor : batch_report -> string
+
+(** Run statistics (wall time, worker count, cache-hit rate — the
+    stable "cache-hit rate: N%" line CI asserts on). *)
+val render_stats : batch_report -> string
+
+val render : batch_report -> string

@@ -1,10 +1,23 @@
-(** Fixed-size worker pool over OCaml 5 domains.
+(** Worker pool over OCaml 5 domains.
 
-    Work items are claimed from a shared atomic counter, so the pool
-    load-balances automatically: a domain that draws a cheap job simply
-    claims the next one.  With [jobs <= 1] (or a single item) the work
-    runs inline on the calling domain — the sequential path used by the
-    determinism test as the reference. *)
+    Two entry points share the machinery:
+
+    - {!map} — the one-shot path: spawn up to [jobs] domains, apply a
+      function to every element, join.  Work items are claimed from a
+      shared atomic counter, so the pool load-balances automatically.
+    - {!create}/{!run}/{!shutdown} — the {e live}-pool path used by the
+      incremental driver session: workers are spawned once, block on a
+      condition variable between batches, and successive {!run} calls
+      reuse them.  A search loop that submits a small batch per round
+      does not pay a domain-spawn per round.
+
+    Both paths preserve input order in the result and run inline on the
+    calling domain when [jobs <= 1] — the sequential reference used by
+    the determinism tests. *)
+
+(* ------------------------------------------------------------------ *)
+(* One-shot map                                                       *)
+(* ------------------------------------------------------------------ *)
 
 (** [map ~jobs f xs] applies [f] to every element of [xs], on up to
     [jobs] domains, preserving input order in the result.  [f] should
@@ -35,3 +48,115 @@ let map ~(jobs : int) (f : 'a -> 'b) (xs : 'a list) : 'b list =
 
 (** A reasonable default worker count for this machine. *)
 let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Live pool                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  jobs : int;  (** worker-domain count; 0 = inline sequential pool *)
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  batch_done : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable pending : int;  (** tasks queued or running in this batch *)
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let worker (p : t) () =
+  let rec loop () =
+    Mutex.lock p.mutex;
+    while Queue.is_empty p.queue && not p.stopping do
+      Condition.wait p.work_available p.mutex
+    done;
+    if Queue.is_empty p.queue then (* stopping *)
+      Mutex.unlock p.mutex
+    else begin
+      let task = Queue.pop p.queue in
+      Mutex.unlock p.mutex;
+      task ();
+      Mutex.lock p.mutex;
+      p.pending <- p.pending - 1;
+      if p.pending = 0 then Condition.broadcast p.batch_done;
+      Mutex.unlock p.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+(** [create ~jobs] spawns a pool of [min jobs (recommended - 1)]
+    worker domains (at least 0: with [jobs <= 1] no domain is spawned
+    and {!run} executes inline).  The pool never oversubscribes the
+    hardware — OCaml 5 minor collections are stop-the-world across
+    domains, so excess domains make allocation-heavy workloads
+    {e slower}. *)
+let create ~(jobs : int) : t =
+  let jobs =
+    if jobs <= 1 then 0
+    else min jobs (max 1 (Domain.recommended_domain_count ()))
+  in
+  let p =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      batch_done = Condition.create ();
+      queue = Queue.create ();
+      pending = 0;
+      stopping = false;
+      domains = [];
+    }
+  in
+  p.domains <- List.init jobs (fun _ -> Domain.spawn (worker p));
+  p
+
+(** Number of worker domains actually running (1 when inline). *)
+let size (p : t) : int = max 1 p.jobs
+
+(** [run p f xs] evaluates [f] on every element of [xs] on the pool's
+    workers and blocks until the whole batch is done, preserving input
+    order.  Results are independent of the worker count.  A task that
+    raises poisons only its own slot: the exception is re-raised here
+    after the batch drains, so the pool stays usable. *)
+let run (p : t) (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  let n = List.length xs in
+  if p.jobs = 0 || n <= 1 then List.map f xs
+  else begin
+    let input = Array.of_list xs in
+    let output : ('b, exn) result option array = Array.make n None in
+    let task i () =
+      output.(i) <-
+        Some (match f input.(i) with v -> Ok v | exception e -> Error e)
+    in
+    Mutex.lock p.mutex;
+    if p.stopping then begin
+      Mutex.unlock p.mutex;
+      invalid_arg "Pool.run: pool is shut down"
+    end;
+    for i = 0 to n - 1 do
+      Queue.push (task i) p.queue
+    done;
+    p.pending <- p.pending + n;
+    Condition.broadcast p.work_available;
+    while p.pending > 0 do
+      Condition.wait p.batch_done p.mutex
+    done;
+    Mutex.unlock p.mutex;
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok v) -> v
+           | Some (Error e) -> raise e
+           | None -> assert false)
+         output)
+  end
+
+(** Stop the workers and join their domains.  Idempotent. *)
+let shutdown (p : t) : unit =
+  Mutex.lock p.mutex;
+  p.stopping <- true;
+  Condition.broadcast p.work_available;
+  Mutex.unlock p.mutex;
+  List.iter Domain.join p.domains;
+  p.domains <- []

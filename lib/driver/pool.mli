@@ -1,0 +1,29 @@
+(** Worker pool over OCaml 5 domains: a one-shot {!map} and a live
+    {!create}/{!run}/{!shutdown} pool reused across batches.  Both
+    preserve input order and run inline when [jobs <= 1]. *)
+
+(** [map ~jobs f xs] applies [f] on up to [jobs] domains, preserving
+    input order.  [f] should not raise. *)
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** A reasonable default worker count for this machine. *)
+val default_jobs : unit -> int
+
+(** A live pool: workers are spawned once and reused by every {!run}. *)
+type t
+
+(** [create ~jobs] spawns the workers ([jobs <= 1] means inline, no
+    domains); the count is clamped to the hardware. *)
+val create : jobs:int -> t
+
+(** Number of worker domains actually running (1 when inline). *)
+val size : t -> int
+
+(** [run p f xs] evaluates the batch on the pool, blocking until done;
+    input order preserved, results independent of worker count.  A
+    task's exception is re-raised here after the batch drains.
+    @raise Invalid_argument after {!shutdown}. *)
+val run : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Stop the workers and join their domains.  Idempotent. *)
+val shutdown : t -> unit

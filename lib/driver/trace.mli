@@ -1,0 +1,39 @@
+(** Batch-level pass traces: per-job, per-pass records assembled from
+    {!Support.Tracing} events, emitted as versioned JSON plus an
+    aggregate summary table. *)
+
+type record = {
+  tr_job : string;  (** job label the pass ran under *)
+  tr_kernel : string;
+  tr_flow : string;  (** ["direct-ir"] | ["hls-cpp"] *)
+  tr_stage : string;
+  tr_pass : string;
+  tr_seconds : float;
+  tr_instrs_before : int;
+  tr_instrs_after : int;
+  tr_cached : bool;  (** served from the result cache, not re-run *)
+}
+
+val schema_version : int
+
+val of_event :
+  job:string ->
+  kernel:string ->
+  flow:string ->
+  cached:bool ->
+  Support.Tracing.event ->
+  record
+
+(** The record's JSON fields, in canonical schema order. *)
+val record_fields : record -> (string * string) list
+
+val to_json : tool:string -> record list -> string
+val write_file : tool:string -> string -> record list -> unit
+
+(** Structural schema check of a serialized trace: version marker,
+    records array, required keys on every record. *)
+val validate : string -> (unit, string) result
+
+(** Per-(stage, pass) aggregate over a batch: run count, total/mean
+    time, net IR delta. *)
+val summary_table : record list -> string

@@ -1,0 +1,20 @@
+(** Versioned [dse.json] frontier export + structural validator.
+
+    The file is deterministic for a given cache state — wall-clock
+    never appears, so a [--jobs 4] export is byte-identical to a
+    [--jobs 1] one. *)
+
+val schema_version : int
+
+(** Serialize an outcome.  [tool] is the driver's version string. *)
+val to_json : tool:string -> Search.outcome -> string
+
+val write_file : tool:string -> string -> Search.outcome -> unit
+
+(** Structural schema check of a serialized export: version marker,
+    required header keys, every frontier point carrying the required
+    keys, and a non-empty frontier. *)
+val validate : string -> (unit, string) result
+
+(** {!validate} on a file's contents. *)
+val validate_file : string -> (unit, string) result

@@ -1,0 +1,86 @@
+(** Pareto-archive design-space search on the batch driver: seeded
+    coordinate descent with neighborhood expansion, dominance pruning,
+    budget filtering and frontier-stability early stop.  All
+    evaluations run as jobs on a live {!Mhls_driver.Driver} session
+    (domain pool + content-addressed cache shared across rounds).
+
+    The frontier is deterministic: byte-identical for any [jobs]. *)
+
+type budget = {
+  b_max_bram : int option;
+  b_max_dsp : int option;
+  b_max_lut : int option;
+}
+
+val no_budget : budget
+
+type params = {
+  max_evals : int;  (** cap on distinct configurations evaluated *)
+  max_rounds : int;
+  stable_rounds : int;  (** stop after this many frontier-stable rounds *)
+  budget : budget;
+  clock_ns : float;
+}
+
+val default_params : params
+
+(** One evaluated, feasible, non-dominated design point. *)
+type point = {
+  pt_label : string;  (** [Space.describe] of the config *)
+  pt_config : Space.config;
+  pt_directives : Workloads.Kernels.directives;
+  pt_report : Hls_backend.Estimate.report;
+}
+
+type round_stat = {
+  rs_round : int;  (** 1-based *)
+  rs_candidates : int;
+  rs_full_evals : int;  (** candidates actually compiled this round *)
+  rs_cache_hits : int;
+  rs_frontier : int;  (** frontier size after the round *)
+  rs_seconds : float;  (** wall; excluded from dse.json *)
+}
+
+type stop_reason = [ `Stable | `Max_rounds | `Max_evals | `Exhausted ]
+
+val stop_reason_name : stop_reason -> string
+
+type outcome = {
+  o_kernel : string;
+  o_space : Space.t;
+  o_frontier : point list;  (** sorted by label; the Pareto frontier *)
+  o_evaluated : int;  (** distinct configurations evaluated *)
+  o_full_evals : int;  (** evaluations that actually compiled *)
+  o_cache_hits : int;  (** evaluations served by the result cache *)
+  o_infeasible : (string * Support.Diag.t list) list;
+      (** label → diagnostics, for configs the flow rejected *)
+  o_over_budget : int;  (** feasible points dropped by the budget *)
+  o_rounds : round_stat list;
+  o_stopped : stop_reason;
+}
+
+(** Objectives (minimized): latency, BRAM, DSP, LUT. *)
+val objectives_of_report : Hls_backend.Estimate.report -> Pareto.objectives
+
+val within_budget : budget -> Hls_backend.Estimate.report -> bool
+
+(** Run the search.  Total: evaluation failures become [o_infeasible]
+    entries, never exceptions. *)
+val search :
+  ?params:params ->
+  ?pipeline:Adaptor.Pipeline.t ->
+  ?cache_dir:string ->
+  ?jobs:int ->
+  ?trace:Support.Tracing.hook ->
+  Workloads.Kernels.kernel ->
+  outcome
+
+(** Fastest frontier point (label breaks latency ties). *)
+val best : outcome -> point option
+
+(** Deterministic frontier table: depends only on the frontier, never
+    on timing or cache state. *)
+val render_frontier : outcome -> string
+
+(** Full report: frontier table plus search statistics. *)
+val render : outcome -> string

@@ -1,7 +1,5 @@
-(** Library root: the end-to-end flows plus the design-space
-    exploration extension. *)
+(** Library root: the end-to-end flows.  The public surface is sealed
+    by [flow.mli]; design-space exploration lives in the separate
+    [Mhls_dse] library built on the batch driver. *)
 
 include Flow_impl
-
-(** Automatic design-space exploration (extension; see {!Dse}). *)
-module Dse = Dse

@@ -52,6 +52,37 @@ type report = {
 
 exception Rejected of string list
 
+(** Stable comparable key over a report's quality-of-result numbers.
+    Gives consumers (DSE, regression diffing) a total order that is
+    independent of the report's non-QoR payload (loop list, warnings),
+    so sorting and deduplication are deterministic across runs. *)
+type qor_key = {
+  qk_latency : int;
+  qk_bram : int;
+  qk_dsp : int;
+  qk_ff : int;
+  qk_lut : int;
+}
+
+let qor_key (r : report) : qor_key =
+  {
+    qk_latency = r.latency;
+    qk_bram = r.resources.bram;
+    qk_dsp = r.resources.dsp;
+    qk_ff = r.resources.ff;
+    qk_lut = r.resources.lut;
+  }
+
+(** Lexicographic: latency, then bram, dsp, ff, lut. *)
+let qor_compare (a : qor_key) (b : qor_key) : int =
+  compare
+    (a.qk_latency, a.qk_bram, a.qk_dsp, a.qk_ff, a.qk_lut)
+    (b.qk_latency, b.qk_bram, b.qk_dsp, b.qk_ff, b.qk_lut)
+
+let qor_to_string (k : qor_key) : string =
+  Printf.sprintf "lat=%d bram=%d dsp=%d ff=%d lut=%d" k.qk_latency k.qk_bram
+    k.qk_dsp k.qk_ff k.qk_lut
+
 let fail = Support.Err.fail ~pass:"hls.estimate"
 
 (* FU accounting: per-class maximum concurrent units *)

@@ -1,0 +1,8 @@
+(** Shared test shim over the sealed flow API: the tests are a process
+    boundary, so front-end diagnostics escalate to
+    {!Support.Diag.Failed}. *)
+
+let frontend_exn ?pipeline ?trace m =
+  match Flow.direct_ir_frontend ?pipeline ?trace m with
+  | Ok r -> r
+  | Error ds -> raise (Support.Diag.Failed ds)

@@ -373,10 +373,12 @@ let test_strict_mode_rejects_incomplete () =
   let m = gemm_modern () in
   (* descriptor elimination disabled but strict: must raise, carrying
      the complete accumulated diagnostic list *)
-  let config =
-    { A.default_config with A.eliminate_descriptors = false; A.strict = true }
+  let pipeline =
+    match A.Pipeline.disable "eliminate-descriptors" A.Pipeline.default with
+    | Ok p -> p
+    | Error d -> Alcotest.fail (Support.Diag.to_string d)
   in
-  match A.run ~config m with
+  match A.run ~pipeline m with
   | Ok _ -> Alcotest.fail "strict + incomplete must fail"
   | Error ds ->
       Alcotest.(check bool) "carries all findings" true (List.length ds > 1);

@@ -102,15 +102,35 @@ let test_pipeline_set_enabled () =
   | Error d ->
       Alcotest.(check string) "HLS900 on toggle" "HLS900" d.Support.Diag.rule
 
-let test_pipeline_config_shim () =
-  (* the deprecated boolean-record surface maps onto the same named
-     pipelines, so old callers land on identical cache identities *)
-  Alcotest.(check string)
-    "flat_views shim" (P.describe P.flat_views)
-    (P.describe (Adaptor.pipeline_of_config Adaptor.flat_views));
-  Alcotest.(check string)
-    "default shim" (P.describe P.default)
-    (P.describe (Adaptor.pipeline_of_config Adaptor.default_config))
+let test_session_incremental () =
+  (* a live session keeps its pool and cache across submissions: the
+     second submit of the same jobs is served entirely from cache *)
+  let dir = fresh_dir () in
+  D.with_session ~cache_dir:dir ~jobs:2 (fun s ->
+      let js = small_jobs () in
+      let b1 = D.submit s js in
+      let b2 = D.submit s js in
+      Alcotest.(check int)
+        "session counts both submissions"
+        (2 * List.length js)
+        (D.session_submitted s);
+      Alcotest.(check int) "warm submit all hits" (List.length js)
+        (D.session_hits s);
+      List.iter
+        (fun o -> Alcotest.(check bool) "warm outcome cached" true
+            o.D.o_from_cache)
+        b2;
+      Alcotest.(check string) "identical QoR across submissions" (qor b1)
+        (qor b2));
+  (* a closed session rejects further work *)
+  let s = D.create_session ~jobs:1 () in
+  D.close_session s;
+  D.close_session s;
+  (* idempotent *)
+  (match D.submit s (small_jobs ()) with
+  | _ -> Alcotest.fail "submit after close must be rejected"
+  | exception Invalid_argument _ -> ());
+  rm_rf dir
 
 (* ------------------------------------------------------------------ *)
 (* Result cache                                                       *)
@@ -270,7 +290,8 @@ let suite =
     Alcotest.test_case "pipeline default" `Quick test_pipeline_default;
     Alcotest.test_case "pipeline of_names" `Quick test_pipeline_of_names;
     Alcotest.test_case "pipeline set_enabled" `Quick test_pipeline_set_enabled;
-    Alcotest.test_case "pipeline config shim" `Quick test_pipeline_config_shim;
+    Alcotest.test_case "session incremental submit" `Quick
+      test_session_incremental;
     Alcotest.test_case "cache hit miss" `Quick test_cache_hit_miss;
     Alcotest.test_case "cache invalidation on pipeline change" `Quick
       test_cache_invalidation_on_pipeline_change;

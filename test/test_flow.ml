@@ -99,7 +99,7 @@ let test_flat_ablation_ignores_partitioning () =
     let d = K.optimized ~factor ~parts:[ ("A", 2); ("B", 1) ] () in
     let m = (K.gemm ()).K.build d in
     let lm, _, _ =
-      Flow.direct_ir_frontend_exn ~pipeline:Adaptor.Pipeline.flat_views m
+      Flow_util.frontend_exn ~pipeline:Adaptor.Pipeline.flat_views m
     in
     (E.synthesize ~top:"gemm" lm).E.latency
   in
@@ -109,7 +109,7 @@ let test_adaptor_beats_flat_ablation () =
   let d = K.optimized ~factor:8 ~parts:[ ("A", 2); ("B", 1) ] () in
   let full = Flow.run_exn ~directives:d (K.gemm ()) Flow.Direct_ir in
   let m = (K.gemm ()).K.build d in
-  let lm, _, _ = Flow.direct_ir_frontend_exn ~pipeline:Adaptor.Pipeline.flat_views m in
+  let lm, _, _ = Flow_util.frontend_exn ~pipeline:Adaptor.Pipeline.flat_views m in
   let flat = E.synthesize ~top:"gemm" lm in
   Alcotest.(check bool) "delinearization pays off" true
     (full.Flow.hls.E.latency * 2 < flat.E.latency)
@@ -117,7 +117,7 @@ let test_adaptor_beats_flat_ablation () =
 let test_no_descriptor_ablation_rejected () =
   let m = (K.gemm ()).K.build K.pipelined in
   let lm, _, _ =
-    Flow.direct_ir_frontend_exn
+    Flow_util.frontend_exn
       ~pipeline:Adaptor.Pipeline.no_descriptor_elimination m
   in
   Alcotest.(check bool) "descriptor IR rejected by the tool" true

@@ -77,7 +77,7 @@ let test_accepts_adapted_ir () =
   List.iter
     (fun k ->
       let lm, _, _ =
-        Flow.direct_ir_frontend_exn
+        Flow_util.frontend_exn
           (k.Workloads.Kernels.build Workloads.Kernels.pipelined)
       in
       let r = E.synthesize ~top:k.Workloads.Kernels.kname lm in
@@ -246,7 +246,7 @@ let test_unroll_divides_trip () =
     (Workloads.Kernels.gemm ()).Workloads.Kernels.build
       { Workloads.Kernels.pipelined with Workloads.Kernels.unroll = Some 4 }
   in
-  let lm, _, _ = Flow.direct_ir_frontend_exn m in
+  let lm, _, _ = Flow_util.frontend_exn m in
   let r = E.synthesize ~top:"gemm" lm in
   let inner =
     List.find (fun (l : E.loop_report) -> l.E.depth = 3) r.E.loops
@@ -280,7 +280,7 @@ let test_bram_estimation () =
 
 let test_dsp_usage_reported () =
   let lm, _, _ =
-    Flow.direct_ir_frontend_exn
+    Flow_util.frontend_exn
       ((Workloads.Kernels.gemm ()).Workloads.Kernels.build
          Workloads.Kernels.pipelined)
   in
@@ -294,7 +294,7 @@ let test_resources_grow_with_partitioning () =
       Workloads.Kernels.optimized ~factor ~parts:[ ("A", 2); ("B", 1) ] ()
     in
     let lm, _, _ =
-      Flow.direct_ir_frontend_exn
+      Flow_util.frontend_exn
         ((Workloads.Kernels.gemm ()).Workloads.Kernels.build d)
     in
     E.synthesize ~top:"gemm" lm
@@ -312,7 +312,7 @@ let test_resources_grow_with_partitioning () =
 
 let test_report_renders () =
   let lm, _, _ =
-    Flow.direct_ir_frontend_exn
+    Flow_util.frontend_exn
       ((Workloads.Kernels.gemm ()).Workloads.Kernels.build
          Workloads.Kernels.pipelined)
   in

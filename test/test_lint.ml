@@ -153,7 +153,7 @@ let test_adaptor_complete_list () =
   (* without descriptor elimination the output keeps descriptors and
      opaque pointers: non-strict run accumulates them in the report *)
   let _, report, _ =
-    Flow.direct_ir_frontend_exn
+    Flow_util.frontend_exn
       ~pipeline:Adaptor.Pipeline.no_descriptor_elimination m
   in
   let n = List.length report.Adaptor.diagnostics in

@@ -100,7 +100,7 @@ let test_roundtrip_adapted_kernels () =
   List.iter
     (fun k ->
       let m = k.Workloads.Kernels.build Workloads.Kernels.pipelined in
-      let lm, _, _ = Flow.direct_ir_frontend_exn m in
+      let lm, _, _ = Flow_util.frontend_exn m in
       let t1 = Lprinter.module_to_string lm in
       let lm2 = Lparser.parse_module t1 in
       Lverifier.verify_module lm2;

@@ -152,7 +152,7 @@ let test_gemm_inner_loop () =
     }
   in
   let lm, _, _ =
-    Flow.direct_ir_frontend_exn (k.Workloads.Kernels.build d)
+    Flow_util.frontend_exn (k.Workloads.Kernels.build d)
   in
   let f = Llvmir.Lmodule.find_func_exn lm "gemm" in
   let cfg = Cfg.build f in
@@ -185,7 +185,7 @@ let test_seidel_carried () =
     }
   in
   let lm, _, _ =
-    Flow.direct_ir_frontend_exn (k.Workloads.Kernels.build d)
+    Flow_util.frontend_exn (k.Workloads.Kernels.build d)
   in
   let f = Llvmir.Lmodule.find_func_exn lm "seidel2d" in
   let cfg = Cfg.build f in

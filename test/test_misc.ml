@@ -157,7 +157,7 @@ let test_op_model_total_on_kernels () =
           lm.Llvmir.Lmodule.funcs
       in
       let m = k.Workloads.Kernels.build Workloads.Kernels.pipelined in
-      let direct, _, _ = Flow.direct_ir_frontend_exn m in
+      let direct, _, _ = Flow_util.frontend_exn m in
       let cpp, _, _ = Flow.hls_cpp_frontend (k.Workloads.Kernels.build Workloads.Kernels.pipelined) in
       check direct;
       check cpp)
