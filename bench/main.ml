@@ -321,6 +321,84 @@ let table4 () =
     \ adaptor timings are in each flow's report)"
 
 (* ------------------------------------------------------------------ *)
+(* Bench target: adaptor + cleanup-pipeline compile time per kernel   *)
+(* ------------------------------------------------------------------ *)
+
+(** Measures the middle-of-flow cost this repo actually optimizes: the
+    LLVM cleanup pipeline plus the adaptor, per kernel, on pre-lowered
+    IR (lowering and HLS estimation excluded).  Writes the results to
+    [BENCH_compile.json] (override with [MHLSC_BENCH_COMPILE_OUT]);
+    [MHLSC_BENCH_SMOKE=1] shrinks the measurement budget for CI. *)
+let compile_bench () =
+  hdr "Bench: adaptor + cleanup pipeline compile time per kernel";
+  let open Bechamel in
+  let open Toolkit in
+  let smoke = Sys.getenv_opt "MHLSC_BENCH_SMOKE" <> None in
+  let out =
+    Option.value
+      (Sys.getenv_opt "MHLSC_BENCH_COMPILE_OUT")
+      ~default:"BENCH_compile.json"
+  in
+  let prepared =
+    List.map
+      (fun k ->
+        let m = Mhir.Canonicalize.run (k.K.build K.pipelined) in
+        let lm = Lowering.Lower.lower_module ~style:Lowering.Lower.modern m in
+        (k.K.kname, lm))
+      kernels
+  in
+  let tests =
+    Test.make_grouped ~name:"compile"
+      (List.map
+         (fun (name, lm) ->
+           Test.make ~name
+             (Staged.stage (fun () ->
+                  ignore (Adaptor.run (Flow.llvm_cleanup lm)))))
+         prepared)
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    if smoke then Benchmark.cfg ~limit:20 ~quota:(Time.second 0.05) ~stabilize:false ()
+    else Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ e ] -> rows := (name, e /. 1e6) :: !rows
+      | _ -> ())
+    results;
+  let rows = List.sort compare !rows in
+  let t = T.create ~aligns:[ T.Left; T.Right ] [ "kernel"; "time/run (ms)" ] in
+  List.iter (fun (n, ms) -> T.add_row t [ n; Printf.sprintf "%.3f" ms ]) rows;
+  T.print t;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "{\n  \"version\": 1,\n  \"experiment\": \"compile\",\n";
+  Buffer.add_string buf "  \"unit\": \"ms-per-run\",\n  \"kernels\": [\n";
+  List.iteri
+    (fun i (name, ms) ->
+      let kname =
+        match String.rindex_opt name '/' with
+        | Some j -> String.sub name (j + 1) (String.length name - j - 1)
+        | None -> name
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "    { \"kernel\": \"%s\", \"ms\": %.6f }%s\n" kname ms
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s (%d kernels%s)\n" out (List.length rows)
+    (if smoke then ", smoke budget" else "")
+
+(* ------------------------------------------------------------------ *)
 (* Ablation: adaptor pass contributions                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -469,6 +547,7 @@ let experiments =
     ("table2", table2);
     ("table3", table3);
     ("table4", table4);
+    ("compile", compile_bench);
     ("fig1", fig1);
     ("fig2", fig2);
     ("fig3", fig3);

@@ -58,8 +58,16 @@ module Pipeline = struct
   type pass = {
     pname : string;  (** stable pass name, e.g. ["typed-pointers"] *)
     enabled : bool;
-    prun : report -> top:string option -> Llvmir.Lmodule.t -> Llvmir.Lmodule.t;
-        (** the rewrite; updates the matching [report] stats in place *)
+    prun :
+      report ->
+      am:Llvmir.Analysis.t ->
+      top:string option ->
+      Llvmir.Lmodule.t ->
+      Llvmir.Lmodule.t;
+        (** the rewrite; updates the matching [report] stats in place.
+            [am] is the analysis manager shared across the pipeline —
+            a pass that indexes its {e input} queries it so the
+            verifier's post-pass index is reused. *)
   }
 
   type t = {
@@ -72,7 +80,8 @@ module Pipeline = struct
     {
       pname = "legalize-intrinsics";
       enabled = true;
-      prun = (fun r ~top:_ m -> Legalize_intrinsics.run ~stats:r.intrinsics m);
+      prun =
+        (fun r ~am:_ ~top:_ m -> Legalize_intrinsics.run ~stats:r.intrinsics m);
     }
 
   let eliminate_descriptors =
@@ -80,8 +89,9 @@ module Pipeline = struct
       pname = "eliminate-descriptors";
       enabled = true;
       prun =
-        (fun r ~top:_ m ->
-          Eliminate_descriptors.run ~stats:r.descriptors ~delinearize:true m);
+        (fun r ~am ~top:_ m ->
+          Eliminate_descriptors.run ~stats:r.descriptors ~delinearize:true ~am
+            m);
     }
 
   (** Variant of {!eliminate_descriptors} that keeps accesses on flat
@@ -92,36 +102,38 @@ module Pipeline = struct
       pname = "eliminate-descriptors-flat";
       enabled = true;
       prun =
-        (fun r ~top:_ m ->
-          Eliminate_descriptors.run ~stats:r.descriptors ~delinearize:false m);
+        (fun r ~am ~top:_ m ->
+          Eliminate_descriptors.run ~stats:r.descriptors ~delinearize:false ~am
+            m);
     }
 
   let typed_pointers =
     {
       pname = "typed-pointers";
       enabled = true;
-      prun = (fun r ~top:_ m -> Typed_pointers.run ~stats:r.pointers m);
+      prun = (fun r ~am:_ ~top:_ m -> Typed_pointers.run ~stats:r.pointers m);
     }
 
   let canonicalize_geps =
     {
       pname = "canonicalize-geps";
       enabled = true;
-      prun = (fun r ~top:_ m -> Canonicalize_geps.run ~stats:r.geps m);
+      prun = (fun r ~am ~top:_ m -> Canonicalize_geps.run ~stats:r.geps ~am m);
     }
 
   let translate_metadata =
     {
       pname = "translate-metadata";
       enabled = true;
-      prun = (fun r ~top:_ m -> Translate_metadata.run ~stats:r.metadata m);
+      prun =
+        (fun r ~am:_ ~top:_ m -> Translate_metadata.run ~stats:r.metadata m);
     }
 
   let lower_interfaces =
     {
       pname = "lower-interfaces";
       enabled = true;
-      prun = (fun r ~top m -> Interfaces.run ~stats:r.interfaces ?top m);
+      prun = (fun r ~am:_ ~top m -> Interfaces.run ~stats:r.interfaces ?top m);
     }
 
   (** Every constructible pass, in canonical order. *)
@@ -256,6 +268,7 @@ let run ?(pipeline = Pipeline.default) ?(trace = Support.Tracing.null)
     (m : Llvmir.Lmodule.t) :
     (Llvmir.Lmodule.t * report, Support.Diag.t list) result =
   let r = fresh_report () in
+  let am = Llvmir.Analysis.create ~trace () in
   let issues_before = Compat.check m in
   let timings = ref [] in
   let step m (p : Pipeline.pass) =
@@ -263,10 +276,10 @@ let run ?(pipeline = Pipeline.default) ?(trace = Support.Tracing.null)
     else begin
       let before = Llvmir.Lmodule.instr_count m in
       let t0 = Sys.time () in
-      let m' = p.Pipeline.prun r ~top:pipeline.Pipeline.top m in
+      let m' = p.Pipeline.prun r ~am ~top:pipeline.Pipeline.top m in
       let seconds = Sys.time () -. t0 in
       timings := (p.Pipeline.pname, seconds) :: !timings;
-      Llvmir.Lverifier.verify_module m';
+      Llvmir.Lverifier.verify_module ~am m';
       trace
         (Support.Tracing.event ~stage:"adaptor" ~pass:p.Pipeline.pname
            ~seconds ~before ~after:(Llvmir.Lmodule.instr_count m'));

@@ -13,18 +13,20 @@ type stats = { mutable merged : int; mutable widened : int }
 
 let fresh_stats () = { merged = 0; widened = 0 }
 
-let run_func ?(stats = fresh_stats ()) (f : Lmodule.func) : Lmodule.func =
+let run_func ?(stats = fresh_stats ()) ?am (f : Lmodule.func) : Lmodule.func =
   let names = Lmodule.namegen f in
   let one_round f =
-    let defs = Lmodule.def_map f in
+    let idx = Analysis.findex ?am f in
+    let changed = ref false in
     let rw (i : Linstr.t) : Linstr.t list =
       match i.op with
       | Gep { base = Lvalue.Reg (bn, _); idxs; src_ty = _; inbounds } -> (
-          match (Hashtbl.find_opt defs bn, idxs) with
+          match (Findex.def_instr idx bn, idxs) with
           | ( Some { op = Gep { base = b0; idxs = idxs0; src_ty = st0; inbounds = ib0 }; _ },
               Lvalue.Const (Lvalue.CInt (0, _)) :: rest ) ->
               (* gep (gep b0, idxs0), 0, rest  ==  gep b0, idxs0 @ rest *)
               stats.merged <- stats.merged + 1;
+              changed := true;
               [
                 {
                   i with
@@ -41,14 +43,13 @@ let run_func ?(stats = fresh_stats ()) (f : Lmodule.func) : Lmodule.func =
           | _ -> [ i ])
       | _ -> [ i ]
     in
-    Lmodule.rewrite_insts rw f
+    let f' = Lmodule.rewrite_insts rw f in
+    if !changed then Some f' else None
   in
   (* iterate: merging can expose further merges *)
   let rec fixpoint f n =
     if n = 0 then f
-    else
-      let f' = one_round f in
-      if f' = f then f' else fixpoint f' (n - 1)
+    else match one_round f with None -> f | Some f' -> fixpoint f' (n - 1)
   in
   let f = fixpoint f 8 in
   (* widen i32 GEP indices to i64 via sext *)
@@ -70,7 +71,7 @@ let run_func ?(stats = fresh_stats ()) (f : Lmodule.func) : Lmodule.func =
                   Linstr.make ~result:r ~ty:Ltype.I64
                     (Cast (Sext, v, Ltype.I64))
                   :: !pre;
-                Lvalue.Reg (r, Ltype.I64)
+                Lvalue.reg r Ltype.I64
           end
           else v
         in
@@ -81,5 +82,5 @@ let run_func ?(stats = fresh_stats ()) (f : Lmodule.func) : Lmodule.func =
   let f = Lmodule.rewrite_insts rw2 f in
   fst (Opt_dce.run_func f)
 
-let run ?stats (m : Lmodule.t) : Lmodule.t =
-  Lmodule.map_funcs (run_func ?stats) m
+let run ?stats ?am (m : Lmodule.t) : Lmodule.t =
+  Lmodule.map_funcs (run_func ?stats ?am) m

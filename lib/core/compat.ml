@@ -108,18 +108,18 @@ let check_func (f : Lmodule.func) : issue list =
     f.params;
   Lmodule.iter_insts
     (fun (i : Linstr.t) ->
-      if i.result <> "" && has_opaque i.ty then
-        add Opaque_pointer (Printf.sprintf "%%%s : ptr" i.result);
-      if i.result <> "" && is_descriptor_ty i.ty then
-        add Memref_descriptor (Printf.sprintf "%%%s" i.result);
+      if has_result i && has_opaque i.ty then
+        add Opaque_pointer (Printf.sprintf "%%%s : ptr" (result_name i));
+      if has_result i && is_descriptor_ty i.ty then
+        add Memref_descriptor (Printf.sprintf "%%%s" (result_name i));
       (match i.op with
-      | Freeze _ -> add Freeze_inst (Printf.sprintf "%%%s" i.result)
+      | Freeze _ -> add Freeze_inst (Printf.sprintf "%%%s" (result_name i))
       | Call { callee; _ } when Hls_names.is_modern_intrinsic callee ->
           add (Modern_intrinsic callee) callee
       | ExtractValue (agg, _) | InsertValue (agg, _, _) ->
           if not (is_descriptor_ty (Lvalue.type_of agg)) then
             add Unsupported_aggregate_op
-              (Printf.sprintf "%%%s" i.result)
+              (Printf.sprintf "%%%s" (result_name i))
       | _ -> ());
       List.iter
         (fun (k, _) ->

@@ -27,6 +27,7 @@
 
 open Llvmir
 open Linstr
+module Sym = Support.Interner
 
 type desc_info = {
   data : Lvalue.t;  (** underlying data pointer (field 1) *)
@@ -56,12 +57,12 @@ let descriptor_rank (ty : Ltype.t) : int option =
   | _ -> None
 
 (** Follow an insertvalue chain upward, recording field values. *)
-let trace_chain (defs : (string, Linstr.t) Hashtbl.t) (root : string) :
+let trace_chain (idx : Findex.t) (root : Sym.t) :
     (int list * Lvalue.t) list option =
   let rec go name acc fuel =
     if fuel = 0 then None
     else
-      match Hashtbl.find_opt defs name with
+      match Findex.def_instr idx name with
       | Some { op = InsertValue (agg, v, path); _ } -> (
           let acc = if List.mem_assoc path acc then acc else (path, v) :: acc in
           match agg with
@@ -96,18 +97,18 @@ let info_of_chain rank (fields : (int list * Lvalue.t) list) : desc_info option
 
 (** Decompose a linear-index value into [(value option, coefficient)]
     terms; [None] value = literal constant term. *)
-let rec collect_terms (defs : (string, Linstr.t) Hashtbl.t) (v : Lvalue.t)
+let rec collect_terms (idx : Findex.t) (v : Lvalue.t)
     ~fuel : (Lvalue.t option * int) list option =
   if fuel = 0 then None
   else
     match v with
     | Lvalue.Const (Lvalue.CInt (c, _)) -> Some [ (None, c) ]
     | Lvalue.Reg (n, _) -> (
-        match Hashtbl.find_opt defs n with
+        match Findex.def_instr idx n with
         | Some { op = IBin (Add, a, b); _ } -> (
             match
-              ( collect_terms defs a ~fuel:(fuel - 1),
-                collect_terms defs b ~fuel:(fuel - 1) )
+              ( collect_terms idx a ~fuel:(fuel - 1),
+                collect_terms idx b ~fuel:(fuel - 1) )
             with
             | Some ta, Some tb -> Some (ta @ tb)
             | _ -> None)
@@ -163,41 +164,41 @@ let match_strides (terms : (Lvalue.t option * int) list) (strides : int list) :
 
 (** [delinearize = false] keeps every access on a flat 1-D view (the
     ablation of the paper's "keep more expression details" step). *)
-let run_func ?(stats = fresh_stats ()) ?(delinearize = true)
+let run_func ?(stats = fresh_stats ()) ?(delinearize = true) ?am
     (f : Lmodule.func) : Lmodule.func =
-  let defs = Lmodule.def_map f in
+  let fidx = Analysis.findex ?am f in
   let names = Lmodule.namegen f in
   (* 1. discover descriptors *)
-  let desc_tbl : (string, desc_info) Hashtbl.t = Hashtbl.create 8 in
+  let desc_tbl : desc_info Sym.Tbl.t = Sym.Tbl.create 8 in
   Lmodule.iter_insts
     (fun i ->
-      if i.result <> "" then
+      if not (Sym.is_empty i.result) then
         match descriptor_rank i.ty with
         | Some rank when (match i.op with InsertValue _ -> true | _ -> false)
           -> (
-            match trace_chain defs i.result with
+            match trace_chain fidx i.result with
             | Some fields -> (
                 match info_of_chain rank fields with
-                | Some info -> Hashtbl.replace desc_tbl i.result info
+                | Some info -> Sym.Tbl.replace desc_tbl i.result info
                 | None -> ())
             | None -> ())
         | _ -> ())
     f;
   (* data-pointer -> descriptor info (for GEP rewriting) *)
-  let by_data : (string, desc_info) Hashtbl.t = Hashtbl.create 8 in
-  Hashtbl.iter
+  let by_data : desc_info Sym.Tbl.t = Sym.Tbl.create 8 in
+  Sym.Tbl.iter
     (fun _ info ->
       match info.data with
-      | Lvalue.Reg (n, _) -> Hashtbl.replace by_data n info
+      | Lvalue.Reg (n, _) -> Sym.Tbl.replace by_data n info
       | _ -> ())
     desc_tbl;
-  stats.descriptors <- stats.descriptors + Hashtbl.length by_data;
+  stats.descriptors <- stats.descriptors + Sym.Tbl.length by_data;
   (* 2+3. rewrite extractvalues and geps *)
-  let subst : (string, Lvalue.t) Hashtbl.t = Hashtbl.create 16 in
+  let subst : Lvalue.t Sym.Tbl.t = Sym.Tbl.create 16 in
   let resolve v =
     match v with
     | Lvalue.Reg (n, _) -> (
-        match Hashtbl.find_opt subst n with Some v' -> v' | None -> v)
+        match Sym.Tbl.find_opt subst n with Some v' -> v' | None -> v)
     | _ -> v
   in
   let nested_array_ty elem shape =
@@ -207,28 +208,28 @@ let run_func ?(stats = fresh_stats ()) ?(delinearize = true)
     let i = Linstr.map_operands resolve i in
     match i.op with
     | ExtractValue (Lvalue.Reg (agg, _), path)
-      when Hashtbl.mem desc_tbl agg -> (
-        let info = Hashtbl.find desc_tbl agg in
+      when Sym.Tbl.mem desc_tbl agg -> (
+        let info = Sym.Tbl.find desc_tbl agg in
         stats.extracts <- stats.extracts + 1;
         match path with
         | [ 0 ] | [ 1 ] ->
-            Hashtbl.replace subst i.result info.data;
+            Sym.Tbl.replace subst i.result info.data;
             []
         | [ 2 ] ->
-            Hashtbl.replace subst i.result (Lvalue.ci64 0);
+            Sym.Tbl.replace subst i.result (Lvalue.ci64 0);
             []
         | [ 3; k ] ->
-            Hashtbl.replace subst i.result (Lvalue.ci64 (List.nth info.shape k));
+            Sym.Tbl.replace subst i.result (Lvalue.ci64 (List.nth info.shape k));
             []
         | [ 4; k ] ->
-            Hashtbl.replace subst i.result
+            Sym.Tbl.replace subst i.result
               (Lvalue.ci64 (List.nth info.strides k));
             []
         | _ -> [ i ])
     | Gep { base = Lvalue.Reg (bn, bty); idxs = [ lin ]; src_ty; inbounds }
-      when Hashtbl.mem by_data bn
+      when Sym.Tbl.mem by_data bn
            && not (Ltype.is_aggregate src_ty) -> (
-        let info = Hashtbl.find by_data bn in
+        let info = Sym.Tbl.find by_data bn in
         let elem = src_ty in
         let arr_ty = nested_array_ty elem info.shape in
         let base = Lvalue.Reg (bn, bty) in
@@ -247,7 +248,7 @@ let run_func ?(stats = fresh_stats ()) ?(delinearize = true)
                       Linstr.make ~result:r ~ty:Ltype.I64
                         (IBin (Add, acc, v))
                       :: !extra;
-                    Lvalue.Reg (r, Ltype.I64))
+                    Lvalue.reg r Ltype.I64)
                   v0 vs
             | IsumC (vs, c) ->
                 let base_v =
@@ -261,7 +262,7 @@ let run_func ?(stats = fresh_stats ()) ?(delinearize = true)
                             Linstr.make ~result:r ~ty:Ltype.I64
                               (IBin (Add, acc, v))
                             :: !extra;
-                          Lvalue.Reg (r, Ltype.I64))
+                          Lvalue.reg r Ltype.I64)
                         v0 rest
                 in
                 if c = 0 || vs = [] then base_v
@@ -271,7 +272,7 @@ let run_func ?(stats = fresh_stats ()) ?(delinearize = true)
                     Linstr.make ~result:r ~ty:Ltype.I64
                       (IBin (Add, base_v, Lvalue.ci64 c))
                     :: !extra;
-                  Lvalue.Reg (r, Ltype.I64)
+                  Lvalue.reg r Ltype.I64
                 end
           in
           let idxs = Lvalue.ci64 0 :: List.map idx_of specs in
@@ -283,7 +284,7 @@ let run_func ?(stats = fresh_stats ()) ?(delinearize = true)
               };
             ]
         in
-        match (if delinearize then collect_terms defs lin ~fuel:64 else None) with
+        match (if delinearize then collect_terms fidx lin ~fuel:64 else None) with
         | Some terms -> (
             match match_strides terms info.strides with
             | Some specs ->
@@ -324,9 +325,9 @@ let run_func ?(stats = fresh_stats ()) ?(delinearize = true)
     | _ -> [ i ]
   in
   let f' = Lmodule.rewrite_insts rw f in
-  let f' = Lmodule.substitute subst f' in
+  let f' = Findex.substitute_func subst f' in
   (* the insertvalue chains are now dead *)
   fst (Opt_dce.run_func f')
 
-let run ?stats ?delinearize (m : Lmodule.t) : Lmodule.t =
-  Lmodule.map_funcs (run_func ?stats ?delinearize) m
+let run ?stats ?delinearize ?am (m : Lmodule.t) : Lmodule.t =
+  Lmodule.map_funcs (run_func ?stats ?delinearize ?am) m

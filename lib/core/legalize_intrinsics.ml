@@ -9,6 +9,7 @@
 
 open Llvmir
 open Linstr
+module Sym = Support.Interner
 
 type stats = {
   mutable minmax : int;
@@ -23,12 +24,12 @@ let starts_with = Hls_names.starts_with
 
 let run_func ?(stats = fresh_stats ()) (f : Lmodule.func) : Lmodule.func =
   let names = Lmodule.namegen f in
-  let subst : (string, Lvalue.t) Hashtbl.t = Hashtbl.create 16 in
+  let subst : Lvalue.t Sym.Tbl.t = Sym.Tbl.create 16 in
   let rw (i : Linstr.t) : Linstr.t list =
     match i.op with
     | Freeze v ->
         stats.freezes <- stats.freezes + 1;
-        Hashtbl.replace subst i.result v;
+        Sym.Tbl.replace subst i.result v;
         []
     | Call { callee; args; ret } when Hls_names.is_modern_intrinsic callee -> (
         let mk ~result ~ty op = Linstr.make ~result ~ty op in
@@ -48,34 +49,34 @@ let run_func ?(stats = fresh_stats ()) (f : Lmodule.func) : Lmodule.func =
               else IUlt
             in
             stats.minmax <- stats.minmax + 1;
-            let c = Support.Namegen.fresh names (i.result ^ ".cmp") in
+            let c = Support.Namegen.fresh names (result_name i ^ ".cmp") in
             [
               mk ~result:c ~ty:Ltype.I1 (Icmp (pred, a, b));
-              mk ~result:i.result ~ty:ret
-                (Select (Lvalue.Reg (c, Ltype.I1), a, b));
+              mk ~result:(result_name i) ~ty:ret
+                (Select (Lvalue.reg c Ltype.I1, a, b));
             ]
         | [ a; _poison ] when starts_with "llvm.abs." callee ->
             stats.minmax <- stats.minmax + 1;
             let ty = Lvalue.type_of a in
-            let neg = Support.Namegen.fresh names (i.result ^ ".neg") in
-            let c = Support.Namegen.fresh names (i.result ^ ".cmp") in
+            let neg = Support.Namegen.fresh names (result_name i ^ ".neg") in
+            let c = Support.Namegen.fresh names (result_name i ^ ".cmp") in
             [
               mk ~result:neg ~ty (IBin (Sub, Lvalue.ci ~ty 0, a));
               mk ~result:c ~ty:Ltype.I1 (Icmp (ISlt, a, Lvalue.ci ~ty 0));
-              mk ~result:i.result ~ty:ret
+              mk ~result:(result_name i) ~ty:ret
                 (Select
-                   (Lvalue.Reg (c, Ltype.I1), Lvalue.Reg (neg, ty), a));
+                   (Lvalue.reg c Ltype.I1, Lvalue.reg neg ty, a));
             ]
         | [ a; b; c ]
           when starts_with "llvm.fmuladd." callee
                || starts_with "llvm.fma." callee ->
             stats.fmuladd <- stats.fmuladd + 1;
             let ty = Lvalue.type_of a in
-            let m = Support.Namegen.fresh names (i.result ^ ".mul") in
+            let m = Support.Namegen.fresh names (result_name i ^ ".mul") in
             [
               mk ~result:m ~ty (FBin (FMul, a, b));
-              mk ~result:i.result ~ty:ret
-                (FBin (FAdd, Lvalue.Reg (m, ty), c));
+              mk ~result:(result_name i) ~ty:ret
+                (FBin (FAdd, Lvalue.reg m ty, c));
             ]
         | _
           when starts_with "llvm.lifetime." callee
@@ -90,7 +91,7 @@ let run_func ?(stats = fresh_stats ()) (f : Lmodule.func) : Lmodule.func =
     | _ -> [ i ]
   in
   let f' = Lmodule.rewrite_insts rw f in
-  let f' = Lmodule.substitute subst f' in
+  let f' = Findex.substitute_func subst f' in
   (* dropping llvm.assume may orphan its condition chain *)
   fst (Opt_dce.run_func f')
 

@@ -13,6 +13,7 @@
 
 open Llvmir
 open Linstr
+module Sym = Support.Interner
 
 type stats = { mutable loops : int; mutable markers : int }
 
@@ -21,7 +22,7 @@ let fresh_stats () = { loops = 0; markers = 0 }
 let run_func ?(stats = fresh_stats ()) (f : Lmodule.func) :
     Lmodule.func * Lmodule.decl list =
   (* collect per-header marker lists from latch-branch metadata *)
-  let markers : (string, Linstr.t list) Hashtbl.t = Hashtbl.create 8 in
+  let markers : Linstr.t list Sym.Tbl.t = Sym.Tbl.create 8 in
   let decls = ref [] in
   let need name dargs =
     if not (List.exists (fun (d : Lmodule.decl) -> d.dname = name) !decls) then
@@ -114,8 +115,8 @@ let run_func ?(stats = fresh_stats ()) (f : Lmodule.func) :
             else calls
           in
           stats.markers <- stats.markers + List.length calls;
-          let prev = Option.value ~default:[] (Hashtbl.find_opt markers h) in
-          Hashtbl.replace markers h (prev @ calls)
+          let prev = Option.value ~default:[] (Sym.Tbl.find_opt markers h) in
+          Sym.Tbl.replace markers h (prev @ calls)
       | None -> ());
       { i with imeta = other }
     end
@@ -130,7 +131,7 @@ let run_func ?(stats = fresh_stats ()) (f : Lmodule.func) :
   let blocks =
     List.map
       (fun (b : Lmodule.block) ->
-        match Hashtbl.find_opt markers b.label with
+        match Sym.Tbl.find_opt markers b.label with
         | None -> b
         | Some calls ->
             let phis, rest =

@@ -21,6 +21,7 @@
 
 open Llvmir
 open Linstr
+module Sym = Support.Interner
 
 type stats = {
   mutable typed : int;  (** pointers given a concrete pointee *)
@@ -47,17 +48,17 @@ let rec walk_gep_ty ty idxs =
 let run_func ?(stats = fresh_stats ())
     ~(signatures : (string, Ltype.t list * Ltype.t) Hashtbl.t)
     (f : Lmodule.func) : Lmodule.func =
-  (* pointee : register/param name -> inferred pointee type *)
-  let pointee : (string, Ltype.t) Hashtbl.t = Hashtbl.create 32 in
+  (* pointee : register/param symbol -> inferred pointee type *)
+  let pointee : Ltype.t Sym.Tbl.t = Sym.Tbl.create 32 in
   let is_opaque_reg (v : Lvalue.t) =
     match v with
     | Lvalue.Reg (n, Ltype.Ptr None) -> Some n
     | _ -> None
   in
   let constrain name ty =
-    match Hashtbl.find_opt pointee name with
+    match Sym.Tbl.find_opt pointee name with
     | None ->
-        Hashtbl.replace pointee name ty;
+        Sym.Tbl.replace pointee name ty;
         true
     | Some t -> not (Ltype.equal t ty) |> fun _conflict -> false
   in
@@ -69,7 +70,7 @@ let run_func ?(stats = fresh_stats ())
       (fun (i : Linstr.t) ->
         let c name ty = if constrain name ty then changed := true in
         match i.op with
-        | Alloca (ty, _) -> if i.result <> "" then c i.result ty
+        | Alloca (ty, _) -> if not (Sym.is_empty i.result) then c i.result ty
         | Load (ty, p) -> (
             match is_opaque_reg p with Some n -> c n ty | None -> ())
         | Store (v, p) -> (
@@ -80,7 +81,7 @@ let run_func ?(stats = fresh_stats ())
             (match is_opaque_reg base with
             | Some n -> c n src_ty
             | None -> ());
-            if i.result <> "" && Ltype.is_opaque_pointer i.ty then
+            if (not (Sym.is_empty i.result)) && Ltype.is_opaque_pointer i.ty then
               match idxs with
               | _ :: rest -> (
                   match walk_gep_ty src_ty rest with
@@ -93,7 +94,7 @@ let run_func ?(stats = fresh_stats ())
               List.filter_map
                 (fun o ->
                   match o with
-                  | Some n -> Hashtbl.find_opt pointee n
+                  | Some n -> Sym.Tbl.find_opt pointee n
                   | None -> None)
                 named
             in
@@ -102,8 +103,8 @@ let run_func ?(stats = fresh_stats ())
                 List.iter
                   (function Some n -> c n ty | None -> ())
                   named;
-                if i.result <> "" && Ltype.is_opaque_pointer i.ty then
-                  c i.result ty
+                if (not (Sym.is_empty i.result)) && Ltype.is_opaque_pointer i.ty
+                then c i.result ty
             | [] -> ())
         | Call { callee; args; _ } -> (
             match Hashtbl.find_opt signatures callee with
@@ -122,7 +123,7 @@ let run_func ?(stats = fresh_stats ())
   done;
   (* assign final types *)
   let final_ty name =
-    match Hashtbl.find_opt pointee name with
+    match Sym.Tbl.find_opt pointee name with
     | Some t ->
         stats.typed <- stats.typed + 1;
         Ltype.ptr t
@@ -130,21 +131,22 @@ let run_func ?(stats = fresh_stats ())
         stats.defaulted <- stats.defaulted + 1;
         Ltype.ptr Ltype.I8
   in
-  let new_reg_ty : (string, Ltype.t) Hashtbl.t = Hashtbl.create 32 in
+  let new_reg_ty : Ltype.t Sym.Tbl.t = Sym.Tbl.create 32 in
   List.iter
     (fun (p : Lmodule.param) ->
       if Ltype.is_opaque_pointer p.pty then
-        Hashtbl.replace new_reg_ty p.pname (final_ty p.pname))
+        let pn = Sym.intern p.pname in
+        Sym.Tbl.replace new_reg_ty pn (final_ty pn))
     f.params;
   Lmodule.iter_insts
     (fun i ->
-      if i.result <> "" && Ltype.is_opaque_pointer i.ty then
-        Hashtbl.replace new_reg_ty i.result (final_ty i.result))
+      if (not (Sym.is_empty i.result)) && Ltype.is_opaque_pointer i.ty then
+        Sym.Tbl.replace new_reg_ty i.result (final_ty i.result))
     f;
   let retype (v : Lvalue.t) =
     match v with
     | Lvalue.Reg (n, Ltype.Ptr None) -> (
-        match Hashtbl.find_opt new_reg_ty n with
+        match Sym.Tbl.find_opt new_reg_ty n with
         | Some t -> Lvalue.Reg (n, t)
         | None -> v)
     | _ -> v
@@ -152,7 +154,7 @@ let run_func ?(stats = fresh_stats ())
   let params =
     List.map
       (fun (p : Lmodule.param) ->
-        match Hashtbl.find_opt new_reg_ty p.pname with
+        match Sym.Tbl.find_opt new_reg_ty (Sym.intern p.pname) with
         | Some t -> { p with Lmodule.pty = t }
         | None -> p)
       f.params
@@ -163,8 +165,8 @@ let run_func ?(stats = fresh_stats ())
   let rw (i : Linstr.t) : Linstr.t list =
     let i = Linstr.map_operands retype i in
     let i =
-      if i.result <> "" && Ltype.is_opaque_pointer i.ty then
-        match Hashtbl.find_opt new_reg_ty i.result with
+      if (not (Sym.is_empty i.result)) && Ltype.is_opaque_pointer i.ty then
+        match Sym.Tbl.find_opt new_reg_ty i.result with
         | Some t -> { i with ty = t }
         | None -> i
       else i
@@ -180,7 +182,7 @@ let run_func ?(stats = fresh_stats ())
             Linstr.make ~result:r ~ty:(Ltype.ptr want)
               (Cast (Bitcast, p, Ltype.ptr want))
             :: !pre;
-          Lvalue.Reg (r, Ltype.ptr want)
+          Lvalue.reg r (Ltype.ptr want)
       | _ -> p
     in
     let i' =
@@ -194,7 +196,7 @@ let run_func ?(stats = fresh_stats ())
     (* GEP results: recompute the typed result pointer *)
     let i' =
       match i'.op with
-      | Gep { src_ty; idxs; _ } when i'.result <> "" -> (
+      | Gep { src_ty; idxs; _ } when not (Sym.is_empty i'.result) -> (
           match idxs with
           | _ :: rest -> (
               match walk_gep_ty src_ty rest with
@@ -213,7 +215,7 @@ let run_func ?(stats = fresh_stats ())
   let final_map (v : Lvalue.t) =
     match v with
     | Lvalue.Reg (n, Ltype.Ptr None) -> (
-        match Hashtbl.find_opt new_reg_ty n with
+        match Sym.Tbl.find_opt new_reg_ty n with
         | Some t -> Lvalue.Reg (n, t)
         | None -> v)
     | _ -> v

@@ -31,8 +31,9 @@ module Diag = Support.Diag
 
 (** Cache-key ingredient; bump on any change that alters compiler
     output (or the marshalled payload format — 1.2.0 moved job errors
-    from strings to {!Support.Diag.t}). *)
-let tool_version = "mhlsc-1.2.0"
+    from strings to {!Support.Diag.t}; 1.3.0 unified float-literal
+    printing on {!Support.Float_lit}, changing printed IR). *)
+let tool_version = "mhlsc-1.3.0"
 
 (* ------------------------------------------------------------------ *)
 (* Jobs                                                               *)

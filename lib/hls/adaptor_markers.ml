@@ -40,14 +40,14 @@ let legality_errors (m : Llvmir.Lmodule.t) : string list =
         f.params;
       Lmodule.iter_insts
         (fun (i : Linstr.t) ->
-          if i.result <> "" && opaque i.ty then
-            add "@%s: opaque pointer value %%%s" f.fname i.result;
+          if Linstr.has_result i && opaque i.ty then
+            add "@%s: opaque pointer value %%%s" f.fname (Linstr.result_name i);
           (match i.op with
           | Linstr.Freeze _ ->
-              add "@%s: freeze instruction %%%s" f.fname i.result
+              add "@%s: freeze instruction %%%s" f.fname (Linstr.result_name i)
           | Linstr.InsertValue _ | Linstr.ExtractValue _ ->
               add "@%s: aggregate SSA value %%%s (memref descriptor?)"
-                f.fname i.result
+                f.fname (Linstr.result_name i)
           | Linstr.Call { callee; _ }
             when starts_with "llvm." callee
                  && not (is_known_intrinsic callee) ->

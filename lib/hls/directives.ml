@@ -120,11 +120,11 @@ let arrays (f : Lmodule.func) : array_info list =
   Lmodule.iter_insts
     (fun (i : Linstr.t) ->
       match i.op with
-      | Alloca ((Ltype.Array _ as ty), _) when i.result <> "" ->
+      | Alloca ((Ltype.Array _ as ty), _) when has_result i ->
           let dims, elem_bits = array_dims ty in
           locals :=
             {
-              aname = i.result;
+              aname = result_name i;
               dims;
               elem_bits;
               partition_factor = 1;
@@ -139,6 +139,5 @@ let arrays (f : Lmodule.func) : array_info list =
 
 (** Root array of a pointer value: walk GEP/bitcast chains back to a
     parameter or alloca name. *)
-let base_array (defs : (string, Linstr.t) Hashtbl.t) (v : Lvalue.t) :
-    string option =
-  Lmodule.base_pointer defs v
+let base_array (idx : Findex.t) (v : Lvalue.t) : string option =
+  Option.map Support.Interner.name (Findex.base_pointer idx v)

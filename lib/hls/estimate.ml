@@ -155,7 +155,7 @@ let acc_merge a b =
 
 (** Items (instructions + inner-loop nodes) of the blocks directly in
     loop [j] (or, with [j = None], of the function outside all loops). *)
-let rec body_items ~clock_ns ~arrays ~defs (cfg : Cfg.t) (li : Loop_info.t)
+let rec body_items ~clock_ns ~arrays ~idx (cfg : Cfg.t) (li : Loop_info.t)
     (f : Lmodule.func) (j : int option) :
     Schedule.item list
     * loop_report list
@@ -179,7 +179,7 @@ let rec body_items ~clock_ns ~arrays ~defs (cfg : Cfg.t) (li : Loop_info.t)
   let child_est =
     List.map
       (fun c ->
-        (c, estimate_loop ~clock_ns ~arrays ~defs cfg li f c))
+        (c, estimate_loop ~clock_ns ~arrays ~idx cfg li f c))
       children
   in
   let items = ref [] in
@@ -208,7 +208,7 @@ let rec body_items ~clock_ns ~arrays ~defs (cfg : Cfg.t) (li : Loop_info.t)
   done;
   (List.rev !items, !reports, !fus, !child_acc)
 
-and estimate_loop ~clock_ns ~arrays ~defs (cfg : Cfg.t) (li : Loop_info.t)
+and estimate_loop ~clock_ns ~arrays ~idx (cfg : Cfg.t) (li : Loop_info.t)
     (f : Lmodule.func) (j : int) : loop_estimate =
   let l = li.Loop_info.loops.(j) in
   let dir = Directives.loop_directives cfg li j in
@@ -220,7 +220,7 @@ and estimate_loop ~clock_ns ~arrays ~defs (cfg : Cfg.t) (li : Loop_info.t)
         | Some n -> n
         | None ->
             fail "@%s: loop at %%%s has no static trip count" f.Lmodule.fname
-              (Cfg.label cfg l.Loop_info.header))
+              (Support.Interner.name (Cfg.label cfg l.Loop_info.header)))
   in
   let unroll =
     match dir.Directives.unroll with
@@ -230,7 +230,7 @@ and estimate_loop ~clock_ns ~arrays ~defs (cfg : Cfg.t) (li : Loop_info.t)
   in
   let trip' = (tripcount + unroll - 1) / max 1 unroll in
   let items, child_reports, child_fus, child_acc =
-    body_items ~clock_ns ~arrays ~defs cfg li f (Some j)
+    body_items ~clock_ns ~arrays ~idx cfg li f (Some j)
   in
   (* carries: header phis (incoming from a latch) *)
   let header_blk = Cfg.block cfg l.Loop_info.header in
@@ -251,7 +251,7 @@ and estimate_loop ~clock_ns ~arrays ~defs (cfg : Cfg.t) (li : Loop_info.t)
   in
   (* header compare/branch instructions participate in the body work *)
   let sched =
-    Schedule.run ~clock_ns ~arrays ~carries ~replicas:unroll ~defs items
+    Schedule.run ~clock_ns ~arrays ~carries ~replicas:unroll ~idx items
   in
   let pipelined = dir.Directives.pipeline_ii <> None in
   let iteration_latency = max 1 sched.Schedule.length in
@@ -279,7 +279,7 @@ and estimate_loop ~clock_ns ~arrays ~defs (cfg : Cfg.t) (li : Loop_info.t)
   in
   let this_report =
     {
-      label = Cfg.label cfg l.Loop_info.header;
+      label = Support.Interner.name (Cfg.label cfg l.Loop_info.header);
       depth = l.Loop_info.depth;
       tripcount;
       unroll;
@@ -324,13 +324,13 @@ let synthesize ?(clock_ns = Op_model.default_clock_ns) ~(top : string)
   let f = Lmodule.find_func_exn m top in
   let cfg = Cfg.build f in
   let li = Loop_info.compute cfg in
-  let defs = Lmodule.def_map f in
+  let idx = Findex.build f in
   let arrays = Directives.arrays f in
   let items, loop_reports, loop_fus, _ =
-    body_items ~clock_ns ~arrays ~defs cfg li f None
+    body_items ~clock_ns ~arrays ~idx cfg li f None
   in
   let sched =
-    Schedule.run ~clock_ns ~arrays ~carries:[] ~replicas:1 ~defs items
+    Schedule.run ~clock_ns ~arrays ~carries:[] ~replicas:1 ~idx items
   in
   let latency = sched.Schedule.length + 2 in
   let fus = fu_merge loop_fus (fu_units ~pipelined_ii:None sched) in

@@ -31,6 +31,7 @@
 
 open Llvmir
 open Linstr
+module Sym = Support.Interner
 module Diag = Support.Diag
 
 (** The rule catalog: (ID, default severity, one-line description).
@@ -64,22 +65,20 @@ let cdiv a b = (a + b - 1) / b
     one iteration's value needs before the next iteration can start.
     [None] when the latch value does not depend on the phi (no register
     recurrence through this phi). *)
-let recurrence_chain (defs : (string, Linstr.t) Hashtbl.t) (phi : Linstr.t)
-    (latch_v : Lvalue.t) : (int * string) option =
+let recurrence_chain (idx : Findex.t) (phi : Linstr.t)
+    (latch_v : Lvalue.t) : (int * Sym.t) option =
   match latch_v with
   | Lvalue.Reg (lr, _) ->
-      let memo : (string, (int * string) option) Hashtbl.t =
-        Hashtbl.create 16
-      in
+      let memo : (int * Sym.t) option Sym.Tbl.t = Sym.Tbl.create 16 in
       let rec go r =
-        if r = phi.result then Some (0, r)
+        if Sym.equal r phi.result then Some (0, r)
         else
-          match Hashtbl.find_opt memo r with
+          match Sym.Tbl.find_opt memo r with
           | Some v -> v
           | None ->
-              Hashtbl.add memo r None;  (* cycle guard *)
+              Sym.Tbl.add memo r None;  (* cycle guard *)
               let res =
-                match Hashtbl.find_opt defs r with
+                match Findex.def_instr idx r with
                 | None -> None
                 | Some i ->
                     let _, cost = Op_model.classify i in
@@ -99,7 +98,7 @@ let recurrence_chain (defs : (string, Linstr.t) Hashtbl.t) (phi : Linstr.t)
                       (fun (c, _) -> (c + cost.Op_model.latency, r))
                       best
               in
-              Hashtbl.replace memo r res;
+              Sym.Tbl.replace memo r res;
               res
       in
       go lr
@@ -108,7 +107,7 @@ let recurrence_chain (defs : (string, Linstr.t) Hashtbl.t) (phi : Linstr.t)
 (** Register-recurrence minimum II of loop [j]: the longest carry-phi
     chain, with the register closing it (for the message). *)
 let register_rec_mii (cfg : Cfg.t) (li : Loop_info.t) (j : int)
-    (defs : (string, Linstr.t) Hashtbl.t) : (int * string) option =
+    (idx : Findex.t) : (int * Sym.t) option =
   let l = li.Loop_info.loops.(j) in
   let header = Cfg.block cfg l.Loop_info.header in
   let latch_labels = List.map (Cfg.label cfg) l.Loop_info.latches in
@@ -119,7 +118,7 @@ let register_rec_mii (cfg : Cfg.t) (li : Loop_info.t) (j : int)
           let chains =
             List.filter_map
               (fun (v, lbl) ->
-                if List.mem lbl latch_labels then recurrence_chain defs i v
+                if List.mem lbl latch_labels then recurrence_chain idx i v
                 else None)
               incoming
           in
@@ -150,15 +149,15 @@ let mem_dep_mii (d : Memdep.dep) : int option =
 let access_pos (cfg : Cfg.t) (a : Memdep.access) =
   Printf.sprintf "%s in %%%s"
     (if a.Memdep.acc_is_store then "store" else "load")
-    (Cfg.label cfg a.Memdep.acc_block)
+    (Sym.name (Cfg.label cfg a.Memdep.acc_block))
 
 (** HLS001 / HLS002 / HLS007 — loop-level rules. *)
 let lint_loops (buf : Diag.buffer) (f : Lmodule.func) (cfg : Cfg.t)
     (li : Loop_info.t) =
-  let defs = Lmodule.def_map f in
+  let idx = Findex.build f in
   Array.iteri
     (fun j (l : Loop_info.loop) ->
-      let header = Cfg.label cfg l.Loop_info.header in
+      let header = Sym.name (Cfg.label cfg l.Loop_info.header) in
       let dirs = Directives.loop_directives cfg li j in
       if
         dirs.Directives.tripcount = None
@@ -172,7 +171,7 @@ let lint_loops (buf : Diag.buffer) (f : Lmodule.func) (cfg : Cfg.t)
       | None -> ()
       | Some target ->
           let deps = Memdep.analyze_loop cfg li j in
-          let reg = register_rec_mii cfg li j defs in
+          let reg = register_rec_mii cfg li j idx in
           let mem =
             List.fold_left
               (fun acc d ->
@@ -190,7 +189,8 @@ let lint_loops (buf : Diag.buffer) (f : Lmodule.func) (cfg : Cfg.t)
               if reg_mii >= mem_mii then
                 match reg with
                 | Some (_, r) ->
-                    Printf.sprintf "register recurrence through %%%s" r
+                    Printf.sprintf "register recurrence through %%%s"
+                      (Sym.name r)
                 | None -> "recurrence"
               else
                 match mem with
@@ -278,7 +278,7 @@ let lint_partitions (buf : Diag.buffer) (f : Lmodule.func) (cfg : Cfg.t)
         match Memdep.iv_phi cfg li j with
         | None -> ()
         | Some iv ->
-            let header = Cfg.label cfg l.Loop_info.header in
+            let header = Sym.name (Cfg.label cfg l.Loop_info.header) in
             List.iter
               (fun (acc : Memdep.access) ->
                 match (acc.Memdep.acc_subs, find_array acc.Memdep.acc_array)
@@ -347,7 +347,7 @@ let lint_dead_stores (buf : Diag.buffer) (f : Lmodule.func) (cfg : Cfg.t) =
     (fun (ds : Dataflow.dead_store) ->
       Diag.add buf
         (Diag.warning ~func:f.Lmodule.fname
-           ~location:(Cfg.label cfg ds.Dataflow.ds_block)
+           ~location:(Sym.name (Cfg.label cfg ds.Dataflow.ds_block))
            ~rule:"HLS004"
            ~hint:"remove the store, or the whole array if it is write-only"
            "store to local array %%%s is never read (instruction %d)"
@@ -356,10 +356,10 @@ let lint_dead_stores (buf : Diag.buffer) (f : Lmodule.func) (cfg : Cfg.t) =
 
 (** HLS005 — unused parameters of the top function. *)
 let lint_unused_params (buf : Diag.buffer) (f : Lmodule.func) =
-  let used = Lmodule.used_names f in
+  let idx = Findex.build f in
   List.iter
     (fun (p : Lmodule.param) ->
-      if not (Hashtbl.mem used p.Lmodule.pname) then
+      if not (Findex.is_used idx (Sym.intern p.Lmodule.pname)) then
         Diag.add buf
           (Diag.warning ~func:f.Lmodule.fname ~location:p.Lmodule.pname
              ~rule:"HLS005"
@@ -374,9 +374,11 @@ let lint_unreachable (buf : Diag.buffer) (f : Lmodule.func) (cfg : Cfg.t) =
   List.iter
     (fun b ->
       Diag.add buf
-        (Diag.warning ~func:f.Lmodule.fname ~location:(Cfg.label cfg b)
+        (Diag.warning ~func:f.Lmodule.fname
+           ~location:(Sym.name (Cfg.label cfg b))
            ~rule:"HLS006" ~hint:"delete the block"
-           "basic block %%%s is unreachable from entry" (Cfg.label cfg b)))
+           "basic block %%%s is unreachable from entry"
+           (Sym.name (Cfg.label cfg b))))
     (Cfg.unreachable_blocks cfg)
 
 (* ------------------------------------------------------------------ *)

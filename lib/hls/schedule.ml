@@ -14,6 +14,7 @@
 
 open Llvmir
 open Linstr
+module Sym = Support.Interner
 
 type item =
   | Instr of Linstr.t
@@ -30,10 +31,10 @@ type node = {
   is_store : bool;
   is_inner : bool;
   inner_idx : int;  (** -1 unless [is_inner] *)
-  result : string;  (** defining register, "" if none *)
+  result : Sym.t;  (** defining register, {!Sym.empty} if none *)
   replica : int;
   preds : int list;
-  carry_base : string option;
+  carry_base : Sym.t option;
       (** when this node reads carry phi [p] of replica 0, set to [p] *)
 }
 
@@ -56,8 +57,8 @@ type t = {
     [defs_outside]: register names defined outside the body (available
     at cycle 0) — includes the induction variable and carry phis. *)
 let run ~(clock_ns : float) ~(arrays : Directives.array_info list)
-    ~(carries : (string * string) list) ~(replicas : int)
-    ~(defs : (string, Linstr.t) Hashtbl.t) (items : item list) : t =
+    ~(carries : (Sym.t * Sym.t) list) ~(replicas : int)
+    ~(idx : Findex.t) (items : item list) : t =
   let ports_of =
     let tbl = Hashtbl.create 8 in
     List.iter
@@ -70,7 +71,7 @@ let run ~(clock_ns : float) ~(arrays : Directives.array_info list)
   let nodes = ref [] in
   let n_count = ref 0 in
   (* (replica, reg) -> nid *)
-  let def_node : (int * string, int) Hashtbl.t = Hashtbl.create 64 in
+  let def_node : (int * Sym.t, int) Hashtbl.t = Hashtbl.create 64 in
   let carry_latch = carries in
   let is_carry n = List.mem_assoc n carry_latch in
   (* memory ordering state *)
@@ -100,7 +101,8 @@ let run ~(clock_ns : float) ~(arrays : Directives.array_info list)
         carry_base;
       }
       :: !nodes;
-    if result <> "" then Hashtbl.replace def_node (replica, result) nid;
+    if not (Sym.is_empty result) then
+      Hashtbl.replace def_node (replica, result) nid;
     nid
   in
   for r = 0 to replicas - 1 do
@@ -113,7 +115,7 @@ let run ~(clock_ns : float) ~(arrays : Directives.array_info list)
             let nid =
               add_node ~fu:Op_model.FU_none ~latency ~delay:0.0
                 ~cost:Op_model.zero ~array:None ~is_store:false ~is_inner:true
-                ~inner_idx:loop_idx ~result:"" ~replica:r ~preds
+                ~inner_idx:loop_idx ~result:Sym.empty ~replica:r ~preds
                 ~carry_base:None
             in
             last_barrier := nid
@@ -126,8 +128,8 @@ let run ~(clock_ns : float) ~(arrays : Directives.array_info list)
                 let fu, cost = Op_model.classify i in
                 let array, is_store =
                   match i.op with
-                  | Load (_, p) -> (Directives.base_array defs p, false)
-                  | Store (_, p) -> (Directives.base_array defs p, true)
+                  | Load (_, p) -> (Directives.base_array idx p, false)
+                  | Store (_, p) -> (Directives.base_array idx p, true)
                   | _ -> (None, false)
                 in
                 (* data predecessors *)

@@ -476,11 +476,11 @@ let gen_func ~sigs (f : Cast.func) : Lmodule.func * Lmodule.decl list =
       | [] ->
           (* Clang -O0: spill scalars into allocas *)
           let slot = B.alloca b ~name:(p.pname ^ ".addr") lp.Lmodule.pty in
-          B.store b (Lvalue.Reg (lp.Lmodule.pname, lp.Lmodule.pty)) slot;
+          B.store b (Lvalue.reg lp.Lmodule.pname lp.Lmodule.pty) slot;
           Hashtbl.replace env.syms p.pname (Scalar slot)
       | _ ->
           Hashtbl.replace env.syms p.pname
-            (ArrayRef (Lvalue.Reg (lp.Lmodule.pname, lp.Lmodule.pty))))
+            (ArrayRef (Lvalue.reg lp.Lmodule.pname lp.Lmodule.pty)))
     f.params params;
   gen_stmts env f.body;
   if B.in_block b then begin

@@ -60,14 +60,7 @@ let name_of ctx (v : Ir.value) =
       n
 
 let float_lit f ty =
-  let s =
-    if Float.is_integer f && Float.abs f < 1e15 then
-      Printf.sprintf "%.1f" f
-    else
-      (* shortest decimal form that round-trips the exact double *)
-      let s9 = Printf.sprintf "%.9g" f in
-      if float_of_string s9 = f then s9 else Printf.sprintf "%.17g" f
-  in
+  let s = Support.Float_lit.to_string f in
   match ty with Types.F32 -> s ^ "f" | _ -> s
 
 let subscripts ctx map operand_vals =

@@ -1,0 +1,176 @@
+(** LLVM-style analysis manager.
+
+    Each function-level analysis ({!Findex}, {!Cfg}, {!Dominance},
+    {!Loop_info}) is computed at most once per (function, version):
+    passes query the manager instead of building their own tables, and
+    {!Pass.run_pipeline} tells the manager after every pass which
+    analyses that pass {e preserves}.  Preserved analyses are rebased
+    onto the rewritten function value and survive to the next pass; the
+    rest are dropped.
+
+    Soundness does not rest on the preserve declarations alone: a
+    cached analysis is returned only when the function value it was
+    computed for (or rebased onto) is {e physically} the value being
+    queried.  A pass that rewrites a function mid-run therefore always
+    gets fresh analyses for the rewritten value, and a wrong preserve
+    set can only surface through the rebase step itself — which is
+    exactly the contract documented on {!Cfg.rebase}.
+
+    Every query reports one {!Support.Tracing} event with stage
+    ["analysis"] and pass ["<kind>:hit"] or ["<kind>:compute"], so
+    traces show analysis reuse directly. *)
+
+module Sym = Support.Interner
+
+type kind = Findex | Cfg | Dominance | Loop_info
+
+let kind_name = function
+  | Findex -> "findex"
+  | Cfg -> "cfg"
+  | Dominance -> "dominance"
+  | Loop_info -> "loop_info"
+
+type entry = {
+  mutable e_func : Lmodule.func;  (** the value the caches are valid for *)
+  mutable e_findex : Findex.t option;
+  mutable e_cfg : Cfg.t option;
+  mutable e_dom : Dominance.t option;
+  mutable e_li : Loop_info.t option;
+}
+
+type t = { cache : entry Sym.Tbl.t; trace : Support.Tracing.hook }
+
+let create ?(trace = Support.Tracing.null) () : t =
+  { cache = Sym.Tbl.create 16; trace }
+
+let fresh_entry f =
+  { e_func = f; e_findex = None; e_cfg = None; e_dom = None; e_li = None }
+
+(** Entry valid for exactly this function value; reset on mismatch. *)
+let entry_for (am : t) (f : Lmodule.func) : entry =
+  let key = Sym.intern f.Lmodule.fname in
+  match Sym.Tbl.find_opt am.cache key with
+  | Some e ->
+      if e.e_func != f then begin
+        e.e_func <- f;
+        e.e_findex <- None;
+        e.e_cfg <- None;
+        e.e_dom <- None;
+        e.e_li <- None
+      end;
+      e
+  | None ->
+      let e = fresh_entry f in
+      Sym.Tbl.replace am.cache key e;
+      e
+
+let report (am : t) (k : kind) ~(hit : bool) ~seconds (f : Lmodule.func) =
+  let n =
+    List.fold_left
+      (fun acc (b : Lmodule.block) -> acc + List.length b.insts)
+      0 f.Lmodule.blocks
+  in
+  am.trace
+    (Support.Tracing.event ~stage:"analysis"
+       ~pass:(kind_name k ^ if hit then ":hit" else ":compute")
+       ~seconds ~before:n ~after:n)
+
+let query (am : t) (k : kind) (f : Lmodule.func) ~(get : entry -> 'a option)
+    ~(set : entry -> 'a -> unit) ~(compute : unit -> 'a) : 'a =
+  let e = entry_for am f in
+  (* the clock reads and event allocation are measurable on hot paths,
+     so skip them entirely under the null hook *)
+  let traced = am.trace != Support.Tracing.null in
+  match get e with
+  | Some v ->
+      if traced then report am k ~hit:true ~seconds:0.0 f;
+      v
+  | None ->
+      if traced then begin
+        let t0 = Sys.time () in
+        let v = compute () in
+        set e v;
+        report am k ~hit:false ~seconds:(Sys.time () -. t0) f;
+        v
+      end
+      else begin
+        let v = compute () in
+        set e v;
+        v
+      end
+
+let cfg_q (am : t) (f : Lmodule.func) : Cfg.t =
+  query am Cfg f
+    ~get:(fun e -> e.e_cfg)
+    ~set:(fun e v -> e.e_cfg <- Some v)
+    ~compute:(fun () -> Cfg.build f)
+
+let dominance_q (am : t) (f : Lmodule.func) : Dominance.t =
+  query am Dominance f
+    ~get:(fun e -> e.e_dom)
+    ~set:(fun e v -> e.e_dom <- Some v)
+    ~compute:(fun () -> Dominance.compute (cfg_q am f))
+
+let findex_q (am : t) (f : Lmodule.func) : Findex.t =
+  query am Findex f
+    ~get:(fun e -> e.e_findex)
+    ~set:(fun e v -> e.e_findex <- Some v)
+    ~compute:(fun () -> Findex.build f)
+
+let loop_info_q (am : t) (f : Lmodule.func) : Loop_info.t =
+  query am Loop_info f
+    ~get:(fun e -> e.e_li)
+    ~set:(fun e v -> e.e_li <- Some v)
+    ~compute:(fun () -> Loop_info.compute (cfg_q am f))
+
+(** [?am]-threading front doors: with a manager, cached; without, a
+    plain build.  Pass implementations call these so they work both
+    standalone and under {!Pass.run_pipeline}. *)
+
+let findex ?am f = match am with Some am -> findex_q am f | None -> Findex.build f
+let cfg ?am f = match am with Some am -> cfg_q am f | None -> Cfg.build f
+
+let dominance ?am f =
+  match am with
+  | Some am -> dominance_q am f
+  | None -> Dominance.compute (Cfg.build f)
+
+let loop_info ?am f =
+  match am with
+  | Some am -> loop_info_q am f
+  | None -> Loop_info.compute (Cfg.build f)
+
+(** After a pass produced [m], keep only the analyses it [preserves]
+    (rebased onto the new function values) plus everything cached for
+    functions the pass left physically untouched; drop the rest and
+    any entries for functions that no longer exist. *)
+let keep (am : t) ~(preserves : kind list) (m : Lmodule.t) : unit =
+  let live = Sym.Tbl.create 16 in
+  List.iter
+    (fun (f : Lmodule.func) ->
+      let key = Sym.intern f.Lmodule.fname in
+      Sym.Tbl.replace live key ();
+      match Sym.Tbl.find_opt am.cache key with
+      | None -> ()
+      | Some e when e.e_func == f -> ()  (* untouched: everything valid *)
+      | Some e ->
+          let keep_k k = List.mem k preserves in
+          e.e_findex <-
+            (if keep_k Findex then Option.map (fun x -> Findex.rebase x f) e.e_findex
+             else None);
+          e.e_cfg <-
+            (if keep_k Cfg then Option.map (fun x -> Cfg.rebase x f) e.e_cfg
+             else None);
+          e.e_dom <-
+            (if keep_k Dominance then
+               Option.map (fun x -> Dominance.rebase x f) e.e_dom
+             else None);
+          e.e_li <-
+            (if keep_k Loop_info then
+               Option.map (fun x -> Loop_info.rebase x f) e.e_li
+             else None);
+          e.e_func <- f)
+    m.Lmodule.funcs;
+  Sym.Tbl.iter
+    (fun key _ -> if not (Sym.Tbl.mem live key) then Sym.Tbl.remove am.cache key)
+    (Sym.Tbl.copy am.cache)

@@ -1,0 +1,35 @@
+(** LLVM-style analysis manager: function-level analyses computed at
+    most once per (function, version), invalidated between passes
+    according to each pass's declared preserve set.
+
+    A cached result is returned only when it was computed for (or
+    rebased onto) the {e physically identical} function value being
+    queried, so stale analyses can never leak across an undeclared
+    rewrite.  Queries report [stage:"analysis"] tracing events named
+    ["<kind>:hit"] / ["<kind>:compute"]. *)
+
+type kind = Findex | Cfg | Dominance | Loop_info
+
+val kind_name : kind -> string
+
+(** The manager.  One instance lives for one {!Pass.run_pipeline}
+    invocation (or one standalone pass run). *)
+type t
+
+val create : ?trace:Support.Tracing.hook -> unit -> t
+
+(** Query front doors.  With [?am] the result is cached in the
+    manager; without, they fall back to a plain one-off build, so pass
+    implementations can thread their optional manager straight
+    through. *)
+
+val findex : ?am:t -> Lmodule.func -> Findex.t
+val cfg : ?am:t -> Lmodule.func -> Cfg.t
+val dominance : ?am:t -> Lmodule.func -> Dominance.t
+val loop_info : ?am:t -> Lmodule.func -> Loop_info.t
+
+(** [keep am ~preserves m] — called after a pass returned [m]: rebase
+    the preserved analyses onto the new function values, drop all
+    others, and forget functions that disappeared.  Functions the pass
+    left physically untouched keep their whole cache. *)
+val keep : t -> preserves:kind list -> Lmodule.t -> unit

@@ -1,10 +1,12 @@
 (** Control-flow graph over a function's blocks: successor/predecessor
     maps and orderings used by the dominance and loop analyses. *)
 
+module Sym = Support.Interner
+
 type t = {
   func : Lmodule.func;
-  order : string array;  (** block labels in layout order; [0] = entry *)
-  index : (string, int) Hashtbl.t;
+  order : Sym.t array;  (** block labels in layout order; [0] = entry *)
+  index : int Sym.Tbl.t;
   succs : int list array;
   preds : int list array;
 }
@@ -13,8 +15,8 @@ let fail = Support.Err.fail ~pass:"llvmir.cfg"
 
 let build (f : Lmodule.func) : t =
   let order = Array.of_list (List.map (fun b -> b.Lmodule.label) f.blocks) in
-  let index = Hashtbl.create 16 in
-  Array.iteri (fun i l -> Hashtbl.replace index l i) order;
+  let index = Sym.Tbl.create 16 in
+  Array.iteri (fun i l -> Sym.Tbl.replace index l i) order;
   let n = Array.length order in
   let succs = Array.make n [] in
   let preds = Array.make n [] in
@@ -25,28 +27,35 @@ let build (f : Lmodule.func) : t =
           let ss =
             List.map
               (fun l ->
-                match Hashtbl.find_opt index l with
+                match Sym.Tbl.find_opt index l with
                 | Some j -> j
-                | None -> fail "branch to unknown block %%%s" l)
+                | None -> fail "branch to unknown block %%%s" (Sym.name l))
               (Linstr.successors term)
           in
           succs.(i) <- ss;
           List.iter (fun j -> preds.(j) <- i :: preds.(j)) ss
-      | [] -> fail "empty block %%%s" b.Lmodule.label)
+      | [] -> fail "empty block %%%s" (Sym.name b.Lmodule.label))
     f.blocks;
   Array.iteri (fun j ps -> preds.(j) <- List.rev ps) preds;
   { func = f; order; index; succs; preds }
 
 let n_blocks t = Array.length t.order
 let label t i = t.order.(i)
-let index_of t l = Hashtbl.find_opt t.index l
+let index_of t l = Sym.Tbl.find_opt t.index l
 
+(** Lookup by label text — intended for tests and diagnostics; hot
+    paths should intern once and use {!index_of}. *)
 let index_of_exn t l =
-  match index_of t l with
+  match index_of t (Sym.intern l) with
   | Some i -> i
   | None -> fail "unknown block %%%s" l
 
 let block t i = Lmodule.find_block_exn t.func t.order.(i)
+
+(** Rebase a cached CFG onto a rewritten function value.  Only valid
+    when the rewrite preserved the CFG shape (same block labels and
+    edges) — the analysis-manager preserve contract. *)
+let rebase t (f : Lmodule.func) = { t with func = f }
 
 (** Reverse postorder of the blocks reachable from entry. *)
 let reverse_postorder t : int list =

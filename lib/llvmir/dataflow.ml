@@ -10,8 +10,8 @@
     in two or three sweeps. *)
 
 open Linstr
-
-module StringSet = Set.Make (String)
+module Sym = Support.Interner
+module SymSet = Sym.Set
 
 type direction = Forward | Backward
 
@@ -95,8 +95,8 @@ let solve (cfg : Cfg.t) (p : 'a problem) : 'a solution =
 (* ------------------------------------------------------------------ *)
 
 type liveness = {
-  live_in : StringSet.t array;
-  live_out : StringSet.t array;
+  live_in : SymSet.t array;
+  live_out : SymSet.t array;
 }
 
 let reg_name = function Lvalue.Reg (n, _) -> Some n | _ -> None
@@ -106,8 +106,8 @@ let reg_name = function Lvalue.Reg (n, _) -> Some n | _ -> None
     predecessor, never as live-in of the phi's own block. *)
 let liveness (cfg : Cfg.t) : liveness =
   let n = Cfg.n_blocks cfg in
-  let use = Array.make n StringSet.empty in
-  let def = Array.make n StringSet.empty in
+  let use = Array.make n SymSet.empty in
+  let def = Array.make n SymSet.empty in
   for b = 0 to n - 1 do
     let blk = Cfg.block cfg b in
     List.iter
@@ -118,17 +118,17 @@ let liveness (cfg : Cfg.t) : liveness =
             List.iter
               (fun v ->
                 match reg_name v with
-                | Some r when not (StringSet.mem r def.(b)) ->
-                    use.(b) <- StringSet.add r use.(b)
+                | Some r when not (SymSet.mem r def.(b)) ->
+                    use.(b) <- SymSet.add r use.(b)
                 | _ -> ())
               (operands i));
-        if i.result <> "" then def.(b) <- StringSet.add i.result def.(b))
+        if not (Sym.is_empty i.result) then def.(b) <- SymSet.add i.result def.(b))
       blk.Lmodule.insts
   done;
   (* phi-edge uses: value [v] flowing in from predecessor [l] is
      consumed at the end of [l].  It is always live-out there, and
      upward-exposed (a block use) unless [l] defines it itself. *)
-  let phi_uses = Array.make n StringSet.empty in
+  let phi_uses = Array.make n SymSet.empty in
   for b = 0 to n - 1 do
     let blk = Cfg.block cfg b in
     List.iter
@@ -139,9 +139,9 @@ let liveness (cfg : Cfg.t) : liveness =
               (fun (v, l) ->
                 match (reg_name v, Cfg.index_of cfg l) with
                 | Some r, Some pb ->
-                    phi_uses.(pb) <- StringSet.add r phi_uses.(pb);
-                    if not (StringSet.mem r def.(pb)) then
-                      use.(pb) <- StringSet.add r use.(pb)
+                    phi_uses.(pb) <- SymSet.add r phi_uses.(pb);
+                    if not (SymSet.mem r def.(pb)) then
+                      use.(pb) <- SymSet.add r use.(pb)
                 | _ -> ())
               incoming
         | _ -> ())
@@ -151,17 +151,17 @@ let liveness (cfg : Cfg.t) : liveness =
     solve cfg
       {
         direction = Backward;
-        boundary = StringSet.empty;
-        init = StringSet.empty;
-        join = StringSet.union;
-        equal = StringSet.equal;
+        boundary = SymSet.empty;
+        init = SymSet.empty;
+        join = SymSet.union;
+        equal = SymSet.equal;
         transfer =
-          (fun b out -> StringSet.union use.(b) (StringSet.diff out def.(b)));
+          (fun b out -> SymSet.union use.(b) (SymSet.diff out def.(b)));
       }
   in
   {
     live_in = sol.inb;
-    live_out = Array.mapi (fun b s -> StringSet.union s phi_uses.(b)) sol.outb;
+    live_out = Array.mapi (fun b s -> SymSet.union s phi_uses.(b)) sol.outb;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -171,7 +171,7 @@ let liveness (cfg : Cfg.t) : liveness =
 (** A definition site: register name and its (block, instruction)
     coordinates; parameters use [(-1, -1)]. *)
 module DefSite = struct
-  type t = string * int * int
+  type t = Sym.t * int * int
 
   let compare = compare
 end
@@ -191,12 +191,14 @@ let reaching_definitions (cfg : Cfg.t) : reaching =
     let blk = Cfg.block cfg b in
     List.iteri
       (fun ii (i : Linstr.t) ->
-        if i.result <> "" then gen.(b) <- DefSet.add (i.result, b, ii) gen.(b))
+        if not (Sym.is_empty i.result) then
+          gen.(b) <- DefSet.add (i.result, b, ii) gen.(b))
       blk.Lmodule.insts
   done;
   let params =
     List.fold_left
-      (fun acc (p : Lmodule.param) -> DefSet.add (p.Lmodule.pname, -1, -1) acc)
+      (fun acc (p : Lmodule.param) ->
+        DefSet.add (Sym.intern p.Lmodule.pname, -1, -1) acc)
       DefSet.empty cfg.Cfg.func.Lmodule.params
   in
   let sol =
@@ -233,16 +235,16 @@ type dead_store = {
     in the read set at every exit and their stores are never flagged. *)
 let dead_stores (cfg : Cfg.t) : dead_store list =
   let f = cfg.Cfg.func in
-  let defs = Lmodule.def_map f in
-  let root v = Lmodule.base_pointer defs v in
+  let idx = Findex.build f in
+  let root v = Findex.base_pointer idx v in
   (* roots whose address escapes: passed to a call, stored as a value,
      returned, cast to an integer, or folded into an aggregate *)
-  let escaped = ref StringSet.empty in
+  let escaped = ref SymSet.empty in
   let escape v =
     match v with
     | Lvalue.Reg (_, ty) | Lvalue.Global (_, ty) when Ltype.is_pointer ty -> (
         match root v with
-        | Some r -> escaped := StringSet.add r !escaped
+        | Some r -> escaped := SymSet.add r !escaped
         | None -> ())
     | _ -> ()
   in
@@ -257,7 +259,7 @@ let dead_stores (cfg : Cfg.t) : dead_store list =
       | _ -> ())
     f;
   let is_local r =
-    match Hashtbl.find_opt defs r with
+    match Findex.def_instr idx r with
     | Some { op = Alloca _; _ } -> true
     | _ -> false
   in
@@ -269,7 +271,7 @@ let dead_stores (cfg : Cfg.t) : dead_store list =
       (fun acc (i : Linstr.t) ->
         match i.op with
         | Load (_, p) -> (
-            match root p with Some r -> StringSet.add r acc | None -> acc)
+            match root p with Some r -> SymSet.add r acc | None -> acc)
         | _ -> acc)
       read_after blk.Lmodule.insts
   in
@@ -277,10 +279,10 @@ let dead_stores (cfg : Cfg.t) : dead_store list =
     solve cfg
       {
         direction = Backward;
-        boundary = StringSet.empty;
-        init = StringSet.empty;
-        join = StringSet.union;
-        equal = StringSet.equal;
+        boundary = SymSet.empty;
+        init = SymSet.empty;
+        join = SymSet.union;
+        equal = SymSet.equal;
         transfer = reads_of_block;
       }
   in
@@ -295,16 +297,21 @@ let dead_stores (cfg : Cfg.t) : dead_store list =
       match i.op with
       | Load (_, p) -> (
           match root p with
-          | Some r -> read := StringSet.add r !read
+          | Some r -> read := SymSet.add r !read
           | None -> ())
       | Store (_, p) -> (
           match root p with
           | Some r
             when is_local r
-                 && (not (StringSet.mem r !read))
-                 && not (StringSet.mem r !escaped) ->
+                 && (not (SymSet.mem r !read))
+                 && not (SymSet.mem r !escaped) ->
               out :=
-                { ds_block = b; ds_index = ii; ds_array = r; ds_inst = i }
+                {
+                  ds_block = b;
+                  ds_index = ii;
+                  ds_array = Sym.name r;
+                  ds_inst = i;
+                }
                 :: !out
           | _ -> ())
       | _ -> ()

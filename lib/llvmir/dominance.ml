@@ -51,6 +51,11 @@ let compute (cfg : Cfg.t) : t =
   done;
   { cfg; idom; rpo_number; children }
 
+(** Rebase a cached dominator tree onto a rewritten function value.
+    Only valid when the rewrite preserved the CFG shape — the
+    analysis-manager preserve contract. *)
+let rebase t (f : Lmodule.func) = { t with cfg = Cfg.rebase t.cfg f }
+
 (** [dominates t a b]: does block [a] dominate block [b]?  (Reflexive.) *)
 let dominates t a b =
   let rec go b = if b = a then true else if b = 0 then false else go t.idom.(b) in

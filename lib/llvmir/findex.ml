@@ -1,0 +1,217 @@
+(** Per-function index: instruction arena, def table, use-def/def-use
+    edges, block membership and use counts — computed once and shared
+    by every analysis and pass that used to rebuild its own string
+    tables ad hoc.
+
+    The index is a pure snapshot of one [Lmodule.func] value; any pass
+    that rewrites the function must use a fresh index (or one the
+    {!Pass} analysis manager revalidated) afterwards. *)
+
+module Sym = Support.Interner
+
+type def_site =
+  | Param of int  (** defined by the [i]-th function parameter *)
+  | Instr of int  (** defined by the instruction at this arena index *)
+
+(* One mutable cell per SSA name keeps {!build} at a single hashtable
+   probe per operand occurrence; the old three-table layout paid a
+   find + replace on two tables for every register operand. *)
+type cell = {
+  mutable c_def : def_site option;
+  mutable c_count : int;  (** operand occurrences *)
+  mutable c_users_rev : int list;  (** arena indices, reverse layout order *)
+}
+
+type t = {
+  func : Lmodule.func;
+  arena : Linstr.t array;  (** all instructions, layout order *)
+  block_of : int array;  (** arena index -> block number *)
+  block_labels : Sym.t array;  (** block number -> label *)
+  block_index : int Sym.Tbl.t;  (** label -> block number *)
+  cells : cell Sym.Tbl.t;  (** SSA name -> def site, users, use count *)
+}
+
+let build (f : Lmodule.func) : t =
+  let n_instrs =
+    List.fold_left (fun n (b : Lmodule.block) -> n + List.length b.insts) 0
+      f.blocks
+  in
+  let n_blocks = List.length f.blocks in
+  let arena = Array.make n_instrs (Linstr.make Linstr.Unreachable) in
+  let block_of = Array.make n_instrs 0 in
+  let block_labels = Array.make n_blocks Sym.empty in
+  let block_index = Sym.Tbl.create (max 16 n_blocks) in
+  let cells = Sym.Tbl.create (max 16 n_instrs) in
+  let cell n =
+    match Sym.Tbl.find_opt cells n with
+    | Some c -> c
+    | None ->
+        let c = { c_def = None; c_count = 0; c_users_rev = [] } in
+        Sym.Tbl.replace cells n c;
+        c
+  in
+  List.iteri
+    (fun i (p : Lmodule.param) ->
+      (cell (Sym.intern p.pname)).c_def <- Some (Param i))
+    f.params;
+  let pos = ref 0 in
+  List.iteri
+    (fun bi (b : Lmodule.block) ->
+      block_labels.(bi) <- b.label;
+      Sym.Tbl.replace block_index b.label bi;
+      List.iter
+        (fun (i : Linstr.t) ->
+          let k = !pos in
+          incr pos;
+          arena.(k) <- i;
+          block_of.(k) <- bi;
+          if not (Sym.is_empty i.Linstr.result) then
+            (cell i.Linstr.result).c_def <- Some (Instr k);
+          Linstr.iter_operands
+            (function
+              | Lvalue.Reg (n, _) ->
+                  let c = cell n in
+                  c.c_count <- c.c_count + 1;
+                  (* an instruction using a name twice still lists
+                     once — callers only need the user set *)
+                  (match c.c_users_rev with
+                  | k' :: _ when k' = k -> ()
+                  | l -> c.c_users_rev <- k :: l)
+              | _ -> ())
+            i)
+        b.insts)
+    f.blocks;
+  { func = f; arena; block_of; block_labels; block_index; cells }
+
+(** Rebase a cached index onto a rewritten function value.  Only valid
+    when the rewrite changed no instruction — the analysis-manager
+    preserve contract for the findex analysis. *)
+let rebase t (f : Lmodule.func) = { t with func = f }
+
+let func t = t.func
+let n_instrs t = Array.length t.arena
+let n_blocks t = Array.length t.block_labels
+let instr t k = t.arena.(k)
+let block_of_instr t k = t.block_of.(k)
+let block_label t bi = t.block_labels.(bi)
+let block_number t label = Sym.Tbl.find_opt t.block_index label
+
+(** Unique def site of an SSA name; [None] for names the function does
+    not define (undefined references). *)
+let def t n =
+  match Sym.Tbl.find_opt t.cells n with Some c -> c.c_def | None -> None
+
+(** Defining instruction; [None] for parameters and unknown names. *)
+let def_instr t n =
+  match def t n with Some (Instr k) -> Some t.arena.(k) | _ -> None
+
+(** Is [n] defined here at all (parameter or instruction result)? *)
+let defines t n =
+  match Sym.Tbl.find_opt t.cells n with
+  | Some c -> c.c_def <> None
+  | None -> false
+
+(** Arena indices of the instructions using [n], in layout order. *)
+let users t n =
+  match Sym.Tbl.find_opt t.cells n with
+  | Some c -> List.rev c.c_users_rev
+  | None -> []
+
+let use_count t n =
+  match Sym.Tbl.find_opt t.cells n with Some c -> c.c_count | None -> 0
+
+let is_used t n = use_count t n > 0
+
+(** Root of a pointer value: walk GEP/bitcast chains back to the
+    underlying parameter, alloca or global name. *)
+let rec base_pointer (t : t) (v : Lvalue.t) : Sym.t option =
+  match v with
+  | Lvalue.Reg (n, _) -> (
+      match def_instr t n with
+      | Some { Linstr.op = Linstr.Gep { base; _ }; _ } -> base_pointer t base
+      | Some { Linstr.op = Linstr.Cast (Linstr.Bitcast, src, _); _ } ->
+          base_pointer t src
+      | Some _ | None -> Some n)
+  | Lvalue.Global (n, _) -> Some n
+  | _ -> None
+
+(* Path-compress substitution chains: every key maps straight to its
+   final value, so the rewrite walk below resolves each operand with
+   one lookup. *)
+let compress_chains (subst : Lvalue.t Sym.Tbl.t) : Lvalue.t Sym.Tbl.t =
+  let resolved : Lvalue.t Sym.Tbl.t = Sym.Tbl.create 16 in
+  let rec resolve_sym n seen =
+    match Sym.Tbl.find_opt resolved n with
+    | Some v -> Some v
+    | None ->
+        let v =
+          match Sym.Tbl.find_opt subst n with
+          | None -> None
+          | Some (Lvalue.Reg (n', _) as v')
+            when (not (Sym.equal n' n)) && not (List.memq n' seen) -> (
+              match resolve_sym n' (n :: seen) with
+              | Some v'' -> Some v''
+              | None -> Some v')
+          | Some v' -> Some v'
+        in
+        (match v with Some v' -> Sym.Tbl.replace resolved n v' | None -> ());
+        v
+  in
+  Sym.Tbl.iter (fun n _ -> ignore (resolve_sym n [])) subst;
+  resolved
+
+(** Substitute registers by name, resolving substitution chains, via a
+    single indexed walk: chains are path-compressed once, then only
+    the instructions the index lists as users of a substituted name
+    are rebuilt. *)
+let substitute (idx : t) (subst : Lvalue.t Sym.Tbl.t) : Lmodule.func =
+  if Sym.Tbl.length subst = 0 then idx.func
+  else begin
+    let resolved = compress_chains subst in
+    let affected = Array.make (Array.length idx.arena) false in
+    Sym.Tbl.iter
+      (fun n _ ->
+        match Sym.Tbl.find_opt idx.cells n with
+        | Some c -> List.iter (fun k -> affected.(k) <- true) c.c_users_rev
+        | None -> ())
+      subst;
+    let resolve v =
+      match v with
+      | Lvalue.Reg (n, _) -> (
+          match Sym.Tbl.find_opt resolved n with Some v' -> v' | None -> v)
+      | _ -> v
+    in
+    let pos = ref 0 in
+    let blocks =
+      List.map
+        (fun (b : Lmodule.block) ->
+          let insts =
+            List.map
+              (fun i ->
+                let k = !pos in
+                incr pos;
+                if affected.(k) then Linstr.map_operands resolve i else i)
+              b.insts
+          in
+          { b with Lmodule.insts })
+        idx.func.blocks
+    in
+    { idx.func with Lmodule.blocks }
+  end
+
+(** Convenience: substitute over a function without a prebuilt index —
+    still one walk (compressed chains, one lookup per operand), but
+    skips building use-def tables nothing else will read. *)
+let substitute_func (subst : Lvalue.t Sym.Tbl.t) (f : Lmodule.func) :
+    Lmodule.func =
+  if Sym.Tbl.length subst = 0 then f
+  else begin
+    let resolved = compress_chains subst in
+    let resolve v =
+      match v with
+      | Lvalue.Reg (n, _) -> (
+          match Sym.Tbl.find_opt resolved n with Some v' -> v' | None -> v)
+      | _ -> v
+    in
+    Lmodule.map_values resolve f
+  end

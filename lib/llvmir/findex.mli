@@ -1,0 +1,66 @@
+(** Per-function index: instruction arena, def table, use-def/def-use
+    edges, block membership and use counts — computed once and shared
+    by every analysis and pass that used to rebuild its own string
+    tables ad hoc.
+
+    The index is a pure snapshot of one [Lmodule.func] value; any pass
+    that rewrites the function must use a fresh index (or one the
+    {!Pass} analysis manager revalidated) afterwards. *)
+
+module Sym = Support.Interner
+
+type def_site =
+  | Param of int  (** defined by the [i]-th function parameter *)
+  | Instr of int  (** defined by the instruction at this arena index *)
+
+type t
+
+val build : Lmodule.func -> t
+
+(** Rebase a cached index onto a rewritten function value.  Only valid
+    when the rewrite changed no instruction — the analysis-manager
+    preserve contract for the findex analysis. *)
+val rebase : t -> Lmodule.func -> t
+
+val func : t -> Lmodule.func
+val n_instrs : t -> int
+val n_blocks : t -> int
+
+(** Instruction at arena index [k]; the arena is in layout order, so
+    intra-block ordering is plain index comparison. *)
+val instr : t -> int -> Linstr.t
+
+val block_of_instr : t -> int -> int
+val block_label : t -> int -> Sym.t
+val block_number : t -> Sym.t -> int option
+
+(** Unique def site of an SSA name; [None] for names the function does
+    not define (undefined references). *)
+val def : t -> Sym.t -> def_site option
+
+(** Defining instruction; [None] for parameters and unknown names. *)
+val def_instr : t -> Sym.t -> Linstr.t option
+
+(** Is [n] defined here at all (parameter or instruction result)? *)
+val defines : t -> Sym.t -> bool
+
+(** Arena indices of the instructions using [n], in layout order. *)
+val users : t -> Sym.t -> int list
+
+(** Operand occurrences of [n] across the function (0 when unused). *)
+val use_count : t -> Sym.t -> int
+
+val is_used : t -> Sym.t -> bool
+
+(** Root of a pointer value: walk GEP/bitcast chains back to the
+    underlying parameter, alloca or global name. *)
+val base_pointer : t -> Lvalue.t -> Sym.t option
+
+(** Substitute registers by name, resolving substitution chains, via a
+    single indexed walk: chains are path-compressed once, then only
+    the instructions the index lists as users of a substituted name
+    are rebuilt. *)
+val substitute : t -> Lvalue.t Sym.Tbl.t -> Lmodule.func
+
+(** Convenience: substitute over a function without a prebuilt index. *)
+val substitute_func : Lvalue.t Sym.Tbl.t -> Lmodule.func -> Lmodule.func

@@ -3,6 +3,7 @@
     names, and returns [Lvalue.t]s for instruction results. *)
 
 open Linstr
+module Sym = Support.Interner
 
 type t = {
   names : Support.Namegen.t;
@@ -36,7 +37,9 @@ let emit b (i : Linstr.t) =
   b.cur_insts <- i :: b.cur_insts;
   if Linstr.is_terminator i then begin
     let label = Option.get b.cur_label in
-    b.blocks <- { Lmodule.label; insts = List.rev b.cur_insts } :: b.blocks;
+    b.blocks <-
+      { Lmodule.label = Sym.intern label; insts = List.rev b.cur_insts }
+      :: b.blocks;
     b.cur_label <- None;
     b.cur_insts <- []
   end
@@ -45,7 +48,7 @@ let emit b (i : Linstr.t) =
 let emit_value b ?(name = "t") ty op =
   let result = fresh_name b name in
   emit b (Linstr.make ~result ~ty op);
-  Lvalue.Reg (result, ty)
+  Lvalue.reg result ty
 
 let finish b : Lmodule.block list =
   (match b.cur_label with
@@ -104,10 +107,13 @@ let extractvalue b agg path ty = emit_value b ty (ExtractValue (agg, path))
 let insertvalue b agg v path =
   emit_value b (Lvalue.type_of agg) (InsertValue (agg, v, path))
 
-let phi b ~name ty incoming = emit_value b ~name ty (Phi incoming)
+let phi b ~name ty incoming =
+  emit_value b ~name ty
+    (Phi (List.map (fun (v, l) -> (v, Sym.intern l)) incoming))
 
-let br b label = emit b (Linstr.make (Br label))
-let condbr b c t e = emit b (Linstr.make (CondBr (c, t, e)))
+let br b label = emit b (Linstr.make (Br (Sym.intern label)))
+let condbr b c t e =
+  emit b (Linstr.make (CondBr (c, Sym.intern t, Sym.intern e)))
 let ret b v = emit b (Linstr.make (Ret v))
 let ret_void b = ret b None
 

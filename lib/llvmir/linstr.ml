@@ -23,6 +23,8 @@ type cast =
 
 type meta = MInt of int | MStr of string
 
+module Sym = Support.Interner
+
 type opcode =
   | IBin of ibinop * Lvalue.t * Lvalue.t
   | FBin of fbinop * Lvalue.t * Lvalue.t
@@ -39,26 +41,33 @@ type opcode =
     }
   | Cast of cast * Lvalue.t * Ltype.t
   | Select of Lvalue.t * Lvalue.t * Lvalue.t
-  | Phi of (Lvalue.t * string) list  (** (incoming value, pred label) *)
+  | Phi of (Lvalue.t * Sym.t) list  (** (incoming value, pred label) *)
   | Call of { callee : string; ret : Ltype.t; args : Lvalue.t list }
   | ExtractValue of Lvalue.t * int list
   | InsertValue of Lvalue.t * Lvalue.t * int list  (** agg, elt, path *)
   | Freeze of Lvalue.t
   | Ret of Lvalue.t option
-  | Br of string
-  | CondBr of Lvalue.t * string * string
-  | Switch of Lvalue.t * string * (int * string) list
+  | Br of Sym.t
+  | CondBr of Lvalue.t * Sym.t * Sym.t
+  | Switch of Lvalue.t * Sym.t * (int * Sym.t) list
   | Unreachable
 
 type t = {
-  result : string;  (** SSA name; [""] when the instruction is void *)
+  result : Sym.t;  (** SSA name; the empty symbol when void *)
   ty : Ltype.t;  (** result type; [Void] when none *)
   op : opcode;
   imeta : (string * meta) list;
 }
 
+(** [result] is accepted as text and interned here, so construction
+    sites stay string-typed; [""] means void. *)
 let make ?(imeta = []) ?(result = "") ?(ty = Ltype.Void) op =
-  { result; ty; op; imeta }
+  { result = Sym.intern result; ty; op; imeta }
+
+(** Result name as text ([""] when void). *)
+let result_name i = Sym.name i.result
+
+let has_result i = not (Sym.is_empty i.result)
 
 let is_terminator i =
   match i.op with
@@ -98,6 +107,36 @@ let operands i =
   | CondBr (c, _, _) -> [ c ]
   | Switch (v, _, _) -> [ v ]
   | Unreachable -> []
+
+(** Apply [f] to each operand without building the operand list —
+    the allocation-free variant {!Findex.build} runs per operand. *)
+let iter_operands f i =
+  match i.op with
+  | IBin (_, a, b) | FBin (_, a, b) | Icmp (_, a, b) | Fcmp (_, a, b) ->
+      f a;
+      f b
+  | Alloca _ | Br _ | Ret None | Unreachable -> ()
+  | Load (_, p) -> f p
+  | Store (v, p) ->
+      f v;
+      f p
+  | Gep { base; idxs; _ } ->
+      f base;
+      List.iter f idxs
+  | Cast (_, v, _) | Freeze v -> f v
+  | Select (c, a, b) ->
+      f c;
+      f a;
+      f b
+  | Phi incoming -> List.iter (fun (v, _) -> f v) incoming
+  | Call { args; _ } -> List.iter f args
+  | ExtractValue (a, _) -> f a
+  | InsertValue (a, v, _) ->
+      f a;
+      f v
+  | Ret (Some v) -> f v
+  | CondBr (c, _, _) -> f c
+  | Switch (v, _, _) -> f v
 
 (** Rebuild the instruction with operands mapped through [f]. *)
 let map_operands f i =

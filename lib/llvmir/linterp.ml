@@ -19,6 +19,7 @@
       [_ssdm_op_Spec*] markers are no-ops. *)
 
 open Linstr
+module Sym = Support.Interner
 
 let fail = Support.Err.fail ~pass:"llvmir.interp"
 
@@ -33,7 +34,7 @@ type state = {
   mem : (int, rv) Hashtbl.t;
   mutable brk : int;
   modul : Lmodule.t;
-  globals : (string, int) Hashtbl.t;
+  globals : (Sym.t, int) Hashtbl.t;
   mutable fuel : int;  (** instruction budget; guards infinite loops *)
 }
 
@@ -111,7 +112,7 @@ let create (m : Lmodule.t) : state =
   List.iter
     (fun (g : Lmodule.global) ->
       let addr = alloc st g.gty in
-      Hashtbl.replace st.globals g.gname addr)
+      Hashtbl.replace st.globals (Sym.intern g.gname) addr)
     m.globals;
   st
 
@@ -119,7 +120,7 @@ let create (m : Lmodule.t) : state =
 (* Evaluation                                                         *)
 (* ------------------------------------------------------------------ *)
 
-type frame = { env : (string, rv) Hashtbl.t }
+type frame = { env : (Sym.t, rv) Hashtbl.t }
 
 let const_rv = function
   | Lvalue.CInt (v, ty) -> RInt (norm_int ty v)
@@ -133,11 +134,11 @@ let eval st frame (v : Lvalue.t) : rv =
   | Lvalue.Reg (n, _) -> (
       match Hashtbl.find_opt frame.env n with
       | Some rv -> rv
-      | None -> fail "register %%%s unbound" n)
+      | None -> fail "register %%%s unbound" (Sym.name n))
   | Lvalue.Global (n, _) -> (
       match Hashtbl.find_opt st.globals n with
       | Some addr -> RPtr addr
-      | None -> fail "global @%s unbound" n)
+      | None -> fail "global @%s unbound" (Sym.name n))
   | Lvalue.Const c -> const_rv c
 
 let as_i = function
@@ -241,7 +242,8 @@ let rec run_func st (f : Lmodule.func) (args : rv list) : rv option =
     fail "@%s: arity mismatch" f.fname;
   let frame = { env = Hashtbl.create 64 } in
   List.iter2
-    (fun (p : Lmodule.param) a -> Hashtbl.replace frame.env p.pname a)
+    (fun (p : Lmodule.param) a ->
+      Hashtbl.replace frame.env (Sym.intern p.pname) a)
     f.params args;
   let cfg_blocks = Hashtbl.create 16 in
   List.iter
@@ -266,18 +268,21 @@ let rec run_func st (f : Lmodule.func) (args : rv list) : rv option =
               | Some pl -> (
                   match List.assoc_opt pl (List.map (fun (v, l) -> (l, v)) incoming) with
                   | Some v -> (i.result, eval st frame v)
-                  | None -> fail "phi has no incoming for %%%s" pl))
+                  | None -> fail "phi has no incoming for %%%s" (Sym.name pl)))
           | _ -> assert false)
         phis
     in
     List.iter (fun (r, v) -> Hashtbl.replace frame.env r v) phi_vals;
     exec_insts b.label rest
   and exec_insts label = function
-    | [] -> fail "block %%%s fell through" label
+    | [] -> fail "block %%%s fell through" (Sym.name label)
     | (i : Linstr.t) :: rest -> (
         st.fuel <- st.fuel - 1;
         if st.fuel <= 0 then fail "instruction budget exhausted (infinite loop?)";
-        let bind rv = if i.result <> "" then Hashtbl.replace frame.env i.result rv in
+        let bind rv =
+          if not (Sym.is_empty i.result) then
+            Hashtbl.replace frame.env i.result rv
+        in
         match i.op with
         | IBin (op, a, b) ->
             bind

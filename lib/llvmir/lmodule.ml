@@ -1,5 +1,11 @@
 (** LLVM IR containers: blocks, functions, globals, modules — plus the
-    rewrite utilities every pass builds on. *)
+    rewrite utilities every pass builds on.
+
+    Block labels are interned symbols; per-function def/use/def-map
+    tables live in {!Findex} (built once per function and shared), not
+    here. *)
+
+module Sym = Support.Interner
 
 type param = {
   pname : string;
@@ -8,7 +14,7 @@ type param = {
       (** e.g. [("fpga.interface", "bram")], [("partition.factor", "4")] *)
 }
 
-type block = { label : string; insts : Linstr.t list }
+type block = { label : Sym.t; insts : Linstr.t list }
 
 type func = {
   fname : string;
@@ -44,15 +50,16 @@ let find_func_exn m name =
   | Some f -> f
   | None -> invalid_arg ("Lmodule.find_func_exn: no function @" ^ name)
 
-let find_block f label = List.find_opt (fun b -> b.label = label) f.blocks
+let find_block f label =
+  List.find_opt (fun b -> Sym.equal b.label label) f.blocks
 
 let find_block_exn f label =
   match find_block f label with
   | Some b -> b
   | None ->
       invalid_arg
-        (Printf.sprintf "Lmodule.find_block_exn: no block %%%s in @%s" label
-           f.fname)
+        (Printf.sprintf "Lmodule.find_block_exn: no block %%%s in @%s"
+           (Sym.name label) f.fname)
 
 let entry f =
   match f.blocks with
@@ -109,87 +116,14 @@ let rewrite_insts f (fn : func) =
 let map_values f (fn : func) =
   rewrite_insts (fun i -> [ Linstr.map_operands f i ]) fn
 
-(** Substitute registers by name: occurrences of [Reg (n, _)] where
-    [n] is bound in [subst] are replaced by the bound value. *)
-let substitute (subst : (string, Lvalue.t) Hashtbl.t) (fn : func) =
-  let rec resolve v =
-    match v with
-    | Lvalue.Reg (n, _) -> (
-        match Hashtbl.find_opt subst n with
-        | Some v' when not (Lvalue.equal v' v) -> resolve v'
-        | _ -> v)
-    | _ -> v
-  in
-  map_values resolve fn
-
-(** All register names defined in the function (params + results). *)
-let defined_names (fn : func) =
-  let tbl = Hashtbl.create 64 in
-  List.iter (fun p -> Hashtbl.replace tbl p.pname ()) fn.params;
-  iter_insts
-    (fun i -> if i.Linstr.result <> "" then Hashtbl.replace tbl i.Linstr.result ())
-    fn;
-  tbl
-
-(** Names used as operands anywhere. *)
-let used_names (fn : func) =
-  let tbl = Hashtbl.create 64 in
-  iter_insts
-    (fun i ->
-      List.iter
-        (fun v ->
-          match v with
-          | Lvalue.Reg (n, _) -> Hashtbl.replace tbl n ()
-          | _ -> ())
-        (Linstr.operands i))
-    fn;
-  tbl
-
 (** Fresh-name generator seeded with every name already in [fn]. *)
 let namegen (fn : func) =
   let g = Support.Namegen.create () in
   List.iter (fun p -> Support.Namegen.reserve g p.pname) fn.params;
-  List.iter (fun b -> Support.Namegen.reserve g b.label) fn.blocks;
-  iter_insts
-    (fun i -> if i.Linstr.result <> "" then Support.Namegen.reserve g i.Linstr.result)
-    fn;
-  g
-
-(** Definition map: register name -> defining instruction. *)
-let def_map (fn : func) =
-  let tbl = Hashtbl.create 64 in
-  iter_insts
-    (fun i -> if i.Linstr.result <> "" then Hashtbl.replace tbl i.Linstr.result i)
-    fn;
-  tbl
-
-(** Root of a pointer value: walk GEP/bitcast chains back to the
-    underlying parameter, alloca or global name. *)
-let rec base_pointer (defs : (string, Linstr.t) Hashtbl.t) (v : Lvalue.t) :
-    string option =
-  match v with
-  | Lvalue.Reg (n, _) -> (
-      match Hashtbl.find_opt defs n with
-      | Some { Linstr.op = Linstr.Gep { base; _ }; _ } -> base_pointer defs base
-      | Some { Linstr.op = Linstr.Cast (Linstr.Bitcast, src, _); _ } ->
-          base_pointer defs src
-      | Some { Linstr.op = Linstr.Alloca _; _ } -> Some n
-      | Some _ -> Some n
-      | None -> Some n (* parameter *))
-  | Lvalue.Global (n, _) -> Some n
-  | _ -> None
-
-(** Use counts: register name -> number of operand occurrences. *)
-let use_counts (fn : func) =
-  let tbl = Hashtbl.create 64 in
+  List.iter (fun b -> Support.Namegen.reserve g (Sym.name b.label)) fn.blocks;
   iter_insts
     (fun i ->
-      List.iter
-        (function
-          | Lvalue.Reg (n, _) ->
-              Hashtbl.replace tbl n
-                (1 + Option.value ~default:0 (Hashtbl.find_opt tbl n))
-          | _ -> ())
-        (Linstr.operands i))
+      if not (Sym.is_empty i.Linstr.result) then
+        Support.Namegen.reserve g (Sym.name i.Linstr.result))
     fn;
-  tbl
+  g

@@ -126,6 +126,11 @@ let compute (cfg : Cfg.t) : t =
   done;
   { cfg; loops; loop_of_block }
 
+(** Rebase a cached loop nest onto a rewritten function value.  Only
+    valid when the rewrite preserved the CFG shape — the
+    analysis-manager preserve contract. *)
+let rebase t (f : Lmodule.func) = { t with cfg = Cfg.rebase t.cfg f }
+
 let top_level (t : t) =
   List.filter (fun j -> t.loops.(j).parent = None)
     (List.init (Array.length t.loops) (fun j -> j))

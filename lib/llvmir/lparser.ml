@@ -3,6 +3,8 @@
     extensions).  Supports exact round-tripping: for every module [m],
     [parse (print m)] is structurally equal to [m]. *)
 
+module Sym = Support.Interner
+
 type token =
   | Word of string
   | Int of int
@@ -183,8 +185,8 @@ let rec parse_ty s : Ltype.t =
 
 let parse_value s (ty : Ltype.t) : Lvalue.t =
   match cur s with
-  | Pct r -> advance s; Lvalue.Reg (r, ty)
-  | At g -> advance s; Lvalue.Global (g, ty)
+  | Pct r -> advance s; Lvalue.Reg (Sym.intern r, ty)
+  | At g -> advance s; Lvalue.Global (Sym.intern g, ty)
   | Int v -> advance s; Lvalue.Const (Lvalue.CInt (v, ty))
   | Float v -> advance s; Lvalue.Const (Lvalue.CFloat (v, ty))
   | Word "true" -> advance s; Lvalue.Const (Lvalue.CInt (1, Ltype.I1))
@@ -393,8 +395,8 @@ let parse_inst s : Linstr.t =
               | t -> fail "expected phi predecessor label, found %s" (token_str t)
             in
             expect_punct s ']';
-            if eat s (Punct ',') then go ((v, l) :: acc)
-            else List.rev ((v, l) :: acc)
+            if eat s (Punct ',') then go ((v, Sym.intern l) :: acc)
+            else List.rev ((v, Sym.intern l) :: acc)
           in
           (Phi (go []), ty)
       | "call" ->
@@ -458,7 +460,7 @@ let parse_inst s : Linstr.t =
           if cur s = Word "label" then begin
             advance s;
             match cur s with
-            | Pct l -> advance s; (Br l, Ltype.Void)
+            | Pct l -> advance s; (Br (Sym.intern l), Ltype.Void)
             | t -> fail "expected label, found %s" (token_str t)
           end
           else begin
@@ -477,7 +479,7 @@ let parse_inst s : Linstr.t =
               | Pct l -> advance s; l
               | t -> fail "expected label, found %s" (token_str t)
             in
-            (CondBr (c, t, e), Ltype.Void)
+            (CondBr (c, Sym.intern t, Sym.intern e), Ltype.Void)
           end
       | "switch" ->
           let v = parse_tv s in
@@ -505,15 +507,15 @@ let parse_inst s : Linstr.t =
                 | Pct l -> advance s; l
                 | t -> fail "expected label, found %s" (token_str t)
               in
-              go ((c, l) :: acc)
+              go ((c, Sym.intern l) :: acc)
             end
           in
-          (Switch (v, d, go []), Ltype.Void)
+          (Switch (v, Sym.intern d, go []), Ltype.Void)
       | "unreachable" -> (Unreachable, Ltype.Void)
       | _ -> fail "unknown instruction %s" kw
   in
   let imeta = parse_imeta s in
-  { Linstr.result; ty; op; imeta }
+  { Linstr.result = Sym.intern result; ty; op; imeta }
 
 (* ------------------------------------------------------------------ *)
 (* Functions / module                                                 *)
@@ -562,7 +564,7 @@ let parse_func s : Lmodule.func =
             | _ -> insts (parse_inst s :: acc2)
           in
           let insts = insts [] in
-          blocks ({ Lmodule.label; insts } :: acc)
+          blocks ({ Lmodule.label = Sym.intern label; insts } :: acc)
       | t, _ -> fail "expected block label, found %s" (token_str t)
   in
   let blocks = blocks [] in

@@ -9,6 +9,7 @@
 
 open Linstr
 open Lmodule
+module Sym = Support.Interner
 
 let vstr = Lvalue.to_string
 let tstr = Ltype.to_string
@@ -37,7 +38,10 @@ let attrs_str = function
       ^ ")"
 
 let inst_to_string (i : Linstr.t) =
-  let lhs = if i.result = "" then "" else Printf.sprintf "%%%s = " i.result in
+  let lhs =
+    if Sym.is_empty i.result then ""
+    else Printf.sprintf "%%%s = " (Sym.name i.result)
+  in
   let body =
     match i.op with
     | IBin (op, a, b) ->
@@ -74,7 +78,7 @@ let inst_to_string (i : Linstr.t) =
         Printf.sprintf "phi %s %s" ty
           (String.concat ", "
              (List.map
-                (fun (v, l) -> Printf.sprintf "[ %s, %%%s ]" (vstr v) l)
+                (fun (v, l) -> Printf.sprintf "[ %s, %%%s ]" (vstr v) (Sym.name l))
                 incoming))
     | Call { callee; ret; args } ->
         Printf.sprintf "call %s @%s(%s)" (tstr ret) callee
@@ -90,23 +94,24 @@ let inst_to_string (i : Linstr.t) =
     | Freeze v -> Printf.sprintf "freeze %s" (tv v)
     | Ret (Some v) -> Printf.sprintf "ret %s" (tv v)
     | Ret None -> "ret void"
-    | Br l -> Printf.sprintf "br label %%%s" l
+    | Br l -> Printf.sprintf "br label %%%s" (Sym.name l)
     | CondBr (c, t, e) ->
-        Printf.sprintf "br %s, label %%%s, label %%%s" (tv c) t e
+        Printf.sprintf "br %s, label %%%s, label %%%s" (tv c) (Sym.name t)
+          (Sym.name e)
     | Switch (v, d, cases) ->
-        Printf.sprintf "switch %s, label %%%s [ %s ]" (tv v) d
+        Printf.sprintf "switch %s, label %%%s [ %s ]" (tv v) (Sym.name d)
           (String.concat " "
              (List.map
                 (fun (c, l) ->
                   Printf.sprintf "%s %d, label %%%s"
-                    (tstr (Lvalue.type_of v)) c l)
+                    (tstr (Lvalue.type_of v)) c (Sym.name l))
                 cases))
     | Unreachable -> "unreachable"
   in
   lhs ^ body ^ imeta_str i.imeta
 
 let block_to_string (b : block) =
-  b.label ^ ":\n"
+  Sym.name b.label ^ ":\n"
   ^ String.concat ""
       (List.map (fun i -> "  " ^ inst_to_string i ^ "\n") b.insts)
 

@@ -1,4 +1,11 @@
-(** LLVM IR values: constants, virtual registers and globals. *)
+(** LLVM IR values: constants, virtual registers and globals.
+
+    Register and global names are interned symbols
+    ({!Support.Interner.t}), so value equality and hashing are O(1);
+    the parser and printer translate to and from text at the module
+    boundary only. *)
+
+module Sym = Support.Interner
 
 type const =
   | CInt of int * Ltype.t
@@ -8,11 +15,12 @@ type const =
   | CZero of Ltype.t  (** zeroinitializer *)
 
 type t =
-  | Reg of string * Ltype.t  (** [%name] — function-local SSA register *)
-  | Global of string * Ltype.t  (** [@name]; type is the pointer type *)
+  | Reg of Sym.t * Ltype.t  (** [%name] — function-local SSA register *)
+  | Global of Sym.t * Ltype.t  (** [@name]; type is the pointer type *)
   | Const of const
 
-let reg name ty = Reg (name, ty)
+let reg name ty = Reg (Sym.intern name, ty)
+let global name ty = Global (Sym.intern name, ty)
 let ci ?(ty = Ltype.I64) v = Const (CInt (v, ty))
 let ci32 v = Const (CInt (v, Ltype.I32))
 let ci64 v = Const (CInt (v, Ltype.I64))
@@ -28,18 +36,14 @@ let type_of = function
 let const_to_string = function
   | CInt (v, Ltype.I1) -> if v <> 0 then "true" else "false"
   | CInt (v, _) -> string_of_int v
-  | CFloat (v, _) ->
-      let s = Printf.sprintf "%.17g" v in
-      if String.contains s '.' || String.contains s 'e' || String.contains s 'n'
-      then s
-      else s ^ ".0"
+  | CFloat (v, _) -> Support.Float_lit.to_string v
   | CNull _ -> "null"
   | CUndef _ -> "undef"
   | CZero _ -> "zeroinitializer"
 
 let to_string = function
-  | Reg (n, _) -> "%" ^ n
-  | Global (n, _) -> "@" ^ n
+  | Reg (n, _) -> "%" ^ Sym.name n
+  | Global (n, _) -> "@" ^ Sym.name n
   | Const c -> const_to_string c
 
 (** Value with its type prefix, as operands print in .ll files. *)
@@ -58,6 +62,6 @@ let const_float_value = function
 
 (** Same SSA register? *)
 let same_reg a b =
-  match (a, b) with Reg (x, _), Reg (y, _) -> x = y | _ -> false
+  match (a, b) with Reg (x, _), Reg (y, _) -> Sym.equal x y | _ -> false
 
 let equal (a : t) (b : t) = a = b

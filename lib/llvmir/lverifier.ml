@@ -13,27 +13,28 @@
 
 open Linstr
 open Lmodule
+module Sym = Support.Interner
 
 let fail = Support.Err.fail ~pass:"llvmir.verifier"
 
 let check_block_structure (f : func) =
-  let seen = Hashtbl.create 16 in
+  let seen = Sym.Tbl.create 16 in
   List.iter
     (fun (b : block) ->
-      if Hashtbl.mem seen b.label then
-        fail "@%s: duplicate block label %%%s" f.fname b.label;
-      Hashtbl.replace seen b.label ();
+      if Sym.Tbl.mem seen b.label then
+        fail "@%s: duplicate block label %%%s" f.fname (Sym.name b.label);
+      Sym.Tbl.replace seen b.label ();
       match List.rev b.insts with
-      | [] -> fail "@%s: empty block %%%s" f.fname b.label
+      | [] -> fail "@%s: empty block %%%s" f.fname (Sym.name b.label)
       | term :: rest ->
           if not (is_terminator term) then
             fail "@%s: block %%%s does not end with a terminator" f.fname
-              b.label;
+              (Sym.name b.label);
           List.iter
             (fun i ->
               if is_terminator i then
                 fail "@%s: terminator in the middle of block %%%s" f.fname
-                  b.label)
+                  (Sym.name b.label))
             rest)
     f.blocks;
   (match f.blocks with
@@ -46,78 +47,96 @@ let check_block_structure (f : func) =
         entry.insts
   | [] -> fail "@%s: function has no blocks" f.fname)
 
-let check_ssa (f : func) =
-  let cfg = Cfg.build f in
-  let dom = Dominance.compute cfg in
-  (* definition site per register: (block index, instruction index) *)
-  let defs = Hashtbl.create 64 in
-  List.iter (fun p -> Hashtbl.replace defs p.pname (-1, -1)) f.params;
+let check_ssa ?am (f : func) =
+  let idx = Analysis.findex ?am f in
+  let cfg = Analysis.cfg ?am f in
+  (* without a manager, derive dominance from the CFG already in hand
+     rather than letting [Analysis.dominance] rebuild it *)
+  let dom =
+    match am with
+    | Some _ -> Analysis.dominance ?am f
+    | None -> Dominance.compute cfg
+  in
+  (* unique definitions: the index keeps the last def per name, so any
+     def site that is not its own recorded def is a duplicate *)
   List.iteri
-    (fun bi (b : block) ->
-      List.iteri
-        (fun ii (i : Linstr.t) ->
-          if i.result <> "" then begin
-            if Hashtbl.mem defs i.result then
-              fail "@%s: register %%%s defined more than once" f.fname i.result;
-            Hashtbl.replace defs i.result (bi, ii)
-          end)
-        b.insts)
-    f.blocks;
-  let check_use ~use_bi ~use_ii name =
-    match Hashtbl.find_opt defs name with
-    | None -> fail "@%s: use of undefined register %%%s" f.fname name
-    | Some (-1, _) -> ()  (* parameter *)
-    | Some (def_bi, def_ii) ->
+    (fun pi (p : param) ->
+      match Findex.def idx (Sym.intern p.pname) with
+      | Some (Findex.Param pj) when pj = pi -> ()
+      | _ ->
+          fail "@%s: register %%%s defined more than once" f.fname p.pname)
+    f.params;
+  for k = 0 to Findex.n_instrs idx - 1 do
+    let i = Findex.instr idx k in
+    if not (Sym.is_empty i.result) then
+      match Findex.def idx i.result with
+      | Some (Findex.Instr k') when k' = k -> ()
+      | _ ->
+          fail "@%s: register %%%s defined more than once" f.fname
+            (Sym.name i.result)
+  done;
+  (* every use dominated by its def; the arena is in layout order, so
+     intra-block ordering is plain index comparison *)
+  let check_use ~use_k name =
+    match Findex.def idx name with
+    | None ->
+        fail "@%s: use of undefined register %%%s" f.fname (Sym.name name)
+    | Some (Findex.Param _) -> ()
+    | Some (Findex.Instr def_k) ->
+        let def_bi = Findex.block_of_instr idx def_k in
+        let use_bi = Findex.block_of_instr idx use_k in
         let ok =
-          if def_bi = use_bi then def_ii < use_ii
+          if def_bi = use_bi then def_k < use_k
           else Dominance.dominates dom def_bi use_bi
         in
         if not ok then
           fail "@%s: use of %%%s (block %%%s) not dominated by its definition"
-            f.fname name
-            (Cfg.label cfg use_bi)
+            f.fname (Sym.name name)
+            (Sym.name (Cfg.label cfg use_bi))
   in
-  List.iteri
-    (fun bi (b : block) ->
-      List.iteri
-        (fun ii (i : Linstr.t) ->
-          match i.op with
-          | Phi incoming ->
-              (* each incoming value must dominate the end of its pred *)
-              List.iter
-                (fun (v, pred_label) ->
-                  (match Cfg.index_of cfg pred_label with
-                  | None ->
-                      fail "@%s: phi references unknown block %%%s" f.fname
-                        pred_label
-                  | Some pred_bi ->
-                      if not (List.mem pred_bi cfg.Cfg.preds.(bi)) then
-                        fail "@%s: phi incoming block %%%s is not a predecessor"
-                          f.fname pred_label;
-                      (match v with
-                      | Lvalue.Reg (n, _) -> (
-                          match Hashtbl.find_opt defs n with
-                          | None ->
-                              fail "@%s: phi uses undefined register %%%s"
-                                f.fname n
-                          | Some (-1, _) -> ()
-                          | Some (def_bi, _) ->
-                              if not (Dominance.dominates dom def_bi pred_bi)
-                              then
-                                fail
-                                  "@%s: phi incoming %%%s does not dominate \
-                                   edge from %%%s"
-                                  f.fname n pred_label)
-                      | _ -> ())))
-                incoming
-          | _ ->
-              List.iter
-                (function
-                  | Lvalue.Reg (n, _) -> check_use ~use_bi:bi ~use_ii:ii n
-                  | _ -> ())
-                (operands i))
-        b.insts)
-    f.blocks
+  for k = 0 to Findex.n_instrs idx - 1 do
+    let i = Findex.instr idx k in
+    let bi = Findex.block_of_instr idx k in
+    match i.op with
+    | Phi incoming ->
+        (* each incoming value must dominate the end of its pred *)
+        List.iter
+          (fun (v, pred_label) ->
+            match Cfg.index_of cfg pred_label with
+            | None ->
+                fail "@%s: phi references unknown block %%%s" f.fname
+                  (Sym.name pred_label)
+            | Some pred_bi -> (
+                if not (List.mem pred_bi cfg.Cfg.preds.(bi)) then
+                  fail "@%s: phi incoming block %%%s is not a predecessor"
+                    f.fname (Sym.name pred_label);
+                match v with
+                | Lvalue.Reg (n, _) -> (
+                    match Findex.def idx n with
+                    | None ->
+                        fail "@%s: phi uses undefined register %%%s" f.fname
+                          (Sym.name n)
+                    | Some (Findex.Param _) -> ()
+                    | Some (Findex.Instr def_k) ->
+                        if
+                          not
+                            (Dominance.dominates dom
+                               (Findex.block_of_instr idx def_k)
+                               pred_bi)
+                        then
+                          fail
+                            "@%s: phi incoming %%%s does not dominate edge \
+                             from %%%s"
+                            f.fname (Sym.name n) (Sym.name pred_label))
+                | _ -> ()))
+          incoming
+    | _ ->
+        List.iter
+          (function
+            | Lvalue.Reg (n, _) -> check_use ~use_k:k n
+            | _ -> ())
+          (operands i)
+  done
 
 let check_types (f : func) =
   iter_insts
@@ -127,14 +146,16 @@ let check_types (f : func) =
       | IBin (_, a, b) ->
           if not (Ltype.equal (t a) (t b)) then
             fail "@%s: %%%s: integer binop operand types differ" f.fname
-              i.result;
+              (result_name i);
           if not (Ltype.is_int (t a)) then
-            fail "@%s: %%%s: integer binop on non-integer" f.fname i.result
+            fail "@%s: %%%s: integer binop on non-integer" f.fname
+              (result_name i)
       | FBin (_, a, b) ->
           if not (Ltype.equal (t a) (t b)) then
-            fail "@%s: %%%s: float binop operand types differ" f.fname i.result;
+            fail "@%s: %%%s: float binop operand types differ" f.fname
+              (result_name i);
           if not (Ltype.is_float (t a)) then
-            fail "@%s: %%%s: float binop on non-float" f.fname i.result
+            fail "@%s: %%%s: float binop on non-float" f.fname (result_name i)
       | Icmp (_, a, b) ->
           if not (Ltype.equal (t a) (t b)) then
             fail "@%s: icmp operand types differ" f.fname
@@ -212,10 +233,10 @@ let check_calls (m : t) (f : func) =
       | _ -> ())
     f
 
-let verify_func (m : t) (f : func) =
+let verify_func ?am (m : t) (f : func) =
   check_block_structure f;
-  check_ssa f;
+  check_ssa ?am f;
   check_types f;
   check_calls m f
 
-let verify_module (m : t) = List.iter (verify_func m) m.funcs
+let verify_module ?am (m : t) = List.iter (verify_func ?am m) m.funcs

@@ -24,20 +24,24 @@
     distance computation. *)
 
 open Linstr
+module Sym = Support.Interner
 
 (* ------------------------------------------------------------------ *)
 (* Affine forms                                                       *)
 (* ------------------------------------------------------------------ *)
 
-(** [sum of coeff * atom + konst]; [terms] sorted by atom name with no
-    zero coefficients.  Atoms are SSA register (or global) names. *)
-type form = { terms : (string * int) list; konst : int }
+(** [sum of coeff * atom + konst]; [terms] sorted by atom {e name} (so
+    form layout never depends on interning order) with no zero
+    coefficients.  Atoms are SSA register (or global) symbols. *)
+type form = { terms : (Sym.t * int) list; konst : int }
 
 let const_form c = { terms = []; konst = c }
 let atom_form n = { terms = [ (n, 1) ]; konst = 0 }
 
 let norm_terms terms =
-  List.filter (fun (_, c) -> c <> 0) (List.sort compare terms)
+  List.filter
+    (fun (_, c) -> c <> 0)
+    (List.sort (fun (a, _) (b, _) -> Sym.compare_name a b) terms)
 
 let form_add a b =
   let merged =
@@ -56,13 +60,15 @@ let form_scale k f =
   }
 
 let form_sub a b = form_add a (form_scale (-1) b)
-let coeff_of (f : form) (n : string) = Option.value ~default:0 (List.assoc_opt n f.terms)
-let drop_atom (f : form) (n : string) = { f with terms = List.remove_assoc n f.terms }
+let coeff_of (f : form) (n : Sym.t) = Option.value ~default:0 (List.assoc_opt n f.terms)
+let drop_atom (f : form) (n : Sym.t) = { f with terms = List.remove_assoc n f.terms }
 
 let form_to_string (f : form) =
   let ts =
     List.map
-      (fun (n, c) -> if c = 1 then "%" ^ n else Printf.sprintf "%d*%%%s" c n)
+      (fun (n, c) ->
+        if c = 1 then "%" ^ Sym.name n
+        else Printf.sprintf "%d*%%%s" c (Sym.name n))
       f.terms
   in
   let parts = ts @ (if f.konst <> 0 || ts = [] then [ string_of_int f.konst ] else []) in
@@ -72,7 +78,7 @@ let form_to_string (f : form) =
     non-affine definition become atoms themselves, which keeps the
     result sound: an SSA register has exactly one value per dynamic
     instance. *)
-let form_of (defs : (string, Linstr.t) Hashtbl.t) (v : Lvalue.t) : form option =
+let form_of (idx : Findex.t) (v : Lvalue.t) : form option =
   let rec go depth v =
     if depth > 24 then None
     else
@@ -82,7 +88,7 @@ let form_of (defs : (string, Linstr.t) Hashtbl.t) (v : Lvalue.t) : form option =
       | Lvalue.Const _ -> None
       | Lvalue.Global (n, _) -> Some (atom_form n)
       | Lvalue.Reg (n, _) -> (
-          match Hashtbl.find_opt defs n with
+          match Findex.def_instr idx n with
           | None -> Some (atom_form n)  (* parameter *)
           | Some i -> (
               match i.op with
@@ -135,16 +141,15 @@ type access = {
 (** Subscript forms of a pointer: requires the address to be one GEP
     whose base resolves directly to the root (the canonical shape after
     the adaptor's GEP canonicalization); anything else is opaque. *)
-let subscripts (defs : (string, Linstr.t) Hashtbl.t) (p : Lvalue.t) :
-    form list option =
+let subscripts (idx : Findex.t) (p : Lvalue.t) : form list option =
   match p with
   | Lvalue.Reg (n, _) -> (
-      match Hashtbl.find_opt defs n with
+      match Findex.def_instr idx n with
       | Some { op = Gep { base; idxs; _ }; _ } -> (
           let base_is_root =
             match base with
             | Lvalue.Reg (bn, _) -> (
-                match Hashtbl.find_opt defs bn with
+                match Findex.def_instr idx bn with
                 | None -> true  (* parameter *)
                 | Some { op = Alloca _; _ } -> true
                 | Some _ -> false)
@@ -153,7 +158,7 @@ let subscripts (defs : (string, Linstr.t) Hashtbl.t) (p : Lvalue.t) :
           in
           if not base_is_root then None
           else
-            let forms = List.map (form_of defs) idxs in
+            let forms = List.map (form_of idx) idxs in
             if List.for_all Option.is_some forms then
               Some (List.map Option.get forms)
             else None)
@@ -165,7 +170,7 @@ let subscripts (defs : (string, Linstr.t) Hashtbl.t) (p : Lvalue.t) :
 
 (** All loads/stores whose block lies in loop [j]'s body. *)
 let accesses_in (cfg : Cfg.t) (li : Loop_info.t) (j : int) : access list =
-  let defs = Lmodule.def_map cfg.Cfg.func in
+  let idx = Findex.build cfg.Cfg.func in
   let body = li.Loop_info.loops.(j).Loop_info.body in
   let out = ref [] in
   List.iter
@@ -174,15 +179,15 @@ let accesses_in (cfg : Cfg.t) (li : Loop_info.t) (j : int) : access list =
       List.iteri
         (fun ii (i : Linstr.t) ->
           let record is_store p =
-            match Lmodule.base_pointer defs p with
+            match Findex.base_pointer idx p with
             | Some root ->
                 out :=
                   {
                     acc_block = b;
                     acc_index = ii;
                     acc_is_store = is_store;
-                    acc_array = root;
-                    acc_subs = subscripts defs p;
+                    acc_array = Sym.name root;
+                    acc_subs = subscripts idx p;
                     acc_inst = i;
                   }
                   :: !out
@@ -214,11 +219,11 @@ let verdict_to_string = function
 
 (** Induction variable of loop [j]: the first header phi whose
     latch-incoming value is an integer add/sub of the phi itself. *)
-let iv_phi (cfg : Cfg.t) (li : Loop_info.t) (j : int) : string option =
+let iv_phi (cfg : Cfg.t) (li : Loop_info.t) (j : int) : Sym.t option =
   let l = li.Loop_info.loops.(j) in
   let header = Cfg.block cfg l.Loop_info.header in
   let latch_labels = List.map (Cfg.label cfg) l.Loop_info.latches in
-  let defs = Lmodule.def_map cfg.Cfg.func in
+  let idx = Findex.build cfg.Cfg.func in
   List.find_map
     (fun (i : Linstr.t) ->
       match i.op with
@@ -228,7 +233,7 @@ let iv_phi (cfg : Cfg.t) (li : Loop_info.t) (j : int) : string option =
           in
           match from_latch with
           | Some (Lvalue.Reg (next, _), _) -> (
-              match Hashtbl.find_opt defs next with
+              match Findex.def_instr idx next with
               | Some { op = IBin ((Add | Sub), a, b); _ }
                 when Lvalue.same_reg a (Lvalue.Reg (i.result, i.ty))
                      || Lvalue.same_reg b (Lvalue.Reg (i.result, i.ty)) ->
@@ -249,11 +254,12 @@ type dim_verdict =
     True when its definition lives inside the loop body (nested-loop
     induction variables, loads, ...); parameters and defs outside the
     loop are fixed for the loop's whole execution. *)
-let varies_in_loop (cfg : Cfg.t) (li : Loop_info.t) (j : int)
-    (def_block : (string, int) Hashtbl.t) (a : string) : bool =
-  match Hashtbl.find_opt def_block a with
-  | None -> false
-  | Some b -> List.mem b li.Loop_info.loops.(j).Loop_info.body
+let varies_in_loop (li : Loop_info.t) (j : int) (idx : Findex.t) (a : Sym.t) :
+    bool =
+  match Findex.def idx a with
+  | Some (Findex.Instr k) ->
+      List.mem (Findex.block_of_instr idx k) li.Loop_info.loops.(j).Loop_info.body
+  | _ -> false
 
 let dim_test ~iv ~varies (s : form) (t : form) : dim_verdict =
   let a_s = coeff_of s iv and a_t = coeff_of t iv in
@@ -284,15 +290,8 @@ let classify_pair (cfg : Cfg.t) (li : Loop_info.t) (j : int) (s : access)
         match (s.acc_subs, t.acc_subs) with
         | Some subs_s, Some subs_t
           when List.length subs_s = List.length subs_t ->
-            let def_block = Hashtbl.create 64 in
-            List.iteri
-              (fun bi (b : Lmodule.block) ->
-                List.iter
-                  (fun (i : Linstr.t) ->
-                    if i.result <> "" then Hashtbl.replace def_block i.result bi)
-                  b.Lmodule.insts)
-              cfg.Cfg.func.Lmodule.blocks;
-            let varies = varies_in_loop cfg li j def_block in
+            let idx = Findex.build cfg.Cfg.func in
+            let varies = varies_in_loop li j idx in
             let dims =
               List.map2 (fun a b -> dim_test ~iv ~varies a b) subs_s subs_t
             in
@@ -326,7 +325,7 @@ let dep_to_string (cfg : Cfg.t) (d : dep) =
   let pos (a : access) =
     Printf.sprintf "%s@%%%s"
       (if a.acc_is_store then "store" else "load")
-      (Cfg.label cfg a.acc_block)
+      (Sym.name (Cfg.label cfg a.acc_block))
   in
   Printf.sprintf "%s: %s -> %s: %s" d.dep_array (pos d.dep_src)
     (pos d.dep_dst)

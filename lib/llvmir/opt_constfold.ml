@@ -8,6 +8,7 @@
 
 open Linstr
 open Lvalue
+module Sym = Support.Interner
 
 (* Folding must agree with {!Linterp.ibin_eval} bit-for-bit or the
    differential oracle would distinguish optimized from unoptimized IR;
@@ -49,16 +50,16 @@ let inst_count_diff f f' = Lmodule.inst_count f <> Lmodule.inst_count f'
 
 let run_func (f : Lmodule.func) : Lmodule.func * bool =
   let changed = ref false in
-  let subst : (string, Lvalue.t) Hashtbl.t = Hashtbl.create 32 in
+  let subst : Lvalue.t Sym.Tbl.t = Sym.Tbl.create 32 in
   let resolve v =
     match v with
     | Reg (n, _) -> (
-        match Hashtbl.find_opt subst n with Some v' -> v' | None -> v)
+        match Sym.Tbl.find_opt subst n with Some v' -> v' | None -> v)
     | _ -> v
   in
   let replace result v =
     changed := true;
-    Hashtbl.replace subst result v;
+    Sym.Tbl.replace subst result v;
     []
   in
   let rw (i : Linstr.t) : Linstr.t list =
@@ -116,7 +117,7 @@ let run_func (f : Lmodule.func) : Lmodule.func * bool =
         let non_self =
           List.filter
             (fun (v, _) ->
-              match v with Reg (n, _) -> n <> i.result | _ -> true)
+              match v with Reg (n, _) -> not (Sym.equal n i.result) | _ -> true)
             incoming
         in
         match non_self with
@@ -129,11 +130,11 @@ let run_func (f : Lmodule.func) : Lmodule.func * bool =
   in
   (* forward passes until stable (substitutions can cascade) *)
   let rec go f n =
-    Hashtbl.reset subst;
+    Sym.Tbl.reset subst;
     changed := false;
     let f' = Lmodule.rewrite_insts rw f in
     (* apply any lingering substitutions to operands everywhere *)
-    let f' = Lmodule.substitute subst f' in
+    let f' = Findex.substitute_func subst f' in
     if !changed && n > 0 then (fst (go f' (n - 1)), true) else (f', !changed)
   in
   let f', _ = go f 8 in

@@ -7,6 +7,7 @@
 
 open Linstr
 open Lmodule
+module Sym = Support.Interner
 
 (** Structural key for a pure instruction (None when not CSE-able). *)
 let key_of (i : Linstr.t) : string option =
@@ -43,17 +44,16 @@ let key_of (i : Linstr.t) : string option =
         in
         Some (opstr ^ "(" ^ ops ^ ")")
 
-let run_func (f : func) : func * bool =
-  let cfg = Cfg.build f in
-  let dom = Dominance.compute cfg in
+let run_func ?am (f : func) : func * bool =
+  let dom = Analysis.dominance ?am f in
   let blocks_arr = Array.of_list f.blocks in
   let new_blocks = Array.make (Array.length blocks_arr) None in
-  let subst : (string, Lvalue.t) Hashtbl.t = Hashtbl.create 32 in
+  let subst : Lvalue.t Sym.Tbl.t = Sym.Tbl.create 32 in
   let changed = ref false in
   let resolve v =
     match v with
     | Lvalue.Reg (r, _) -> (
-        match Hashtbl.find_opt subst r with Some v' -> v' | None -> v)
+        match Sym.Tbl.find_opt subst r with Some v' -> v' | None -> v)
     | _ -> v
   in
   let rec walk bi (avail : (string, Lvalue.t) Hashtbl.t) =
@@ -64,11 +64,11 @@ let run_func (f : func) : func * bool =
         (fun (i : Linstr.t) ->
           let i = Linstr.map_operands resolve i in
           match key_of i with
-          | Some key when i.result <> "" -> (
+          | Some key when not (Sym.is_empty i.result) -> (
               match Hashtbl.find_opt avail key with
               | Some v ->
                   changed := true;
-                  Hashtbl.replace subst i.result v;
+                  Sym.Tbl.replace subst i.result v;
                   []
               | None ->
                   Hashtbl.replace avail key (Lvalue.Reg (i.result, i.ty));
@@ -85,7 +85,7 @@ let run_func (f : func) : func * bool =
       (fun bi b -> Option.value ~default:b new_blocks.(bi))
       f.blocks
   in
-  let f' = substitute subst { f with blocks } in
+  let f' = Findex.substitute_func subst { f with blocks } in
   (f', !changed)
 
-let run (m : t) : t = map_funcs (fun f -> fst (run_func f)) m
+let run ?am (m : t) : t = map_funcs (fun f -> fst (run_func ?am f)) m

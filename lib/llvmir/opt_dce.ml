@@ -1,8 +1,10 @@
 (** Dead code elimination: removes pure instructions whose results are
-    unused, plus calls to known-pure intrinsics.  Iterates to a fixed
-    point. *)
+    unused, plus calls to known-pure intrinsics.  A worklist over the
+    function index's use counts cascades through chains of dead
+    instructions without ever re-indexing the function. *)
 
 open Lmodule
+module Sym = Support.Interner
 
 (** Intrinsics with no side effects (safe to delete when unused). *)
 let pure_intrinsic name =
@@ -23,32 +25,77 @@ let removable (i : Linstr.t) =
   | Linstr.Call { callee; _ } -> pure_intrinsic callee
   | _ -> false
 
-let run_func (f : func) : func * bool =
-  let changed_total = ref false in
-  let rec go f =
-    let used = used_names f in
-    let changed = ref false in
-    let f' =
-      rewrite_insts
-        (fun i ->
-          if
-            i.Linstr.result <> ""
-            && (not (Hashtbl.mem used i.Linstr.result))
-            && removable i
-          then begin
-            changed := true;
-            []
-          end
-          else [ i ])
-        f
-    in
-    if !changed then begin
-      changed_total := true;
-      go f'
-    end
-    else f'
+let run_func ?am (f : func) : func * bool =
+  let idx = Analysis.findex ?am f in
+  let n = Findex.n_instrs idx in
+  let dead = Array.make (max 1 n) false in
+  (* operand-occurrence counts among still-live instructions, seeded
+     from the index on first touch *)
+  let counts : int ref Sym.Tbl.t = Sym.Tbl.create 32 in
+  let count nm =
+    match Sym.Tbl.find_opt counts nm with
+    | Some r -> r
+    | None ->
+        let r = ref (Findex.use_count idx nm) in
+        Sym.Tbl.replace counts nm r;
+        r
   in
-  let f' = go f in
-  (f', !changed_total)
+  let worklist = ref [] in
+  let try_kill k =
+    let i = Findex.instr idx k in
+    if
+      (not dead.(k))
+      && (not (Sym.is_empty i.Linstr.result))
+      && !(count i.Linstr.result) = 0
+      && removable i
+    then begin
+      dead.(k) <- true;
+      worklist := k :: !worklist
+    end
+  in
+  for k = 0 to n - 1 do
+    try_kill k
+  done;
+  let rec drain () =
+    match !worklist with
+    | [] -> ()
+    | k :: rest ->
+        worklist := rest;
+        Linstr.iter_operands
+          (function
+            | Lvalue.Reg (nm, _) -> (
+                let r = count nm in
+                decr r;
+                if !r = 0 then
+                  match Findex.def idx nm with
+                  | Some (Findex.Instr dk) -> try_kill dk
+                  | _ -> ())
+            | _ -> ())
+          (Findex.instr idx k);
+        drain ()
+  in
+  drain ();
+  let changed = ref false in
+  let pos = ref 0 in
+  let blocks =
+    List.map
+      (fun (b : block) ->
+        let insts =
+          List.rev
+            (List.fold_left
+               (fun acc i ->
+                 let k = !pos in
+                 incr pos;
+                 if dead.(k) then begin
+                   changed := true;
+                   acc
+                 end
+                 else i :: acc)
+               [] b.insts)
+        in
+        { b with insts })
+      f.blocks
+  in
+  if !changed then ({ f with blocks }, true) else (f, false)
 
-let run (m : t) : t = map_funcs (fun f -> fst (run_func f)) m
+let run ?am (m : t) : t = map_funcs (fun f -> fst (run_func ?am f)) m

@@ -11,6 +11,7 @@
 
 open Linstr
 open Lmodule
+module Sym = Support.Interner
 
 let fail = Support.Err.fail ~pass:"llvmir.inline"
 
@@ -52,9 +53,9 @@ let inline_one (m : t) (f : func) : func option =
             String.length s >= String.length cp
             && String.sub s 0 (String.length cp) = cp
           in
-          List.exists (fun (b : block) -> starts b.label) f.blocks
+          List.exists (fun (b : block) -> starts (Sym.name b.label)) f.blocks
           || fold_insts
-               (fun acc (i : Linstr.t) -> acc || starts i.result)
+               (fun acc (i : Linstr.t) -> acc || starts (result_name i))
                false f
         in
         let rec pick k =
@@ -64,30 +65,34 @@ let inline_one (m : t) (f : func) : func option =
         pick 0
       in
       (* value renaming: params -> args, locals -> prefixed names *)
-      let vmap : (string, Lvalue.t) Hashtbl.t = Hashtbl.create 32 in
+      let vmap : Lvalue.t Sym.Tbl.t = Sym.Tbl.create 32 in
       List.iter2
-        (fun (p : param) a -> Hashtbl.replace vmap p.pname a)
+        (fun (p : param) a -> Sym.Tbl.replace vmap (Sym.intern p.pname) a)
         g.params args;
       iter_insts
         (fun (i : Linstr.t) ->
-          if i.result <> "" && not (Hashtbl.mem vmap i.result) then
-            Hashtbl.replace vmap i.result
-              (Lvalue.Reg (prefix ^ "." ^ i.result, i.ty)))
+          if (not (Sym.is_empty i.result)) && not (Sym.Tbl.mem vmap i.result)
+          then
+            Sym.Tbl.replace vmap i.result
+              (Lvalue.reg (prefix ^ "." ^ result_name i) i.ty))
         g;
-      let lmap : (string, string) Hashtbl.t = Hashtbl.create 8 in
+      let lmap : Sym.t Sym.Tbl.t = Sym.Tbl.create 8 in
       List.iter
         (fun (b : block) ->
-          Hashtbl.replace lmap b.label (prefix ^ "." ^ b.label))
+          Sym.Tbl.replace lmap b.label
+            (Sym.intern (prefix ^ "." ^ Sym.name b.label)))
         g.blocks;
-      let cont_label = Support.Namegen.fresh names (prefix ^ ".cont") in
+      let cont_label =
+        Sym.intern (Support.Namegen.fresh names (prefix ^ ".cont"))
+      in
       let rename_value v =
         match v with
         | Lvalue.Reg (n, _) -> (
-            match Hashtbl.find_opt vmap n with Some v' -> v' | None -> v)
+            match Sym.Tbl.find_opt vmap n with Some v' -> v' | None -> v)
         | _ -> v
       in
       let rename_label l =
-        match Hashtbl.find_opt lmap l with Some l' -> l' | None -> l
+        match Sym.Tbl.find_opt lmap l with Some l' -> l' | None -> l
       in
       (* clone callee blocks; collect return values *)
       let returns = ref [] in
@@ -115,9 +120,9 @@ let inline_one (m : t) (f : func) : func option =
                     | _ -> i
                   in
                   let result =
-                    if i.result = "" then ""
+                    if Sym.is_empty i.result then i.result
                     else
-                      match Hashtbl.find_opt vmap i.result with
+                      match Sym.Tbl.find_opt vmap i.result with
                       | Some (Lvalue.Reg (n, _)) -> n
                       | _ -> i.result
                   in
@@ -127,7 +132,7 @@ let inline_one (m : t) (f : func) : func option =
                       (match v with
                       | Some rv -> returns := (rv, label) :: !returns
                       | None -> returns := (Lvalue.undef Ltype.Void, label) :: !returns);
-                      { i with op = Br cont_label; result = ""; ty = Ltype.Void }
+                      { i with op = Br cont_label; result = Sym.empty; ty = Ltype.Void }
                   | _ -> i)
                 b.insts
             in
@@ -152,11 +157,15 @@ let inline_one (m : t) (f : func) : func option =
                    { b with insts = before @ [ Linstr.make (Br g_entry) ] }
                  in
                  let result_binding =
-                   if call_inst.result = "" then []
+                   if Sym.is_empty call_inst.result then []
                    else
                      [
-                       Linstr.make ~result:call_inst.result ~ty:call_inst.ty
-                         (Phi (List.rev !returns));
+                       {
+                         Linstr.result = call_inst.result;
+                         ty = call_inst.ty;
+                         op = Phi (List.rev !returns);
+                         imeta = [];
+                       };
                      ]
                  in
                  let cont =

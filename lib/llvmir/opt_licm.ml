@@ -8,10 +8,11 @@
 
 open Linstr
 open Lmodule
+module Sym = Support.Interner
 
-let run_func (f : func) : func * bool =
-  let cfg = Cfg.build f in
-  let li = Loop_info.compute cfg in
+let run_func ?am (f : func) : func * bool =
+  let cfg = Analysis.cfg ?am f in
+  let li = Analysis.loop_info ?am f in
   if Array.length li.Loop_info.loops = 0 then (f, false)
   else begin
     let changed = ref false in
@@ -24,22 +25,23 @@ let run_func (f : func) : func * bool =
         (List.init (Array.length li.Loop_info.loops) (fun i -> i))
     in
     let blocks = Array.of_list f.blocks in
-    let label_index = Hashtbl.create 16 in
+    let label_index = Sym.Tbl.create 16 in
     Array.iteri
-      (fun i (b : block) -> Hashtbl.replace label_index b.label i)
+      (fun i (b : block) -> Sym.Tbl.replace label_index b.label i)
       blocks;
     List.iter
       (fun j ->
         let l = li.Loop_info.loops.(j) in
         let body_labels = List.map (Cfg.label cfg) l.Loop_info.body in
         (* defs inside the loop *)
-        let inside_defs = Hashtbl.create 32 in
+        let inside_defs = Sym.Tbl.create 32 in
         List.iter
           (fun lbl ->
-            let b = blocks.(Hashtbl.find label_index lbl) in
+            let b = blocks.(Sym.Tbl.find label_index lbl) in
             List.iter
               (fun (i : Linstr.t) ->
-                if i.result <> "" then Hashtbl.replace inside_defs i.result ())
+                if not (Sym.is_empty i.result) then
+                  Sym.Tbl.replace inside_defs i.result ())
               b.insts)
           body_labels;
         (* unique preheader *)
@@ -57,7 +59,7 @@ let run_func (f : func) : func * bool =
               && List.for_all
                    (fun v ->
                      match v with
-                     | Lvalue.Reg (n, _) -> not (Hashtbl.mem inside_defs n)
+                     | Lvalue.Reg (n, _) -> not (Sym.Tbl.mem inside_defs n)
                      | _ -> true)
                    (operands i)
             in
@@ -66,13 +68,13 @@ let run_func (f : func) : func * bool =
               let moved = ref false in
               List.iter
                 (fun lbl ->
-                  let bi = Hashtbl.find label_index lbl in
+                  let bi = Sym.Tbl.find label_index lbl in
                   let b = blocks.(bi) in
                   let keep, move =
                     List.partition
                       (fun (i : Linstr.t) ->
-                        if invariant i && i.result <> "" then begin
-                          Hashtbl.remove inside_defs i.result;
+                        if invariant i && not (Sym.is_empty i.result) then begin
+                          Sym.Tbl.remove inside_defs i.result;
                           false
                         end
                         else true)
@@ -89,7 +91,7 @@ let run_func (f : func) : func * bool =
             in
             sweep ();
             if !hoisted <> [] then begin
-              let phi = Hashtbl.find label_index ph_label in
+              let phi = Sym.Tbl.find label_index ph_label in
               let phb = blocks.(phi) in
               let insts =
                 match List.rev phb.insts with
@@ -103,4 +105,4 @@ let run_func (f : func) : func * bool =
     ({ f with blocks = Array.to_list blocks }, !changed)
   end
 
-let run (m : t) : t = map_funcs (fun f -> fst (run_func f)) m
+let run ?am (m : t) : t = map_funcs (fun f -> fst (run_func ?am f)) m

@@ -9,19 +9,20 @@
 
 open Linstr
 open Lmodule
+module Sym = Support.Interner
 
-type alloca_info = { name : string; ty : Ltype.t }
+type alloca_info = { name : Sym.t; ty : Ltype.t }
 
 (** Find promotable allocas in [f]. *)
 let promotable (f : func) : alloca_info list =
-  let candidates = Hashtbl.create 16 in
+  let candidates = Sym.Tbl.create 16 in
   iter_insts
     (fun (i : Linstr.t) ->
       match i.op with
       | Alloca (ty, 1)
         when (Ltype.is_int ty || Ltype.is_float ty)
-             && i.result <> "" ->
-          Hashtbl.replace candidates i.result ty
+             && not (Sym.is_empty i.result) ->
+          Sym.Tbl.replace candidates i.result ty
       | _ -> ())
     f;
   (* disqualify escaping uses *)
@@ -29,7 +30,7 @@ let promotable (f : func) : alloca_info list =
     (fun (i : Linstr.t) ->
       let disqualify v =
         match v with
-        | Lvalue.Reg (n, _) -> Hashtbl.remove candidates n
+        | Lvalue.Reg (n, _) -> Sym.Tbl.remove candidates n
         | _ -> ()
       in
       match i.op with
@@ -37,44 +38,44 @@ let promotable (f : func) : alloca_info list =
       | Store (v, _ptr) -> disqualify v  (* storing the pointer itself escapes *)
       | _ -> List.iter disqualify (operands i))
     f;
-  Hashtbl.fold (fun name ty acc -> { name; ty } :: acc) candidates []
+  Sym.Tbl.fold (fun name ty acc -> { name; ty } :: acc) candidates []
 
-let run_func (f : func) : func * bool =
+let run_func ?am (f : func) : func * bool =
   let allocas = promotable f in
   if allocas = [] then (f, false)
   else begin
-    let cfg = Cfg.build f in
-    let dom = Dominance.compute cfg in
+    let cfg = Analysis.cfg ?am f in
+    let dom = Analysis.dominance ?am f in
     let df = Dominance.frontiers dom in
     let names = namegen f in
     let n = Cfg.n_blocks cfg in
-    let alloca_tbl = Hashtbl.create 8 in
-    List.iter (fun a -> Hashtbl.replace alloca_tbl a.name a.ty) allocas;
+    let alloca_tbl = Sym.Tbl.create 8 in
+    List.iter (fun a -> Sym.Tbl.replace alloca_tbl a.name a.ty) allocas;
     (* blocks containing a store to each alloca *)
-    let def_blocks = Hashtbl.create 8 in
+    let def_blocks = Sym.Tbl.create 8 in
     List.iteri
       (fun bi (b : block) ->
         List.iter
           (fun (i : Linstr.t) ->
             match i.op with
-            | Store (_, Lvalue.Reg (p, _)) when Hashtbl.mem alloca_tbl p ->
+            | Store (_, Lvalue.Reg (p, _)) when Sym.Tbl.mem alloca_tbl p ->
                 let cur =
-                  Option.value ~default:[] (Hashtbl.find_opt def_blocks p)
+                  Option.value ~default:[] (Sym.Tbl.find_opt def_blocks p)
                 in
                 if not (List.mem bi cur) then
-                  Hashtbl.replace def_blocks p (bi :: cur)
+                  Sym.Tbl.replace def_blocks p (bi :: cur)
             | _ -> ())
           b.insts)
       f.blocks;
     (* phi placement: iterated dominance frontier *)
     (* phis.(bi) : (alloca_name, phi_reg) list *)
-    let phis : (string * string) list array = Array.make n [] in
+    let phis : (Sym.t * Sym.t) list array = Array.make n [] in
     List.iter
       (fun a ->
         let work = Queue.create () in
         List.iter
           (fun bi -> Queue.add bi work)
-          (Option.value ~default:[] (Hashtbl.find_opt def_blocks a.name));
+          (Option.value ~default:[] (Sym.Tbl.find_opt def_blocks a.name));
         let placed = Array.make n false in
         while not (Queue.is_empty work) do
           let bi = Queue.pop work in
@@ -82,7 +83,10 @@ let run_func (f : func) : func * bool =
             (fun fb ->
               if not placed.(fb) then begin
                 placed.(fb) <- true;
-                let reg = Support.Namegen.fresh names (a.name ^ ".phi") in
+                let reg =
+                  Sym.intern
+                    (Support.Namegen.fresh names (Sym.name a.name ^ ".phi"))
+                in
                 phis.(fb) <- (a.name, reg) :: phis.(fb);
                 Queue.add fb work
               end)
@@ -92,9 +96,9 @@ let run_func (f : func) : func * bool =
     (* renaming walk over the dominator tree *)
     let blocks_arr = Array.of_list f.blocks in
     let new_blocks = Array.make n None in
-    let subst : (string, Lvalue.t) Hashtbl.t = Hashtbl.create 32 in
+    let subst : Lvalue.t Sym.Tbl.t = Sym.Tbl.create 32 in
     (* incoming values for placed phis: (block, phi_reg) -> (value, pred) list *)
-    let phi_incoming : (int * string, (Lvalue.t * string) list ref) Hashtbl.t =
+    let phi_incoming : (int * Sym.t, (Lvalue.t * Sym.t) list ref) Hashtbl.t =
       Hashtbl.create 16
     in
     Array.iteri
@@ -104,19 +108,19 @@ let run_func (f : func) : func * bool =
           ps)
       phis;
     let undef_of ty = Lvalue.Const (Lvalue.CUndef ty) in
-    let rec rename bi (cur : (string, Lvalue.t) Hashtbl.t) =
+    let rec rename bi (cur : (Sym.t, Lvalue.t) Hashtbl.t) =
       let b = blocks_arr.(bi) in
       let cur = Hashtbl.copy cur in
       (* bind phi registers first *)
       List.iter
         (fun (aname, reg) ->
-          let ty = Hashtbl.find alloca_tbl aname in
+          let ty = Sym.Tbl.find alloca_tbl aname in
           Hashtbl.replace cur aname (Lvalue.Reg (reg, ty)))
         phis.(bi);
       let resolve v =
         match v with
         | Lvalue.Reg (r, _) -> (
-            match Hashtbl.find_opt subst r with Some v' -> v' | None -> v)
+            match Sym.Tbl.find_opt subst r with Some v' -> v' | None -> v)
         | _ -> v
       in
       let insts' =
@@ -124,17 +128,17 @@ let run_func (f : func) : func * bool =
           (fun (i : Linstr.t) ->
             let i = Linstr.map_operands resolve i in
             match i.op with
-            | Alloca (_, _) when Hashtbl.mem alloca_tbl i.result -> []
-            | Store (v, Lvalue.Reg (p, _)) when Hashtbl.mem alloca_tbl p ->
+            | Alloca (_, _) when Sym.Tbl.mem alloca_tbl i.result -> []
+            | Store (v, Lvalue.Reg (p, _)) when Sym.Tbl.mem alloca_tbl p ->
                 Hashtbl.replace cur p (resolve v);
                 []
-            | Load (ty, Lvalue.Reg (p, _)) when Hashtbl.mem alloca_tbl p ->
+            | Load (ty, Lvalue.Reg (p, _)) when Sym.Tbl.mem alloca_tbl p ->
                 let v =
                   match Hashtbl.find_opt cur p with
                   | Some v -> v
                   | None -> undef_of ty
                 in
-                Hashtbl.replace subst i.result v;
+                Sym.Tbl.replace subst i.result v;
                 []
             | _ -> [ i ])
           b.insts
@@ -145,7 +149,7 @@ let run_func (f : func) : func * bool =
         (fun si ->
           List.iter
             (fun (aname, reg) ->
-              let ty = Hashtbl.find alloca_tbl aname in
+              let ty = Sym.Tbl.find alloca_tbl aname in
               let v =
                 match Hashtbl.find_opt cur aname with
                 | Some v -> v
@@ -167,11 +171,11 @@ let run_func (f : func) : func * bool =
           let phi_insts =
             List.rev_map
               (fun (aname, reg) ->
-                let ty = Hashtbl.find alloca_tbl aname in
+                let ty = Sym.Tbl.find alloca_tbl aname in
                 let incoming =
                   List.rev !(Hashtbl.find phi_incoming (bi, reg))
                 in
-                Linstr.make ~result:reg ~ty (Phi incoming))
+                { Linstr.result = reg; ty; op = Phi incoming; imeta = [] })
               phis.(bi)
           in
           { b with insts = phi_insts @ b.insts })
@@ -180,8 +184,8 @@ let run_func (f : func) : func * bool =
     let f' = { f with blocks = final_blocks } in
     (* substitutions recorded during renaming must also rewrite uses that
        appear before their defs in layout order (loop-carried phis) *)
-    let f' = substitute subst f' in
+    let f' = Findex.substitute_func subst f' in
     (f', true)
   end
 
-let run (m : t) : t = map_funcs (fun f -> fst (run_func f)) m
+let run ?am (m : t) : t = map_funcs (fun f -> fst (run_func ?am f)) m

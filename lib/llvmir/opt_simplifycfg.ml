@@ -7,9 +7,10 @@
 
 open Linstr
 open Lmodule
+module Sym = Support.Interner
 
 (** Drop phi entries coming from labels not in [preds]. *)
-let prune_phis (f : func) (live_preds : string -> string list) : func =
+let prune_phis (f : func) (live_preds : Sym.t -> Sym.t list) : func =
   {
     f with
     blocks =
@@ -52,8 +53,8 @@ let fold_const_branches (f : func) : func * bool =
   in
   (f', !changed)
 
-let remove_unreachable (f : func) : func * bool =
-  let cfg = Cfg.build f in
+let remove_unreachable ?am (f : func) : func * bool =
+  let cfg = Analysis.cfg ?am f in
   let dead = Cfg.unreachable_blocks cfg in
   if dead = [] then (f, false)
   else begin
@@ -62,7 +63,7 @@ let remove_unreachable (f : func) : func * bool =
       List.filter (fun (b : block) -> not (List.mem b.label dead_labels)) f.blocks
     in
     let f' = { f with blocks } in
-    let cfg' = Cfg.build f' in
+    let cfg' = Analysis.cfg ?am f' in
     let live_preds label =
       match Cfg.index_of cfg' label with
       | Some i -> List.map (Cfg.label cfg') cfg'.Cfg.preds.(i)
@@ -73,8 +74,8 @@ let remove_unreachable (f : func) : func * bool =
 
 (** Merge [b] into its unique predecessor [p] when [p]'s terminator is
     an unconditional branch to [b] and [b] has no phis. *)
-let merge_blocks (f : func) : func * bool =
-  let cfg = Cfg.build f in
+let merge_blocks ?am (f : func) : func * bool =
+  let cfg = Analysis.cfg ?am f in
   let n = Cfg.n_blocks cfg in
   (* find a mergeable pair *)
   let candidate = ref None in
@@ -136,14 +137,14 @@ let merge_blocks (f : func) : func * bool =
       in
       ({ f with blocks = List.map fixup blocks }, true)
 
-let run_func (f : func) : func * bool =
+let run_func ?am (f : func) : func * bool =
   let changed_total = ref false in
   let rec go f n =
     if n = 0 then f
     else begin
       let f, c1 = fold_const_branches f in
-      let f, c2 = remove_unreachable f in
-      let f, c3 = merge_blocks f in
+      let f, c2 = remove_unreachable ?am f in
+      let f, c3 = merge_blocks ?am f in
       if c1 || c2 || c3 then begin
         changed_total := true;
         go f (n - 1)
@@ -154,4 +155,4 @@ let run_func (f : func) : func * bool =
   let f' = go f 64 in
   (f', !changed_total)
 
-let run (m : t) : t = map_funcs (fun f -> fst (run_func f)) m
+let run ?am (m : t) : t = map_funcs (fun f -> fst (run_func ?am f)) m

@@ -1,15 +1,57 @@
 (** Pass manager for LLVM-level transforms: named passes, pipelines,
-    optional verification between passes, and per-pass timing. *)
+    optional verification between passes, per-pass timing, and an
+    {!Analysis} manager shared across the pipeline.
 
-type pass = { name : string; run : Lmodule.t -> Lmodule.t }
+    Every pass declares which analyses it {e preserves}; after the
+    pass runs, {!Analysis.keep} rebases exactly those onto the new
+    function values and drops the rest.  Passes (and the verifier)
+    query the shared manager instead of rebuilding analyses, so a
+    CFG-preserving stretch of the pipeline computes the CFG, dominator
+    tree and loop nest once.  A pass that preserves nothing must
+    declare [preserves = []] — over-declaring breaks the rebase
+    contract documented on {!Cfg.rebase}. *)
 
-let inline = { name = "inline"; run = Opt_inline.run }
-let mem2reg = { name = "mem2reg"; run = Opt_mem2reg.run }
-let dce = { name = "dce"; run = Opt_dce.run }
-let constfold = { name = "constfold"; run = Opt_constfold.run }
-let cse = { name = "cse"; run = Opt_cse.run }
-let simplifycfg = { name = "simplifycfg"; run = Opt_simplifycfg.run }
-let licm = { name = "licm"; run = Opt_licm.run }
+type pass = {
+  name : string;
+  preserves : Analysis.kind list;
+      (** analyses still valid (after rebase) on this pass's output *)
+  run : Analysis.t -> Lmodule.t -> Lmodule.t;
+}
+
+(* Inlining and CFG simplification restructure blocks, so they
+   preserve nothing.  The scalar passes rewrite instructions inside a
+   fixed block skeleton: block labels, order and terminator targets
+   survive, so CFG-shaped analyses remain valid.  None of them
+   preserves the function index — any instruction rewrite moves the
+   arena. *)
+let cfg_shape = [ Analysis.Cfg; Analysis.Dominance; Analysis.Loop_info ]
+
+let inline =
+  { name = "inline"; preserves = []; run = (fun _ m -> Opt_inline.run m) }
+
+let mem2reg =
+  { name = "mem2reg"; preserves = cfg_shape;
+    run = (fun am m -> Opt_mem2reg.run ~am m) }
+
+let dce =
+  { name = "dce"; preserves = cfg_shape;
+    run = (fun am m -> Opt_dce.run ~am m) }
+
+let constfold =
+  { name = "constfold"; preserves = cfg_shape;
+    run = (fun _ m -> Opt_constfold.run m) }
+
+let cse =
+  { name = "cse"; preserves = cfg_shape;
+    run = (fun am m -> Opt_cse.run ~am m) }
+
+let simplifycfg =
+  { name = "simplifycfg"; preserves = [];
+    run = (fun am m -> Opt_simplifycfg.run ~am m) }
+
+let licm =
+  { name = "licm"; preserves = cfg_shape;
+    run = (fun am m -> Opt_licm.run ~am m) }
 
 (** The -O2-flavoured cleanup pipeline both flows run before HLS.
     Inlining comes first: Vitis flattens the design into the top
@@ -22,20 +64,23 @@ type timing = { pass_name : string; seconds : float }
 (** Run a pipeline.  With [~verify:true] (default) the module is
     verified after every pass so a miscompiling pass is caught at its
     source.  [?trace] receives one {!Support.Tracing.event} per pass
-    (stage ["llvm-opt"]).  Returns the transformed module and per-pass
-    timings. *)
+    (stage ["llvm-opt"]) plus one per analysis query (stage
+    ["analysis"], pass ["<kind>:hit"] / ["<kind>:compute"]).  Returns
+    the transformed module and per-pass timings. *)
 let run_pipeline ?(verify = true) ?(trace = Support.Tracing.null)
     (passes : pass list) (m : Lmodule.t) : Lmodule.t * timing list =
+  let am = Analysis.create ~trace () in
   let timings = ref [] in
   let m =
     List.fold_left
       (fun m p ->
         let before = Lmodule.instr_count m in
         let t0 = Sys.time () in
-        let m' = p.run m in
+        let m' = p.run am m in
         let t1 = Sys.time () in
         timings := { pass_name = p.name; seconds = t1 -. t0 } :: !timings;
-        if verify then Lverifier.verify_module m';
+        Analysis.keep am ~preserves:p.preserves m';
+        if verify then Lverifier.verify_module ~am m';
         trace
           (Support.Tracing.event ~stage:"llvm-opt" ~pass:p.name
              ~seconds:(t1 -. t0) ~before ~after:(Lmodule.instr_count m'));

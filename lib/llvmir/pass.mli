@@ -1,0 +1,47 @@
+(** Pass manager for LLVM-level transforms: named passes, pipelines,
+    optional verification between passes, per-pass timing, and an
+    {!Analysis} manager shared across the pipeline.
+
+    Every pass declares which analyses it {e preserves}; after the
+    pass runs, {!Analysis.keep} rebases exactly those onto the new
+    function values and drops the rest.  Passes (and the verifier)
+    query the shared manager instead of rebuilding analyses, so a
+    CFG-preserving stretch of the pipeline computes the CFG, dominator
+    tree and loop nest once.  A pass that preserves nothing must
+    declare [preserves = []] — over-declaring breaks the rebase
+    contract documented on {!Cfg.rebase}. *)
+
+type pass = {
+  name : string;
+  preserves : Analysis.kind list;
+      (** analyses still valid (after rebase) on this pass's output *)
+  run : Analysis.t -> Lmodule.t -> Lmodule.t;
+}
+
+val inline : pass
+val mem2reg : pass
+val dce : pass
+val constfold : pass
+val cse : pass
+val simplifycfg : pass
+val licm : pass
+
+(** The -O2-flavoured cleanup pipeline both flows run before HLS. *)
+val default_pipeline : pass list
+
+type timing = { pass_name : string; seconds : float }
+
+(** Run a pipeline.  With [~verify:true] (default) the module is
+    verified after every pass so a miscompiling pass is caught at its
+    source.  [?trace] receives one {!Support.Tracing.event} per pass
+    (stage ["llvm-opt"]) plus one per analysis query (stage
+    ["analysis"], pass ["<kind>:hit"] / ["<kind>:compute"]).  Returns
+    the transformed module and per-pass timings. *)
+val run_pipeline :
+  ?verify:bool ->
+  ?trace:Support.Tracing.hook ->
+  pass list ->
+  Lmodule.t ->
+  Lmodule.t * timing list
+
+val by_name : string -> pass option

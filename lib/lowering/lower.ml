@@ -26,6 +26,7 @@ module Ltype = Llvmir.Ltype
 module Lvalue = Llvmir.Lvalue
 module Linstr = Llvmir.Linstr
 module Lmodule = Llvmir.Lmodule
+module Sym = Support.Interner
 
 let fail = Support.Err.fail ~pass:"lowering"
 
@@ -629,12 +630,15 @@ and lower_counted_loop env fctx ~(lb : Lvalue.t) ~(ub : Lvalue.t)
   (* header: iv phi + iter phis + bound check *)
   B.start_block b header;
   let iv_name = B.fresh_name b (Printf.sprintf "i%d" n) in
-  let iv = Lvalue.Reg (iv_name, Ltype.I64) in
+  let iv = Lvalue.reg iv_name Ltype.I64 in
   let next_name = B.fresh_name b (Printf.sprintf "i%d.next" n) in
   B.emit b
     (Linstr.make ~result:iv_name ~ty:Ltype.I64
        (Linstr.Phi
-          [ (lb, pre_label); (Lvalue.Reg (next_name, Ltype.I64), latch) ]));
+          [
+            (lb, Sym.intern pre_label);
+            (Lvalue.reg next_name Ltype.I64, Sym.intern latch);
+          ]));
   bind env iv_mh iv;
   let iter_phis =
     List.map2
@@ -650,8 +654,8 @@ and lower_counted_loop env fctx ~(lb : Lvalue.t) ~(ub : Lvalue.t)
     (fun (pn, ty, init, p) ->
       B.emit b
         (Linstr.make ~result:pn ~ty
-           (Linstr.Phi [ (init, pre_label) ]));
-      bind env p (Lvalue.Reg (pn, ty)))
+           (Linstr.Phi [ (init, Sym.intern pre_label) ]));
+      bind env p (Lvalue.reg pn ty))
     iter_phis;
   let cond = B.icmp b Linstr.ISlt iv ub in
   B.condbr b cond body_l exit;
@@ -706,19 +710,21 @@ and lower_counted_loop env fctx ~(lb : Lvalue.t) ~(ub : Lvalue.t)
   List.iteri
     (fun k (pn, ty, _init, _p) ->
       let yv = List.nth yielded k in
+      let header_s = Sym.intern header and latch_s = Sym.intern latch in
+      let pn_s = Sym.intern pn in
       (* find the phi in the header block and append the latch edge *)
       let patch (blkrec : Llvmir.Lmodule.block) =
-        if blkrec.Llvmir.Lmodule.label <> header then blkrec
+        if blkrec.Llvmir.Lmodule.label <> header_s then blkrec
         else
           {
             blkrec with
             Llvmir.Lmodule.insts =
               List.map
                 (fun (ins : Linstr.t) ->
-                  if ins.Linstr.result = pn then
+                  if ins.Linstr.result = pn_s then
                     match ins.Linstr.op with
                     | Linstr.Phi inc ->
-                        { ins with Linstr.op = Linstr.Phi (inc @ [ (yv, latch) ]) }
+                        { ins with Linstr.op = Linstr.Phi (inc @ [ (yv, latch_s) ]) }
                     | _ -> ins
                   else ins)
                 blkrec.Llvmir.Lmodule.insts;
@@ -731,7 +737,7 @@ and lower_counted_loop env fctx ~(lb : Lvalue.t) ~(ub : Lvalue.t)
   List.iteri
     (fun k (r : Ir.value) ->
       let pn, ty, _, _ = List.nth iter_phis k in
-      bind env r (Lvalue.Reg (pn, ty)))
+      bind env r (Lvalue.reg pn ty))
     results
 
 and lower_affine_for env fctx (o : Ir.op) : unit =
@@ -857,7 +863,7 @@ let lower_func (style : style) (mhf : Ir.func) : Llvmir.Lmodule.func * Llvmir.Lm
     (fun (v : Ir.value) (p : Llvmir.Lmodule.param) ->
       match v.Ir.ty with
       | Types.Memref (shape, elem) ->
-          let bare = Lvalue.Reg (p.Llvmir.Lmodule.pname, p.Llvmir.Lmodule.pty) in
+          let bare = Lvalue.reg p.Llvmir.Lmodule.pname p.Llvmir.Lmodule.pty in
           let desc =
             if style.use_descriptors then Some (build_descriptor env v.Ir.ty bare)
             else None
@@ -865,7 +871,7 @@ let lower_func (style : style) (mhf : Ir.func) : Llvmir.Lmodule.func * Llvmir.Lm
           Hashtbl.replace env.memrefs v.Ir.id
             { desc; base_ptr = bare; shape; elem }
       | _ ->
-          bind env v (Lvalue.Reg (p.Llvmir.Lmodule.pname, p.Llvmir.Lmodule.pty)))
+          bind env v (Lvalue.reg p.Llvmir.Lmodule.pname p.Llvmir.Lmodule.pty))
     mhf.Ir.args params;
   lower_block env fctx (Ir.entry_block mhf.Ir.body).Ir.ops;
   let blocks = B.finish b in

@@ -15,13 +15,9 @@ let vlist vs = String.concat ", " (List.map vname vs)
 
 let tylist tys = String.concat ", " (List.map Types.to_string tys)
 
-(** Round-trippable decimal float literal (17 significant digits are
-    enough to reconstruct any double exactly). *)
-let float_lit f =
-  let s = Printf.sprintf "%.17g" f in
-  if String.contains s '.' || String.contains s 'e' || String.contains s 'n'
-  then s
-  else s ^ ".0"
+(** Round-trippable decimal float literal — the shared shortest form,
+    so MHIR text, LLVM IR and emitted C++ agree on every literal. *)
+let float_lit = Support.Float_lit.to_string
 
 let attr_to_string (a : Attr.t) =
   let rec go = function

@@ -1,0 +1,15 @@
+(** Shortest round-tripping float literals.
+
+    One definition shared by the LLVM-IR printer, the MHIR printer and
+    the HLS-C++ emitter, so every textual layer prints the same
+    shortest decimal form that parses back to the exact double. *)
+
+let to_string (f : float) : string =
+  if f <> f then "nan"
+  else if f = infinity then "inf"
+  else if f = neg_infinity then "-inf"
+  else
+    let s9 = Printf.sprintf "%.9g" f in
+    let s = if float_of_string s9 = f then s9 else Printf.sprintf "%.17g" f in
+    (* keep a float marker so the literal never re-parses as an int *)
+    if String.contains s '.' || String.contains s 'e' then s else s ^ ".0"

@@ -1,0 +1,6 @@
+(** Shortest round-tripping float literals (shared by every printer). *)
+
+(** Shortest decimal form that parses back to the exact double, always
+    containing a ['.'] or an exponent (["1.0"], not ["1"]); ["nan"],
+    ["inf"], ["-inf"] for the non-finite values. *)
+val to_string : float -> string

@@ -1,0 +1,78 @@
+(** Global symbol interner.
+
+    SSA register names, block labels and global names occur millions of
+    times on the batch/DSE hot path; interning turns every occurrence
+    into a small integer id so equality, hashing and table lookups are
+    O(1) and allocation-free.  Ids are process-global and stable for
+    the lifetime of the process.
+
+    Because the id assigned to a name depends on interning order — and
+    the batch driver interns from several domains at once — ids must
+    never order user-visible output.  Sort by {!name} (see
+    {!compare_name}) wherever ordering reaches text. *)
+
+type t = int
+
+(* One global table, shared across domains.  The mutex guards both the
+   forward table and the reverse array; [name] also takes it because
+   the reverse array is reallocated on growth. *)
+let mutex = Mutex.create ()
+let forward : (string, int) Hashtbl.t = Hashtbl.create 1024
+let reverse = ref (Array.make 1024 "")
+let next = ref 0
+
+let intern (s : string) : t =
+  Mutex.lock mutex;
+  let id =
+    match Hashtbl.find_opt forward s with
+    | Some id -> id
+    | None ->
+        let id = !next in
+        incr next;
+        if id >= Array.length !reverse then begin
+          let bigger = Array.make (2 * Array.length !reverse) "" in
+          Array.blit !reverse 0 bigger 0 (Array.length !reverse);
+          reverse := bigger
+        end;
+        !reverse.(id) <- s;
+        Hashtbl.add forward s id;
+        id
+  in
+  Mutex.unlock mutex;
+  id
+
+let name (id : t) : string =
+  Mutex.lock mutex;
+  let s =
+    if id < 0 || id >= !next then
+      invalid_arg (Printf.sprintf "Interner.name: unknown id %d" id)
+    else !reverse.(id)
+  in
+  Mutex.unlock mutex;
+  s
+
+(* Interned before anything else so the empty symbol is id 0 in every
+   process, matching the [result = ""] void-instruction convention. *)
+let empty : t = intern ""
+let is_empty (id : t) = id = empty
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+let hash (id : t) = id
+let compare_name (a : t) (b : t) = String.compare (name a) (name b)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Hash = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Tbl = Hashtbl.Make (Hash)
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

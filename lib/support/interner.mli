@@ -1,0 +1,36 @@
+(** Global symbol interner: names as integer ids.
+
+    [t] is [private int], so the generic [=], [compare] and
+    [Hashtbl.hash] all work natively on symbols (and polymorphic
+    structural equality over types embedding them stays valid).  Ids
+    are assigned in interning order, which races across domains —
+    never let id order reach printed output; sort by {!compare_name}
+    instead. *)
+
+type t = private int
+
+(** Intern a name, returning its id.  Thread-safe. *)
+val intern : string -> t
+
+(** The name behind an id.  Thread-safe.
+    @raise Invalid_argument on an id this process never interned. *)
+val name : t -> string
+
+(** The interned empty string — the [result] of void instructions. *)
+val empty : t
+
+val is_empty : t -> bool
+val equal : t -> t -> bool
+
+(** Id order: fast, but process-run dependent.  Internal use only. *)
+val compare : t -> t -> int
+
+val hash : t -> int
+
+(** Name (string) order: deterministic across runs — use this wherever
+    an ordering can reach user-visible output. *)
+val compare_name : t -> t -> int
+
+module Tbl : Hashtbl.S with type key = t
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -2,7 +2,9 @@
     definitions on diamond/loop CFGs, and dead-store detection. *)
 
 open Llvmir
-module SS = Dataflow.StringSet
+module SS = Dataflow.SymSet
+
+let sym = Support.Interner.intern
 
 let parse_fn text =
   let m = Lparser.parse_module text in
@@ -29,8 +31,8 @@ join:
 let test_liveness_diamond () =
   let cfg = Cfg.build (parse_fn diamond) in
   let lv = Dataflow.liveness cfg in
-  let mem r b = SS.mem r lv.Dataflow.live_in.(idx cfg b) in
-  let memo r b = SS.mem r lv.Dataflow.live_out.(idx cfg b) in
+  let mem r b = SS.mem (sym r) lv.Dataflow.live_in.(idx cfg b) in
+  let memo r b = SS.mem (sym r) lv.Dataflow.live_out.(idx cfg b) in
   Alcotest.(check bool) "a live into l" true (mem "a" "l");
   Alcotest.(check bool) "a dead into r" false (mem "a" "r");
   (* phi operands are edge uses: %y is live out of r, %b out of l,
@@ -63,7 +65,7 @@ exit:
 let test_liveness_loop () =
   let cfg = Cfg.build (parse_fn loop_fn) in
   let lv = Dataflow.liveness cfg in
-  let mem r b = SS.mem r lv.Dataflow.live_in.(idx cfg b) in
+  let mem r b = SS.mem (sym r) lv.Dataflow.live_in.(idx cfg b) in
   (* %i flows around the loop: used in the latch, so live through body *)
   Alcotest.(check bool) "i live into body" true (mem "i" "body");
   Alcotest.(check bool) "i live into latch" true (mem "i" "latch");
@@ -77,7 +79,7 @@ let test_reaching_defs () =
   let rd = Dataflow.reaching_definitions cfg in
   let reaches name b =
     Dataflow.DefSet.exists
-      (fun (n, _, _) -> n = name)
+      (fun (n, _, _) -> n = sym name)
       rd.Dataflow.reach_in.(idx cfg b)
   in
   Alcotest.(check bool) "b reaches join" true (reaches "b" "join");

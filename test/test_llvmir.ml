@@ -12,14 +12,14 @@ module B = Lbuilder
     sums a float array of length [n]. *)
 let build_sum n : Lmodule.func =
   let b = B.create () in
-  let arr = Lvalue.Reg ("x", Ltype.ptr (Ltype.Array (n, Ltype.Float))) in
+  let arr = Lvalue.reg "x" (Ltype.ptr (Ltype.Array (n, Ltype.Float))) in
   B.start_block b "entry";
   B.br b "header";
   B.start_block b "header";
-  let iv = B.phi b ~name:"i" Ltype.I64 [ (Lvalue.ci64 0, "entry"); (Lvalue.Reg ("i.next", Ltype.I64), "body") ] in
+  let iv = B.phi b ~name:"i" Ltype.I64 [ (Lvalue.ci64 0, "entry"); (Lvalue.reg "i.next" Ltype.I64, "body") ] in
   let acc =
     B.phi b ~name:"acc" Ltype.Float
-      [ (Lvalue.cf 0.0, "entry"); (Lvalue.Reg ("acc.next", Ltype.Float), "body") ]
+      [ (Lvalue.cf 0.0, "entry"); (Lvalue.reg "acc.next" Ltype.Float, "body") ]
   in
   let c = B.icmp b Linstr.ISlt iv (Lvalue.ci64 n) in
   B.condbr b c "body" "exit";
@@ -28,7 +28,7 @@ let build_sum n : Lmodule.func =
   let v = B.load b Ltype.Float addr in
   let acc_next =
     B.emit b (Linstr.make ~result:"acc.next" ~ty:Ltype.Float (Linstr.FBin (Linstr.FAdd, acc, v)));
-    Lvalue.Reg ("acc.next", Ltype.Float)
+    Lvalue.reg "acc.next" Ltype.Float
   in
   ignore acc_next;
   B.emit b (Linstr.make ~result:"i.next" ~ty:Ltype.I64 (Linstr.IBin (Linstr.Add, iv, Lvalue.ci64 1)));

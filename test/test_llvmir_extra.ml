@@ -55,6 +55,7 @@ let test_ensure_decl_idempotent () =
   Alcotest.(check int) "declared once" 1 (List.length m.Lmodule.decls)
 
 let test_use_counts () =
+  let sym = Support.Interner.intern in
   let m =
     Lparser.parse_module
       {|define i64 @f(i64 %x) {
@@ -65,11 +66,9 @@ entry:
 }|}
   in
   let f = Lmodule.find_func_exn m "f" in
-  let counts = Lmodule.use_counts f in
-  Alcotest.(check (option int)) "x used 3 times" (Some 3)
-    (Hashtbl.find_opt counts "x");
-  Alcotest.(check (option int)) "a used once" (Some 1)
-    (Hashtbl.find_opt counts "a")
+  let idx = Findex.build f in
+  Alcotest.(check int) "x used 3 times" 3 (Findex.use_count idx (sym "x"));
+  Alcotest.(check int) "a used once" 1 (Findex.use_count idx (sym "a"))
 
 let test_substitute_transitive () =
   let m =
@@ -81,10 +80,11 @@ entry:
 }|}
   in
   let f = Lmodule.find_func_exn m "f" in
-  let subst = Hashtbl.create 2 in
-  Hashtbl.replace subst "a" (Lvalue.Reg ("b", Ltype.I64));
-  Hashtbl.replace subst "b" (Lvalue.ci64 7);
-  let f' = Lmodule.substitute subst f in
+  let sym = Support.Interner.intern in
+  let subst = Support.Interner.Tbl.create 2 in
+  Support.Interner.Tbl.replace subst (sym "a") (Lvalue.reg "b" Ltype.I64);
+  Support.Interner.Tbl.replace subst (sym "b") (Lvalue.ci64 7);
+  let f' = Findex.substitute_func subst f in
   let ret_operand =
     Lmodule.fold_insts
       (fun acc (i : Linstr.t) ->

@@ -15,6 +15,7 @@ let () =
       ("memdep", Test_memdep.suite);
       ("verifier-neg", Test_verifier_neg.suite);
       ("llvmir-extra", Test_llvmir_extra.suite);
+      ("findex", Test_findex.suite);
       ("llvm-interp", Test_llvm_interp.suite);
       ("llvm-passes", Test_llvm_passes.suite);
       ("adaptor", Test_adaptor.suite);

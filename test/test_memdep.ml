@@ -53,7 +53,7 @@ let test_known_distance () =
 let test_iv_phi () =
   let cfg, li = analyze shift_fn in
   Alcotest.(check (option string)) "induction variable" (Some "i")
-    (Memdep.iv_phi cfg li 0)
+    (Option.map Support.Interner.name (Memdep.iv_phi cfg li 0))
 
 (* store A[2i], load A[2i+1]: interleaved, never collide *)
 let stride2_fn =
