@@ -347,6 +347,11 @@ let compile_bench () =
         (k.K.kname, lm))
       kernels
   in
+  (* scaling case: the cleanup pipeline over a 100-function module,
+     sequential vs parallel-by-function on the domain pool (Parsafe
+     gates the parallel path; output is byte-identical) *)
+  let m100 = Mhls_driver.Synth.many_kernels ~n:100 in
+  let par_fanout = Mhls_driver.Pool.fanout ~jobs:(if smoke then 2 else 4) in
   let tests =
     Test.make_grouped ~name:"compile"
       (List.map
@@ -354,7 +359,18 @@ let compile_bench () =
            Test.make ~name
              (Staged.stage (fun () ->
                   ignore (Adaptor.run (Flow.llvm_cleanup lm)))))
-         prepared)
+         prepared
+      @ [
+          Test.make ~name:"manyfunc100-seq"
+            (Staged.stage (fun () ->
+                 ignore
+                   (Llvmir.Pass.run_pipeline Llvmir.Pass.default_pipeline m100)));
+          Test.make ~name:"manyfunc100-par"
+            (Staged.stage (fun () ->
+                 ignore
+                   (Llvmir.Pass.run_pipeline_parallel ~fanout:par_fanout
+                      Llvmir.Pass.default_pipeline m100)));
+        ])
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =

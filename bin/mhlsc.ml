@@ -9,7 +9,9 @@
     - [adapt]    run the adaptor on an .ll file (our textual dialect);
     - [lint]     run the HLS diagnostics engine and report all findings;
     - [batch]    compile a set of jobs in parallel with result caching;
-    - [dse]      explore the directive design space.
+    - [dse]      explore the directive design space;
+    - [opt]      run the LLVM pass pipeline, optionally
+                 parallel-by-function behind the static safety checker.
 
     This executable is the {e exception boundary}: the libraries report
     failures as [result] values ({!Adaptor.run}, {!Flow.run}); only
@@ -300,13 +302,44 @@ let adapt_cmd =
 (* lint                                                               *)
 (* ------------------------------------------------------------------ *)
 
+(** One row per rule, from the single source of truth
+    ({!Hls_backend.Lint.catalog}). *)
+let render_rule_list ~json =
+  let cat = Hls_backend.Lint.catalog in
+  if json then
+    Printf.sprintf "[%s]\n"
+      (String.concat ", "
+         (List.map
+            (fun (id, sev, summary) ->
+              Printf.sprintf
+                "{\"id\": \"%s\", \"severity\": \"%s\", \"summary\": \"%s\"}"
+                id
+                (Support.Diag.severity_name sev)
+                summary)
+            cat))
+  else
+    String.concat ""
+      (List.map
+         (fun (id, sev, summary) ->
+           Printf.sprintf "%-8s %-8s %s\n" id
+             (Support.Diag.severity_name sev)
+             summary)
+         cat)
+
 let lint_cmd =
   let target =
-    Arg.(required & pos 0 (some string) None
+    Arg.(value & pos 0 (some string) None
          & info [] ~docv:"TARGET"
              ~doc:"Kernel name (see `mhlsc list`) or an .ll file (this \
                    tool's dialect).  Kernels are linted on the adapter's \
-                   HLS-ready output; files are linted as written.")
+                   HLS-ready output; files are linted as written.  Not \
+                   needed with $(b,--list-rules).")
+  in
+  let list_rules =
+    Arg.(value & flag
+         & info [ "list-rules" ]
+             ~doc:"Print the rule registry (ID, default severity, summary) \
+                   and exit.")
   in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the diagnostics as JSON.")
@@ -325,8 +358,19 @@ let lint_cmd =
          & info [ "rules" ] ~docv:"IDS"
              ~doc:"Comma-separated rule IDs to keep (e.g. HLS001,HLS004).")
   in
-  let run target json werror top rules pipeline strategy unroll partitions
-      passes disable =
+  let run target list_rules json werror top rules pipeline strategy unroll
+      partitions passes disable =
+    if list_rules then begin
+      print_string (render_rule_list ~json);
+      exit 0
+    end;
+    let target =
+      match target with
+      | Some t -> t
+      | None ->
+          prerr_endline "lint: need a TARGET (or --list-rules)";
+          exit 2
+    in
     let only = Option.map (String.split_on_char ',') rules in
     let diags =
       if Sys.file_exists target then
@@ -353,9 +397,9 @@ let lint_cmd =
        ~doc:"Run the HLS diagnostics engine: dataflow and dependence \
              analyses plus compatibility rules, reported all at once. \
              Exit code: 0 clean, 1 warnings, 2 errors.")
-    Term.(const run $ target $ json $ werror $ top $ rules $ pipeline_arg
-          $ strategy_arg $ unroll_arg $ partition_arg $ passes_arg
-          $ disable_pass_arg)
+    Term.(const run $ target $ list_rules $ json $ werror $ top $ rules
+          $ pipeline_arg $ strategy_arg $ unroll_arg $ partition_arg
+          $ passes_arg $ disable_pass_arg)
 
 (* ------------------------------------------------------------------ *)
 (* synth-mlir: compile a textual multi-level IR file                  *)
@@ -595,6 +639,124 @@ let batch_cmd =
           $ disable_pass_arg)
 
 (* ------------------------------------------------------------------ *)
+(* opt: run the LLVM pass pipeline (optionally parallel-by-function)  *)
+(* ------------------------------------------------------------------ *)
+
+let opt_cmd =
+  let module P = Llvmir.Pass in
+  let file =
+    Arg.(value & pos 0 (some file) None
+         & info [] ~docv:"FILE.ll"
+             ~doc:"LLVM IR file (this tool's dialect).  Mutually exclusive \
+                   with $(b,--synth).")
+  in
+  let synth_n =
+    Arg.(value & opt (some int) None
+         & info [ "synth" ] ~docv:"N"
+             ~doc:"Instead of a file, optimize a generated module of N \
+                   independent kernel functions (the parallel-pipeline \
+                   smoke workload).")
+  in
+  let parallel =
+    Arg.(value & flag
+         & info [ "parallel-passes" ]
+             ~doc:"Fan the function-local pass tail out over $(b,--jobs) \
+                   worker domains when the static parallel-safety checker \
+                   proves the module race-free; byte-identical to the \
+                   sequential pipeline.")
+  in
+  let llvm_passes =
+    Arg.(value & opt (some string) None
+         & info [ "passes" ] ~docv:"P1,P2"
+             ~doc:"Run exactly these LLVM passes, in order \
+                   (comma-separated; see `Pass.by_name`).  Defaults to the \
+                   full cleanup pipeline.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write the optimized module here instead of stdout.")
+  in
+  let parsafe =
+    Arg.(value & flag
+         & info [ "parsafe" ]
+             ~doc:"Only run the parallel-safety checker and print its \
+                   verdict (exit 0 safe, 1 unsafe).")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"With $(b,--parsafe): emit the verdict as JSON.")
+  in
+  let run file synth_n parallel llvm_passes jobs out parsafe json =
+    let m =
+      match (file, synth_n) with
+      | Some _, Some _ ->
+          prerr_endline "opt: FILE.ll and --synth are mutually exclusive";
+          exit 2
+      | Some f, None -> (
+          let src = In_channel.with_open_text f In_channel.input_all in
+          match Llvmir.Lparser.parse_module src with
+          | m ->
+              Llvmir.Lverifier.verify_module m;
+              m
+          | exception Support.Err.Compile_error e ->
+              prerr_string
+                (Support.Diag.render [ Support.Diag.of_err ~rule:"HLS000" e ]);
+              exit 2)
+      | None, Some n -> Mhls_driver.Synth.many_kernels ~n
+      | None, None ->
+          prerr_endline "opt: need FILE.ll or --synth N";
+          exit 2
+    in
+    if parsafe then begin
+      let v = Llvmir.Parsafe.check m in
+      if json then print_endline (Llvmir.Parsafe.to_json v)
+      else print_endline (Llvmir.Parsafe.verdict_to_string v);
+      exit (match v with Llvmir.Parsafe.Safe -> 0 | Llvmir.Parsafe.Unsafe _ -> 1)
+    end;
+    let passes =
+      match llvm_passes with
+      | None -> P.default_pipeline
+      | Some spec ->
+          List.map
+            (fun name ->
+              match P.by_name name with
+              | Some p -> p
+              | None ->
+                  Printf.eprintf "opt: unknown LLVM pass %S\n" name;
+                  exit 2)
+            (String.split_on_char ',' spec)
+    in
+    let m', timings =
+      if parallel then begin
+        let fanout = Mhls_driver.Pool.fanout ~jobs in
+        let m', ts, status = P.run_pipeline_parallel ~fanout passes m in
+        Printf.eprintf "opt: %s\n" (P.par_status_to_string status);
+        (m', ts)
+      end
+      else P.run_pipeline passes m
+    in
+    let total =
+      List.fold_left (fun a (t : P.timing) -> a +. t.P.seconds) 0.0 timings
+    in
+    Printf.eprintf "opt: %d passes, %.1f ms\n" (List.length timings)
+      (total *. 1000.0);
+    let text = Llvmir.Lprinter.module_to_string m' in
+    match out with
+    | Some path -> Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc text)
+    | None -> print_string text
+  in
+  Cmd.v
+    (Cmd.info "opt"
+       ~doc:"Run the LLVM cleanup pipeline on a module — from a file or \
+             generated with $(b,--synth) — sequentially or, when the \
+             parallel-safety checker proves the module race-free, \
+             parallel-by-function with byte-identical output.")
+    Term.(const run $ file $ synth_n $ parallel $ llvm_passes $ jobs_arg
+          $ out $ parsafe $ json)
+
+(* ------------------------------------------------------------------ *)
 (* fuzz                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -661,4 +823,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; emit_cmd; synth_cmd; compare_cmd; cosim_cmd; adapt_cmd;
-            lint_cmd; synth_mlir_cmd; dse_cmd; batch_cmd; fuzz_cmd ]))
+            lint_cmd; synth_mlir_cmd; dse_cmd; batch_cmd; opt_cmd; fuzz_cmd ]))

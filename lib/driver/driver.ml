@@ -32,8 +32,10 @@ module Diag = Support.Diag
 (** Cache-key ingredient; bump on any change that alters compiler
     output (or the marshalled payload format — 1.2.0 moved job errors
     from strings to {!Support.Diag.t}; 1.3.0 unified float-literal
-    printing on {!Support.Float_lit}, changing printed IR). *)
-let tool_version = "mhlsc-1.3.0"
+    printing on {!Support.Float_lit}, changing printed IR; 1.4.0 made
+    {!Llvmir.Memdep} alias-aware and gated partition axes on the alias
+    oracle, changing lint output and DSE spaces). *)
+let tool_version = "mhlsc-1.4.0"
 
 (* ------------------------------------------------------------------ *)
 (* Jobs                                                               *)

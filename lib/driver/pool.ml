@@ -22,9 +22,13 @@
 (** [map ~jobs f xs] applies [f] to every element of [xs], on up to
     [jobs] domains, preserving input order in the result.  [f] should
     not raise: an exception in a worker tears down the whole pool (it
-    is re-raised by [Domain.join]). *)
+    is re-raised by [Domain.join]).  Like {!create}, the worker count
+    is clamped to the hardware: on a single-core machine the map runs
+    inline, since extra domains only add stop-the-world GC
+    coordination. *)
 let map ~(jobs : int) (f : 'a -> 'b) (xs : 'a list) : 'b list =
   let n = List.length xs in
+  let jobs = min jobs (Domain.recommended_domain_count ()) in
   if jobs <= 1 || n <= 1 then List.map f xs
   else begin
     let input = Array.of_list xs in
@@ -48,6 +52,12 @@ let map ~(jobs : int) (f : 'a -> 'b) (xs : 'a list) : 'b list =
 
 (** A reasonable default worker count for this machine. *)
 let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+(** Fanout record handed to {!Llvmir.Pass.run_pipeline_parallel}: the
+    pool's {!map} plus a wall clock.  Lives here because [llvmir] sits
+    below both this pool and [unix] in the layering. *)
+let fanout ~(jobs : int) : Llvmir.Pass.fanout =
+  { Llvmir.Pass.jobs; now = Unix.gettimeofday; map = (fun f xs -> map ~jobs f xs) }
 
 (* ------------------------------------------------------------------ *)
 (* Live pool                                                          *)

@@ -1,0 +1,12 @@
+(** Synthetic LLVM-module generators (textual IR round-tripped through
+    the parser; every module verifies). *)
+
+(** [many_kernels ~n] — [n] independent kernel functions, each with
+    fodder for every scalar pass; {!Llvmir.Parsafe} proves the module
+    [Safe].  Workload for the parallel-pipeline determinism smoke test
+    and the many-function compile bench. *)
+val many_kernels : n:int -> Llvmir.Lmodule.t
+
+(** Two functions read-modify-writing the same global [@acc] — the
+    {!Llvmir.Parsafe} negative case (write-write conflict). *)
+val shared_global_writers : unit -> Llvmir.Lmodule.t

@@ -24,6 +24,8 @@
 
 module K = Workloads.Kernels
 module Ir = Mhir.Ir
+module L = Llvmir
+module Sym = Support.Interner
 
 type partition_axis = {
   pa_array : string;  (** argument name *)
@@ -114,6 +116,50 @@ let find_index p xs =
   in
   go 0 xs
 
+(** Kernel arguments whose backing storage some access in the adapted
+    LLVM IR may alias without being attributable to them.  For such an
+    array the banking proof behind a partition directive fails (lint
+    HLS008 flags exactly this), so partitioning it cannot pay off and
+    its axis is dropped from the space.
+
+    The check runs on the {e adapted} IR ({!Flow.direct_ir_frontend}):
+    raw modern lowering still reaches arrays through descriptor
+    aggregates, which the alias oracle rightly calls unresolvable —
+    every axis would be dropped.  A frontend failure keeps all axes:
+    the DSE jobs will surface the real diagnostics. *)
+let may_aliased_arrays (kernel : K.kernel) : string list =
+  match Flow.direct_ir_frontend (kernel.K.build K.no_directives) with
+  | Error _ -> []
+  | Ok (lm, _, _) ->
+      let kernel_args = List.map fst kernel.K.args in
+      List.concat_map
+        (fun (f : L.Lmodule.func) ->
+          let idx = L.Findex.build f in
+          let ptrs =
+            L.Lmodule.fold_insts
+              (fun acc (i : L.Linstr.t) ->
+                match i.L.Linstr.op with
+                | L.Linstr.Load (_, p) | L.Linstr.Store (_, p) -> p :: acc
+                | _ -> acc)
+              [] f
+          in
+          List.filter_map
+            (fun (p : L.Lmodule.param) ->
+              let pv =
+                L.Lvalue.Reg (Sym.intern p.L.Lmodule.pname, p.L.Lmodule.pty)
+              in
+              if
+                List.mem p.L.Lmodule.pname kernel_args
+                && List.exists
+                     (fun q ->
+                       L.Alias.base_alias idx q pv = L.Alias.May_alias)
+                     ptrs
+              then Some p.L.Lmodule.pname
+              else None)
+            f.L.Lmodule.params)
+        lm.L.Lmodule.funcs
+      |> List.sort_uniq compare
+
 (** Derive the space for a kernel by walking its directive-free IR.
     All functions of the module are walked (kernels like [mmcall] do
     their array accesses in a helper), and accesses are attributed to
@@ -175,16 +221,19 @@ let of_kernel (kernel : K.kernel) : t =
           | _ -> ())
         fn)
     m.Ir.funcs;
+  let aliased = may_aliased_arrays kernel in
   let sp_partitions =
     Hashtbl.fold
       (fun name (dim, dim_size) acc ->
-        {
-          pa_array = name;
-          pa_dim = dim;
-          pa_dim_size = dim_size;
-          pa_factors = pow2_ladder ~limit:dim_size;
-        }
-        :: acc)
+        if List.mem name aliased then acc
+        else
+          {
+            pa_array = name;
+            pa_dim = dim;
+            pa_dim_size = dim_size;
+            pa_factors = pow2_ladder ~limit:dim_size;
+          }
+          :: acc)
       hot []
     |> List.sort (fun a b -> compare a.pa_array b.pa_array)
   in

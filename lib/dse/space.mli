@@ -27,7 +27,14 @@ type config = {
       (** array → factor (1 = off); same order as [sp_partitions] *)
 }
 
-(** Derive the space for a kernel by walking its directive-free IR. *)
+(** Kernel arguments whose backing storage some access in the adapted
+    LLVM IR may alias without being attributable to them (lint HLS008
+    territory): {!of_kernel} derives no partition axis for these.
+    Sorted, deduplicated; empty when the frontend fails. *)
+val may_aliased_arrays : Workloads.Kernels.kernel -> string list
+
+(** Derive the space for a kernel by walking its directive-free IR.
+    Arrays in {!may_aliased_arrays} get no partition axis. *)
 val of_kernel : Workloads.Kernels.kernel -> t
 
 (** Collapse directive aliases to one representative (under [Middle]

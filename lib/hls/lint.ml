@@ -22,12 +22,21 @@
     - [HLS006] (warning) — an unreachable basic block;
     - [HLS007] (note) — a loop with no static trip count (latency
       estimation needs a [SpecLoopTripCount] marker);
+    - [HLS008] (warning) — a partitioned array is reached through a
+      pointer the alias oracle cannot attribute to it, so banking
+      cannot be proven conflict-free;
+    - [HLS009] (warning) — two functions both write the same module
+      global (a cross-function write-write conflict);
+    - [HLS010] (warning) — the top function calls a function whose
+      memory effects are unknown;
     - [HLS101]–[HLS106] — the {!Adaptor.Compat} issue family
       re-reported as accumulated diagnostics.
 
     The analyses behind the rules are {!Llvmir.Dataflow} (liveness /
-    dead stores), {!Llvmir.Memdep} (loop-carried dependence distances)
-    and {!Directives} (pipeline/partition requests). *)
+    dead stores), {!Llvmir.Memdep} (loop-carried dependence distances),
+    {!Llvmir.Alias} / {!Llvmir.Effects} / {!Llvmir.Parsafe}
+    (aliasing, effect footprints, cross-function conflicts) and
+    {!Directives} (pipeline/partition requests). *)
 
 open Llvmir
 open Linstr
@@ -46,6 +55,9 @@ let catalog : (string * Diag.severity * string) list =
     ("HLS005", Diag.Warning, "unused top-function parameter");
     ("HLS006", Diag.Warning, "unreachable basic block");
     ("HLS007", Diag.Note, "loop has no static trip count");
+    ("HLS008", Diag.Warning, "may-aliased access defeats array partitioning");
+    ("HLS009", Diag.Warning, "cross-function write-write conflict on a global");
+    ("HLS010", Diag.Warning, "top function calls a function with unknown effects");
     ("HLS101", Diag.Error, "opaque pointer in HLS input");
     ("HLS102", Diag.Error, "memref descriptor aggregate in HLS input");
     ("HLS103", Diag.Error, "modern intrinsic unsupported by the HLS frontend");
@@ -369,6 +381,108 @@ let lint_unused_params (buf : Diag.buffer) (f : Lmodule.func) =
              p.Lmodule.pname))
     f.Lmodule.params
 
+(** HLS008 — a partitioned array reached through a pointer the alias
+    oracle cannot attribute.  Banking assumes every access to the
+    array is visible as such; a [May_alias] access (an unresolvable
+    pointer that might land in the array) makes the bank assignment
+    unprovable, so the partition directive buys nothing. *)
+let lint_aliased_partitions (buf : Diag.buffer) (f : Lmodule.func) =
+  let partitioned =
+    List.filter
+      (fun (p : Lmodule.param) ->
+        match List.assoc_opt "fpga.partition.factor" p.Lmodule.pattrs with
+        | Some s -> Option.value ~default:1 (int_of_string_opt s) > 1
+        | None -> false)
+      f.Lmodule.params
+  in
+  if partitioned <> [] then begin
+    let idx = Findex.build f in
+    let ptrs =
+      List.rev
+        (Lmodule.fold_insts
+           (fun acc (i : Linstr.t) ->
+             match i.op with
+             | Load (_, p) | Store (_, p) -> p :: acc
+             | _ -> acc)
+           [] f)
+    in
+    List.iter
+      (fun (p : Lmodule.param) ->
+        let pv = Lvalue.Reg (Sym.intern p.Lmodule.pname, p.Lmodule.pty) in
+        match
+          List.find_opt
+            (fun q -> Alias.base_alias idx q pv = Alias.May_alias)
+            ptrs
+        with
+        | None -> ()
+        | Some q ->
+            Diag.add buf
+              (Diag.warning ~func:f.Lmodule.fname ~location:p.Lmodule.pname
+                 ~rule:"HLS008"
+                 ~hint:
+                   "make every access a direct getelementptr on the array, \
+                    or drop the partition directive"
+                 "partition directive on %%%s cannot be honoured: access \
+                  through %s may alias the array but is not attributable to \
+                  a bank"
+                 p.Lmodule.pname (Lvalue.to_string q)))
+      partitioned
+  end
+
+(** HLS009 — cross-function write-write conflicts on module globals,
+    straight from the {!Llvmir.Parsafe} verdict. *)
+let lint_global_conflicts (buf : Diag.buffer) (m : Lmodule.t)
+    (eff : Effects.t) =
+  match Parsafe.check ~effects:eff m with
+  | Parsafe.Safe -> ()
+  | Parsafe.Unsafe cs ->
+      List.iter
+        (function
+          | Parsafe.Global_write_write (fa, fb, g) ->
+              Diag.add buf
+                (Diag.warning ~func:fa ~location:("@" ^ g) ~rule:"HLS009"
+                   ~hint:
+                     "route the shared state through an explicit port, or \
+                      merge the writers"
+                   "functions @%s and @%s both write global @%s; the design \
+                    cannot be parallelized or dataflow-scheduled across them"
+                   fa fb g)
+          | Parsafe.Global_read_write _ | Parsafe.Unknown_effects _ -> ())
+        cs
+
+(** HLS010 — the top function calls into unknown effects: every
+    downstream analysis (scheduling, dependence, partitioning) has to
+    assume the worst about the whole design. *)
+let lint_unknown_callees (buf : Diag.buffer) (eff : Effects.t)
+    (f : Lmodule.func) =
+  let seen = Hashtbl.create 4 in
+  Lmodule.fold_insts
+    (fun () (i : Linstr.t) ->
+      match i.op with
+      | Call { callee; _ }
+        when (not (Effects.is_inert_callee callee))
+             && not (Hashtbl.mem seen callee) -> (
+          Hashtbl.add seen callee ();
+          let warn why =
+            Diag.add buf
+              (Diag.warning ~func:f.Lmodule.fname ~location:callee
+                 ~rule:"HLS010"
+                 ~hint:
+                   "define the callee in the module or replace the call \
+                    with an HLS marker intrinsic"
+                 "top function calls @%s %s; its memory effects are unknown"
+                 callee why)
+          in
+          match Effects.footprint eff callee with
+          | None -> warn "which is not defined in the module"
+          | Some fp when Effects.closed fp -> ()
+          | Some fp ->
+              warn
+                (Printf.sprintf "whose footprint is open (%s)"
+                   (String.concat ", " fp.Effects.fp_unknown)))
+      | _ -> ())
+    () f
+
 (** HLS006 — unreachable blocks. *)
 let lint_unreachable (buf : Diag.buffer) (f : Lmodule.func) (cfg : Cfg.t) =
   List.iter
@@ -406,6 +520,15 @@ let run ?(only : string list option) ?(werror = false) ?(top : string option)
   (try Diag.add_all buf (Adaptor.Compat.to_diagnostics (Adaptor.Compat.check m))
    with Support.Err.Compile_error e ->
      Diag.add buf (Diag.of_err ~rule:"HLS000" e));
+  let eff =
+    try
+      let e = Effects.summarize m in
+      lint_global_conflicts buf m e;
+      Some e
+    with Support.Err.Compile_error e ->
+      Diag.add buf (Diag.of_err ~rule:"HLS000" e);
+      None
+  in
   List.iter
     (fun (f : Lmodule.func) ->
       try
@@ -416,7 +539,11 @@ let run ?(only : string list option) ?(werror = false) ?(top : string option)
         lint_partitions buf f cfg li;
         lint_dead_stores buf f cfg;
         lint_unreachable buf f cfg;
-        if top_name = Some f.Lmodule.fname then lint_unused_params buf f
+        lint_aliased_partitions buf f;
+        if top_name = Some f.Lmodule.fname then begin
+          lint_unused_params buf f;
+          Option.iter (fun e -> lint_unknown_callees buf e f) eff
+        end
       with Support.Err.Compile_error e ->
         Diag.add buf (Diag.of_err ~rule:"HLS000" e))
     m.Lmodule.funcs;

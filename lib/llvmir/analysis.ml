@@ -22,13 +22,14 @@
 
 module Sym = Support.Interner
 
-type kind = Findex | Cfg | Dominance | Loop_info
+type kind = Findex | Cfg | Dominance | Loop_info | Effects
 
 let kind_name = function
   | Findex -> "findex"
   | Cfg -> "cfg"
   | Dominance -> "dominance"
   | Loop_info -> "loop_info"
+  | Effects -> "effects"
 
 type entry = {
   mutable e_func : Lmodule.func;  (** the value the caches are valid for *)
@@ -38,10 +39,15 @@ type entry = {
   mutable e_li : Loop_info.t option;
 }
 
-type t = { cache : entry Sym.Tbl.t; trace : Support.Tracing.hook }
+type t = {
+  cache : entry Sym.Tbl.t;
+  mutable m_effects : (Lmodule.t * Effects.t) option;
+      (** module-level effect summary, valid for exactly that module value *)
+  trace : Support.Tracing.hook;
+}
 
 let create ?(trace = Support.Tracing.null) () : t =
-  { cache = Sym.Tbl.create 16; trace }
+  { cache = Sym.Tbl.create 16; m_effects = None; trace }
 
 let fresh_entry f =
   { e_func = f; e_findex = None; e_cfg = None; e_dom = None; e_li = None }
@@ -123,6 +129,30 @@ let loop_info_q (am : t) (f : Lmodule.func) : Loop_info.t =
     ~set:(fun e v -> e.e_li <- Some v)
     ~compute:(fun () -> Loop_info.compute (cfg_q am f))
 
+let module_report (am : t) ~(hit : bool) ~seconds (m : Lmodule.t) =
+  let n = Lmodule.instr_count m in
+  am.trace
+    (Support.Tracing.event ~stage:"analysis"
+       ~pass:(kind_name Effects ^ if hit then ":hit" else ":compute")
+       ~seconds ~before:n ~after:n)
+
+(** Module-level effect summary, cached for exactly this module value
+    (same physical-equality soundness guard as the per-function
+    entries). *)
+let effects_q (am : t) (m : Lmodule.t) : Effects.t =
+  match am.m_effects with
+  | Some (m0, e) when m0 == m ->
+      if am.trace != Support.Tracing.null then
+        module_report am ~hit:true ~seconds:0.0 m;
+      e
+  | _ ->
+      let t0 = Sys.time () in
+      let e = Effects.summarize m in
+      am.m_effects <- Some (m, e);
+      if am.trace != Support.Tracing.null then
+        module_report am ~hit:false ~seconds:(Sys.time () -. t0) m;
+      e
+
 (** [?am]-threading front doors: with a manager, cached; without, a
     plain build.  Pass implementations call these so they work both
     standalone and under {!Pass.run_pipeline}. *)
@@ -140,11 +170,24 @@ let loop_info ?am f =
   | Some am -> loop_info_q am f
   | None -> Loop_info.compute (Cfg.build f)
 
+let effects ?am m =
+  match am with Some am -> effects_q am m | None -> Effects.summarize m
+
 (** After a pass produced [m], keep only the analyses it [preserves]
     (rebased onto the new function values) plus everything cached for
     functions the pass left physically untouched; drop the rest and
     any entries for functions that no longer exist. *)
 let keep (am : t) ~(preserves : kind list) (m : Lmodule.t) : unit =
+  (* Effect summaries over-approximate, and every effect a pass can
+     leave behind was already in the pre-pass summary (passes only
+     remove, merge or move accesses; inline substitutes bodies whose
+     effects the transitively-closed caller summary already contains).
+     Preserving therefore re-points the cached summary at the new
+     module value; dropping recomputes on next query. *)
+  (match am.m_effects with
+  | Some (_, e) when List.mem Effects preserves -> am.m_effects <- Some (m, e)
+  | Some _ -> am.m_effects <- None
+  | None -> ());
   let live = Sym.Tbl.create 16 in
   List.iter
     (fun (f : Lmodule.func) ->

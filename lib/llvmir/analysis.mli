@@ -8,7 +8,7 @@
     rewrite.  Queries report [stage:"analysis"] tracing events named
     ["<kind>:hit"] / ["<kind>:compute"]. *)
 
-type kind = Findex | Cfg | Dominance | Loop_info
+type kind = Findex | Cfg | Dominance | Loop_info | Effects
 
 val kind_name : kind -> string
 
@@ -28,8 +28,18 @@ val cfg : ?am:t -> Lmodule.func -> Cfg.t
 val dominance : ?am:t -> Lmodule.func -> Dominance.t
 val loop_info : ?am:t -> Lmodule.func -> Loop_info.t
 
+(** Module-level {!Effects} summary, cached for exactly the queried
+    module value.  Unlike the structural analyses, the preserve
+    contract for [Effects] is {e conservative over-approximation}, not
+    structural identity: a preserved summary may be strictly larger
+    than one recomputed from the transformed module, and every
+    consumer ({!Parsafe}, lint) treats it as may-information. *)
+val effects : ?am:t -> Lmodule.t -> Effects.t
+
 (** [keep am ~preserves m] — called after a pass returned [m]: rebase
     the preserved analyses onto the new function values, drop all
     others, and forget functions that disappeared.  Functions the pass
-    left physically untouched keep their whole cache. *)
+    left physically untouched keep their whole cache.  The module-
+    level [Effects] summary is re-pointed at [m] when preserved and
+    dropped otherwise. *)
 val keep : t -> preserves:kind list -> Lmodule.t -> unit

@@ -5,10 +5,11 @@
     expressions as affine forms over SSA registers (walking GEP index
     expressions through adds, constant multiplies, shifts and integer
     casts), and runs a per-dimension delta test between every pair of
-    accesses to the same root array with at least one store:
+    accesses with at least one store whose base regions {!Alias} cannot
+    prove disjoint:
 
     - {b Independent} — the subscripts can never collide across
-      iterations of the analyzed loop;
+      iterations of the analyzed loop (or the roots never alias);
     - {b Intra} — they collide only within one iteration (no carried
       dependence, pipelining is unaffected);
     - {b Carried d} — iterations [d] apart touch the same element; a
@@ -16,6 +17,14 @@
       infeasible;
     - {b Unknown} — the analysis cannot bound the dependence (assume
       carried at distance 1 when scheduling).
+
+    Base-region disjointness is {!Alias.base_alias}, not raw root-name
+    equality: two accesses through pointers whose roots cannot be
+    resolved (phi/select/call-defined) pair up as {b Unknown} instead
+    of being silently treated as independent arrays.
+
+    The affine-form machinery lives in {!Alias} and is re-exported
+    here for compatibility with existing consumers.
 
     SSA registers that the walker cannot expand stay {e atomic}: an
     atom defined outside the loop is a fixed unknown (it cancels when
@@ -27,101 +36,20 @@ open Linstr
 module Sym = Support.Interner
 
 (* ------------------------------------------------------------------ *)
-(* Affine forms                                                       *)
+(* Affine forms — hosted by {!Alias}, re-exported for compatibility   *)
 (* ------------------------------------------------------------------ *)
 
-(** [sum of coeff * atom + konst]; [terms] sorted by atom {e name} (so
-    form layout never depends on interning order) with no zero
-    coefficients.  Atoms are SSA register (or global) symbols. *)
-type form = { terms : (Sym.t * int) list; konst : int }
+type form = Alias.form = { terms : (Sym.t * int) list; konst : int }
 
-let const_form c = { terms = []; konst = c }
-let atom_form n = { terms = [ (n, 1) ]; konst = 0 }
-
-let norm_terms terms =
-  List.filter
-    (fun (_, c) -> c <> 0)
-    (List.sort (fun (a, _) (b, _) -> Sym.compare_name a b) terms)
-
-let form_add a b =
-  let merged =
-    List.fold_left
-      (fun acc (n, c) ->
-        let prev = Option.value ~default:0 (List.assoc_opt n acc) in
-        (n, prev + c) :: List.remove_assoc n acc)
-      a.terms b.terms
-  in
-  { terms = norm_terms merged; konst = a.konst + b.konst }
-
-let form_scale k f =
-  {
-    terms = norm_terms (List.map (fun (n, c) -> (n, c * k)) f.terms);
-    konst = f.konst * k;
-  }
-
-let form_sub a b = form_add a (form_scale (-1) b)
-let coeff_of (f : form) (n : Sym.t) = Option.value ~default:0 (List.assoc_opt n f.terms)
-let drop_atom (f : form) (n : Sym.t) = { f with terms = List.remove_assoc n f.terms }
-
-let form_to_string (f : form) =
-  let ts =
-    List.map
-      (fun (n, c) ->
-        if c = 1 then "%" ^ Sym.name n
-        else Printf.sprintf "%d*%%%s" c (Sym.name n))
-      f.terms
-  in
-  let parts = ts @ (if f.konst <> 0 || ts = [] then [ string_of_int f.konst ] else []) in
-  String.concat " + " parts
-
-(** Expand a value into an affine form over atoms.  Registers with a
-    non-affine definition become atoms themselves, which keeps the
-    result sound: an SSA register has exactly one value per dynamic
-    instance. *)
-let form_of (idx : Findex.t) (v : Lvalue.t) : form option =
-  let rec go depth v =
-    if depth > 24 then None
-    else
-      match v with
-      | Lvalue.Const (Lvalue.CInt (c, _)) -> Some (const_form c)
-      | Lvalue.Const (Lvalue.CZero _) -> Some (const_form 0)
-      | Lvalue.Const _ -> None
-      | Lvalue.Global (n, _) -> Some (atom_form n)
-      | Lvalue.Reg (n, _) -> (
-          match Findex.def_instr idx n with
-          | None -> Some (atom_form n)  (* parameter *)
-          | Some i -> (
-              match i.op with
-              | IBin (Add, a, b) -> (
-                  match (go (depth + 1) a, go (depth + 1) b) with
-                  | Some fa, Some fb -> Some (form_add fa fb)
-                  | _ -> Some (atom_form n))
-              | IBin (Sub, a, b) -> (
-                  match (go (depth + 1) a, go (depth + 1) b) with
-                  | Some fa, Some fb -> Some (form_sub fa fb)
-                  | _ -> Some (atom_form n))
-              | IBin (Mul, a, b) -> (
-                  match (Lvalue.const_int_value a, Lvalue.const_int_value b) with
-                  | Some k, _ -> (
-                      match go (depth + 1) b with
-                      | Some fb -> Some (form_scale k fb)
-                      | None -> Some (atom_form n))
-                  | _, Some k -> (
-                      match go (depth + 1) a with
-                      | Some fa -> Some (form_scale k fa)
-                      | None -> Some (atom_form n))
-                  | _ -> Some (atom_form n))
-              | IBin (Shl, a, b) -> (
-                  match Lvalue.const_int_value b with
-                  | Some k when k >= 0 && k < 31 -> (
-                      match go (depth + 1) a with
-                      | Some fa -> Some (form_scale (1 lsl k) fa)
-                      | None -> Some (atom_form n))
-                  | _ -> Some (atom_form n))
-              | Cast ((Sext | Zext | Trunc), src, _) -> go (depth + 1) src
-              | _ -> Some (atom_form n)))
-  in
-  go 0 v
+let const_form = Alias.const_form
+let atom_form = Alias.atom_form
+let form_add = Alias.form_add
+let form_scale = Alias.form_scale
+let form_sub = Alias.form_sub
+let coeff_of = Alias.coeff_of
+let drop_atom = Alias.drop_atom
+let form_to_string = Alias.form_to_string
+let form_of = Alias.form_of
 
 (* ------------------------------------------------------------------ *)
 (* Accesses                                                           *)
@@ -132,6 +60,7 @@ type access = {
   acc_index : int;  (** instruction index within its block *)
   acc_is_store : bool;
   acc_array : string;  (** root parameter / alloca / global *)
+  acc_ptr : Lvalue.t;  (** the address operand, for alias queries *)
   acc_subs : form list option;
       (** one form per GEP index (leading pointer index included);
           [None] when the address is not a single GEP from the root *)
@@ -141,32 +70,7 @@ type access = {
 (** Subscript forms of a pointer: requires the address to be one GEP
     whose base resolves directly to the root (the canonical shape after
     the adaptor's GEP canonicalization); anything else is opaque. *)
-let subscripts (idx : Findex.t) (p : Lvalue.t) : form list option =
-  match p with
-  | Lvalue.Reg (n, _) -> (
-      match Findex.def_instr idx n with
-      | Some { op = Gep { base; idxs; _ }; _ } -> (
-          let base_is_root =
-            match base with
-            | Lvalue.Reg (bn, _) -> (
-                match Findex.def_instr idx bn with
-                | None -> true  (* parameter *)
-                | Some { op = Alloca _; _ } -> true
-                | Some _ -> false)
-            | Lvalue.Global _ -> true
-            | _ -> false
-          in
-          if not base_is_root then None
-          else
-            let forms = List.map (form_of idx) idxs in
-            if List.for_all Option.is_some forms then
-              Some (List.map Option.get forms)
-            else None)
-      | None -> Some []  (* scalar pointer parameter: zero subscripts *)
-      | Some { op = Alloca _; _ } -> Some []
-      | Some _ -> None)
-  | Lvalue.Global _ -> Some []
-  | _ -> None
+let subscripts = Alias.subscripts
 
 (** All loads/stores whose block lies in loop [j]'s body. *)
 let accesses_in (cfg : Cfg.t) (li : Loop_info.t) (j : int) : access list =
@@ -187,6 +91,7 @@ let accesses_in (cfg : Cfg.t) (li : Loop_info.t) (j : int) : access list =
                     acc_index = ii;
                     acc_is_store = is_store;
                     acc_array = Sym.name root;
+                    acc_ptr = p;
                     acc_subs = subscripts idx p;
                     acc_inst = i;
                   }
@@ -279,36 +184,42 @@ let dim_test ~iv ~varies (s : form) (t : form) : dim_verdict =
       else if c mod a_s <> 0 then DIndep
       else DExact (c / a_s)
 
-(** Delta test between two accesses w.r.t. loop [j]. *)
+(** Delta test between two accesses w.r.t. loop [j].  The base-region
+    question goes through {!Alias.base_alias}: provably disjoint roots
+    are independent, a shared (known) root runs the per-dimension
+    delta test, and an unresolvable root pair is {!Unknown} — never
+    silently independent. *)
 let classify_pair (cfg : Cfg.t) (li : Loop_info.t) (j : int) (s : access)
     (t : access) : verdict =
-  if s.acc_array <> t.acc_array then Independent
-  else
-    match iv_phi cfg li j with
-    | None -> Unknown
-    | Some iv -> (
-        match (s.acc_subs, t.acc_subs) with
-        | Some subs_s, Some subs_t
-          when List.length subs_s = List.length subs_t ->
-            let idx = Findex.build cfg.Cfg.func in
-            let varies = varies_in_loop li j idx in
-            let dims =
-              List.map2 (fun a b -> dim_test ~iv ~varies a b) subs_s subs_t
-            in
-            if List.mem DIndep dims then Independent
-            else if List.mem DUnknown dims then Unknown
-            else
-              let exacts =
-                List.filter_map
-                  (function DExact k -> Some k | _ -> None)
-                  dims
+  let idx = Findex.build cfg.Cfg.func in
+  match Alias.base_alias idx s.acc_ptr t.acc_ptr with
+  | Alias.No_alias -> Independent
+  | Alias.May_alias -> Unknown
+  | Alias.Must_alias -> (
+      match iv_phi cfg li j with
+      | None -> Unknown
+      | Some iv -> (
+          match (s.acc_subs, t.acc_subs) with
+          | Some subs_s, Some subs_t
+            when List.length subs_s = List.length subs_t ->
+              let varies = varies_in_loop li j idx in
+              let dims =
+                List.map2 (fun a b -> dim_test ~iv ~varies a b) subs_s subs_t
               in
-              (match List.sort_uniq compare exacts with
-              | [] -> Carried 1  (* same element on every iteration *)
-              | [ 0 ] -> Intra
-              | [ k ] -> Carried (abs k)
-              | _ -> Independent  (* contradictory distance requirements *))
-        | _ -> Unknown)
+              if List.mem DIndep dims then Independent
+              else if List.mem DUnknown dims then Unknown
+              else
+                let exacts =
+                  List.filter_map
+                    (function DExact k -> Some k | _ -> None)
+                    dims
+                in
+                (match List.sort_uniq compare exacts with
+                | [] -> Carried 1  (* same element on every iteration *)
+                | [ 0 ] -> Intra
+                | [ k ] -> Carried (abs k)
+                | _ -> Independent  (* contradictory distance requirements *))
+          | _ -> Unknown))
 
 (* ------------------------------------------------------------------ *)
 (* Whole-loop analysis                                                *)
@@ -331,12 +242,16 @@ let dep_to_string (cfg : Cfg.t) (d : dep) =
     (pos d.dep_dst)
     (verdict_to_string d.dep_verdict)
 
-(** All dependence pairs (at least one store) on the same array inside
-    loop [j], with their verdicts.  Store/store pairs are included once
-    ([src] is always a store); a store is also paired with itself —
-    that is how a subscript invariant in [j]'s IV ("same element every
-    iteration") surfaces as a carried output dependence. *)
+(** All dependence pairs (at least one store) whose base regions may
+    overlap inside loop [j], with their verdicts.  Store/store pairs
+    are included once ([src] is always a store); a store is also
+    paired with itself — that is how a subscript invariant in [j]'s IV
+    ("same element every iteration") surfaces as a carried output
+    dependence.  Pairing is by {!Alias.base_alias}, so accesses
+    through unresolvable pointers pair with everything rather than
+    being dropped. *)
 let analyze_loop (cfg : Cfg.t) (li : Loop_info.t) (j : int) : dep list =
+  let idx = Findex.build cfg.Cfg.func in
   let accs = accesses_in cfg li j in
   let deps = ref [] in
   let consider (s : access) (t : access) =
@@ -348,7 +263,7 @@ let analyze_loop (cfg : Cfg.t) (li : Loop_info.t) (j : int) : dep list =
     (fun s ->
       List.iter
         (fun t ->
-          if t.acc_array = s.acc_array then
+          if Alias.base_alias idx s.acc_ptr t.acc_ptr <> Alias.No_alias then
             if t.acc_is_store then begin
               (* count each store/store pair once, self-pairs included *)
               if

@@ -1,0 +1,116 @@
+(** Race checker over {!Effects} footprints.  See the interface. *)
+
+module Sym = Support.Interner
+
+type conflict =
+  | Global_write_write of string * string * string
+  | Global_read_write of string * string * string
+  | Unknown_effects of string * string list
+
+type verdict = Safe | Unsafe of conflict list
+
+let conflict_to_string = function
+  | Global_write_write (fa, fb, g) ->
+      Printf.sprintf "@%s and @%s both write global @%s" fa fb g
+  | Global_read_write (fa, fb, g) ->
+      Printf.sprintf "@%s writes global @%s that @%s reads" fa g fb
+  | Unknown_effects (f, reasons) ->
+      Printf.sprintf "@%s has unknown effects (%s)" f
+        (String.concat ", " reasons)
+
+let verdict_to_string = function
+  | Safe -> "safe"
+  | Unsafe cs ->
+      Printf.sprintf "unsafe:\n%s"
+        (String.concat "\n"
+           (List.map (fun c -> "  " ^ conflict_to_string c) cs))
+
+let json_escape (s : string) =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jstr s = "\"" ^ json_escape s ^ "\""
+
+let conflict_to_json = function
+  | Global_write_write (fa, fb, g) ->
+      Printf.sprintf
+        "{\"kind\": \"write-write\", \"a\": %s, \"b\": %s, \"global\": %s}"
+        (jstr fa) (jstr fb) (jstr g)
+  | Global_read_write (fa, fb, g) ->
+      Printf.sprintf
+        "{\"kind\": \"read-write\", \"a\": %s, \"b\": %s, \"global\": %s}"
+        (jstr fa) (jstr fb) (jstr g)
+  | Unknown_effects (f, reasons) ->
+      Printf.sprintf
+        "{\"kind\": \"unknown-effects\", \"function\": %s, \"reasons\": [%s]}"
+        (jstr f)
+        (String.concat ", " (List.map jstr reasons))
+
+let to_json = function
+  | Safe -> "{\"verdict\": \"safe\"}"
+  | Unsafe cs ->
+      Printf.sprintf "{\"verdict\": \"unsafe\", \"conflicts\": [%s]}"
+        (String.concat ", " (List.map conflict_to_json cs))
+
+let check ?effects (m : Lmodule.t) : verdict =
+  match m.Lmodule.funcs with
+  | [] | [ _ ] -> Safe
+  | funcs ->
+      let eff =
+        match effects with Some e -> e | None -> Effects.summarize m
+      in
+      let fps =
+        List.filter_map
+          (fun (f : Lmodule.func) ->
+            Option.map
+              (fun fp -> (f.Lmodule.fname, fp))
+              (Effects.footprint eff f.Lmodule.fname))
+          funcs
+      in
+      let conflicts = ref [] in
+      let add c = conflicts := c :: !conflicts in
+      (* open footprints conflict with everything *)
+      List.iter
+        (fun (fn, fp) ->
+          if not (Effects.closed fp) then
+            add (Unknown_effects (fn, fp.Effects.fp_unknown)))
+        fps;
+      (* pairwise global overlap with at least one writer *)
+      let rec pairs = function
+        | [] -> ()
+        | (fa, fpa) :: rest ->
+            List.iter
+              (fun (fb, fpb) ->
+                Sym.Map.iter
+                  (fun g ma ->
+                    let mb = Effects.global_mode fpb g in
+                    let gname = Sym.name g in
+                    if Effects.writes ma && Effects.writes mb then
+                      add (Global_write_write (fa, fb, gname))
+                    else if Effects.writes ma && Effects.reads mb then
+                      add (Global_read_write (fa, fb, gname))
+                    else if Effects.reads ma && Effects.writes mb then
+                      add (Global_read_write (fb, fa, gname)))
+                  fpa.Effects.fp_globals)
+              rest;
+            pairs rest
+      in
+      pairs fps;
+      (* deterministic order: the functions came in module order, so a
+         stable sort on the rendered form is reproducible *)
+      let cs =
+        List.sort_uniq
+          (fun a b -> compare (conflict_to_string a) (conflict_to_string b))
+          (List.rev !conflicts)
+      in
+      if cs = [] then Safe else Unsafe cs

@@ -1,0 +1,39 @@
+(** Static parallel-safety checker: may two functions of a module be
+    processed (or executed) concurrently without racing on shared
+    state?
+
+    Built on {!Effects} footprints: two functions conflict when both
+    touch the same module global and at least one writes it, and a
+    function with an {e open} footprint (unknown effects) conflicts
+    with every other function because nothing can be proven about what
+    it touches.  Pointer parameters never conflict across functions —
+    each function owns its interface ports under the HLS contract.
+    Read-only overlap is allowed.
+
+    The verdict gates {!Pass.run_pipeline_parallel}: [Safe] lets the
+    function-local pass tail fan out across domains; [Unsafe] falls
+    back to the sequential pipeline and reports why. *)
+
+type conflict =
+  | Global_write_write of string * string * string
+      (** [fa, fb, global] — both functions write the global *)
+  | Global_read_write of string * string * string
+      (** [fa, fb, global] — one writes what the other reads *)
+  | Unknown_effects of string * string list
+      (** [f, reasons] — the function's footprint is open *)
+
+type verdict = Safe | Unsafe of conflict list
+
+val conflict_to_string : conflict -> string
+val verdict_to_string : verdict -> string
+
+(** Machine-readable verdict:
+    [{"verdict": "safe"}] or
+    [{"verdict": "unsafe", "conflicts": [{"kind": ..., ...}]}]. *)
+val to_json : verdict -> string
+
+(** Check the module.  [?effects] reuses an existing summary (e.g. the
+    {!Analysis}-cached one); otherwise one is computed.  Conflicts are
+    reported exhaustively, deterministically ordered.  A single-
+    function module is always [Safe] — there is no pair to race. *)
+val check : ?effects:Effects.t -> Lmodule.t -> verdict

@@ -9,49 +9,69 @@
     CFG-preserving stretch of the pipeline computes the CFG, dominator
     tree and loop nest once.  A pass that preserves nothing must
     declare [preserves = []] — over-declaring breaks the rebase
-    contract documented on {!Cfg.rebase}. *)
+    contract documented on {!Cfg.rebase}.
+
+    Passes that transform one function at a time additionally expose
+    their per-function entry as [fn_run]; {!run_pipeline_parallel}
+    fans such a pass tail out across worker domains when {!Parsafe}
+    proves the module race-free. *)
 
 type pass = {
   name : string;
   preserves : Analysis.kind list;
       (** analyses still valid (after rebase) on this pass's output *)
   run : Analysis.t -> Lmodule.t -> Lmodule.t;
+  fn_run : (Analysis.t -> Lmodule.func -> Lmodule.func) option;
+      (** function-local entry ([run] must equal mapping it over the
+          module's functions); [None] for module-level passes *)
 }
 
 (* Inlining and CFG simplification restructure blocks, so they
-   preserve nothing.  The scalar passes rewrite instructions inside a
-   fixed block skeleton: block labels, order and terminator targets
-   survive, so CFG-shaped analyses remain valid.  None of them
-   preserves the function index — any instruction rewrite moves the
-   arena. *)
-let cfg_shape = [ Analysis.Cfg; Analysis.Dominance; Analysis.Loop_info ]
+   preserve no structural analysis.  The scalar passes rewrite
+   instructions inside a fixed block skeleton: block labels, order and
+   terminator targets survive, so CFG-shaped analyses remain valid.
+   None of them preserves the function index — any instruction rewrite
+   moves the arena.  Every pass preserves the module-level effect
+   summary: footprints are transitively-closed over-approximations, and
+   a transform can only remove, merge or move accesses (inline included
+   — the caller summary already contains the inlined callee's
+   effects). *)
+let cfg_shape =
+  [ Analysis.Cfg; Analysis.Dominance; Analysis.Loop_info; Analysis.Effects ]
 
 let inline =
-  { name = "inline"; preserves = []; run = (fun _ m -> Opt_inline.run m) }
+  { name = "inline"; preserves = [ Analysis.Effects ];
+    run = (fun _ m -> Opt_inline.run m); fn_run = None }
 
 let mem2reg =
   { name = "mem2reg"; preserves = cfg_shape;
-    run = (fun am m -> Opt_mem2reg.run ~am m) }
+    run = (fun am m -> Opt_mem2reg.run ~am m);
+    fn_run = Some (fun am f -> fst (Opt_mem2reg.run_func ~am f)) }
 
 let dce =
   { name = "dce"; preserves = cfg_shape;
-    run = (fun am m -> Opt_dce.run ~am m) }
+    run = (fun am m -> Opt_dce.run ~am m);
+    fn_run = Some (fun am f -> fst (Opt_dce.run_func ~am f)) }
 
 let constfold =
   { name = "constfold"; preserves = cfg_shape;
-    run = (fun _ m -> Opt_constfold.run m) }
+    run = (fun _ m -> Opt_constfold.run m);
+    fn_run = Some (fun _ f -> fst (Opt_constfold.run_func f)) }
 
 let cse =
   { name = "cse"; preserves = cfg_shape;
-    run = (fun am m -> Opt_cse.run ~am m) }
+    run = (fun am m -> Opt_cse.run ~am m);
+    fn_run = Some (fun am f -> fst (Opt_cse.run_func ~am f)) }
 
 let simplifycfg =
-  { name = "simplifycfg"; preserves = [];
-    run = (fun am m -> Opt_simplifycfg.run ~am m) }
+  { name = "simplifycfg"; preserves = [ Analysis.Effects ];
+    run = (fun am m -> Opt_simplifycfg.run ~am m);
+    fn_run = Some (fun am f -> fst (Opt_simplifycfg.run_func ~am f)) }
 
 let licm =
   { name = "licm"; preserves = cfg_shape;
-    run = (fun am m -> Opt_licm.run ~am m) }
+    run = (fun am m -> Opt_licm.run ~am m);
+    fn_run = Some (fun am f -> fst (Opt_licm.run_func ~am f)) }
 
 (** The -O2-flavoured cleanup pipeline both flows run before HLS.
     Inlining comes first: Vitis flattens the design into the top
@@ -88,6 +108,138 @@ let run_pipeline ?(verify = true) ?(trace = Support.Tracing.null)
       m passes
   in
   (m, List.rev !timings)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel-by-function execution                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** How to fan function-local work out.  Supplied by the caller (the
+    driver's domain pool) so this library stays below the driver in
+    the layering.  [map] must preserve input order and run [f] exactly
+    once per element; [now] is a wall clock for worker-side timings
+    ([Sys.time] measures whole-process CPU and would over-count under
+    parallelism). *)
+type fanout = {
+  jobs : int;
+  now : unit -> float;
+  map :
+    (Lmodule.func -> Lmodule.func * timing list) ->
+    Lmodule.func list ->
+    (Lmodule.func * timing list) list;
+}
+
+(** Inline fanout: no parallelism, [Sys.time] clock.  Useful as a
+    deterministic stand-in where no pool is available. *)
+let inline_fanout : fanout =
+  { jobs = 1; now = Sys.time; map = (fun f xs -> List.map f xs) }
+
+type par_status =
+  | Ran_parallel of int  (** function-local tail fanned out over this many functions *)
+  | Fell_back of string  (** sequential, and why *)
+
+let par_status_to_string = function
+  | Ran_parallel n -> Printf.sprintf "parallel (%d functions)" n
+  | Fell_back why -> Printf.sprintf "sequential (%s)" why
+
+(** Longest suffix of the pipeline in which every pass is
+    function-local, and the prologue before it. *)
+let split_func_local (passes : pass list) : pass list * pass list =
+  let rec go tail = function
+    | p :: rest when p.fn_run <> None -> go (p :: tail) rest
+    | rest -> (List.rev rest, tail)
+  in
+  go [] (List.rev passes)
+
+(** Like {!run_pipeline}, but when {!Parsafe} proves the module's
+    function footprints race-free, the function-local pass tail runs
+    per function on [fanout] (module-level prologue passes — inlining —
+    stay sequential).  Output is byte-identical to the sequential
+    pipeline for any worker count because every tail pass is function-
+    local and [fanout.map] preserves order; the CI smoke test and the
+    test suite assert exactly that.  On an [Unsafe] verdict (or a
+    degenerate module/fanout) the whole pipeline runs sequentially and
+    the status says why.
+
+    Worker domains use fresh private {!Analysis} managers and the null
+    trace hook (user trace hooks are not required to be domain-safe);
+    the coordinator emits one aggregated ["llvm-opt"] event for the
+    parallel tail. *)
+let run_pipeline_parallel ?(verify = true) ?(trace = Support.Tracing.null)
+    ~(fanout : fanout) (passes : pass list) (m : Lmodule.t) :
+    Lmodule.t * timing list * par_status =
+  let fallback reason =
+    let m, ts = run_pipeline ~verify ~trace passes m in
+    (m, ts, Fell_back reason)
+  in
+  if fanout.jobs <= 1 then fallback "jobs <= 1"
+  else if List.length m.Lmodule.funcs <= 1 then
+    fallback "module has at most one function"
+  else
+    let eff = Effects.summarize m in
+    match Parsafe.check ~effects:eff m with
+    | Parsafe.Unsafe cs ->
+        fallback
+          (String.concat "; " (List.map Parsafe.conflict_to_string cs))
+    | Parsafe.Safe -> (
+        match split_func_local passes with
+        | _, [] -> fallback "no function-local pass tail"
+        | prologue, tail ->
+            let m1, ts1 = run_pipeline ~verify ~trace prologue m in
+            (* Workers verify their function once after the whole tail,
+               against [m1] (tail passes are function-local, so callee
+               signatures never move): per-pass whole-module
+               re-verification is the sequential path's attribution
+               aid, and paying it n times per pass here would cost more
+               than the fan-out wins back. *)
+            let worker (f : Lmodule.func) =
+              let am = Analysis.create () in
+              let timings = ref [] in
+              let f =
+                List.fold_left
+                  (fun f p ->
+                    let fr = Option.get p.fn_run in
+                    let t0 = fanout.now () in
+                    let f' = fr am f in
+                    let t1 = fanout.now () in
+                    timings :=
+                      { pass_name = p.name; seconds = t1 -. t0 } :: !timings;
+                    Analysis.keep am ~preserves:p.preserves
+                      { m1 with Lmodule.funcs = [ f' ] };
+                    f')
+                  f tail
+              in
+              if verify then Lverifier.verify_func ~am m1 f;
+              (f, List.rev !timings)
+            in
+            let t0 = Sys.time () in
+            let results = fanout.map worker m1.Lmodule.funcs in
+            let wall = Sys.time () -. t0 in
+            let funcs = List.map fst results in
+            let m2 = { m1 with Lmodule.funcs = funcs } in
+            (* per-pass worker clock aggregated across functions *)
+            let agg =
+              List.map
+                (fun p ->
+                  {
+                    pass_name = p.name;
+                    seconds =
+                      List.fold_left
+                        (fun a (_, ts) ->
+                          List.fold_left
+                            (fun a t ->
+                              if t.pass_name = p.name then a +. t.seconds
+                              else a)
+                            a ts)
+                        0.0 results;
+                  })
+                tail
+            in
+            trace
+              (Support.Tracing.event ~stage:"llvm-opt" ~pass:"parallel-tail"
+                 ~seconds:wall
+                 ~before:(Lmodule.instr_count m1)
+                 ~after:(Lmodule.instr_count m2));
+            (m2, ts1 @ agg, Ran_parallel (List.length funcs)))
 
 let by_name = function
   | "inline" -> Some inline

@@ -9,13 +9,21 @@
     CFG-preserving stretch of the pipeline computes the CFG, dominator
     tree and loop nest once.  A pass that preserves nothing must
     declare [preserves = []] — over-declaring breaks the rebase
-    contract documented on {!Cfg.rebase}. *)
+    contract documented on {!Cfg.rebase}.
+
+    Passes that transform one function at a time additionally expose
+    their per-function entry as [fn_run]; {!run_pipeline_parallel}
+    fans such a pass tail out across worker domains when {!Parsafe}
+    proves the module race-free. *)
 
 type pass = {
   name : string;
   preserves : Analysis.kind list;
       (** analyses still valid (after rebase) on this pass's output *)
   run : Analysis.t -> Lmodule.t -> Lmodule.t;
+  fn_run : (Analysis.t -> Lmodule.func -> Lmodule.func) option;
+      (** function-local entry ([run] must equal mapping it over the
+          module's functions); [None] for module-level passes *)
 }
 
 val inline : pass
@@ -43,5 +51,58 @@ val run_pipeline :
   pass list ->
   Lmodule.t ->
   Lmodule.t * timing list
+
+(** How to fan function-local work out, supplied by the caller (the
+    driver's domain pool — this library stays below the driver in the
+    layering).  [map] must preserve input order and apply its callback
+    exactly once per element.  [now] is a wall clock for worker-side
+    timings: [Sys.time] measures whole-process CPU time and would
+    over-count under parallel domains. *)
+type fanout = {
+  jobs : int;
+  now : unit -> float;
+  map :
+    (Lmodule.func -> Lmodule.func * timing list) ->
+    Lmodule.func list ->
+    (Lmodule.func * timing list) list;
+}
+
+(** Sequential stand-in fanout ([jobs = 1], [List.map], [Sys.time]). *)
+val inline_fanout : fanout
+
+type par_status =
+  | Ran_parallel of int
+      (** function-local tail fanned out over this many functions *)
+  | Fell_back of string  (** sequential, and why *)
+
+val par_status_to_string : par_status -> string
+
+(** Longest suffix of the pipeline in which every pass has a [fn_run]
+    entry, and the module-level prologue before it.  Exposed for tests
+    and diagnostics. *)
+val split_func_local : pass list -> pass list * pass list
+
+(** Like {!run_pipeline}, but when {!Parsafe.check} proves the module
+    race-free, the function-local pass tail runs per function on
+    [fanout] (the module-level prologue — inlining — stays
+    sequential).  Output is byte-identical to {!run_pipeline} for any
+    worker count.  Falls back to the full sequential pipeline (with
+    the reason in the status) when [fanout.jobs <= 1], the module has
+    at most one function, the verdict is [Unsafe], or no pass in the
+    pipeline tail is function-local.
+
+    With [~verify:true], the prologue keeps the sequential per-pass
+    whole-module verification, while each worker verifies its function
+    once after the full tail — a tail miscompile is still caught
+    before the module is reassembled, but is attributed to the tail as
+    a whole rather than to one pass (re-run sequentially to
+    bisect). *)
+val run_pipeline_parallel :
+  ?verify:bool ->
+  ?trace:Support.Tracing.hook ->
+  fanout:fanout ->
+  pass list ->
+  Lmodule.t ->
+  Lmodule.t * timing list * par_status
 
 val by_name : string -> pass option

@@ -172,6 +172,100 @@ let test_adaptor_complete_list () =
       Alcotest.(check bool) "only error severities block" true
         (Diag.errors ds > 0)
 
+(* --- HLS008/HLS009/HLS010: alias & effect rules ------------------- *)
+
+(* %A is partitioned but also stored through a phi-selected pointer
+   the alias oracle cannot attribute to a single array *)
+let aliased_partition =
+  {|define void @top([64 x float]* %A attrs(fpga.partition.factor = "4"), [64 x float]* %B, i1 %c) {
+entry:
+  br i1 %c, label %l, label %r
+l:
+  br label %j
+r:
+  br label %j
+j:
+  %ptr = phi [64 x float]* [ %A, %l ], [ %B, %r ]
+  %pl = getelementptr inbounds [64 x float], [64 x float]* %A, i64 0, i64 0
+  %v = load float, float* %pl
+  %ps = getelementptr inbounds [64 x float], [64 x float]* %ptr, i64 0, i64 1
+  store float %v, float* %ps
+  ret void
+}|}
+
+let test_aliased_partition () =
+  let ds = Hls_backend.Lint.run ~top:"top" (parse aliased_partition) in
+  Alcotest.(check bool) "HLS008 fires" true (has_rule "HLS008" ds);
+  let d = List.find (fun d -> d.Diag.rule = "HLS008") ds in
+  Alcotest.(check (option string)) "names the partitioned array" (Some "A")
+    d.Diag.location;
+  (* direct accesses only: the directive is fine *)
+  let clean =
+    parse
+      {|define void @top([64 x float]* %A attrs(fpga.partition.factor = "4")) {
+entry:
+  %pl = getelementptr inbounds [64 x float], [64 x float]* %A, i64 0, i64 0
+  %v = load float, float* %pl
+  %ps = getelementptr inbounds [64 x float], [64 x float]* %A, i64 0, i64 1
+  store float %v, float* %ps
+  ret void
+}|}
+  in
+  Alcotest.(check bool) "direct accesses, no HLS008" false
+    (has_rule "HLS008" (Hls_backend.Lint.run ~top:"top" clean))
+
+let shared_global =
+  {|@acc = global i64 0
+define void @bump_a(i64 %x) {
+entry:
+  %v = load i64, i64* @acc
+  %w = add i64 %v, %x
+  store i64 %w, i64* @acc
+  ret void
+}
+define void @bump_b(i64 %x) {
+entry:
+  %v = load i64, i64* @acc
+  %w = mul i64 %v, %x
+  store i64 %w, i64* @acc
+  ret void
+}|}
+
+let test_global_conflict () =
+  let ds = Hls_backend.Lint.run (parse shared_global) in
+  Alcotest.(check bool) "HLS009 fires" true (has_rule "HLS009" ds);
+  let d = List.find (fun d -> d.Diag.rule = "HLS009") ds in
+  Alcotest.(check bool) "message names both writers and the global" true
+    (Str_find.contains d.Diag.message "@bump_a"
+    && Str_find.contains d.Diag.message "@bump_b"
+    && Str_find.contains d.Diag.message "@acc")
+
+let unknown_callee =
+  {|declare void @mystery(i64)
+define void @helper(i64 %n) {
+entry:
+  ret void
+}
+define void @top(i64 %n) {
+entry:
+  call void @helper(i64 %n)
+  call void @mystery(i64 %n)
+  ret void
+}|}
+
+let test_unknown_callee () =
+  let ds = Hls_backend.Lint.run ~top:"top" (parse unknown_callee) in
+  let d10 = List.filter (fun d -> d.Diag.rule = "HLS010") ds in
+  Alcotest.(check int) "exactly the undefined callee flagged" 1
+    (List.length d10);
+  Alcotest.(check bool) "message names @mystery" true
+    (Str_find.contains (List.hd d10).Diag.message "@mystery")
+
+let test_kernels_clean_on_new_rules () =
+  let ds = lint_gemm ~ii:4 ~only:[ "HLS008"; "HLS009"; "HLS010" ] () in
+  Alcotest.(check int) "gemm clean under the alias/effect rules" 0
+    (Diag.exit_code ds)
+
 (* --- diag engine unit checks -------------------------------------- *)
 
 let test_diag_engine () =
@@ -212,5 +306,11 @@ let suite =
     Alcotest.test_case "compat rules" `Quick test_compat_rules;
     Alcotest.test_case "adaptor complete list" `Quick
       test_adaptor_complete_list;
+    Alcotest.test_case "aliased partition (HLS008)" `Quick
+      test_aliased_partition;
+    Alcotest.test_case "global conflict (HLS009)" `Quick test_global_conflict;
+    Alcotest.test_case "unknown callee (HLS010)" `Quick test_unknown_callee;
+    Alcotest.test_case "kernels clean on new rules" `Quick
+      test_kernels_clean_on_new_rules;
     Alcotest.test_case "diag engine" `Quick test_diag_engine;
   ]

@@ -13,6 +13,7 @@ let () =
       ("llvm-analyses", Test_llvm_analyses.suite);
       ("dataflow", Test_dataflow.suite);
       ("memdep", Test_memdep.suite);
+      ("alias", Test_alias.suite);
       ("verifier-neg", Test_verifier_neg.suite);
       ("llvmir-extra", Test_llvmir_extra.suite);
       ("findex", Test_findex.suite);

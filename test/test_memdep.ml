@@ -139,6 +139,55 @@ let test_unknown_offset () =
   Alcotest.(check bool) "symbolic offset is unknown" true
     (List.mem Memdep.Unknown vs)
 
+(* store through a phi-selected pointer (unknown base) next to a load
+   from %A: symbol equality alone would silently treat them as
+   independent; the alias oracle pairs them and reports Unknown *)
+let phi_ptr_fn =
+  {|define void @k([64 x float]* %A, [64 x float]* %B, i1 %c) {
+entry:
+  br i1 %c, label %l, label %r
+l:
+  br label %h0
+r:
+  br label %h0
+h0:
+  %ptr = phi [64 x float]* [ %A, %l ], [ %B, %r ]
+  br label %h
+h:
+  %i = phi i64 [ 0, %h0 ], [ %i.next, %b ]
+  %cc = icmp slt i64 %i, 64
+  br i1 %cc, label %b, label %x
+b:
+  %pl = getelementptr inbounds [64 x float], [64 x float]* %A, i64 0, i64 %i
+  %v = load float, float* %pl
+  %ps = getelementptr inbounds [64 x float], [64 x float]* %ptr, i64 0, i64 %i
+  store float %v, float* %ps
+  %i.next = add i64 %i, 1
+  br label %h
+x:
+  ret void
+}|}
+
+let test_phi_pointer_pairs () =
+  let cfg, li = analyze phi_ptr_fn in
+  (* the loop over %i is the innermost loop *)
+  let j =
+    Array.to_list li.Loop_info.loops
+    |> List.mapi (fun j l -> (j, l.Loop_info.depth))
+    |> List.fold_left
+         (fun (bj, bd) (j, d) -> if d > bd then (j, d) else (bj, bd))
+         (0, 0)
+    |> fst
+  in
+  let deps = Memdep.analyze_loop cfg li j in
+  Alcotest.(check bool)
+    "load %A paired with store through phi pointer, verdict unknown" true
+    (List.exists
+       (fun d ->
+         d.Memdep.dep_verdict = Memdep.Unknown
+         && d.Memdep.dep_src.Memdep.acc_array <> d.Memdep.dep_dst.Memdep.acc_array)
+       deps)
+
 (* GEMM-style inner loop: A and B are only loaded, the accumulation is
    in a register — no memory dependence at all w.r.t. the k-loop *)
 let test_gemm_inner_loop () =
@@ -214,6 +263,8 @@ let suite =
       test_independent_interleave;
     Alcotest.test_case "distinct arrays" `Quick test_distinct_arrays;
     Alcotest.test_case "unknown symbolic offset" `Quick test_unknown_offset;
+    Alcotest.test_case "phi pointer pairs across arrays" `Quick
+      test_phi_pointer_pairs;
     Alcotest.test_case "gemm inner loop clean" `Quick test_gemm_inner_loop;
     Alcotest.test_case "seidel carried dep" `Quick test_seidel_carried;
   ]
