@@ -3,7 +3,8 @@
     Subcommands:
     - [list]     enumerate the built-in kernels;
     - [emit]     print a kernel's IR at any stage of either flow;
-    - [synth]    run a flow end-to-end and print the synthesis report;
+    - [synth]    run a flow end-to-end and print the synthesis report
+                 ([compile] is an alias);
     - [compare]  run both flows and compare QoR;
     - [cosim]    three-way functional co-simulation;
     - [adapt]    run the adaptor on an .ll file (our textual dialect);
@@ -11,16 +12,40 @@
     - [batch]    compile a set of jobs in parallel with result caching;
     - [dse]      explore the directive design space;
     - [opt]      run the LLVM pass pipeline, optionally
-                 parallel-by-function behind the static safety checker.
+                 parallel-by-function behind the static safety checker;
+    - [serve]    long-lived compile daemon over a Unix socket;
+    - [client]   send one protocol request to a running daemon.
 
-    This executable is the {e exception boundary}: the libraries report
-    failures as [result] values ({!Adaptor.run}, {!Flow.run}); only
-    here are they rendered and turned into exit codes. *)
+    This file is a {e thin argv layer}: every subcommand parses flags
+    into the typed requests of {!Mhls_serve.Protocol} (or the local
+    request types of {!Mhls_cli.Handlers}) and calls the same pure
+    handlers the [serve] dispatcher uses; responses are printed via
+    {!Mhls_cli.Render}.  Only here are [result] errors rendered and
+    turned into exit codes. *)
 
 open Cmdliner
 module K = Workloads.Kernels
-module E = Hls_backend.Estimate
 module D = Mhls_driver.Driver
+module P = Mhls_serve.Protocol
+module H = Mhls_cli.Handlers
+module R = Mhls_cli.Render
+
+(* ------------------------------------------------------------------ *)
+(* Error rendering: the exception/exit boundary                       *)
+(* ------------------------------------------------------------------ *)
+
+let die (ds : Support.Diag.t list) : 'a =
+  prerr_string (Support.Diag.render ds);
+  exit (Support.Diag.exit_code ds)
+
+let ok_or_die = function Ok v -> v | Error ds -> die ds
+
+let find_kernel name =
+  match K.by_name name with
+  | Some k -> k
+  | None ->
+      Printf.eprintf "unknown kernel %s; try `mhlsc list`\n" name;
+      exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                   *)
@@ -38,7 +63,7 @@ let strategy_arg =
   let doc = "Directive strategy: $(b,inner) pipelines the reduction loop; \
              $(b,middle) pipelines the second-innermost loop and fully \
              unrolls the reduction." in
-  Arg.(value & opt (enum [ ("inner", K.Inner); ("middle", K.Middle) ]) K.Inner
+  Arg.(value & opt (enum [ ("inner", "inner"); ("middle", "middle") ]) "inner"
        & info [ "strategy" ] ~docv:"S" ~doc)
 
 let unroll_arg =
@@ -57,35 +82,18 @@ let clock_arg =
 let flow_arg =
   let doc = "Flow: $(b,direct) (MLIR->LLVM IR->adaptor, the paper's \
              proposal) or $(b,cpp) (MLIR->HLS C++->Clang, the baseline)." in
-  Arg.(value & opt (enum [ ("direct", Flow.Direct_ir); ("cpp", Flow.Hls_cpp) ])
-         Flow.Direct_ir
+  Arg.(value & opt (enum [ ("direct", "direct"); ("cpp", "cpp") ]) "direct"
        & info [ "flow" ] ~docv:"FLOW" ~doc)
 
-let parse_partitions specs =
-  List.map
-    (fun spec ->
-      match String.split_on_char ':' spec with
-      | [ a; kind; f; d ] -> (
-          match (int_of_string_opt f, int_of_string_opt d) with
-          | Some f, Some d -> (a, kind, f, d)
-          | _ -> failwith ("bad partition spec: " ^ spec))
-      | _ -> failwith ("bad partition spec: " ^ spec))
-    specs
-
-let directives_of ~pipeline ~strategy ~unroll ~partitions =
+(** Directive flags to the protocol's directive record ([ii <= 0]
+    disables pipelining inside the handler). *)
+let directives_of ~pipeline ~strategy ~unroll ~partitions : P.directives =
   {
-    K.pipeline_ii = (if pipeline <= 0 then None else Some pipeline);
-    K.unroll;
-    K.strategy;
-    K.partitions = parse_partitions partitions;
+    P.d_ii = Some pipeline;
+    d_unroll = unroll;
+    d_strategy = strategy;
+    d_partitions = ok_or_die (H.parse_partitions partitions);
   }
-
-let find_kernel name =
-  match K.by_name name with
-  | Some k -> k
-  | None ->
-      Printf.eprintf "unknown kernel %s; try `mhlsc list`\n" name;
-      exit 1
 
 (* Adaptor pass-pipeline flags, shared by adapt / lint / synth / batch *)
 
@@ -100,40 +108,29 @@ let disable_pass_arg =
   let doc = "Disable one adaptor pass by name (repeatable)." in
   Arg.(value & opt_all string [] & info [ "disable-pass" ] ~docv:"NAME" ~doc)
 
-(** Resolve the pipeline flags; unknown pass names exit with an
-    HLS-style diagnostic (rule HLS900), not a stack trace. *)
-let pipeline_of_flags ?top ?(strict = true) ~passes ~disable () :
-    Adaptor.Pipeline.t =
-  let or_die = function
-    | Ok p -> p
-    | Error d ->
-        prerr_string (Support.Diag.render [ d ]);
-        exit (Support.Diag.exit_code [ d ])
+let split_passes = Option.map (String.split_on_char ',')
+
+let jobs_arg =
+  let doc = "Worker domains to compile on (1 = sequential)." in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let cache_dir_arg =
+  let doc =
+    "Result cache directory (content-addressed; safe to share between \
+     runs).  Pass the empty string to disable caching."
   in
-  let base =
-    match passes with
-    | None ->
-        { Adaptor.Pipeline.default with Adaptor.Pipeline.top; strict }
-    | Some spec ->
-        or_die
-          (Adaptor.Pipeline.of_names ?top ~strict
-             (String.split_on_char ',' spec))
-  in
-  List.fold_left
-    (fun p name -> or_die (Adaptor.Pipeline.disable name p))
-    base disable
+  Arg.(value & opt string ".mhlsc-cache" & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let cache_dir_opt dir = if dir = "" then None else Some dir
+
+let read_file path = In_channel.with_open_text path In_channel.input_all
 
 (* ------------------------------------------------------------------ *)
 (* list                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let list_cmd =
-  let run () =
-    List.iter
-      (fun k ->
-        Printf.printf "%-10s %s\n" k.K.kname k.K.description)
-      (K.all ())
-  in
+  let run () = print_string (R.kernel_list (H.list_kernels ())) in
   Cmd.v (Cmd.info "list" ~doc:"List the built-in benchmark kernels.")
     Term.(const run $ const ())
 
@@ -145,32 +142,16 @@ let stage_arg =
   let doc = "IR stage to print: mhir, mhir-generic, llvm (modern), \
              adapted (HLS-ready), or cpp (baseline C++)." in
   Arg.(value & opt (enum
-         [ ("mhir", `Mhir); ("mhir-generic", `Mhir_generic);
-           ("llvm", `Llvm); ("adapted", `Adapted); ("cpp", `Cpp) ]) `Adapted
+         [ ("mhir", H.Mhir); ("mhir-generic", H.Mhir_generic);
+           ("llvm", H.Llvm); ("adapted", H.Adapted); ("cpp", H.Cpp) ])
+         H.Adapted
        & info [ "stage" ] ~docv:"STAGE" ~doc)
 
 let emit_cmd =
   let run kernel stage pipeline strategy unroll partitions =
     let k = find_kernel kernel in
-    let d = directives_of ~pipeline ~strategy ~unroll ~partitions in
-    let m = k.K.build d in
-    match stage with
-    | `Mhir -> print_string (Mhir.Printer.module_to_string m)
-    | `Mhir_generic ->
-        print_string (Mhir.Printer.module_to_string ~generic:true m)
-    | `Llvm ->
-        let lm = Lowering.Lower.lower_module (Mhir.Canonicalize.run m) in
-        let lm = fst (Llvmir.Pass.run_pipeline Llvmir.Pass.default_pipeline lm) in
-        print_string (Llvmir.Lprinter.module_to_string lm)
-    | `Adapted -> (
-        match Flow.direct_ir_frontend m with
-        | Ok (lm, _, _) -> print_string (Llvmir.Lprinter.module_to_string lm)
-        | Error ds ->
-            prerr_string (Support.Diag.render ds);
-            exit (Support.Diag.exit_code ds))
-    | `Cpp ->
-        let _, cpp, _ = Flow.hls_cpp_frontend m in
-        print_string cpp
+    let directives = directives_of ~pipeline ~strategy ~unroll ~partitions in
+    print_string (ok_or_die (H.emit ~kernel:k.K.kname ~stage ~directives))
   in
   Cmd.v
     (Cmd.info "emit" ~doc:"Print a kernel's IR at a chosen stage.")
@@ -178,40 +159,50 @@ let emit_cmd =
           $ unroll_arg $ partition_arg)
 
 (* ------------------------------------------------------------------ *)
-(* synth                                                              *)
+(* synth (and its service-speak alias, compile)                       *)
 (* ------------------------------------------------------------------ *)
 
+let synth_run kernel flow pipeline strategy unroll partitions clock verbose
+    passes disable =
+  let k = find_kernel kernel in
+  let req =
+    {
+      P.c_kernel = k.K.kname;
+      c_flow = flow;
+      c_directives = directives_of ~pipeline ~strategy ~unroll ~partitions;
+      c_clock_ns = clock;
+      c_passes = split_passes passes;
+      c_disable = disable;
+    }
+  in
+  let env = H.create_env () in
+  Fun.protect
+    ~finally:(fun () -> H.close_env env)
+    (fun () ->
+      let resp =
+        ok_or_die (H.compile env ~trace:Support.Tracing.null req)
+      in
+      print_string (R.compile ~verbose resp))
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the adaptor report.")
+
+let synth_term =
+  Term.(const synth_run $ kernel_arg $ flow_arg $ pipeline_arg $ strategy_arg
+        $ unroll_arg $ partition_arg $ clock_arg $ verbose_arg $ passes_arg
+        $ disable_pass_arg)
+
 let synth_cmd =
-  let run kernel flow pipeline strategy unroll partitions clock verbose passes
-      disable =
-    let k = find_kernel kernel in
-    let d = directives_of ~pipeline ~strategy ~unroll ~partitions in
-    let adaptor_pipeline =
-      pipeline_of_flags ~top:k.K.kname ~passes ~disable ()
-    in
-    match
-      Flow.run ~directives:d ~pipeline:adaptor_pipeline ~clock_ns:clock k flow
-    with
-    | Error ds ->
-        prerr_string (Support.Diag.render ds);
-        exit (Support.Diag.exit_code ds)
-    | Ok r ->
-        Printf.printf "kernel: %s   flow: %s   front-end: %.1f ms\n" k.K.kname
-          (Flow.flow_name r.Flow.kind)
-          (r.Flow.seconds *. 1000.0);
-        (match (verbose, r.Flow.adaptor_report) with
-        | true, Some rep -> print_string (Adaptor.report_to_string rep)
-        | _ -> ());
-        print_string (Hls_backend.Report.render r.Flow.hls)
-  in
-  let verbose =
-    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the adaptor report.")
-  in
   Cmd.v
     (Cmd.info "synth" ~doc:"Run one flow end-to-end and print the synthesis report.")
-    Term.(const run $ kernel_arg $ flow_arg $ pipeline_arg $ strategy_arg
-          $ unroll_arg $ partition_arg $ clock_arg $ verbose $ passes_arg
-          $ disable_pass_arg)
+    synth_term
+
+let compile_cmd =
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Alias of $(b,synth): the same compile job the serve protocol \
+             runs, named like the service request.")
+    synth_term
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                            *)
@@ -220,21 +211,11 @@ let synth_cmd =
 let compare_cmd =
   let run kernel pipeline strategy unroll partitions clock =
     let k = find_kernel kernel in
-    let d = directives_of ~pipeline ~strategy ~unroll ~partitions in
-    let c = Flow.compare_flows ~directives:d ~clock_ns:clock k in
-    Printf.printf "%-12s %12s %12s\n" "" "direct-IR" "HLS C++";
-    Printf.printf "%-12s %12d %12d\n" "latency" c.Flow.direct.Flow.hls.E.latency
-      c.Flow.cpp.Flow.hls.E.latency;
-    Printf.printf "%-12s %12d %12d\n" "BRAM"
-      c.Flow.direct.Flow.hls.E.resources.E.bram
-      c.Flow.cpp.Flow.hls.E.resources.E.bram;
-    Printf.printf "%-12s %12d %12d\n" "DSP"
-      c.Flow.direct.Flow.hls.E.resources.E.dsp
-      c.Flow.cpp.Flow.hls.E.resources.E.dsp;
-    Printf.printf "%-12s %12.1f %12.1f\n" "time (ms)"
-      (c.Flow.direct.Flow.seconds *. 1000.0)
-      (c.Flow.cpp.Flow.seconds *. 1000.0);
-    Printf.printf "latency ratio (cpp/direct): %.3f\n" (Flow.latency_ratio c)
+    let directives = directives_of ~pipeline ~strategy ~unroll ~partitions in
+    print_string
+      (R.compare
+         (ok_or_die
+            (H.compare_kernel ~kernel:k.K.kname ~directives ~clock_ns:clock)))
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Run both flows and compare QoR.")
@@ -248,15 +229,10 @@ let compare_cmd =
 let cosim_cmd =
   let run kernel pipeline strategy unroll partitions =
     let k = find_kernel kernel in
-    let d = directives_of ~pipeline ~strategy ~unroll ~partitions in
-    let cs = Flow.cosim ~directives:d k in
-    if cs.Flow.ok then
-      Printf.printf "cosim PASS (max relative error %.2e)\n" cs.Flow.max_abs_error
-    else begin
-      Printf.printf "cosim FAIL\n";
-      List.iter print_endline cs.Flow.details;
-      exit 1
-    end
+    let directives = directives_of ~pipeline ~strategy ~unroll ~partitions in
+    let cs = ok_or_die (H.cosim ~kernel:k.K.kname ~directives) in
+    print_string (R.cosim cs);
+    if not cs.Flow.ok then exit 1
   in
   Cmd.v
     (Cmd.info "cosim"
@@ -275,18 +251,13 @@ let adapt_cmd =
          & info [] ~docv:"FILE.ll" ~doc:"LLVM IR file (this tool's dialect).")
   in
   let run file strict passes disable =
-    let src = In_channel.with_open_text file In_channel.input_all in
-    let m = Llvmir.Lparser.parse_module src in
-    Llvmir.Lverifier.verify_module m;
-    let pipeline = pipeline_of_flags ~strict ~passes ~disable () in
-    match Adaptor.run ~pipeline m with
-    | Ok (m', report) ->
-        prerr_string (Adaptor.report_to_string report);
-        print_string (Llvmir.Lprinter.module_to_string m')
-    | Error ds ->
-        (* strict gate: the complete accumulated diagnostic list *)
-        prerr_string (Support.Diag.render ds);
-        exit (Support.Diag.exit_code ds)
+    let r =
+      ok_or_die
+        (H.adapt ~source:(read_file file) ~strict
+           ~passes:(split_passes passes) ~disable ())
+    in
+    prerr_string r.H.a_report;
+    print_string r.H.a_ir
   in
   let strict =
     Arg.(value & flag & info [ "strict" ]
@@ -301,30 +272,6 @@ let adapt_cmd =
 (* ------------------------------------------------------------------ *)
 (* lint                                                               *)
 (* ------------------------------------------------------------------ *)
-
-(** One row per rule, from the single source of truth
-    ({!Hls_backend.Lint.catalog}). *)
-let render_rule_list ~json =
-  let cat = Hls_backend.Lint.catalog in
-  if json then
-    Printf.sprintf "[%s]\n"
-      (String.concat ", "
-         (List.map
-            (fun (id, sev, summary) ->
-              Printf.sprintf
-                "{\"id\": \"%s\", \"severity\": \"%s\", \"summary\": \"%s\"}"
-                id
-                (Support.Diag.severity_name sev)
-                summary)
-            cat))
-  else
-    String.concat ""
-      (List.map
-         (fun (id, sev, summary) ->
-           Printf.sprintf "%-8s %-8s %s\n" id
-             (Support.Diag.severity_name sev)
-             summary)
-         cat)
 
 let lint_cmd =
   let target =
@@ -361,7 +308,7 @@ let lint_cmd =
   let run target list_rules json werror top rules pipeline strategy unroll
       partitions passes disable =
     if list_rules then begin
-      print_string (render_rule_list ~json);
+      print_string (R.rule_list ~json);
       exit 0
     end;
     let target =
@@ -371,23 +318,23 @@ let lint_cmd =
           prerr_endline "lint: need a TARGET (or --list-rules)";
           exit 2
     in
-    let only = Option.map (String.split_on_char ',') rules in
-    let diags =
-      if Sys.file_exists target then
-        let src = In_channel.with_open_text target In_channel.input_all in
-        match Llvmir.Lparser.parse_module src with
-        | m -> Hls_backend.Lint.run ?only ~werror ?top m
-        | exception Support.Err.Compile_error e ->
-            [ Support.Diag.of_err ~rule:"HLS000" e ]
-      else
-        let k = find_kernel target in
-        let d = directives_of ~pipeline ~strategy ~unroll ~partitions in
-        let adaptor_pipeline =
-          pipeline_of_flags ~top:k.K.kname ~passes ~disable ()
-        in
-        Flow.lint_kernel ~directives:d ~pipeline:adaptor_pipeline ?only
-          ~werror k
+    let l_kernel, l_source =
+      if Sys.file_exists target then (None, Some (read_file target))
+      else (Some (find_kernel target).K.kname, None)
     in
+    let req =
+      {
+        P.l_kernel;
+        l_source;
+        l_directives = directives_of ~pipeline ~strategy ~unroll ~partitions;
+        l_rules = split_passes rules;
+        l_werror = werror;
+        l_top = top;
+        l_passes = split_passes passes;
+        l_disable = disable;
+      }
+    in
+    let diags = (ok_or_die (H.lint req)).P.lr_diags in
     if json then print_endline (Support.Diag.to_json diags)
     else print_string (Support.Diag.render diags);
     exit (Support.Diag.exit_code diags)
@@ -418,34 +365,15 @@ let synth_mlir_cmd =
              ~doc:"Top function (default: the first function).")
   in
   let run file top flow clock verbose =
-    let src = In_channel.with_open_text file In_channel.input_all in
-    let m = Mhir.Parser.parse_module src in
-    Mhir.Verifier.verify_module m;
-    let top =
-      match (top, m.Mhir.Ir.funcs) with
-      | Some t, _ -> t
-      | None, f :: _ -> f.Mhir.Ir.fname
-      | None, [] ->
-          prerr_endline "module has no functions";
-          exit 1
+    let flow =
+      match flow with "cpp" -> Flow.Hls_cpp | _ -> Flow.Direct_ir
     in
-    let lm =
-      match flow with
-      | Flow.Direct_ir -> (
-          match Flow.direct_ir_frontend m with
-          | Ok (lm, report, _) ->
-              if verbose then prerr_string (Adaptor.report_to_string report);
-              lm
-          | Error ds ->
-              prerr_string (Support.Diag.render ds);
-              exit (Support.Diag.exit_code ds))
-      | Flow.Hls_cpp ->
-          let lm, cpp, _ = Flow.hls_cpp_frontend m in
-          if verbose then prerr_string cpp;
-          lm
+    let r =
+      ok_or_die
+        (H.synth_mlir ~source:(read_file file) ~top ~flow ~clock_ns:clock ())
     in
-    let r = Hls_backend.Estimate.synthesize ~clock_ns:clock ~top lm in
-    print_string (Hls_backend.Report.render r)
+    if verbose then prerr_string r.H.sm_aux;
+    print_string r.H.sm_report
   in
   let verbose =
     Arg.(value & flag
@@ -462,45 +390,32 @@ let synth_mlir_cmd =
 (* dse                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let jobs_arg =
-  let doc = "Worker domains to compile on (1 = sequential)." in
-  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
-
-let cache_dir_arg =
-  let doc =
-    "Result cache directory (content-addressed; safe to share between \
-     runs).  Pass the empty string to disable caching."
-  in
-  Arg.(value & opt string ".mhlsc-cache" & info [ "cache-dir" ] ~docv:"DIR" ~doc)
-
-let cache_dir_opt dir = if dir = "" then None else Some dir
-
 let dse_cmd =
-  let module S = Mhls_dse.Search in
   let run kernel max_evals rounds stable budget_bram budget_dsp budget_lut
       jobs cache_dir clock out =
     let k = find_kernel kernel in
-    let params =
+    let req =
       {
-        S.max_evals;
-        S.max_rounds = rounds;
-        S.stable_rounds = stable;
-        S.budget =
-          {
-            S.b_max_bram = budget_bram;
-            S.b_max_dsp = budget_dsp;
-            S.b_max_lut = budget_lut;
-          };
-        S.clock_ns = clock;
+        P.ds_kernel = k.K.kname;
+        ds_max_evals = Some max_evals;
+        ds_rounds = Some rounds;
+        ds_stable = Some stable;
+        ds_budget_bram = budget_bram;
+        ds_budget_dsp = budget_dsp;
+        ds_budget_lut = budget_lut;
+        ds_clock_ns = clock;
       }
     in
-    let o =
-      S.search ~params ~jobs ?cache_dir:(cache_dir_opt cache_dir) k
+    let r =
+      ok_or_die
+        (H.dse ?cache_dir:(cache_dir_opt cache_dir) ~jobs
+           ~trace:Support.Tracing.null req)
     in
-    print_string (S.render o);
+    print_string r.P.dr_report;
     (match out with
     | Some path ->
-        Mhls_dse.Dse_json.write_file ~tool:D.tool_version path o;
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc r.P.dr_json);
         (* validate what we just wrote, so a green exit implies a
            schema-conforming export (CI asserts on this) *)
         (match Mhls_dse.Dse_json.validate_file path with
@@ -509,12 +424,9 @@ let dse_cmd =
             Printf.eprintf "dse.json: %s\n" e;
             exit 1)
     | None -> ());
-    match S.best o with
-    | Some best ->
-        Printf.printf "\nbest: %s (%d cycles)\n" best.S.pt_label
-          best.S.pt_report.E.latency
-    | None -> print_endline "\nno feasible design point under this budget"
+    print_string (R.dse_best r)
   in
+  let module S = Mhls_dse.Search in
   let max_evals =
     Arg.(value & opt int S.default_params.S.max_evals
          & info [ "max-evals" ] ~docv:"N"
@@ -589,28 +501,17 @@ let batch_cmd =
   in
   let run manifest all_kernels both_flows jobs cache_dir trace_out clock
       passes disable =
-    let pipeline = pipeline_of_flags ~passes ~disable () in
-    let js =
-      match (manifest, all_kernels) with
-      | Some file, _ -> (
-          let text = In_channel.with_open_text file In_channel.input_all in
-          match D.parse_manifest text with
-          | Ok js -> js
-          | Error d ->
-              prerr_string (Support.Diag.render [ d ]);
-              exit (Support.Diag.exit_code [ d ]))
-      | None, true ->
-          let flows =
-            if both_flows then [ Flow.Direct_ir; Flow.Hls_cpp ]
-            else [ Flow.Direct_ir ]
-          in
-          D.all_kernel_jobs ~flows ~clock_ns:clock ()
-      | None, false ->
-          prerr_endline "batch: need a MANIFEST file or --all-kernels";
-          exit 2
-    in
+    if manifest = None && not all_kernels then begin
+      prerr_endline "batch: need a MANIFEST file or --all-kernels";
+      exit 2
+    end;
     let b =
-      D.run_batch ~pipeline ?cache_dir:(cache_dir_opt cache_dir) ~jobs js
+      ok_or_die
+        (H.batch
+           ~manifest:(Option.map read_file manifest)
+           ~all_kernels ~both_flows ~jobs
+           ~cache_dir:(cache_dir_opt cache_dir) ~clock_ns:clock
+           ~passes:(split_passes passes) ~disable ())
     in
     print_string (D.render b);
     (match trace_out with
@@ -643,7 +544,6 @@ let batch_cmd =
 (* ------------------------------------------------------------------ *)
 
 let opt_cmd =
-  let module P = Llvmir.Pass in
   let file =
     Arg.(value & pos 0 (some file) None
          & info [] ~docv:"FILE.ll"
@@ -688,64 +588,39 @@ let opt_cmd =
          & info [ "json" ] ~doc:"With $(b,--parsafe): emit the verdict as JSON.")
   in
   let run file synth_n parallel llvm_passes jobs out parsafe json =
-    let m =
-      match (file, synth_n) with
-      | Some _, Some _ ->
-          prerr_endline "opt: FILE.ll and --synth are mutually exclusive";
-          exit 2
-      | Some f, None -> (
-          let src = In_channel.with_open_text f In_channel.input_all in
-          match Llvmir.Lparser.parse_module src with
-          | m ->
-              Llvmir.Lverifier.verify_module m;
-              m
-          | exception Support.Err.Compile_error e ->
-              prerr_string
-                (Support.Diag.render [ Support.Diag.of_err ~rule:"HLS000" e ]);
-              exit 2)
-      | None, Some n -> Mhls_driver.Synth.many_kernels ~n
-      | None, None ->
-          prerr_endline "opt: need FILE.ll or --synth N";
-          exit 2
+    (match (file, synth_n) with
+    | Some _, Some _ ->
+        prerr_endline "opt: FILE.ll and --synth are mutually exclusive";
+        exit 2
+    | None, None ->
+        prerr_endline "opt: need FILE.ll or --synth N";
+        exit 2
+    | _ -> ());
+    let req =
+      {
+        P.op_source = Option.map read_file file;
+        op_synth = synth_n;
+        op_passes = split_passes llvm_passes;
+        op_parallel = parallel;
+        op_jobs = jobs;
+        op_parsafe = parsafe;
+        op_json = json;
+      }
     in
+    let r = ok_or_die (H.opt req) in
     if parsafe then begin
-      let v = Llvmir.Parsafe.check m in
-      if json then print_endline (Llvmir.Parsafe.to_json v)
-      else print_endline (Llvmir.Parsafe.verdict_to_string v);
-      exit (match v with Llvmir.Parsafe.Safe -> 0 | Llvmir.Parsafe.Unsafe _ -> 1)
+      print_endline (Option.value r.P.or_verdict ~default:"");
+      exit (if r.P.or_safe then 0 else 1)
     end;
-    let passes =
-      match llvm_passes with
-      | None -> P.default_pipeline
-      | Some spec ->
-          List.map
-            (fun name ->
-              match P.by_name name with
-              | Some p -> p
-              | None ->
-                  Printf.eprintf "opt: unknown LLVM pass %S\n" name;
-                  exit 2)
-            (String.split_on_char ',' spec)
-    in
-    let m', timings =
-      if parallel then begin
-        let fanout = Mhls_driver.Pool.fanout ~jobs in
-        let m', ts, status = P.run_pipeline_parallel ~fanout passes m in
-        Printf.eprintf "opt: %s\n" (P.par_status_to_string status);
-        (m', ts)
-      end
-      else P.run_pipeline passes m
-    in
-    let total =
-      List.fold_left (fun a (t : P.timing) -> a +. t.P.seconds) 0.0 timings
-    in
-    Printf.eprintf "opt: %d passes, %.1f ms\n" (List.length timings)
-      (total *. 1000.0);
-    let text = Llvmir.Lprinter.module_to_string m' in
+    (match r.P.or_par_status with
+    | Some status -> Printf.eprintf "opt: %s\n" status
+    | None -> ());
+    Printf.eprintf "opt: %d passes, %.1f ms\n" r.P.or_passes
+      (r.P.or_seconds *. 1000.0);
     match out with
     | Some path -> Out_channel.with_open_text path (fun oc ->
-        Out_channel.output_string oc text)
-    | None -> print_string text
+        Out_channel.output_string oc r.P.or_ir)
+    | None -> print_string r.P.or_ir
   in
   Cmd.v
     (Cmd.info "opt"
@@ -761,23 +636,17 @@ let opt_cmd =
 (* ------------------------------------------------------------------ *)
 
 let fuzz_cmd =
-  let module F = Mhls_difftest.Difftest in
   let run seed count stages shrink repro_dir jobs =
-    let stages =
-      List.map
-        (fun s ->
-          match F.stage_of_name s with
-          | Some st -> st
-          | None ->
-              Printf.eprintf
-                "fuzz: unknown stage %S (expected lower, adapted or cpp)\n" s;
-              exit 2)
-        stages
+    let req =
+      { P.f_seed = seed; f_count = count; f_stages = stages;
+        f_shrink = shrink; f_jobs = jobs }
     in
     let repro_dir = if repro_dir = "" then None else Some repro_dir in
-    let r = F.run_batch ~stages ~shrink ?repro_dir ~jobs ~seed ~count () in
-    print_string (F.render r);
-    exit (if r.F.r_failures = [] then 0 else 1)
+    let r =
+      ok_or_die (H.fuzz ?repro_dir ~trace:Support.Tracing.null req)
+    in
+    print_string r.P.fr_report;
+    exit (if r.P.fr_failures = 0 then 0 else 1)
   in
   let seed =
     Arg.(value & opt int 42
@@ -815,6 +684,136 @@ let fuzz_cmd =
     Term.(const run $ seed $ count $ stages $ shrink $ repro_dir $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path." in
+  Arg.(value & opt string "mhlsc.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let tcp =
+    Arg.(value & opt (some int) None
+         & info [ "tcp" ] ~docv:"PORT"
+             ~doc:"Additionally listen on loopback TCP port PORT.")
+  in
+  let queue_max =
+    Arg.(value & opt int 64
+         & info [ "queue-max" ] ~docv:"N"
+             ~doc:"Admission-control bound: pending requests beyond N are \
+                   answered $(b,busy) instead of queueing.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No daemon log lines.")
+  in
+  let run socket tcp queue_max jobs cache_dir quiet =
+    let env = H.create_env ?cache_dir:(cache_dir_opt cache_dir) ~jobs () in
+    let config =
+      {
+        Mhls_serve.Server.socket_path = Some socket;
+        tcp_port = tcp;
+        queue_max;
+        log =
+          (if quiet then ignore
+           else fun s -> Printf.eprintf "serve: %s\n%!" s);
+      }
+    in
+    Fun.protect
+      ~finally:(fun () -> H.close_env env)
+      (fun () ->
+        Mhls_serve.Server.serve ~config
+          ~counters:(fun () -> H.counters env)
+          ~dispatch:(H.dispatch env) ())
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the long-lived compile daemon: accepts compile / lint / \
+             opt / dse / fuzz jobs over a length-prefixed JSON protocol on \
+             a Unix socket, keeping the domain pool and the \
+             content-addressed result cache warm across requests.  \
+             Identical in-flight requests coalesce into one evaluation; \
+             resubmitted requests are served from the response memo.  \
+             Stop with a $(b,shutdown) request (see `mhlsc client`).")
+    Term.(const run $ socket_arg $ tcp $ queue_max $ jobs_arg
+          $ cache_dir_arg $ quiet)
+
+(* ------------------------------------------------------------------ *)
+(* client                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let client_cmd =
+  let module C = Mhls_serve.Client in
+  let request_arg =
+    Arg.(required & opt (some string) None
+         & info [ "request" ] ~docv:"JSON"
+             ~doc:"The request object, e.g. \
+                   '{\"kind\": \"compile\", \"kernel\": \"matmul\"}' or \
+                   '{\"kind\": \"stats\"}'.")
+  in
+  let tcp =
+    Arg.(value & opt (some int) None
+         & info [ "tcp" ] ~docv:"PORT"
+             ~doc:"Connect to loopback TCP port PORT instead of the socket.")
+  in
+  let stream =
+    Arg.(value & flag
+         & info [ "stream" ]
+             ~doc:"Subscribe to pass events (printed to stderr as JSON \
+                   lines before the response).")
+  in
+  let wait =
+    Arg.(value & opt float 5.0
+         & info [ "wait" ] ~docv:"SECS"
+             ~doc:"Keep retrying the connection this long while the daemon \
+                   starts.")
+  in
+  let run socket tcp stream wait request =
+    let req =
+      match
+        Result.bind (Support.Json.parse request) P.request_of_json
+      with
+      | Ok r -> r
+      | Error e ->
+          Printf.eprintf "client: bad request: %s\n" e;
+          exit 2
+    in
+    let conn =
+      match tcp with
+      | Some port -> C.connect_tcp ~retry_for:wait ~port ()
+      | None -> C.connect_unix ~retry_for:wait socket
+    in
+    let c =
+      match conn with
+      | Ok c -> c
+      | Error e ->
+          Printf.eprintf "client: cannot connect: %s\n" e;
+          exit 2
+    in
+    let on_event ev =
+      Printf.eprintf "%s\n%!"
+        (Support.Json.to_string (P.frame_to_json (P.Event ev)))
+    in
+    let reply =
+      match C.request ~stream ~on_event c req with
+      | Ok r -> r
+      | Error e ->
+          Printf.eprintf "client: %s\n" e;
+          exit 2
+    in
+    C.close c;
+    print_endline (R.reply_json reply);
+    match reply with
+    | P.Done _ -> ()
+    | P.Busy _ -> exit 1
+    | P.Failed _ -> exit 2
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send one serve-protocol request to a running daemon and print \
+             the JSON response.  Exit code: 0 ok, 1 busy, 2 error.")
+    Term.(const run $ socket_arg $ tcp $ stream $ wait $ request_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "MLIR HLS adaptor for LLVM IR — reference implementation" in
@@ -822,5 +821,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; emit_cmd; synth_cmd; compare_cmd; cosim_cmd; adapt_cmd;
-            lint_cmd; synth_mlir_cmd; dse_cmd; batch_cmd; opt_cmd; fuzz_cmd ]))
+          [ list_cmd; emit_cmd; synth_cmd; compile_cmd; compare_cmd;
+            cosim_cmd; adapt_cmd; lint_cmd; synth_mlir_cmd; dse_cmd;
+            batch_cmd; opt_cmd; fuzz_cmd; serve_cmd; client_cmd ]))

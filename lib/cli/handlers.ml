@@ -1,0 +1,508 @@
+(** The command registry: every [mhlsc] subcommand as a pure handler
+    [request -> (response, Diag.t list) result] over the serve
+    {!Mhls_serve.Protocol} types.
+
+    The argv front-end ([bin/mhlsc.ml]) and the daemon dispatcher
+    ({!dispatch}) call the {e same} functions, so the CLI and the
+    service cannot drift: a handler never prints, never exits, and
+    reports every failure as a {!Support.Diag.t} list.  Rendering the
+    responses back into the CLI's historical output formats lives in
+    {!Render}; exception-to-exit-code conversion stays in the
+    executable.
+
+    Jobs that compile kernels ({!compile}) run on the {!env}'s
+    long-lived driver session, so the domain pool and the
+    content-addressed result cache stay warm across requests — the
+    whole point of [mhlsc serve]. *)
+
+module K = Workloads.Kernels
+module E = Hls_backend.Estimate
+module D = Mhls_driver.Driver
+module P = Mhls_serve.Protocol
+module Diag = Support.Diag
+
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------------ *)
+(* Environment                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Long-lived handler state: the driver session (domain pool + result
+    cache).  The CLI builds a throwaway one per invocation; the daemon
+    keeps one for its whole lifetime. *)
+type env = {
+  session : D.session;
+  cache_dir : string option;  (** shared with DSE's internal sessions *)
+  jobs : int;
+}
+
+let create_env ?cache_dir ?(jobs = 1) () : env =
+  { session = D.create_session ?cache_dir ~jobs (); cache_dir; jobs }
+
+let close_env (env : env) : unit = D.close_session env.session
+
+(** Driver result-cache (hits, misses) — the [stats] request reports
+    these next to the server's own counters. *)
+let counters (env : env) : int * int =
+  (D.session_hits env.session, D.session_misses env.session)
+
+(* ------------------------------------------------------------------ *)
+(* Shared resolution helpers                                          *)
+(* ------------------------------------------------------------------ *)
+
+let find_kernel (name : string) : (K.kernel, Diag.t list) result =
+  match K.by_name name with
+  | Some k -> Ok k
+  | None ->
+      Error
+        [
+          Diag.error ~rule:"HLS903" "unknown kernel '%s'" name
+            ~hint:"try `mhlsc list`";
+        ]
+
+let flow_of_name : string -> (Flow.flow_kind, Diag.t list) result = function
+  | "direct" | "direct-ir" -> Ok Flow.Direct_ir
+  | "cpp" | "hls-cpp" -> Ok Flow.Hls_cpp
+  | f ->
+      Error [ P.protocol_error "unknown flow '%s' (want direct or cpp)" f ]
+
+let strategy_of_name : string -> (K.strategy, Diag.t list) result = function
+  | "inner" -> Ok K.Inner
+  | "middle" -> Ok K.Middle
+  | s ->
+      Error
+        [ P.protocol_error "unknown strategy '%s' (want inner or middle)" s ]
+
+(** Protocol directives to kernel directives; [ii <= 0] disables
+    pipelining, mirroring the CLI's [--pipeline 0]. *)
+let directives_of_protocol (d : P.directives) :
+    (K.directives, Diag.t list) result =
+  let* strategy = strategy_of_name d.P.d_strategy in
+  Ok
+    {
+      K.pipeline_ii =
+        (match d.P.d_ii with Some ii when ii <= 0 -> None | ii -> ii);
+      K.unroll = d.P.d_unroll;
+      K.strategy;
+      K.partitions = d.P.d_partitions;
+    }
+
+(** Parse repeatable CLI [--partition ARG:KIND:FACTOR:DIM] specs into
+    protocol form. *)
+let parse_partitions (specs : string list) :
+    ((string * string * int * int) list, Diag.t list) result =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | spec :: rest -> (
+        match String.split_on_char ':' spec with
+        | [ a; kind; f; d ] -> (
+            match (int_of_string_opt f, int_of_string_opt d) with
+            | Some f, Some d -> go ((a, kind, f, d) :: acc) rest
+            | _ -> Error [ P.protocol_error "bad partition spec: %s" spec ])
+        | _ -> Error [ P.protocol_error "bad partition spec: %s" spec ])
+  in
+  go [] specs
+
+(** Resolve pass-pipeline knobs; unknown pass names are HLS900
+    diagnostics (from the pipeline registry), never exceptions. *)
+let pipeline_of ?top ?(strict = true) ~(passes : string list option)
+    ~(disable : string list) () : (Adaptor.Pipeline.t, Diag.t list) result =
+  let wrap = Result.map_error (fun d -> [ d ]) in
+  let* base =
+    match passes with
+    | None -> Ok { Adaptor.Pipeline.default with Adaptor.Pipeline.top; strict }
+    | Some names -> wrap (Adaptor.Pipeline.of_names ?top ~strict names)
+  in
+  List.fold_left
+    (fun acc name ->
+      let* p = acc in
+      wrap (Adaptor.Pipeline.disable name p))
+    (Ok base) disable
+
+let inner_ii (r : E.report) : int =
+  List.fold_left
+    (fun acc (l : E.loop_report) ->
+      match l.E.achieved_ii with Some ii -> max acc ii | None -> acc)
+    0 r.E.loops
+
+(* ------------------------------------------------------------------ *)
+(* Service handlers (shared by argv and daemon)                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Compile one kernel through the env's driver session — warm pool,
+    warm cache, per-request pipeline override.  Cached per-pass trace
+    records are replayed into [trace] so streaming clients see the
+    passes either way. *)
+let compile (env : env) ~(trace : Support.Tracing.hook)
+    (c : P.compile_req) : (P.compile_resp, Diag.t list) result =
+  let* k = find_kernel c.P.c_kernel in
+  let* flow = flow_of_name c.P.c_flow in
+  let* d = directives_of_protocol c.P.c_directives in
+  let* pipeline =
+    pipeline_of ~top:k.K.kname ~passes:c.P.c_passes ~disable:c.P.c_disable ()
+  in
+  let job = D.job ~flow ~clock_ns:c.P.c_clock_ns ~kernel:k.K.kname d in
+  let* outs = D.submit ~pipeline env.session [ job ] in
+  match outs with
+  | [ o ] -> (
+      List.iter
+        (fun (r : Mhls_driver.Trace.record) ->
+          trace
+            (Support.Tracing.event ~stage:r.Mhls_driver.Trace.tr_stage
+               ~pass:r.Mhls_driver.Trace.tr_pass
+               ~seconds:r.Mhls_driver.Trace.tr_seconds
+               ~before:r.Mhls_driver.Trace.tr_instrs_before
+               ~after:r.Mhls_driver.Trace.tr_instrs_after))
+        o.D.o_trace;
+      match o.D.o_qor with
+      | Error ds -> Error ds
+      | Ok r ->
+          Ok
+            {
+              P.cr_kernel = k.K.kname;
+              cr_flow = Flow.flow_name flow;
+              cr_latency = r.E.latency;
+              cr_ii = inner_ii r;
+              cr_bram = r.E.resources.E.bram;
+              cr_dsp = r.E.resources.E.dsp;
+              cr_lut = r.E.resources.E.lut;
+              cr_seconds = o.D.o_seconds;
+              cr_from_cache = o.D.o_from_cache;
+              cr_adaptor = o.D.o_adaptor;
+              cr_report = Hls_backend.Report.render r;
+            })
+  | outs ->
+      Error
+        [
+          Diag.error ~rule:"HLS000" "driver returned %d outcomes for one job"
+            (List.length outs);
+        ]
+
+(** Lint a built-in kernel (on the adaptor's HLS-ready output) or raw
+    IR source (as written).  Findings are the {e successful} payload —
+    only setup problems (no target, unknown kernel, bad pipeline) are
+    handler errors; an unparseable source becomes an HLS000 finding,
+    matching the CLI's historical behavior. *)
+let lint (l : P.lint_req) : (P.lint_resp, Diag.t list) result =
+  let only = l.P.l_rules in
+  let werror = l.P.l_werror in
+  match (l.P.l_kernel, l.P.l_source) with
+  | Some _, Some _ ->
+      Error [ P.protocol_error "lint takes a kernel or source text, not both" ]
+  | None, None ->
+      Error [ P.protocol_error "lint needs a kernel or source text" ]
+  | None, Some src -> (
+      match Llvmir.Lparser.parse_module src with
+      | m ->
+          Ok { P.lr_diags = Hls_backend.Lint.run ?only ~werror ?top:l.P.l_top m }
+      | exception Support.Err.Compile_error e ->
+          Ok { P.lr_diags = [ Diag.of_err ~rule:"HLS000" e ] })
+  | Some name, None ->
+      let* k = find_kernel name in
+      let* d = directives_of_protocol l.P.l_directives in
+      let* pipeline =
+        pipeline_of ~top:k.K.kname ~passes:l.P.l_passes ~disable:l.P.l_disable
+          ()
+      in
+      Ok { P.lr_diags = Flow.lint_kernel ~directives:d ~pipeline ?only ~werror k }
+
+(** Run the LLVM cleanup pipeline (or just the parallel-safety
+    checker) on source text or a generated [--synth N] module. *)
+let opt (o : P.opt_req) : (P.opt_resp, Diag.t list) result =
+  let module LP = Llvmir.Pass in
+  let* m =
+    match (o.P.op_source, o.P.op_synth) with
+    | Some _, Some _ ->
+        Error [ P.protocol_error "opt takes source or synth, not both" ]
+    | None, None ->
+        Error [ P.protocol_error "opt needs source text or a synth size" ]
+    | Some src, None -> (
+        match
+          let m = Llvmir.Lparser.parse_module src in
+          Llvmir.Lverifier.verify_module m;
+          m
+        with
+        | m -> Ok m
+        | exception Support.Err.Compile_error e ->
+            Error [ Diag.of_err ~rule:"HLS000" e ])
+    | None, Some n -> Ok (Mhls_driver.Synth.many_kernels ~n)
+  in
+  if o.P.op_parsafe then
+    let v = Llvmir.Parsafe.check m in
+    let safe =
+      match v with Llvmir.Parsafe.Safe -> true | Llvmir.Parsafe.Unsafe _ -> false
+    in
+    Ok
+      {
+        P.or_ir = "";
+        or_passes = 0;
+        or_seconds = 0.0;
+        or_par_status = None;
+        or_verdict =
+          Some
+            (if o.P.op_json then Llvmir.Parsafe.to_json v
+             else Llvmir.Parsafe.verdict_to_string v);
+        or_safe = safe;
+      }
+  else
+    let* passes =
+      match o.P.op_passes with
+      | None -> Ok LP.default_pipeline
+      | Some names ->
+          let rec go acc = function
+            | [] -> Ok (List.rev acc)
+            | name :: rest -> (
+                match LP.by_name name with
+                | Some p -> go (p :: acc) rest
+                | None ->
+                    Error [ P.protocol_error "unknown LLVM pass %S" name ])
+          in
+          go [] names
+    in
+    let m', timings, par_status =
+      if o.P.op_parallel then
+        let fanout = Mhls_driver.Pool.fanout ~jobs:o.P.op_jobs in
+        let m', ts, status = LP.run_pipeline_parallel ~fanout passes m in
+        (m', ts, Some (LP.par_status_to_string status))
+      else
+        let m', ts = LP.run_pipeline passes m in
+        (m', ts, None)
+    in
+    let total =
+      List.fold_left (fun a (t : LP.timing) -> a +. t.LP.seconds) 0.0 timings
+    in
+    Ok
+      {
+        P.or_ir = Llvmir.Lprinter.module_to_string m';
+        or_passes = List.length timings;
+        or_seconds = total;
+        or_par_status = par_status;
+        or_verdict = None;
+        or_safe = true;
+      }
+
+(** Design-space exploration.  The search runs its own driver session
+    but shares the on-disk result cache, so daemon-warmed entries keep
+    paying off. *)
+let dse ?cache_dir ~(jobs : int) ~(trace : Support.Tracing.hook)
+    (d : P.dse_req) : (P.dse_resp, Diag.t list) result =
+  let module S = Mhls_dse.Search in
+  let* k = find_kernel d.P.ds_kernel in
+  let dp = S.default_params in
+  let params =
+    {
+      S.max_evals = Option.value d.P.ds_max_evals ~default:dp.S.max_evals;
+      S.max_rounds = Option.value d.P.ds_rounds ~default:dp.S.max_rounds;
+      S.stable_rounds = Option.value d.P.ds_stable ~default:dp.S.stable_rounds;
+      S.budget =
+        {
+          S.b_max_bram = d.P.ds_budget_bram;
+          S.b_max_dsp = d.P.ds_budget_dsp;
+          S.b_max_lut = d.P.ds_budget_lut;
+        };
+      S.clock_ns = d.P.ds_clock_ns;
+    }
+  in
+  let o = S.search ~params ?cache_dir ~jobs ~trace k in
+  Ok
+    {
+      P.dr_report = S.render o;
+      dr_best =
+        Option.map
+          (fun (b : S.point) -> (b.S.pt_label, b.S.pt_report.E.latency))
+          (S.best o);
+      dr_json = Mhls_dse.Dse_json.to_json ~tool:D.tool_version o;
+    }
+
+(** Differential fuzzing.  [repro_dir] is a CLI-only extra (the daemon
+    does not write repro files into its own working directory). *)
+let fuzz ?repro_dir ~(trace : Support.Tracing.hook) (f : P.fuzz_req) :
+    (P.fuzz_resp, Diag.t list) result =
+  let module F = Mhls_difftest.Difftest in
+  let* stages =
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | s :: rest -> (
+          match F.stage_of_name s with
+          | Some st -> go (st :: acc) rest
+          | None ->
+              Error
+                [
+                  P.protocol_error
+                    "unknown stage %S (expected lower, adapted or cpp)" s;
+                ])
+    in
+    go [] f.P.f_stages
+  in
+  let r =
+    F.run_batch ~trace ~stages ~shrink:f.P.f_shrink ?repro_dir
+      ~jobs:f.P.f_jobs ~seed:f.P.f_seed ~count:f.P.f_count ()
+  in
+  Ok { P.fr_report = F.render r; fr_failures = List.length r.F.r_failures }
+
+let list_kernels () : P.kernel_info list =
+  List.map
+    (fun k -> { P.k_name = k.K.kname; k_description = k.K.description })
+    (K.all ())
+
+(** The daemon dispatcher: one entry per service request kind, closing
+    over the shared {!env}.  [Stats]/[Ping]/[Shutdown] never reach a
+    dispatcher — the server answers them itself. *)
+let dispatch (env : env) : Mhls_serve.Server.dispatch =
+ fun ~trace req ->
+  match req with
+  | P.Compile c -> Result.map (fun r -> P.R_compile r) (compile env ~trace c)
+  | P.Lint l -> Result.map (fun r -> P.R_lint r) (lint l)
+  | P.Opt o -> Result.map (fun r -> P.R_opt r) (opt o)
+  | P.Dse d ->
+      Result.map
+        (fun r -> P.R_dse r)
+        (dse ?cache_dir:env.cache_dir ~jobs:env.jobs ~trace d)
+  | P.Fuzz f -> Result.map (fun r -> P.R_fuzz r) (fuzz ~trace f)
+  | P.List_kernels -> Ok (P.R_list (list_kernels ()))
+  | P.Stats | P.Ping | P.Shutdown ->
+      Error
+        [ P.protocol_error "request is handled by the server, not the dispatcher" ]
+
+(* ------------------------------------------------------------------ *)
+(* CLI-only handlers (no daemon surface, same purity contract)        *)
+(* ------------------------------------------------------------------ *)
+
+type emit_stage = Mhir | Mhir_generic | Llvm | Adapted | Cpp
+
+(** Print a kernel's IR at a chosen stage. *)
+let emit ~(kernel : string) ~(stage : emit_stage)
+    ~(directives : P.directives) : (string, Diag.t list) result =
+  let* k = find_kernel kernel in
+  let* d = directives_of_protocol directives in
+  let m = k.K.build d in
+  match stage with
+  | Mhir -> Ok (Mhir.Printer.module_to_string m)
+  | Mhir_generic -> Ok (Mhir.Printer.module_to_string ~generic:true m)
+  | Llvm ->
+      let lm = Lowering.Lower.lower_module (Mhir.Canonicalize.run m) in
+      let lm =
+        fst (Llvmir.Pass.run_pipeline Llvmir.Pass.default_pipeline lm)
+      in
+      Ok (Llvmir.Lprinter.module_to_string lm)
+  | Adapted ->
+      let* lm, _, _ = Flow.direct_ir_frontend m in
+      Ok (Llvmir.Lprinter.module_to_string lm)
+  | Cpp ->
+      let _, cpp, _ = Flow.hls_cpp_frontend m in
+      Ok cpp
+
+type compare_resp = {
+  cm_direct : E.report;
+  cm_cpp : E.report;
+  cm_direct_seconds : float;
+  cm_cpp_seconds : float;
+  cm_ratio : float;
+}
+
+(** Run both flows on one kernel. *)
+let compare_kernel ~(kernel : string) ~(directives : P.directives)
+    ~(clock_ns : float) : (compare_resp, Diag.t list) result =
+  let* k = find_kernel kernel in
+  let* d = directives_of_protocol directives in
+  let c = Flow.compare_flows ~directives:d ~clock_ns k in
+  Ok
+    {
+      cm_direct = c.Flow.direct.Flow.hls;
+      cm_cpp = c.Flow.cpp.Flow.hls;
+      cm_direct_seconds = c.Flow.direct.Flow.seconds;
+      cm_cpp_seconds = c.Flow.cpp.Flow.seconds;
+      cm_ratio = Flow.latency_ratio c;
+    }
+
+(** Three-way co-simulation. *)
+let cosim ~(kernel : string) ~(directives : P.directives) :
+    (Flow.cosim_outcome, Diag.t list) result =
+  let* k = find_kernel kernel in
+  let* d = directives_of_protocol directives in
+  Ok (Flow.cosim ~directives:d k)
+
+type adapt_resp = {
+  a_ir : string;  (** legalized IR (stdout) *)
+  a_report : string;  (** rendered adaptor report (stderr) *)
+}
+
+(** Run the adaptor on raw IR source (this tool's textual dialect). *)
+let adapt ~(source : string) ~(strict : bool)
+    ~(passes : string list option) ~(disable : string list) () :
+    (adapt_resp, Diag.t list) result =
+  let* m =
+    match
+      let m = Llvmir.Lparser.parse_module source in
+      Llvmir.Lverifier.verify_module m;
+      m
+    with
+    | m -> Ok m
+    | exception Support.Err.Compile_error e ->
+        Error [ Diag.of_err ~rule:"HLS000" e ]
+  in
+  let* pipeline = pipeline_of ~strict ~passes ~disable () in
+  let* m', report = Adaptor.run ~pipeline m in
+  Ok
+    {
+      a_ir = Llvmir.Lprinter.module_to_string m';
+      a_report = Adaptor.report_to_string report;
+    }
+
+type synth_mlir_resp = {
+  sm_report : string;  (** rendered synthesis report (stdout) *)
+  sm_aux : string;  (** adaptor report / generated C++ for [-v] (stderr) *)
+}
+
+(** Compile a textual multi-level IR module end-to-end. *)
+let synth_mlir ~(source : string) ~(top : string option)
+    ~(flow : Flow.flow_kind) ~(clock_ns : float) () :
+    (synth_mlir_resp, Diag.t list) result =
+  let* m =
+    match
+      let m = Mhir.Parser.parse_module source in
+      Mhir.Verifier.verify_module m;
+      m
+    with
+    | m -> Ok m
+    | exception Support.Err.Compile_error e ->
+        Error [ Diag.of_err ~rule:"HLS000" e ]
+  in
+  let* top =
+    match (top, m.Mhir.Ir.funcs) with
+    | Some t, _ -> Ok t
+    | None, f :: _ -> Ok f.Mhir.Ir.fname
+    | None, [] -> Error [ P.protocol_error "module has no functions" ]
+  in
+  let* lm, aux =
+    match flow with
+    | Flow.Direct_ir ->
+        let* lm, report, _ = Flow.direct_ir_frontend m in
+        Ok (lm, Adaptor.report_to_string report)
+    | Flow.Hls_cpp ->
+        let lm, cpp, _ = Flow.hls_cpp_frontend m in
+        Ok (lm, cpp)
+  in
+  let r = Hls_backend.Estimate.synthesize ~clock_ns ~top lm in
+  Ok { sm_report = Hls_backend.Report.render r; sm_aux = aux }
+
+(** Batch compilation from a manifest or the built-in grid. *)
+let batch ~(manifest : string option) ~(all_kernels : bool)
+    ~(both_flows : bool) ~(jobs : int) ~(cache_dir : string option)
+    ~(clock_ns : float) ~(passes : string list option)
+    ~(disable : string list) () : (D.batch_report, Diag.t list) result =
+  let* pipeline = pipeline_of ~passes ~disable () in
+  let* js =
+    match (manifest, all_kernels) with
+    | Some text, _ ->
+        Result.map_error (fun d -> [ d ]) (D.parse_manifest text)
+    | None, true ->
+        let flows =
+          if both_flows then [ Flow.Direct_ir; Flow.Hls_cpp ]
+          else [ Flow.Direct_ir ]
+        in
+        Ok (D.all_kernel_jobs ~flows ~clock_ns ())
+    | None, false ->
+        Error [ P.protocol_error "batch needs a manifest or --all-kernels" ]
+  in
+  Ok (D.run_batch ~pipeline ?cache_dir ~jobs js)

@@ -34,8 +34,10 @@ module Diag = Support.Diag
     from strings to {!Support.Diag.t}; 1.3.0 unified float-literal
     printing on {!Support.Float_lit}, changing printed IR; 1.4.0 made
     {!Llvmir.Memdep} alias-aware and gated partition axes on the alias
-    oracle, changing lint output and DSE spaces). *)
-let tool_version = "mhlsc-1.4.0"
+    oracle, changing lint output and DSE spaces; 1.5.0 added the
+    rendered adaptor report to the cached payload for the serve/CLI
+    handlers). *)
+let tool_version = "mhlsc-1.5.0"
 
 (* ------------------------------------------------------------------ *)
 (* Jobs                                                               *)
@@ -80,6 +82,8 @@ type payload = {
   p_qor : (E.report, Diag.t list) result;
   p_trace : Trace.record list;
   p_seconds : float;  (** front-end compile seconds of the original run *)
+  p_adaptor : string option;
+      (** rendered adaptor report (direct-IR flow only) *)
 }
 
 type outcome = {
@@ -88,6 +92,7 @@ type outcome = {
       (** full synthesis report, or the diagnostics that failed the job *)
   o_seconds : float;
   o_from_cache : bool;
+  o_adaptor : string option;  (** rendered adaptor report, if the flow had one *)
   o_trace : Trace.record list;  (** [tr_cached] reflects [o_from_cache] *)
 }
 
@@ -122,18 +127,22 @@ let compute ~(pipeline : Adaptor.Pipeline.t) (j : job) : payload =
             ];
         p_trace = [];
         p_seconds = 0.0;
+        p_adaptor = None;
       }
   | Some k ->
       let hook, events = Support.Tracing.collector () in
-      let qor, seconds =
+      let qor, seconds, adaptor =
         match
           Flow.run ~directives:j.directives ~pipeline ~clock_ns:j.clock_ns
             ~trace:hook k j.flow
         with
-        | Ok r -> (Ok r.Flow.hls, r.Flow.seconds)
-        | Error ds -> (Error ds, 0.0)
+        | Ok r ->
+            ( Ok r.Flow.hls,
+              r.Flow.seconds,
+              Option.map Adaptor.report_to_string r.Flow.adaptor_report )
+        | Error ds -> (Error ds, 0.0, None)
         | exception Support.Err.Compile_error e ->
-            (Error [ Diag.of_err ~rule:"HLS000" e ], 0.0)
+            (Error [ Diag.of_err ~rule:"HLS000" e ], 0.0, None)
         | exception E.Rejected errs ->
             ( Error
                 (Diag.error ~rule:"HLS902" ~func:j.label
@@ -143,7 +152,8 @@ let compute ~(pipeline : Adaptor.Pipeline.t) (j : job) : payload =
                      (fun msg ->
                        Diag.error ~rule:"HLS902" ~func:j.label "%s" msg)
                      errs),
-              0.0 )
+              0.0,
+              None )
       in
       let records =
         List.map
@@ -151,7 +161,7 @@ let compute ~(pipeline : Adaptor.Pipeline.t) (j : job) : payload =
              ~flow:(Flow.flow_name j.flow) ~cached:false)
           (events ())
       in
-      { p_qor = qor; p_trace = records; p_seconds = seconds }
+      { p_qor = qor; p_trace = records; p_seconds = seconds; p_adaptor = adaptor }
 
 (** The job's content address: hashes the {e printed input IR} (the
     kernel built under its directives), so any change to the kernel
@@ -192,6 +202,7 @@ let run_job ~pipeline ~(cache : Cache.t option) (j : job) : outcome =
         o_qor = p.p_qor;
         o_seconds = p.p_seconds;
         o_from_cache = false;
+        o_adaptor = p.p_adaptor;
         o_trace = p.p_trace;
       } )
   in
@@ -208,6 +219,7 @@ let run_job ~pipeline ~(cache : Cache.t option) (j : job) : outcome =
                 o_qor = p.p_qor;
                 o_seconds = p.p_seconds;
                 o_from_cache = true;
+                o_adaptor = p.p_adaptor;
                 o_trace =
                   List.map
                     (fun (r : Trace.record) ->
@@ -247,11 +259,37 @@ let create_session ?(pipeline = Adaptor.Pipeline.default) ?cache_dir
 (** Submit one more batch into the live session.  Outcomes come back in
     job-list order, deterministic for any worker count.  Cache hits
     accumulate across submissions: a job resubmitted in a later round
-    (same content address) is served from cache. *)
-let submit (s : session) (js : job list) : outcome list =
-  if s.s_closed then invalid_arg "Driver.submit: session is closed";
-  s.s_submitted <- s.s_submitted + List.length js;
-  Pool.run s.s_pool (run_job ~pipeline:s.s_pipeline ~cache:s.s_cache) js
+    (same content address) is served from cache.
+
+    Submitting into a closed session is an HLS904 diagnostic, matching
+    the unified result-based error convention at the API boundary —
+    the serve dispatcher renders it like any other job failure.
+
+    [?pipeline] overrides the session's adaptor pipeline for this
+    batch only (the serve daemon submits per-request pipelines into
+    one long-lived session); cache keys include the pipeline, so the
+    shared cache stays sound. *)
+let submit ?pipeline (s : session) (js : job list) :
+    (outcome list, Diag.t list) result =
+  if s.s_closed then
+    Error
+      [
+        Diag.error ~rule:"HLS904"
+          "session is closed; no further submissions accepted"
+          ~hint:"create a fresh session with Driver.create_session";
+      ]
+  else begin
+    let pipeline = Option.value pipeline ~default:s.s_pipeline in
+    s.s_submitted <- s.s_submitted + List.length js;
+    Ok (Pool.run s.s_pool (run_job ~pipeline ~cache:s.s_cache) js)
+  end
+
+(** {!submit} for callers that own a visibly open session (e.g. inside
+    {!with_session}); raises {!Support.Diag.Failed} on a closed one. *)
+let submit_exn ?pipeline (s : session) (js : job list) : outcome list =
+  match submit ?pipeline s js with
+  | Ok outs -> outs
+  | Error ds -> raise (Diag.Failed ds)
 
 let session_pipeline (s : session) = s.s_pipeline
 let session_submitted (s : session) = s.s_submitted
@@ -289,7 +327,7 @@ let run_batch ?pipeline ?cache_dir ?(jobs = 1) (js : job list) : batch_report
   let jobs = max 1 (min jobs (max 1 (List.length js))) in
   with_session ?pipeline ?cache_dir ~jobs (fun s ->
       let t0 = Unix.gettimeofday () in
-      let outcomes = submit s js in
+      let outcomes = submit_exn s js in
       {
         outcomes;
         wall_seconds = Unix.gettimeofday () -. t0;

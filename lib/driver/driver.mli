@@ -55,6 +55,7 @@ type outcome = {
       (** full synthesis report, or the diagnostics that failed the job *)
   o_seconds : float;
   o_from_cache : bool;
+  o_adaptor : string option;  (** rendered adaptor report, if the flow had one *)
   o_trace : Trace.record list;  (** [tr_cached] reflects [o_from_cache] *)
 }
 
@@ -93,9 +94,19 @@ val create_session :
 
 (** Submit one more batch into the live session.  Outcomes in job-list
     order, deterministic for any worker count; cache hits accumulate
-    across submissions.
-    @raise Invalid_argument after {!close_session}. *)
-val submit : session -> job list -> outcome list
+    across submissions.  [?pipeline] overrides the session pipeline
+    for this batch only (cache keys include it, so the shared cache
+    stays sound).  Submitting after {!close_session} is an [Error]
+    carrying an HLS904 diagnostic — never an exception. *)
+val submit :
+  ?pipeline:Adaptor.Pipeline.t ->
+  session ->
+  job list ->
+  (outcome list, Support.Diag.t list) result
+
+(** {!submit} for callers that own a visibly open session; raises
+    {!Support.Diag.Failed} where {!submit} returns [Error]. *)
+val submit_exn : ?pipeline:Adaptor.Pipeline.t -> session -> job list -> outcome list
 
 val session_pipeline : session -> Adaptor.Pipeline.t
 val session_submitted : session -> int

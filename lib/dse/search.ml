@@ -135,7 +135,8 @@ let search ?(params = default_params) ?pipeline ?cache_dir ?(jobs = 1)
                 (Space.to_directives sp c))
             cands
         in
-        let outs = Driver.submit session js in
+        (* the session is lexically open here ([with_session] scope) *)
+        let outs = Driver.submit_exn session js in
         let round_full = ref 0 and round_hits = ref 0 in
         let changed = ref false in
         List.iter2

@@ -1,0 +1,29 @@
+(** Per-instruction latency/area model for the HLS back-end.
+
+    Costs are in cycles at {!default_clock_ns}; the classifier maps an
+    LLVM instruction to the functional-unit class that executes it. *)
+
+type cost = { latency : int; delay : float; dsp : int; lut : int; ff : int }
+
+val zero : cost
+
+(** Functional-unit classes, used for resource binding: one unit per
+    class is shared across the operations mapped to it. *)
+type fu_class =
+  | FU_fadd
+  | FU_fmul
+  | FU_fdiv
+  | FU_imul of int  (** operand width in bits *)
+  | FU_idiv
+  | FU_alu
+  | FU_mem_read
+  | FU_mem_write
+  | FU_none
+
+val fu_name : fu_class -> string
+val is_double : Llvmir.Ltype.t -> bool
+
+(** Classify one instruction: which unit runs it and what it costs. *)
+val classify : Llvmir.Linstr.t -> fu_class * cost
+
+val default_clock_ns : float

@@ -1,0 +1,3 @@
+(** Vitis-HLS-style text rendering of synthesis reports. *)
+
+val render : Estimate.report -> string

@@ -1,0 +1,46 @@
+(** List-scheduling of one loop body: builds the dependence graph over
+    the body's items, binds memory accesses to array ports, and
+    computes the recurrence- and resource-constrained minimum
+    initiation intervals. *)
+
+module Sym = Support.Interner
+
+type item =
+  | Instr of Llvmir.Linstr.t
+  | Inner of { loop_idx : int; latency : int }
+      (** a fully scheduled inner loop, treated as one long operation *)
+
+type node = {
+  nid : int;
+  fu : Op_model.fu_class;
+  latency : int;
+  delay : float;
+  cost : Op_model.cost;
+  array : string option;
+  is_store : bool;
+  is_inner : bool;
+  inner_idx : int;
+  result : Sym.t;
+  replica : int;
+  preds : int list;
+  carry_base : Sym.t option;
+}
+
+type t = {
+  nodes : node array;
+  length : int;  (** schedule length in cycles *)
+  starts : int array;
+  finishes : int array;
+  rec_mii : int;
+  res_mii : int;
+  mem_accesses : (string * int) list;
+}
+
+val run :
+  clock_ns:float ->
+  arrays:Directives.array_info list ->
+  carries:(Sym.t * Sym.t) list ->
+  replicas:int ->
+  idx:Llvmir.Findex.t ->
+  item list ->
+  t

@@ -1,0 +1,236 @@
+(** The serve protocol, schema v1: the single typed definition of every
+    job the compiler can run as a service, shared by the CLI handlers
+    and the daemon.  Errors travel as {!Support.Diag.t} lists, never
+    free-form strings.  See the DESIGN.md serve chapter for the wire
+    format. *)
+
+module Diag := Support.Diag
+module Json := Support.Json
+
+(** Schema version stamped into (and checked on) every frame. *)
+val version : int
+
+(** Rule ID for protocol-level failures (malformed frame, unknown
+    kind, missing field, admission rejection). *)
+val rule_protocol : string
+
+(** [Diag.error ~rule:rule_protocol]. *)
+val protocol_error :
+  ('a, Format.formatter, unit, Diag.t) format4 -> 'a
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type directives = {
+  d_ii : int option;  (** pipeline target II; [None] disables *)
+  d_unroll : int option;
+  d_strategy : string;  (** ["inner"] | ["middle"] *)
+  d_partitions : (string * string * int * int) list;
+      (** (array, kind, factor, dim) *)
+}
+
+val no_directives : directives
+
+type compile_req = {
+  c_kernel : string;
+  c_flow : string;  (** ["direct"] | ["cpp"] *)
+  c_directives : directives;
+  c_clock_ns : float;
+  c_passes : string list option;  (** exact adaptor pipeline, if given *)
+  c_disable : string list;
+}
+
+type lint_req = {
+  l_kernel : string option;  (** built-in kernel… *)
+  l_source : string option;  (** …or raw IR text (exactly one) *)
+  l_directives : directives;
+  l_rules : string list option;
+  l_werror : bool;
+  l_top : string option;
+  l_passes : string list option;
+  l_disable : string list;
+}
+
+type opt_req = {
+  op_source : string option;  (** raw IR text… *)
+  op_synth : int option;  (** …or a generated N-function module *)
+  op_passes : string list option;
+  op_parallel : bool;
+  op_jobs : int;
+  op_parsafe : bool;  (** only run the parallel-safety checker *)
+  op_json : bool;  (** with [op_parsafe]: JSON verdict *)
+}
+
+type dse_req = {
+  ds_kernel : string;
+  ds_max_evals : int option;
+  ds_rounds : int option;
+  ds_stable : int option;
+  ds_budget_bram : int option;
+  ds_budget_dsp : int option;
+  ds_budget_lut : int option;
+  ds_clock_ns : float;
+}
+
+type fuzz_req = {
+  f_seed : int;
+  f_count : int;
+  f_stages : string list;
+  f_shrink : bool;
+  f_jobs : int;
+}
+
+type request =
+  | Compile of compile_req
+  | Lint of lint_req
+  | Opt of opt_req
+  | Dse of dse_req
+  | Fuzz of fuzz_req
+  | List_kernels
+  | Stats
+  | Ping
+  | Shutdown
+
+val request_kind : request -> string
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type compile_resp = {
+  cr_kernel : string;
+  cr_flow : string;  (** canonical flow name, e.g. ["direct-ir"] *)
+  cr_latency : int;
+  cr_ii : int;
+  cr_bram : int;
+  cr_dsp : int;
+  cr_lut : int;
+  cr_seconds : float;  (** front-end compile seconds (original run) *)
+  cr_from_cache : bool;  (** served by the driver's result cache *)
+  cr_adaptor : string option;  (** rendered adaptor report *)
+  cr_report : string;  (** rendered synthesis report (deterministic) *)
+}
+
+type lint_resp = { lr_diags : Diag.t list }
+
+type opt_resp = {
+  or_ir : string;  (** optimized module text (empty under [op_parsafe]) *)
+  or_passes : int;
+  or_seconds : float;
+  or_par_status : string option;
+  or_verdict : string option;  (** rendered Parsafe verdict *)
+  or_safe : bool;
+}
+
+type dse_resp = {
+  dr_report : string;  (** rendered frontier + search statistics *)
+  dr_best : (string * int) option;  (** label, latency *)
+  dr_json : string;  (** versioned dse.json export *)
+}
+
+type fuzz_resp = { fr_report : string; fr_failures : int }
+type kernel_info = { k_name : string; k_description : string }
+
+type latency_stat = {
+  ls_kind : string;
+  ls_count : int;
+  ls_p50_ms : float;
+  ls_p99_ms : float;
+}
+
+type stats_resp = {
+  st_served : int;  (** responses sent (excluding busy rejections) *)
+  st_evaluated : int;  (** dispatcher evaluations actually run *)
+  st_coalesced : int;  (** requests that shared an in-flight evaluation *)
+  st_memo_hits : int;  (** requests served from the response memo *)
+  st_busy : int;  (** admission rejections *)
+  st_cache_hits : int;  (** driver result-cache hits (session-wide) *)
+  st_cache_misses : int;
+  st_queue_depth : int;  (** pending requests at the time of answering *)
+  st_queue_max : int;  (** admission-control bound *)
+  st_latency : latency_stat list;  (** per job kind, sorted by kind *)
+}
+
+type payload =
+  | R_compile of compile_resp
+  | R_lint of lint_resp
+  | R_opt of opt_resp
+  | R_dse of dse_resp
+  | R_fuzz of fuzz_resp
+  | R_list of kernel_info list
+  | R_stats of stats_resp
+  | R_pong
+  | R_shutdown
+
+val payload_kind : payload -> string
+
+(** How one request was answered. *)
+type reply =
+  | Done of payload
+  | Failed of Diag.t list
+  | Busy of int  (** rejected by admission control; carries queue depth *)
+
+type event = {
+  e_id : int;
+  e_stage : string;
+  e_pass : string;
+  e_seconds : float;
+  e_before : int;
+  e_after : int;
+}
+
+type frame =
+  | Request of { q_id : int; q_stream : bool; q_req : request }
+  | Response of { r_id : int; r_reply : reply }
+  | Event of event
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** The request object alone ([{"kind": ..., ...}], no frame
+    envelope) — what [mhlsc client --request] accepts and what
+    {!request_key} canonicalizes. *)
+val request_to_json : request -> Json.t
+
+(** Decode a bare request object.  Missing optional fields take their
+    defaults, so hand-written client JSON stays short. *)
+val request_of_json : Json.t -> (request, string) result
+
+val frame_to_json : frame -> Json.t
+val frame_of_json : Json.t -> (frame, string) result
+val frame_to_string : frame -> string
+val frame_of_string : string -> (frame, string) result
+
+(* ------------------------------------------------------------------ *)
+(* Coalescing identity                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** The request's content address for coalescing and response
+    memoization: the canonical JSON of the request object (ids and
+    stream flags excluded).  [None] for requests that must never be
+    coalesced or memoized. *)
+val request_key : request -> string option
+
+(* ------------------------------------------------------------------ *)
+(* Wire framing: 4-byte big-endian length prefix + one JSON document  *)
+(* ------------------------------------------------------------------ *)
+
+(** Upper bound on a single frame body (64 MiB). *)
+val max_frame_bytes : int
+
+val encode_frame : frame -> string
+
+(** Split as many complete frames as possible off the head of the
+    buffer; returns the decoded frames (or per-frame decode errors)
+    and the unconsumed tail.  [Error] on an oversized or negative
+    length prefix (the connection should be dropped). *)
+val decode_frames :
+  string -> ((frame, string) result list * string, string) result
+
+(** Blocking single-frame IO (client side and tests; the server uses
+    the incremental {!decode_frames}). *)
+val write_frame : Unix.file_descr -> frame -> unit
+
+val read_frame : Unix.file_descr -> (frame, string) result

@@ -1,0 +1,383 @@
+(** The [mhlsc serve] daemon loop.
+
+    A single-threaded {!Unix.select} reactor over one Unix-domain
+    listener (and optionally a loopback TCP listener).  The expensive
+    state — interner, analysis caches, the driver's domain pool and
+    content-addressed result cache — lives in the {e dispatcher}
+    closure the caller passes in, so it stays warm across requests;
+    this module only does admission control, coalescing, response
+    memoization and bookkeeping:
+
+    + {b admission control}: at most [queue_max] requests may be
+      pending; beyond that a request is answered [busy] (with the
+      current depth) instead of queueing unboundedly;
+    + {b coalescing}: all pending requests with the same
+      {!Protocol.request_key} share a single dispatcher evaluation —
+      one compile, N responses;
+    + {b memoization}: successful payloads are remembered by request
+      key, so a resubmitted identical request is served without
+      re-entering the dispatcher at all;
+    + {b streaming}: requests sent with ["stream": true] receive pass
+      events (re-emitted from the {!Support.Tracing} hook) before
+      their response.
+
+    The loop owns no compiler knowledge: [Stats], [Ping] and
+    [Shutdown] are handled here, everything else goes through the
+    injected dispatcher.  That keeps the dependency arrow pointing one
+    way — the CLI handler library depends on the protocol, never the
+    reverse. *)
+
+module Diag = Support.Diag
+module P = Protocol
+
+(** How one request becomes a payload.  The hook receives pass events
+    for streaming clients; implementations should forward it into the
+    flows they run. *)
+type dispatch =
+  trace:Support.Tracing.hook ->
+  P.request ->
+  (P.payload, Diag.t list) result
+
+type config = {
+  socket_path : string option;  (** Unix-domain listener *)
+  tcp_port : int option;  (** loopback TCP listener *)
+  queue_max : int;  (** admission-control bound *)
+  log : string -> unit;  (** daemon-side progress lines *)
+}
+
+let default_config =
+  {
+    socket_path = Some "mhlsc.sock";
+    tcp_port = None;
+    queue_max = 64;
+    log = ignore;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Internal state                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type client = {
+  c_fd : Unix.file_descr;
+  mutable c_buf : string;  (** unconsumed bytes (partial frames) *)
+}
+
+type pending = {
+  pd_fd : Unix.file_descr;
+  pd_id : int;
+  pd_stream : bool;
+  pd_req : P.request;
+  pd_key : string option;
+  pd_arrival : float;
+}
+
+type state = {
+  cfg : config;
+  dispatch : dispatch;
+  counters : unit -> int * int;  (** driver cache (hits, misses) *)
+  clients : (Unix.file_descr, client) Hashtbl.t;
+  queue : pending Queue.t;
+  memo : (string, P.payload) Hashtbl.t;
+  latency : (string, float list ref) Hashtbl.t;  (** kind → ms samples *)
+  mutable served : int;
+  mutable evaluated : int;
+  mutable coalesced : int;
+  mutable memo_hits : int;
+  mutable busy : int;
+  mutable running : bool;
+}
+
+let record_latency (st : state) (kind : string) (ms : float) =
+  match Hashtbl.find_opt st.latency kind with
+  | Some r -> r := ms :: !r
+  | None -> Hashtbl.add st.latency kind (ref [ ms ])
+
+let percentile (sorted : float array) (p : float) : float =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+
+let latency_stats (st : state) : P.latency_stat list =
+  Hashtbl.fold (fun kind samples acc -> (kind, !samples) :: acc) st.latency []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map (fun (kind, samples) ->
+         let a = Array.of_list samples in
+         Array.sort compare a;
+         {
+           P.ls_kind = kind;
+           ls_count = Array.length a;
+           ls_p50_ms = percentile a 50.0;
+           ls_p99_ms = percentile a 99.0;
+         })
+
+let stats_payload (st : state) : P.payload =
+  let hits, misses = st.counters () in
+  P.R_stats
+    {
+      P.st_served = st.served;
+      st_evaluated = st.evaluated;
+      st_coalesced = st.coalesced;
+      st_memo_hits = st.memo_hits;
+      st_busy = st.busy;
+      st_cache_hits = hits;
+      st_cache_misses = misses;
+      st_queue_depth = Queue.length st.queue;
+      st_queue_max = st.cfg.queue_max;
+      st_latency = latency_stats st;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Client IO                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let drop_client (st : state) (fd : Unix.file_descr) =
+  if Hashtbl.mem st.clients fd then begin
+    Hashtbl.remove st.clients fd;
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  end
+
+(** Send a frame, dropping the client on a broken pipe; pending
+    replies to a vanished client are simply discarded. *)
+let send (st : state) (fd : Unix.file_descr) (f : P.frame) =
+  if Hashtbl.mem st.clients fd then
+    try P.write_frame fd f
+    with Unix.Unix_error _ | Sys_error _ -> drop_client st fd
+
+let respond (st : state) (fd : Unix.file_descr) (id : int) (r : P.reply) =
+  send st fd (P.Response { r_id = id; r_reply = r })
+
+(* ------------------------------------------------------------------ *)
+(* Request intake                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let reply_now (st : state) (p : pending) (r : P.reply) =
+  st.served <- st.served + 1;
+  record_latency st
+    (P.request_kind p.pd_req)
+    ((Unix.gettimeofday () -. p.pd_arrival) *. 1000.0);
+  respond st p.pd_fd p.pd_id r
+
+let enqueue (st : state) (fd : Unix.file_descr) ~id ~stream
+    (req : P.request) =
+  let now = Unix.gettimeofday () in
+  let p =
+    {
+      pd_fd = fd;
+      pd_id = id;
+      pd_stream = stream;
+      pd_req = req;
+      pd_key = P.request_key req;
+      pd_arrival = now;
+    }
+  in
+  match req with
+  | P.Ping -> reply_now st p (P.Done P.R_pong)
+  | P.Stats -> reply_now st p (P.Done (stats_payload st))
+  | P.Shutdown ->
+      st.cfg.log "shutdown requested";
+      reply_now st p (P.Done P.R_shutdown);
+      st.running <- false
+  | _ ->
+      if Queue.length st.queue >= st.cfg.queue_max then begin
+        st.busy <- st.busy + 1;
+        respond st fd id (P.Busy (Queue.length st.queue))
+      end
+      else Queue.add p st.queue
+
+let handle_frame (st : state) (fd : Unix.file_descr) = function
+  | Ok (P.Request { q_id; q_stream; q_req }) ->
+      enqueue st fd ~id:q_id ~stream:q_stream q_req
+  | Ok (P.Response _ | P.Event _) ->
+      respond st fd 0
+        (P.Failed
+           [ P.protocol_error "clients may only send request frames" ])
+  | Error msg ->
+      respond st fd 0 (P.Failed [ P.protocol_error "bad frame: %s" msg ])
+
+let read_client (st : state) (c : client) =
+  let chunk = Bytes.create 65536 in
+  match Unix.read c.c_fd chunk 0 (Bytes.length chunk) with
+  | 0 -> drop_client st c.c_fd
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      drop_client st c.c_fd
+  | n -> (
+      c.c_buf <- c.c_buf ^ Bytes.sub_string chunk 0 n;
+      match P.decode_frames c.c_buf with
+      | Error msg ->
+          st.cfg.log (Printf.sprintf "dropping client: %s" msg);
+          drop_client st c.c_fd
+      | Ok (frames, rest) ->
+          c.c_buf <- rest;
+          List.iter (handle_frame st c.c_fd) frames)
+
+(* ------------------------------------------------------------------ *)
+(* Draining: coalesce, memoize, dispatch                              *)
+(* ------------------------------------------------------------------ *)
+
+(** One evaluation for a whole group of identical requests. *)
+let evaluate_group (st : state) (group : pending list) =
+  let lead = List.hd group in
+  let n = List.length group in
+  let memoized =
+    match lead.pd_key with
+    | Some key -> Hashtbl.find_opt st.memo key
+    | None -> None
+  in
+  match memoized with
+  | Some payload ->
+      st.memo_hits <- st.memo_hits + n;
+      List.iter (fun p -> reply_now st p (P.Done payload)) group
+  | None ->
+      let streamers = List.filter (fun p -> p.pd_stream) group in
+      let trace (ev : Support.Tracing.event) =
+        List.iter
+          (fun p ->
+            send st p.pd_fd
+              (P.Event
+                 {
+                   P.e_id = p.pd_id;
+                   e_stage = ev.Support.Tracing.ev_stage;
+                   e_pass = ev.Support.Tracing.ev_pass;
+                   e_seconds = ev.Support.Tracing.ev_seconds;
+                   e_before = ev.Support.Tracing.ev_instrs_before;
+                   e_after = ev.Support.Tracing.ev_instrs_after;
+                 }))
+          streamers
+      in
+      st.evaluated <- st.evaluated + 1;
+      st.coalesced <- st.coalesced + (n - 1);
+      let reply =
+        match st.dispatch ~trace lead.pd_req with
+        | Ok payload ->
+            (match lead.pd_key with
+            | Some key -> Hashtbl.replace st.memo key payload
+            | None -> ());
+            P.Done payload
+        | Error ds -> P.Failed ds
+        | exception exn ->
+            P.Failed
+              [
+                Diag.error ~rule:"HLS000" "internal dispatcher failure: %s"
+                  (Printexc.to_string exn);
+              ]
+      in
+      List.iter (fun p -> reply_now st p reply) group
+
+(** Drain everything currently queued.  Requests that share a
+    {!Protocol.request_key} are grouped — first-arrival order decides
+    evaluation order — and each group is evaluated exactly once. *)
+let drain (st : state) =
+  if not (Queue.is_empty st.queue) then begin
+    let items = List.of_seq (Queue.to_seq st.queue) in
+    Queue.clear st.queue;
+    let groups : (string, pending list ref) Hashtbl.t = Hashtbl.create 8 in
+    let order = ref [] in
+    List.iter
+      (fun p ->
+        match p.pd_key with
+        | None -> order := `One p :: !order
+        | Some key -> (
+            match Hashtbl.find_opt groups key with
+            | Some r -> r := p :: !r
+            | None ->
+                let r = ref [ p ] in
+                Hashtbl.add groups key r;
+                order := `Group r :: !order))
+      items;
+    List.iter
+      (function
+        | `One p -> evaluate_group st [ p ]
+        | `Group r -> evaluate_group st (List.rev !r))
+      (List.rev !order)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Listeners and the reactor                                          *)
+(* ------------------------------------------------------------------ *)
+
+let unix_listener (path : string) : Unix.file_descr =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
+let tcp_listener (port : int) : Unix.file_descr =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 64;
+  fd
+
+let accept_client (st : state) (lfd : Unix.file_descr) =
+  match Unix.accept lfd with
+  | fd, _ -> Hashtbl.replace st.clients fd { c_fd = fd; c_buf = "" }
+  | exception Unix.Unix_error _ -> ()
+
+(** Run the daemon until a [shutdown] request arrives.  [counters]
+    reports the driver result-cache (hits, misses) for [stats];
+    [ready] fires once the listeners are bound (tests and scripts use
+    it to know when to connect). *)
+let serve ?(config = default_config) ?(counters = fun () -> (0, 0))
+    ?(ready = fun () -> ()) ~(dispatch : dispatch) () : unit =
+  let listeners =
+    (match config.socket_path with
+    | Some p ->
+        config.log (Printf.sprintf "listening on %s" p);
+        [ unix_listener p ]
+    | None -> [])
+    @
+    match config.tcp_port with
+    | Some port ->
+        config.log (Printf.sprintf "listening on 127.0.0.1:%d" port);
+        [ tcp_listener port ]
+    | None -> []
+  in
+  if listeners = [] then
+    invalid_arg "Server.serve: no socket path and no TCP port";
+  let st =
+    {
+      cfg = config;
+      dispatch;
+      counters;
+      clients = Hashtbl.create 16;
+      queue = Queue.create ();
+      memo = Hashtbl.create 64;
+      latency = Hashtbl.create 8;
+      served = 0;
+      evaluated = 0;
+      coalesced = 0;
+      memo_hits = 0;
+      busy = 0;
+      running = true;
+    }
+  in
+  ready ();
+  while st.running do
+    let client_fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) st.clients [] in
+    match Unix.select (listeners @ client_fds) [] [] (-1.0) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, _, _ ->
+        List.iter
+          (fun fd ->
+            if List.mem fd listeners then accept_client st fd
+            else
+              match Hashtbl.find_opt st.clients fd with
+              | Some c -> read_client st c
+              | None -> ())
+          readable;
+        (* Intake first, then drain: every request read in this wave is
+           in the queue before grouping, so identical requests written
+           back-to-back are guaranteed to coalesce. *)
+        drain st
+  done;
+  Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ())
+    st.clients;
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    listeners;
+  (match config.socket_path with
+  | Some p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+  | None -> ());
+  config.log "daemon stopped"

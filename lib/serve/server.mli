@@ -1,0 +1,38 @@
+(** The [mhlsc serve] daemon loop: a single-threaded select reactor
+    providing admission control (bounded queue, [busy] rejection),
+    request coalescing (identical in-flight requests share one
+    evaluation), response memoization and per-kind latency statistics.
+    All compiler knowledge is injected through the {!dispatch}
+    callback, so this module depends only on {!Protocol}. *)
+
+(** How one request becomes a payload.  The hook receives pass events
+    for streaming clients; implementations should forward it into the
+    flows they run. *)
+type dispatch =
+  trace:Support.Tracing.hook ->
+  Protocol.request ->
+  (Protocol.payload, Support.Diag.t list) result
+
+type config = {
+  socket_path : string option;  (** Unix-domain listener *)
+  tcp_port : int option;  (** loopback TCP listener *)
+  queue_max : int;  (** admission-control bound *)
+  log : string -> unit;  (** daemon-side progress lines *)
+}
+
+(** [mhlsc.sock], no TCP, queue bound 64, silent. *)
+val default_config : config
+
+(** Run the daemon until a [shutdown] request arrives; raises
+    [Invalid_argument] if the config names no listener at all.
+    [counters] reports the driver result-cache (hits, misses) for
+    [stats]; [ready] fires once the listeners are bound (tests and
+    scripts use it to know when to connect).  On return the listeners
+    are closed and the socket file removed. *)
+val serve :
+  ?config:config ->
+  ?counters:(unit -> int * int) ->
+  ?ready:(unit -> unit) ->
+  dispatch:dispatch ->
+  unit ->
+  unit

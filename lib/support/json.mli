@@ -1,0 +1,40 @@
+(** Minimal two-way JSON codec shared by every layer that must {e read}
+    JSON (the serve protocol) as well as write it.  Object fields keep
+    insertion order; printing is deterministic; parsing never raises. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Deterministic single-line rendering ([", "]-separated, like the
+    hand-rolled printers elsewhere in the tree). *)
+val to_string : t -> string
+
+(** Parse one JSON document; [Error] carries a byte offset and reason.
+    Trailing non-whitespace is an error. *)
+val parse : string -> (t, string) result
+
+(** [member k v] is field [k] of object [v], if any. *)
+val member : string -> t -> t option
+
+val to_str : t -> string option
+val to_int : t -> int option
+
+(** Accepts both [Int] and [Float]. *)
+val to_float : t -> float option
+
+val to_bool : t -> bool option
+val to_list : t -> t list option
+
+(** [Option.bind (member k v)] over the matching accessor. *)
+val str_member : string -> t -> string option
+
+val int_member : string -> t -> int option
+val float_member : string -> t -> float option
+val bool_member : string -> t -> bool option
+val list_member : string -> t -> t list option

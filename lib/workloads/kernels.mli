@@ -1,0 +1,51 @@
+(** The kernel zoo: PolyBench-style workloads expressed as MHIR
+    builders, each with a scalar reference implementation for cosim.
+
+    Builder internals (attribute plumbing, the shared matmul emitter)
+    are not exported — construct kernels through the named
+    constructors and drive them via the [build] field. *)
+
+type strategy = Inner | Middle
+
+(** Directive bundle applied when building a kernel: where to pipeline
+    ([strategy]), target II, unroll factor, and array partitioning as
+    [(array, kind, factor, dim)]. *)
+type directives = {
+  pipeline_ii : int option;
+  unroll : int option;
+  strategy : strategy;
+  partitions : (string * string * int * int) list;
+}
+
+val no_directives : directives
+val pipelined : directives
+val optimized : ?factor:int -> parts:(string * int) list -> unit -> directives
+
+type kernel = {
+  kname : string;
+  description : string;
+  args : (string * int list) list;  (** argument name and dims *)
+  outputs : string list;
+  build : directives -> Mhir.Ir.modul;
+  reference : float array list -> unit;
+}
+
+val gemm : ?n:int -> unit -> kernel
+val mm2 : ?n:int -> unit -> kernel
+val mm3 : ?n:int -> unit -> kernel
+val atax : ?n:int -> unit -> kernel
+val bicg : ?n:int -> unit -> kernel
+val mvt : ?n:int -> unit -> kernel
+val gesummv : ?n:int -> unit -> kernel
+val fir : ?n:int -> ?taps:int -> unit -> kernel
+val conv2d : ?h:int -> ?w:int -> ?k:int -> unit -> kernel
+val jacobi2d : ?n:int -> unit -> kernel
+val syrk : ?n:int -> unit -> kernel
+val doitgen : ?r:int -> ?q:int -> ?p:int -> unit -> kernel
+val seidel2d : ?n:int -> unit -> kernel
+val mmcall : ?n:int -> unit -> kernel
+
+(** Every kernel at its default problem size. *)
+val all : ?scale:int -> unit -> kernel list
+
+val by_name : string -> kernel option

@@ -108,8 +108,8 @@ let test_session_incremental () =
   let dir = fresh_dir () in
   D.with_session ~cache_dir:dir ~jobs:2 (fun s ->
       let js = small_jobs () in
-      let b1 = D.submit s js in
-      let b2 = D.submit s js in
+      let b1 = D.submit_exn s js in
+      let b2 = D.submit_exn s js in
       Alcotest.(check int)
         "session counts both submissions"
         (2 * List.length js)
@@ -122,14 +122,18 @@ let test_session_incremental () =
         b2;
       Alcotest.(check string) "identical QoR across submissions" (qor b1)
         (qor b2));
-  (* a closed session rejects further work *)
+  (* a closed session rejects further work with an HLS904 diagnostic,
+     not an exception (the unified result-based error convention) *)
   let s = D.create_session ~jobs:1 () in
   D.close_session s;
   D.close_session s;
   (* idempotent *)
   (match D.submit s (small_jobs ()) with
-  | _ -> Alcotest.fail "submit after close must be rejected"
-  | exception Invalid_argument _ -> ());
+  | Ok _ -> Alcotest.fail "submit after close must be rejected"
+  | Error [ d ] ->
+      Alcotest.(check string) "closed-session rule" "HLS904"
+        d.Support.Diag.rule
+  | Error _ -> Alcotest.fail "expected exactly one HLS904 diagnostic");
   rm_rf dir
 
 (* ------------------------------------------------------------------ *)

@@ -32,4 +32,5 @@ let () =
       ("misc", Test_misc.suite);
       ("int-semantics", Test_int_semantics.suite);
       ("difftest", Test_difftest.suite);
+      ("serve", Test_serve.suite);
     ]

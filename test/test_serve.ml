@@ -1,0 +1,529 @@
+(** Serve-protocol and daemon tests: golden JSON per request variant,
+    codec round-trips, incremental framing, and a live daemon exercise
+    covering concurrent clients, coalescing, memoization and clean
+    shutdown. *)
+
+module P = Mhls_serve.Protocol
+module Server = Mhls_serve.Server
+module Client = Mhls_serve.Client
+module H = Mhls_cli.Handlers
+module R = Mhls_cli.Render
+
+let check = Alcotest.(check string)
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Sample requests, one per variant                                   *)
+(* ------------------------------------------------------------------ *)
+
+let full_directives =
+  {
+    P.d_ii = Some 2;
+    d_unroll = Some 4;
+    d_strategy = "middle";
+    d_partitions = [ ("a", "cyclic", 2, 1) ];
+  }
+
+let compile_full =
+  P.Compile
+    {
+      c_kernel = "gemm";
+      c_flow = "direct";
+      c_directives = full_directives;
+      c_clock_ns = 10.0;
+      c_passes = Some [ "typed-pointers" ];
+      c_disable = [ "translate-metadata" ];
+    }
+
+let compile_min =
+  P.Compile
+    {
+      c_kernel = "fir";
+      c_flow = "cpp";
+      c_directives = P.no_directives;
+      c_clock_ns = 10.0;
+      c_passes = None;
+      c_disable = [];
+    }
+
+let lint_req =
+  P.Lint
+    {
+      l_kernel = Some "gemm";
+      l_source = None;
+      l_directives = P.no_directives;
+      l_rules = Some [ "HLS201" ];
+      l_werror = true;
+      l_top = Some "gemm";
+      l_passes = None;
+      l_disable = [];
+    }
+
+let opt_req =
+  P.Opt
+    {
+      op_source = None;
+      op_synth = Some 4;
+      op_passes = Some [ "dce" ];
+      op_parallel = true;
+      op_jobs = 2;
+      op_parsafe = false;
+      op_json = false;
+    }
+
+let dse_req =
+  P.Dse
+    {
+      ds_kernel = "gemm";
+      ds_max_evals = Some 8;
+      ds_rounds = None;
+      ds_stable = None;
+      ds_budget_bram = Some 32;
+      ds_budget_dsp = None;
+      ds_budget_lut = None;
+      ds_clock_ns = 10.0;
+    }
+
+let fuzz_req =
+  P.Fuzz
+    { f_seed = 7; f_count = 5; f_stages = [ "lower" ]; f_shrink = false;
+      f_jobs = 1 }
+
+let all_requests =
+  [
+    compile_full; compile_min; lint_req; opt_req; dse_req; fuzz_req;
+    P.List_kernels; P.Stats; P.Ping; P.Shutdown;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Golden JSON                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The wire encoding is part of the public contract (schema v1): these
+   strings must never change without bumping [P.version]. *)
+let goldens =
+  [
+    ( compile_full,
+      {|{"kind": "compile", "kernel": "gemm", "flow": "direct", "directives": {"ii": 2, "unroll": 4, "strategy": "middle", "partitions": [["a", "cyclic", 2, 1]]}, "clock_ns": 10.0, "passes": ["typed-pointers"], "disable": ["translate-metadata"]}|}
+    );
+    ( compile_min,
+      {|{"kind": "compile", "kernel": "fir", "flow": "cpp", "directives": {"ii": 1, "unroll": null, "strategy": "inner", "partitions": []}, "clock_ns": 10.0, "passes": null, "disable": []}|}
+    );
+    ( lint_req,
+      {|{"kind": "lint", "kernel": "gemm", "source": null, "directives": {"ii": 1, "unroll": null, "strategy": "inner", "partitions": []}, "rules": ["HLS201"], "werror": true, "top": "gemm", "passes": null, "disable": []}|}
+    );
+    ( opt_req,
+      {|{"kind": "opt", "source": null, "synth": 4, "passes": ["dce"], "parallel": true, "jobs": 2, "parsafe": false, "json": false}|}
+    );
+    ( dse_req,
+      {|{"kind": "dse", "kernel": "gemm", "max_evals": 8, "rounds": null, "stable_rounds": null, "budget_bram": 32, "budget_dsp": null, "budget_lut": null, "clock_ns": 10.0}|}
+    );
+    ( fuzz_req,
+      {|{"kind": "fuzz", "seed": 7, "count": 5, "stages": ["lower"], "shrink": false, "jobs": 1}|}
+    );
+    (P.List_kernels, {|{"kind": "list"}|});
+    (P.Stats, {|{"kind": "stats"}|});
+    (P.Ping, {|{"kind": "ping"}|});
+    (P.Shutdown, {|{"kind": "shutdown"}|});
+  ]
+
+let test_golden_requests () =
+  List.iter
+    (fun (req, want) ->
+      check
+        (Printf.sprintf "golden %s" (P.request_kind req))
+        want
+        (Support.Json.to_string (P.request_to_json req)))
+    goldens
+
+let test_golden_frames () =
+  let cases =
+    [
+      ( P.Request { q_id = 3; q_stream = true; q_req = P.Ping },
+        {|{"v": 1, "frame": "request", "id": 3, "stream": true, "kind": "ping"}|}
+      );
+      ( P.Response { r_id = 9; r_reply = P.Busy 64 },
+        {|{"v": 1, "frame": "response", "id": 9, "status": "busy", "queue_depth": 64}|}
+      );
+      ( P.Event
+          { e_id = 5; e_stage = "adaptor"; e_pass = "typed-pointers";
+            e_seconds = 0.25; e_before = 10; e_after = 8 },
+        {|{"v": 1, "frame": "event", "id": 5, "stage": "adaptor", "pass": "typed-pointers", "seconds": 0.25, "before": 10, "after": 8}|}
+      );
+      ( P.Response
+          {
+            r_id = 2;
+            r_reply =
+              P.Failed
+                [
+                  Support.Diag.error ~rule:"HLS905" ~func:"f" ~hint:"h"
+                    "boom %d" 1;
+                ];
+          },
+        {|{"v": 1, "frame": "response", "id": 2, "status": "error", "diagnostics": [{"rule": "HLS905", "severity": "error", "function": "f", "location": null, "message": "boom 1", "hint": "h"}]}|}
+      );
+      ( P.Response { r_id = 1; r_reply = P.Done P.R_pong },
+        {|{"v": 1, "frame": "response", "id": 1, "status": "ok", "kind": "ping", "payload": {}}|}
+      );
+    ]
+  in
+  List.iter
+    (fun (frame, want) -> check "golden frame" want (P.frame_to_string frame))
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Round-trips                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let canon req = Support.Json.to_string (P.request_to_json req)
+
+let test_request_roundtrip () =
+  List.iter
+    (fun req ->
+      match P.request_of_json (P.request_to_json req) with
+      | Error e -> Alcotest.failf "decode %s: %s" (P.request_kind req) e
+      | Ok req' -> check (P.request_kind req) (canon req) (canon req'))
+    all_requests
+
+let test_frame_roundtrip () =
+  let frames =
+    List.mapi
+      (fun i req -> P.Request { q_id = i + 1; q_stream = i mod 2 = 0; q_req = req })
+      all_requests
+    @ [
+        P.Response { r_id = 1; r_reply = P.Done P.R_pong };
+        P.Response { r_id = 2; r_reply = P.Busy 3 };
+        P.Response
+          { r_id = 3;
+            r_reply = P.Failed [ P.protocol_error "no such kernel %s" "x" ] };
+        P.Event
+          { e_id = 4; e_stage = "lower"; e_pass = "mem2reg"; e_seconds = 0.5;
+            e_before = 12; e_after = 9 };
+      ]
+  in
+  List.iter
+    (fun f ->
+      match P.frame_of_string (P.frame_to_string f) with
+      | Error e -> Alcotest.failf "frame decode: %s" e
+      | Ok f' -> check "frame" (P.frame_to_string f) (P.frame_to_string f'))
+    frames
+
+let test_lenient_defaults () =
+  match Support.Json.parse {|{"kind": "compile", "kernel": "gemm"}|} with
+  | Error e -> Alcotest.fail e
+  | Ok j -> (
+      match P.request_of_json j with
+      | Error e -> Alcotest.fail e
+      | Ok (P.Compile c) ->
+          check "default flow" "direct" c.P.c_flow;
+          Alcotest.(check (float 1e-9)) "default clock" 10.0 c.P.c_clock_ns;
+          checkb "default passes" true (c.P.c_passes = None)
+      | Ok r -> Alcotest.failf "wrong kind %s" (P.request_kind r))
+
+let test_request_key () =
+  (* Identical content gives identical keys; jobs that must never be
+     coalesced have none. *)
+  let k1 = P.request_key compile_full and k2 = P.request_key compile_full in
+  checkb "same content, same key" true (k1 = k2 && k1 <> None);
+  checkb "different content, different key" true
+    (P.request_key compile_full <> P.request_key compile_min);
+  List.iter
+    (fun r ->
+      checkb
+        (Printf.sprintf "%s has no key" (P.request_kind r))
+        true
+        (P.request_key r = None))
+    [ P.List_kernels; P.Stats; P.Ping; P.Shutdown ]
+
+let test_incremental_framing () =
+  let f1 = P.Request { q_id = 1; q_stream = false; q_req = P.Ping } in
+  let f2 = P.Request { q_id = 2; q_stream = false; q_req = P.Stats } in
+  let wire = P.encode_frame f1 ^ P.encode_frame f2 in
+  (* A partial prefix yields no frames and keeps the tail intact. *)
+  let cut = String.length (P.encode_frame f1) + 2 in
+  (match P.decode_frames (String.sub wire 0 cut) with
+  | Error e -> Alcotest.fail e
+  | Ok (frames, rest) ->
+      checki "one complete frame" 1 (List.length frames);
+      checki "partial tail kept" 2 (String.length rest));
+  (* The full buffer decodes both frames with nothing left over. *)
+  (match P.decode_frames wire with
+  | Error e -> Alcotest.fail e
+  | Ok (frames, rest) ->
+      checki "two frames" 2 (List.length frames);
+      check "no tail" "" rest;
+      List.iteri
+        (fun i f ->
+          match f with
+          | Ok f' ->
+              check "frame body"
+                (P.frame_to_string (if i = 0 then f1 else f2))
+                (P.frame_to_string f')
+          | Error e -> Alcotest.fail e)
+        frames);
+  (* An oversized length prefix is a connection-fatal framing error. *)
+  let huge = Bytes.create 4 in
+  Bytes.set_int32_be huge 0 0x7fffffffl;
+  checkb "oversized frame rejected" true
+    (match P.decode_frames (Bytes.to_string huge) with
+    | Error _ -> true
+    | Ok _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Live daemon                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let render_reply r =
+  Support.Json.to_string (P.frame_to_json (P.Response { r_id = 0; r_reply = r }))
+
+let compile_kernel name =
+  P.Compile
+    {
+      c_kernel = name;
+      c_flow = "direct";
+      c_directives = P.no_directives;
+      c_clock_ns = 10.0;
+      c_passes = None;
+      c_disable = [];
+    }
+
+let get_stats c =
+  match Client.request c P.Stats with
+  | Ok (P.Done (P.R_stats s)) -> s
+  | Ok r -> Alcotest.failf "stats: unexpected reply %s" (render_reply r)
+  | Error e -> Alcotest.failf "stats: %s" e
+
+let with_daemon f =
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mhlsc-test-%d.sock" (Unix.getpid ()))
+  in
+  if Sys.file_exists sock then Sys.remove sock;
+  let config =
+    { Server.default_config with Server.socket_path = Some sock }
+  in
+  let daemon =
+    Domain.spawn (fun () ->
+        let env = H.create_env ~jobs:1 () in
+        Fun.protect
+          ~finally:(fun () -> H.close_env env)
+          (fun () ->
+            Server.serve ~config
+              ~counters:(fun () -> H.counters env)
+              ~dispatch:(H.dispatch env) ()))
+  in
+  Fun.protect
+    ~finally:(fun () -> Domain.join daemon)
+    (fun () ->
+      match Client.connect_unix ~retry_for:10.0 sock with
+      | Error e -> Alcotest.failf "connect: %s" e
+      | Ok c ->
+          Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f sock c))
+
+let test_daemon () =
+  with_daemon (fun sock c ->
+      (* Ping. *)
+      (match Client.request c P.Ping with
+      | Ok (P.Done P.R_pong) -> ()
+      | Ok r -> Alcotest.failf "ping: %s" (render_reply r)
+      | Error e -> Alcotest.failf "ping: %s" e);
+
+      (* Two clients, same compile: the first evaluates, the second is
+         served from the memo — the rendered CLI output must be
+         byte-identical across the two connections. *)
+      let req = compile_kernel "gemm" in
+      let resp_of cl =
+        match Client.request cl req with
+        | Ok (P.Done (P.R_compile r)) -> r
+        | Ok r -> Alcotest.failf "compile: %s" (render_reply r)
+        | Error e -> Alcotest.failf "compile: %s" e
+      in
+      let r1 = resp_of c in
+      let r2 =
+        match Client.connect_unix sock with
+        | Error e -> Alcotest.failf "second client: %s" e
+        | Ok c2 ->
+            Fun.protect ~finally:(fun () -> Client.close c2) (fun () ->
+                resp_of c2)
+      in
+      check "two clients byte-identical" (R.compile r1) (R.compile r2);
+
+      (* ...and structurally identical to running the handler directly
+         the way the CLI does (timing excluded: wall-clock seconds are
+         the one legitimately run-dependent field). *)
+      let env = H.create_env ~jobs:1 () in
+      let cli =
+        Fun.protect
+          ~finally:(fun () -> H.close_env env)
+          (fun () ->
+            match
+              H.compile env ~trace:Support.Tracing.null
+                {
+                  P.c_kernel = "gemm";
+                  c_flow = "direct";
+                  c_directives = P.no_directives;
+                  c_clock_ns = 10.0;
+                  c_passes = None;
+                  c_disable = [];
+                }
+            with
+            | Ok r -> r
+            | Error ds ->
+                Alcotest.failf "cli compile: %s" (Support.Diag.render ds))
+      in
+      check "daemon report = CLI report" cli.P.cr_report r1.P.cr_report;
+      checki "latency" cli.P.cr_latency r1.P.cr_latency;
+      checki "ii" cli.P.cr_ii r1.P.cr_ii;
+      checki "bram" cli.P.cr_bram r1.P.cr_bram;
+      checki "dsp" cli.P.cr_dsp r1.P.cr_dsp;
+
+      (* Coalescing: two identical, not-yet-seen requests written in
+         one segment arrive in one intake wave, so exactly one
+         evaluation serves both. *)
+      let before = get_stats c in
+      let replies =
+        match Client.pipeline c [ compile_kernel "fir"; compile_kernel "fir" ]
+        with
+        | Ok rs -> rs
+        | Error e -> Alcotest.failf "pipeline: %s" e
+      in
+      (match replies with
+      | [ a; b ] ->
+          checkb "both done" true
+            (match (a, b) with
+            | P.Done (P.R_compile _), P.Done (P.R_compile _) -> true
+            | _ -> false);
+          check "coalesced replies identical" (render_reply a)
+            (render_reply b)
+      | _ -> Alcotest.failf "expected 2 replies, got %d" (List.length replies));
+      let after = get_stats c in
+      checki "one evaluation for the pair" 1
+        (after.P.st_evaluated - before.P.st_evaluated);
+      checki "one request coalesced" 1
+        (after.P.st_coalesced - before.P.st_coalesced);
+
+      (* Memoization: resubmitting the identical request re-runs
+         nothing. *)
+      let before = after in
+      let _ = resp_of c in
+      let after = get_stats c in
+      checki "no new evaluation" 0 (after.P.st_evaluated - before.P.st_evaluated);
+      checkb "memo hit recorded" true
+        (after.P.st_memo_hits > before.P.st_memo_hits);
+
+      (* Streaming: a fresh compile forwards pass events before the
+         reply. *)
+      let events = ref 0 in
+      (match
+         Client.request ~stream:true
+           ~on_event:(fun _ -> incr events)
+           c (compile_kernel "mvt")
+       with
+      | Ok (P.Done (P.R_compile _)) -> ()
+      | Ok r -> Alcotest.failf "stream compile: %s" (render_reply r)
+      | Error e -> Alcotest.failf "stream compile: %s" e);
+      checkb "pass events streamed" true (!events > 0);
+
+      (* Stats shape. *)
+      let s = get_stats c in
+      checki "queue bound" Server.default_config.Server.queue_max
+        s.P.st_queue_max;
+      checkb "compile latency tracked" true
+        (List.exists
+           (fun l -> l.P.ls_kind = "compile" && l.P.ls_count >= 3)
+           s.P.st_latency);
+      checkb "p99 >= p50" true
+        (List.for_all
+           (fun l -> l.P.ls_p99_ms >= l.P.ls_p50_ms)
+           s.P.st_latency);
+
+      (* Lint through the daemon equals lint in-process. *)
+      let daemon_lint =
+        match
+          Client.request c
+            (P.Lint
+               {
+                 l_kernel = Some "gemm";
+                 l_source = None;
+                 l_directives = P.no_directives;
+                 l_rules = None;
+                 l_werror = false;
+                 l_top = None;
+                 l_passes = None;
+                 l_disable = [];
+               })
+        with
+        | Ok (P.Done (P.R_lint r)) -> r.P.lr_diags
+        | Ok r -> Alcotest.failf "lint: %s" (render_reply r)
+        | Error e -> Alcotest.failf "lint: %s" e
+      in
+      let cli_lint =
+        match
+          H.lint
+            {
+              P.l_kernel = Some "gemm";
+              l_source = None;
+              l_directives = P.no_directives;
+              l_rules = None;
+              l_werror = false;
+              l_top = None;
+              l_passes = None;
+              l_disable = [];
+            }
+        with
+        | Ok r -> r.P.lr_diags
+        | Error ds -> Alcotest.failf "cli lint: %s" (Support.Diag.render ds)
+      in
+      check "daemon lint = CLI lint" (Support.Diag.render cli_lint)
+        (Support.Diag.render daemon_lint);
+
+      (* Clean shutdown: acknowledged, loop exits, socket removed. *)
+      (match Client.request c P.Shutdown with
+      | Ok (P.Done P.R_shutdown) -> ()
+      | Ok r -> Alcotest.failf "shutdown: %s" (render_reply r)
+      | Error e -> Alcotest.failf "shutdown: %s" e));
+  ()
+
+let test_socket_removed () =
+  (* After the daemon test the socket must be gone; run a tiny
+     dedicated daemon to assert it without ordering assumptions. *)
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mhlsc-test-rm-%d.sock" (Unix.getpid ()))
+  in
+  let config =
+    { Server.default_config with Server.socket_path = Some sock }
+  in
+  let daemon =
+    Domain.spawn (fun () ->
+        Server.serve ~config
+          ~dispatch:(fun ~trace:_ _ ->
+            Error [ P.protocol_error "not implemented" ])
+          ())
+  in
+  (match Client.connect_unix ~retry_for:10.0 sock with
+  | Error e -> Alcotest.failf "connect: %s" e
+  | Ok c ->
+      Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+          match Client.request c P.Shutdown with
+          | Ok (P.Done P.R_shutdown) -> ()
+          | Ok r -> Alcotest.failf "shutdown: %s" (render_reply r)
+          | Error e -> Alcotest.failf "shutdown: %s" e));
+  Domain.join daemon;
+  checkb "socket unlinked on shutdown" false (Sys.file_exists sock)
+
+let suite =
+  [
+    Alcotest.test_case "golden request json" `Quick test_golden_requests;
+    Alcotest.test_case "golden frame json" `Quick test_golden_frames;
+    Alcotest.test_case "request round-trip" `Quick test_request_roundtrip;
+    Alcotest.test_case "frame round-trip" `Quick test_frame_roundtrip;
+    Alcotest.test_case "lenient request defaults" `Quick test_lenient_defaults;
+    Alcotest.test_case "request keys" `Quick test_request_key;
+    Alcotest.test_case "incremental framing" `Quick test_incremental_framing;
+    Alcotest.test_case "daemon end-to-end" `Quick test_daemon;
+    Alcotest.test_case "socket removed on shutdown" `Quick test_socket_removed;
+  ]
