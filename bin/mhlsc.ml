@@ -706,13 +706,60 @@ let serve_cmd =
   let quiet =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No daemon log lines.")
   in
-  let run socket tcp queue_max jobs cache_dir quiet =
-    let env = H.create_env ?cache_dir:(cache_dir_opt cache_dir) ~jobs () in
+  let budgets =
+    Arg.(value & opt_all string []
+         & info [ "budget" ] ~docv:"KIND=N"
+             ~doc:"Concurrent-evaluation bound for one request kind \
+                   (repeatable), e.g. $(b,--budget dse=1).  Kinds not \
+                   named keep their defaults (dse=1, fuzz=1, others 4).")
+  in
+  let max_rss =
+    Arg.(value & opt (some int) None
+         & info [ "max-rss-mb" ] ~docv:"MB"
+             ~doc:"Soft resident-memory cap: above it the daemon sheds its \
+                   response memo and latency rings instead of growing \
+                   without bound.")
+  in
+  let parse_budgets (specs : string list) : (string * int) list =
+    List.map
+      (fun spec ->
+        match String.index_opt spec '=' with
+        | Some i -> (
+            let kind = String.sub spec 0 i in
+            let n = String.sub spec (i + 1) (String.length spec - i - 1) in
+            match int_of_string_opt n with
+            | Some n when n >= 1 && kind <> "" -> (kind, n)
+            | _ ->
+                Printf.eprintf "serve: bad --budget '%s' (want KIND=N, N ≥ 1)\n"
+                  spec;
+                exit 2)
+        | None ->
+            Printf.eprintf "serve: bad --budget '%s' (want KIND=N)\n" spec;
+            exit 2)
+      specs
+  in
+  let run socket tcp queue_max jobs cache_dir quiet budgets max_rss =
+    let budgets = parse_budgets budgets in
+    let env =
+      (* Oversubscribed pool: the daemon trades cache-friendly sizing
+         for latency — short jobs must not wait behind a sweep just
+         because the host has few cores. *)
+      H.create_env ?cache_dir:(cache_dir_opt cache_dir) ~jobs
+        ~oversubscribe:true ()
+    in
+    let default = Mhls_serve.Server.default_config in
     let config =
       {
+        default with
         Mhls_serve.Server.socket_path = Some socket;
         tcp_port = tcp;
         queue_max;
+        budgets =
+          budgets
+          @ List.filter
+              (fun (k, _) -> not (List.mem_assoc k budgets))
+              default.Mhls_serve.Server.budgets;
+        max_rss_mb = max_rss;
         log =
           (if quiet then ignore
            else fun s -> Printf.eprintf "serve: %s\n%!" s);
@@ -721,21 +768,27 @@ let serve_cmd =
     Fun.protect
       ~finally:(fun () -> H.close_env env)
       (fun () ->
-        Mhls_serve.Server.serve ~config
-          ~counters:(fun () -> H.counters env)
-          ~dispatch:(H.dispatch env) ())
+        ok_or_die
+          (Mhls_serve.Server.serve ~config
+             ~counters:(fun () -> H.counters env)
+             ~exec:(H.background env)
+             ~dispatch:(H.dispatch env) ()))
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the long-lived compile daemon: accepts compile / lint / \
              opt / dse / fuzz jobs over a length-prefixed JSON protocol on \
              a Unix socket, keeping the domain pool and the \
-             content-addressed result cache warm across requests.  \
-             Identical in-flight requests coalesce into one evaluation; \
-             resubmitted requests are served from the response memo.  \
-             Stop with a $(b,shutdown) request (see `mhlsc client`).")
+             content-addressed result cache warm across requests.  Request \
+             groups evaluate concurrently on the domain pool under \
+             per-kind $(b,--budget) bounds with round-robin fairness \
+             across connections.  Identical queued or in-flight requests \
+             coalesce into one evaluation; resubmitted requests are served \
+             from the response memo.  Refuses to start (HLS906) if the \
+             socket is owned by a live daemon.  Stop with a $(b,shutdown) \
+             request (see `mhlsc client`).")
     Term.(const run $ socket_arg $ tcp $ queue_max $ jobs_arg
-          $ cache_dir_arg $ quiet)
+          $ cache_dir_arg $ quiet $ budgets $ max_rss)
 
 (* ------------------------------------------------------------------ *)
 (* client                                                             *)

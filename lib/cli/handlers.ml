@@ -36,10 +36,20 @@ type env = {
   jobs : int;
 }
 
-let create_env ?cache_dir ?(jobs = 1) () : env =
-  { session = D.create_session ?cache_dir ~jobs (); cache_dir; jobs }
+let create_env ?cache_dir ?(jobs = 1) ?(oversubscribe = false) () : env =
+  {
+    session = D.create_session ?cache_dir ~jobs ~oversubscribe ();
+    cache_dir;
+    jobs;
+  }
 
 let close_env (env : env) : unit = D.close_session env.session
+
+(** The serve reactor's executor: hand one group evaluation to a
+    session worker domain.  [false] (run it inline) on a closed
+    session or an inline pool. *)
+let background (env : env) (task : unit -> unit) : bool =
+  D.background env.session task
 
 (** Driver result-cache (hits, misses) — the [stats] request reports
     these next to the server's own counters. *)

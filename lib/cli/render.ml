@@ -107,6 +107,15 @@ let stats (s : P.stats_resp) : string =
     (Printf.sprintf "driver cache: %d hits, %d misses; queue %d/%d\n"
        s.P.st_cache_hits s.P.st_cache_misses s.P.st_queue_depth
        s.P.st_queue_max);
+  Buffer.add_string b
+    (Printf.sprintf "in flight %d%s; cancelled %d, shed %d\n" s.P.st_inflight
+       (match s.P.st_running with
+       | [] -> ""
+       | running ->
+           Printf.sprintf " (%s)"
+             (String.concat ", "
+                (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) running)))
+       s.P.st_cancelled s.P.st_shed);
   List.iter
     (fun l ->
       Buffer.add_string b

@@ -239,20 +239,24 @@ type session = {
   s_pipeline : Adaptor.Pipeline.t;
   s_cache : Cache.t option;
   s_pool : Pool.t;
-  mutable s_submitted : int;
+  s_submitted : int Atomic.t;
+      (** atomic: {!background} tasks submit from worker domains *)
   mutable s_closed : bool;
 }
 
 (** [create_session ()] spins up the worker pool (and opens the cache
     directory, if any) once; every subsequent {!submit} reuses both.
-    Close with {!close_session} — or lexically via {!with_session}. *)
+    Close with {!close_session} — or lexically via {!with_session}.
+    [~oversubscribe:true] passes through to {!Pool.create}: the serve
+    daemon wants [jobs] worker domains even on fewer cores, so a
+    short request can overtake a long one. *)
 let create_session ?(pipeline = Adaptor.Pipeline.default) ?cache_dir
-    ?(jobs = 1) () : session =
+    ?(jobs = 1) ?(oversubscribe = false) () : session =
   {
     s_pipeline = pipeline;
     s_cache = Option.map (fun dir -> Cache.create ~dir) cache_dir;
-    s_pool = Pool.create ~jobs;
-    s_submitted = 0;
+    s_pool = Pool.create ~oversubscribe ~jobs ();
+    s_submitted = Atomic.make 0;
     s_closed = false;
   }
 
@@ -280,9 +284,20 @@ let submit ?pipeline (s : session) (js : job list) :
       ]
   else begin
     let pipeline = Option.value pipeline ~default:s.s_pipeline in
-    s.s_submitted <- s.s_submitted + List.length js;
+    ignore (Atomic.fetch_and_add s.s_submitted (List.length js));
     Ok (Pool.run s.s_pool (run_job ~pipeline ~cache:s.s_cache) js)
   end
+
+(** [background s task] hands [task] to one of the session's worker
+    domains without blocking ({!Pool.submit}); [false] on a closed
+    session or an inline pool, in which case the caller should run the
+    thunk itself.  This is the serve reactor's executor: request
+    groups evaluate here while the select loop keeps reading.  A
+    submitted task may itself call {!submit} with a {e single-job}
+    batch (it runs inline on the worker), which is exactly what the
+    compile handler does. *)
+let background (s : session) (task : unit -> unit) : bool =
+  (not s.s_closed) && Pool.submit s.s_pool task
 
 (** {!submit} for callers that own a visibly open session (e.g. inside
     {!with_session}); raises {!Support.Diag.Failed} on a closed one. *)
@@ -292,7 +307,7 @@ let submit_exn ?pipeline (s : session) (js : job list) : outcome list =
   | Error ds -> raise (Diag.Failed ds)
 
 let session_pipeline (s : session) = s.s_pipeline
-let session_submitted (s : session) = s.s_submitted
+let session_submitted (s : session) = Atomic.get s.s_submitted
 let session_workers (s : session) = Pool.size s.s_pool
 
 let session_hits (s : session) =

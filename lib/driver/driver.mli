@@ -84,11 +84,15 @@ val run_job : pipeline:Adaptor.Pipeline.t -> cache:Cache.t option -> job -> outc
 type session
 
 (** Spin up the worker pool (and open the cache directory, if any)
-    once; every subsequent {!submit} reuses both. *)
+    once; every subsequent {!submit} reuses both.
+    [~oversubscribe:true] lifts the pool's hardware clamp (see
+    {!Pool.create}) — the serve daemon's concurrency-for-latency
+    trade. *)
 val create_session :
   ?pipeline:Adaptor.Pipeline.t ->
   ?cache_dir:string ->
   ?jobs:int ->
+  ?oversubscribe:bool ->
   unit ->
   session
 
@@ -107,6 +111,14 @@ val submit :
 (** {!submit} for callers that own a visibly open session; raises
     {!Support.Diag.Failed} where {!submit} returns [Error]. *)
 val submit_exn : ?pipeline:Adaptor.Pipeline.t -> session -> job list -> outcome list
+
+(** [background s task] hands [task] to a session worker domain
+    without blocking; [false] (nothing enqueued) on a closed session
+    or an inline pool — run the thunk yourself.  The serve reactor's
+    executor: a submitted task may call {!submit} with a single-job
+    batch (it runs inline on the worker), but must not submit
+    multi-job batches into this same session. *)
+val background : session -> (unit -> unit) -> bool
 
 val session_pipeline : session -> Adaptor.Pipeline.t
 val session_submitted : session -> int

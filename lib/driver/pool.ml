@@ -63,13 +63,20 @@ let fanout ~(jobs : int) : Llvmir.Pass.fanout =
 (* Live pool                                                          *)
 (* ------------------------------------------------------------------ *)
 
+(** A queued unit of work.  [t_batch] tasks belong to a blocking
+    {!run} batch and participate in its [pending] accounting;
+    {!submit}ted tasks do not — a worker must never signal
+    [batch_done] for them, or a concurrent {!run} would return with
+    slots still unfilled. *)
+type task = { t_run : unit -> unit; t_batch : bool }
+
 type t = {
   jobs : int;  (** worker-domain count; 0 = inline sequential pool *)
   mutex : Mutex.t;
   work_available : Condition.t;
   batch_done : Condition.t;
-  queue : (unit -> unit) Queue.t;
-  mutable pending : int;  (** tasks queued or running in this batch *)
+  queue : task Queue.t;
+  mutable pending : int;  (** batch tasks queued or running *)
   mutable stopping : bool;
   mutable domains : unit Domain.t list;
 }
@@ -85,11 +92,13 @@ let worker (p : t) () =
     else begin
       let task = Queue.pop p.queue in
       Mutex.unlock p.mutex;
-      task ();
-      Mutex.lock p.mutex;
-      p.pending <- p.pending - 1;
-      if p.pending = 0 then Condition.broadcast p.batch_done;
-      Mutex.unlock p.mutex;
+      task.t_run ();
+      if task.t_batch then begin
+        Mutex.lock p.mutex;
+        p.pending <- p.pending - 1;
+        if p.pending = 0 then Condition.broadcast p.batch_done;
+        Mutex.unlock p.mutex
+      end;
       loop ()
     end
   in
@@ -97,13 +106,19 @@ let worker (p : t) () =
 
 (** [create ~jobs] spawns a pool of [min jobs (recommended - 1)]
     worker domains (at least 0: with [jobs <= 1] no domain is spawned
-    and {!run} executes inline).  The pool never oversubscribes the
-    hardware — OCaml 5 minor collections are stop-the-world across
-    domains, so excess domains make allocation-heavy workloads
-    {e slower}. *)
-let create ~(jobs : int) : t =
+    and {!run} executes inline).  By default the pool never
+    oversubscribes the hardware — OCaml 5 minor collections are
+    stop-the-world across domains, so excess domains make
+    allocation-heavy workloads {e slower}.  [~oversubscribe:true]
+    lifts that clamp (still bounded by [max 16 recommended]): the
+    serve reactor wants concurrency-for-latency — a short compile
+    overtaking a long DSE sweep — which the OS scheduler provides by
+    timeslicing domains even on a single core. *)
+let create ?(oversubscribe = false) ~(jobs : int) () : t =
   let jobs =
     if jobs <= 1 then 0
+    else if oversubscribe then
+      min jobs (max 16 (Domain.recommended_domain_count ()))
     else min jobs (max 1 (Domain.recommended_domain_count ()))
   in
   let p =
@@ -145,7 +160,7 @@ let run (p : t) (f : 'a -> 'b) (xs : 'a list) : 'b list =
       invalid_arg "Pool.run: pool is shut down"
     end;
     for i = 0 to n - 1 do
-      Queue.push (task i) p.queue
+      Queue.push { t_run = task i; t_batch = true } p.queue
     done;
     p.pending <- p.pending + n;
     Condition.broadcast p.work_available;
@@ -160,6 +175,27 @@ let run (p : t) (f : 'a -> 'b) (xs : 'a list) : 'b list =
            | Some (Error e) -> raise e
            | None -> assert false)
          output)
+  end
+
+(** [submit p task] enqueues [task] for a worker domain without
+    blocking; it runs whenever a worker frees up and its completion is
+    never waited on here.  Returns [false] — and does {e not} enqueue —
+    on an inline pool ([jobs <= 1]) or a stopped pool, so the caller
+    knows to run the thunk itself.  [task] must not call {!run} with a
+    multi-element batch on this same pool: with every worker busy
+    executing submitted tasks, the nested batch would deadlock.
+    (Single-element batches are safe — {!run} executes those inline.) *)
+let submit (p : t) (task : unit -> unit) : bool =
+  if p.jobs = 0 then false
+  else begin
+    Mutex.lock p.mutex;
+    let accepted = not p.stopping in
+    if accepted then begin
+      Queue.push { t_run = task; t_batch = false } p.queue;
+      Condition.signal p.work_available
+    end;
+    Mutex.unlock p.mutex;
+    accepted
   end
 
 (** Stop the workers and join their domains.  Idempotent. *)

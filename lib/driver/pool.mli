@@ -17,9 +17,12 @@ val fanout : jobs:int -> Llvmir.Pass.fanout
 (** A live pool: workers are spawned once and reused by every {!run}. *)
 type t
 
-(** [create ~jobs] spawns the workers ([jobs <= 1] means inline, no
-    domains); the count is clamped to the hardware. *)
-val create : jobs:int -> t
+(** [create ~jobs ()] spawns the workers ([jobs <= 1] means inline, no
+    domains); the count is clamped to the hardware unless
+    [~oversubscribe:true], which trades GC-coordination throughput for
+    concurrency-for-latency (the serve reactor's trade: a short job
+    must be able to overtake a long one even on few cores). *)
+val create : ?oversubscribe:bool -> jobs:int -> unit -> t
 
 (** Number of worker domains actually running (1 when inline). *)
 val size : t -> int
@@ -29,6 +32,14 @@ val size : t -> int
     task's exception is re-raised here after the batch drains.
     @raise Invalid_argument after {!shutdown}. *)
 val run : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [submit p task] enqueues [task] on a worker without blocking and
+    without joining any batch accounting; [false] (nothing enqueued)
+    on an inline or stopped pool — run the thunk yourself.  [task]
+    must not call {!run} with a multi-element batch on the same
+    pool (deadlock when all workers are busy); single-element
+    batches run inline and are safe. *)
+val submit : t -> (unit -> unit) -> bool
 
 (** Stop the workers and join their domains.  Idempotent. *)
 val shutdown : t -> unit

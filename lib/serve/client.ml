@@ -61,6 +61,15 @@ let collect ?(on_event = fun (_ : P.event) -> ()) (c : t) (want : int list) :
       | P.Event ev ->
           on_event ev;
           go ()
+      | P.Response { r_id; r_reply } when r_id = P.sentinel_id ->
+          (* Connection-level error: the server could not attribute a
+             failure to any request id (malformed frame on this
+             connection).  No reply we are waiting for is coming. *)
+          Error
+            (match r_reply with
+            | P.Failed (d :: _) -> String.trim (Support.Diag.render [ d ])
+            | P.Failed [] | P.Done _ | P.Busy _ ->
+                "server reported a connection-level protocol error")
       | P.Response { r_id; r_reply } ->
           if Hashtbl.mem outstanding r_id then begin
             Hashtbl.remove outstanding r_id;

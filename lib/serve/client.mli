@@ -1,5 +1,10 @@
 (** Blocking client for the serve protocol — the library behind
-    [mhlsc client], the CI smoke test and the serve test suite. *)
+    [mhlsc client], the CI smoke test and the serve test suite.
+
+    A response carrying {!Protocol.sentinel_id} is a connection-level
+    protocol failure (the server could not attribute it to any request
+    id); {!request} and {!pipeline} surface it as [Error] rather than
+    waiting forever for replies that will never come. *)
 
 type t
 

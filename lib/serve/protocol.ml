@@ -30,7 +30,20 @@ let version = 1
     kind, missing field, admission rejection). *)
 let rule_protocol = "HLS905"
 
+(** Rule ID for a refused daemon startup: the requested socket path is
+    owned by a {e live} daemon (it accepted a probe connection), so
+    unlinking it would hijack that daemon's clients. *)
+let rule_socket_in_use = "HLS906"
+
 let protocol_error fmt = Diag.error ~rule:rule_protocol fmt
+
+(** Reserved response id for errors that cannot be attributed to any
+    request — a malformed frame (no parseable id) or a client-sent
+    response/event frame.  Real request ids are non-negative; the
+    server echoes a request's own id otherwise, so a client seeing
+    [sentinel_id] knows the error is connection-level, not a reply to
+    anything it sent. *)
+let sentinel_id = -1
 
 (* ------------------------------------------------------------------ *)
 (* Requests                                                           *)
@@ -176,6 +189,12 @@ type stats_resp = {
   st_cache_misses : int;
   st_queue_depth : int;  (** pending requests at the time of answering *)
   st_queue_max : int;  (** admission-control bound *)
+  st_inflight : int;  (** groups currently evaluating on the pool *)
+  st_running : (string * int) list;
+      (** in-flight groups per kind, sorted by kind (only kinds > 0) *)
+  st_cancelled : int;
+      (** queued groups dropped because every waiter disconnected *)
+  st_shed : int;  (** memo/ring shed events under [--max-rss-mb] *)
   st_latency : latency_stat list;  (** per job kind, sorted by kind *)
 }
 
@@ -384,6 +403,15 @@ let payload_fields : payload -> (string * Json.t) list = function
         ("cache_misses", Json.Int s.st_cache_misses);
         ("queue_depth", Json.Int s.st_queue_depth);
         ("queue_max", Json.Int s.st_queue_max);
+        ("inflight", Json.Int s.st_inflight);
+        ( "running",
+          Json.List
+            (List.map
+               (fun (kind, n) ->
+                 Json.Obj [ ("kind", Json.Str kind); ("n", Json.Int n) ])
+               s.st_running) );
+        ("cancelled", Json.Int s.st_cancelled);
+        ("shed", Json.Int s.st_shed);
         ( "latency",
           Json.List
             (List.map
@@ -724,6 +752,25 @@ let payload_of_json ~(kind : string) (j : Json.t) :
       let* st_cache_misses = get_int ~default:0 "cache_misses" j in
       let* st_queue_depth = get_int ~default:0 "queue_depth" j in
       let* st_queue_max = get_int ~default:0 "queue_max" j in
+      (* The concurrency fields postdate schema v1's first release;
+         absent means zero, keeping old daemons readable. *)
+      let* st_inflight = get_int ~default:0 "inflight" j in
+      let* st_running =
+        match Json.member "running" j with
+        | None | Some Json.Null -> Ok []
+        | Some (Json.List xs) ->
+            let rec go acc = function
+              | [] -> Ok (List.rev acc)
+              | x :: rest ->
+                  let* kind = get_str "kind" x in
+                  let* n = get_int ~default:0 "n" x in
+                  go ((kind, n) :: acc) rest
+            in
+            go [] xs
+        | Some _ -> Error "field 'running' must be a list"
+      in
+      let* st_cancelled = get_int ~default:0 "cancelled" j in
+      let* st_shed = get_int ~default:0 "shed" j in
       let* st_latency =
         match Json.member "latency" j with
         | None | Some Json.Null -> Ok []
@@ -744,7 +791,7 @@ let payload_of_json ~(kind : string) (j : Json.t) :
         (R_stats
            { st_served; st_evaluated; st_coalesced; st_memo_hits; st_busy;
              st_cache_hits; st_cache_misses; st_queue_depth; st_queue_max;
-             st_latency })
+             st_inflight; st_running; st_cancelled; st_shed; st_latency })
   | "ping" -> Ok R_pong
   | "shutdown" -> Ok R_shutdown
   | k -> Error (Printf.sprintf "unknown payload kind '%s'" k)
@@ -865,8 +912,9 @@ let write_frame (fd : Unix.file_descr) (f : frame) : unit =
   let b = Bytes.of_string s in
   let rec go at =
     if at < Bytes.length b then
-      let n = Unix.write fd b at (Bytes.length b - at) in
-      go (at + n)
+      match Unix.write fd b at (Bytes.length b - at) with
+      | n -> go (at + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go at
   in
   go 0
 
@@ -878,6 +926,7 @@ let read_exactly (fd : Unix.file_descr) (n : int) : (Bytes.t, string) result =
       match Unix.read fd b at (n - at) with
       | 0 -> Error "connection closed"
       | k -> go (at + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go at
       | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
   in
   go 0

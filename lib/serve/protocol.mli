@@ -14,9 +14,19 @@ val version : int
     kind, missing field, admission rejection). *)
 val rule_protocol : string
 
+(** Rule ID for a refused daemon startup: the requested socket path is
+    owned by a live daemon. *)
+val rule_socket_in_use : string
+
 (** [Diag.error ~rule:rule_protocol]. *)
 val protocol_error :
   ('a, Format.formatter, unit, Diag.t) format4 -> 'a
+
+(** Reserved response id (−1) for errors not attributable to any
+    request (malformed frame, client-sent response/event frame).
+    Request ids are non-negative; a response carrying [sentinel_id]
+    is connection-level, never a reply to a pipelined request. *)
+val sentinel_id : int
 
 (* ------------------------------------------------------------------ *)
 (* Requests                                                           *)
@@ -149,6 +159,12 @@ type stats_resp = {
   st_cache_misses : int;
   st_queue_depth : int;  (** pending requests at the time of answering *)
   st_queue_max : int;  (** admission-control bound *)
+  st_inflight : int;  (** groups currently evaluating on the pool *)
+  st_running : (string * int) list;
+      (** in-flight groups per kind, sorted by kind (only kinds > 0) *)
+  st_cancelled : int;
+      (** queued groups dropped because every waiter disconnected *)
+  st_shed : int;  (** memo/ring shed events under [--max-rss-mb] *)
   st_latency : latency_stat list;  (** per job kind, sorted by kind *)
 }
 

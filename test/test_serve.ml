@@ -294,25 +294,38 @@ let get_stats c =
   | Ok r -> Alcotest.failf "stats: unexpected reply %s" (render_reply r)
   | Error e -> Alcotest.failf "stats: %s" e
 
-let with_daemon f =
-  let sock =
-    Filename.concat
-      (Filename.get_temp_dir_name ())
-      (Printf.sprintf "mhlsc-test-%d.sock" (Unix.getpid ()))
-  in
+let sock_counter = ref 0
+
+let fresh_sock () =
+  incr sock_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "mhlsc-test-%d-%d.sock" (Unix.getpid ()) !sock_counter)
+
+(** Run [f sock client] against a live daemon wired exactly like
+    [mhlsc serve]: oversubscribed session, the session's domain pool
+    as the reactor's executor.  [jobs = 1] keeps the executor inline
+    (the sequential daemon); [tweak] adjusts the config. *)
+let with_daemon ?(jobs = 1) ?(tweak = fun c -> c) f =
+  let sock = fresh_sock () in
   if Sys.file_exists sock then Sys.remove sock;
   let config =
-    { Server.default_config with Server.socket_path = Some sock }
+    tweak { Server.default_config with Server.socket_path = Some sock }
   in
   let daemon =
     Domain.spawn (fun () ->
-        let env = H.create_env ~jobs:1 () in
+        let env = H.create_env ~jobs ~oversubscribe:true () in
         Fun.protect
           ~finally:(fun () -> H.close_env env)
           (fun () ->
-            Server.serve ~config
-              ~counters:(fun () -> H.counters env)
-              ~dispatch:(H.dispatch env) ()))
+            match
+              Server.serve ~config
+                ~counters:(fun () -> H.counters env)
+                ~exec:(H.background env)
+                ~dispatch:(H.dispatch env) ()
+            with
+            | Ok () -> ()
+            | Error ds -> failwith (Support.Diag.render ds)))
   in
   Fun.protect
     ~finally:(fun () -> Domain.join daemon)
@@ -321,6 +334,14 @@ let with_daemon f =
       | Error e -> Alcotest.failf "connect: %s" e
       | Ok c ->
           Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f sock c))
+
+(** A bare protocol connection (no client-side id bookkeeping) for
+    tests that need to send pathological or carefully interleaved
+    frames. *)
+let raw_connect (sock : string) : Unix.file_descr =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  fd
 
 let test_daemon () =
   with_daemon (fun sock c ->
@@ -486,34 +507,319 @@ let test_daemon () =
       | Error e -> Alcotest.failf "shutdown: %s" e));
   ()
 
-let test_socket_removed () =
-  (* After the daemon test the socket must be gone; run a tiny
-     dedicated daemon to assert it without ordering assumptions. *)
-  let sock =
-    Filename.concat
-      (Filename.get_temp_dir_name ())
-      (Printf.sprintf "mhlsc-test-rm-%d.sock" (Unix.getpid ()))
-  in
-  let config =
-    { Server.default_config with Server.socket_path = Some sock }
-  in
-  let daemon =
-    Domain.spawn (fun () ->
-        Server.serve ~config
-          ~dispatch:(fun ~trace:_ _ ->
-            Error [ P.protocol_error "not implemented" ])
-          ())
-  in
-  (match Client.connect_unix ~retry_for:10.0 sock with
+(** A daemon with a dummy dispatcher: enough for ping/stats/shutdown,
+    which the server answers itself. *)
+let dummy_daemon (config : Server.config) : (unit, H.Diag.t list) result Domain.t
+    =
+  Domain.spawn (fun () ->
+      Server.serve ~config
+        ~dispatch:(fun ~trace:_ _ ->
+          Error [ P.protocol_error "not implemented" ])
+        ())
+
+let shutdown_daemon sock =
+  match Client.connect_unix ~retry_for:10.0 sock with
   | Error e -> Alcotest.failf "connect: %s" e
   | Ok c ->
-      Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
           match Client.request c P.Shutdown with
           | Ok (P.Done P.R_shutdown) -> ()
           | Ok r -> Alcotest.failf "shutdown: %s" (render_reply r)
-          | Error e -> Alcotest.failf "shutdown: %s" e));
-  Domain.join daemon;
+          | Error e -> Alcotest.failf "shutdown: %s" e)
+
+let test_socket_removed () =
+  (* After the daemon test the socket must be gone; run a tiny
+     dedicated daemon to assert it without ordering assumptions. *)
+  let sock = fresh_sock () in
+  let config =
+    { Server.default_config with Server.socket_path = Some sock }
+  in
+  let daemon = dummy_daemon config in
+  shutdown_daemon sock;
+  (match Domain.join daemon with
+  | Ok () -> ()
+  | Error ds -> Alcotest.failf "serve: %s" (Support.Diag.render ds));
   checkb "socket unlinked on shutdown" false (Sys.file_exists sock)
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle regressions                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_sentinel_id () =
+  (* A client-sent response frame is a protocol error the server
+     cannot attribute to any request id: it must answer with the
+     reserved sentinel id (-1), never with a real id — and id 0 must
+     remain usable as an ordinary request id. *)
+  with_daemon (fun sock c ->
+      let fd = raw_connect sock in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          P.write_frame fd (P.Response { r_id = 5; r_reply = P.Done P.R_pong });
+          (match P.read_frame fd with
+          | Ok (P.Response { r_id; r_reply = P.Failed _ }) ->
+              checki "sentinel id" P.sentinel_id r_id
+          | Ok f -> Alcotest.failf "unexpected frame %s" (P.frame_to_string f)
+          | Error e -> Alcotest.failf "read: %s" e);
+          (* The connection survives, and request id 0 round-trips. *)
+          P.write_frame fd
+            (P.Request { q_id = 0; q_stream = false; q_req = P.Ping });
+          match P.read_frame fd with
+          | Ok (P.Response { r_id = 0; r_reply = P.Done P.R_pong }) -> ()
+          | Ok f -> Alcotest.failf "unexpected frame %s" (P.frame_to_string f)
+          | Error e -> Alcotest.failf "read: %s" e);
+      match Client.request c P.Shutdown with
+      | Ok (P.Done P.R_shutdown) -> ()
+      | Ok r -> Alcotest.failf "shutdown: %s" (render_reply r)
+      | Error e -> Alcotest.failf "shutdown: %s" e)
+
+let test_latency_ring_bounded () =
+  (* The per-kind latency store is a bounded ring: after far more than
+     its capacity of samples, the reported count must stay at the
+     capacity while every request was still served. *)
+  with_daemon (fun _sock c ->
+      let batch = List.init 1000 (fun _ -> P.Ping) in
+      for _ = 1 to 5 do
+        match Client.pipeline c batch with
+        | Ok rs ->
+            checki "batch answered" 1000 (List.length rs);
+            List.iter
+              (function
+                | P.Done P.R_pong -> ()
+                | r -> Alcotest.failf "ping: %s" (render_reply r))
+              rs
+        | Error e -> Alcotest.failf "pipeline: %s" e
+      done;
+      let s = get_stats c in
+      checkb "all pings served" true (s.P.st_served >= 5000);
+      (match
+         List.find_opt (fun l -> l.P.ls_kind = "ping") s.P.st_latency
+       with
+      | Some l -> checki "ring bounded at capacity" 4096 l.P.ls_count
+      | None -> Alcotest.fail "no ping latency bucket");
+      match Client.request c P.Shutdown with
+      | Ok (P.Done P.R_shutdown) -> ()
+      | Ok r -> Alcotest.failf "shutdown: %s" (render_reply r)
+      | Error e -> Alcotest.failf "shutdown: %s" e)
+
+let test_signal_survival () =
+  (* A stray signal mid-read used to surface as an uncaught EINTR and
+     kill the daemon.  Hammer the process with SIGUSR1 while work is
+     in flight; the daemon must keep answering. *)
+  with_daemon ~jobs:2 (fun _sock c ->
+      let stop = Atomic.make false in
+      let killer =
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              Unix.kill (Unix.getpid ()) Sys.sigusr1;
+              Unix.sleepf 0.001
+            done)
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.set stop true;
+          Domain.join killer)
+        (fun () ->
+          (match Client.request c (compile_kernel "gemm") with
+          | Ok (P.Done (P.R_compile _)) -> ()
+          | Ok r -> Alcotest.failf "compile: %s" (render_reply r)
+          | Error e -> Alcotest.failf "compile: %s" e);
+          for _ = 1 to 20 do
+            match Client.request c P.Ping with
+            | Ok (P.Done P.R_pong) -> ()
+            | Ok r -> Alcotest.failf "ping: %s" (render_reply r)
+            | Error e -> Alcotest.failf "ping: %s" e
+          done);
+      match Client.request c P.Shutdown with
+      | Ok (P.Done P.R_shutdown) -> ()
+      | Ok r -> Alcotest.failf "shutdown: %s" (render_reply r)
+      | Error e -> Alcotest.failf "shutdown: %s" e)
+
+let test_live_socket_refused () =
+  (* A second daemon pointed at a live socket must refuse to start
+     with HLS906 — and must not have unlinked the live daemon's
+     socket in the process. *)
+  with_daemon (fun sock c ->
+      (match
+         Server.serve
+           ~config:
+             { Server.default_config with Server.socket_path = Some sock }
+           ~dispatch:(fun ~trace:_ _ ->
+             Error [ P.protocol_error "not implemented" ])
+           ()
+       with
+      | Ok () -> Alcotest.fail "second daemon started on a live socket"
+      | Error (d :: _) ->
+          check "refusal rule" P.rule_socket_in_use d.Support.Diag.rule
+      | Error [] -> Alcotest.fail "empty diagnostics");
+      checkb "live socket left alone" true (Sys.file_exists sock);
+      (* The first daemon is unharmed. *)
+      (match Client.request c P.Ping with
+      | Ok (P.Done P.R_pong) -> ()
+      | Ok r -> Alcotest.failf "ping: %s" (render_reply r)
+      | Error e -> Alcotest.failf "ping: %s" e);
+      match Client.request c P.Shutdown with
+      | Ok (P.Done P.R_shutdown) -> ()
+      | Ok r -> Alcotest.failf "shutdown: %s" (render_reply r)
+      | Error e -> Alcotest.failf "shutdown: %s" e)
+
+let test_stale_socket_recovered () =
+  (* A socket file left behind by a crashed daemon (nothing accepting)
+     must be removed and startup must proceed. *)
+  let sock = fresh_sock () in
+  let stale = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind stale (Unix.ADDR_UNIX sock);
+  Unix.listen stale 1;
+  Unix.close stale;
+  checkb "stale socket file present" true (Sys.file_exists sock);
+  let daemon =
+    dummy_daemon { Server.default_config with Server.socket_path = Some sock }
+  in
+  shutdown_daemon sock;
+  (match Domain.join daemon with
+  | Ok () -> ()
+  | Error ds -> Alcotest.failf "serve: %s" (Support.Diag.render ds));
+  checkb "socket unlinked on shutdown" false (Sys.file_exists sock)
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent evaluation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let long_dse kernel max_evals =
+  P.Dse
+    {
+      ds_kernel = kernel;
+      ds_max_evals = Some max_evals;
+      ds_rounds = None;
+      ds_stable = None;
+      ds_budget_bram = None;
+      ds_budget_dsp = None;
+      ds_budget_lut = None;
+      ds_clock_ns = 10.0;
+    }
+
+let rec poll_stats ?(deadline = 10.0) c pred what =
+  let t0 = Unix.gettimeofday () in
+  let s = get_stats c in
+  if pred s then s
+  else if deadline <= 0.0 then
+    Alcotest.failf "timed out waiting for %s" what
+  else begin
+    Unix.sleepf 0.01;
+    poll_stats ~deadline:(deadline -. (Unix.gettimeofday () -. t0)) c pred
+      what
+  end
+
+let test_concurrent_groups () =
+  (* The tentpole: a short compile pipelined behind a long DSE sweep
+     must be answered first — the sweep evaluates on a worker while
+     the reactor keeps serving.  Both frames travel in one write, so
+     they arrive in one intake wave. *)
+  with_daemon ~jobs:4 (fun sock c ->
+      let fd = raw_connect sock in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let wire =
+            P.encode_frame
+              (P.Request
+                 { q_id = 1; q_stream = false; q_req = long_dse "gemm" 24 })
+            ^ P.encode_frame
+                (P.Request
+                   { q_id = 2; q_stream = false; q_req = compile_kernel "fir" })
+          in
+          let b = Bytes.of_string wire in
+          let rec write_all at =
+            if at < Bytes.length b then
+              write_all (at + Unix.write fd b at (Bytes.length b - at))
+          in
+          write_all 0;
+          let first_response () =
+            match P.read_frame fd with
+            | Ok (P.Response { r_id; r_reply = P.Done _ }) -> r_id
+            | Ok f ->
+                Alcotest.failf "unexpected frame %s" (P.frame_to_string f)
+            | Error e -> Alcotest.failf "read: %s" e
+          in
+          checki "compile answered before the sweep" 2 (first_response ());
+          (* While the sweep is still in flight its kind is visible in
+             the stats; then the sweep's own reply lands. *)
+          checki "dse reply follows" 1 (first_response ()));
+      match Client.request c P.Shutdown with
+      | Ok (P.Done P.R_shutdown) -> ()
+      | Ok r -> Alcotest.failf "shutdown: %s" (render_reply r)
+      | Error e -> Alcotest.failf "shutdown: %s" e)
+
+let test_cancellation () =
+  (* With the dse budget at 1, a second sweep queues behind the first;
+     when its only waiter disconnects before it starts, the group must
+     be cancelled, never evaluated. *)
+  with_daemon ~jobs:4 (fun sock c ->
+      let a = raw_connect sock in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close a with Unix.Unix_error _ -> ())
+        (fun () ->
+          P.write_frame a
+            (P.Request
+               { q_id = 1; q_stream = false; q_req = long_dse "gemm" 48 });
+          let _ =
+            poll_stats c
+              (fun s -> List.mem_assoc "dse" s.P.st_running)
+              "the first sweep to start"
+          in
+          let evaluated_before = (get_stats c).P.st_evaluated in
+          let b = raw_connect sock in
+          P.write_frame b
+            (P.Request
+               { q_id = 1; q_stream = false; q_req = long_dse "fir" 48 });
+          let _ =
+            poll_stats c
+              (fun s -> s.P.st_queue_depth >= 1)
+              "the second sweep to queue"
+          in
+          Unix.close b;
+          let s =
+            poll_stats c
+              (fun s -> s.P.st_cancelled >= 1)
+              "the orphaned sweep to be cancelled"
+          in
+          checki "nothing extra evaluated" evaluated_before s.P.st_evaluated;
+          checki "queue drained" 0 s.P.st_queue_depth;
+          (* The first sweep still completes normally. *)
+          match P.read_frame a with
+          | Ok (P.Response { r_id = 1; r_reply = P.Done (P.R_dse _) }) -> ()
+          | Ok f -> Alcotest.failf "unexpected frame %s" (P.frame_to_string f)
+          | Error e -> Alcotest.failf "read: %s" e);
+      match Client.request c P.Shutdown with
+      | Ok (P.Done P.R_shutdown) -> ()
+      | Ok r -> Alcotest.failf "shutdown: %s" (render_reply r)
+      | Error e -> Alcotest.failf "shutdown: %s" e)
+
+let test_memory_shed () =
+  (* A zero memory cap sheds the response memo after every completion:
+     an identical resubmission re-evaluates instead of memo-hitting,
+     and the shed counter records it. *)
+  with_daemon
+    ~tweak:(fun c -> { c with Server.max_rss_mb = Some 0 })
+    (fun _sock c ->
+      let run () =
+        match Client.request c (compile_kernel "gemm") with
+        | Ok (P.Done (P.R_compile _)) -> ()
+        | Ok r -> Alcotest.failf "compile: %s" (render_reply r)
+        | Error e -> Alcotest.failf "compile: %s" e
+      in
+      run ();
+      run ();
+      let s = get_stats c in
+      checki "both compiles evaluated" 2 s.P.st_evaluated;
+      checki "memo never hit" 0 s.P.st_memo_hits;
+      checkb "shed recorded" true (s.P.st_shed >= 1);
+      match Client.request c P.Shutdown with
+      | Ok (P.Done P.R_shutdown) -> ()
+      | Ok r -> Alcotest.failf "shutdown: %s" (render_reply r)
+      | Error e -> Alcotest.failf "shutdown: %s" e)
 
 let suite =
   [
@@ -526,4 +832,17 @@ let suite =
     Alcotest.test_case "incremental framing" `Quick test_incremental_framing;
     Alcotest.test_case "daemon end-to-end" `Quick test_daemon;
     Alcotest.test_case "socket removed on shutdown" `Quick test_socket_removed;
+    Alcotest.test_case "sentinel id for unattributable errors" `Quick
+      test_sentinel_id;
+    Alcotest.test_case "latency ring bounded" `Quick test_latency_ring_bounded;
+    Alcotest.test_case "daemon survives signals mid-read" `Quick
+      test_signal_survival;
+    Alcotest.test_case "live socket refused (HLS906)" `Quick
+      test_live_socket_refused;
+    Alcotest.test_case "stale socket recovered" `Quick
+      test_stale_socket_recovered;
+    Alcotest.test_case "short job overtakes long sweep" `Quick
+      test_concurrent_groups;
+    Alcotest.test_case "orphaned group cancelled" `Quick test_cancellation;
+    Alcotest.test_case "memory cap sheds memo" `Quick test_memory_shed;
   ]
