@@ -85,6 +85,15 @@ let flow_arg =
   Arg.(value & opt (enum [ ("direct", "direct"); ("cpp", "cpp") ]) "direct"
        & info [ "flow" ] ~docv:"FLOW" ~doc)
 
+let sched_arg =
+  let doc = "Scheduling discipline of the estimation backend: \
+             $(b,static) (list scheduling, the default) or $(b,dynamic) \
+             (elastic/dataflow: units fire when operands arrive, loop II \
+             emerges from token round-trip time)." in
+  Arg.(value & opt (enum [ ("static", "static"); ("dynamic", "dynamic") ])
+         "static"
+       & info [ "sched" ] ~docv:"SCHED" ~doc)
+
 (** Directive flags to the protocol's directive record ([ii <= 0]
     disables pipelining inside the handler). *)
 let directives_of ~pipeline ~strategy ~unroll ~partitions : P.directives =
@@ -162,13 +171,14 @@ let emit_cmd =
 (* synth (and its service-speak alias, compile)                       *)
 (* ------------------------------------------------------------------ *)
 
-let synth_run kernel flow pipeline strategy unroll partitions clock verbose
-    passes disable =
+let synth_run kernel flow sched pipeline strategy unroll partitions clock
+    verbose passes disable =
   let k = find_kernel kernel in
   let req =
     {
       P.c_kernel = k.K.kname;
       c_flow = flow;
+      c_sched = sched;
       c_directives = directives_of ~pipeline ~strategy ~unroll ~partitions;
       c_clock_ns = clock;
       c_passes = split_passes passes;
@@ -188,9 +198,9 @@ let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the adaptor report.")
 
 let synth_term =
-  Term.(const synth_run $ kernel_arg $ flow_arg $ pipeline_arg $ strategy_arg
-        $ unroll_arg $ partition_arg $ clock_arg $ verbose_arg $ passes_arg
-        $ disable_pass_arg)
+  Term.(const synth_run $ kernel_arg $ flow_arg $ sched_arg $ pipeline_arg
+        $ strategy_arg $ unroll_arg $ partition_arg $ clock_arg $ verbose_arg
+        $ passes_arg $ disable_pass_arg)
 
 let synth_cmd =
   Cmd.v
@@ -364,13 +374,15 @@ let synth_mlir_cmd =
          & info [ "top" ] ~docv:"NAME"
              ~doc:"Top function (default: the first function).")
   in
-  let run file top flow clock verbose =
+  let run file top flow sched clock verbose =
     let flow =
       match flow with "cpp" -> Flow.Hls_cpp | _ -> Flow.Direct_ir
     in
+    let sched = ok_or_die (H.sched_of_name sched) in
     let r =
       ok_or_die
-        (H.synth_mlir ~source:(read_file file) ~top ~flow ~clock_ns:clock ())
+        (H.synth_mlir ~source:(read_file file) ~top ~flow ~sched
+           ~clock_ns:clock ())
     in
     if verbose then prerr_string r.H.sm_aux;
     print_string r.H.sm_report
@@ -384,19 +396,20 @@ let synth_mlir_cmd =
     (Cmd.info "synth-mlir"
        ~doc:"Parse a textual multi-level IR file, run a flow end-to-end and \
              print the synthesis report.")
-    Term.(const run $ file $ top $ flow_arg $ clock_arg $ verbose)
+    Term.(const run $ file $ top $ flow_arg $ sched_arg $ clock_arg $ verbose)
 
 (* ------------------------------------------------------------------ *)
 (* dse                                                                *)
 (* ------------------------------------------------------------------ *)
 
 let dse_cmd =
-  let run kernel max_evals rounds stable budget_bram budget_dsp budget_lut
-      jobs cache_dir clock out =
+  let run kernel sched max_evals rounds stable budget_bram budget_dsp
+      budget_lut jobs cache_dir clock out =
     let k = find_kernel kernel in
     let req =
       {
         P.ds_kernel = k.K.kname;
+        ds_sched = sched;
         ds_max_evals = Some max_evals;
         ds_rounds = Some rounds;
         ds_stable = Some stable;
@@ -427,6 +440,14 @@ let dse_cmd =
     print_string (R.dse_best r)
   in
   let module S = Mhls_dse.Search in
+  let dse_sched =
+    let doc = "Estimation-backend axis of the space: $(b,static), \
+               $(b,dynamic), or $(b,both) (the search then explores \
+               scheduling discipline as one more axis)." in
+    Arg.(value & opt (enum [ ("static", "static"); ("dynamic", "dynamic");
+                             ("both", "both") ]) "static"
+         & info [ "sched" ] ~docv:"SCHED" ~doc)
+  in
   let max_evals =
     Arg.(value & opt int S.default_params.S.max_evals
          & info [ "max-evals" ] ~docv:"N"
@@ -465,9 +486,9 @@ let dse_cmd =
              derived from the kernel's own loops and arrays, candidates \
              compile as parallel cached jobs on the batch driver, and the \
              frontier is deterministic for any $(b,--jobs).")
-    Term.(const run $ kernel_arg $ max_evals $ rounds $ stable $ budget_bram
-          $ budget_dsp $ budget_lut $ jobs_arg $ cache_dir_arg $ clock_arg
-          $ out)
+    Term.(const run $ kernel_arg $ dse_sched $ max_evals $ rounds $ stable
+          $ budget_bram $ budget_dsp $ budget_lut $ jobs_arg $ cache_dir_arg
+          $ clock_arg $ out)
 
 (* ------------------------------------------------------------------ *)
 (* batch                                                              *)
@@ -499,17 +520,18 @@ let batch_cmd =
              ~doc:"Write the per-job per-pass JSON trace and print the \
                    aggregate pass summary.")
   in
-  let run manifest all_kernels both_flows jobs cache_dir trace_out clock
-      passes disable =
+  let run manifest all_kernels both_flows sched jobs cache_dir trace_out
+      clock passes disable =
     if manifest = None && not all_kernels then begin
       prerr_endline "batch: need a MANIFEST file or --all-kernels";
       exit 2
     end;
+    let sched = ok_or_die (H.sched_of_name sched) in
     let b =
       ok_or_die
         (H.batch
            ~manifest:(Option.map read_file manifest)
-           ~all_kernels ~both_flows ~jobs
+           ~all_kernels ~both_flows ~sched ~jobs
            ~cache_dir:(cache_dir_opt cache_dir) ~clock_ns:clock
            ~passes:(split_passes passes) ~disable ())
     in
@@ -535,8 +557,8 @@ let batch_cmd =
              parallel worker pool with persistent result caching; print \
              the QoR table, run statistics, and optionally a per-pass \
              JSON trace.")
-    Term.(const run $ manifest $ all_kernels $ both_flows $ jobs_arg
-          $ cache_dir_arg $ trace_out $ clock_arg $ passes_arg
+    Term.(const run $ manifest $ all_kernels $ both_flows $ sched_arg
+          $ jobs_arg $ cache_dir_arg $ trace_out $ clock_arg $ passes_arg
           $ disable_pass_arg)
 
 (* ------------------------------------------------------------------ *)

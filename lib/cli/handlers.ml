@@ -76,6 +76,20 @@ let flow_of_name : string -> (Flow.flow_kind, Diag.t list) result = function
   | f ->
       Error [ P.protocol_error "unknown flow '%s' (want direct or cpp)" f ]
 
+let sched_of_name (s : string) :
+    (Hls_backend.Backend.sched, Diag.t list) result =
+  match Hls_backend.Backend.sched_of_name s with
+  | Some sc -> Ok sc
+  | None ->
+      Error
+        [ P.protocol_error "unknown sched '%s' (want static or dynamic)" s ]
+
+(** The DSE request's backend axis: [static], [dynamic], or [both]. *)
+let scheds_of_name :
+    string -> (Hls_backend.Backend.sched list, Diag.t list) result = function
+  | "both" -> Ok Hls_backend.Backend.all_scheds
+  | s -> Result.map (fun sc -> [ sc ]) (sched_of_name s)
+
 let strategy_of_name : string -> (K.strategy, Diag.t list) result = function
   | "inner" -> Ok K.Inner
   | "middle" -> Ok K.Middle
@@ -147,11 +161,14 @@ let compile (env : env) ~(trace : Support.Tracing.hook)
     (c : P.compile_req) : (P.compile_resp, Diag.t list) result =
   let* k = find_kernel c.P.c_kernel in
   let* flow = flow_of_name c.P.c_flow in
+  let* sched = sched_of_name c.P.c_sched in
   let* d = directives_of_protocol c.P.c_directives in
   let* pipeline =
     pipeline_of ~top:k.K.kname ~passes:c.P.c_passes ~disable:c.P.c_disable ()
   in
-  let job = D.job ~flow ~clock_ns:c.P.c_clock_ns ~kernel:k.K.kname d in
+  let job =
+    D.job ~flow ~sched ~clock_ns:c.P.c_clock_ns ~kernel:k.K.kname d
+  in
   let* outs = D.submit ~pipeline env.session [ job ] in
   match outs with
   | [ o ] -> (
@@ -298,6 +315,7 @@ let dse ?cache_dir ~(jobs : int) ~(trace : Support.Tracing.hook)
     (d : P.dse_req) : (P.dse_resp, Diag.t list) result =
   let module S = Mhls_dse.Search in
   let* k = find_kernel d.P.ds_kernel in
+  let* scheds = scheds_of_name d.P.ds_sched in
   let dp = S.default_params in
   let params =
     {
@@ -313,7 +331,7 @@ let dse ?cache_dir ~(jobs : int) ~(trace : Support.Tracing.hook)
       S.clock_ns = d.P.ds_clock_ns;
     }
   in
-  let o = S.search ~params ?cache_dir ~jobs ~trace k in
+  let o = S.search ~params ~scheds ?cache_dir ~jobs ~trace k in
   Ok
     {
       P.dr_report = S.render o;
@@ -405,12 +423,17 @@ let emit ~(kernel : string) ~(stage : emit_stage)
 type compare_resp = {
   cm_direct : E.report;
   cm_cpp : E.report;
+  cm_direct_dyn : E.report;
+  cm_cpp_dyn : E.report;
   cm_direct_seconds : float;
   cm_cpp_seconds : float;
-  cm_ratio : float;
+  cm_direct_dyn_seconds : float;
+  cm_cpp_dyn_seconds : float;
+  cm_ratio : float;  (** cpp/direct latency on the static cells *)
 }
 
-(** Run both flows on one kernel. *)
+(** Run the full 2×2 grid — frontend (direct-IR vs HLS C++) ×
+    scheduling discipline (static vs dynamic) — on one kernel. *)
 let compare_kernel ~(kernel : string) ~(directives : P.directives)
     ~(clock_ns : float) : (compare_resp, Diag.t list) result =
   let* k = find_kernel kernel in
@@ -420,8 +443,12 @@ let compare_kernel ~(kernel : string) ~(directives : P.directives)
     {
       cm_direct = c.Flow.direct.Flow.hls;
       cm_cpp = c.Flow.cpp.Flow.hls;
+      cm_direct_dyn = c.Flow.direct_dyn.Flow.hls;
+      cm_cpp_dyn = c.Flow.cpp_dyn.Flow.hls;
       cm_direct_seconds = c.Flow.direct.Flow.seconds;
       cm_cpp_seconds = c.Flow.cpp.Flow.seconds;
+      cm_direct_dyn_seconds = c.Flow.direct_dyn.Flow.seconds;
+      cm_cpp_dyn_seconds = c.Flow.cpp_dyn.Flow.seconds;
       cm_ratio = Flow.latency_ratio c;
     }
 
@@ -466,8 +493,8 @@ type synth_mlir_resp = {
 
 (** Compile a textual multi-level IR module end-to-end. *)
 let synth_mlir ~(source : string) ~(top : string option)
-    ~(flow : Flow.flow_kind) ~(clock_ns : float) () :
-    (synth_mlir_resp, Diag.t list) result =
+    ~(flow : Flow.flow_kind) ?(sched = Hls_backend.Backend.Static)
+    ~(clock_ns : float) () : (synth_mlir_resp, Diag.t list) result =
   let* m =
     match
       let m = Mhir.Parser.parse_module source in
@@ -493,14 +520,17 @@ let synth_mlir ~(source : string) ~(top : string option)
         let lm, cpp, _ = Flow.hls_cpp_frontend m in
         Ok (lm, cpp)
   in
-  let r = Hls_backend.Estimate.synthesize ~clock_ns ~top lm in
+  let r = Hls_backend.Backend.synthesize ~clock_ns ~sched ~top lm in
   Ok { sm_report = Hls_backend.Report.render r; sm_aux = aux }
 
-(** Batch compilation from a manifest or the built-in grid. *)
+(** Batch compilation from a manifest or the built-in grid.  [sched]
+    picks the estimation backend for the built-in grid; manifest lines
+    choose their own via the [sched=] key. *)
 let batch ~(manifest : string option) ~(all_kernels : bool)
-    ~(both_flows : bool) ~(jobs : int) ~(cache_dir : string option)
-    ~(clock_ns : float) ~(passes : string list option)
-    ~(disable : string list) () : (D.batch_report, Diag.t list) result =
+    ~(both_flows : bool) ?(sched = Hls_backend.Backend.Static)
+    ~(jobs : int) ~(cache_dir : string option) ~(clock_ns : float)
+    ~(passes : string list option) ~(disable : string list) () :
+    (D.batch_report, Diag.t list) result =
   let* pipeline = pipeline_of ~passes ~disable () in
   let* js =
     match (manifest, all_kernels) with
@@ -511,7 +541,7 @@ let batch ~(manifest : string option) ~(all_kernels : bool)
           if both_flows then [ Flow.Direct_ir; Flow.Hls_cpp ]
           else [ Flow.Direct_ir ]
         in
-        Ok (D.all_kernel_jobs ~flows ~clock_ns ())
+        Ok (D.all_kernel_jobs ~flows ~scheds:[ sched ] ~clock_ns ())
     | None, false ->
         Error [ P.protocol_error "batch needs a manifest or --all-kernels" ]
   in

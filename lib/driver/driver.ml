@@ -36,8 +36,10 @@ module Diag = Support.Diag
     {!Llvmir.Memdep} alias-aware and gated partition axes on the alias
     oracle, changing lint output and DSE spaces; 1.5.0 added the
     rendered adaptor report to the cached payload for the serve/CLI
-    handlers). *)
-let tool_version = "mhlsc-1.5.0"
+    handlers; 1.6.0 introduced the estimation-backend axis — jobs carry
+    a scheduling discipline and the key carries the backend name, so
+    the bump is the cache epoch for the backend redesign). *)
+let tool_version = "mhlsc-1.6.0"
 
 (* ------------------------------------------------------------------ *)
 (* Jobs                                                               *)
@@ -47,18 +49,27 @@ type job = {
   label : string;  (** unique within a batch; names trace records *)
   kernel : string;  (** built-in kernel name *)
   flow : Flow.flow_kind;
+  sched : Hls_backend.Backend.sched;  (** estimation backend *)
   directives : K.directives;
   clock_ns : float;
 }
 
-let job ?label ?(flow = Flow.Direct_ir) ?(clock_ns = 10.0) ~kernel directives
-    =
+let job ?label ?(flow = Flow.Direct_ir)
+    ?(sched = Hls_backend.Backend.Static) ?(clock_ns = 10.0) ~kernel
+    directives =
   let label =
     match label with
     | Some l -> l
-    | None -> Printf.sprintf "%s/%s" kernel (Flow.flow_name flow)
+    | None -> (
+        (* static keeps the historical label shape; dynamic jobs are
+           tagged so both disciplines coexist in one batch *)
+        match sched with
+        | Hls_backend.Backend.Static ->
+            Printf.sprintf "%s/%s" kernel (Flow.flow_name flow)
+        | Hls_backend.Backend.Dynamic ->
+            Printf.sprintf "%s/%s/dyn" kernel (Flow.flow_name flow))
   in
-  { label; kernel; flow; directives; clock_ns }
+  { label; kernel; flow; sched; directives; clock_ns }
 
 (** Canonical description of a directive configuration — part of the
     cache identity and human-readable in traces. *)
@@ -134,7 +145,7 @@ let compute ~(pipeline : Adaptor.Pipeline.t) (j : job) : payload =
       let qor, seconds, adaptor =
         match
           Flow.run ~directives:j.directives ~pipeline ~clock_ns:j.clock_ns
-            ~trace:hook k j.flow
+            ~sched:j.sched ~trace:hook k j.flow
         with
         | Ok r ->
             ( Ok r.Flow.hls,
@@ -182,6 +193,12 @@ let cache_key ~(pipeline : Adaptor.Pipeline.t) (j : job) : string option =
              Adaptor.Pipeline.describe pipeline;
              directives_describe j.directives;
              Flow.flow_name j.flow;
+             (* backend name, not the [sched] constructor: the key must
+                survive variant renames and third-party backends *)
+             (let (module B) =
+                Hls_backend.Backend.of_sched j.sched
+              in
+              B.name);
              Printf.sprintf "%.3f" j.clock_ns;
            ])
 
@@ -364,21 +381,30 @@ let default_grid : (string * K.directives) list =
     ("middle-full-unroll", K.optimized ~factor:1 ~parts:[] ());
   ]
 
-(** Every built-in kernel × {!default_grid} × [flows]. *)
-let all_kernel_jobs ?(flows = [ Flow.Direct_ir ]) ?(clock_ns = 10.0) () :
+(** Every built-in kernel × {!default_grid} × [flows] × [scheds].
+    Static jobs keep the historical labels; dynamic jobs append
+    ["/dyn"]. *)
+let all_kernel_jobs ?(flows = [ Flow.Direct_ir ])
+    ?(scheds = [ Hls_backend.Backend.Static ]) ?(clock_ns = 10.0) () :
     job list =
   List.concat_map
     (fun k ->
       List.concat_map
         (fun flow ->
-          List.map
-            (fun (cfg, d) ->
-              job
-                ~label:
-                  (Printf.sprintf "%s/%s/%s" k.K.kname cfg
-                     (Flow.flow_name flow))
-                ~flow ~clock_ns ~kernel:k.K.kname d)
-            default_grid)
+          List.concat_map
+            (fun sched ->
+              List.map
+                (fun (cfg, d) ->
+                  job
+                    ~label:
+                      (Printf.sprintf "%s/%s/%s%s" k.K.kname cfg
+                         (Flow.flow_name flow)
+                         (match sched with
+                         | Hls_backend.Backend.Static -> ""
+                         | Hls_backend.Backend.Dynamic -> "/dyn"))
+                    ~flow ~sched ~clock_ns ~kernel:k.K.kname d)
+                default_grid)
+            scheds)
         flows)
     (K.all ())
 
@@ -390,8 +416,9 @@ let manifest_diag lineno fmt =
 (** Parse a job manifest.  One job per line:
     {v
     # comment
-    <kernel> [flow=direct|cpp] [label=NAME] [ii=N] [strategy=inner|middle]
-             [unroll=N] [partition=ARG:KIND:FACTOR:DIM]* [clock=NS]
+    <kernel> [flow=direct|cpp] [sched=static|dynamic] [label=NAME] [ii=N]
+             [strategy=inner|middle] [unroll=N]
+             [partition=ARG:KIND:FACTOR:DIM]* [clock=NS]
     v}
     Unknown kernels, keys or malformed values are reported as
     HLS-style diagnostics, never exceptions. *)
@@ -459,6 +486,15 @@ let parse_manifest (text : string) : (job list, Support.Diag.t) result =
                               (manifest_diag lineno
                                  "flow must be 'direct' or 'cpp', got '%s'" v)
                         )
+                    | "sched" -> (
+                        match Hls_backend.Backend.sched_of_name v with
+                        | Some sched -> apply { j with sched } partitions rest
+                        | None ->
+                            Error
+                              (manifest_diag lineno
+                                 "sched must be 'static' or 'dynamic', got \
+                                  '%s'"
+                                 v))
                     | "ii" -> (
                         match int_v () with
                         | Error d -> Error d

@@ -28,14 +28,20 @@ type job = {
   label : string;  (** unique within a batch; names trace records *)
   kernel : string;  (** built-in kernel name *)
   flow : Flow.flow_kind;
+  sched : Hls_backend.Backend.sched;  (** estimation backend *)
   directives : K.directives;
   clock_ns : float;
 }
 
-(** Smart constructor; the default label is ["<kernel>/<flow>"]. *)
+(** Smart constructor; the default label is ["<kernel>/<flow>"]
+    (suffixed with ["/dyn"] for the dynamic backend) and the default
+    discipline is {!Hls_backend.Backend.Static}.  The cache key
+    includes the backend name, so static and dynamic jobs over the
+    same kernel/config address distinct entries. *)
 val job :
   ?label:string ->
   ?flow:Flow.flow_kind ->
+  ?sched:Hls_backend.Backend.sched ->
   ?clock_ns:float ->
   kernel:string ->
   K.directives ->
@@ -153,9 +159,15 @@ val run_batch :
 (** The default directive grid swept by [mhlsc batch --all-kernels]. *)
 val default_grid : (string * K.directives) list
 
-(** Every built-in kernel × {!default_grid} × [flows]. *)
+(** Every built-in kernel × {!default_grid} × [flows] × [scheds]
+    (default static only).  Static jobs keep the historical labels;
+    dynamic jobs append ["/dyn"]. *)
 val all_kernel_jobs :
-  ?flows:Flow.flow_kind list -> ?clock_ns:float -> unit -> job list
+  ?flows:Flow.flow_kind list ->
+  ?scheds:Hls_backend.Backend.sched list ->
+  ?clock_ns:float ->
+  unit ->
+  job list
 
 (** Parse a job manifest (one job per line; [#] comments).  Unknown
     kernels, keys or malformed values are HLS901 diagnostics. *)

@@ -20,6 +20,11 @@
           "lut": 2210 }, ... ] }
     v}
 
+    Frontier points estimated by the dynamic backend additionally
+    carry ["sched": "dynamic"] (after ["unroll"]); statically-scheduled
+    points keep the historical shape, so a static-only export is
+    byte-identical to pre-backend-axis versions of the tool.
+
     Everything in the file is deterministic for a given cache state —
     wall-clock never appears, so a [--jobs 4] export is byte-identical
     to a [--jobs 1] one.  {!validate} checks a serialized export
@@ -68,6 +73,11 @@ let point_to_json (p : Search.point) : string =
         | K.Middle -> "middle");
       Printf.sprintf "\"ii\": %d, " c.Space.c_ii;
       Printf.sprintf "\"unroll\": %d, " c.Space.c_unroll;
+      (* emitted only off the default, so static exports keep their
+         historical bytes *)
+      (match c.Space.c_sched with
+      | Hls_backend.Backend.Static -> ""
+      | Hls_backend.Backend.Dynamic -> "\"sched\": \"dynamic\", ");
       Printf.sprintf "\"partitions\": [%s], "
         (String.concat ", " partitions);
       Printf.sprintf

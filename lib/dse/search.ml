@@ -108,10 +108,12 @@ let rec take n = function
   | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
 
 (** Run the search.  Total: evaluation failures become [o_infeasible]
-    entries, never exceptions. *)
-let search ?(params = default_params) ?pipeline ?cache_dir ?(jobs = 1)
-    ?(trace = Support.Tracing.null) (kernel : K.kernel) : outcome =
-  let sp = Space.of_kernel kernel in
+    entries, never exceptions.  [scheds] selects the estimation-backend
+    axis (default static only — the historical space). *)
+let search ?(params = default_params) ?scheds ?pipeline ?cache_dir
+    ?(jobs = 1) ?(trace = Support.Tracing.null) (kernel : K.kernel) : outcome
+    =
+  let sp = Space.of_kernel ?scheds kernel in
   Driver.with_session ?pipeline ?cache_dir ~jobs (fun session ->
       let evaluated : (string, unit) Hashtbl.t = Hashtbl.create 64 in
       let archive = ref Pareto.empty in
@@ -130,8 +132,8 @@ let search ?(params = default_params) ?pipeline ?cache_dir ?(jobs = 1)
         let js =
           List.map
             (fun c ->
-              Driver.job ~label:(Space.describe c) ~clock_ns:params.clock_ns
-                ~kernel:kernel.K.kname
+              Driver.job ~label:(Space.describe c) ~sched:c.Space.c_sched
+                ~clock_ns:params.clock_ns ~kernel:kernel.K.kname
                 (Space.to_directives sp c))
             cands
         in

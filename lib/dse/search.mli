@@ -65,9 +65,12 @@ val objectives_of_report : Hls_backend.Estimate.report -> Pareto.objectives
 val within_budget : budget -> Hls_backend.Estimate.report -> bool
 
 (** Run the search.  Total: evaluation failures become [o_infeasible]
-    entries, never exceptions. *)
+    entries, never exceptions.  [scheds] selects the
+    estimation-backend axis (default static only — the historical
+    space, whose frontier stays byte-identical). *)
 val search :
   ?params:params ->
+  ?scheds:Hls_backend.Backend.sched list ->
   ?pipeline:Adaptor.Pipeline.t ->
   ?cache_dir:string ->
   ?jobs:int ->

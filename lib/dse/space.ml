@@ -23,6 +23,7 @@
     the deduplication key of the whole search. *)
 
 module K = Workloads.Kernels
+module B = Hls_backend.Backend
 module Ir = Mhir.Ir
 module L = Llvmir
 module Sym = Support.Interner
@@ -38,6 +39,7 @@ type t = {
   sp_kernel : string;
   sp_inner_trip : int;  (** smallest innermost-loop trip count *)
   sp_strategies : K.strategy list;
+  sp_scheds : B.sched list;  (** estimation backends on the axis *)
   sp_iis : int list;  (** ascending; 0 = no pipeline directive *)
   sp_unrolls : int list;  (** ascending; 1 = off *)
   sp_partitions : partition_axis list;  (** sorted by array name *)
@@ -45,6 +47,7 @@ type t = {
 
 type config = {
   c_strategy : K.strategy;
+  c_sched : B.sched;  (** which backend estimates this point *)
   c_ii : int;  (** 0 = off *)
   c_unroll : int;  (** 1 = off *)
   c_parts : (string * int) list;
@@ -163,8 +166,12 @@ let may_aliased_arrays (kernel : K.kernel) : string list =
 (** Derive the space for a kernel by walking its directive-free IR.
     All functions of the module are walked (kernels like [mmcall] do
     their array accesses in a helper), and accesses are attributed to
-    the kernel's declared arguments by name. *)
-let of_kernel (kernel : K.kernel) : t =
+    the kernel's declared arguments by name.
+
+    [scheds] is the estimation-backend axis; the default keeps the
+    historical static-only space (same size, same labels, same
+    frontier bytes). *)
+let of_kernel ?(scheds = [ B.Static ]) (kernel : K.kernel) : t =
   let m = kernel.K.build K.no_directives in
   let kernel_args = List.map fst kernel.K.args in
   (* innermost loops and their induction variables, module-wide *)
@@ -237,10 +244,14 @@ let of_kernel (kernel : K.kernel) : t =
       hot []
     |> List.sort (fun a b -> compare a.pa_array b.pa_array)
   in
+  let scheds =
+    match List.sort_uniq compare scheds with [] -> [ B.Static ] | ss -> ss
+  in
   {
     sp_kernel = kernel.K.kname;
     sp_inner_trip = inner_trip;
     sp_strategies = [ K.Inner; K.Middle ];
+    sp_scheds = scheds;
     sp_iis = [ 0; 1; 2; 4; 8 ];
     sp_unrolls = pow2_ladder ~limit:inner_trip;
     sp_partitions;
@@ -262,14 +273,17 @@ let canonical (c : config) : config =
   | K.Inner -> { c with c_parts }
   | K.Middle -> { c with c_parts; c_unroll = 1; c_ii = max c.c_ii 1 }
 
-(** Canonical, injective label — the dedup key and job label. *)
+(** Canonical, injective label — the dedup key and job label.  The
+    statically-scheduled half of the space keeps the historical labels
+    exactly; dynamic points carry a ["-dyn"] suffix. *)
 let describe (c : config) : string =
   let c = canonical c in
-  Printf.sprintf "%s-ii%d-u%d%s"
+  Printf.sprintf "%s-ii%d-u%d%s%s"
     (match c.c_strategy with K.Inner -> "inner" | K.Middle -> "middle")
     c.c_ii c.c_unroll
     (String.concat ""
        (List.map (fun (a, f) -> Printf.sprintf "-%s%d" a f) c.c_parts))
+    (match c.c_sched with B.Static -> "" | B.Dynamic -> "-dyn")
 
 let to_directives (sp : t) (c : config) : K.directives =
   let c = canonical c in
@@ -295,10 +309,11 @@ let parts_all (sp : t) (f : int) : (string * int) list =
     with these guarantees the search's frontier weakly dominates the
     old one.  Canonicalized and deduplicated. *)
 let seeds (sp : t) : config list =
-  let mk s ii u parts =
+  let mk sched s ii u parts =
     canonical
       {
         c_strategy = s;
+        c_sched = sched;
         c_ii = ii;
         c_unroll = clamp_to sp.sp_unrolls u;
         c_parts =
@@ -308,16 +323,19 @@ let seeds (sp : t) : config list =
       }
   in
   let off = parts_all sp 1 in
-  [
-    mk K.Inner 0 1 off;
-    mk K.Inner 1 1 off;
-    mk K.Inner 1 2 off;
-    mk K.Inner 1 4 off;
-    mk K.Middle 1 1 off;
-    mk K.Middle 1 1 (parts_all sp 2);
-    mk K.Middle 1 1 (parts_all sp 4);
-    mk K.Middle 1 1 (parts_all sp 8);
-  ]
+  List.concat_map
+    (fun sched ->
+      [
+        mk sched K.Inner 0 1 off;
+        mk sched K.Inner 1 1 off;
+        mk sched K.Inner 1 2 off;
+        mk sched K.Inner 1 4 off;
+        mk sched K.Middle 1 1 off;
+        mk sched K.Middle 1 1 (parts_all sp 2);
+        mk sched K.Middle 1 1 (parts_all sp 4);
+        mk sched K.Middle 1 1 (parts_all sp 8);
+      ])
+    sp.sp_scheds
   |> List.sort_uniq (fun a b -> compare (describe a) (describe b))
 
 (** Values adjacent to [v] on an ascending axis ([v] itself excluded;
@@ -328,7 +346,8 @@ let adjacent (axis : int list) (v : int) : int list =
   (match List.rev below with [] -> [] | b :: _ -> [ b ])
   @ (match above with [] -> [] | a :: _ -> [ a ])
 
-(** One-axis neighborhood of a config: strategy flip, one II step, one
+(** One-axis neighborhood of a config: strategy flip, backend flip
+    (when the space has more than one on its axis), one II step, one
     unroll step, one factor step on one array.  Canonicalized,
     deduplicated, self excluded, sorted by {!describe}. *)
 let neighbors (sp : t) (c : config) : config list =
@@ -336,9 +355,15 @@ let neighbors (sp : t) (c : config) : config list =
   let flip =
     match c.c_strategy with K.Inner -> K.Middle | K.Middle -> K.Inner
   in
+  let sched_moves =
+    List.filter_map
+      (fun s -> if s = c.c_sched then None else Some { c with c_sched = s })
+      sp.sp_scheds
+  in
   let moves =
-    ({ c with c_strategy = flip }
-    :: List.map (fun ii -> { c with c_ii = ii }) (adjacent sp.sp_iis c.c_ii))
+    sched_moves
+    @ ({ c with c_strategy = flip }
+      :: List.map (fun ii -> { c with c_ii = ii }) (adjacent sp.sp_iis c.c_ii))
     @ List.map
         (fun u -> { c with c_unroll = u })
         (adjacent sp.sp_unrolls c.c_unroll)
@@ -379,24 +404,28 @@ let enumerate (sp : t) : config list =
     |> List.map List.rev
   in
   List.concat_map
-    (fun s ->
+    (fun sched ->
       List.concat_map
-        (fun ii ->
+        (fun s ->
           List.concat_map
-            (fun u ->
-              List.map
-                (fun parts ->
-                  canonical
-                    {
-                      c_strategy = s;
-                      c_ii = ii;
-                      c_unroll = u;
-                      c_parts = parts;
-                    })
-                parts_combos)
-            sp.sp_unrolls)
-        sp.sp_iis)
-    sp.sp_strategies
+            (fun ii ->
+              List.concat_map
+                (fun u ->
+                  List.map
+                    (fun parts ->
+                      canonical
+                        {
+                          c_strategy = s;
+                          c_sched = sched;
+                          c_ii = ii;
+                          c_unroll = u;
+                          c_parts = parts;
+                        })
+                    parts_combos)
+                sp.sp_unrolls)
+            sp.sp_iis)
+        sp.sp_strategies)
+    sp.sp_scheds
   |> List.sort_uniq (fun a b -> compare (describe a) (describe b))
 
 (** Number of distinct (canonical) points in the space. *)

@@ -13,6 +13,8 @@ type t = {
   sp_kernel : string;
   sp_inner_trip : int;  (** smallest innermost-loop trip count *)
   sp_strategies : Workloads.Kernels.strategy list;
+  sp_scheds : Hls_backend.Backend.sched list;
+      (** estimation backends on the axis *)
   sp_iis : int list;  (** ascending; 0 = no pipeline directive *)
   sp_unrolls : int list;  (** ascending; 1 = off *)
   sp_partitions : partition_axis list;  (** sorted by array name *)
@@ -21,6 +23,8 @@ type t = {
 (** One point of the space. *)
 type config = {
   c_strategy : Workloads.Kernels.strategy;
+  c_sched : Hls_backend.Backend.sched;
+      (** which backend estimates this point *)
   c_ii : int;  (** 0 = off *)
   c_unroll : int;  (** 1 = off *)
   c_parts : (string * int) list;
@@ -34,28 +38,35 @@ type config = {
 val may_aliased_arrays : Workloads.Kernels.kernel -> string list
 
 (** Derive the space for a kernel by walking its directive-free IR.
-    Arrays in {!may_aliased_arrays} get no partition axis. *)
-val of_kernel : Workloads.Kernels.kernel -> t
+    Arrays in {!may_aliased_arrays} get no partition axis.  [scheds]
+    is the estimation-backend axis (sorted, deduplicated; default
+    static only, which keeps the historical space byte-identical —
+    same size, same labels). *)
+val of_kernel :
+  ?scheds:Hls_backend.Backend.sched list -> Workloads.Kernels.kernel -> t
 
 (** Collapse directive aliases to one representative (under [Middle]
     the unroll axis is moot and II defaults to 1); sorts partition
     entries.  Idempotent. *)
 val canonical : config -> config
 
-(** Canonical, injective label — the dedup key and job label. *)
+(** Canonical, injective label — the dedup key and job label.  Static
+    points keep the historical labels; dynamic points get ["-dyn"]. *)
 val describe : config -> string
 
 (** Directives that build this point's IR. *)
 val to_directives : t -> config -> Workloads.Kernels.directives
 
-(** The legacy fixed 8-point grid expressed in this space
-    (canonicalized, deduplicated, sorted).  Seeding the archive with
-    these guarantees the new frontier weakly dominates the old one. *)
+(** The legacy fixed 8-point grid expressed in this space, replicated
+    per backend on the axis (canonicalized, deduplicated, sorted).
+    Seeding the archive with these guarantees the new frontier weakly
+    dominates the old one. *)
 val seeds : t -> config list
 
-(** One-axis neighborhood: strategy flip, one II step, one unroll
-    step, one factor step on one array.  Canonical, deduplicated,
-    self excluded, sorted by {!describe}. *)
+(** One-axis neighborhood: strategy flip, backend flip (multi-backend
+    spaces only), one II step, one unroll step, one factor step on one
+    array.  Canonical, deduplicated, self excluded, sorted by
+    {!describe}. *)
 val neighbors : t -> config -> config list
 
 (** Every point (canonical forms, sorted by {!describe}). *)

@@ -22,6 +22,7 @@ val flow_name : flow_kind -> string
 type result = {
   kernel : string;
   kind : flow_kind;
+  sched : Hls_backend.Backend.sched;  (** scheduling discipline used *)
   llvm : Llvmir.Lmodule.t;  (** the IR handed to the HLS backend *)
   hls : Hls_backend.Estimate.report;
   seconds : float;  (** front-of-HLS compile time *)
@@ -61,12 +62,15 @@ val lint_kernel :
   Workloads.Kernels.kernel ->
   Support.Diag.t list
 
-(** Run one flow on a kernel and synthesize.  [Error diagnostics] when
-    the strict adaptor gate blocks (direct-IR flow only). *)
+(** Run one flow on a kernel and synthesize under the chosen
+    scheduling discipline ([sched], default
+    {!Hls_backend.Backend.Static}).  [Error diagnostics] when the
+    strict adaptor gate blocks (direct-IR flow only). *)
 val run :
   ?directives:Workloads.Kernels.directives ->
   ?pipeline:Adaptor.Pipeline.t ->
   ?clock_ns:float ->
+  ?sched:Hls_backend.Backend.sched ->
   ?trace:Support.Tracing.hook ->
   Workloads.Kernels.kernel ->
   flow_kind ->
@@ -78,6 +82,7 @@ val run_exn :
   ?directives:Workloads.Kernels.directives ->
   ?pipeline:Adaptor.Pipeline.t ->
   ?clock_ns:float ->
+  ?sched:Hls_backend.Backend.sched ->
   ?trace:Support.Tracing.hook ->
   Workloads.Kernels.kernel ->
   flow_kind ->
@@ -127,13 +132,24 @@ val cosim :
 (* Comparison                                                         *)
 (* ------------------------------------------------------------------ *)
 
-type comparison = { c_kernel : string; direct : result; cpp : result }
+(** The paper's flow comparison, generalized to a 2×2 grid: frontend
+    (direct-IR vs HLS C++) × scheduling discipline (static vs
+    dynamic).  [direct]/[cpp] are the statically-scheduled cells. *)
+type comparison = {
+  c_kernel : string;
+  direct : result;
+  cpp : result;
+  direct_dyn : result;
+  cpp_dyn : result;
+}
 
-(** Run both flows on a kernel. *)
+(** Run both flows under both scheduling disciplines on a kernel. *)
 val compare_flows :
   ?directives:Workloads.Kernels.directives ->
   ?clock_ns:float ->
   Workloads.Kernels.kernel ->
   comparison
 
+(** HLS-C++ over direct-IR latency, on the statically-scheduled
+    cells (the paper's headline number). *)
 val latency_ratio : comparison -> float

@@ -22,6 +22,7 @@ let flow_name = function Direct_ir -> "direct-ir" | Hls_cpp -> "hls-cpp"
 type result = {
   kernel : string;
   kind : flow_kind;
+  sched : Hls_backend.Backend.sched;  (** scheduling discipline used *)
   llvm : Llvmir.Lmodule.t;  (** the IR handed to the HLS backend *)
   hls : Hls_backend.Estimate.report;
   seconds : float;  (** front-of-HLS compile time *)
@@ -102,18 +103,23 @@ let hls_cpp_frontend ?(trace = Support.Tracing.null) (m : Mhir.Ir.modul) :
   let lm = llvm_cleanup ~trace lm in
   (lm, cpp, Sys.time () -. t0)
 
-(** Run one flow on a kernel and synthesize.  [Error diagnostics] when
-    the strict adaptor gate blocks (direct-IR flow only). *)
+(** Run one flow on a kernel and synthesize under the chosen
+    scheduling discipline.  [Error diagnostics] when the strict
+    adaptor gate blocks (direct-IR flow only). *)
 let run ?(directives = K.pipelined) ?pipeline ?clock_ns
-    ?(trace = Support.Tracing.null) (kernel : K.kernel) (kind : flow_kind) :
+    ?(sched = Hls_backend.Backend.Static) ?(trace = Support.Tracing.null)
+    (kernel : K.kernel) (kind : flow_kind) :
     (result, Support.Diag.t list) Stdlib.result =
   let m = kernel.K.build directives in
   let synthesize lm =
     let t0 = Sys.time () in
-    let hls = Hls_backend.Estimate.synthesize ?clock_ns ~top:kernel.K.kname lm in
+    let hls =
+      Hls_backend.Backend.synthesize ?clock_ns ~sched ~top:kernel.K.kname lm
+    in
     let n = Llvmir.Lmodule.instr_count lm in
     trace
-      (Support.Tracing.event ~stage:"hls" ~pass:"estimate"
+      (Support.Tracing.event ~stage:"hls"
+         ~pass:("estimate-" ^ Hls_backend.Backend.sched_name sched)
          ~seconds:(Sys.time () -. t0) ~before:n ~after:n);
     hls
   in
@@ -126,6 +132,7 @@ let run ?(directives = K.pipelined) ?pipeline ?clock_ns
             {
               kernel = kernel.K.kname;
               kind;
+              sched;
               llvm = lm;
               hls = synthesize lm;
               seconds;
@@ -138,6 +145,7 @@ let run ?(directives = K.pipelined) ?pipeline ?clock_ns
         {
           kernel = kernel.K.kname;
           kind;
+          sched;
           llvm = lm;
           hls = synthesize lm;
           seconds;
@@ -147,9 +155,9 @@ let run ?(directives = K.pipelined) ?pipeline ?clock_ns
 
 (** Exception-raising convenience for process boundaries: raises
     {!Support.Diag.Failed} where {!run} returns [Error]. *)
-let run_exn ?directives ?pipeline ?clock_ns ?trace (kernel : K.kernel)
+let run_exn ?directives ?pipeline ?clock_ns ?sched ?trace (kernel : K.kernel)
     (kind : flow_kind) : result =
-  match run ?directives ?pipeline ?clock_ns ?trace kernel kind with
+  match run ?directives ?pipeline ?clock_ns ?sched ?trace kernel kind with
   | Ok r -> r
   | Error ds -> raise (Support.Diag.Failed ds)
 
@@ -267,19 +275,29 @@ let cosim ?(directives = K.pipelined) (kernel : K.kernel) : cosim_outcome =
 (* Comparison                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(** The paper's flow comparison, generalized to a 2×2 grid:
+    frontend (direct-IR vs HLS C++) × scheduling discipline (static
+    vs dynamic).  [direct]/[cpp] are the statically-scheduled cells
+    the paper reports; [direct_dyn]/[cpp_dyn] are the same frontends
+    re-estimated under the elastic backend. *)
 type comparison = {
   c_kernel : string;
   direct : result;
   cpp : result;
+  direct_dyn : result;
+  cpp_dyn : result;
 }
 
-(** Run both flows on a kernel. *)
+(** Run both flows under both scheduling disciplines on a kernel. *)
 let compare_flows ?(directives = K.pipelined) ?clock_ns (kernel : K.kernel) :
     comparison =
+  let cell sched kind = run_exn ~directives ?clock_ns ~sched kernel kind in
   {
     c_kernel = kernel.K.kname;
-    direct = run_exn ~directives ?clock_ns kernel Direct_ir;
-    cpp = run_exn ~directives ?clock_ns kernel Hls_cpp;
+    direct = cell Hls_backend.Backend.Static Direct_ir;
+    cpp = cell Hls_backend.Backend.Static Hls_cpp;
+    direct_dyn = cell Hls_backend.Backend.Dynamic Direct_ir;
+    cpp_dyn = cell Hls_backend.Backend.Dynamic Hls_cpp;
   }
 
 let latency_ratio (c : comparison) =

@@ -1,0 +1,57 @@
+(** The estimation-backend API: one IR, multiple scheduling
+    disciplines.
+
+    Mirrors CIRCT's [hlstool] split between statically-scheduled
+    pipeline flows and dynamically-scheduled handshake flows: every
+    backend turns an adapted module into the same {!Qor.report} shape
+    through [schedule] (loop-nest walk + timing) and [bind] (resource
+    pricing).  Consumers select a discipline with {!sched} and obtain
+    the implementation as a first-class module via {!of_sched}. *)
+
+(** A scheduling discipline.  [Static] is the classic list scheduler
+    ({!Backend_static}); [Dynamic] is the elastic dataflow estimator
+    ({!Backend_dynamic}). *)
+type sched = Static | Dynamic
+
+(** Wire/cache-key name of a discipline: ["static"] / ["dynamic"]. *)
+let sched_name = function Static -> "static" | Dynamic -> "dynamic"
+
+let sched_of_name = function
+  | "static" -> Some Static
+  | "dynamic" -> Some Dynamic
+  | _ -> None
+
+let all_scheds = [ Static; Dynamic ]
+
+(** What every estimation backend provides. *)
+module type S = sig
+  (** Stable identifier, used in cache keys and report labels. *)
+  val name : string
+
+  (** One-line human description for reports and [--help]. *)
+  val describe : string
+
+  (** Walk the top function's loop nest and time it under this
+      backend's discipline.
+      @raise Qor.Rejected when the module is not synthesizable. *)
+  val schedule :
+    ?clock_ns:float -> top:string -> Llvmir.Lmodule.t -> Qor.plan
+
+  (** Price the plan's unit demand and fabric into resources. *)
+  val bind : Qor.plan -> Qor.resources
+
+  (** [schedule] then [bind], folded into the final report.
+      @raise Qor.Rejected when the module is not synthesizable. *)
+  val synthesize :
+    ?clock_ns:float -> top:string -> Llvmir.Lmodule.t -> Qor.report
+end
+
+let of_sched : sched -> (module S) = function
+  | Static -> (module Backend_static)
+  | Dynamic -> (module Backend_dynamic)
+
+(** Convenience dispatcher: synthesize under the given discipline. *)
+let synthesize ?clock_ns ~(sched : sched) ~(top : string)
+    (m : Llvmir.Lmodule.t) : Qor.report =
+  let (module B) = of_sched sched in
+  B.synthesize ?clock_ns ~top m

@@ -1,0 +1,33 @@
+(** Estimation-backend API: scheduling disciplines over one IR, each
+    implementing [schedule] / [bind] / [synthesize] behind the same
+    report shape. *)
+
+type sched = Static | Dynamic
+
+val sched_name : sched -> string
+val sched_of_name : string -> sched option
+val all_scheds : sched list
+
+module type S = sig
+  val name : string
+  val describe : string
+
+  val schedule :
+    ?clock_ns:float -> top:string -> Llvmir.Lmodule.t -> Qor.plan
+
+  val bind : Qor.plan -> Qor.resources
+
+  val synthesize :
+    ?clock_ns:float -> top:string -> Llvmir.Lmodule.t -> Qor.report
+end
+
+val of_sched : sched -> (module S)
+
+(** Synthesize under the given discipline.
+    @raise Qor.Rejected when the module is not synthesizable. *)
+val synthesize :
+  ?clock_ns:float ->
+  sched:sched ->
+  top:string ->
+  Llvmir.Lmodule.t ->
+  Qor.report

@@ -1,0 +1,355 @@
+(** Dynamically-scheduled (elastic / dataflow) estimation backend, in
+    the style of Dynamatic's handshake circuits.
+
+    Instead of a static schedule decided at compile time, every
+    operation becomes its own spatial unit that {e fires when its
+    operand tokens arrive}.  Consequences modelled here:
+
+    - no combinational chaining: every unit registers its handshake,
+      so a 0-latency ALU op still occupies one cycle;
+    - no functional-unit sharing: unit count per class is the {e sum}
+      over the circuit, not the maximum over loop schedules;
+    - every dependence edge is an elastic channel whose FIFO costs
+      BRAM/LUT/FF via {!Op_model.fifo_cost};
+    - loops always overlap iterations, and the initiation interval
+      emerges from the {e token round-trip time} of the loop-carried
+      dependence cycle (longest elastic path from a carry phi's
+      consumers back to the latch definition, plus one cycle through
+      the back-edge buffer) instead of a statically computed RecMII.
+
+    The loop-nest walk mirrors {!Backend_static}: the dependence graph
+    is built by {!Schedule.run} and re-timed under elastic firing
+    rules; inner loops appear as barrier nodes of known latency. *)
+
+open Llvmir
+
+let name = "dynamic"
+let describe =
+  "dynamically-scheduled elastic estimator (dataflow firing, token \
+   round-trip II, FIFO-buffered channels)"
+
+let fail = Support.Err.fail ~pass:"hls.estimate"
+
+module FuMap = Qor.FuMap
+
+(** Elastic occupancy of one node: handshake registering makes every
+    real operation take at least a cycle; inner-loop barriers keep
+    their estimated latency. *)
+let elastic_latency (nd : Schedule.node) : int = max 1 nd.Schedule.latency
+
+(** ASAP dataflow re-timing of a built dependence graph: a unit fires
+    as soon as every operand token has arrived.  Returns the per-node
+    finish times and the circuit latency. *)
+let elastic_times (s : Schedule.t) : int array * int =
+  let n = Array.length s.Schedule.nodes in
+  let finish = Array.make n 0 in
+  Array.iter
+    (fun (nd : Schedule.node) ->
+      let ready =
+        List.fold_left (fun acc p -> max acc finish.(p)) 0 nd.Schedule.preds
+      in
+      finish.(nd.Schedule.nid) <- ready + elastic_latency nd)
+    s.Schedule.nodes;
+  (finish, Array.fold_left max 0 finish)
+
+(** Token round-trip time of the carried-dependence cycle: the longest
+    elastic path from any consumer of carry phi [phi] to the final
+    replica's definition of [latch], plus one cycle through the
+    back-edge buffer that returns the token to the phi. *)
+let token_round_trip ~(replicas : int) (s : Schedule.t)
+    (carries : (Support.Interner.t * Support.Interner.t) list) : int =
+  let n = Array.length s.Schedule.nodes in
+  let rtt = ref 1 in
+  List.iter
+    (fun (phi, latch) ->
+      let dist = Array.make n (-1) in
+      Array.iter
+        (fun (nd : Schedule.node) ->
+          let base =
+            if nd.Schedule.carry_base = Some phi then Some 0
+            else
+              List.fold_left
+                (fun acc p ->
+                  if dist.(p) >= 0 then
+                    match acc with
+                    | None -> Some dist.(p)
+                    | Some d -> Some (max d dist.(p))
+                  else acc)
+                None nd.Schedule.preds
+          in
+          match base with
+          | Some d -> dist.(nd.Schedule.nid) <- d + elastic_latency nd
+          | None -> ())
+        s.Schedule.nodes;
+      Array.iter
+        (fun (nd : Schedule.node) ->
+          if
+            nd.Schedule.replica = replicas - 1
+            && nd.Schedule.result = latch
+            && dist.(nd.Schedule.nid) >= 0
+          then rtt := max !rtt (dist.(nd.Schedule.nid) + 1))
+        s.Schedule.nodes)
+    carries;
+  !rtt
+
+(** Spatial unit demand: every node is its own unit, so counts sum
+    instead of taking the per-schedule maximum. *)
+let fu_units_spatial (s : Schedule.t) : (Op_model.cost * int) FuMap.t =
+  Array.fold_left
+    (fun acc (nd : Schedule.node) ->
+      match nd.Schedule.fu with
+      | Op_model.FU_none | Op_model.FU_mem_read | Op_model.FU_mem_write -> acc
+      | fu ->
+          let key = Op_model.fu_name fu in
+          let _, u =
+            Option.value ~default:(nd.Schedule.cost, 0) (FuMap.find_opt key acc)
+          in
+          FuMap.add key (nd.Schedule.cost, u + 1) acc)
+    FuMap.empty s.Schedule.nodes
+
+let fu_merge_sum a b =
+  FuMap.union (fun _ (c, u1) (_, u2) -> Some (c, u1 + u2)) a b
+
+(** Default elastic-channel geometry: word-wide tokens, two slots (one
+    transparent + one opaque buffer, the minimal throughput-preserving
+    configuration). *)
+let channel_bits = 32
+let channel_depth = 2
+
+(** FIFO fabric for one loop-body circuit: one channel per dependence
+    edge of a real (non-barrier) node, one control-token channel per
+    inner-loop barrier, and one back-edge buffer per carried value. *)
+let fifo_fabric (s : Schedule.t) (carries : ('a * 'b) list) : Qor.resources =
+  let channels =
+    Array.fold_left
+      (fun acc (nd : Schedule.node) ->
+        if nd.Schedule.is_inner then acc + 1
+        else acc + List.length nd.Schedule.preds)
+      0 s.Schedule.nodes
+    + List.length carries
+  in
+  let bram, lut, ff =
+    Op_model.fifo_cost ~depth:channel_depth ~bits:channel_bits
+  in
+  {
+    Qor.bram = channels * bram;
+    dsp = 0;
+    lut = channels * lut;
+    ff = channels * ff;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+type loop_estimate = {
+  total : int;
+  reports : Qor.loop_report list;
+  fus : (Op_model.cost * int) FuMap.t;
+  fifos : Qor.resources;
+  accesses_per_run : (string * int) list;
+}
+
+let acc_merge a b =
+  List.fold_left
+    (fun acc (k, v) ->
+      let prev = Option.value ~default:0 (List.assoc_opt k acc) in
+      (k, prev + v) :: List.remove_assoc k acc)
+    a b
+
+let rec body_items ~clock_ns ~arrays ~idx (cfg : Cfg.t) (li : Loop_info.t)
+    (f : Lmodule.func) (j : int option) :
+    Schedule.item list
+    * Qor.loop_report list
+    * (Op_model.cost * int) FuMap.t
+    * Qor.resources
+    * (string * int) list =
+  let n = Cfg.n_blocks cfg in
+  let in_this b =
+    match j with
+    | None -> li.Loop_info.loop_of_block.(b) = None
+    | Some j -> (
+        match li.Loop_info.loop_of_block.(b) with
+        | Some k -> k = j
+        | None -> false)
+  in
+  let children =
+    match j with
+    | None -> Loop_info.top_level li
+    | Some j -> li.Loop_info.loops.(j).Loop_info.children
+  in
+  let child_est =
+    List.map
+      (fun c -> (c, estimate_loop ~clock_ns ~arrays ~idx cfg li f c))
+      children
+  in
+  let items = ref [] in
+  let reports = ref [] in
+  let fus = ref FuMap.empty in
+  let fifos = ref Qor.res_zero in
+  let child_acc = ref [] in
+  for b = 0 to n - 1 do
+    if in_this b then begin
+      let blk = Cfg.block cfg b in
+      List.iter (fun i -> items := Schedule.Instr i :: !items) blk.Lmodule.insts
+    end
+    else
+      List.iter
+        (fun (c, est) ->
+          if li.Loop_info.loops.(c).Loop_info.header = b then begin
+            items :=
+              Schedule.Inner { loop_idx = c; latency = est.total } :: !items;
+            reports := !reports @ est.reports;
+            fus := fu_merge_sum !fus est.fus;
+            fifos := Qor.res_add !fifos est.fifos;
+            child_acc := acc_merge !child_acc est.accesses_per_run
+          end)
+        child_est
+  done;
+  (List.rev !items, !reports, !fus, !fifos, !child_acc)
+
+and estimate_loop ~clock_ns ~arrays ~idx (cfg : Cfg.t) (li : Loop_info.t)
+    (f : Lmodule.func) (j : int) : loop_estimate =
+  let l = li.Loop_info.loops.(j) in
+  let dir = Directives.loop_directives cfg li j in
+  let tripcount =
+    match dir.Directives.tripcount with
+    | Some n -> n
+    | None -> (
+        match Loop_info.trip_count li j with
+        | Some n -> n
+        | None ->
+            fail "@%s: loop at %%%s has no static trip count" f.Lmodule.fname
+              (Support.Interner.name (Cfg.label cfg l.Loop_info.header)))
+  in
+  let unroll =
+    match dir.Directives.unroll with
+    | Some 0 -> max 1 tripcount
+    | Some u -> max 1 (min u tripcount)
+    | None -> 1
+  in
+  let trip' = (tripcount + unroll - 1) / max 1 unroll in
+  let items, child_reports, child_fus, child_fifos, child_acc =
+    body_items ~clock_ns ~arrays ~idx cfg li f (Some j)
+  in
+  let header_blk = Cfg.block cfg l.Loop_info.header in
+  let latch_labels = List.map (Cfg.label cfg) l.Loop_info.latches in
+  let carries =
+    List.filter_map
+      (fun (i : Linstr.t) ->
+        match i.Linstr.op with
+        | Linstr.Phi incoming -> (
+            match
+              List.find_opt (fun (_, lbl) -> List.mem lbl latch_labels) incoming
+            with
+            | Some (Lvalue.Reg (latch_reg, _), _) ->
+                Some (i.Linstr.result, latch_reg)
+            | _ -> None)
+        | _ -> None)
+      header_blk.Lmodule.insts
+  in
+  (* the dependence graph is shared with the static backend; only the
+     timing interpretation differs *)
+  let sched =
+    Schedule.run ~clock_ns ~arrays ~carries ~replicas:unroll ~idx items
+  in
+  let _, iter_elastic = elastic_times sched in
+  let iteration_latency = max 1 iter_elastic in
+  let per_iter_acc = acc_merge sched.Schedule.mem_accesses child_acc in
+  let ports_of name =
+    match
+      List.find_opt
+        (fun (a : Directives.array_info) -> a.Directives.aname = name)
+        arrays
+    with
+    | Some a -> Directives.ports a
+    | None -> 2
+  in
+  let res_mii =
+    List.fold_left
+      (fun acc (a, c) -> max acc ((c + ports_of a - 1) / ports_of a))
+      1 per_iter_acc
+  in
+  let ii_token = token_round_trip ~replicas:unroll sched carries in
+  (* dataflow execution always overlaps iterations: the achieved II is
+     whatever the token cycle and the memory ports allow *)
+  let ii = max ii_token res_mii in
+  let total = iteration_latency + ((trip' - 1) * ii) + 2 in
+  let this_report =
+    {
+      Qor.label = Support.Interner.name (Cfg.label cfg l.Loop_info.header);
+      depth = l.Loop_info.depth;
+      tripcount;
+      unroll;
+      pipelined = true;
+      target_ii = None;
+      achieved_ii = Some ii;
+      rec_mii = ii_token;
+      res_mii;
+      iteration_latency;
+      total_latency = total;
+      mem_accesses = per_iter_acc;
+    }
+  in
+  {
+    total;
+    reports = this_report :: child_reports;
+    fus = fu_merge_sum child_fus (fu_units_spatial sched);
+    fifos = Qor.res_add child_fifos (fifo_fabric sched carries);
+    accesses_per_run = List.map (fun (a, c) -> (a, c * trip')) per_iter_acc;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+(** Schedule the top function under elastic firing rules.
+
+    @raise Qor.Rejected when the IR is outside the HLS-readable subset
+    (run the adaptor first). *)
+let schedule ?(clock_ns = Op_model.default_clock_ns) ~(top : string)
+    (m : Lmodule.t) : Qor.plan =
+  (match Adaptor_markers.legality_errors m with
+  | [] -> ()
+  | errs -> raise (Qor.Rejected errs));
+  let f = Lmodule.find_func_exn m top in
+  let cfg = Cfg.build f in
+  let li = Loop_info.compute cfg in
+  let idx = Findex.build f in
+  let arrays = Directives.arrays f in
+  let items, loop_reports, loop_fus, loop_fifos, _ =
+    body_items ~clock_ns ~arrays ~idx cfg li f None
+  in
+  let sched =
+    Schedule.run ~clock_ns ~arrays ~carries:[] ~replicas:1 ~idx items
+  in
+  let _, top_elastic = elastic_times sched in
+  let latency = top_elastic + 2 in
+  let fus = fu_merge_sum loop_fus (fu_units_spatial sched) in
+  let fifos = Qor.res_add loop_fifos (fifo_fabric sched []) in
+  (* handshake controllers replace the static FSM: a fork/join/branch
+     steering network per loop instead of a counter-driven FSM *)
+  let n_loops = List.length loop_reports in
+  let control =
+    {
+      Qor.res_zero with
+      Qor.lut = 120 + (60 * n_loops);
+      ff = 160 + (80 * n_loops);
+    }
+  in
+  {
+    Qor.p_top = top;
+    p_clock_ns = clock_ns;
+    p_latency = latency;
+    p_loops = loop_reports;
+    p_fus = fus;
+    p_extra = Qor.res_add fifos control;
+    p_arrays = arrays;
+    p_warnings = [];
+  }
+
+(** Resource binding: spatial unit demand priced by {!Op_model}, array
+    BRAM banks, and the elastic FIFO + handshake fabric carried by the
+    plan. *)
+let bind (p : Qor.plan) : Qor.resources = Qor.bind_fus p
+
+let synthesize ?(clock_ns = Op_model.default_clock_ns) ~(top : string)
+    (m : Lmodule.t) : Qor.report =
+  let plan = schedule ~clock_ns ~top m in
+  Qor.report_of_plan plan (bind plan)

@@ -1,0 +1,26 @@
+(** Dynamically-scheduled (elastic / dataflow) estimation backend:
+    units fire when operand tokens arrive, dependence edges are
+    FIFO-buffered channels costed via {!Op_model.fifo_cost}, and loop
+    II emerges from token round-trip time instead of a static RecMII.
+    Implements the {!Backend.S} signature. *)
+
+val name : string
+val describe : string
+
+(** Default elastic-channel geometry used for FIFO costing. *)
+val channel_bits : int
+
+val channel_depth : int
+
+(** Schedule the top function under elastic firing rules.
+    @raise Qor.Rejected when the module is not synthesizable. *)
+val schedule :
+  ?clock_ns:float -> top:string -> Llvmir.Lmodule.t -> Qor.plan
+
+(** Bind the plan's spatial unit demand and elastic fabric. *)
+val bind : Qor.plan -> Qor.resources
+
+(** [schedule] then [bind], folded into the final report.
+    @raise Qor.Rejected when the module is not synthesizable. *)
+val synthesize :
+  ?clock_ns:float -> top:string -> Llvmir.Lmodule.t -> Qor.report

@@ -1,0 +1,306 @@
+(** Statically-scheduled estimation backend — the Vitis HLS "synthesis"
+    analogue, and the reference implementation of the backend API
+    ({!Backend.S}).
+
+    Loops are estimated innermost-first; each nested loop appears in
+    its parent's schedule as a fixed-latency node.  Latency formulas:
+
+    - pipelined loop:    [L + (N-1)·II + 2]  with
+      [II = max(target, RecMII, ResMII)];
+    - sequential loop:   [N·(L+1) + 2]  (one cycle of loop control per
+      iteration, one entry + one exit cycle);
+    - unrolled by [u]:   body replicated [u] times (reduction chains
+      serialize, memory ports saturate), trip count divided.
+
+    Functional units are shared across loops (they never run
+    concurrently in this single-kernel model), so the function-level
+    unit count per class is the maximum requirement over all loop
+    schedules. *)
+
+open Llvmir
+
+let name = "static"
+let describe = "static list scheduler (shared FUs, RecMII-bound pipelining)"
+
+let fail = Support.Err.fail ~pass:"hls.estimate"
+
+module FuMap = Qor.FuMap
+
+(** Units needed by one schedule. *)
+let fu_units ~(pipelined_ii : int option) (s : Schedule.t) :
+    (Op_model.cost * int) FuMap.t =
+  let tbl : (string, Op_model.cost * int list) Hashtbl.t = Hashtbl.create 8 in
+  Array.iter
+    (fun (nd : Schedule.node) ->
+      match nd.Schedule.fu with
+      | Op_model.FU_none | Op_model.FU_mem_read | Op_model.FU_mem_write -> ()
+      | fu ->
+          let key = Op_model.fu_name fu in
+          let _, starts =
+            Option.value ~default:(nd.Schedule.cost, [])
+              (Hashtbl.find_opt tbl key)
+          in
+          Hashtbl.replace tbl key
+            (nd.Schedule.cost, s.Schedule.starts.(nd.Schedule.nid) :: starts))
+    s.Schedule.nodes;
+  Hashtbl.fold
+    (fun key (cost, starts) acc ->
+      let units =
+        match pipelined_ii with
+        | Some ii when ii > 0 ->
+            (* starts folded modulo II across overlapped iterations *)
+            let buckets = Array.make ii 0 in
+            List.iter
+              (fun c -> buckets.(c mod ii) <- buckets.(c mod ii) + 1)
+              starts;
+            Array.fold_left max 1 buckets
+        | _ ->
+            (* sequential: units = max overlap of busy intervals *)
+            let events = Hashtbl.create 16 in
+            List.iter
+              (fun c ->
+                let occupancy = max 1 cost.Op_model.latency in
+                for t = c to c + occupancy - 1 do
+                  Hashtbl.replace events t
+                    (1 + Option.value ~default:0 (Hashtbl.find_opt events t))
+                done)
+              starts;
+            Hashtbl.fold (fun _ v acc -> max acc v) events 1
+      in
+      FuMap.add key (cost, units) acc)
+    tbl FuMap.empty
+
+let fu_merge a b =
+  FuMap.union (fun _ (c, u1) (_, u2) -> Some (c, max u1 u2)) a b
+
+(* ------------------------------------------------------------------ *)
+
+type loop_estimate = {
+  total : int;
+  reports : Qor.loop_report list;  (** this loop then its children *)
+  fus : (Op_model.cost * int) FuMap.t;
+  accesses_per_run : (string * int) list;
+      (** per-array memory accesses for one full execution of the loop
+          (drives the ResMII of a pipelined ancestor) *)
+}
+
+let acc_merge a b =
+  List.fold_left
+    (fun acc (k, v) ->
+      let prev = Option.value ~default:0 (List.assoc_opt k acc) in
+      (k, prev + v) :: List.remove_assoc k acc)
+    a b
+
+(** Items (instructions + inner-loop nodes) of the blocks directly in
+    loop [j] (or, with [j = None], of the function outside all loops). *)
+let rec body_items ~clock_ns ~arrays ~idx (cfg : Cfg.t) (li : Loop_info.t)
+    (f : Lmodule.func) (j : int option) :
+    Schedule.item list
+    * Qor.loop_report list
+    * (Op_model.cost * int) FuMap.t
+    * (string * int) list =
+  let n = Cfg.n_blocks cfg in
+  let in_this b =
+    match j with
+    | None -> li.Loop_info.loop_of_block.(b) = None
+    | Some j -> (
+        match li.Loop_info.loop_of_block.(b) with
+        | Some k -> k = j
+        | None -> false)
+  in
+  let children =
+    match j with
+    | None -> Loop_info.top_level li
+    | Some j -> li.Loop_info.loops.(j).Loop_info.children
+  in
+  (* estimate children first *)
+  let child_est =
+    List.map
+      (fun c ->
+        (c, estimate_loop ~clock_ns ~arrays ~idx cfg li f c))
+      children
+  in
+  let items = ref [] in
+  let reports = ref [] in
+  let fus = ref FuMap.empty in
+  let child_acc = ref [] in
+  for b = 0 to n - 1 do
+    if in_this b then begin
+      let blk = Cfg.block cfg b in
+      List.iter
+        (fun i -> items := Schedule.Instr i :: !items)
+        blk.Lmodule.insts
+    end
+    else
+      (* does a direct child loop start (header) at this block? *)
+      List.iter
+        (fun (c, est) ->
+          if li.Loop_info.loops.(c).Loop_info.header = b then begin
+            items :=
+              Schedule.Inner { loop_idx = c; latency = est.total } :: !items;
+            reports := !reports @ est.reports;
+            fus := fu_merge !fus est.fus;
+            child_acc := acc_merge !child_acc est.accesses_per_run
+          end)
+        child_est
+  done;
+  (List.rev !items, !reports, !fus, !child_acc)
+
+and estimate_loop ~clock_ns ~arrays ~idx (cfg : Cfg.t) (li : Loop_info.t)
+    (f : Lmodule.func) (j : int) : loop_estimate =
+  let l = li.Loop_info.loops.(j) in
+  let dir = Directives.loop_directives cfg li j in
+  let tripcount =
+    match dir.Directives.tripcount with
+    | Some n -> n
+    | None -> (
+        match Loop_info.trip_count li j with
+        | Some n -> n
+        | None ->
+            fail "@%s: loop at %%%s has no static trip count" f.Lmodule.fname
+              (Support.Interner.name (Cfg.label cfg l.Loop_info.header)))
+  in
+  let unroll =
+    match dir.Directives.unroll with
+    | Some 0 -> max 1 tripcount  (* full *)
+    | Some u -> max 1 (min u tripcount)
+    | None -> 1
+  in
+  let trip' = (tripcount + unroll - 1) / max 1 unroll in
+  let items, child_reports, child_fus, child_acc =
+    body_items ~clock_ns ~arrays ~idx cfg li f (Some j)
+  in
+  (* carries: header phis (incoming from a latch) *)
+  let header_blk = Cfg.block cfg l.Loop_info.header in
+  let latch_labels = List.map (Cfg.label cfg) l.Loop_info.latches in
+  let carries =
+    List.filter_map
+      (fun (i : Linstr.t) ->
+        match i.Linstr.op with
+        | Linstr.Phi incoming -> (
+            match
+              List.find_opt (fun (_, lbl) -> List.mem lbl latch_labels) incoming
+            with
+            | Some (Lvalue.Reg (latch_reg, _), _) ->
+                Some (i.Linstr.result, latch_reg)
+            | _ -> None)
+        | _ -> None)
+      header_blk.Lmodule.insts
+  in
+  (* header compare/branch instructions participate in the body work *)
+  let sched =
+    Schedule.run ~clock_ns ~arrays ~carries ~replicas:unroll ~idx items
+  in
+  let pipelined = dir.Directives.pipeline_ii <> None in
+  let iteration_latency = max 1 sched.Schedule.length in
+  (* per-iteration memory pressure includes nested loops' accesses *)
+  let per_iter_acc = acc_merge sched.Schedule.mem_accesses child_acc in
+  let ports_of name =
+    match
+      List.find_opt (fun (a : Directives.array_info) -> a.Directives.aname = name) arrays
+    with
+    | Some a -> Directives.ports a
+    | None -> 2
+  in
+  let res_mii =
+    List.fold_left
+      (fun acc (a, c) -> max acc ((c + ports_of a - 1) / ports_of a))
+      1 per_iter_acc
+  in
+  let total, achieved_ii =
+    if pipelined then begin
+      let target = Option.value ~default:1 dir.Directives.pipeline_ii in
+      let ii = max target (max sched.Schedule.rec_mii res_mii) in
+      (iteration_latency + ((trip' - 1) * ii) + 2, Some ii)
+    end
+    else (trip' * (iteration_latency + 1) + 2, None)
+  in
+  let this_report =
+    {
+      Qor.label = Support.Interner.name (Cfg.label cfg l.Loop_info.header);
+      depth = l.Loop_info.depth;
+      tripcount;
+      unroll;
+      pipelined;
+      target_ii = dir.Directives.pipeline_ii;
+      achieved_ii;
+      rec_mii = sched.Schedule.rec_mii;
+      res_mii;
+      iteration_latency;
+      total_latency = total;
+      mem_accesses = per_iter_acc;
+    }
+  in
+  let fus =
+    fu_merge child_fus (fu_units ~pipelined_ii:achieved_ii sched)
+  in
+  {
+    total;
+    reports = this_report :: child_reports;
+    fus;
+    accesses_per_run =
+      List.map (fun (a, c) -> (a, c * trip')) per_iter_acc;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+(** Schedule the top function of a module into a backend-neutral plan.
+
+    @raise Qor.Rejected when the IR is outside the HLS-readable subset
+    (run the adaptor first). *)
+let schedule ?(clock_ns = Op_model.default_clock_ns) ~(top : string)
+    (m : Lmodule.t) : Qor.plan =
+  (match Adaptor_markers.legality_errors m with
+  | [] -> ()
+  | errs -> raise (Qor.Rejected errs));
+  let f = Lmodule.find_func_exn m top in
+  let cfg = Cfg.build f in
+  let li = Loop_info.compute cfg in
+  let idx = Findex.build f in
+  let arrays = Directives.arrays f in
+  let items, loop_reports, loop_fus, _ =
+    body_items ~clock_ns ~arrays ~idx cfg li f None
+  in
+  let sched =
+    Schedule.run ~clock_ns ~arrays ~carries:[] ~replicas:1 ~idx items
+  in
+  let latency = sched.Schedule.length + 2 in
+  let fus = fu_merge loop_fus (fu_units ~pipelined_ii:None sched) in
+  (* control overhead: counters/FSM per loop *)
+  let n_loops = List.length loop_reports in
+  let control =
+    { Qor.res_zero with Qor.lut = 150 + (80 * n_loops); ff = 200 + (100 * n_loops) }
+  in
+  let warnings =
+    List.concat_map
+      (fun (lr : Qor.loop_report) ->
+        match (lr.Qor.pipelined, lr.Qor.target_ii, lr.Qor.achieved_ii) with
+        | true, Some t, Some a when a > t ->
+            [
+              Printf.sprintf
+                "loop %%%s: target II=%d not met, achieved II=%d (RecMII=%d, ResMII=%d)"
+                lr.Qor.label t a lr.Qor.rec_mii lr.Qor.res_mii;
+            ]
+        | _ -> [])
+      loop_reports
+  in
+  {
+    Qor.p_top = top;
+    p_clock_ns = clock_ns;
+    p_latency = latency;
+    p_loops = loop_reports;
+    p_fus = fus;
+    p_extra = control;
+    p_arrays = arrays;
+    p_warnings = warnings;
+  }
+
+(** Resource binding: shared-FU demand priced by {!Op_model}, array
+    BRAM banks, and the per-loop FSM control overhead carried by the
+    plan. *)
+let bind (p : Qor.plan) : Qor.resources = Qor.bind_fus p
+
+let synthesize ?(clock_ns = Op_model.default_clock_ns) ~(top : string)
+    (m : Lmodule.t) : Qor.report =
+  let plan = schedule ~clock_ns ~top m in
+  Qor.report_of_plan plan (bind plan)

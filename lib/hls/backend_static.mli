@@ -1,0 +1,20 @@
+(** Statically-scheduled estimation backend (list scheduling, shared
+    functional units, RecMII-bound pipelining).  Implements the
+    {!Backend.S} signature; {!Estimate.synthesize} is a thin alias
+    over {!synthesize}. *)
+
+val name : string
+val describe : string
+
+(** Schedule the top function into a backend-neutral plan.
+    @raise Qor.Rejected when the module is not synthesizable. *)
+val schedule :
+  ?clock_ns:float -> top:string -> Llvmir.Lmodule.t -> Qor.plan
+
+(** Bind the plan's functional-unit demand to fabric resources. *)
+val bind : Qor.plan -> Qor.resources
+
+(** [schedule] then [bind], folded into the final report.
+    @raise Qor.Rejected when the module is not synthesizable. *)
+val synthesize :
+  ?clock_ns:float -> top:string -> Llvmir.Lmodule.t -> Qor.report

@@ -1,380 +1,13 @@
-(** Hierarchical QoR estimation — the Vitis HLS "synthesis" analogue.
+(** QoR estimation façade.
 
-    Loops are estimated innermost-first; each nested loop appears in
-    its parent's schedule as a fixed-latency node.  Latency formulas:
+    The report vocabulary lives in {!Qor} (re-exported here so
+    consumers keep reading [Estimate.report] fields and catching
+    [Estimate.Rejected] unchanged); the estimation itself lives behind
+    the {!Backend.S} signature, with {!Backend_static} as the default
+    discipline.  [synthesize] is a thin alias over the static backend
+    — callers that want to pick a discipline go through
+    {!Backend.synthesize}. *)
 
-    - pipelined loop:    [L + (N-1)·II + 2]  with
-      [II = max(target, RecMII, ResMII)];
-    - sequential loop:   [N·(L+1) + 2]  (one cycle of loop control per
-      iteration, one entry + one exit cycle);
-    - unrolled by [u]:   body replicated [u] times (reduction chains
-      serialize, memory ports saturate), trip count divided.
+include Qor
 
-    Functional units are shared across loops (they never run
-    concurrently in this single-kernel model), so the function-level
-    unit count per class is the maximum requirement over all loop
-    schedules. *)
-
-open Llvmir
-
-type resources = { bram : int; dsp : int; ff : int; lut : int }
-
-let res_add a b =
-  { bram = a.bram + b.bram; dsp = a.dsp + b.dsp; ff = a.ff + b.ff; lut = a.lut + b.lut }
-
-let res_zero = { bram = 0; dsp = 0; ff = 0; lut = 0 }
-
-type loop_report = {
-  label : string;  (** header block label *)
-  depth : int;
-  tripcount : int;
-  unroll : int;
-  pipelined : bool;
-  target_ii : int option;
-  achieved_ii : int option;
-  rec_mii : int;
-  res_mii : int;
-  iteration_latency : int;
-  total_latency : int;
-  mem_accesses : (string * int) list;
-}
-
-type report = {
-  top : string;
-  clock_ns : float;
-  latency : int;  (** total function latency, cycles *)
-  interval : int;  (** function initiation interval *)
-  loops : loop_report list;  (** outermost-first, layout order *)
-  resources : resources;
-  arrays : Directives.array_info list;
-  warnings : string list;
-}
-
-exception Rejected of string list
-
-(** Stable comparable key over a report's quality-of-result numbers.
-    Gives consumers (DSE, regression diffing) a total order that is
-    independent of the report's non-QoR payload (loop list, warnings),
-    so sorting and deduplication are deterministic across runs. *)
-type qor_key = {
-  qk_latency : int;
-  qk_bram : int;
-  qk_dsp : int;
-  qk_ff : int;
-  qk_lut : int;
-}
-
-let qor_key (r : report) : qor_key =
-  {
-    qk_latency = r.latency;
-    qk_bram = r.resources.bram;
-    qk_dsp = r.resources.dsp;
-    qk_ff = r.resources.ff;
-    qk_lut = r.resources.lut;
-  }
-
-(** Lexicographic: latency, then bram, dsp, ff, lut. *)
-let qor_compare (a : qor_key) (b : qor_key) : int =
-  compare
-    (a.qk_latency, a.qk_bram, a.qk_dsp, a.qk_ff, a.qk_lut)
-    (b.qk_latency, b.qk_bram, b.qk_dsp, b.qk_ff, b.qk_lut)
-
-let qor_to_string (k : qor_key) : string =
-  Printf.sprintf "lat=%d bram=%d dsp=%d ff=%d lut=%d" k.qk_latency k.qk_bram
-    k.qk_dsp k.qk_ff k.qk_lut
-
-let fail = Support.Err.fail ~pass:"hls.estimate"
-
-(* FU accounting: per-class maximum concurrent units *)
-module FuMap = Map.Make (String)
-
-(** Units needed by one schedule. *)
-let fu_units ~(pipelined_ii : int option) (s : Schedule.t) :
-    (Op_model.cost * int) FuMap.t =
-  let tbl : (string, Op_model.cost * int list) Hashtbl.t = Hashtbl.create 8 in
-  Array.iter
-    (fun (nd : Schedule.node) ->
-      match nd.Schedule.fu with
-      | Op_model.FU_none | Op_model.FU_mem_read | Op_model.FU_mem_write -> ()
-      | fu ->
-          let key = Op_model.fu_name fu in
-          let _, starts =
-            Option.value ~default:(nd.Schedule.cost, [])
-              (Hashtbl.find_opt tbl key)
-          in
-          Hashtbl.replace tbl key
-            (nd.Schedule.cost, s.Schedule.starts.(nd.Schedule.nid) :: starts))
-    s.Schedule.nodes;
-  Hashtbl.fold
-    (fun key (cost, starts) acc ->
-      let units =
-        match pipelined_ii with
-        | Some ii when ii > 0 ->
-            (* starts folded modulo II across overlapped iterations *)
-            let buckets = Array.make ii 0 in
-            List.iter
-              (fun c -> buckets.(c mod ii) <- buckets.(c mod ii) + 1)
-              starts;
-            Array.fold_left max 1 buckets
-        | _ ->
-            (* sequential: units = max overlap of busy intervals *)
-            let events = Hashtbl.create 16 in
-            List.iter
-              (fun c ->
-                let occupancy = max 1 cost.Op_model.latency in
-                for t = c to c + occupancy - 1 do
-                  Hashtbl.replace events t
-                    (1 + Option.value ~default:0 (Hashtbl.find_opt events t))
-                done)
-              starts;
-            Hashtbl.fold (fun _ v acc -> max acc v) events 1
-      in
-      FuMap.add key (cost, units) acc)
-    tbl FuMap.empty
-
-let fu_merge a b =
-  FuMap.union (fun _ (c, u1) (_, u2) -> Some (c, max u1 u2)) a b
-
-(* ------------------------------------------------------------------ *)
-
-type loop_estimate = {
-  total : int;
-  reports : loop_report list;  (** this loop then its children *)
-  fus : (Op_model.cost * int) FuMap.t;
-  accesses_per_run : (string * int) list;
-      (** per-array memory accesses for one full execution of the loop
-          (drives the ResMII of a pipelined ancestor) *)
-}
-
-let acc_merge a b =
-  List.fold_left
-    (fun acc (k, v) ->
-      let prev = Option.value ~default:0 (List.assoc_opt k acc) in
-      (k, prev + v) :: List.remove_assoc k acc)
-    a b
-
-(** Items (instructions + inner-loop nodes) of the blocks directly in
-    loop [j] (or, with [j = None], of the function outside all loops). *)
-let rec body_items ~clock_ns ~arrays ~idx (cfg : Cfg.t) (li : Loop_info.t)
-    (f : Lmodule.func) (j : int option) :
-    Schedule.item list
-    * loop_report list
-    * (Op_model.cost * int) FuMap.t
-    * (string * int) list =
-  let n = Cfg.n_blocks cfg in
-  let in_this b =
-    match j with
-    | None -> li.Loop_info.loop_of_block.(b) = None
-    | Some j -> (
-        match li.Loop_info.loop_of_block.(b) with
-        | Some k -> k = j
-        | None -> false)
-  in
-  let children =
-    match j with
-    | None -> Loop_info.top_level li
-    | Some j -> li.Loop_info.loops.(j).Loop_info.children
-  in
-  (* estimate children first *)
-  let child_est =
-    List.map
-      (fun c ->
-        (c, estimate_loop ~clock_ns ~arrays ~idx cfg li f c))
-      children
-  in
-  let items = ref [] in
-  let reports = ref [] in
-  let fus = ref FuMap.empty in
-  let child_acc = ref [] in
-  for b = 0 to n - 1 do
-    if in_this b then begin
-      let blk = Cfg.block cfg b in
-      List.iter
-        (fun i -> items := Schedule.Instr i :: !items)
-        blk.Lmodule.insts
-    end
-    else
-      (* does a direct child loop start (header) at this block? *)
-      List.iter
-        (fun (c, est) ->
-          if li.Loop_info.loops.(c).Loop_info.header = b then begin
-            items :=
-              Schedule.Inner { loop_idx = c; latency = est.total } :: !items;
-            reports := !reports @ est.reports;
-            fus := fu_merge !fus est.fus;
-            child_acc := acc_merge !child_acc est.accesses_per_run
-          end)
-        child_est
-  done;
-  (List.rev !items, !reports, !fus, !child_acc)
-
-and estimate_loop ~clock_ns ~arrays ~idx (cfg : Cfg.t) (li : Loop_info.t)
-    (f : Lmodule.func) (j : int) : loop_estimate =
-  let l = li.Loop_info.loops.(j) in
-  let dir = Directives.loop_directives cfg li j in
-  let tripcount =
-    match dir.Directives.tripcount with
-    | Some n -> n
-    | None -> (
-        match Loop_info.trip_count li j with
-        | Some n -> n
-        | None ->
-            fail "@%s: loop at %%%s has no static trip count" f.Lmodule.fname
-              (Support.Interner.name (Cfg.label cfg l.Loop_info.header)))
-  in
-  let unroll =
-    match dir.Directives.unroll with
-    | Some 0 -> max 1 tripcount  (* full *)
-    | Some u -> max 1 (min u tripcount)
-    | None -> 1
-  in
-  let trip' = (tripcount + unroll - 1) / max 1 unroll in
-  let items, child_reports, child_fus, child_acc =
-    body_items ~clock_ns ~arrays ~idx cfg li f (Some j)
-  in
-  (* carries: header phis (incoming from a latch) *)
-  let header_blk = Cfg.block cfg l.Loop_info.header in
-  let latch_labels = List.map (Cfg.label cfg) l.Loop_info.latches in
-  let carries =
-    List.filter_map
-      (fun (i : Linstr.t) ->
-        match i.Linstr.op with
-        | Linstr.Phi incoming -> (
-            match
-              List.find_opt (fun (_, lbl) -> List.mem lbl latch_labels) incoming
-            with
-            | Some (Lvalue.Reg (latch_reg, _), _) ->
-                Some (i.Linstr.result, latch_reg)
-            | _ -> None)
-        | _ -> None)
-      header_blk.Lmodule.insts
-  in
-  (* header compare/branch instructions participate in the body work *)
-  let sched =
-    Schedule.run ~clock_ns ~arrays ~carries ~replicas:unroll ~idx items
-  in
-  let pipelined = dir.Directives.pipeline_ii <> None in
-  let iteration_latency = max 1 sched.Schedule.length in
-  (* per-iteration memory pressure includes nested loops' accesses *)
-  let per_iter_acc = acc_merge sched.Schedule.mem_accesses child_acc in
-  let ports_of name =
-    match
-      List.find_opt (fun (a : Directives.array_info) -> a.Directives.aname = name) arrays
-    with
-    | Some a -> Directives.ports a
-    | None -> 2
-  in
-  let res_mii =
-    List.fold_left
-      (fun acc (a, c) -> max acc ((c + ports_of a - 1) / ports_of a))
-      1 per_iter_acc
-  in
-  let total, achieved_ii =
-    if pipelined then begin
-      let target = Option.value ~default:1 dir.Directives.pipeline_ii in
-      let ii = max target (max sched.Schedule.rec_mii res_mii) in
-      (iteration_latency + ((trip' - 1) * ii) + 2, Some ii)
-    end
-    else (trip' * (iteration_latency + 1) + 2, None)
-  in
-  let this_report =
-    {
-      label = Support.Interner.name (Cfg.label cfg l.Loop_info.header);
-      depth = l.Loop_info.depth;
-      tripcount;
-      unroll;
-      pipelined;
-      target_ii = dir.Directives.pipeline_ii;
-      achieved_ii;
-      rec_mii = sched.Schedule.rec_mii;
-      res_mii;
-      iteration_latency;
-      total_latency = total;
-      mem_accesses = per_iter_acc;
-    }
-  in
-  let fus =
-    fu_merge child_fus (fu_units ~pipelined_ii:achieved_ii sched)
-  in
-  {
-    total;
-    reports = this_report :: child_reports;
-    fus;
-    accesses_per_run =
-      List.map (fun (a, c) -> (a, c * trip')) per_iter_acc;
-  }
-
-(* ------------------------------------------------------------------ *)
-
-let bram_of_array (a : Directives.array_info) =
-  let total_bits = Directives.total_elems a * a.Directives.elem_bits in
-  let parts = max 1 a.Directives.partition_factor in
-  if a.Directives.partition_kind = "complete" then 0
-  else parts * max 1 ((total_bits / parts + 18431) / 18432)
-
-(** Synthesize (estimate) the top function of a module.
-
-    @raise Rejected when the IR is outside the HLS-readable subset
-    (run the adaptor first). *)
-let synthesize ?(clock_ns = Op_model.default_clock_ns) ~(top : string)
-    (m : Lmodule.t) : report =
-  (match Adaptor_markers.legality_errors m with
-  | [] -> ()
-  | errs -> raise (Rejected errs));
-  let f = Lmodule.find_func_exn m top in
-  let cfg = Cfg.build f in
-  let li = Loop_info.compute cfg in
-  let idx = Findex.build f in
-  let arrays = Directives.arrays f in
-  let items, loop_reports, loop_fus, _ =
-    body_items ~clock_ns ~arrays ~idx cfg li f None
-  in
-  let sched =
-    Schedule.run ~clock_ns ~arrays ~carries:[] ~replicas:1 ~idx items
-  in
-  let latency = sched.Schedule.length + 2 in
-  let fus = fu_merge loop_fus (fu_units ~pipelined_ii:None sched) in
-  let fu_res =
-    FuMap.fold
-      (fun _ (cost, units) acc ->
-        res_add acc
-          {
-            bram = 0;
-            dsp = units * cost.Op_model.dsp;
-            lut = units * cost.Op_model.lut;
-            ff = units * cost.Op_model.ff;
-          })
-      fus res_zero
-  in
-  let bram =
-    List.fold_left (fun acc a -> acc + bram_of_array a) 0 arrays
-  in
-  (* control overhead: counters/FSM per loop *)
-  let n_loops = List.length loop_reports in
-  let resources =
-    res_add fu_res
-      { bram; dsp = 0; lut = 150 + (80 * n_loops); ff = 200 + (100 * n_loops) }
-  in
-  let warnings =
-    List.concat_map
-      (fun (lr : loop_report) ->
-        match (lr.pipelined, lr.target_ii, lr.achieved_ii) with
-        | true, Some t, Some a when a > t ->
-            [
-              Printf.sprintf
-                "loop %%%s: target II=%d not met, achieved II=%d (RecMII=%d, ResMII=%d)"
-                lr.label t a lr.rec_mii lr.res_mii;
-            ]
-        | _ -> [])
-      loop_reports
-  in
-  {
-    top;
-    clock_ns;
-    latency;
-    interval = latency + 1;
-    loops = loop_reports;
-    resources;
-    arrays;
-    warnings;
-  }
+let synthesize = Backend_static.synthesize

@@ -126,3 +126,31 @@ let classify (i : Linstr.t) : fu_class * cost =
 
 (** Clock period used when the caller does not override it. *)
 let default_clock_ns = 10.0
+
+(* ------------------------------------------------------------------ *)
+(* Elastic-channel (FIFO) characterization for the dynamically-       *)
+(* scheduled backend                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Capacity (bits) above which a FIFO is mapped to BRAM instead of
+    LUT-based shift registers / distributed RAM. *)
+let fifo_bram_threshold_bits = 1024
+
+(** Fabric cost of one elastic FIFO channel of [depth] slots carrying
+    [bits]-wide tokens, as [(bram, lut, ff)].
+
+    Shallow channels map to SRL/distributed-RAM fabric: LUT and FF
+    grow with [depth * bits] plus a fixed handshake controller.  Once
+    the capacity crosses {!fifo_bram_threshold_bits} the storage moves
+    to 18 Kb BRAM blocks and the fabric share drops to addressing and
+    handshake only.  Monotone in [depth] (and in [bits]) by
+    construction — deeper buffering never gets cheaper. *)
+let fifo_cost ~(depth : int) ~(bits : int) : int * int * int =
+  let depth = max 1 depth and bits = max 1 bits in
+  let capacity = depth * bits in
+  if capacity > fifo_bram_threshold_bits then
+    let bram = (capacity + 18431) / 18432 in
+    (* pointers + handshake; storage lives in the BRAM *)
+    (bram, 40 + (2 * bits), 24 + (2 * bits))
+  else
+    (0, 8 + (capacity / 2) + bits, 6 + capacity)

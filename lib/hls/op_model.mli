@@ -27,3 +27,10 @@ val is_double : Llvmir.Ltype.t -> bool
 val classify : Llvmir.Linstr.t -> fu_class * cost
 
 val default_clock_ns : float
+
+(** Capacity (bits) above which a FIFO maps to BRAM. *)
+val fifo_bram_threshold_bits : int
+
+(** [(bram, lut, ff)] cost of one elastic FIFO channel of [depth]
+    slots of [bits]-wide tokens; monotone in both arguments. *)
+val fifo_cost : depth:int -> bits:int -> int * int * int

@@ -1,0 +1,138 @@
+(** Shared quality-of-result vocabulary for every estimation backend.
+
+    Both the static list-scheduling backend ({!Backend_static}) and the
+    dynamically-scheduled elastic backend ({!Backend_dynamic}) produce
+    the same {!report} shape, reject with the same {!Rejected}
+    exception, and describe their intermediate result with the same
+    {!plan}.  {!Estimate} re-exports everything here, so downstream
+    consumers keep reading [Estimate.report] fields unchanged. *)
+
+type resources = { bram : int; dsp : int; ff : int; lut : int }
+
+let res_add a b =
+  { bram = a.bram + b.bram; dsp = a.dsp + b.dsp; ff = a.ff + b.ff; lut = a.lut + b.lut }
+
+let res_zero = { bram = 0; dsp = 0; ff = 0; lut = 0 }
+
+type loop_report = {
+  label : string;  (** header block label *)
+  depth : int;
+  tripcount : int;
+  unroll : int;
+  pipelined : bool;
+  target_ii : int option;
+  achieved_ii : int option;
+  rec_mii : int;
+      (** static backend: recurrence-constrained MII; dynamic backend:
+          token round-trip time on the dependence cycle *)
+  res_mii : int;
+  iteration_latency : int;
+  total_latency : int;
+  mem_accesses : (string * int) list;
+}
+
+type report = {
+  top : string;
+  clock_ns : float;
+  latency : int;  (** total function latency, cycles *)
+  interval : int;  (** function initiation interval *)
+  loops : loop_report list;  (** outermost-first, layout order *)
+  resources : resources;
+  arrays : Directives.array_info list;
+  warnings : string list;
+}
+
+(** Shared backend rejection error: the module is outside the
+    HLS-readable subset (run the adaptor first). *)
+exception Rejected of string list
+
+(** Stable comparable key over a report's quality-of-result numbers.
+    Gives consumers (DSE, regression diffing) a total order that is
+    independent of the report's non-QoR payload (loop list, warnings),
+    so sorting and deduplication are deterministic across runs. *)
+type qor_key = {
+  qk_latency : int;
+  qk_bram : int;
+  qk_dsp : int;
+  qk_ff : int;
+  qk_lut : int;
+}
+
+let qor_key (r : report) : qor_key =
+  {
+    qk_latency = r.latency;
+    qk_bram = r.resources.bram;
+    qk_dsp = r.resources.dsp;
+    qk_ff = r.resources.ff;
+    qk_lut = r.resources.lut;
+  }
+
+(** Lexicographic: latency, then bram, dsp, ff, lut. *)
+let qor_compare (a : qor_key) (b : qor_key) : int =
+  compare
+    (a.qk_latency, a.qk_bram, a.qk_dsp, a.qk_ff, a.qk_lut)
+    (b.qk_latency, b.qk_bram, b.qk_dsp, b.qk_ff, b.qk_lut)
+
+let qor_to_string (k : qor_key) : string =
+  Printf.sprintf "lat=%d bram=%d dsp=%d ff=%d lut=%d" k.qk_latency k.qk_bram
+    k.qk_dsp k.qk_ff k.qk_lut
+
+(* Per-functional-unit-class accounting, keyed by {!Op_model.fu_name}. *)
+module FuMap = Map.Make (String)
+
+let bram_of_array (a : Directives.array_info) =
+  let total_bits = Directives.total_elems a * a.Directives.elem_bits in
+  let parts = max 1 a.Directives.partition_factor in
+  if a.Directives.partition_kind = "complete" then 0
+  else parts * max 1 ((total_bits / parts + 18431) / 18432)
+
+(** A backend's scheduling result, before resource binding.  [schedule]
+    produces one; [bind] folds it into {!resources}; [synthesize]
+    assembles the final {!report} from both. *)
+type plan = {
+  p_top : string;
+  p_clock_ns : float;
+  p_latency : int;  (** function latency, cycles *)
+  p_loops : loop_report list;  (** outermost-first, layout order *)
+  p_fus : (Op_model.cost * int) FuMap.t;
+      (** functional-unit demand: class -> (cost, unit count) *)
+  p_extra : resources;
+      (** backend-specific non-FU fabric (e.g. elastic FIFOs) *)
+  p_arrays : Directives.array_info list;
+  p_warnings : string list;
+}
+
+(** Resource binding shared by the backends: FU demand times per-unit
+    cost, plus array BRAM banks, plus whatever backend-specific fabric
+    the plan carries.  Control overhead stays with the backend (static
+    FSMs and elastic handshake controllers cost differently). *)
+let bind_fus (p : plan) : resources =
+  let fu_res =
+    FuMap.fold
+      (fun _ (cost, units) acc ->
+        res_add acc
+          {
+            bram = 0;
+            dsp = units * cost.Op_model.dsp;
+            lut = units * cost.Op_model.lut;
+            ff = units * cost.Op_model.ff;
+          })
+      p.p_fus res_zero
+  in
+  let bram =
+    List.fold_left (fun acc a -> acc + bram_of_array a) 0 p.p_arrays
+  in
+  res_add p.p_extra (res_add fu_res { res_zero with bram })
+
+(** Assemble the final report from a plan and its bound resources. *)
+let report_of_plan (p : plan) (resources : resources) : report =
+  {
+    top = p.p_top;
+    clock_ns = p.p_clock_ns;
+    latency = p.p_latency;
+    interval = p.p_latency + 1;
+    loops = p.p_loops;
+    resources;
+    arrays = p.p_arrays;
+    warnings = p.p_warnings;
+  }

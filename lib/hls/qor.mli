@@ -1,0 +1,69 @@
+(** Shared quality-of-result vocabulary for every estimation backend:
+    report/loop-report records, the {!Rejected} error, QoR ordering
+    keys, and the backend-neutral {!plan} that [schedule]/[bind]
+    exchange.  {!Estimate} re-exports the report surface. *)
+
+type resources = { bram : int; dsp : int; ff : int; lut : int }
+
+val res_add : resources -> resources -> resources
+val res_zero : resources
+
+type loop_report = {
+  label : string;
+  depth : int;
+  tripcount : int;
+  unroll : int;
+  pipelined : bool;
+  target_ii : int option;
+  achieved_ii : int option;
+  rec_mii : int;
+  res_mii : int;
+  iteration_latency : int;
+  total_latency : int;
+  mem_accesses : (string * int) list;
+}
+
+type report = {
+  top : string;
+  clock_ns : float;
+  latency : int;
+  interval : int;
+  loops : loop_report list;
+  resources : resources;
+  arrays : Directives.array_info list;
+  warnings : string list;
+}
+
+(** Shared backend rejection error. The payload lists the reasons. *)
+exception Rejected of string list
+
+type qor_key = {
+  qk_latency : int;
+  qk_bram : int;
+  qk_dsp : int;
+  qk_ff : int;
+  qk_lut : int;
+}
+
+val qor_key : report -> qor_key
+val qor_compare : qor_key -> qor_key -> int
+val qor_to_string : qor_key -> string
+
+module FuMap : Map.S with type key = string
+
+(** BRAM banks an array occupies after partitioning. *)
+val bram_of_array : Directives.array_info -> int
+
+type plan = {
+  p_top : string;
+  p_clock_ns : float;
+  p_latency : int;
+  p_loops : loop_report list;
+  p_fus : (Op_model.cost * int) FuMap.t;
+  p_extra : resources;
+  p_arrays : Directives.array_info list;
+  p_warnings : string list;
+}
+
+val bind_fus : plan -> resources
+val report_of_plan : plan -> resources -> report

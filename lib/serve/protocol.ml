@@ -65,6 +65,7 @@ let no_directives =
 type compile_req = {
   c_kernel : string;
   c_flow : string;  (** ["direct"] | ["cpp"] *)
+  c_sched : string;  (** ["static"] | ["dynamic"] *)
   c_directives : directives;
   c_clock_ns : float;
   c_passes : string list option;  (** exact adaptor pipeline, if given *)
@@ -94,6 +95,7 @@ type opt_req = {
 
 type dse_req = {
   ds_kernel : string;
+  ds_sched : string;  (** ["static"] | ["dynamic"] | ["both"] *)
   ds_max_evals : int option;
   ds_rounds : int option;
   ds_stable : int option;
@@ -273,6 +275,7 @@ let request_fields : request -> (string * Json.t) list = function
       [
         ("kernel", Json.Str c.c_kernel);
         ("flow", Json.Str c.c_flow);
+        ("sched", Json.Str c.c_sched);
         ("directives", directives_to_json c.c_directives);
         ("clock_ns", Json.Float c.c_clock_ns);
         ("passes", opt_str_list c.c_passes);
@@ -302,6 +305,7 @@ let request_fields : request -> (string * Json.t) list = function
   | Dse d ->
       [
         ("kernel", Json.Str d.ds_kernel);
+        ("sched", Json.Str d.ds_sched);
         ("max_evals", opt_int d.ds_max_evals);
         ("rounds", opt_int d.ds_rounds);
         ("stable_rounds", opt_int d.ds_stable);
@@ -595,11 +599,21 @@ let request_of_json (j : Json.t) : (request, string) result =
         | Ok (Some f) -> Ok f
         | Error e -> Error e
       in
+      let* c_sched =
+        (* lenient default keeps pre-1.6 schema-v1 encodings valid *)
+        match get_opt_str "sched" j with
+        | Ok None -> Ok "static"
+        | Ok (Some s) -> Ok s
+        | Error e -> Error e
+      in
       let* c_directives = directives_member j in
       let* c_clock_ns = get_float ~default:10.0 "clock_ns" j in
       let* c_passes = get_opt_str_list "passes" j in
       let* c_disable = get_str_list ~default:[] "disable" j in
-      Ok (Compile { c_kernel; c_flow; c_directives; c_clock_ns; c_passes; c_disable })
+      Ok
+        (Compile
+           { c_kernel; c_flow; c_sched; c_directives; c_clock_ns; c_passes;
+             c_disable })
   | "lint" ->
       let* l_kernel = get_opt_str "kernel" j in
       let* l_source = get_opt_str "source" j in
@@ -627,6 +641,12 @@ let request_of_json (j : Json.t) : (request, string) result =
              op_parsafe; op_json })
   | "dse" ->
       let* ds_kernel = get_str "kernel" j in
+      let* ds_sched =
+        match get_opt_str "sched" j with
+        | Ok None -> Ok "static"
+        | Ok (Some s) -> Ok s
+        | Error e -> Error e
+      in
       let* ds_max_evals = get_opt_int "max_evals" j in
       let* ds_rounds = get_opt_int "rounds" j in
       let* ds_stable = get_opt_int "stable_rounds" j in
@@ -636,8 +656,8 @@ let request_of_json (j : Json.t) : (request, string) result =
       let* ds_clock_ns = get_float ~default:10.0 "clock_ns" j in
       Ok
         (Dse
-           { ds_kernel; ds_max_evals; ds_rounds; ds_stable; ds_budget_bram;
-             ds_budget_dsp; ds_budget_lut; ds_clock_ns })
+           { ds_kernel; ds_sched; ds_max_evals; ds_rounds; ds_stable;
+             ds_budget_bram; ds_budget_dsp; ds_budget_lut; ds_clock_ns })
   | "fuzz" ->
       let* f_seed = get_int ~default:42 "seed" j in
       let* f_count = get_int ~default:200 "count" j in

@@ -45,6 +45,9 @@ val no_directives : directives
 type compile_req = {
   c_kernel : string;
   c_flow : string;  (** ["direct"] | ["cpp"] *)
+  c_sched : string;
+      (** ["static"] | ["dynamic"]; decoder defaults to ["static"], so
+          pre-1.6 schema-v1 encodings stay valid *)
   c_directives : directives;
   c_clock_ns : float;
   c_passes : string list option;  (** exact adaptor pipeline, if given *)
@@ -74,6 +77,9 @@ type opt_req = {
 
 type dse_req = {
   ds_kernel : string;
+  ds_sched : string;
+      (** ["static"] | ["dynamic"] | ["both"]; decoder defaults to
+          ["static"] *)
   ds_max_evals : int option;
   ds_rounds : int option;
   ds_stable : int option;

@@ -1,0 +1,293 @@
+(** Tests for the {!Hls_backend.Backend} signature: golden static
+    reports (byte-exact), parity between the legacy façade and the
+    signature-selected static backend on every built-in kernel,
+    directed dynamic (elastic) behaviour — token round-trip II and
+    FIFO costing — and an exhaustive DSE check that the backend-axis
+    frontier weakly dominates the static-only frontier. *)
+
+module B = Hls_backend.Backend
+module E = Hls_backend.Estimate
+module K = Workloads.Kernels
+module O = Hls_backend.Op_model
+
+let frontend ?(directives = K.pipelined) (k : K.kernel) =
+  let lm, _, _ = Flow_util.frontend_exn (k.K.build directives) in
+  lm
+
+let render_static (k : K.kernel) =
+  Hls_backend.Report.render (E.synthesize ~top:k.K.kname (frontend k))
+
+(* ------------------------------------------------------------------ *)
+(* Golden static reports                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* These pin the exact bytes of the default `mhlsc synth` report, so a
+   refactor of the static backend behind the signature cannot drift
+   the output silently.  Update only with an intentional QoR change. *)
+
+let golden_gemm =
+  {golden|== Synthesis report for 'gemm' (clock 10.0 ns, 100 MHz) ==
+  Latency: 18740 cycles (187.400 us)   Interval: 18741 cycles
++-------------------+------+--------+----------+-----------+----+--------+-------+
+| loop              | trip | unroll | iter lat | pipelined | II | RecMII | total |
++-------------------+------+--------+----------+-----------+----+--------+-------+
+| %loop1.header     |   16 |      1 |     1170 | no        |  - |      1 | 18738 |
+|   %loop2.header   |   16 |      1 |       72 | no        |  - |      1 |  1170 |
+|     %loop3.header |   16 |      1 |        9 | yes       |  4 |      4 |    71 |
++-------------------+------+--------+----------+-----------+----+--------+-------+
+  Resources: BRAM_18K=3 DSP48=5 FF=1050 LUT=1058
+  array %A          dims=16x16 (interface bram)
+  array %B          dims=16x16 (interface bram)
+  array %C          dims=16x16 (interface bram)
+  WARNING: loop %loop3.header: target II=1 not met, achieved II=4 (RecMII=4, ResMII=1)
+|golden}
+
+let golden_fir =
+  {golden|== Synthesis report for 'fir' (clock 10.0 ns, 100 MHz) ==
+  Latency: 2341 cycles (23.410 us)   Interval: 2342 cycles
++-----------------+------+--------+----------+-----------+----+--------+-------+
+| loop            | trip | unroll | iter lat | pipelined | II | RecMII | total |
++-----------------+------+--------+----------+-----------+----+--------+-------+
+| %loop1.header   |   57 |      1 |       40 | no        |  - |      1 |  2339 |
+|   %loop2.header |    8 |      1 |        9 | yes       |  4 |      4 |    39 |
++-----------------+------+--------+----------+-----------+----+--------+-------+
+  Resources: BRAM_18K=3 DSP48=5 FF=950 LUT=1042
+  array %x          dims=64 (interface bram)
+  array %h          dims=8 (interface bram)
+  array %y          dims=57 (interface bram)
+  WARNING: loop %loop2.header: target II=1 not met, achieved II=4 (RecMII=4, ResMII=1)
+|golden}
+
+let find_kernel name =
+  List.find (fun k -> k.K.kname = name) (K.all ())
+
+let test_golden_gemm () =
+  Alcotest.(check string)
+    "gemm report bytes" golden_gemm
+    (render_static (find_kernel "gemm"))
+
+let test_golden_fir () =
+  Alcotest.(check string)
+    "fir report bytes" golden_fir
+    (render_static (find_kernel "fir"))
+
+(* ------------------------------------------------------------------ *)
+(* Static parity: façade ≡ module ≡ signature ≡ dispatcher            *)
+(* ------------------------------------------------------------------ *)
+
+let test_static_parity () =
+  List.iter
+    (fun k ->
+      let lm = frontend k in
+      let top = k.K.kname in
+      let legacy = Hls_backend.Report.render (E.synthesize ~top lm) in
+      let direct =
+        Hls_backend.Report.render (Hls_backend.Backend_static.synthesize ~top lm)
+      in
+      let via_sig =
+        let (module S : B.S) = (module Hls_backend.Backend_static) in
+        Hls_backend.Report.render (S.synthesize ~top lm)
+      in
+      let dispatched =
+        Hls_backend.Report.render (B.synthesize ~sched:B.Static ~top lm)
+      in
+      Alcotest.(check string) (top ^ " façade = module") legacy direct;
+      Alcotest.(check string) (top ^ " façade = signature") legacy via_sig;
+      Alcotest.(check string) (top ^ " façade = dispatcher") legacy dispatched)
+    (K.all ())
+
+let test_of_sched_roundtrip () =
+  List.iter
+    (fun s ->
+      let (module M : B.S) = B.of_sched s in
+      Alcotest.(check (option string))
+        ("of_sched " ^ B.sched_name s)
+        (Some (B.sched_name s))
+        (Option.map B.sched_name (B.sched_of_name M.name)))
+    B.all_scheds;
+  Alcotest.(check bool) "unknown sched name" true (B.sched_of_name "vliw" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic (elastic) backend: directed cases                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Every built-in kernel schedules under the elastic backend and
+    produces a complete, renderable report. *)
+let test_dynamic_complete () =
+  List.iter
+    (fun k ->
+      let lm = frontend k in
+      let r = B.synthesize ~sched:B.Dynamic ~top:k.K.kname lm in
+      Alcotest.(check bool) (k.K.kname ^ " latency positive") true (r.E.latency > 0);
+      Alcotest.(check bool)
+        (k.K.kname ^ " elastic fabric costed")
+        true
+        (r.E.resources.E.lut > 0 && r.E.resources.E.ff > 0);
+      Alcotest.(check bool)
+        (k.K.kname ^ " report renders")
+        true
+        (String.length (Hls_backend.Report.render r) > 0))
+    (K.all ())
+
+(** On gemm's loop-carried reduction the dynamic II comes from token
+    round-trip time, which cannot beat the dependence recurrence the
+    static scheduler measures: innermost RecMII must not shrink. *)
+let test_dynamic_token_rtt_ii () =
+  let k = find_kernel "gemm" in
+  let lm = frontend k in
+  let innermost (r : E.report) =
+    List.fold_left
+      (fun acc (l : E.loop_report) ->
+        match acc with
+        | Some (best : E.loop_report) when best.E.depth >= l.E.depth -> acc
+        | _ -> Some l)
+      None r.E.loops
+    |> Option.get
+  in
+  let s = innermost (B.synthesize ~sched:B.Static ~top:k.K.kname lm) in
+  let d = innermost (B.synthesize ~sched:B.Dynamic ~top:k.K.kname lm) in
+  Alcotest.(check bool)
+    "token RTT >= static RecMII" true
+    (d.E.rec_mii >= s.E.rec_mii);
+  Alcotest.(check bool)
+    "reduction recurrence visible to elastic model" true (d.E.rec_mii > 1)
+
+(** FIFO channel costing: BRAM monotone in depth and width, fabric
+    (LUT/FF) strictly growing while the channel stays in distributed
+    RAM, and storage moving to 18Kb BRAM past the capacity threshold. *)
+let test_fifo_cost () =
+  let bram ~depth ~bits =
+    let b, _, _ = O.fifo_cost ~depth ~bits in
+    b
+  in
+  (* BRAM monotone in depth at fixed width *)
+  let rec check_depth prev d =
+    if d <= 4096 then begin
+      let b = bram ~depth:d ~bits:32 in
+      Alcotest.(check bool)
+        (Printf.sprintf "bram monotone depth=%d" d)
+        true (b >= prev);
+      check_depth b (d * 2)
+    end
+  in
+  check_depth (bram ~depth:1 ~bits:32) 2;
+  (* BRAM monotone in width at fixed depth *)
+  Alcotest.(check bool) "bram monotone in bits" true
+    (bram ~depth:32 ~bits:64 >= bram ~depth:32 ~bits:32);
+  (* below the threshold storage is fabric: LUT/FF strictly increase *)
+  let _, lut8, ff8 = O.fifo_cost ~depth:8 ~bits:32 in
+  let _, lut16, ff16 = O.fifo_cost ~depth:16 ~bits:32 in
+  Alcotest.(check int) "shallow fifo is fabric-only" 0 (bram ~depth:8 ~bits:32);
+  Alcotest.(check bool) "fabric LUT grows with depth" true (lut16 > lut8);
+  Alcotest.(check bool) "fabric FF grows with depth" true (ff16 > ff8);
+  (* past the threshold the storage is BRAM blocks, ceil(capacity/18Kb) *)
+  let over = (2 * O.fifo_bram_threshold_bits) / 32 in
+  Alcotest.(check int) "threshold crossing allocates BRAM" 1
+    (bram ~depth:over ~bits:32);
+  Alcotest.(check int) "deep channel: capacity / 18Kb blocks" 2
+    (bram ~depth:1024 ~bits:32)
+
+(** The default elastic channel geometry stays below the BRAM
+    threshold, so per-edge buffering costs fabric, not block RAM. *)
+let test_default_channel_geometry () =
+  let module D = Hls_backend.Backend_dynamic in
+  let b, lut, ff = O.fifo_cost ~depth:D.channel_depth ~bits:D.channel_bits in
+  Alcotest.(check int) "default channel is fabric" 0 b;
+  Alcotest.(check bool) "default channel has cost" true (lut > 0 && ff > 0)
+
+(* ------------------------------------------------------------------ *)
+(* DSE: the backend axis can only improve the frontier                *)
+(* ------------------------------------------------------------------ *)
+
+module Sp = Mhls_dse.Space
+module Se = Mhls_dse.Search
+module Pa = Mhls_dse.Pareto
+
+(** Exhaustively evaluate fir over the two-backend space, then check
+    that the Pareto frontier of the full space weakly dominates the
+    frontier of its static-only subspace — adding an axis never makes
+    the frontier worse. *)
+let test_dse_backend_axis_dominates () =
+  let k = find_kernel "fir" in
+  let sp = Sp.of_kernel ~scheds:B.all_scheds k in
+  let eval (c : Sp.config) =
+    match Flow_util.frontend_exn (k.K.build (Sp.to_directives sp c)) with
+    | lm, _, _ -> (
+        try
+          let r = B.synthesize ~sched:c.Sp.c_sched ~top:k.K.kname lm in
+          Some (Sp.describe c, c.Sp.c_sched, Se.objectives_of_report r)
+        with E.Rejected _ -> None)
+    | exception Support.Diag.Failed _ -> None
+  in
+  let points = List.filter_map eval (Sp.enumerate sp) in
+  Alcotest.(check bool) "space is feasible" true (List.length points > 100);
+  let archive_of sel =
+    List.fold_left
+      (fun a (label, sched, obj) ->
+        if sel sched then fst (Pa.insert a (Pa.entry ~key:label ~obj ()))
+        else a)
+      Pa.empty points
+  in
+  let static_front =
+    Pa.frontier (archive_of (fun s -> s = B.Static))
+  in
+  let both_front = Pa.frontier (archive_of (fun _ -> true)) in
+  Alcotest.(check bool) "static frontier nonempty" true (static_front <> []);
+  let weakly_covered (s : unit Pa.entry) =
+    List.exists
+      (fun (b : unit Pa.entry) ->
+        Array.for_all2 (fun bx sx -> bx <= sx) b.Pa.e_obj s.Pa.e_obj)
+      both_front
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        ("weakly dominated: " ^ s.Pa.e_key)
+        true (weakly_covered s))
+    static_front
+
+(** The search API threads the axis: a both-backend search over fir
+    explores a strictly larger space and reports dynamic labels. *)
+let test_search_backend_axis () =
+  let k = find_kernel "fir" in
+  let static_space = Sp.of_kernel k in
+  let both_space = Sp.of_kernel ~scheds:B.all_scheds k in
+  Alcotest.(check int) "axis doubles the space"
+    (2 * List.length (Sp.enumerate static_space))
+    (List.length (Sp.enumerate both_space));
+  let params = { Se.default_params with Se.max_evals = 96 } in
+  let o = Se.search ~params ~scheds:B.all_scheds k in
+  Alcotest.(check bool) "frontier nonempty" true (o.Se.o_frontier <> []);
+  (* labels and configs agree on the axis: "-dyn" iff dynamic *)
+  List.iter
+    (fun (p : Se.point) ->
+      let is_dyn = p.Se.pt_config.Sp.c_sched = B.Dynamic in
+      let has_suffix =
+        let l = p.Se.pt_label and s = "-dyn" in
+        String.length l >= 4 && String.sub l (String.length l - 4) 4 = s
+      in
+      Alcotest.(check bool) ("label axis tag: " ^ p.Se.pt_label) is_dyn
+        has_suffix)
+    o.Se.o_frontier;
+  Alcotest.(check bool) "dynamic point reaches the frontier" true
+    (List.exists
+       (fun (p : Se.point) -> p.Se.pt_config.Sp.c_sched = B.Dynamic)
+       o.Se.o_frontier)
+
+let suite =
+  [
+    Alcotest.test_case "golden gemm report" `Quick test_golden_gemm;
+    Alcotest.test_case "golden fir report" `Quick test_golden_fir;
+    Alcotest.test_case "static parity (14 kernels)" `Quick test_static_parity;
+    Alcotest.test_case "of_sched roundtrip" `Quick test_of_sched_roundtrip;
+    Alcotest.test_case "dynamic complete (14 kernels)" `Quick
+      test_dynamic_complete;
+    Alcotest.test_case "dynamic token-RTT II" `Quick test_dynamic_token_rtt_ii;
+    Alcotest.test_case "fifo cost model" `Quick test_fifo_cost;
+    Alcotest.test_case "default channel geometry" `Quick
+      test_default_channel_geometry;
+    Alcotest.test_case "backend axis weakly dominates" `Quick
+      test_dse_backend_axis_dominates;
+    Alcotest.test_case "search over backend axis" `Quick
+      test_search_backend_axis;
+  ]

@@ -201,6 +201,7 @@ let test_search_improves_over_baseline () =
                (Sp.canonical
                   {
                     Sp.c_strategy = K.Inner;
+                    c_sched = Hls_backend.Backend.Static;
                     c_ii = 0;
                     c_unroll = 1;
                     c_parts = [];

@@ -22,6 +22,7 @@ let () =
       ("adaptor", Test_adaptor.suite);
       ("hlscpp", Test_hlscpp.suite);
       ("hls-backend", Test_hls_backend.suite);
+      ("backend", Test_backend.suite);
       ("workloads", Test_workloads.suite);
       ("lowering", Test_lowering.suite);
       ("flow", Test_flow.suite);

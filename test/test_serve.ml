@@ -30,6 +30,7 @@ let compile_full =
     {
       c_kernel = "gemm";
       c_flow = "direct";
+      c_sched = "dynamic";
       c_directives = full_directives;
       c_clock_ns = 10.0;
       c_passes = Some [ "typed-pointers" ];
@@ -41,6 +42,7 @@ let compile_min =
     {
       c_kernel = "fir";
       c_flow = "cpp";
+      c_sched = "static";
       c_directives = P.no_directives;
       c_clock_ns = 10.0;
       c_passes = None;
@@ -76,6 +78,7 @@ let dse_req =
   P.Dse
     {
       ds_kernel = "gemm";
+      ds_sched = "both";
       ds_max_evals = Some 8;
       ds_rounds = None;
       ds_stable = None;
@@ -105,10 +108,10 @@ let all_requests =
 let goldens =
   [
     ( compile_full,
-      {|{"kind": "compile", "kernel": "gemm", "flow": "direct", "directives": {"ii": 2, "unroll": 4, "strategy": "middle", "partitions": [["a", "cyclic", 2, 1]]}, "clock_ns": 10.0, "passes": ["typed-pointers"], "disable": ["translate-metadata"]}|}
+      {|{"kind": "compile", "kernel": "gemm", "flow": "direct", "sched": "dynamic", "directives": {"ii": 2, "unroll": 4, "strategy": "middle", "partitions": [["a", "cyclic", 2, 1]]}, "clock_ns": 10.0, "passes": ["typed-pointers"], "disable": ["translate-metadata"]}|}
     );
     ( compile_min,
-      {|{"kind": "compile", "kernel": "fir", "flow": "cpp", "directives": {"ii": 1, "unroll": null, "strategy": "inner", "partitions": []}, "clock_ns": 10.0, "passes": null, "disable": []}|}
+      {|{"kind": "compile", "kernel": "fir", "flow": "cpp", "sched": "static", "directives": {"ii": 1, "unroll": null, "strategy": "inner", "partitions": []}, "clock_ns": 10.0, "passes": null, "disable": []}|}
     );
     ( lint_req,
       {|{"kind": "lint", "kernel": "gemm", "source": null, "directives": {"ii": 1, "unroll": null, "strategy": "inner", "partitions": []}, "rules": ["HLS201"], "werror": true, "top": "gemm", "passes": null, "disable": []}|}
@@ -117,7 +120,7 @@ let goldens =
       {|{"kind": "opt", "source": null, "synth": 4, "passes": ["dce"], "parallel": true, "jobs": 2, "parsafe": false, "json": false}|}
     );
     ( dse_req,
-      {|{"kind": "dse", "kernel": "gemm", "max_evals": 8, "rounds": null, "stable_rounds": null, "budget_bram": 32, "budget_dsp": null, "budget_lut": null, "clock_ns": 10.0}|}
+      {|{"kind": "dse", "kernel": "gemm", "sched": "both", "max_evals": 8, "rounds": null, "stable_rounds": null, "budget_bram": 32, "budget_dsp": null, "budget_lut": null, "clock_ns": 10.0}|}
     );
     ( fuzz_req,
       {|{"kind": "fuzz", "seed": 7, "count": 5, "stages": ["lower"], "shrink": false, "jobs": 1}|}
@@ -217,6 +220,7 @@ let test_lenient_defaults () =
       | Error e -> Alcotest.fail e
       | Ok (P.Compile c) ->
           check "default flow" "direct" c.P.c_flow;
+          check "default sched" "static" c.P.c_sched;
           Alcotest.(check (float 1e-9)) "default clock" 10.0 c.P.c_clock_ns;
           checkb "default passes" true (c.P.c_passes = None)
       | Ok r -> Alcotest.failf "wrong kind %s" (P.request_kind r))
@@ -282,6 +286,7 @@ let compile_kernel name =
     {
       c_kernel = name;
       c_flow = "direct";
+      c_sched = "static";
       c_directives = P.no_directives;
       c_clock_ns = 10.0;
       c_passes = None;
@@ -384,6 +389,7 @@ let test_daemon () =
                 {
                   P.c_kernel = "gemm";
                   c_flow = "direct";
+                  c_sched = "static";
                   c_directives = P.no_directives;
                   c_clock_ns = 10.0;
                   c_passes = None;
@@ -691,6 +697,7 @@ let long_dse kernel max_evals =
   P.Dse
     {
       ds_kernel = kernel;
+      ds_sched = "static";
       ds_max_evals = Some max_evals;
       ds_rounds = None;
       ds_stable = None;
