@@ -415,6 +415,88 @@ let compile_bench () =
     (if smoke then ", smoke budget" else "")
 
 (* ------------------------------------------------------------------ *)
+(* Bench gate: compile-time regression check                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Compares [BENCH_compile.json] against [BENCH_compile_baseline.json]
+    (override with [MHLSC_BENCH_COMPILE_OUT] /
+    [MHLSC_BENCH_COMPILE_BASELINE]): geometric mean of per-kernel
+    time ratios over the kernel intersection, exit 1 when the geomean
+    regresses by more than 5%.  CI runs this on the checked-in files,
+    so a change that slows compilation must refresh the baseline
+    deliberately. *)
+let compile_gate () =
+  hdr "Bench gate: compile time vs checked-in baseline";
+  let module J = Support.Json in
+  let file env default = Option.value (Sys.getenv_opt env) ~default in
+  let cur_f = file "MHLSC_BENCH_COMPILE_OUT" "BENCH_compile.json" in
+  let base_f =
+    file "MHLSC_BENCH_COMPILE_BASELINE" "BENCH_compile_baseline.json"
+  in
+  let load f =
+    let s =
+      let ic = open_in f in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match J.parse s with
+    | Error e ->
+        Printf.eprintf "compile-gate: %s: %s\n" f e;
+        exit 1
+    | Ok j -> (
+        match J.list_member "kernels" j with
+        | None ->
+            Printf.eprintf "compile-gate: %s: no \"kernels\" array\n" f;
+            exit 1
+        | Some ks ->
+            List.filter_map
+              (fun o ->
+                match (J.str_member "kernel" o, J.float_member "ms" o) with
+                | Some k, Some ms when ms > 0.0 -> Some (k, ms)
+                | _ -> None)
+              ks)
+  in
+  let cur = load cur_f and base = load base_f in
+  let ratios =
+    List.filter_map
+      (fun (k, ms) ->
+        Option.map (fun b -> (k, ms, b, ms /. b)) (List.assoc_opt k base))
+      cur
+  in
+  if ratios = [] then begin
+    Printf.eprintf "compile-gate: no common kernels between %s and %s\n" cur_f
+      base_f;
+    exit 1
+  end;
+  let t =
+    T.create
+      ~aligns:[ T.Left; T.Right; T.Right; T.Right ]
+      [ "kernel"; "current (ms)"; "baseline (ms)"; "ratio" ]
+  in
+  List.iter
+    (fun (k, ms, b, r) ->
+      T.add_row t
+        [ k; Printf.sprintf "%.3f" ms; Printf.sprintf "%.3f" b;
+          Printf.sprintf "%.3f" r ])
+    ratios;
+  T.print t;
+  let geomean =
+    exp
+      (List.fold_left (fun a (_, _, _, r) -> a +. log r) 0.0 ratios
+      /. float_of_int (List.length ratios))
+  in
+  Printf.printf "geomean ratio: %.4f over %d kernels (gate: <= 1.05)\n" geomean
+    (List.length ratios);
+  if geomean > 1.05 then begin
+    Printf.eprintf
+      "compile-gate: FAIL — compile time regressed %.1f%% vs baseline\n"
+      ((geomean -. 1.0) *. 100.0);
+    exit 1
+  end
+  else print_endline "compile-gate: OK"
+
+(* ------------------------------------------------------------------ *)
 (* Ablation: adaptor pass contributions                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -564,6 +646,7 @@ let experiments =
     ("table3", table3);
     ("table4", table4);
     ("compile", compile_bench);
+    ("compile-gate", compile_gate);
     ("fig1", fig1);
     ("fig2", fig2);
     ("fig3", fig3);
@@ -586,4 +669,7 @@ let () =
               Printf.eprintf "unknown experiment %s (try --list)\n" id;
               exit 1)
         ids
-  | _ -> List.iter (fun (_, f) -> f ()) experiments
+  | _ ->
+      (* the gate exits non-zero on regression; only run it when asked
+         for explicitly (CI does) *)
+      List.iter (fun (n, f) -> if n <> "compile-gate" then f ()) experiments

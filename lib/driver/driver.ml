@@ -38,8 +38,11 @@ module Diag = Support.Diag
     rendered adaptor report to the cached payload for the serve/CLI
     handlers; 1.6.0 introduced the estimation-backend axis — jobs carry
     a scheduling discipline and the key carries the backend name, so
-    the bump is the cache epoch for the backend redesign). *)
-let tool_version = "mhlsc-1.6.0"
+    the bump is the cache epoch for the backend redesign; 1.7.0 added
+    GC allocation fields to {!Support.Tracing.event}, which travels
+    inside the marshalled payload — reading a 1.6.0 payload into the
+    new layout is undefined behaviour, so the bump is load-bearing). *)
+let tool_version = "mhlsc-1.7.0"
 
 (* ------------------------------------------------------------------ *)
 (* Jobs                                                               *)

@@ -10,7 +10,8 @@
         { "job": "...", "kernel": "...", "flow": "direct-ir",
           "stage": "adaptor", "pass": "typed-pointers",
           "seconds": 0.000123, "instrs_before": 120,
-          "instrs_after": 118, "cached": false }, ... ] }
+          "instrs_after": 118, "minor_words": 20480,
+          "major_words": 1024, "cached": false }, ... ] }
     v}
     {!validate} checks a trace against this schema structurally; the
     golden schema test and CI both rely on it. *)
@@ -24,6 +25,8 @@ type record = {
   tr_seconds : float;
   tr_instrs_before : int;
   tr_instrs_after : int;
+  tr_minor_words : float;  (** words allocated on the minor heap *)
+  tr_major_words : float;  (** words allocated directly on the major heap *)
   tr_cached : bool;  (** served from the result cache, not re-run *)
 }
 
@@ -39,6 +42,8 @@ let of_event ~job ~kernel ~flow ~cached (e : Support.Tracing.event) : record =
     tr_seconds = e.Support.Tracing.ev_seconds;
     tr_instrs_before = e.Support.Tracing.ev_instrs_before;
     tr_instrs_after = e.Support.Tracing.ev_instrs_after;
+    tr_minor_words = e.Support.Tracing.ev_minor_words;
+    tr_major_words = e.Support.Tracing.ev_major_words;
     tr_cached = cached;
   }
 
@@ -73,6 +78,8 @@ let record_fields (r : record) : (string * string) list =
     ("seconds", Printf.sprintf "%.6f" r.tr_seconds);
     ("instrs_before", string_of_int r.tr_instrs_before);
     ("instrs_after", string_of_int r.tr_instrs_after);
+    ("minor_words", Printf.sprintf "%.0f" r.tr_minor_words);
+    ("major_words", Printf.sprintf "%.0f" r.tr_major_words);
     ("cached", string_of_bool r.tr_cached);
   ]
 
@@ -107,7 +114,7 @@ let write_file ~tool path records =
 let required_keys =
   [
     "job"; "kernel"; "flow"; "stage"; "pass"; "seconds"; "instrs_before";
-    "instrs_after"; "cached";
+    "instrs_after"; "minor_words"; "major_words"; "cached";
   ]
 
 (** Split the text of a JSON array of flat objects into the objects'

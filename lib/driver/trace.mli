@@ -11,6 +11,8 @@ type record = {
   tr_seconds : float;
   tr_instrs_before : int;
   tr_instrs_after : int;
+  tr_minor_words : float;  (** words allocated on the minor heap *)
+  tr_major_words : float;  (** words allocated directly on the major heap *)
   tr_cached : bool;  (** served from the result cache, not re-run *)
 }
 

@@ -37,20 +37,42 @@ type entry = {
   mutable e_cfg : Cfg.t option;
   mutable e_dom : Dominance.t option;
   mutable e_li : Loop_info.t option;
+  mutable e_vok : bool;
+      (** the verifier accepted exactly this function value *)
 }
 
 type t = {
   cache : entry Sym.Tbl.t;
   mutable m_effects : (Lmodule.t * Effects.t) option;
       (** module-level effect summary, valid for exactly that module value *)
+  seeds : (Lmodule.func * Findex.t) Sym.Tbl.t;
+      (** per function name: index a pass prebuilt for its output
+          function; installed by {!keep}, or served directly if
+          queried before that *)
+  mutable m_sigs : (string * Ltype.t list * Ltype.t) list option;
+      (** callable-signature environment the verifier last ran under
+          (functions and declarations, in module order) *)
   trace : Support.Tracing.hook;
 }
 
 let create ?(trace = Support.Tracing.null) () : t =
-  { cache = Sym.Tbl.create 16; m_effects = None; trace }
+  {
+    cache = Sym.Tbl.create 16;
+    m_effects = None;
+    seeds = Sym.Tbl.create 16;
+    m_sigs = None;
+    trace;
+  }
 
 let fresh_entry f =
-  { e_func = f; e_findex = None; e_cfg = None; e_dom = None; e_li = None }
+  {
+    e_func = f;
+    e_findex = None;
+    e_cfg = None;
+    e_dom = None;
+    e_li = None;
+    e_vok = false;
+  }
 
 (** Entry valid for exactly this function value; reset on mismatch. *)
 let entry_for (am : t) (f : Lmodule.func) : entry =
@@ -62,7 +84,8 @@ let entry_for (am : t) (f : Lmodule.func) : entry =
         e.e_findex <- None;
         e.e_cfg <- None;
         e.e_dom <- None;
-        e.e_li <- None
+        e.e_li <- None;
+        e.e_vok <- false
       end;
       e
   | None ->
@@ -121,7 +144,10 @@ let findex_q (am : t) (f : Lmodule.func) : Findex.t =
   query am Findex f
     ~get:(fun e -> e.e_findex)
     ~set:(fun e v -> e.e_findex <- Some v)
-    ~compute:(fun () -> Findex.build f)
+    ~compute:(fun () ->
+      match Sym.Tbl.find_opt am.seeds (Sym.intern f.Lmodule.fname) with
+      | Some (sf, idx) when sf == f -> idx
+      | _ -> Findex.build f)
 
 let loop_info_q (am : t) (f : Lmodule.func) : Loop_info.t =
   query am Loop_info f
@@ -177,6 +203,14 @@ let effects ?am m =
     (rebased onto the new function values) plus everything cached for
     functions the pass left physically untouched; drop the rest and
     any entries for functions that no longer exist. *)
+(** Hand the manager an index a pass already built for its {e output}
+    function (DCE indexes the compacted arena it just wrote).  The
+    next {!keep} installs it for the matching function value, so the
+    post-pass verifier reads the same flat storage the pass produced
+    instead of re-indexing the materialised lists. *)
+let seed_findex (am : t) (f : Lmodule.func) (idx : Findex.t) : unit =
+  Sym.Tbl.replace am.seeds (Sym.intern f.Lmodule.fname) (f, idx)
+
 let keep (am : t) ~(preserves : kind list) (m : Lmodule.t) : unit =
   (* Effect summaries over-approximate, and every effect a pass can
      leave behind was already in the pre-pass summary (passes only
@@ -193,7 +227,7 @@ let keep (am : t) ~(preserves : kind list) (m : Lmodule.t) : unit =
     (fun (f : Lmodule.func) ->
       let key = Sym.intern f.Lmodule.fname in
       Sym.Tbl.replace live key ();
-      match Sym.Tbl.find_opt am.cache key with
+      (match Sym.Tbl.find_opt am.cache key with
       | None -> ()
       | Some e when e.e_func == f -> ()  (* untouched: everything valid *)
       | Some e ->
@@ -212,8 +246,41 @@ let keep (am : t) ~(preserves : kind list) (m : Lmodule.t) : unit =
             (if keep_k Loop_info then
                Option.map (fun x -> Loop_info.rebase x f) e.e_li
              else None);
-          e.e_func <- f)
+          e.e_vok <- false;
+          e.e_func <- f);
+      match Sym.Tbl.find_opt am.seeds key with
+      | Some (sf, idx) when sf == f ->
+          let e = entry_for am f in
+          e.e_findex <- Some idx
+      | _ -> ())
     m.Lmodule.funcs;
+  Sym.Tbl.reset am.seeds;
   Sym.Tbl.iter
     (fun key _ -> if not (Sym.Tbl.mem live key) then Sym.Tbl.remove am.cache key)
     (Sym.Tbl.copy am.cache)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental verification support                                    *)
+
+let verified (am : t) (f : Lmodule.func) : bool = (entry_for am f).e_vok
+let mark_verified (am : t) (f : Lmodule.func) : unit =
+  (entry_for am f).e_vok <- true
+
+let note_signatures (am : t) (m : Lmodule.t) : bool =
+  let sigs =
+    List.map
+      (fun (f : Lmodule.func) ->
+        ( f.Lmodule.fname,
+          List.map (fun (p : Lmodule.param) -> p.Lmodule.pty) f.Lmodule.params,
+          f.Lmodule.ret_ty ))
+      m.Lmodule.funcs
+    @ List.map
+        (fun (d : Lmodule.decl) ->
+          (d.Lmodule.dname, d.Lmodule.dargs, d.Lmodule.dret))
+        m.Lmodule.decls
+  in
+  let changed =
+    match am.m_sigs with Some prev -> prev <> sigs | None -> true
+  in
+  am.m_sigs <- Some sigs;
+  changed

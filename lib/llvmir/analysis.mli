@@ -43,3 +43,25 @@ val effects : ?am:t -> Lmodule.t -> Effects.t
     level [Effects] summary is re-pointed at [m] when preserved and
     dropped otherwise. *)
 val keep : t -> preserves:kind list -> Lmodule.t -> unit
+
+(** [seed_findex am f idx] — hand the manager an index a pass already
+    built for its {e output} function [f] (DCE indexes the compacted
+    arena it just wrote).  The next {!keep} installs it for the entry
+    whose function is physically [f]; a {!findex} query landing before
+    that is served the seed directly.  [idx] must equal what
+    [Findex.build f] would compute — the pass pairs
+    {!Iarena.compact} with {!Findex.of_arena} to guarantee it. *)
+val seed_findex : t -> Lmodule.func -> Findex.t -> unit
+
+(** Incremental-verification bookkeeping, used by {!Lverifier}.
+    [verified am f] is true only when the verifier accepted exactly
+    the physical value [f] under this manager; any cache reset for the
+    function's name (a new value seen by a query or {!keep}) clears
+    the flag.  [note_signatures am m] records the callable-signature
+    environment (functions and declarations) and returns whether it
+    differs from the previously recorded one — the verifier re-checks
+    call sites of otherwise-untouched functions exactly when it does. *)
+
+val verified : t -> Lmodule.func -> bool
+val mark_verified : t -> Lmodule.func -> unit
+val note_signatures : t -> Lmodule.t -> bool

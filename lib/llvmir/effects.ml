@@ -60,10 +60,11 @@ let is_pointer (v : Lvalue.t) =
   match Lvalue.type_of v with Ltype.Ptr _ -> true | _ -> false
 
 (** One scan of [f] under the current callee summaries.  Monotone in
-    [summaries], so iterating to a fixpoint is sound. *)
+    [summaries], so iterating to a fixpoint is sound.  [idx] must be
+    [f]'s index — the caller builds it once and reuses it across
+    re-scans. *)
 let scan (globals : Sym.Set.t) (summaries : (string, footprint) Hashtbl.t)
-    (f : Lmodule.func) : footprint =
-  let idx = Findex.build f in
+    (idx : Findex.t) (f : Lmodule.func) : footprint =
   let params = Array.make (List.length f.Lmodule.params) No_access in
   let gmap = ref Sym.Map.empty in
   let unknown = ref [] in
@@ -132,20 +133,53 @@ let summarize (m : Lmodule.t) : t =
       Hashtbl.replace tbl f.Lmodule.fname
         (empty_fp (List.length f.Lmodule.params)))
     m.Lmodule.funcs;
-  (* Chaotic iteration to the least fixpoint: every quantity only
+  (* Worklist iteration to the least fixpoint: every quantity only
      grows and the lattice is finite (modes per slot, reasons drawn
-     from callee names plus two sentinels), so this terminates. *)
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    List.iter
-      (fun (f : Lmodule.func) ->
-        let fp = scan globals tbl f in
-        if not (fp_equal fp (Hashtbl.find tbl f.Lmodule.fname)) then begin
-          Hashtbl.replace tbl f.Lmodule.fname fp;
-          changed := true
-        end)
-      m.Lmodule.funcs
+     from callee names plus two sentinels), so this terminates — and
+     the fixpoint is unique, so the scan order does not matter.  Each
+     function's index is built once and reused across re-scans, and a
+     function is re-scanned only when a callee's summary grew: a
+     module with no internal calls settles in exactly one scan per
+     function instead of a no-change confirmation sweep over
+     everything. *)
+  let func_of : (string, Lmodule.func) Hashtbl.t = Hashtbl.create 16 in
+  let idx_of : (string, Findex.t) Hashtbl.t = Hashtbl.create 16 in
+  let callers : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Lmodule.func) ->
+      Hashtbl.replace func_of f.Lmodule.fname f;
+      Hashtbl.replace idx_of f.Lmodule.fname (Findex.build f);
+      Lmodule.iter_insts
+        (fun (i : Linstr.t) ->
+          match i.op with
+          | Call { callee; _ } when Hashtbl.mem tbl callee ->
+              let cs =
+                Option.value ~default:[] (Hashtbl.find_opt callers callee)
+              in
+              if not (List.mem f.Lmodule.fname cs) then
+                Hashtbl.replace callers callee (f.Lmodule.fname :: cs)
+          | _ -> ())
+        f)
+    m.Lmodule.funcs;
+  let queue = Queue.create () in
+  let queued : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let enqueue fn =
+    if not (Hashtbl.mem queued fn) then begin
+      Hashtbl.replace queued fn ();
+      Queue.push fn queue
+    end
+  in
+  List.iter (fun (f : Lmodule.func) -> enqueue f.Lmodule.fname) m.Lmodule.funcs;
+  while not (Queue.is_empty queue) do
+    let fn = Queue.pop queue in
+    Hashtbl.remove queued fn;
+    let f = Hashtbl.find func_of fn in
+    let fp = scan globals tbl (Hashtbl.find idx_of fn) f in
+    if not (fp_equal fp (Hashtbl.find tbl fn)) then begin
+      Hashtbl.replace tbl fn fp;
+      List.iter enqueue
+        (Option.value ~default:[] (Hashtbl.find_opt callers fn))
+    end
   done;
   {
     by_func =

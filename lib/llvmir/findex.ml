@@ -1,7 +1,12 @@
-(** Per-function index: instruction arena, def table, use-def/def-use
-    edges, block membership and use counts — computed once and shared
-    by every analysis and pass that used to rebuild its own string
-    tables ad hoc.
+(** Per-function index over the packed {!Iarena} encoding: def table,
+    use-def/def-use edges, block membership and use counts — computed
+    once and shared by every analysis and pass that used to rebuild
+    its own string tables ad hoc.
+
+    SSA names map to dense {e local ids}; defs, use counts and user
+    edges are flat arrays over those ids, so the hot passes (DCE's
+    cascade, CSE's availability walk, substitution marking) run as int
+    reads with no hashing past the one probe that assigns the id.
 
     The index is a pure snapshot of one [Lmodule.func] value; any pass
     that rewrites the function must use a fresh index (or one the
@@ -13,75 +18,119 @@ type def_site =
   | Param of int  (** defined by the [i]-th function parameter *)
   | Instr of int  (** defined by the instruction at this arena index *)
 
-(* One mutable cell per SSA name keeps {!build} at a single hashtable
-   probe per operand occurrence; the old three-table layout paid a
-   find + replace on two tables for every register operand. *)
-type cell = {
-  mutable c_def : def_site option;
-  mutable c_count : int;  (** operand occurrences *)
-  mutable c_users_rev : int list;  (** arena indices, reverse layout order *)
-}
-
 type t = {
   func : Lmodule.func;
-  arena : Linstr.t array;  (** all instructions, layout order *)
-  block_of : int array;  (** arena index -> block number *)
-  block_labels : Sym.t array;  (** block number -> label *)
+  arena : Iarena.t;
+  locals : int Sym.Tbl.t;  (** SSA name -> dense local id *)
+  mutable n_locals : int;
+  (* per-local tables, grown in lockstep with [locals] *)
+  mutable def_kind : Bytes.t;  (** '\000' none, '\001' param, '\002' instr *)
+  mutable def_ix : int array;
+  mutable cnt : int array;  (** operand occurrences *)
+  mutable user_head : int array;  (** head of the user edge list, -1 *)
+  (* user edges as linked lists in push order (layout order): edge [e]
+     is instruction [edge_k.(e)], next edge [edge_next.(e)] *)
+  mutable edge_k : int array;
+  mutable edge_next : int array;
+  mutable n_edges : int;
+  res_local : int array;  (** arena index -> local id of result, -1 *)
+  pool_local : int array;  (** operand slot -> local id, -1 for non-regs *)
   block_index : int Sym.Tbl.t;  (** label -> block number *)
-  cells : cell Sym.Tbl.t;  (** SSA name -> def site, users, use count *)
 }
 
-let build (f : Lmodule.func) : t =
-  let n_instrs =
-    List.fold_left (fun n (b : Lmodule.block) -> n + List.length b.insts) 0
-      f.blocks
-  in
-  let n_blocks = List.length f.blocks in
-  let arena = Array.make n_instrs (Linstr.make Linstr.Unreachable) in
-  let block_of = Array.make n_instrs 0 in
-  let block_labels = Array.make n_blocks Sym.empty in
-  let block_index = Sym.Tbl.create (max 16 n_blocks) in
-  let cells = Sym.Tbl.create (max 16 n_instrs) in
-  let cell n =
-    match Sym.Tbl.find_opt cells n with
-    | Some c -> c
-    | None ->
-        let c = { c_def = None; c_count = 0; c_users_rev = [] } in
-        Sym.Tbl.replace cells n c;
-        c
+let grow_int a n = Array.append a (Array.make (max n (Array.length a)) 0)
+
+let local t n =
+  match Sym.Tbl.find_opt t.locals n with
+  | Some l -> l
+  | None ->
+      let l = t.n_locals in
+      t.n_locals <- l + 1;
+      if l = Bytes.length t.def_kind then begin
+        let b = Bytes.make (2 * l) '\000' in
+        Bytes.blit t.def_kind 0 b 0 l;
+        t.def_kind <- b;
+        t.def_ix <- grow_int t.def_ix l;
+        t.cnt <- grow_int t.cnt l;
+        let h = Array.make (2 * l) (-1) in
+        Array.blit t.user_head 0 h 0 l;
+        t.user_head <- h
+      end;
+      t.def_ix.(l) <- 0;
+      t.cnt.(l) <- 0;
+      t.user_head.(l) <- -1;
+      Sym.Tbl.replace t.locals n l;
+      l
+
+let push_edge t l k =
+  let e = t.n_edges in
+  if e = Array.length t.edge_k then begin
+    t.edge_k <- grow_int t.edge_k e;
+    t.edge_next <- grow_int t.edge_next e
+  end;
+  t.edge_k.(e) <- k;
+  t.edge_next.(e) <- t.user_head.(l);
+  t.user_head.(l) <- e;
+  t.n_edges <- e + 1
+
+(** Index a prebuilt arena.  [f] must be the function the arena
+    materialises — {!build} pairs the two; passes seeding the analysis
+    cache pair {!Iarena.compact} with their output function. *)
+let of_arena (f : Lmodule.func) (a : Iarena.t) : t =
+  let n = Iarena.n_instrs a in
+  let cap l = max 16 l in
+  let t =
+    {
+      func = f;
+      arena = a;
+      locals = Sym.Tbl.create (cap (2 * n));
+      n_locals = 0;
+      def_kind = Bytes.make (cap (n + List.length f.params)) '\000';
+      def_ix = Array.make (cap (n + List.length f.params)) 0;
+      cnt = Array.make (cap (n + List.length f.params)) 0;
+      user_head = Array.make (cap (n + List.length f.params)) (-1);
+      edge_k = Array.make (cap (2 * n)) 0;
+      edge_next = Array.make (cap (2 * n)) 0;
+      n_edges = 0;
+      res_local = Array.make (max 1 n) (-1);
+      pool_local = Array.make (max 1 (Iarena.pool_len a)) (-1);
+      block_index = Sym.Tbl.create (cap (Iarena.n_blocks a));
+    }
   in
   List.iteri
     (fun i (p : Lmodule.param) ->
-      (cell (Sym.intern p.pname)).c_def <- Some (Param i))
+      let l = local t (Sym.intern p.pname) in
+      Bytes.set t.def_kind l '\001';
+      t.def_ix.(l) <- i)
     f.params;
-  let pos = ref 0 in
-  List.iteri
-    (fun bi (b : Lmodule.block) ->
-      block_labels.(bi) <- b.label;
-      Sym.Tbl.replace block_index b.label bi;
-      List.iter
-        (fun (i : Linstr.t) ->
-          let k = !pos in
-          incr pos;
-          arena.(k) <- i;
-          block_of.(k) <- bi;
-          if not (Sym.is_empty i.Linstr.result) then
-            (cell i.Linstr.result).c_def <- Some (Instr k);
-          Linstr.iter_operands
-            (function
-              | Lvalue.Reg (n, _) ->
-                  let c = cell n in
-                  c.c_count <- c.c_count + 1;
-                  (* an instruction using a name twice still lists
-                     once — callers only need the user set *)
-                  (match c.c_users_rev with
-                  | k' :: _ when k' = k -> ()
-                  | l -> c.c_users_rev <- k :: l)
-              | _ -> ())
-            i)
-        b.insts)
-    f.blocks;
-  { func = f; arena; block_of; block_labels; block_index; cells }
+  for bi = 0 to Iarena.n_blocks a - 1 do
+    Sym.Tbl.replace t.block_index (Iarena.block_label a bi) bi
+  done;
+  for k = 0 to n - 1 do
+    let r = Iarena.result a k in
+    if not (Sym.is_empty r) then begin
+      let l = local t r in
+      Bytes.set t.def_kind l '\002';
+      t.def_ix.(l) <- k;
+      t.res_local.(k) <- l
+    end;
+    let o = Iarena.op_off a k in
+    for s = o to o + Iarena.op_len a k - 1 do
+      match Iarena.opnd a s with
+      | Lvalue.Reg (nm, _) ->
+          let l = local t nm in
+          t.pool_local.(s) <- l;
+          t.cnt.(l) <- t.cnt.(l) + 1;
+          (* an instruction using a name twice still lists once —
+             callers only need the user set *)
+          let h = t.user_head.(l) in
+          if h = -1 || t.edge_k.(h) <> k then push_edge t l k
+      | _ -> ()
+    done
+  done;
+  t
+
+let build (f : Lmodule.func) : t = of_arena f (Iarena.of_func f)
 
 (** Rebase a cached index onto a rewritten function value.  Only valid
     when the rewrite changed no instruction — the analysis-manager
@@ -89,36 +138,57 @@ let build (f : Lmodule.func) : t =
 let rebase t (f : Lmodule.func) = { t with func = f }
 
 let func t = t.func
-let n_instrs t = Array.length t.arena
-let n_blocks t = Array.length t.block_labels
-let instr t k = t.arena.(k)
-let block_of_instr t k = t.block_of.(k)
-let block_label t bi = t.block_labels.(bi)
+let arena t = t.arena
+let n_instrs t = Iarena.n_instrs t.arena
+let n_blocks t = Iarena.n_blocks t.arena
+let instr t k = Iarena.instr t.arena k
+let block_of_instr t k = Iarena.block_of t.arena k
+let block_label t bi = Iarena.block_label t.arena bi
 let block_number t label = Sym.Tbl.find_opt t.block_index label
+let n_locals t = t.n_locals
+let local_of t n = match Sym.Tbl.find_opt t.locals n with Some l -> l | None -> -1
+let local_of_slot t s = t.pool_local.(s)
+let local_of_res t k = t.res_local.(k)
+let use_counts t = Array.sub t.cnt 0 t.n_locals
+
+let def_of_local t l =
+  if l < 0 then None
+  else
+    match Bytes.get t.def_kind l with
+    | '\001' -> Some (Param t.def_ix.(l))
+    | '\002' -> Some (Instr t.def_ix.(l))
+    | _ -> None
 
 (** Unique def site of an SSA name; [None] for names the function does
     not define (undefined references). *)
-let def t n =
-  match Sym.Tbl.find_opt t.cells n with Some c -> c.c_def | None -> None
+let def t n = def_of_local t (local_of t n)
 
 (** Defining instruction; [None] for parameters and unknown names. *)
 let def_instr t n =
-  match def t n with Some (Instr k) -> Some t.arena.(k) | _ -> None
+  match def t n with Some (Instr k) -> Some (instr t k) | _ -> None
 
 (** Is [n] defined here at all (parameter or instruction result)? *)
-let defines t n =
-  match Sym.Tbl.find_opt t.cells n with
-  | Some c -> c.c_def <> None
-  | None -> false
+let defines t n = def t n <> None
+
+let iter_users t n f =
+  let l = local_of t n in
+  if l >= 0 then begin
+    let e = ref t.user_head.(l) in
+    while !e >= 0 do
+      f t.edge_k.(!e);
+      e := t.edge_next.(!e)
+    done
+  end
 
 (** Arena indices of the instructions using [n], in layout order. *)
 let users t n =
-  match Sym.Tbl.find_opt t.cells n with
-  | Some c -> List.rev c.c_users_rev
-  | None -> []
+  let acc = ref [] in
+  iter_users t n (fun k -> acc := k :: !acc);
+  !acc
 
 let use_count t n =
-  match Sym.Tbl.find_opt t.cells n with Some c -> c.c_count | None -> 0
+  let l = local_of t n in
+  if l >= 0 then t.cnt.(l) else 0
 
 let is_used t n = use_count t n > 0
 
@@ -167,13 +237,11 @@ let compress_chains (subst : Lvalue.t Sym.Tbl.t) : Lvalue.t Sym.Tbl.t =
 let substitute (idx : t) (subst : Lvalue.t Sym.Tbl.t) : Lmodule.func =
   if Sym.Tbl.length subst = 0 then idx.func
   else begin
+    let a = idx.arena in
     let resolved = compress_chains subst in
-    let affected = Array.make (Array.length idx.arena) false in
+    let affected = Bytes.make (max 1 (Iarena.n_instrs a)) '\000' in
     Sym.Tbl.iter
-      (fun n _ ->
-        match Sym.Tbl.find_opt idx.cells n with
-        | Some c -> List.iter (fun k -> affected.(k) <- true) c.c_users_rev
-        | None -> ())
+      (fun n _ -> iter_users idx n (fun k -> Bytes.set affected k '\001'))
       subst;
     let resolve v =
       match v with
@@ -181,20 +249,18 @@ let substitute (idx : t) (subst : Lvalue.t Sym.Tbl.t) : Lmodule.func =
           match Sym.Tbl.find_opt resolved n with Some v' -> v' | None -> v)
       | _ -> v
     in
-    let pos = ref 0 in
     let blocks =
-      List.map
-        (fun (b : Lmodule.block) ->
-          let insts =
-            List.map
-              (fun i ->
-                let k = !pos in
-                incr pos;
-                if affected.(k) then Linstr.map_operands resolve i else i)
-              b.insts
-          in
-          { b with Lmodule.insts })
-        idx.func.blocks
+      List.init (Iarena.n_blocks a) (fun bi ->
+          let insts = ref [] in
+          for k = Iarena.block_stop a bi - 1 downto Iarena.block_start a bi do
+            let i = Iarena.instr a k in
+            insts :=
+              (if Bytes.get affected k = '\001' then
+                 Linstr.map_operands resolve i
+               else i)
+              :: !insts
+          done;
+          { Lmodule.label = Iarena.block_label a bi; insts = !insts })
     in
     { idx.func with Lmodule.blocks }
   end

@@ -1,7 +1,12 @@
-(** Per-function index: instruction arena, def table, use-def/def-use
-    edges, block membership and use counts — computed once and shared
-    by every analysis and pass that used to rebuild its own string
-    tables ad hoc.
+(** Per-function index over the packed {!Iarena} encoding: def table,
+    use-def/def-use edges, block membership and use counts — computed
+    once and shared by every analysis and pass that used to rebuild
+    its own string tables ad hoc.
+
+    SSA names map to dense {e local ids}; defs, use counts and user
+    edges are flat arrays over those ids.  Passes that want the packed
+    storage reach it through {!arena}; everything else keeps the
+    boxed-instruction view of the original index.
 
     The index is a pure snapshot of one [Lmodule.func] value; any pass
     that rewrites the function must use a fresh index (or one the
@@ -16,6 +21,14 @@ type def_site =
 type t
 
 val build : Lmodule.func -> t
+
+(** Index a prebuilt arena.  [f] must be the function the arena
+    materialises — {!build} pairs the two; passes seeding the analysis
+    cache pair {!Iarena.compact} with their output function. *)
+val of_arena : Lmodule.func -> Iarena.t -> t
+
+(** The packed storage this index was computed over. *)
+val arena : t -> Iarena.t
 
 (** Rebase a cached index onto a rewritten function value.  Only valid
     when the rewrite changed no instruction — the analysis-manager
@@ -44,6 +57,34 @@ val def_instr : t -> Sym.t -> Linstr.t option
 (** Is [n] defined here at all (parameter or instruction result)? *)
 val defines : t -> Sym.t -> bool
 
+(** {1 Dense local-id view}
+
+    SSA names (parameters, results, register operands) get dense ids
+    [0 .. n_locals - 1]; the flat tables below let DCE-style cascades
+    run without hashing. *)
+
+val n_locals : t -> int
+
+(** Local id of a name; [-1] when the function never mentions it. *)
+val local_of : t -> Sym.t -> int
+
+(** Local id of the register at operand-pool slot [s]; [-1] for
+    globals and constants. *)
+val local_of_slot : t -> int -> int
+
+(** Local id of row [k]'s result; [-1] for void instructions. *)
+val local_of_res : t -> int -> int
+
+(** Fresh copy of the per-local operand-occurrence counts — a mutable
+    working set for kill cascades. *)
+val use_counts : t -> int array
+
+val def_of_local : t -> int -> def_site option
+
+(** Apply [f] to each user of [n] (arena indices, reverse layout
+    order) without building a list. *)
+val iter_users : t -> Sym.t -> (int -> unit) -> unit
+
 (** Arena indices of the instructions using [n], in layout order. *)
 val users : t -> Sym.t -> int list
 
@@ -55,6 +96,10 @@ val is_used : t -> Sym.t -> bool
 (** Root of a pointer value: walk GEP/bitcast chains back to the
     underlying parameter, alloca or global name. *)
 val base_pointer : t -> Lvalue.t -> Sym.t option
+
+(** Path-compress a substitution table: every key maps straight to its
+    final value, so a rewrite resolves each operand with one lookup. *)
+val compress_chains : Lvalue.t Sym.Tbl.t -> Lvalue.t Sym.Tbl.t
 
 (** Substitute registers by name, resolving substitution chains, via a
     single indexed walk: chains are path-compressed once, then only

@@ -80,6 +80,35 @@ let replace_func m f =
 
 let map_funcs fn m = { m with funcs = List.map fn m.funcs }
 
+(** [share_unchanged ~prev m] — wherever a function of [m] is
+    structurally equal to the same-named function of [prev], reuse
+    [prev]'s physical value.  Passes that rebuild every function
+    unconditionally (list-rewriting transforms) destroy the physical
+    identity the {!Analysis} caches and the incremental verifier key
+    on; running their output through this restores it, so a pass that
+    changed nothing costs nothing downstream.  Structural equality
+    uses the polymorphic compare (total on this tree, NaN-safe), so a
+    restored value prints byte-identically by construction. *)
+let share_unchanged ~(prev : t) (m : t) : t =
+  if prev == m then m
+  else begin
+    let old = Hashtbl.create 16 in
+    List.iter (fun (f : func) -> Hashtbl.replace old f.fname f) prev.funcs;
+    let shared = ref false in
+    let funcs =
+      List.map
+        (fun (f : func) ->
+          match Hashtbl.find_opt old f.fname with
+          | Some fo when fo == f -> f
+          | Some fo when Stdlib.compare fo f = 0 ->
+              shared := true;
+              fo
+          | _ -> f)
+        m.funcs
+    in
+    if !shared then { m with funcs } else m
+  end
+
 (** Total instruction count — the "IR size" metric pass tracing
     reports deltas of. *)
 let instr_count (m : t) : int =

@@ -55,6 +55,13 @@ val ensure_decl : t -> decl -> t
 val replace_func : t -> func -> t
 val map_funcs : (func -> func) -> t -> t
 
+(** [share_unchanged ~prev m] — reuse [prev]'s physical function
+    values wherever [m]'s same-named function is structurally equal
+    (polymorphic compare; NaN-safe).  Restores the physical identity
+    the {!Analysis} caches and the incremental verifier key on after
+    a pass that rebuilds every function unconditionally. *)
+val share_unchanged : prev:t -> t -> t
+
 (** Total instruction count — the "IR size" metric pass tracing
     reports deltas of. *)
 val instr_count : t -> int

@@ -233,10 +233,37 @@ let check_calls (m : t) (f : func) =
       | _ -> ())
     f
 
+(* With a manager, verification is incremental: a function value the
+   verifier already accepted under this manager is skipped (every
+   check is a pure property of the value plus the module's callable
+   signatures, and {!Analysis.verified} is cleared the moment any
+   query or {!Analysis.keep} sees a new value under that name).
+   Callers that reuse one manager across several passes of the same
+   module — the pass pipeline, the adaptor — therefore only pay for
+   functions a pass actually rewrote. *)
 let verify_func ?am (m : t) (f : func) =
-  check_block_structure f;
-  check_ssa ?am f;
-  check_types f;
-  check_calls m f
+  let skip = match am with Some a -> Analysis.verified a f | None -> false in
+  if not skip then begin
+    check_block_structure f;
+    check_ssa ?am f;
+    check_types f;
+    check_calls m f;
+    match am with Some a -> Analysis.mark_verified a f | None -> ()
+  end
 
-let verify_module ?am (m : t) = List.iter (verify_func ?am m) m.funcs
+let verify_module ?am (m : t) =
+  (* Call-site checks read other functions' signatures, so a skip is
+     only sound while the signature environment is stable; when it
+     moved (e.g. the adaptor rewrote parameter lists), call sites of
+     untouched functions are re-checked — exactly the staleness a
+     skipped full check could miss. *)
+  let sigs_changed =
+    match am with Some a -> Analysis.note_signatures a m | None -> true
+  in
+  List.iter
+    (fun f ->
+      match am with
+      | Some a when Analysis.verified a f ->
+          if sigs_changed then check_calls m f
+      | _ -> verify_func ?am m f)
+    m.funcs

@@ -3,89 +3,120 @@
     Pure instructions with identical opcodes and operands are unified:
     the walk descends the dominator tree carrying a table of available
     expressions, so a redundant instruction is always dominated by the
-    expression it reuses. *)
+    expression it reuses.
 
-open Linstr
+    Expressions key as packed int arrays over the {!Iarena} encoding —
+    the opcode word, the per-opcode scalar payload (interned source
+    type, aggregate path) and one identity key per operand
+    ({!Iarena.opnd_key}: symbol for registers, interned constant-pool
+    index for constants) — where the old walk built and hashed a
+    string per candidate.  Within a function SSA gives every register
+    one type, so the symbol alone carries what the string key spelt
+    out as [ty:name].  Redundant rows are killed in place; surviving
+    users get their operand slots rewritten through the path-compressed
+    substitution, and the pass seeds the analysis cache with an index
+    of the compacted arena it wrote. *)
+
 open Lmodule
 module Sym = Support.Interner
 
-(** Structural key for a pure instruction (None when not CSE-able). *)
-let key_of (i : Linstr.t) : string option =
-  if not (Linstr.is_pure i) then None
-  else
-    match i.op with
-    | Phi _ -> None  (* phi equality depends on control flow *)
-    | _ ->
-        let opstr =
-          match i.op with
-          | IBin (op, _, _) -> "ibin:" ^ string_of_ibinop op
-          | FBin (op, _, _) -> "fbin:" ^ string_of_fbinop op
-          | Icmp (p, _, _) -> "icmp:" ^ string_of_icmp p
-          | Fcmp (p, _, _) -> "fcmp:" ^ string_of_fcmp p
-          | Gep { inbounds; src_ty; _ } ->
-              Printf.sprintf "gep:%b:%s" inbounds (Ltype.to_string src_ty)
-          | Cast (c, _, ty) ->
-              Printf.sprintf "cast:%s:%s" (string_of_cast c)
-                (Ltype.to_string ty)
-          | Select _ -> "select"
-          | ExtractValue (_, path) ->
-              "extract:" ^ String.concat "." (List.map string_of_int path)
-          | InsertValue (_, _, path) ->
-              "insert:" ^ String.concat "." (List.map string_of_int path)
-          | Freeze _ -> "freeze"
-          | _ -> "other"
-        in
-        let ops =
-          String.concat ","
-            (List.map
-               (fun v ->
-                 Ltype.to_string (Lvalue.type_of v) ^ ":" ^ Lvalue.to_string v)
-               (operands i))
-        in
-        Some (opstr ^ "(" ^ ops ^ ")")
-
 let run_func ?am (f : func) : func * bool =
   let dom = Analysis.dominance ?am f in
-  let blocks_arr = Array.of_list f.blocks in
-  let new_blocks = Array.make (Array.length blocks_arr) None in
+  let idx = Analysis.findex ?am f in
+  let a = Findex.arena idx in
   let subst : Lvalue.t Sym.Tbl.t = Sym.Tbl.create 32 in
   let changed = ref false in
-  let resolve v =
-    match v with
-    | Lvalue.Reg (r, _) -> (
-        match Sym.Tbl.find_opt subst r with Some v' -> v' | None -> v)
-    | _ -> v
-  in
-  let rec walk bi (avail : (string, Lvalue.t) Hashtbl.t) =
-    let avail = Hashtbl.copy avail in
-    let b = blocks_arr.(bi) in
-    let insts' =
-      List.concat_map
-        (fun (i : Linstr.t) ->
-          let i = Linstr.map_operands resolve i in
-          match key_of i with
-          | Some key when not (Sym.is_empty i.result) -> (
-              match Hashtbl.find_opt avail key with
-              | Some v ->
-                  changed := true;
-                  Sym.Tbl.replace subst i.result v;
-                  []
-              | None ->
-                  Hashtbl.replace avail key (Lvalue.Reg (i.result, i.ty));
-                  [ i ])
-          | _ -> [ i ])
-        b.insts
+  (* [key_of k] for a keyable row: opcode word, scalar payload, then
+     one packed key per operand with the current substitution already
+     applied — matching the old walk, which resolved operands before
+     keying.  Values in [subst] are kept (never-substituted) registers
+     or constants, so one probe is full resolution here. *)
+  let key_of k =
+    let tg = Iarena.tag a k in
+    let o = Iarena.op_off a k and l = Iarena.op_len a k in
+    let extra =
+      if tg = Iarena.tag_gep || tg = Iarena.tag_cast then 1
+      else if tg = Iarena.tag_extractvalue || tg = Iarena.tag_insertvalue
+      then Iarena.aux1 a k
+      else 0
     in
-    new_blocks.(bi) <- Some { b with insts = insts' };
-    List.iter (fun c -> walk c avail) dom.Dominance.children.(bi)
+    let key = Array.make (1 + extra + l) (Iarena.opword a k) in
+    if extra = 1 then key.(1) <- Iarena.aux0 a k
+    else
+      for i = 0 to extra - 1 do
+        key.(1 + i) <- Iarena.xt a (Iarena.aux0 a k + i)
+      done;
+    for i = 0 to l - 1 do
+      key.(1 + extra + i) <-
+        (match Iarena.opnd a (o + i) with
+        | Lvalue.Reg (r, _) as v -> (
+            match Sym.Tbl.find_opt subst r with
+            | Some v' -> Iarena.key_of_value a v'
+            | None -> Iarena.key_of_value a v)
+        | _ -> Iarena.opnd_key a (o + i))
+    done;
+    key
   in
-  if Array.length blocks_arr > 0 then walk 0 (Hashtbl.create 32);
-  let blocks =
-    List.mapi
-      (fun bi b -> Option.value ~default:b new_blocks.(bi))
-      f.blocks
+  (* One shared table scoped by an undo list: entering a block pushes
+     its insertions, leaving pops them ([Hashtbl.add] stacks a
+     shadowing binding, [remove] restores the shadowed one).  An
+     instruction probes before inserting, so a block never inserts the
+     same key twice — semantics match the old copy-per-block walk at
+     O(insertions) instead of O(blocks x table size). *)
+  let avail : (int array, Lvalue.t) Hashtbl.t = Hashtbl.create 32 in
+  let rec walk bi =
+    let added = ref [] in
+    for k = Iarena.block_start a bi to Iarena.block_stop a bi - 1 do
+      let tg = Iarena.tag a k in
+      if
+        Iarena.pure_tag tg
+        && tg <> Iarena.tag_phi (* phi equality depends on control flow *)
+        && not (Sym.is_empty (Iarena.result a k))
+      then begin
+        let key = key_of k in
+        match Hashtbl.find_opt avail key with
+        | Some v ->
+            changed := true;
+            Iarena.kill a k;
+            Sym.Tbl.replace subst (Iarena.result a k) v
+        | None ->
+            Hashtbl.add avail key
+              (Lvalue.Reg (Iarena.result a k, Iarena.result_ty a k));
+            added := key :: !added
+      end
+    done;
+    List.iter walk dom.Dominance.children.(bi);
+    List.iter (fun key -> Hashtbl.remove avail key) !added
   in
-  let f' = Findex.substitute_func subst { f with blocks } in
-  (f', !changed)
+  if Iarena.n_blocks a > 0 then walk 0;
+  if not !changed then (f, false)
+  else begin
+    (* Rewrite the operand slots of surviving users through the
+       path-compressed substitution, then materialise — the arena is
+       the output, so the index of its compacted copy can seed the
+       analysis cache for the next pass and the verifier. *)
+    let resolved = Findex.compress_chains subst in
+    Sym.Tbl.iter
+      (fun n _ ->
+        Findex.iter_users idx n (fun k ->
+            if not (Iarena.is_dead a k) then begin
+              let o = Iarena.op_off a k in
+              for s = o to o + Iarena.op_len a k - 1 do
+                match Iarena.opnd a s with
+                | Lvalue.Reg (r, _) -> (
+                    match Sym.Tbl.find_opt resolved r with
+                    | Some v' -> Iarena.set_opnd a k s v'
+                    | None -> ())
+                | _ -> ()
+              done
+            end))
+      subst;
+    let f' = { f with blocks = Iarena.to_blocks a } in
+    (match am with
+    | Some am ->
+        Analysis.seed_findex am f' (Findex.of_arena f' (Iarena.compact a))
+    | None -> ());
+    (f', true)
+  end
 
 let run ?am (m : t) : t = map_funcs (fun f -> fst (run_func ?am f)) m

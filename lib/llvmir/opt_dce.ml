@@ -1,7 +1,15 @@
 (** Dead code elimination: removes pure instructions whose results are
     unused, plus calls to known-pure intrinsics.  A worklist over the
     function index's use counts cascades through chains of dead
-    instructions without ever re-indexing the function. *)
+    instructions without ever re-indexing the function.
+
+    The whole pass runs on the packed {!Iarena}: kill flags and the
+    dense use-count array are the only state, the cascade walks
+    operand-pool slots through {!Findex.local_of_slot} with no hashing
+    and no allocation, and the surviving rows materialise physically
+    identical to the input.  When run under a manager the pass indexes
+    the compacted arena it just wrote and seeds the analysis cache, so
+    the post-pass verifier reads the same flat storage. *)
 
 open Lmodule
 module Sym = Support.Interner
@@ -18,39 +26,26 @@ let pure_intrinsic name =
   || starts_with "llvm.fma." || starts_with "llvm.fabs."
   || starts_with "llvm.sqrt."
 
-let removable (i : Linstr.t) =
-  Linstr.is_pure i
-  ||
-  match i.op with
-  | Linstr.Call { callee; _ } -> pure_intrinsic callee
-  | _ -> false
-
 let run_func ?am (f : func) : func * bool =
   let idx = Analysis.findex ?am f in
-  let n = Findex.n_instrs idx in
-  let dead = Array.make (max 1 n) false in
-  (* operand-occurrence counts among still-live instructions, seeded
-     from the index on first touch *)
-  let counts : int ref Sym.Tbl.t = Sym.Tbl.create 32 in
-  let count nm =
-    match Sym.Tbl.find_opt counts nm with
-    | Some r -> r
-    | None ->
-        let r = ref (Findex.use_count idx nm) in
-        Sym.Tbl.replace counts nm r;
-        r
-  in
+  let a = Findex.arena idx in
+  let n = Iarena.n_instrs a in
+  (* operand-occurrence counts among still-live instructions, by dense
+     local id *)
+  let counts = Findex.use_counts idx in
   let worklist = ref [] in
+  let removable k =
+    let tg = Iarena.tag a k in
+    Iarena.pure_tag tg
+    || (tg = Iarena.tag_call && pure_intrinsic (Iarena.callee a k))
+  in
   let try_kill k =
-    let i = Findex.instr idx k in
-    if
-      (not dead.(k))
-      && (not (Sym.is_empty i.Linstr.result))
-      && !(count i.Linstr.result) = 0
-      && removable i
-    then begin
-      dead.(k) <- true;
-      worklist := k :: !worklist
+    if not (Iarena.is_dead a k) then begin
+      let l = Findex.local_of_res idx k in
+      if l >= 0 && counts.(l) = 0 && removable k then begin
+        Iarena.kill a k;
+        worklist := k :: !worklist
+      end
     end
   in
   for k = 0 to n - 1 do
@@ -61,41 +56,28 @@ let run_func ?am (f : func) : func * bool =
     | [] -> ()
     | k :: rest ->
         worklist := rest;
-        Linstr.iter_operands
-          (function
-            | Lvalue.Reg (nm, _) -> (
-                let r = count nm in
-                decr r;
-                if !r = 0 then
-                  match Findex.def idx nm with
-                  | Some (Findex.Instr dk) -> try_kill dk
-                  | _ -> ())
-            | _ -> ())
-          (Findex.instr idx k);
+        let o = Iarena.op_off a k in
+        for s = o to o + Iarena.op_len a k - 1 do
+          let l = Findex.local_of_slot idx s in
+          if l >= 0 then begin
+            counts.(l) <- counts.(l) - 1;
+            if counts.(l) = 0 then
+              match Findex.def_of_local idx l with
+              | Some (Findex.Instr dk) -> try_kill dk
+              | _ -> ()
+          end
+        done;
         drain ()
   in
   drain ();
-  let changed = ref false in
-  let pos = ref 0 in
-  let blocks =
-    List.map
-      (fun (b : block) ->
-        let insts =
-          List.rev
-            (List.fold_left
-               (fun acc i ->
-                 let k = !pos in
-                 incr pos;
-                 if dead.(k) then begin
-                   changed := true;
-                   acc
-                 end
-                 else i :: acc)
-               [] b.insts)
-        in
-        { b with insts })
-      f.blocks
-  in
-  if !changed then ({ f with blocks }, true) else (f, false)
+  if Iarena.live_count a = n then (f, false)
+  else begin
+    let f' = { f with blocks = Iarena.to_blocks a } in
+    (match am with
+    | Some am ->
+        Analysis.seed_findex am f' (Findex.of_arena f' (Iarena.compact a))
+    | None -> ());
+    (f', true)
+  end
 
 let run ?am (m : t) : t = map_funcs (fun f -> fst (run_func ?am f)) m

@@ -102,7 +102,8 @@ let run_func ?am (f : func) : func * bool =
             end
         | _ -> ())
       order;
-    ({ f with blocks = Array.to_list blocks }, !changed)
+    if !changed then ({ f with blocks = Array.to_list blocks }, true)
+    else (f, false)
   end
 
 let run ?am (m : t) : t = map_funcs (fun f -> fst (run_func ?am f)) m

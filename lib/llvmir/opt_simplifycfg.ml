@@ -51,7 +51,10 @@ let fold_const_branches (f : func) : func * bool =
         | _ -> [ i ])
       f
   in
-  (f', !changed)
+  (* return the original value when nothing folded: downstream CFG
+     queries and the incremental verifier key on physical identity, so
+     handing back a rebuilt copy would invalidate both for a no-op *)
+  ((if !changed then f' else f), !changed)
 
 let remove_unreachable ?am (f : func) : func * bool =
   let cfg = Analysis.cfg ?am f in
@@ -72,70 +75,99 @@ let remove_unreachable ?am (f : func) : func * bool =
     (prune_phis f' live_preds, true)
   end
 
-(** Merge [b] into its unique predecessor [p] when [p]'s terminator is
-    an unconditional branch to [b] and [b] has no phis. *)
+(** Merge each block into its unique predecessor when that predecessor
+    has a single successor and the block has no phis.  Whole chains
+    ([a -> b -> c]) collapse in one sweep: every absorbable block is
+    marked against one CFG, then each unabsorbed head concatenates its
+    chain's instructions (dropping the intermediate terminators) in a
+    single rebuild — the fixpoint a merge-one-pair-then-recompute loop
+    reaches, without the per-merge CFG rebuilds. *)
 let merge_blocks ?am (f : func) : func * bool =
   let cfg = Analysis.cfg ?am f in
   let n = Cfg.n_blocks cfg in
-  (* find a mergeable pair *)
-  let candidate = ref None in
+  (* absorbed.(bi) = true: bi folds into its unique predecessor *)
+  let absorbed = Array.make n false in
+  let any = ref false in
   for bi = 1 to n - 1 do
-    if !candidate = None then
-      match cfg.Cfg.preds.(bi) with
-      | [ p ] when List.length cfg.Cfg.succs.(p) = 1 && p <> bi ->
-          let blk = Cfg.block cfg bi in
-          let has_phi =
-            List.exists
-              (fun (i : Linstr.t) ->
-                match i.op with Phi _ -> true | _ -> false)
-              blk.insts
-          in
-          if not has_phi then candidate := Some (p, bi)
-      | _ -> ()
+    match cfg.Cfg.preds.(bi) with
+    | [ p ] when List.length cfg.Cfg.succs.(p) = 1 && p <> bi ->
+        let blk = Cfg.block cfg bi in
+        let has_phi =
+          List.exists
+            (fun (i : Linstr.t) ->
+              match i.op with Phi _ -> true | _ -> false)
+            blk.insts
+        in
+        if not has_phi then begin
+          absorbed.(bi) <- true;
+          any := true
+        end
+    | _ -> ()
   done;
-  match !candidate with
-  | None -> (f, false)
-  | Some (p, bi) ->
-      let pred = Cfg.block cfg p in
+  if not !any then (f, false)
+  else begin
+    (* absorbed label -> label of its chain head, for phi fixup *)
+    let head_of = Array.init n Fun.id in
+    for bi = 1 to n - 1 do
+      (* preds come before their single successor in any order; resolve
+         lazily by chasing to the root *)
+      if absorbed.(bi) then
+        match cfg.Cfg.preds.(bi) with [ p ] -> head_of.(bi) <- p | _ -> ()
+    done;
+    (* fuel-bounded: a fully-absorbed cycle cannot be reachable (each
+       node would need a second, external predecessor) and
+       [remove_unreachable] runs first, but don't hang if that ordering
+       ever changes *)
+    let rec root fuel bi =
+      if head_of.(bi) = bi || fuel = 0 then bi else root (fuel - 1) head_of.(bi)
+    in
+    let relabel : Sym.t Sym.Tbl.t = Sym.Tbl.create 8 in
+    for bi = 1 to n - 1 do
+      if absorbed.(bi) then
+        Sym.Tbl.replace relabel (Cfg.label cfg bi) (Cfg.label cfg (root n bi))
+    done;
+    let drop_term insts =
+      match List.rev insts with _term :: rest -> List.rev rest | [] -> []
+    in
+    let rec chain_insts bi =
       let blk = Cfg.block cfg bi in
-      let pred_insts =
-        match List.rev pred.insts with
-        | _term :: rest -> List.rev rest
-        | [] -> []
-      in
-      let merged = { pred with insts = pred_insts @ blk.insts } in
-      let blocks =
-        List.filter_map
-          (fun (b : block) ->
-            if b.label = pred.label then Some merged
-            else if b.label = blk.label then None
-            else Some b)
-          f.blocks
-      in
-      (* phis in successors referencing the removed label now come from
-         the predecessor's label *)
-      let fixup (b : block) =
-        {
-          b with
-          insts =
-            List.map
-              (fun (i : Linstr.t) ->
-                match i.op with
-                | Phi incoming ->
-                    {
-                      i with
-                      op =
-                        Phi
-                          (List.map
-                             (fun (v, l) ->
-                               ((v : Lvalue.t), if l = blk.label then pred.label else l))
-                             incoming);
-                    }
-                | _ -> i)
-              b.insts;
-        }
-      in
-      ({ f with blocks = List.map fixup blocks }, true)
+      match cfg.Cfg.succs.(bi) with
+      | [ s ] when absorbed.(s) -> drop_term blk.insts @ chain_insts s
+      | _ -> blk.insts
+    in
+    let blocks = ref [] in
+    for bi = n - 1 downto 0 do
+      if not absorbed.(bi) then
+        blocks :=
+          { (Cfg.block cfg bi) with insts = chain_insts bi } :: !blocks
+    done;
+    (* phis referencing an absorbed label now come from its chain head *)
+    let fixup (b : block) =
+      {
+        b with
+        insts =
+          List.map
+            (fun (i : Linstr.t) ->
+              match i.op with
+              | Phi incoming ->
+                  {
+                    i with
+                    op =
+                      Phi
+                        (List.map
+                           (fun ((v : Lvalue.t), l) ->
+                             ( v,
+                               match Sym.Tbl.find_opt relabel l with
+                               | Some l' -> l'
+                               | None -> l ))
+                           incoming);
+                  }
+              | _ -> i)
+            b.insts;
+      }
+    in
+    ({ f with blocks = List.map fixup !blocks }, true)
+  end
 
 let run_func ?am (f : func) : func * bool =
   let changed_total = ref false in

@@ -55,8 +55,8 @@ let dce =
 
 let constfold =
   { name = "constfold"; preserves = cfg_shape;
-    run = (fun _ m -> Opt_constfold.run m);
-    fn_run = Some (fun _ f -> fst (Opt_constfold.run_func f)) }
+    run = (fun am m -> Opt_constfold.run ~am m);
+    fn_run = Some (fun am f -> fst (Opt_constfold.run_func ~am f)) }
 
 let cse =
   { name = "cse"; preserves = cfg_shape;
@@ -82,32 +82,54 @@ let default_pipeline =
 type timing = { pass_name : string; seconds : float }
 
 (** Run a pipeline.  With [~verify:true] (default) the module is
-    verified after every pass so a miscompiling pass is caught at its
-    source.  [?trace] receives one {!Support.Tracing.event} per pass
-    (stage ["llvm-opt"]) plus one per analysis query (stage
-    ["analysis"], pass ["<kind>:hit"] / ["<kind>:compute"]).  Returns
-    the transformed module and per-pass timings. *)
-let run_pipeline ?(verify = true) ?(trace = Support.Tracing.null)
-    (passes : pass list) (m : Lmodule.t) : Lmodule.t * timing list =
+    verified once after the final pass — the verifier's checks are
+    properties of the output, so one end-of-pipeline run rejects
+    exactly what per-pass runs would, at a fraction of the cost (the
+    incremental verifier re-checks only functions that still differ
+    from their last accepted value).  [~verify_each:true] restores
+    verification after {e every} pass, the debugging mode that
+    attributes a miscompile to the pass that introduced it.  [?trace]
+    receives one {!Support.Tracing.event} per pass (stage ["llvm-opt"])
+    plus one per analysis query (stage ["analysis"], pass
+    ["<kind>:hit"] / ["<kind>:compute"]).  Returns the transformed
+    module and per-pass timings. *)
+let run_pipeline ?(verify = true) ?(verify_each = false)
+    ?(trace = Support.Tracing.null) (passes : pass list) (m : Lmodule.t) :
+    Lmodule.t * timing list =
   let am = Analysis.create ~trace () in
   let timings = ref [] in
-  let m =
+  (* the instruction counts and GC deltas exist only for the trace
+     event; under the null hook the walks and stat reads are pure
+     overhead on the hot path, so skip them entirely *)
+  let traced = trace != Support.Tracing.null in
+  let m' =
     List.fold_left
       (fun m p ->
-        let before = Lmodule.instr_count m in
+        let before = if traced then Lmodule.instr_count m else 0 in
+        let g0 = if traced then Some (Gc.quick_stat ()) else None in
         let t0 = Sys.time () in
         let m' = p.run am m in
         let t1 = Sys.time () in
         timings := { pass_name = p.name; seconds = t1 -. t0 } :: !timings;
         Analysis.keep am ~preserves:p.preserves m';
-        if verify then Lverifier.verify_module ~am m';
-        trace
-          (Support.Tracing.event ~stage:"llvm-opt" ~pass:p.name
-             ~seconds:(t1 -. t0) ~before ~after:(Lmodule.instr_count m'));
+        if verify && verify_each then Lverifier.verify_module ~am m';
+        if traced then begin
+          let g1 = Gc.quick_stat () in
+          let g0 = Option.get g0 in
+          trace
+            (Support.Tracing.with_alloc
+               ~minor_words:(g1.Gc.minor_words -. g0.Gc.minor_words)
+               ~major_words:(g1.Gc.major_words -. g0.Gc.major_words)
+               (Support.Tracing.event ~stage:"llvm-opt" ~pass:p.name
+                  ~seconds:(t1 -. t0) ~before
+                  ~after:(Lmodule.instr_count m')))
+        end;
         m')
       m passes
   in
-  (m, List.rev !timings)
+  if verify && (not verify_each) && passes <> [] then
+    Lverifier.verify_module ~am m';
+  (m', List.rev !timings)
 
 (* ------------------------------------------------------------------ *)
 (* Parallel-by-function execution                                     *)
@@ -184,13 +206,20 @@ let run_pipeline_parallel ?(verify = true) ?(trace = Support.Tracing.null)
         match split_func_local passes with
         | _, [] -> fallback "no function-local pass tail"
         | prologue, tail ->
-            let m1, ts1 = run_pipeline ~verify ~trace prologue m in
+            (* no prologue verify: every function's final value is
+               verified once in its worker below, which covers the
+               prologue's output too *)
+            let m1, ts1 = run_pipeline ~verify:false ~trace prologue m in
             (* Workers verify their function once after the whole tail,
                against [m1] (tail passes are function-local, so callee
                signatures never move): per-pass whole-module
                re-verification is the sequential path's attribution
                aid, and paying it n times per pass here would cost more
-               than the fan-out wins back. *)
+               than the fan-out wins back.  Each arena-backed pass
+               seeds its output's function index ({!Analysis.seed_findex},
+               installed by [keep] below), so the scoped verification
+               reads the flat storage the passes wrote instead of
+               re-materialising and re-indexing the function. *)
             let worker (f : Lmodule.func) =
               let am = Analysis.create () in
               let timings = ref [] in
@@ -211,6 +240,8 @@ let run_pipeline_parallel ?(verify = true) ?(trace = Support.Tracing.null)
               if verify then Lverifier.verify_func ~am m1 f;
               (f, List.rev !timings)
             in
+            let traced = trace != Support.Tracing.null in
+            let g0 = if traced then Some (Gc.quick_stat ()) else None in
             let t0 = Sys.time () in
             let results = fanout.map worker m1.Lmodule.funcs in
             let wall = Sys.time () -. t0 in
@@ -234,11 +265,20 @@ let run_pipeline_parallel ?(verify = true) ?(trace = Support.Tracing.null)
                   })
                 tail
             in
-            trace
-              (Support.Tracing.event ~stage:"llvm-opt" ~pass:"parallel-tail"
-                 ~seconds:wall
-                 ~before:(Lmodule.instr_count m1)
-                 ~after:(Lmodule.instr_count m2));
+            (* coordinator-domain allocation only; worker-domain words
+               are invisible to this domain's [Gc.quick_stat] *)
+            if traced then begin
+              let g1 = Gc.quick_stat () in
+              let g0 = Option.get g0 in
+              trace
+                (Support.Tracing.with_alloc
+                   ~minor_words:(g1.Gc.minor_words -. g0.Gc.minor_words)
+                   ~major_words:(g1.Gc.major_words -. g0.Gc.major_words)
+                   (Support.Tracing.event ~stage:"llvm-opt"
+                      ~pass:"parallel-tail" ~seconds:wall
+                      ~before:(Lmodule.instr_count m1)
+                      ~after:(Lmodule.instr_count m2)))
+            end;
             (m2, ts1 @ agg, Ran_parallel (List.length funcs)))
 
 let by_name = function

@@ -40,13 +40,20 @@ val default_pipeline : pass list
 type timing = { pass_name : string; seconds : float }
 
 (** Run a pipeline.  With [~verify:true] (default) the module is
-    verified after every pass so a miscompiling pass is caught at its
-    source.  [?trace] receives one {!Support.Tracing.event} per pass
-    (stage ["llvm-opt"]) plus one per analysis query (stage
-    ["analysis"], pass ["<kind>:hit"] / ["<kind>:compute"]).  Returns
-    the transformed module and per-pass timings. *)
+    verified once after the final pass: the verifier's checks are
+    properties of the output, so one end-of-pipeline run rejects
+    exactly what per-pass verification would, and the incremental
+    verifier re-checks only functions that changed since their last
+    accepted value.  [~verify_each:true] restores verification after
+    {e every} pass — the debugging mode that attributes a miscompile
+    to the pass that introduced it.  [?trace] receives one
+    {!Support.Tracing.event} per pass (stage ["llvm-opt"]) plus one
+    per analysis query (stage ["analysis"], pass ["<kind>:hit"] /
+    ["<kind>:compute"]).  Returns the transformed module and per-pass
+    timings. *)
 val run_pipeline :
   ?verify:bool ->
+  ?verify_each:bool ->
   ?trace:Support.Tracing.hook ->
   pass list ->
   Lmodule.t ->
@@ -91,12 +98,11 @@ val split_func_local : pass list -> pass list * pass list
     at most one function, the verdict is [Unsafe], or no pass in the
     pipeline tail is function-local.
 
-    With [~verify:true], the prologue keeps the sequential per-pass
-    whole-module verification, while each worker verifies its function
-    once after the full tail — a tail miscompile is still caught
-    before the module is reassembled, but is attributed to the tail as
-    a whole rather than to one pass (re-run sequentially to
-    bisect). *)
+    With [~verify:true], each worker verifies its function once after
+    the full tail (which also covers the sequential prologue's output)
+    — a miscompile is still caught before the module is reassembled,
+    but is attributed to the pipeline as a whole rather than to one
+    pass (re-run sequentially with [~verify_each:true] to bisect). *)
 val run_pipeline_parallel :
   ?verify:bool ->
   ?trace:Support.Tracing.hook ->

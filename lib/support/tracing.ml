@@ -17,6 +17,11 @@ type event = {
   ev_seconds : float;  (** time spent in the pass *)
   ev_instrs_before : int;  (** IR size (instruction count) entering *)
   ev_instrs_after : int;  (** IR size leaving — delta = effect *)
+  ev_minor_words : float;
+      (** words allocated on the minor heap during the pass
+          ([Gc.quick_stat] delta); [0.] when the reporter doesn't
+          measure allocation *)
+  ev_major_words : float;  (** words allocated directly on the major heap *)
 }
 
 type hook = event -> unit
@@ -31,7 +36,14 @@ let event ~stage ~pass ~seconds ~before ~after : event =
     ev_seconds = seconds;
     ev_instrs_before = before;
     ev_instrs_after = after;
+    ev_minor_words = 0.;
+    ev_major_words = 0.;
   }
+
+(** Attach allocation figures to an event (reporters that measure
+    [Gc.quick_stat] deltas around the pass). *)
+let with_alloc ~minor_words ~major_words (e : event) : event =
+  { e with ev_minor_words = minor_words; ev_major_words = major_words }
 
 (** An accumulating hook: [collector ()] returns the hook and a
     function reading back everything recorded so far, in order. *)

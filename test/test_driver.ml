@@ -223,7 +223,9 @@ let test_trace_schema_golden () =
     "key order is canonical" true
     (let r = List.hd records in
      let fields = String.concat "" (List.map fst (Tr.record_fields r)) in
-     fields = "jobkernelflowstagepasssecondsinstrs_beforeinstrs_aftercached")
+     fields
+     = "jobkernelflowstagepasssecondsinstrs_beforeinstrs_after"
+       ^ "minor_wordsmajor_wordscached")
 
 let test_trace_schema_rejects_malformed () =
   (match Tr.validate "{\"records\": []}" with
@@ -236,7 +238,8 @@ let test_trace_schema_rejects_malformed () =
     "{\"version\": 1, \"tool\": \"t\", \"records\": [\n\
     \  {\"job\": \"j\", \"kernel\": \"k\", \"flow\": \"direct-ir\",\n\
     \   \"stage\": \"adaptor\", \"pass\": \"p\", \"seconds\": 0.1,\n\
-    \   \"instrs_before\": 1, \"instrs_after\": 1}\n\
+    \   \"instrs_before\": 1, \"instrs_after\": 1,\n\
+    \   \"minor_words\": 0, \"major_words\": 0}\n\
      ]}"
   in
   match Tr.validate missing_key with

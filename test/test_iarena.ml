@@ -1,0 +1,133 @@
+(** QCheck laws for the packed struct-of-arrays instruction arena:
+
+    - round-trip: decoding every packed row of a freshly encoded
+      function yields instructions structurally identical to the
+      originals, and [to_blocks] returns the {e physically} identical
+      records (the zero-allocation clean path);
+    - structural invariants ({!Llvmir.Iarena.check}) hold on encodings
+      of random lowered difftest kernels, both before and after the
+      default cleanup pipeline has rewritten them;
+    - kill + compact: the compacted arena drops exactly the killed
+      rows, stays invariant-clean, and agrees with [to_blocks]. *)
+
+open Llvmir
+module Sym = Support.Interner
+
+let exception_to_failure name f =
+  try f ()
+  with e -> QCheck.Test.fail_reportf "%s: %s" name (Printexc.to_string e)
+
+let lowered_of_kernel (rk : Test_random.rkernel) : Lmodule.t =
+  Lowering.Lower.lower_module
+    (Mhir.Canonicalize.run (Test_random.build_module rk))
+
+(* structural equality through [compare] so float payloads (NaN
+   included) compare by their own total order, not [=] *)
+let instr_eq (a : Linstr.t) (b : Linstr.t) = Stdlib.compare a b = 0
+
+let check_roundtrip (f : Lmodule.func) : bool =
+  let a = Iarena.of_func f in
+  (match Iarena.check a with
+  | Ok () -> ()
+  | Error e -> QCheck.Test.fail_reportf "fresh arena invalid: %s" e);
+  let k = ref 0 in
+  List.iter
+    (fun (b : Lmodule.block) ->
+      List.iter
+        (fun (i : Linstr.t) ->
+          let d = Iarena.decode_packed a !k in
+          if not (instr_eq d i) then
+            QCheck.Test.fail_reportf "row %d decodes to %s, expected %s" !k
+              (Lprinter.inst_to_string d)
+              (Lprinter.inst_to_string i);
+          if not (Iarena.instr a !k == i) then
+            QCheck.Test.fail_reportf "clean row %d not physically retained" !k;
+          incr k)
+        b.Lmodule.insts)
+    f.Lmodule.blocks;
+  if !k <> Iarena.n_instrs a then
+    QCheck.Test.fail_reportf "arena has %d rows, function %d"
+      (Iarena.n_instrs a) !k;
+  (* clean materialisation returns the input records themselves *)
+  List.iter2
+    (fun (b : Lmodule.block) (b' : Lmodule.block) ->
+      if not (Sym.equal b.Lmodule.label b'.Lmodule.label) then
+        QCheck.Test.fail_reportf "to_blocks moved label %%%s"
+          (Sym.name b.Lmodule.label);
+      List.iter2
+        (fun i i' ->
+          if not (i == i') then
+            QCheck.Test.fail_reportf "to_blocks copied a clean instruction")
+        b.Lmodule.insts b'.Lmodule.insts)
+    f.Lmodule.blocks (Iarena.to_blocks a);
+  true
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"iarena: decode round-trip is identity" ~count:20
+    Test_random.arb_kernel (fun rk ->
+      exception_to_failure "iarena round-trip" (fun () ->
+          let lm = lowered_of_kernel rk in
+          List.for_all check_roundtrip lm.Lmodule.funcs))
+
+let prop_invariants_through_pipeline =
+  QCheck.Test.make ~name:"iarena: invariants pre/post pipeline" ~count:15
+    Test_random.arb_kernel (fun rk ->
+      exception_to_failure "iarena invariants" (fun () ->
+          let lm = lowered_of_kernel rk in
+          let ok m =
+            List.for_all
+              (fun f ->
+                match Iarena.check (Iarena.of_func f) with
+                | Ok () -> true
+                | Error e -> QCheck.Test.fail_reportf "invalid arena: %s" e)
+              m.Lmodule.funcs
+          in
+          ok lm
+          &&
+          let lm', _ = Pass.run_pipeline Pass.default_pipeline lm in
+          ok lm' && List.for_all check_roundtrip lm'.Lmodule.funcs))
+
+(** Killing pure rows then compacting drops exactly those rows and
+    leaves a checkable arena agreeing with [to_blocks]. *)
+let prop_kill_compact =
+  QCheck.Test.make ~name:"iarena: kill + compact" ~count:15
+    Test_random.arb_kernel (fun rk ->
+      exception_to_failure "iarena kill/compact" (fun () ->
+          let lm = lowered_of_kernel rk in
+          List.for_all
+            (fun (f : Lmodule.func) ->
+              let a = Iarena.of_func f in
+              let n = Iarena.n_instrs a in
+              (* kill every other unused pure row — a DCE-shaped cut *)
+              let idx = Findex.build f in
+              for k = 0 to n - 1 do
+                if
+                  k mod 2 = 0
+                  && Iarena.pure_tag (Iarena.tag a k)
+                  && (not (Sym.is_empty (Iarena.result a k)))
+                  && Findex.use_count idx (Iarena.result a k) = 0
+                then Iarena.kill a k
+              done;
+              let live = Iarena.live_count a in
+              let c = Iarena.compact a in
+              (match Iarena.check c with
+              | Ok () -> ()
+              | Error e ->
+                  QCheck.Test.fail_reportf "compacted arena invalid: %s" e);
+              if Iarena.n_instrs c <> live then
+                QCheck.Test.fail_reportf "compact kept %d rows, expected %d"
+                  (Iarena.n_instrs c) live;
+              let insts_of bs =
+                List.concat_map (fun (b : Lmodule.block) -> b.Lmodule.insts) bs
+              in
+              let from_blocks = insts_of (Iarena.to_blocks a) in
+              let from_compact =
+                List.init (Iarena.n_instrs c) (Iarena.instr c)
+              in
+              List.length from_blocks = List.length from_compact
+              && List.for_all2 instr_eq from_blocks from_compact)
+            lm.Lmodule.funcs))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_roundtrip; prop_invariants_through_pipeline; prop_kill_compact ]

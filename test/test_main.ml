@@ -17,6 +17,7 @@ let () =
       ("verifier-neg", Test_verifier_neg.suite);
       ("llvmir-extra", Test_llvmir_extra.suite);
       ("findex", Test_findex.suite);
+      ("iarena", Test_iarena.suite);
       ("llvm-interp", Test_llvm_interp.suite);
       ("llvm-passes", Test_llvm_passes.suite);
       ("adaptor", Test_adaptor.suite);
